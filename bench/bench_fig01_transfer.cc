@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Reproduces paper Fig. 1: (a) bulk-transfer time per TB across typical
+ * network links; (b) AWS data-transfer-out cost tiers (Jan 2014).
+ */
+
+#include "bench_util.hh"
+#include "cost/transmission.hh"
+
+using namespace insure;
+
+int
+main()
+{
+    bench::header("Figure 1",
+                  "The overhead associated with bulk data movement");
+
+    {
+        std::vector<std::pair<std::string, double>> rows;
+        for (const auto &link : cost::typicalLinks())
+            rows.emplace_back(link.name,
+                              cost::transferHours(link, 1.0));
+        bench::barSeries("(a) Hours to move 1 TB", rows, "h");
+    }
+
+    {
+        std::vector<std::pair<std::string, double>> rows;
+        for (double tb : {10.0, 50.0, 150.0, 250.0, 500.0}) {
+            rows.emplace_back(std::to_string(static_cast<int>(tb)) +
+                                  " TB/month",
+                              cost::awsEgressAvgPerTb(tb));
+        }
+        bench::barSeries("(b) Average $ per TB transferred out of AWS",
+                         rows, "$/TB", 0);
+    }
+
+    std::printf("Paper shape check: days-to-weeks per TB on edge links; "
+                "avg $/TB falls from ~$120 to ~$60 with volume.\n");
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Reproduces paper Fig. 4: key properties of the energy buffer.
+ *  (a) individual (concentrated) vs. batch charging time;
+ *  (b) high-load vs. low-load discharge: fast capacity drop at high
+ *      current and the recovery effect once the load is removed.
+ */
+
+#include <algorithm>
+
+#include "battery/battery_array.hh"
+#include "bench_util.hh"
+
+using namespace insure;
+using namespace insure::battery;
+using sim::TextTable;
+
+namespace {
+
+/** Charge three cabinets 25% -> 90% with a fixed budget; hours needed. */
+double
+chargeTimeHours(Watts budget, bool concentrate)
+{
+    BatteryArray array(BatteryParams{}, 3, 2, 0.25);
+    array.setAllModes(UnitMode::Charging);
+    const Seconds dt = 10.0;
+    for (Seconds t = 0.0; t < units::days(3.0); t += dt) {
+        array.beginTick();
+        if (concentrate) {
+            std::vector<unsigned> order{0, 1, 2};
+            std::sort(order.begin(), order.end(),
+                      [&](unsigned a, unsigned b) {
+                          return array.cabinet(a).soc() <
+                                 array.cabinet(b).soc();
+                      });
+            Watts remaining = budget;
+            for (unsigned idx : order) {
+                if (array.cabinet(idx).soc() >= 0.9 || remaining <= 1.0)
+                    continue;
+                remaining -=
+                    array.chargeCabinet(idx, remaining, dt).consumedPower;
+            }
+        } else {
+            const Watts each = budget / 3.0;
+            for (unsigned idx : {0u, 1u, 2u})
+                array.chargeCabinet(idx, each, dt);
+        }
+        array.endTick(dt);
+        bool done = true;
+        for (unsigned i = 0; i < 3; ++i)
+            done = done && array.cabinet(i).soc() >= 0.9;
+        if (done)
+            return t / 3600.0;
+    }
+    return units::days(3.0) / 3600.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Figure 4",
+                  "Key properties of the energy buffer in standalone InS");
+
+    {
+        TextTable t({"solar budget", "individual (h)", "batch (h)",
+                     "time saved"});
+        for (Watts budget : {400.0, 550.0, 800.0, 1200.0}) {
+            const double seq = chargeTimeHours(budget, true);
+            const double batch = chargeTimeHours(budget, false);
+            t.addRow({TextTable::num(budget, 0) + " W",
+                      TextTable::num(seq, 2), TextTable::num(batch, 2),
+                      TextTable::percent(1.0 - seq / batch)});
+        }
+        std::printf(
+            "%s",
+            t.render("(a) individual vs. batch charging (25%% -> 90%%)")
+                .c_str());
+        std::printf("\n  Paper: charging one by one cut total charge time "
+                    "by nearly 50%% at the prototype's budget.\n\n");
+    }
+
+    {
+        // (b) One unit under heavy load vs. one under light load, then
+        // both rest: voltage sag and capacity recovery.
+        BatteryUnit heavy("b1", BatteryParams{}, 0.9);
+        BatteryUnit light("b2", BatteryParams{}, 0.9);
+        TextTable t({"phase", "t (min)", "B1 (28A) V", "B1 avail",
+                     "B2 (5A) V", "B2 avail"});
+        auto snap = [&](const char *phase, double minutes,
+                        Amperes i1, Amperes i2) {
+            t.addRow({phase, TextTable::num(minutes, 0),
+                      TextTable::num(heavy.terminalVoltage(i1), 2),
+                      TextTable::percent(heavy.availableFraction()),
+                      TextTable::num(light.terminalVoltage(i2), 2),
+                      TextTable::percent(light.availableFraction())});
+        };
+        snap("initial", 0, 0.0, 0.0);
+        for (int m = 1; m <= 30; ++m) {
+            heavy.discharge(28.0, 60.0);
+            light.discharge(5.0, 60.0);
+            if (m % 10 == 0)
+                snap("discharging", m, 28.0, 5.0);
+        }
+        for (int m = 1; m <= 40; ++m) {
+            heavy.rest(60.0);
+            light.rest(60.0);
+            if (m % 20 == 0)
+                snap("recovery (rest)", 30 + m, 0.0, 0.0);
+        }
+        std::printf(
+            "%s",
+            t.render("(b) high load vs. low load discharge + recovery")
+                .c_str());
+        std::printf("\n  Paper: high current collapses the available "
+                    "capacity (voltage sag) which recovers substantially "
+                    "during low-demand periods.\n");
+    }
+    return 0;
+}

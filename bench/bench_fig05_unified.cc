@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces paper Fig. 5: a snapshot of the unified-buffer baseline
+ * during seismic analysis. When the unified buffer trips its protection,
+ * the whole string is switched out for recharge and the servers lose
+ * their buffer — solar energy usage by the load collapses even though
+ * generation continues.
+ */
+
+#include "bench_util.hh"
+
+using namespace insure;
+
+int
+main()
+{
+    bench::header("Figure 5",
+                  "Unified e-Buffer forces load shedding (baseline)");
+
+    core::ExperimentConfig cfg = core::seismicExperiment();
+    cfg.manager = core::ManagerKind::Baseline;
+    cfg.day = solar::DayClass::Cloudy;
+    cfg.targetDailyKwh = 5.9;
+    cfg.recordTrace = true;
+    cfg.tracePeriod = 120.0;
+    cfg.system.initialSoc = 0.45; // mid-charge buffer, as in the snapshot
+
+    const core::ExperimentResult res = core::runExperiment(cfg);
+    const sim::Trace &trace = *res.trace;
+
+    // Locate the first episode where the rack goes down while meaningful
+    // solar power is still available (the buffer lockout).
+    double episode = -1.0;
+    for (std::size_t r = 1; r < trace.rows(); ++r) {
+        const bool was_up = trace.at(r - 1, "productive") > 0.5;
+        const bool now_down = trace.at(r, "productive") < 0.5;
+        if (was_up && now_down && trace.at(r, "solar_w") > 200.0) {
+            episode = trace.row(r)[0];
+            break;
+        }
+    }
+
+    if (episode < 0.0) {
+        std::printf("No lockout episode found on this trace (rerun with "
+                    "a different seed); printing midday instead.\n\n");
+        episode = 13.0 * 3600.0;
+    }
+
+    sim::TextTable t({"time", "solar (W)", "load (W)", "mean SoC",
+                      "servers"});
+    const double start = std::max(0.0, episode - 3600.0);
+    for (double ts = start; ts <= episode + 3600.0;
+         ts += 600.0) {
+        char clock[16];
+        std::snprintf(clock, sizeof(clock), "%02d:%02d",
+                      static_cast<int>(ts / 3600.0),
+                      static_cast<int>(ts / 60.0) % 60);
+        t.addRow({clock,
+                  sim::TextTable::num(trace.interpolate(ts, "solar_w"), 0),
+                  sim::TextTable::num(trace.interpolate(ts, "load_w"), 0),
+                  sim::TextTable::percent(
+                      trace.interpolate(ts, "mean_soc")),
+                  trace.interpolate(ts, "productive") > 0.5 ? "UP"
+                                                            : "DOWN"});
+    }
+    std::printf("%s", t.render("Two-hour window around the buffer trip")
+                          .c_str());
+    std::printf("\n  Paper: once the batteries switch out, server load "
+                "drops to zero and solar utilisation by the load "
+                "collapses while the whole buffer recharges.\n");
+    std::printf("  Baseline lockout episodes this day: buffer trips=%llu "
+                "emergencies=%llu\n",
+                static_cast<unsigned long long>(res.metrics.bufferTrips),
+                static_cast<unsigned long long>(
+                    res.metrics.emergencyShutdowns));
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces paper Fig. 14: InSURE power behaviour.
+ *  (a) timely solar harvesting: the controller charges low-SoC cabinets
+ *      first and concentrates the budget on few cabinets;
+ *  (b) balanced usage: aggregated discharge spreads evenly across the
+ *      cabinets.
+ */
+
+#include <memory>
+
+#include "bench_util.hh"
+
+using namespace insure;
+using sim::TextTable;
+
+int
+main()
+{
+    bench::header("Figure 14", "Demonstration of InSURE power behaviour");
+
+    core::ExperimentConfig cfg = core::seismicExperiment();
+    cfg.day = solar::DayClass::Sunny;
+    cfg.targetDailyKwh = 7.9;
+
+    sim::Simulation simulation(cfg.seed);
+    core::SystemConfig system = cfg.system;
+    // Start with unequal SoC so the charge-priority rule is visible.
+    system.initialSoc = 0.5;
+    auto allocator = std::make_shared<core::NodeAllocator>(
+        system.node, system.nodeCount, system.profile);
+    core::InSituSystem plant(
+        simulation, "fig14", system,
+        std::make_unique<solar::SolarSource>(core::buildSolarTrace(cfg)),
+        std::make_unique<core::InsureManager>(cfg.insure, allocator));
+    plant.array().cabinet(0).setSoc(0.35);
+    plant.array().cabinet(1).setSoc(0.55);
+    plant.array().cabinet(2).setSoc(0.75);
+
+    TextTable t({"time", "solar (W)", "cab0 soc/mode", "cab1 soc/mode",
+                 "cab2 soc/mode"});
+    auto snap = [&](double ts) {
+        simulation.runUntil(ts);
+        char clock[16];
+        std::snprintf(clock, sizeof(clock), "%02d:%02d",
+                      static_cast<int>(ts / 3600.0),
+                      static_cast<int>(ts / 60.0) % 60);
+        auto cell = [&](unsigned i) {
+            const auto &c = plant.array().cabinet(i);
+            return TextTable::percent(c.soc(), 0) + " " +
+                   std::string(battery::unitModeName(c.mode())).substr(0,
+                                                                       4);
+        };
+        t.addRow({clock,
+                  TextTable::num(plant.solarSource().availablePower(), 0),
+                  cell(0), cell(1), cell(2)});
+    };
+    for (double h = 7.0; h <= 20.0; h += 1.0)
+        snap(h * 3600.0);
+    simulation.finish();
+
+    std::printf("%s",
+                t.render("(a) charge prioritisation across the day")
+                    .c_str());
+
+    std::printf("\n(b) balanced usage: aggregated discharge per cabinet\n");
+    const auto &hist = plant.history();
+    double max_ah = 0.0;
+    double min_ah = 1e18;
+    for (unsigned i = 0; i < 3; ++i) {
+        std::printf("  cab%u: %6.2f Ah\n", i, hist.total(i));
+        max_ah = std::max(max_ah, hist.total(i));
+        min_ah = std::min(min_ah, hist.total(i));
+    }
+    std::printf("  imbalance (max-min): %.2f Ah (%.0f%% of max)\n",
+                hist.imbalance(),
+                max_ah > 0.0 ? 100.0 * hist.imbalance() / max_ah : 0.0);
+    std::printf("\n  Paper shape: low-SoC cabinets charge first; "
+                "end-of-day discharge totals stay balanced.\n");
+    return 0;
+}

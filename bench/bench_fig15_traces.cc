@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces paper Fig. 15: the two solar power traces used for the
+ * micro-benchmark evaluation — high generation (1114 W average over
+ * 7:00-20:00) and low generation (427 W average).
+ */
+
+#include "bench_util.hh"
+
+using namespace insure;
+
+namespace {
+
+void
+printTrace(const char *title, const sim::Trace &trace)
+{
+    std::vector<std::pair<std::string, double>> rows;
+    for (int h = 6; h <= 20; ++h) {
+        double sum = 0.0;
+        int n = 0;
+        for (std::size_t r = 0; r < trace.rows(); ++r) {
+            const double ts = trace.row(r)[0];
+            if (ts >= h * 3600.0 && ts < (h + 1) * 3600.0) {
+                sum += trace.at(r, "power_w");
+                ++n;
+            }
+        }
+        char label[16];
+        std::snprintf(label, sizeof(label), "%02d:00", h);
+        rows.emplace_back(label, n ? sum / n : 0.0);
+    }
+    bench::barSeries(title, rows, "W", 0);
+}
+
+double
+windowAvg(const sim::Trace &trace)
+{
+    double sum = 0.0;
+    int n = 0;
+    for (std::size_t r = 0; r < trace.rows(); ++r) {
+        const double ts = trace.row(r)[0];
+        if (ts >= 7.0 * 3600.0 && ts <= 20.0 * 3600.0) {
+            sum += trace.at(r, "power_w");
+            ++n;
+        }
+    }
+    return n ? sum / n : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Figure 15", "Solar traces for the micro benchmarks");
+
+    core::ExperimentConfig high = core::seismicExperiment();
+    high.day = solar::DayClass::Sunny;
+    high.scaleToAvgWatts = 1114.0;
+    const sim::Trace high_trace = core::buildSolarTrace(high);
+
+    core::ExperimentConfig low = core::seismicExperiment();
+    low.day = solar::DayClass::Cloudy;
+    low.seed = 77;
+    low.scaleToAvgWatts = 427.0;
+    const sim::Trace low_trace = core::buildSolarTrace(low);
+
+    printTrace("(a) High solar generation (hourly means)", high_trace);
+    printTrace("(b) Low solar generation (hourly means)", low_trace);
+
+    std::printf("7:00-20:00 averages: high %.0f W (target 1114), "
+                "low %.0f W (target 427)\n",
+                windowAvg(high_trace), windowAvg(low_trace));
+    std::printf("Daily energy: high %.1f kWh, low %.1f kWh\n",
+                solar::SolarSource::traceEnergyWh(high_trace) / 1000.0,
+                solar::SolarSource::traceEnergyWh(low_trace) / 1000.0);
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reproduces paper Fig. 19: expected e-Buffer service-life improvement —
+ * discharge capping and wear balancing extend the lead-acid lifetime for
+ * the same processing obligation.
+ */
+
+#include "bench_util.hh"
+
+using namespace insure;
+
+int
+main()
+{
+    bench::header("Figure 19", "Expected e-Buffer service life improvement");
+
+    std::vector<std::pair<std::string, std::pair<double, double>>> rows;
+    for (const std::string &name : bench::microBenchNames()) {
+        const auto high = bench::runMicroComparison(name, 1114.0);
+        const auto low = bench::runMicroComparison(name, 427.0);
+        rows.emplace_back(
+            name, std::make_pair(
+                      core::improvement(
+                          high.insure.metrics.workNormalizedLifeYears,
+                          high.baseline.metrics.workNormalizedLifeYears),
+                      core::improvement(
+                          low.insure.metrics.workNormalizedLifeYears,
+                          low.baseline.metrics.workNormalizedLifeYears)));
+    }
+    bench::printImprovementPanel(
+        "Service-life improvement at the workload's data volume "
+        "(InSURE vs baseline)",
+        rows);
+
+    std::printf("Paper: 21-24%% expected service-life improvement from "
+                "discharge capping and balancing.\n");
+    return 0;
+}

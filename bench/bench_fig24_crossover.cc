@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces paper Fig. 24: total cost of cloud-based vs. in-situ
+ * processing across data generation rates and sunshine fractions,
+ * including the cost-effectiveness crossover (~0.9 GB/day for the
+ * prototype) and the up-to-96% saving at 0.5 TB/day.
+ */
+
+#include "bench_util.hh"
+#include "cost/deployment.hh"
+
+using namespace insure;
+using sim::TextTable;
+
+int
+main()
+{
+    bench::header("Figure 24", "TCO vs. data generation rate");
+
+    cost::DeploymentModel model;
+    const double days = 3.0 * 365.25;
+
+    TextTable t({"GB/day", "cloud", "insitu-100%", "insitu-80%",
+                 "insitu-60%", "insitu-40%"});
+    for (const double rate : {0.5, 5.0, 50.0, 500.0}) {
+        t.addRow({TextTable::num(rate, 1),
+                  TextTable::dollars(model.cloudCost(rate, days)),
+                  TextTable::dollars(model.inSituCost(rate, days, 1.0)),
+                  TextTable::dollars(model.inSituCost(rate, days, 0.8)),
+                  TextTable::dollars(model.inSituCost(rate, days, 0.6)),
+                  TextTable::dollars(model.inSituCost(rate, days, 0.4))});
+    }
+    std::printf("%s", t.render("3-year TCO (insitu-xx% = sunshine "
+                               "fraction)")
+                          .c_str());
+
+    std::printf("\nCrossover data rate (in-situ becomes cheaper):\n");
+    for (const double f : {1.0, 0.8, 0.6, 0.4}) {
+        std::printf("  sunshine %3.0f%%: %.2f GB/day\n", 100.0 * f,
+                    model.crossoverGbPerDay(days, f));
+    }
+    std::printf("\nSaving at 500 GB/day, 100%% sunshine: %.1f%% "
+                "(paper: up to 96%%; crossover ~0.9 GB/day)\n",
+                100.0 * model.saving(500.0, days, 1.0));
+    return 0;
+}

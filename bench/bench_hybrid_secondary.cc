@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Extension study (paper Figs. 6/7 show the optional secondary feed):
+ * what does a small backup generator buy a standalone site on a bad-solar
+ * day, and what does the fuel cost? Not a paper artefact — quantifies the
+ * design option the paper's architecture explicitly leaves room for.
+ */
+
+#include <memory>
+
+#include "bench_util.hh"
+
+using namespace insure;
+using sim::TextTable;
+
+namespace {
+
+core::Metrics
+runRainyDay(std::optional<core::SecondaryPowerParams> secondary)
+{
+    core::ExperimentConfig cfg = core::videoExperiment();
+    cfg.day = solar::DayClass::Rainy;
+    cfg.targetDailyKwh = 3.0; // Table 6 rainy budget
+
+    sim::Simulation simulation(cfg.seed);
+    core::SystemConfig system = cfg.system;
+    system.secondary = secondary;
+    auto allocator = std::make_shared<core::NodeAllocator>(
+        system.node, system.nodeCount, system.profile);
+    core::InSituSystem plant(
+        simulation, "hybrid", system,
+        std::make_unique<solar::SolarSource>(core::buildSolarTrace(cfg)),
+        std::make_unique<core::InsureManager>(cfg.insure, allocator));
+    simulation.runUntil(units::days(1.0));
+    simulation.finish();
+    return plant.metrics();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Hybrid secondary feed",
+                  "Rainy-day video surveillance with/without a backup "
+                  "generator (paper Fig. 7's optional secondary power)");
+
+    TextTable t({"configuration", "uptime", "GB/day", "latency (h)",
+                 "secondary kWh", "fuel cost/day"});
+    struct Case {
+        const char *name;
+        std::optional<core::SecondaryPowerParams> secondary;
+    };
+    core::SecondaryPowerParams small;
+    small.capacity = 400.0;
+    core::SecondaryPowerParams large;
+    large.capacity = 1200.0;
+    const Case cases[] = {
+        {"standalone (paper default)", std::nullopt},
+        {"+400 W backup generator", small},
+        {"+1200 W backup generator", large},
+    };
+    for (const Case &c : cases) {
+        const core::Metrics m = runRainyDay(c.secondary);
+        const double fuel =
+            c.secondary ? m.secondaryKwh * c.secondary->costPerKwh : 0.0;
+        t.addRow({c.name, TextTable::percent(m.uptime),
+                  TextTable::num(m.processedGb, 1),
+                  TextTable::num(m.meanLatency / 3600.0, 1),
+                  TextTable::num(m.secondaryKwh, 2),
+                  TextTable::dollars(fuel)});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\n  A modest backup feed converts rainy-day outages "
+                "into fuel cost; the spatio-temporal manager still "
+                "prefers green energy whenever it exists.\n");
+    return 0;
+}

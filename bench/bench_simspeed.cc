@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Google-benchmark timings of the simulator itself: kernel event
+ * throughput, battery-model steps, and full day-long system runs. Not a
+ * paper artefact — this guards the simulation's performance so the
+ * reproduction benches stay fast.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "battery/battery_unit.hh"
+#include "core/experiment.hh"
+#include "sim/event_queue.hh"
+#include "telemetry/modbus.hh"
+
+using namespace insure;
+
+namespace {
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 10000; ++i) {
+            eq.schedule(static_cast<double>(i % 100),
+                        sim::EventPriority::Physics, [&sink] { ++sink; });
+        }
+        eq.runUntil(200.0);
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_BatteryStep(benchmark::State &state)
+{
+    battery::BatteryUnit unit("b", battery::BatteryParams{}, 0.8);
+    double current = 5.0;
+    for (auto _ : state) {
+        const auto r = unit.discharge(current, 1.0);
+        benchmark::DoNotOptimize(r.energyWh);
+        current = current > 10.0 ? 5.0 : current + 0.01;
+        if (unit.depleted())
+            unit.setSoc(0.8);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BatteryStep);
+
+void
+BM_ModbusRoundTrip(benchmark::State &state)
+{
+    telemetry::RegisterMap map(256);
+    telemetry::ModbusSlave slave(1, map);
+    const auto req = telemetry::modbus::encodeReadRequest(1, 0, 64);
+    for (auto _ : state) {
+        const auto resp = slave.service(req);
+        benchmark::DoNotOptimize(resp.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModbusRoundTrip);
+
+void
+BM_FullDaySimulation(benchmark::State &state)
+{
+    for (auto _ : state) {
+        core::ExperimentConfig cfg = core::seismicExperiment();
+        cfg.duration = units::hours(
+            static_cast<double>(state.range(0)));
+        const auto res = core::runExperiment(cfg);
+        benchmark::DoNotOptimize(res.metrics.processedGb);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) * 3600);
+}
+BENCHMARK(BM_FullDaySimulation)->Arg(6)->Arg(24)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches. Every bench binary prints
+ * the rows/series of one paper table or figure; these helpers keep the
+ * output format consistent (aligned tables plus ASCII bar series).
+ */
+
+#ifndef INSURE_BENCH_BENCH_UTIL_HH
+#define INSURE_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "sim/table.hh"
+
+namespace insure::bench {
+
+/** Print a section header for one reproduced artefact. */
+inline void
+header(const std::string &artefact, const std::string &caption)
+{
+    std::printf("=== %s ===\n%s\n\n", artefact.c_str(), caption.c_str());
+}
+
+/** Render one horizontal ASCII bar scaled to @p maxv. */
+inline std::string
+bar(double v, double maxv, int width = 40)
+{
+    if (maxv <= 0.0)
+        maxv = 1.0;
+    int n = static_cast<int>(v / maxv * width + 0.5);
+    if (n < 0)
+        n = 0;
+    if (n > width)
+        n = width;
+    return std::string(n, '#');
+}
+
+/** Print a labelled bar series (one figure panel). */
+inline void
+barSeries(const std::string &title,
+          const std::vector<std::pair<std::string, double>> &data,
+          const std::string &unit, int precision = 1)
+{
+    std::printf("%s\n", title.c_str());
+    double maxv = 0.0;
+    std::size_t label_w = 0;
+    for (const auto &[label, v] : data) {
+        maxv = std::max(maxv, v);
+        label_w = std::max(label_w, label.size());
+    }
+    for (const auto &[label, v] : data) {
+        std::printf("  %-*s %10.*f %-4s |%s\n",
+                    static_cast<int>(label_w), label.c_str(), precision, v,
+                    unit.c_str(), bar(v, maxv).c_str());
+    }
+    std::printf("\n");
+}
+
+/** The six §6.4 metrics as (name, insure, baseline, improvement) rows. */
+inline void
+printMetricComparison(const std::string &title, const core::Metrics &ins,
+                      const core::Metrics &base)
+{
+    using sim::TextTable;
+    TextTable t({"metric", "InSURE", "baseline", "improvement"});
+    auto row = [&](const char *name, double a, double b, bool smaller) {
+        const double imp = smaller ? core::reductionImprovement(a, b)
+                                   : core::improvement(a, b);
+        t.addRow({name, TextTable::num(a, 3), TextTable::num(b, 3),
+                  TextTable::percent(imp)});
+    };
+    row("system uptime", ins.uptime, base.uptime, false);
+    row("load perf (GB/h)", ins.throughputGbPerHour,
+        base.throughputGbPerHour, false);
+    row("avg latency (h)", ins.meanLatency / 3600.0,
+        base.meanLatency / 3600.0, true);
+    row("e-Buffer avail", ins.eBufferAvailability,
+        base.eBufferAvailability, false);
+    row("service life (y)", ins.workNormalizedLifeYears,
+        base.workNormalizedLifeYears, false);
+    row("perf per Ah (GB/Ah)", ins.perfPerAh, base.perfPerAh, false);
+    std::printf("%s", t.render(title).c_str());
+    std::printf("\n");
+}
+
+/**
+ * Run one micro-benchmark day under both managers on the same solar
+ * trace (paper §6.3 methodology: replayed traces scaled to the Fig. 15
+ * averages: high 1114 W, low 427 W over 7:00-20:00).
+ */
+inline core::ComparisonResult
+runMicroComparison(const std::string &benchmark, double avg_watts,
+                   std::uint64_t seed = 2015)
+{
+    core::ExperimentConfig cfg = core::microExperiment(benchmark);
+    cfg.day = avg_watts > 700.0 ? solar::DayClass::Sunny
+                                : solar::DayClass::Cloudy;
+    cfg.scaleToAvgWatts = avg_watts;
+    cfg.seed = seed;
+    return core::runComparison(cfg);
+}
+
+/** The micro-benchmark names used in the paper's Figs. 17-19. */
+inline std::vector<std::string>
+microBenchNames()
+{
+    return {"x264", "vips", "sort", "graph", "dedup", "terasort"};
+}
+
+/**
+ * Print a Figs. 17-19 style panel: per-benchmark improvement of one
+ * metric under high and low solar generation, plus the average.
+ */
+inline void
+printImprovementPanel(
+    const std::string &title,
+    const std::vector<std::pair<std::string, std::pair<double, double>>>
+        &rows)
+{
+    sim::TextTable t({"benchmark", "high solar", "low solar"});
+    double high_sum = 0.0;
+    double low_sum = 0.0;
+    for (const auto &[name, imp] : rows) {
+        t.addRow({name, sim::TextTable::percent(imp.first),
+                  sim::TextTable::percent(imp.second)});
+        high_sum += imp.first;
+        low_sum += imp.second;
+    }
+    t.addRow({"avg", sim::TextTable::percent(high_sum / rows.size()),
+              sim::TextTable::percent(low_sum / rows.size())});
+    std::printf("%s", t.render(title).c_str());
+    std::printf("\n");
+}
+
+} // namespace insure::bench
+
+#endif // INSURE_BENCH_BENCH_UTIL_HH

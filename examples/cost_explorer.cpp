@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Cost explorer: size an in-situ deployment for a site and compare its
+ * total cost against cloud-based processing (paper §6.5 economics).
+ *
+ * Usage: cost_explorer [gb_per_day] [days] [sunshine_fraction]
+ * e.g.   cost_explorer 50 365 0.8
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cost/deployment.hh"
+#include "cost/energy_tco.hh"
+#include "cost/transmission.hh"
+#include "sim/table.hh"
+
+using namespace insure;
+using sim::TextTable;
+
+int
+main(int argc, char **argv)
+{
+    const double gb_per_day = argc > 1 ? std::atof(argv[1]) : 50.0;
+    const double days = argc > 2 ? std::atof(argv[2]) : 365.0;
+    const double sunshine = argc > 3 ? std::atof(argv[3]) : 0.9;
+    if (gb_per_day <= 0.0 || days <= 0.0 || sunshine <= 0.0 ||
+        sunshine > 1.0) {
+        std::fprintf(stderr,
+                     "usage: %s [gb_per_day] [days] [sunshine 0-1]\n",
+                     argv[0]);
+        return 1;
+    }
+
+    cost::DeploymentModel model;
+
+    std::printf("In-situ deployment plan: %.1f GB/day for %.0f days at "
+                "%.0f%% sunshine\n\n",
+                gb_per_day, days, 100.0 * sunshine);
+
+    const unsigned servers = model.serversFor(gb_per_day, sunshine);
+    const double pv = servers * model.pvWattsPerServer / sunshine;
+    const double battery = servers * model.batteryAhPerServer;
+    std::printf("Sizing: %u server(s), %.0f W of PV, %.0f Ah of "
+                "batteries\n\n",
+                servers, pv, battery);
+
+    const double insitu = model.inSituCost(gb_per_day, days, sunshine);
+    const double cloud = model.cloudCost(gb_per_day, days);
+    TextTable t({"option", "total cost", "note"});
+    t.addRow({"in-situ pre-processing", TextTable::dollars(insitu),
+              "cellular backhaul of 5% residual volume"});
+    t.addRow({"ship raw data to cloud", TextTable::dollars(cloud),
+              "$10/GB cellular + cloud compute"});
+    std::printf("%s\n", t.render().c_str());
+
+    if (insitu < cloud) {
+        std::printf("In-situ wins: %.0f%% cheaper.\n",
+                    100.0 * (1.0 - insitu / cloud));
+    } else {
+        std::printf("Cloud wins at this rate; in-situ becomes cheaper "
+                    "above %.2f GB/day.\n",
+                    model.crossoverGbPerDay(days, sunshine));
+    }
+
+    // Energy-supply alternatives for this site (paper Fig. 3-b scale).
+    const double years = days / units::daysPerYear;
+    std::printf("\nEnergy-supply alternatives over %.1f years:\n", years);
+    std::printf("  solar + battery: %s\n",
+                TextTable::dollars(cost::solarBatteryTco(
+                                       {}, pv, battery, years))
+                    .c_str());
+    std::printf("  fuel cell:       %s\n",
+                TextTable::dollars(
+                    cost::fuelCellTco({}, pv, 8.0 * servers / 4.0, years))
+                    .c_str());
+    std::printf("  diesel:          %s\n",
+                TextTable::dollars(cost::dieselTco(
+                                       {}, pv / 1000.0,
+                                       8.0 * servers / 4.0, years))
+                    .c_str());
+
+    // Transfer-time reality check (paper Fig. 1-a).
+    std::printf("\nMoving one day of raw data (%.1f GB) over typical "
+                "field links:\n",
+                gb_per_day);
+    for (const auto &link : cost::typicalLinks()) {
+        if (link.mbps > 200.0)
+            continue; // data-center links are not available in the field
+        std::printf("  %-16s %.1f h\n", link.name.c_str(),
+                    cost::transferHours(link, gb_per_day / 1000.0));
+    }
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Quickstart: build a standalone in-situ system, run one simulated day of
+ * seismic data processing under the InSURE power manager and under the
+ * grid-style baseline, and print the headline metrics side by side.
+ *
+ * Usage: quickstart [sunny|cloudy|rainy] [seed]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/experiment.hh"
+#include "sim/table.hh"
+
+using namespace insure;
+
+int
+main(int argc, char **argv)
+{
+    solar::DayClass day = solar::DayClass::Sunny;
+    if (argc > 1) {
+        const std::string arg = argv[1];
+        if (arg == "cloudy")
+            day = solar::DayClass::Cloudy;
+        else if (arg == "rainy")
+            day = solar::DayClass::Rainy;
+        else if (arg != "sunny") {
+            std::fprintf(stderr,
+                         "usage: %s [sunny|cloudy|rainy] [seed]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+
+    // 1. Describe the experiment: the prototype-scale plant (four Xeon
+    //    servers, three battery cabinets, 1.6 kW PV) running the seismic
+    //    batch workload for one day.
+    core::ExperimentConfig cfg = core::seismicExperiment();
+    cfg.day = day;
+    cfg.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2015;
+    cfg.duration = units::days(1.0);
+
+    // 2. Run both power managers on the identical solar trace.
+    const core::ComparisonResult cmp = core::runComparison(cfg);
+
+    // 3. Report.
+    sim::TextTable table({"metric", "InSURE", "baseline", "improvement"});
+    const auto &a = cmp.insure.metrics;
+    const auto &b = cmp.baseline.metrics;
+    using sim::TextTable;
+
+    table.addRow({"system uptime", TextTable::percent(a.uptime),
+                  TextTable::percent(b.uptime),
+                  TextTable::percent(core::improvement(a.uptime,
+                                                       b.uptime))});
+    table.addRow({"throughput (GB/h)",
+                  TextTable::num(a.throughputGbPerHour),
+                  TextTable::num(b.throughputGbPerHour),
+                  TextTable::percent(core::improvement(
+                      a.throughputGbPerHour, b.throughputGbPerHour))});
+    table.addRow({"mean latency (min)",
+                  TextTable::num(a.meanLatency / 60.0),
+                  TextTable::num(b.meanLatency / 60.0),
+                  TextTable::percent(core::reductionImprovement(
+                      a.meanLatency, b.meanLatency))});
+    table.addRow({"e-Buffer availability",
+                  TextTable::percent(a.eBufferAvailability),
+                  TextTable::percent(b.eBufferAvailability),
+                  TextTable::percent(core::improvement(
+                      a.eBufferAvailability, b.eBufferAvailability))});
+    table.addRow({"service life (years)",
+                  TextTable::num(a.serviceLifeYears),
+                  TextTable::num(b.serviceLifeYears),
+                  TextTable::percent(core::improvement(
+                      a.serviceLifeYears, b.serviceLifeYears))});
+    table.addRow({"perf per Ah (GB/Ah)", TextTable::num(a.perfPerAh),
+                  TextTable::num(b.perfPerAh),
+                  TextTable::percent(core::improvement(a.perfPerAh,
+                                                       b.perfPerAh))});
+    table.addRow({"solar utilization",
+                  TextTable::percent(a.solarUtilization()),
+                  TextTable::percent(b.solarUtilization()),
+                  TextTable::percent(core::improvement(
+                      a.solarUtilization(), b.solarUtilization()))});
+    table.addRow({"processed (GB)", TextTable::num(a.processedGb),
+                  TextTable::num(b.processedGb), ""});
+    table.addRow({"buffer trips", std::to_string(a.bufferTrips),
+                  std::to_string(b.bufferTrips), ""});
+    table.addRow({"emergency shutdowns",
+                  std::to_string(a.emergencyShutdowns),
+                  std::to_string(b.emergencyShutdowns), ""});
+
+    std::printf("%s\n",
+                table.render("InSURE quickstart: one " +
+                             std::string(solar::dayClassName(day)) +
+                             " day of in-situ seismic processing")
+                    .c_str());
+    return 0;
+}

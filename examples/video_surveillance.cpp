@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Wildlife video surveillance outpost (paper §2.1): 24 cameras stream
+ * 0.21 GB/min into a standalone cluster around the clock. Compares the
+ * prototype's Xeon rack against a low-power node deployment (Table 7's
+ * heterogeneity argument) over a three-day mixed-weather window.
+ *
+ * Usage: video_surveillance [seed]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/experiment.hh"
+#include "sim/table.hh"
+
+using namespace insure;
+using sim::TextTable;
+
+namespace {
+
+struct Outcome {
+    core::Metrics metrics;
+    double backlogGb;
+};
+
+Outcome
+runOutpost(const server::NodeParams &node, std::uint64_t seed)
+{
+    core::ExperimentConfig cfg = core::videoExperiment();
+    cfg.seed = seed;
+    cfg.system.node = node;
+    cfg.duration = units::days(3.0);
+
+    sim::Simulation simulation(seed);
+    core::SystemConfig system = cfg.system;
+    auto allocator = std::make_shared<core::NodeAllocator>(
+        system.node, system.nodeCount, system.profile);
+
+    // Three-day window: sunny, cloudy, sunny.
+    sim::Trace trace({"time_s", "power_w"});
+    const solar::DayClass pattern[] = {solar::DayClass::Sunny,
+                                       solar::DayClass::Cloudy,
+                                       solar::DayClass::Sunny};
+    for (int d = 0; d < 3; ++d) {
+        const sim::Trace day = solar::SolarSource::generateDayTrace(
+            pattern[d], seed + d);
+        for (std::size_t r = 0; r < day.rows(); ++r) {
+            trace.append({d * units::secPerDay + day.row(r)[0],
+                          day.at(r, "power_w")});
+        }
+    }
+
+    core::InSituSystem plant(
+        simulation, std::string("outpost-") + node.type, system,
+        std::make_unique<solar::SolarSource>(std::move(trace)),
+        std::make_unique<core::InsureManager>(cfg.insure, allocator));
+    simulation.runUntil(cfg.duration);
+    simulation.finish();
+
+    return Outcome{plant.metrics(), plant.queue().backlog()};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t seed =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2015;
+
+    std::printf("Video surveillance outpost: 24 cameras, 0.21 GB/min, "
+                "three days (sunny/cloudy/sunny), InSURE management\n\n");
+
+    const Outcome xeon = runOutpost(server::xeonNode(), seed);
+    const Outcome lp = runOutpost(server::lowPowerNode(), seed);
+
+    TextTable t({"metric", "Xeon rack", "low-power rack"});
+    auto row = [&](const char *name, double a, double b, int prec) {
+        t.addRow({name, TextTable::num(a, prec),
+                  TextTable::num(b, prec)});
+    };
+    row("service availability (%)", 100.0 * xeon.metrics.uptime,
+        100.0 * lp.metrics.uptime, 1);
+    row("stream processed (GB)", xeon.metrics.processedGb,
+        lp.metrics.processedGb, 0);
+    row("end backlog (GB)", xeon.backlogGb, lp.backlogGb, 0);
+    row("mean chunk delay (min)", xeon.metrics.meanLatency / 60.0,
+        lp.metrics.meanLatency / 60.0, 1);
+    row("load energy (kWh)", xeon.metrics.loadKwh, lp.metrics.loadKwh, 2);
+    row("GB per kWh", xeon.metrics.processedGb /
+                          std::max(0.01, xeon.metrics.loadKwh),
+        lp.metrics.processedGb / std::max(0.01, lp.metrics.loadKwh), 0);
+    row("GB per buffer Ah", xeon.metrics.perfPerAh, lp.metrics.perfPerAh,
+        2);
+    row("buffer service life (y)", xeon.metrics.serviceLifeYears,
+        lp.metrics.serviceLifeYears, 2);
+    std::printf("%s\n", t.render("Node heterogeneity (paper Table 7 "
+                                 "argument at system level)")
+                            .c_str());
+
+    std::printf("The low-power rack processes the same stream on a "
+                "fraction of the energy, so the same solar array keeps "
+                "it available far longer (paper: 5x-15x throughput per "
+                "deployment).\n");
+    return 0;
+}

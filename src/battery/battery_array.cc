@@ -1,0 +1,255 @@
+#include "battery/battery_array.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace insure::battery {
+
+BatteryArray::BatteryArray(const BatteryParams &params,
+                           unsigned cabinet_count, unsigned series_count,
+                           double initialSoc)
+{
+    if (cabinet_count == 0)
+        fatal("BatteryArray: need at least one cabinet");
+    for (unsigned i = 0; i < cabinet_count; ++i) {
+        cabinets_.push_back(std::make_unique<Cabinet>(
+            "cab" + std::to_string(i), params, series_count, initialSoc));
+    }
+    touched_.assign(cabinet_count, false);
+}
+
+std::vector<unsigned>
+BatteryArray::cabinetsInMode(UnitMode mode) const
+{
+    std::vector<unsigned> out;
+    for (unsigned i = 0; i < cabinets_.size(); ++i) {
+        if (cabinets_[i]->mode() == mode)
+            out.push_back(i);
+    }
+    return out;
+}
+
+void
+BatteryArray::setAllModes(UnitMode mode)
+{
+    for (auto &c : cabinets_)
+        c->setMode(mode);
+}
+
+WattHours
+BatteryArray::storedEnergyWh() const
+{
+    WattHours e = 0.0;
+    for (const auto &c : cabinets_)
+        e += c->storedEnergyWh();
+    return e;
+}
+
+WattHours
+BatteryArray::capacityWh() const
+{
+    WattHours e = 0.0;
+    for (const auto &c : cabinets_)
+        e += c->capacityWh();
+    return e;
+}
+
+double
+BatteryArray::meanSoc() const
+{
+    double s = 0.0;
+    for (const auto &c : cabinets_)
+        s += c->soc();
+    return s / cabinets_.size();
+}
+
+double
+BatteryArray::voltageStddev() const
+{
+    double sum = 0.0;
+    double sumSq = 0.0;
+    for (const auto &c : cabinets_) {
+        const double v = c->openCircuitVoltage();
+        sum += v;
+        sumSq += v * v;
+    }
+    const double n = static_cast<double>(cabinets_.size());
+    const double mean = sum / n;
+    const double var = sumSq / n - mean * mean;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+Volts
+BatteryArray::busVoltage() const
+{
+    return network_.busVoltage(cabinets_.front()->nominalVoltage(),
+                               cabinetCount());
+}
+
+Watts
+BatteryArray::maxDischargePower(Seconds dt) const
+{
+    Watts total = 0.0;
+    for (const auto &c : cabinets_) {
+        if (c->mode() != UnitMode::Discharging &&
+            c->mode() != UnitMode::Standby)
+            continue;
+        const Amperes i = c->safeDischargeCurrent(dt);
+        total += i * c->terminalVoltage(i);
+    }
+    return total;
+}
+
+void
+BatteryArray::beginTick()
+{
+    std::fill(touched_.begin(), touched_.end(), false);
+}
+
+ArrayDischargeResult
+BatteryArray::discharge(Watts demand, Seconds dt)
+{
+    ArrayDischargeResult res;
+    res.cabinetCurrents.assign(cabinets_.size(), 0.0);
+    res.cabinetAh.assign(cabinets_.size(), 0.0);
+    if (demand <= 0.0 || dt <= 0.0)
+        return res;
+
+    auto active = cabinetsInMode(UnitMode::Discharging);
+    for (auto idx : cabinetsInMode(UnitMode::Standby))
+        active.push_back(idx);
+    std::sort(active.begin(), active.end());
+    if (active.empty())
+        return res;
+
+    // Determine per-cabinet current: equal split at the bus voltage with
+    // redistribution when a cabinet saturates at its safe current.
+    std::vector<Amperes> alloc(active.size(), 0.0);
+    std::vector<Amperes> limit(active.size(), 0.0);
+    for (std::size_t j = 0; j < active.size(); ++j)
+        limit[j] = cabinets_[active[j]]->safeDischargeCurrent(dt);
+
+    Watts remaining = demand;
+    for (int pass = 0; pass < 3 && remaining > 1e-9; ++pass) {
+        // Count cabinets that still have headroom.
+        std::vector<std::size_t> open;
+        for (std::size_t j = 0; j < active.size(); ++j) {
+            if (alloc[j] < limit[j] - 1e-12)
+                open.push_back(j);
+        }
+        if (open.empty())
+            break;
+        const Watts share = remaining / open.size();
+        for (auto j : open) {
+            const Cabinet &c = *cabinets_[active[j]];
+            // Two-step current estimate so the IR drop at the granted
+            // current is priced into the allocation.
+            const Volts v0 = c.terminalVoltage(std::max(alloc[j], 1.0));
+            if (v0 <= 0.0)
+                continue;
+            const Amperes i_guess = alloc[j] + share / v0;
+            const Volts v = c.terminalVoltage(i_guess);
+            if (v <= 0.0)
+                continue;
+            const Amperes want = share / v;
+            const Amperes grant = std::min(want, limit[j] - alloc[j]);
+            alloc[j] += grant;
+            remaining -= grant * v;
+        }
+    }
+
+    for (std::size_t j = 0; j < active.size(); ++j) {
+        const unsigned idx = active[j];
+        touched_[idx] = true;
+        if (alloc[j] <= 0.0) {
+            cabinets_[idx]->rest(dt);
+            continue;
+        }
+        const DischargeResult r = cabinets_[idx]->discharge(alloc[j], dt);
+        res.energyWh += r.energyWh;
+        res.throughputAh += r.deliveredAh;
+        res.cabinetCurrents[idx] = alloc[j];
+        res.cabinetAh[idx] = r.deliveredAh;
+        if (r.hitProtection)
+            res.tripped.push_back(idx);
+    }
+    res.deliveredPower = res.energyWh / units::toHours(dt);
+    return res;
+}
+
+ArrayChargeResult
+BatteryArray::chargeCabinet(unsigned idx, Watts budget, Seconds dt,
+                            bool allow_standby)
+{
+    ArrayChargeResult res;
+    if (idx >= cabinets_.size())
+        panic("BatteryArray: cabinet index %u out of range", idx);
+    if (budget <= 0.0 || dt <= 0.0)
+        return res;
+
+    Cabinet &c = *cabinets_[idx];
+    const bool chargeable =
+        c.mode() == UnitMode::Charging ||
+        (allow_standby && c.mode() == UnitMode::Standby);
+    if (!chargeable)
+        return res; // cabinet left the charge bus since the plan was made
+    touched_[idx] = true;
+
+    // Charger output current at the cabinet's absorption voltage, bounded
+    // by the budget and by what the string accepts (plus parasitics).
+    const Volts v_charge =
+        c.unit(0).params().absorptionVoltage * c.seriesCount();
+    const Amperes budget_current = budget / v_charge;
+    const Amperes acceptance =
+        c.acceptanceCurrent() + c.unit(0).params().parasiticBusCurrent;
+    const Amperes bus_current = std::min(budget_current, acceptance);
+    if (bus_current <= 0.0) {
+        c.rest(dt);
+        return res;
+    }
+
+    const ChargeResult r = c.charge(bus_current, dt);
+    res.storedAh = r.storedAh;
+    res.consumedPower = r.busEnergyWh / units::toHours(dt);
+    return res;
+}
+
+void
+BatteryArray::endTick(Seconds dt)
+{
+    for (unsigned i = 0; i < cabinets_.size(); ++i) {
+        if (!touched_[i])
+            cabinets_[i]->rest(dt);
+    }
+}
+
+std::uint64_t
+BatteryArray::relayOperations() const
+{
+    std::uint64_t ops = network_.operations();
+    for (const auto &c : cabinets_)
+        ops += c->relayOperations();
+    return ops;
+}
+
+AmpHours
+BatteryArray::totalDischargeThroughputAh() const
+{
+    AmpHours ah = 0.0;
+    for (const auto &c : cabinets_)
+        ah += c->dischargeThroughputAh();
+    return ah;
+}
+
+double
+BatteryArray::projectedLifeYears(Seconds observed) const
+{
+    double years = cabinets_.front()->projectedLifeYears(observed);
+    for (const auto &c : cabinets_)
+        years = std::min(years, c->projectedLifeYears(observed));
+    return years;
+}
+
+} // namespace insure::battery

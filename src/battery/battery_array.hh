@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The reconfigurable distributed energy buffer: a set of battery cabinets
+ * behind the switch network, with power-level charge/discharge operations
+ * used by the power managers.
+ *
+ * Within one physics tick the caller brackets operations with beginTick()
+ * and endTick(): cabinets that were neither charged nor discharged during
+ * the tick receive a rest step (self-discharge + kinetic recovery).
+ */
+
+#ifndef INSURE_BATTERY_BATTERY_ARRAY_HH
+#define INSURE_BATTERY_BATTERY_ARRAY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "battery/cabinet.hh"
+#include "battery/switch_network.hh"
+
+namespace insure::battery {
+
+/** Result of an array-level discharge step. */
+struct ArrayDischargeResult {
+    /** Average power actually delivered over the step, watts. */
+    Watts deliveredPower = 0.0;
+    /** Energy delivered, watt-hours. */
+    WattHours energyWh = 0.0;
+    /** Ampere-hours through the buffer (sum over cabinets). */
+    AmpHours throughputAh = 0.0;
+    /** Cabinets whose protection tripped during the step. */
+    std::vector<unsigned> tripped;
+    /** Discharge current drawn from each cabinet (size = cabinetCount). */
+    std::vector<Amperes> cabinetCurrents;
+    /** Discharge Ah delivered by each cabinet (size = cabinetCount). */
+    std::vector<AmpHours> cabinetAh;
+};
+
+/** Result of an array-level charge step for one cabinet. */
+struct ArrayChargeResult {
+    /** Power drawn from the solar bus, watts (average over the step). */
+    Watts consumedPower = 0.0;
+    /** Ampere-hours stored. */
+    AmpHours storedAh = 0.0;
+};
+
+/** The distributed, reconfigurable e-Buffer. */
+class BatteryArray
+{
+  public:
+    /**
+     * @param params per-unit battery parameters
+     * @param cabinet_count number of switchable cabinets
+     * @param series_count 12 V units per cabinet
+     * @param initialSoc starting state of charge
+     */
+    BatteryArray(const BatteryParams &params, unsigned cabinet_count = 3,
+                 unsigned series_count = 2, double initialSoc = 0.9);
+
+    unsigned cabinetCount() const
+    {
+        return static_cast<unsigned>(cabinets_.size());
+    }
+
+    Cabinet &cabinet(unsigned i) { return *cabinets_[i]; }
+    const Cabinet &cabinet(unsigned i) const { return *cabinets_[i]; }
+
+    /** The P1/P2/P3 reconfiguration network. */
+    SwitchNetwork &network() { return network_; }
+    const SwitchNetwork &network() const { return network_; }
+
+    /** Indices of cabinets currently in @p mode. */
+    std::vector<unsigned> cabinetsInMode(UnitMode mode) const;
+
+    /** Set every cabinet to @p mode (unified-buffer operation). */
+    void setAllModes(UnitMode mode);
+
+    /** Sum of stored energy across cabinets, watt-hours. */
+    WattHours storedEnergyWh() const;
+
+    /** Sum of full-charge capacity, watt-hours. */
+    WattHours capacityWh() const;
+
+    /** Mean state of charge across cabinets. */
+    double meanSoc() const;
+
+    /** Population std-dev of cabinet open-circuit voltages (Table 6). */
+    double voltageStddev() const;
+
+    /** DC bus voltage implied by the switch network. */
+    Volts busVoltage() const;
+
+    /**
+     * Maximum power the Discharging cabinets can deliver safely for
+     * @p dt seconds.
+     */
+    Watts maxDischargePower(Seconds dt) const;
+
+    /** Begin a physics tick (resets the per-tick touched set). */
+    void beginTick();
+
+    /**
+     * Draw @p demand watts from the online cabinets (Discharging and
+     * Standby — standby strings float on the bus and pick up load
+     * seamlessly) for @p dt seconds. Demand splits equally with
+     * redistribution when individual cabinets hit their safe-current
+     * limits.
+     */
+    ArrayDischargeResult discharge(Watts demand, Seconds dt);
+
+    /**
+     * Charge cabinet @p idx with up to @p budget watts of charger output
+     * for @p dt seconds (the cabinet draws what it accepts). Only
+     * cabinets in Charging mode accept charge unless @p allow_standby is
+     * set (bus-coupled unified wiring), in which case Standby cabinets
+     * absorb charge too.
+     */
+    ArrayChargeResult chargeCabinet(unsigned idx, Watts budget, Seconds dt,
+                                    bool allow_standby = false);
+
+    /** End a physics tick: rest all cabinets not touched since beginTick. */
+    void endTick(Seconds dt);
+
+    /** Total relay operations across cabinets and bus switches. */
+    std::uint64_t relayOperations() const;
+
+    /** Sum of discharge throughput across cabinets, ampere-hours. */
+    AmpHours totalDischargeThroughputAh() const;
+
+    /** Minimum projected cabinet service life, years. */
+    double projectedLifeYears(Seconds observed) const;
+
+  private:
+    std::vector<std::unique_ptr<Cabinet>> cabinets_;
+    SwitchNetwork network_;
+    std::vector<bool> touched_;
+};
+
+} // namespace insure::battery
+
+#endif // INSURE_BATTERY_BATTERY_ARRAY_HH

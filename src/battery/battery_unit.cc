@@ -1,0 +1,172 @@
+#include "battery/battery_unit.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace insure::battery {
+
+const char *
+unitModeName(UnitMode mode)
+{
+    switch (mode) {
+      case UnitMode::Offline: return "offline";
+      case UnitMode::Charging: return "charging";
+      case UnitMode::Standby: return "standby";
+      case UnitMode::Discharging: return "discharging";
+    }
+    return "?";
+}
+
+BatteryUnit::BatteryUnit(std::string name, const BatteryParams &params,
+                         double initialSoc)
+    : name_(std::move(name)), params_(params),
+      kibam_(params.capacityAh, params.kibamC, params.kibamKPrime,
+             initialSoc),
+      voltage_(params), charge_(params), wear_(params)
+{
+}
+
+Volts
+BatteryUnit::terminalVoltage(Amperes current) const
+{
+    return voltage_.terminal(kibam_.availableFraction(), current);
+}
+
+Volts
+BatteryUnit::openCircuitVoltage() const
+{
+    return voltage_.openCircuit(kibam_.availableFraction());
+}
+
+WattHours
+BatteryUnit::storedEnergyWh() const
+{
+    return soc() * params_.capacityAh * params_.nominalVoltage;
+}
+
+WattHours
+BatteryUnit::capacityWh() const
+{
+    return params_.capacityAh * params_.nominalVoltage;
+}
+
+bool
+BatteryUnit::depleted() const
+{
+    return soc() <= params_.minSoc || kibam_.exhausted();
+}
+
+Amperes
+BatteryUnit::safeDischargeCurrent(Seconds dt) const
+{
+    if (depleted())
+        return 0.0;
+    Amperes hi = params_.maxDischargeCurrent;
+    hi = std::min(hi, kibam_.maxDischargeCurrent(dt));
+    // Do not cross the SoC floor within the step.
+    const AmpHours budget =
+        std::max(0.0, (soc() - params_.minSoc) * params_.capacityAh);
+    const double hours = units::toHours(dt);
+    if (hours > 0.0)
+        hi = std::min(hi, budget / hours);
+    if (hi <= 0.0)
+        return 0.0;
+
+    // The binding constraint is usually the low-voltage cutoff at the END
+    // of the step (the available well drains as we discharge). Bisect on
+    // a copy of the kinetic model for the largest current that keeps the
+    // loaded terminal voltage legal throughout.
+    auto safe = [&](Amperes i) {
+        Kibam probe = kibam_;
+        if (voltage_.belowCutoff(probe.availableFraction(), i))
+            return false;
+        const AmpHours rejected = probe.step(i, dt);
+        if (rejected > 1e-9)
+            return false;
+        return !voltage_.belowCutoff(probe.availableFraction(), i);
+    };
+    if (safe(hi))
+        return hi;
+    Amperes lo = 0.0;
+    for (int iter = 0; iter < 24; ++iter) {
+        const Amperes mid = 0.5 * (lo + hi);
+        if (safe(mid))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+DischargeResult
+BatteryUnit::discharge(Amperes current, Seconds dt)
+{
+    DischargeResult res;
+    if (current <= 0.0 || dt <= 0.0) {
+        rest(dt);
+        return res;
+    }
+
+    Amperes applied = std::min(current, params_.maxDischargeCurrent);
+    if (applied < current)
+        res.hitProtection = true;
+
+    const Volts v_before = terminalVoltage(applied);
+    if (v_before < params_.cutoffVoltage) {
+        // Low-voltage protection trips immediately; no charge delivered.
+        res.hitProtection = true;
+        rest(dt);
+        return res;
+    }
+
+    const AmpHours requested = units::chargeAh(applied, dt);
+    const AmpHours rejected = kibam_.step(applied, dt);
+    res.deliveredAh = std::max(0.0, requested - rejected);
+    if (rejected > 1e-12)
+        res.hitProtection = true;
+
+    const Volts v_after = terminalVoltage(applied);
+    res.energyWh = res.deliveredAh * 0.5 * (v_before + v_after);
+    if (v_after < params_.cutoffVoltage)
+        res.hitProtection = true;
+
+    wear_.recordDischarge(res.deliveredAh);
+    return res;
+}
+
+ChargeResult
+BatteryUnit::charge(Amperes bus_current, Seconds dt)
+{
+    ChargeResult res;
+    if (bus_current <= 0.0 || dt <= 0.0) {
+        rest(dt);
+        return res;
+    }
+
+    const Amperes effective =
+        charge_.effectiveChargeCurrent(bus_current, soc());
+    const AmpHours requested = units::chargeAh(effective, dt);
+    const AmpHours rejected = kibam_.step(-effective, dt);
+    res.storedAh = std::max(0.0, requested - rejected);
+    // The bus pays for the full supplied current regardless of how much the
+    // cell stored (losses go to gassing/heat/parasitics).
+    res.busEnergyWh =
+        units::energyWh(charge_.busPower(bus_current), dt);
+    wear_.recordCharge(res.storedAh);
+    return res;
+}
+
+void
+BatteryUnit::rest(Seconds dt)
+{
+    if (dt <= 0.0)
+        return;
+    // Self-discharge expressed as a tiny drain current; also lets the
+    // two wells re-equilibrate (recovery effect).
+    const Amperes drain = params_.selfDischargePerDay * params_.capacityAh /
+                          units::hoursPerDay;
+    kibam_.step(drain, dt);
+}
+
+} // namespace insure::battery

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * One 12 V lead-acid battery unit: kinetic charge model + voltage model +
+ * charging electrochemistry + ageing, with the per-unit operating mode of
+ * the InSURE e-Buffer (paper Fig. 7/8).
+ */
+
+#ifndef INSURE_BATTERY_BATTERY_UNIT_HH
+#define INSURE_BATTERY_BATTERY_UNIT_HH
+
+#include <string>
+
+#include "battery/battery_params.hh"
+#include "battery/charge_model.hh"
+#include "battery/kibam.hh"
+#include "battery/voltage_model.hh"
+#include "battery/wear_model.hh"
+#include "sim/units.hh"
+
+namespace insure::battery {
+
+/** Operating mode of a battery unit (paper Fig. 7). */
+enum class UnitMode {
+    /** Disconnected from both buses (protection / over-used). */
+    Offline,
+    /** Connected to the charge bus. */
+    Charging,
+    /** Charged and ready; float, no load. */
+    Standby,
+    /** Connected to the load bus. */
+    Discharging,
+};
+
+/** Printable name of a mode. */
+const char *unitModeName(UnitMode mode);
+
+/** Result of one charging step. */
+struct ChargeResult {
+    /** Ampere-hours actually stored in the cell. */
+    AmpHours storedAh = 0.0;
+    /** Energy drawn from the charging bus (watt-hours). */
+    WattHours busEnergyWh = 0.0;
+};
+
+/** Result of one discharge step. */
+struct DischargeResult {
+    /** Ampere-hours actually delivered to the load bus. */
+    AmpHours deliveredAh = 0.0;
+    /** Energy delivered (watt-hours, at terminal voltage). */
+    WattHours energyWh = 0.0;
+    /** True if the unit hit its protection limits during the step. */
+    bool hitProtection = false;
+};
+
+/**
+ * A single battery unit. Current conventions: discharge currents are
+ * positive amperes out of the cell; charge requests are positive amperes of
+ * bus current into the charger.
+ */
+class BatteryUnit
+{
+  public:
+    /**
+     * @param name identifier (e.g. "batt0")
+     * @param params electrical/ageing parameters
+     * @param initialSoc starting state of charge
+     */
+    BatteryUnit(std::string name, const BatteryParams &params,
+                double initialSoc = 0.9);
+
+    const std::string &name() const { return name_; }
+    const BatteryParams &params() const { return params_; }
+
+    /** Total state of charge in [0, 1]. */
+    double soc() const { return kibam_.soc(); }
+
+    /** Available-well fill level (drives terminal voltage). */
+    double availableFraction() const { return kibam_.availableFraction(); }
+
+    /** Terminal voltage at the given current (+ = discharge). */
+    Volts terminalVoltage(Amperes current) const;
+
+    /** Open-circuit voltage at the present state. */
+    Volts openCircuitVoltage() const;
+
+    /** Stored energy estimate at nominal voltage, watt-hours. */
+    WattHours storedEnergyWh() const;
+
+    /** Usable capacity of the unit, watt-hours (full to empty). */
+    WattHours capacityWh() const;
+
+    /**
+     * Largest discharge current that is safe for @p dt seconds: respects
+     * the rated limit, the KiBaM available well, the low-voltage cutoff and
+     * the SoC floor.
+     */
+    Amperes safeDischargeCurrent(Seconds dt) const;
+
+    /**
+     * Discharge at @p current amperes for @p dt seconds. The current is
+     * clipped to the rated maximum; if the available well empties or the
+     * voltage falls below cutoff mid-step, the result flags protection.
+     */
+    DischargeResult discharge(Amperes current, Seconds dt);
+
+    /**
+     * Charge with @p bus_current amperes of charger output for @p dt
+     * seconds. Acceptance, efficiency and parasitic losses apply.
+     */
+    ChargeResult charge(Amperes bus_current, Seconds dt);
+
+    /** Let the unit rest for @p dt seconds (self-discharge + recovery). */
+    void rest(Seconds dt);
+
+    /** True when charged to the configured "charged" threshold. */
+    bool charged() const { return soc() >= params_.chargedSoc; }
+
+    /** True when at or below the discharge floor. */
+    bool depleted() const;
+
+    /** Ageing state. */
+    const WearModel &wear() const { return wear_; }
+
+    /** Charging electrochemistry (acceptance/efficiency queries). */
+    const ChargeModel &chargeModel() const { return charge_; }
+
+    /** Current operating mode. */
+    UnitMode mode() const { return mode_; }
+
+    /** Set the operating mode (transitions are policed by the managers). */
+    void setMode(UnitMode mode) { mode_ = mode; }
+
+    /** Force the state of charge (testing / scenario setup). */
+    void setSoc(double soc) { kibam_.setSoc(soc); }
+
+  private:
+    std::string name_;
+    BatteryParams params_;
+    Kibam kibam_;
+    VoltageModel voltage_;
+    ChargeModel charge_;
+    WearModel wear_;
+    UnitMode mode_ = UnitMode::Standby;
+};
+
+} // namespace insure::battery
+
+#endif // INSURE_BATTERY_BATTERY_UNIT_HH

@@ -1,0 +1,227 @@
+#include "battery/cabinet.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace insure::battery {
+
+Cabinet::Cabinet(std::string name, const BatteryParams &params,
+                 unsigned series_count, double initialSoc)
+    : name_(std::move(name)),
+      chargeRelay_(name_ + ".cr"),
+      dischargeRelay_(name_ + ".dr")
+{
+    if (series_count == 0)
+        fatal("Cabinet %s: series_count must be >= 1", name_.c_str());
+    for (unsigned i = 0; i < series_count; ++i) {
+        units_.push_back(std::make_unique<BatteryUnit>(
+            name_ + ".u" + std::to_string(i), params, initialSoc));
+    }
+    setMode(UnitMode::Standby);
+}
+
+double
+Cabinet::soc() const
+{
+    double sum = 0.0;
+    for (const auto &u : units_)
+        sum += u->soc();
+    return sum / units_.size();
+}
+
+Volts
+Cabinet::terminalVoltage(Amperes current) const
+{
+    Volts v = 0.0;
+    for (const auto &u : units_)
+        v += u->terminalVoltage(current);
+    return v;
+}
+
+Volts
+Cabinet::openCircuitVoltage() const
+{
+    Volts v = 0.0;
+    for (const auto &u : units_)
+        v += u->openCircuitVoltage();
+    return v;
+}
+
+Volts
+Cabinet::nominalVoltage() const
+{
+    Volts v = 0.0;
+    for (const auto &u : units_)
+        v += u->params().nominalVoltage;
+    return v;
+}
+
+WattHours
+Cabinet::storedEnergyWh() const
+{
+    WattHours e = 0.0;
+    for (const auto &u : units_)
+        e += u->storedEnergyWh();
+    return e;
+}
+
+WattHours
+Cabinet::capacityWh() const
+{
+    WattHours e = 0.0;
+    for (const auto &u : units_)
+        e += u->capacityWh();
+    return e;
+}
+
+AmpHours
+Cabinet::capacityAh() const
+{
+    // Series string: same Ah rating as one unit.
+    return units_.front()->params().capacityAh;
+}
+
+Amperes
+Cabinet::safeDischargeCurrent(Seconds dt) const
+{
+    Amperes limit = units_.front()->safeDischargeCurrent(dt);
+    for (const auto &u : units_)
+        limit = std::min(limit, u->safeDischargeCurrent(dt));
+    return limit;
+}
+
+Amperes
+Cabinet::acceptanceCurrent() const
+{
+    // Series string: the least-accepting unit limits the string current.
+    Amperes acc = units_.front()->chargeModel().acceptanceCurrent(
+        units_.front()->soc());
+    for (const auto &u : units_)
+        acc = std::min(acc, u->chargeModel().acceptanceCurrent(u->soc()));
+    return acc;
+}
+
+DischargeResult
+Cabinet::discharge(Amperes current, Seconds dt)
+{
+    DischargeResult total;
+    bool first = true;
+    for (auto &u : units_) {
+        const DischargeResult r = u->discharge(current, dt);
+        // Series string: the same charge flows through every unit; Ah is
+        // counted once, energy sums across units.
+        if (first) {
+            total.deliveredAh = r.deliveredAh;
+            first = false;
+        } else {
+            total.deliveredAh = std::min(total.deliveredAh, r.deliveredAh);
+        }
+        total.energyWh += r.energyWh;
+        total.hitProtection = total.hitProtection || r.hitProtection;
+    }
+    return total;
+}
+
+ChargeResult
+Cabinet::charge(Amperes bus_current, Seconds dt)
+{
+    ChargeResult total;
+    bool first = true;
+    for (auto &u : units_) {
+        const ChargeResult r = u->charge(bus_current, dt);
+        if (first) {
+            total.storedAh = r.storedAh;
+            first = false;
+        } else {
+            total.storedAh = std::min(total.storedAh, r.storedAh);
+        }
+        total.busEnergyWh += r.busEnergyWh;
+    }
+    return total;
+}
+
+void
+Cabinet::rest(Seconds dt)
+{
+    for (auto &u : units_)
+        u->rest(dt);
+}
+
+bool
+Cabinet::charged() const
+{
+    for (const auto &u : units_) {
+        if (!u->charged())
+            return false;
+    }
+    return true;
+}
+
+bool
+Cabinet::depleted() const
+{
+    for (const auto &u : units_) {
+        if (u->depleted())
+            return true;
+    }
+    return false;
+}
+
+AmpHours
+Cabinet::dischargeThroughputAh() const
+{
+    // Series string: throughput is the per-unit throughput (identical
+    // current); report the max across units for safety.
+    AmpHours ah = 0.0;
+    for (const auto &u : units_)
+        ah = std::max(ah, u->wear().dischargeThroughput());
+    return ah;
+}
+
+double
+Cabinet::projectedLifeYears(Seconds observed) const
+{
+    double years = units_.front()->wear().projectedLifeYears(observed);
+    for (const auto &u : units_)
+        years = std::min(years, u->wear().projectedLifeYears(observed));
+    return years;
+}
+
+void
+Cabinet::setMode(UnitMode mode)
+{
+    mode_ = mode;
+    switch (mode) {
+      case UnitMode::Offline:
+      case UnitMode::Standby:
+        chargeRelay_.open();
+        dischargeRelay_.open();
+        break;
+      case UnitMode::Charging:
+        chargeRelay_.close();
+        dischargeRelay_.open();
+        break;
+      case UnitMode::Discharging:
+        chargeRelay_.open();
+        dischargeRelay_.close();
+        break;
+    }
+    for (auto &u : units_)
+        u->setMode(mode);
+}
+
+std::uint64_t
+Cabinet::relayOperations() const
+{
+    return chargeRelay_.operations() + dischargeRelay_.operations();
+}
+
+void
+Cabinet::setSoc(double soc)
+{
+    for (auto &u : units_)
+        u->setSoc(soc);
+}
+
+} // namespace insure::battery

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A battery cabinet: a series string of battery units behind a pair of
+ * relays (charge-side, discharge-side), the unit of reconfiguration in the
+ * InSURE e-Buffer. The prototype pairs two 12 V units per cabinet on a
+ * 24 V bus (three cabinets from six batteries).
+ */
+
+#ifndef INSURE_BATTERY_CABINET_HH
+#define INSURE_BATTERY_CABINET_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "battery/battery_unit.hh"
+#include "battery/relay.hh"
+
+namespace insure::battery {
+
+/** A switchable series string of battery units. */
+class Cabinet
+{
+  public:
+    /**
+     * @param name identifier (e.g. "cab0")
+     * @param params per-unit parameters
+     * @param series_count number of 12 V units in series (>= 1)
+     * @param initialSoc starting state of charge of every unit
+     */
+    Cabinet(std::string name, const BatteryParams &params,
+            unsigned series_count = 2, double initialSoc = 0.9);
+
+    const std::string &name() const { return name_; }
+
+    /** Number of series units. */
+    unsigned seriesCount() const { return static_cast<unsigned>(units_.size()); }
+
+    /** Access a unit. */
+    BatteryUnit &unit(unsigned i) { return *units_[i]; }
+    const BatteryUnit &unit(unsigned i) const { return *units_[i]; }
+
+    /** Mean state of charge across units. */
+    double soc() const;
+
+    /** String terminal voltage at the given current (+ = discharge). */
+    Volts terminalVoltage(Amperes current) const;
+
+    /** String open-circuit voltage. */
+    Volts openCircuitVoltage() const;
+
+    /** Nominal string voltage. */
+    Volts nominalVoltage() const;
+
+    /** Stored energy across all units, watt-hours. */
+    WattHours storedEnergyWh() const;
+
+    /** Full-charge capacity across all units, watt-hours. */
+    WattHours capacityWh() const;
+
+    /** Rated capacity of the string, ampere-hours. */
+    AmpHours capacityAh() const;
+
+    /** Safe discharge current for @p dt seconds (min across units). */
+    Amperes safeDischargeCurrent(Seconds dt) const;
+
+    /** Largest charger bus current any unit will accept right now. */
+    Amperes acceptanceCurrent() const;
+
+    /** Discharge the string at @p current for @p dt. */
+    DischargeResult discharge(Amperes current, Seconds dt);
+
+    /** Charge the string with @p bus_current of charger output for @p dt. */
+    ChargeResult charge(Amperes bus_current, Seconds dt);
+
+    /** Rest all units for @p dt. */
+    void rest(Seconds dt);
+
+    /** True when every unit reached the charged threshold. */
+    bool charged() const;
+
+    /** True when any unit is at the discharge floor. */
+    bool depleted() const;
+
+    /** Aggregated discharge throughput of the string, ampere-hours. */
+    AmpHours dischargeThroughputAh() const;
+
+    /** Projected service life (min across units), years. */
+    double projectedLifeYears(Seconds observed) const;
+
+    /** Operating mode; setting it drives the relay pair. */
+    UnitMode mode() const { return mode_; }
+
+    /** Set the mode, actuating the charge/discharge relays. */
+    void setMode(UnitMode mode);
+
+    /** Charge-side relay (for telemetry). */
+    const Relay &chargeRelay() const { return chargeRelay_; }
+
+    /** Discharge-side relay (for telemetry). */
+    const Relay &dischargeRelay() const { return dischargeRelay_; }
+
+    /** Total relay operations (maintenance statistic). */
+    std::uint64_t relayOperations() const;
+
+    /** Force SoC on all units (scenario setup). */
+    void setSoc(double soc);
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<BatteryUnit>> units_;
+    Relay chargeRelay_;
+    Relay dischargeRelay_;
+    UnitMode mode_ = UnitMode::Standby;
+};
+
+} // namespace insure::battery
+
+#endif // INSURE_BATTERY_CABINET_HH

@@ -1,0 +1,58 @@
+#include "battery/charge_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace insure::battery {
+
+ChargeModel::ChargeModel(const BatteryParams &params) : params_(params)
+{
+}
+
+Amperes
+ChargeModel::acceptanceCurrent(double soc) const
+{
+    soc = std::clamp(soc, 0.0, 1.0);
+    if (soc >= 1.0)
+        return 0.0;
+    if (soc <= params_.absorptionSoc)
+        return params_.maxChargeCurrent;
+    const double over = soc - params_.absorptionSoc;
+    return params_.maxChargeCurrent *
+           std::exp(-over / params_.acceptanceTaper);
+}
+
+double
+ChargeModel::efficiency(Amperes current) const
+{
+    if (current <= 0.0)
+        return 0.0;
+    const double rate = current / params_.capacityAh; // C-rate
+    return params_.chargeEtaMax * rate / (rate + params_.chargeEtaHalfRate);
+}
+
+Amperes
+ChargeModel::effectiveChargeCurrent(Amperes bus_current, double soc) const
+{
+    if (bus_current <= 0.0)
+        return 0.0;
+    const Amperes into_cell =
+        std::max(0.0, bus_current - params_.parasiticBusCurrent);
+    const Amperes accepted = std::min(into_cell, acceptanceCurrent(soc));
+    return accepted * efficiency(accepted);
+}
+
+Watts
+ChargeModel::busPower(Amperes bus_current) const
+{
+    return bus_current * params_.absorptionVoltage;
+}
+
+Watts
+ChargeModel::peakChargePower() const
+{
+    return busPower(params_.maxChargeCurrent +
+                    params_.parasiticBusCurrent);
+}
+
+} // namespace insure::battery

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Charging-side electrochemistry: acceptance limits and coulombic
+ * efficiency.
+ *
+ * Acceptance: a lead-acid cell accepts its full rated charge current only
+ * below the absorption threshold; above it the acceptable current tapers
+ * exponentially (the constant-voltage phase of CC-CV charging).
+ *
+ * Efficiency: the fraction of supplied charge actually stored follows a
+ * saturating curve in the C-rate. Trickle currents are dominated by gassing
+ * and self-discharge losses, which is what makes *concentrating* a small
+ * solar budget on few units faster than batch-charging all of them
+ * (paper Fig. 4-a). The constants live in BatteryParams and are calibrated
+ * against the paper's measured ~50% charge-time gap; see DESIGN.md §4.
+ */
+
+#ifndef INSURE_BATTERY_CHARGE_MODEL_HH
+#define INSURE_BATTERY_CHARGE_MODEL_HH
+
+#include "battery/battery_params.hh"
+#include "sim/units.hh"
+
+namespace insure::battery {
+
+/** Charging behaviour of one battery unit. */
+class ChargeModel
+{
+  public:
+    explicit ChargeModel(const BatteryParams &params);
+
+    /**
+     * Maximum current the cell will accept at state of charge @p soc
+     * (rated CC current below absorption, exponential taper above).
+     */
+    Amperes acceptanceCurrent(double soc) const;
+
+    /**
+     * Coulombic efficiency of charging at bus current @p current: the
+     * fraction of the current that ends up as stored charge.
+     */
+    double efficiency(Amperes current) const;
+
+    /**
+     * Stored (effective) charging current when the bus supplies
+     * @p bus_current amperes to a unit at state of charge @p soc: applies
+     * the acceptance cap, the efficiency curve, and the parasitic draw.
+     */
+    Amperes effectiveChargeCurrent(Amperes bus_current, double soc) const;
+
+    /**
+     * Bus power consumed by a unit charging at @p bus_current (uses the
+     * absorption bus voltage).
+     */
+    Watts busPower(Amperes bus_current) const;
+
+    /** Peak charging power of one unit (rated current at bus voltage). */
+    Watts peakChargePower() const;
+
+  private:
+    const BatteryParams params_;
+};
+
+} // namespace insure::battery
+
+#endif // INSURE_BATTERY_CHARGE_MODEL_HH

@@ -1,0 +1,98 @@
+#include "battery/kibam.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace insure::battery {
+
+Kibam::Kibam(AmpHours capacityAh, double c, double kPrime, double initialSoc)
+    : cap_(capacityAh), c_(c), kPrime_(kPrime)
+{
+    if (capacityAh <= 0.0 || c <= 0.0 || c >= 1.0 || kPrime <= 0.0)
+        fatal("Kibam: invalid parameters (cap=%f c=%f k'=%f)", capacityAh, c,
+              kPrime);
+    setSoc(initialSoc);
+}
+
+void
+Kibam::setSoc(double soc)
+{
+    soc = std::clamp(soc, 0.0, 1.0);
+    y1_ = c_ * cap_ * soc;
+    y2_ = (1.0 - c_) * cap_ * soc;
+}
+
+double
+Kibam::soc() const
+{
+    return std::clamp((y1_ + y2_) / cap_, 0.0, 1.0);
+}
+
+double
+Kibam::availableFraction() const
+{
+    return std::clamp(y1_ / (c_ * cap_), 0.0, 1.0);
+}
+
+bool
+Kibam::exhausted() const
+{
+    return y1_ <= 1e-9;
+}
+
+AmpHours
+Kibam::step(Amperes current, Seconds dt)
+{
+    if (dt <= 0.0)
+        return 0.0;
+
+    const double t = units::toHours(dt);
+    const double k = kPrime_;
+    const double e = std::exp(-k * t);
+    const double q0 = y1_ + y2_;
+    const double requested = current * t;
+
+    // Closed-form constant-current KiBaM step (Manwell & McGowan).
+    const double y1 = y1_ * e + (q0 * k * c_ - current) * (1.0 - e) / k -
+                      current * c_ * (k * t - 1.0 + e) / k;
+    const double y2 = y2_ * e + q0 * (1.0 - c_) * (1.0 - e) -
+                      current * (1.0 - c_) * (k * t - 1.0 + e) / k;
+
+    // Clamp both wells to their physical bounds and account the rejected
+    // charge exactly from conservation: whatever the clamped state did
+    // not absorb (charge) or could not supply (discharge) goes back to
+    // the caller. Clamping both wells independently would otherwise
+    // create or destroy charge at the boundaries.
+    y1_ = std::clamp(y1, 0.0, c_ * cap_);
+    y2_ = std::clamp(y2, 0.0, (1.0 - c_) * cap_);
+    const double q_after = y1_ + y2_;
+
+    AmpHours rejected = 0.0;
+    if (current > 0.0)
+        rejected = requested - (q0 - q_after);
+    else if (current < 0.0)
+        rejected = -requested - (q_after - q0);
+    if (std::fabs(rejected) < 1e-9)
+        rejected = 0.0; // numerical noise from the closed form
+    return std::clamp(rejected, 0.0, std::fabs(requested));
+}
+
+Amperes
+Kibam::maxDischargeCurrent(Seconds dt) const
+{
+    if (dt <= 0.0)
+        return 0.0;
+    const double t = units::toHours(dt);
+    const double k = kPrime_;
+    const double e = std::exp(-k * t);
+    const double q0 = y1_ + y2_;
+    const double denom = (1.0 - e) + c_ * (k * t - 1.0 + e);
+    if (denom <= 0.0)
+        return 0.0;
+    const double imax = (y1_ * e * k + q0 * k * c_ * (1.0 - e)) / denom;
+    return std::max(0.0, imax);
+}
+
+} // namespace insure::battery

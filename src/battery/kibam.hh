@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Kinetic Battery Model (KiBaM).
+ *
+ * Charge is split across two wells: an available well (fraction c of
+ * capacity) that supplies load current directly, and a bound well that
+ * replenishes the available well at a finite rate k'. The model therefore
+ * exhibits the two lead-acid behaviours InSURE exploits (paper Fig. 4-b):
+ *
+ *  - rate-capacity effect: sustained high current drains the available well
+ *    faster than the bound well can refill it, so usable capacity shrinks;
+ *  - recovery effect: at low or zero current the bound well re-equilibrates
+ *    into the available well, restoring apparent capacity.
+ *
+ * The analytic constant-current step (Manwell & McGowan) is used, so any
+ * step size is exact for a constant current segment.
+ */
+
+#ifndef INSURE_BATTERY_KIBAM_HH
+#define INSURE_BATTERY_KIBAM_HH
+
+#include "sim/units.hh"
+
+namespace insure::battery {
+
+/** Two-well kinetic charge model for one battery unit. */
+class Kibam
+{
+  public:
+    /**
+     * @param capacityAh total capacity of both wells
+     * @param c fraction of capacity in the available well (0 < c < 1)
+     * @param kPrime modified rate constant, 1/hour
+     * @param initialSoc starting state of charge in [0, 1]
+     */
+    Kibam(AmpHours capacityAh, double c, double kPrime,
+          double initialSoc = 1.0);
+
+    /**
+     * Advance the model by @p dt seconds with constant current @p current
+     * (positive = discharge, negative = charge). Charge that would overfill
+     * or underflow the wells is clipped; the clipped charge is returned so
+     * the caller can account for rejected energy.
+     *
+     * @return ampere-hours of requested transfer that could NOT be honoured
+     *         (0 when the step executed fully).
+     */
+    AmpHours step(Amperes current, Seconds dt);
+
+    /** Total state of charge (both wells) in [0, 1]. */
+    double soc() const;
+
+    /** Fill level of the available well in [0, 1]; drives terminal voltage. */
+    double availableFraction() const;
+
+    /** Ampere-hours in the available well. */
+    AmpHours availableCharge() const { return y1_; }
+
+    /** Ampere-hours in the bound well. */
+    AmpHours boundCharge() const { return y2_; }
+
+    /** Total capacity of the model. */
+    AmpHours capacity() const { return cap_; }
+
+    /** True when the available well cannot support further discharge. */
+    bool exhausted() const;
+
+    /**
+     * Maximum constant discharge current sustainable for @p dt seconds
+     * before the available well empties (used for safe-discharge capping).
+     */
+    Amperes maxDischargeCurrent(Seconds dt) const;
+
+    /** Force the state of charge (wells set to equilibrium split). */
+    void setSoc(double soc);
+
+  private:
+    AmpHours cap_;
+    double c_;
+    double kPrime_;
+    AmpHours y1_;
+    AmpHours y2_;
+};
+
+} // namespace insure::battery
+
+#endif // INSURE_BATTERY_KIBAM_HH

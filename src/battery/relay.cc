@@ -1,0 +1,27 @@
+#include "battery/relay.hh"
+
+namespace insure::battery {
+
+Relay::Relay(std::string name, RelayParams params)
+    : name_(std::move(name)), params_(params)
+{
+}
+
+bool
+Relay::set(bool closed)
+{
+    if (closed == closed_)
+        return false;
+    closed_ = closed;
+    ++operations_;
+    return true;
+}
+
+double
+Relay::wearFraction()
+ const
+{
+    return operations_ / params_.mechanicalLife;
+}
+
+} // namespace insure::battery

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Electromechanical relay model.
+ *
+ * Each battery cabinet is managed by a pair of relays (charge-side and
+ * discharge-side) driven from the PLC's digital outputs. The model tracks
+ * contact state and mechanical wear; the 25 ms switching time is far below
+ * the 1 s physics tick, so transients are not modelled electrically but the
+ * switch count feeds the maintenance statistics.
+ */
+
+#ifndef INSURE_BATTERY_RELAY_HH
+#define INSURE_BATTERY_RELAY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "battery/battery_params.hh"
+
+namespace insure::battery {
+
+/** A single SPST relay contact. */
+class Relay
+{
+  public:
+    /**
+     * @param name identifier for logs
+     * @param params mechanical parameters
+     */
+    explicit Relay(std::string name, RelayParams params = {});
+
+    /** True when the contact is closed (conducting). */
+    bool closed() const { return closed_; }
+
+    /**
+     * Command the contact. Returns true if the state changed (each change
+     * consumes one mechanical operation).
+     */
+    bool set(bool closed);
+
+    /** Convenience: close the contact. */
+    bool close() { return set(true); }
+
+    /** Convenience: open the contact. */
+    bool open() { return set(false); }
+
+    /** Number of state changes so far. */
+    std::uint64_t operations() const { return operations_; }
+
+    /** Fraction of rated mechanical life consumed. */
+    double wearFraction() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    RelayParams params_;
+    bool closed_ = false;
+    std::uint64_t operations_ = 0;
+};
+
+} // namespace insure::battery
+
+#endif // INSURE_BATTERY_RELAY_HH

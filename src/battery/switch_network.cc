@@ -1,0 +1,80 @@
+#include "battery/switch_network.hh"
+
+namespace insure::battery {
+
+const char *
+busTopologyName(BusTopology topo)
+{
+    switch (topo) {
+      case BusTopology::Parallel: return "parallel";
+      case BusTopology::Series: return "series";
+      case BusTopology::Invalid: return "invalid";
+    }
+    return "?";
+}
+
+SwitchNetwork::SwitchNetwork() : p1_("net.p1"), p2_("net.p2"), p3_("net.p3")
+{
+    selectParallel();
+}
+
+void
+SwitchNetwork::set(bool p1, bool p2, bool p3)
+{
+    p1_.set(p1);
+    p2_.set(p2);
+    p3_.set(p3);
+}
+
+BusTopology
+SwitchNetwork::topology() const
+{
+    const bool p1 = p1_.closed();
+    const bool p2 = p2_.closed();
+    const bool p3 = p3_.closed();
+    if (p1 && !p2 && p3)
+        return BusTopology::Parallel;
+    if (!p1 && p2 && !p3)
+        return BusTopology::Series;
+    // Any combination closing the series link together with a parallel tie
+    // would short a cabinet; treated as invalid and left disconnected.
+    return BusTopology::Invalid;
+}
+
+Volts
+SwitchNetwork::busVoltage(Volts cabinet_voltage,
+                          unsigned cabinet_count) const
+{
+    switch (topology()) {
+      case BusTopology::Parallel:
+        return cabinet_voltage;
+      case BusTopology::Series:
+        return cabinet_voltage * cabinet_count;
+      case BusTopology::Invalid:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+AmpHours
+SwitchNetwork::busCapacityAh(AmpHours cabinet_ah,
+                             unsigned cabinet_count) const
+{
+    switch (topology()) {
+      case BusTopology::Parallel:
+        return cabinet_ah * cabinet_count;
+      case BusTopology::Series:
+        return cabinet_ah;
+      case BusTopology::Invalid:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+std::uint64_t
+SwitchNetwork::operations() const
+{
+    return p1_.operations() + p2_.operations() + p3_.operations();
+}
+
+} // namespace insure::battery

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The P1/P2/P3 power-switch network of paper Fig. 6.
+ *
+ * Three bus switches select how the cabinets aggregate onto the DC bus:
+ * P1 and P3 closed with P2 open connects the cabinets in parallel (bus
+ * voltage = one cabinet, ampere-hours add); P2 closed with P1/P3 open
+ * connects them in series (voltages add, ampere-hours = one cabinet). The
+ * network validates switch combinations and reports the resulting bus
+ * ratings.
+ */
+
+#ifndef INSURE_BATTERY_SWITCH_NETWORK_HH
+#define INSURE_BATTERY_SWITCH_NETWORK_HH
+
+#include "battery/relay.hh"
+#include "sim/units.hh"
+
+namespace insure::battery {
+
+/** Aggregation of cabinets onto the DC bus. */
+enum class BusTopology {
+    /** Cabinets in parallel: common voltage, capacities add. */
+    Parallel,
+    /** Cabinets in series: voltages add, common capacity. */
+    Series,
+    /** Invalid/unsafe switch combination; bus is disconnected. */
+    Invalid,
+};
+
+/** Printable name of a topology. */
+const char *busTopologyName(BusTopology topo);
+
+/** The three-switch reconfiguration network. */
+class SwitchNetwork
+{
+  public:
+    SwitchNetwork();
+
+    /** Command the three switches. */
+    void set(bool p1, bool p2, bool p3);
+
+    /** Convenience: select the parallel topology. */
+    void selectParallel() { set(true, false, true); }
+
+    /** Convenience: select the series topology. */
+    void selectSeries() { set(false, true, false); }
+
+    bool p1() const { return p1_.closed(); }
+    bool p2() const { return p2_.closed(); }
+    bool p3() const { return p3_.closed(); }
+
+    /** Topology implied by the current switch states. */
+    BusTopology topology() const;
+
+    /**
+     * Bus voltage for @p cabinet_voltage volts per cabinet and
+     * @p cabinet_count cabinets (0 when the topology is invalid).
+     */
+    Volts busVoltage(Volts cabinet_voltage, unsigned cabinet_count) const;
+
+    /**
+     * Bus ampere-hour rating for @p cabinet_ah per cabinet and
+     * @p cabinet_count cabinets (0 when the topology is invalid).
+     */
+    AmpHours busCapacityAh(AmpHours cabinet_ah,
+                           unsigned cabinet_count) const;
+
+    /** Total switch operations (maintenance statistic). */
+    std::uint64_t operations() const;
+
+  private:
+    Relay p1_;
+    Relay p2_;
+    Relay p3_;
+};
+
+} // namespace insure::battery
+
+#endif // INSURE_BATTERY_SWITCH_NETWORK_HH

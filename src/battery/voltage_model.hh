@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Terminal-voltage model for a 12 V lead-acid unit.
+ *
+ * Open-circuit voltage follows a piecewise-linear curve over the *available
+ * well* fill level (not total SoC), so sustained high-current discharge
+ * produces the fast voltage sag — and subsequent recovery — seen in the
+ * paper's Fig. 4(b). An ohmic IR term is added for the loaded terminal
+ * voltage.
+ */
+
+#ifndef INSURE_BATTERY_VOLTAGE_MODEL_HH
+#define INSURE_BATTERY_VOLTAGE_MODEL_HH
+
+#include "battery/battery_params.hh"
+#include "sim/units.hh"
+
+namespace insure::battery {
+
+/** Maps electrochemical state to terminal voltage. */
+class VoltageModel
+{
+  public:
+    explicit VoltageModel(const BatteryParams &params);
+
+    /**
+     * Open-circuit voltage for an available-well fill level in [0, 1].
+     */
+    Volts openCircuit(double available_frac) const;
+
+    /**
+     * Loaded terminal voltage.
+     * @param available_frac available-well fill level in [0, 1]
+     * @param current positive = discharge, negative = charge (amperes)
+     */
+    Volts terminal(double available_frac, Amperes current) const;
+
+    /** True when the loaded terminal voltage is below the cutoff. */
+    bool belowCutoff(double available_frac, Amperes current) const;
+
+    /**
+     * Largest discharge current keeping the terminal voltage at or above
+     * the cutoff for the given available-well level (0 when already below).
+     */
+    Amperes maxCurrentAboveCutoff(double available_frac) const;
+
+  private:
+    const BatteryParams params_;
+};
+
+} // namespace insure::battery
+
+#endif // INSURE_BATTERY_VOLTAGE_MODEL_HH

@@ -1,0 +1,49 @@
+#include "battery/wear_model.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace insure::battery {
+
+WearModel::WearModel(const BatteryParams &params) : params_(params)
+{
+}
+
+void
+WearModel::recordDischarge(AmpHours ah)
+{
+    if (ah < 0.0)
+        panic("WearModel: negative discharge throughput %f", ah);
+    discharged_ += ah;
+}
+
+void
+WearModel::recordCharge(AmpHours ah)
+{
+    if (ah < 0.0)
+        panic("WearModel: negative charge throughput %f", ah);
+    charged_ += ah;
+}
+
+double
+WearModel::remainingFraction() const
+{
+    const double used = discharged_ / params_.lifetimeThroughputAh;
+    return std::max(0.0, 1.0 - used);
+}
+
+double
+WearModel::projectedLifeYears(Seconds observed) const
+{
+    if (observed <= 0.0 || discharged_ <= 0.0)
+        return params_.calendarLifeYears;
+    const double years =
+        observed / (units::secPerDay * units::daysPerYear);
+    const double ah_per_year = discharged_ / years;
+    const double throughput_years =
+        params_.lifetimeThroughputAh / ah_per_year;
+    return std::min(throughput_years, params_.calendarLifeYears);
+}
+
+} // namespace insure::battery

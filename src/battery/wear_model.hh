@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ampere-hour throughput wear model.
+ *
+ * Cycle-life testing of valve-regulated lead-acid cells shows the total
+ * electric charge that can flow through a cell before wear-out is roughly
+ * constant across charge/discharge regimes (paper ref. [56]). The wear
+ * model therefore tracks cumulative discharge throughput and projects the
+ * remaining service life from the observed usage rate, bounded by the
+ * calendar life.
+ */
+
+#ifndef INSURE_BATTERY_WEAR_MODEL_HH
+#define INSURE_BATTERY_WEAR_MODEL_HH
+
+#include "battery/battery_params.hh"
+#include "sim/units.hh"
+
+namespace insure::battery {
+
+/** Tracks ageing of one battery unit. */
+class WearModel
+{
+  public:
+    explicit WearModel(const BatteryParams &params);
+
+    /** Record @p ah ampere-hours of discharge throughput. */
+    void recordDischarge(AmpHours ah);
+
+    /** Record @p ah ampere-hours of charge throughput (tracked separately). */
+    void recordCharge(AmpHours ah);
+
+    /** Cumulative discharge throughput. */
+    AmpHours dischargeThroughput() const { return discharged_; }
+
+    /** Cumulative charge throughput. */
+    AmpHours chargeThroughput() const { return charged_; }
+
+    /** Fraction of lifetime throughput remaining, in [0, 1]. */
+    double remainingFraction() const;
+
+    /** True once the throughput budget is exhausted. */
+    bool wornOut() const { return remainingFraction() <= 0.0; }
+
+    /**
+     * Projected service life in years, assuming the discharge rate observed
+     * over @p observed seconds continues, capped at the calendar life.
+     * With no observed discharge the calendar life is returned.
+     */
+    double projectedLifeYears(Seconds observed) const;
+
+  private:
+    const BatteryParams params_;
+    AmpHours discharged_ = 0.0;
+    AmpHours charged_ = 0.0;
+};
+
+} // namespace insure::battery
+
+#endif // INSURE_BATTERY_WEAR_MODEL_HH

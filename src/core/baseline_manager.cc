@@ -1,0 +1,106 @@
+#include "core/baseline_manager.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace insure::core {
+
+using battery::UnitMode;
+
+BaselineManager::BaselineManager(const BaselineParams &params,
+                                 std::shared_ptr<NodeAllocator> allocator)
+    : params_(params), allocator_(std::move(allocator))
+{
+    if (!allocator_)
+        fatal("BaselineManager: allocator is required");
+}
+
+ControlActions
+BaselineManager::control(const SystemView &view)
+{
+    ControlActions act;
+    act.cabinetModes.resize(view.cabinets.size());
+    act.dutyCycle = 1.0; // no duty-cycle capping in the baseline
+
+    // Unified-buffer health check: minimum SoC and per-unit voltage across
+    // the string (one weak cabinet trips the whole buffer).
+    double min_soc = 1.0;
+    double mean_soc = 0.0;
+    bool voltage_trip = false;
+    const unsigned series = std::max(1u, view.seriesPerCabinet);
+    for (const auto &c : view.cabinets) {
+        min_soc = std::min(min_soc, c.soc);
+        mean_soc += c.soc;
+        if (c.current > 0.5 &&
+            c.voltage / series < params_.cutoffPerUnit) {
+            voltage_trip = true;
+        }
+        // Hardware protection may have already disconnected cabinets; the
+        // unified controller reacts by entering a recharge lockout.
+        if (c.mode == UnitMode::Offline)
+            voltage_trip = true;
+    }
+    mean_soc /= view.cabinets.size();
+
+    if (!lockout_ && (voltage_trip || min_soc < params_.protectSoc)) {
+        lockout_ = true;
+        ++lockoutCount_;
+        countActions();
+    }
+    if (lockout_ && mean_soc >= params_.rechargeTargetSoc) {
+        lockout_ = false;
+        countActions();
+    }
+
+    // Unified-buffer limitation (paper §2.3): the whole string operates
+    // in EITHER charging or discharging mode — it cannot absorb surplus
+    // while backstopping the load. Under sustained surplus with an
+    // uncharged buffer the string switches to the charge bus and the
+    // servers ride on raw solar (the brittle Fig. 5 regime); otherwise it
+    // floats on the load bus.
+    const bool surplus_mode =
+        !lockout_ &&
+        view.solarPowerAvg > view.loadPower * 1.1 + 100.0 &&
+        mean_soc < params_.rechargeTargetSoc;
+    const UnitMode unified = (lockout_ || surplus_mode)
+                                 ? UnitMode::Charging
+                                 : UnitMode::Standby;
+    std::fill(act.cabinetModes.begin(), act.cabinetModes.end(), unified);
+
+    // Batch charging: every cabinet shares the surplus evenly.
+    act.chargePlan.splitEvenly = true;
+    for (unsigned i = 0; i < view.cabinets.size(); ++i)
+        act.chargePlan.cabinets.push_back(i);
+
+    // Renewable tracking + peak shaving for the load.
+    Watts budget = view.solarPowerAvg;
+    if (lockout_) {
+        // Servers ride on direct solar alone; leave a safety margin for
+        // irradiance dips within the control period.
+        budget *= 0.6;
+    } else if (unified == UnitMode::Charging) {
+        // Buffer is on the charge bus: the load tracks raw solar with no
+        // battery behind it (supply dips within the period hit the rack).
+        budget *= 0.9;
+    } else {
+        budget += params_.batteryAssist;
+    }
+    const Watts cap =
+        params_.peakShaveFraction * allocator_->powerForVms(
+                                        allocator_->totalSlots(), 1.0);
+    budget = std::min(budget, cap);
+
+    unsigned target = allocator_->vmsForPower(budget, 1.0);
+    if (view.backlog <= 0.0)
+        target = 0;
+    // Restart backoff after a power failure (crash-loop protection).
+    if (view.lastPowerFailureAge < params_.restartBackoff)
+        target = 0;
+    if (target != view.activeVms)
+        countActions();
+    act.targetVms = target;
+    return act;
+}
+
+} // namespace insure::core

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The baseline power manager (paper §6.4).
+ *
+ * Adopts the power-management approach of state-of-the-art grid-connected
+ * green data centers (Parasol / iSwitch style): it shaves peak power and
+ * tracks the variable renewable supply by sizing the VM count to the solar
+ * budget, but it can neither reconfigure the energy buffer nor adapt to
+ * off-grid operation:
+ *
+ *  - the e-Buffer is UNIFIED: all cabinets charge together (budget split
+ *    evenly) or discharge together; no per-cabinet modes;
+ *  - there is no discharge-current capping and no wear balancing;
+ *  - when the buffer trips its protection (voltage/SoC), the whole string
+ *    disconnects for recharge and the servers ride on direct solar alone,
+ *    usually shutting down (the Fig. 5 behaviour).
+ */
+
+#ifndef INSURE_CORE_BASELINE_MANAGER_HH
+#define INSURE_CORE_BASELINE_MANAGER_HH
+
+#include <memory>
+
+#include "core/node_allocator.hh"
+#include "core/power_manager.hh"
+
+namespace insure::core {
+
+/** Tuning of the baseline policy. */
+struct BaselineParams {
+    /** SoC that ends a recharge lockout (buffer considered full). */
+    double rechargeTargetSoc = 0.90;
+    /**
+     * SoC protection threshold tripping the unified buffer offline. Sits
+     * just above the cell-level discharge floor so the controller (not
+     * repeated bus collapses) initiates the recharge.
+     */
+    double protectSoc = 0.22;
+    /** String voltage protection threshold, per 12 V unit. */
+    Volts cutoffPerUnit = 11.8;
+    /** Peak-shaving cap as a fraction of rack peak power. */
+    double peakShaveFraction = 1.0;
+    /** Battery assist the tracker assumes available, watts. */
+    Watts batteryAssist = 1200.0;
+    /** Hold-down time after a rack power failure, seconds. */
+    Seconds restartBackoff = 900.0;
+};
+
+/** Grid-style green-datacenter management on a standalone system. */
+class BaselineManager : public PowerManager
+{
+  public:
+    BaselineManager(const BaselineParams &params,
+                    std::shared_ptr<NodeAllocator> allocator);
+
+    const char *name() const override { return "baseline"; }
+
+    ControlActions control(const SystemView &view) override;
+
+    /** True while the unified buffer is in a recharge lockout. */
+    bool inLockout() const { return lockout_; }
+
+    /** Lockout episodes entered so far. */
+    std::uint64_t lockouts() const { return lockoutCount_; }
+
+  private:
+    BaselineParams params_;
+    std::shared_ptr<NodeAllocator> allocator_;
+    bool lockout_ = false;
+    std::uint64_t lockoutCount_ = 0;
+};
+
+} // namespace insure::core
+
+#endif // INSURE_CORE_BASELINE_MANAGER_HH

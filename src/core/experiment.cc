@@ -1,0 +1,249 @@
+#include "core/experiment.hh"
+
+#include <memory>
+
+#include "server/node_params.hh"
+#include "sim/config.hh"
+#include "sim/logging.hh"
+
+namespace insure::core {
+
+const char *
+managerKindName(ManagerKind k)
+{
+    switch (k) {
+      case ManagerKind::Insure: return "insure";
+      case ManagerKind::Baseline: return "baseline";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Mean power of a (time_s, power_w) trace over [lo, hi] seconds. */
+Watts
+windowAverage(const sim::Trace &trace, Seconds lo, Seconds hi)
+{
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t r = 0; r < trace.rows(); ++r) {
+        const double t = trace.row(r)[0];
+        if (t >= lo && t <= hi) {
+            sum += trace.at(r, "power_w");
+            ++n;
+        }
+    }
+    return n ? sum / n : 0.0;
+}
+
+sim::Trace
+scaleTraceToWindowAverage(const sim::Trace &trace, Watts target)
+{
+    const Watts current =
+        windowAverage(trace, 7.0 * units::secPerHour,
+                      20.0 * units::secPerHour);
+    if (current <= 0.0)
+        fatal("experiment: zero-power solar trace cannot be scaled");
+    const double k = target / current;
+    sim::Trace out(trace.columns());
+    const int pcol = trace.columnIndex("power_w");
+    for (std::size_t r = 0; r < trace.rows(); ++r) {
+        auto row = trace.row(r);
+        row[pcol] *= k;
+        out.append(row);
+    }
+    return out;
+}
+
+std::unique_ptr<PowerManager>
+makeManager(const ExperimentConfig &cfg,
+            std::shared_ptr<NodeAllocator> allocator)
+{
+    switch (cfg.manager) {
+      case ManagerKind::Insure:
+        return std::make_unique<InsureManager>(cfg.insure, allocator);
+      case ManagerKind::Baseline:
+        return std::make_unique<BaselineManager>(cfg.baseline, allocator);
+    }
+    fatal("experiment: unknown manager kind");
+}
+
+} // namespace
+
+sim::Trace
+buildSolarTrace(const ExperimentConfig &cfg)
+{
+    sim::Trace trace = solar::SolarSource::generateDayTrace(
+        cfg.day, cfg.seed, solar::PvPanelParams{}, 10.0);
+    if (cfg.targetDailyKwh) {
+        trace = solar::SolarSource::scaleTraceToEnergy(
+            trace, *cfg.targetDailyKwh * 1000.0);
+    }
+    if (cfg.scaleToAvgWatts)
+        trace = scaleTraceToWindowAverage(trace, *cfg.scaleToAvgWatts);
+    return trace;
+}
+
+ExperimentResult
+runExperiment(const ExperimentConfig &cfg)
+{
+    sim::Simulation simulation(cfg.seed);
+
+    SystemConfig system = cfg.system;
+    system.unifiedBuffer = (cfg.manager == ManagerKind::Baseline);
+    system.fastSwitching = (cfg.manager == ManagerKind::Insure);
+
+    auto allocator = std::make_shared<NodeAllocator>(
+        system.node, system.nodeCount, system.profile);
+
+    auto solar = std::make_unique<solar::SolarSource>(buildSolarTrace(cfg));
+
+    InSituSystem plant(simulation, managerKindName(cfg.manager), system,
+                       std::move(solar), makeManager(cfg, allocator));
+    if (cfg.recordTrace)
+        plant.enableTrace(cfg.tracePeriod);
+
+    simulation.runUntil(cfg.duration);
+    simulation.finish();
+
+    ExperimentResult res;
+    res.managerName = managerKindName(cfg.manager);
+    res.metrics = plant.metrics();
+    res.log = plant.dailySummary();
+    if (plant.trace())
+        res.trace = *plant.trace();
+    return res;
+}
+
+ComparisonResult
+runComparison(ExperimentConfig cfg)
+{
+    ComparisonResult out;
+    cfg.manager = ManagerKind::Insure;
+    out.insure = runExperiment(cfg);
+    cfg.manager = ManagerKind::Baseline;
+    out.baseline = runExperiment(cfg);
+    return out;
+}
+
+ExperimentConfig
+seismicExperiment()
+{
+    ExperimentConfig cfg;
+    cfg.system.node = server::xeonNode();
+    cfg.system.nodeCount = 4;
+    cfg.system.profile = workload::seismicProfile();
+    workload::BatchSource::Params batch;
+    batch.jobSize = 114.0;
+    batch.dailyTimes = {8.5 * units::secPerHour, 16.5 * units::secPerHour};
+    cfg.system.batch = batch;
+    return cfg;
+}
+
+ExperimentConfig
+videoExperiment()
+{
+    ExperimentConfig cfg;
+    cfg.system.node = server::xeonNode();
+    cfg.system.nodeCount = 4;
+    cfg.system.profile = workload::videoProfile();
+    workload::StreamSource::Params stream;
+    stream.gbPerMinute = 0.21;
+    stream.chunkPeriod = 60.0;
+    cfg.system.stream = stream;
+    return cfg;
+}
+
+ExperimentConfig
+microExperiment(const std::string &benchmark)
+{
+    ExperimentConfig cfg;
+    cfg.system.node = server::xeonNode();
+    cfg.system.nodeCount = 4;
+    cfg.system.profile = workload::microBenchmark(benchmark);
+
+    // Size arrivals at 90% of peak rack throughput: the kernels iterate
+    // all day but the cluster can catch up when energy allows (the
+    // paper iterates the micro benchmarks against the Fig. 15 traces).
+    const double peak_gb_per_hour =
+        cfg.system.profile.xeonGbPerVmHour * cfg.system.nodeCount *
+        cfg.system.node.vmSlots;
+    workload::StreamSource::Params stream;
+    stream.gbPerMinute = 0.9 * peak_gb_per_hour / 60.0;
+    stream.chunkPeriod = 60.0;
+    stream.windowStart = 7.0 * units::secPerHour;
+    stream.windowEnd = 20.0 * units::secPerHour;
+    cfg.system.stream = stream;
+    return cfg;
+}
+
+ExperimentConfig
+experimentFromConfig(const sim::Config &cfg)
+{
+    const std::string workload =
+        cfg.getString("experiment.workload", "seismic");
+    ExperimentConfig out;
+    if (workload == "seismic")
+        out = seismicExperiment();
+    else if (workload == "video")
+        out = videoExperiment();
+    else
+        out = microExperiment(workload);
+
+    const std::string manager =
+        cfg.getString("experiment.manager", "insure");
+    if (manager == "insure") {
+        out.manager = ManagerKind::Insure;
+    } else if (manager == "baseline") {
+        out.manager = ManagerKind::Baseline;
+    } else if (manager == "noopt") {
+        out.manager = ManagerKind::Insure;
+        out.insure = InsureParams::noOpt();
+    } else {
+        fatal("experimentFromConfig: unknown manager '%s'",
+              manager.c_str());
+    }
+
+    out.duration =
+        units::days(cfg.getDouble("experiment.days", 1.0));
+    out.seed = static_cast<std::uint64_t>(
+        cfg.getInt("experiment.seed", 2015));
+    out.recordTrace = cfg.getBool("experiment.record_trace", false);
+
+    const std::string day = cfg.getString("solar.day", "sunny");
+    if (day == "sunny")
+        out.day = solar::DayClass::Sunny;
+    else if (day == "cloudy")
+        out.day = solar::DayClass::Cloudy;
+    else if (day == "rainy")
+        out.day = solar::DayClass::Rainy;
+    else
+        fatal("experimentFromConfig: unknown day '%s'", day.c_str());
+    if (cfg.has("solar.kwh"))
+        out.targetDailyKwh = cfg.getDouble("solar.kwh");
+    if (cfg.has("solar.avg_watts"))
+        out.scaleToAvgWatts = cfg.getDouble("solar.avg_watts");
+
+    out.system.nodeCount = static_cast<unsigned>(
+        cfg.getInt("system.nodes", 4));
+    if (cfg.getBool("system.lowpower", false))
+        out.system.node = server::lowPowerNode();
+    out.system.cabinetCount = static_cast<unsigned>(
+        cfg.getInt("system.cabinets", 3));
+    out.system.initialSoc =
+        cfg.getDouble("system.initial_soc", out.system.initialSoc);
+    if (cfg.has("system.secondary_watts")) {
+        SecondaryPowerParams sp;
+        sp.capacity = cfg.getDouble("system.secondary_watts");
+        out.system.secondary = sp;
+    }
+
+    const auto unused = cfg.unusedKeys();
+    if (!unused.empty()) {
+        fatal("experimentFromConfig: unknown key '%s'",
+              unused.front().c_str());
+    }
+    return out;
+}
+
+} // namespace insure::core

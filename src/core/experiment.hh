@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Experiment harness: one-call construction and execution of a full
+ * in-situ system run, plus paired InSURE-vs-baseline comparisons on
+ * identical solar traces (the paper's trace-replay methodology, §5).
+ */
+
+#ifndef INSURE_CORE_EXPERIMENT_HH
+#define INSURE_CORE_EXPERIMENT_HH
+
+#include <optional>
+#include <string>
+
+#include "core/baseline_manager.hh"
+#include "core/in_situ_system.hh"
+#include "core/insure_manager.hh"
+#include "sim/config.hh"
+
+namespace insure::core {
+
+/** Which power manager an experiment uses. */
+enum class ManagerKind {
+    Insure,
+    Baseline,
+};
+
+/** Printable name of a manager kind. */
+const char *managerKindName(ManagerKind k);
+
+/** Complete description of one experiment run. */
+struct ExperimentConfig {
+    /** Policy under test. */
+    ManagerKind manager = ManagerKind::Insure;
+    /** Plant configuration (workload/profile/sources set by helpers). */
+    SystemConfig system;
+    /** Weather class of the generated solar day. */
+    solar::DayClass day = solar::DayClass::Sunny;
+    /** Seed for the solar trace and all stochastic processes. */
+    std::uint64_t seed = 2015;
+    /** Scale the solar trace to this many kWh per day (optional). */
+    std::optional<double> targetDailyKwh;
+    /**
+     * Scale the solar trace so the 7:00-20:00 average equals this many
+     * watts (the paper's Fig. 15 trace normalisation; optional).
+     */
+    std::optional<double> scaleToAvgWatts;
+    /** Run length, seconds. */
+    Seconds duration = units::secPerDay;
+    /** Record a system trace. */
+    bool recordTrace = false;
+    /** Trace sampling period, seconds. */
+    Seconds tracePeriod = 30.0;
+    /** InSURE policy tuning (used when manager == Insure). */
+    InsureParams insure;
+    /** Baseline policy tuning (used when manager == Baseline). */
+    BaselineParams baseline;
+};
+
+/** Outputs of one run. */
+struct ExperimentResult {
+    std::string managerName;
+    Metrics metrics;
+    telemetry::DailyLogSummary log;
+    std::optional<sim::Trace> trace;
+};
+
+/** Paired run of both policies on the same solar trace. */
+struct ComparisonResult {
+    ExperimentResult insure;
+    ExperimentResult baseline;
+};
+
+/**
+ * Build the solar power trace an experiment will replay (exposed so
+ * benches can inspect or persist it).
+ */
+sim::Trace buildSolarTrace(const ExperimentConfig &cfg);
+
+/** Execute one experiment. */
+ExperimentResult runExperiment(const ExperimentConfig &cfg);
+
+/** Execute InSURE and the baseline on the identical solar trace. */
+ComparisonResult runComparison(ExperimentConfig cfg);
+
+/** Default configuration for the seismic batch case study (Table 2). */
+ExperimentConfig seismicExperiment();
+
+/** Default configuration for the video stream case study (Table 3). */
+ExperimentConfig videoExperiment();
+
+/**
+ * Default configuration for a continuously iterated micro-benchmark
+ * (Figs. 17-19): arrivals oversubscribe the rack so work is never scarce.
+ */
+ExperimentConfig microExperiment(const std::string &benchmark);
+
+/**
+ * Build an experiment from an INI-style configuration (see
+ * sim::Config). Recognised keys, all optional:
+ *
+ *   [experiment] workload = seismic|video|<bench>; manager =
+ *   insure|baseline|noopt; days; seed; record_trace
+ *   [solar] day = sunny|cloudy|rainy; kwh; avg_watts
+ *   [system] nodes; lowpower; cabinets; initial_soc; secondary_watts
+ *
+ * Unknown keys are fatal (typo protection).
+ */
+ExperimentConfig experimentFromConfig(const sim::Config &cfg);
+
+} // namespace insure::core
+
+#endif // INSURE_CORE_EXPERIMENT_HH

@@ -1,0 +1,33 @@
+#include "core/fixed_manager.hh"
+
+namespace insure::core {
+
+using battery::UnitMode;
+
+FixedVmManager::FixedVmManager(unsigned vms, Seconds restart_backoff)
+    : vms_(vms), restartBackoff_(restart_backoff)
+{
+}
+
+ControlActions
+FixedVmManager::control(const SystemView &view)
+{
+    ControlActions act;
+    // The whole buffer floats on the DC bus: it backstops the load and
+    // absorbs surplus, with hardware protection as the only safety net.
+    act.cabinetModes.assign(view.cabinets.size(), UnitMode::Standby);
+    act.chargePlan.splitEvenly = true;
+    for (unsigned i = 0; i < view.cabinets.size(); ++i)
+        act.chargePlan.cabinets.push_back(i);
+    act.dutyCycle = 1.0;
+
+    unsigned target = view.backlog > 0.0 ? vms_ : 0;
+    if (view.lastPowerFailureAge < restartBackoff_)
+        target = 0;
+    if (target != view.activeVms)
+        countActions();
+    act.targetVms = target;
+    return act;
+}
+
+} // namespace insure::core

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fixed-configuration power manager for controlled experiments.
+ *
+ * Reproduces the paper's Table 2/3 methodology: the VM count is pinned
+ * (8 vs. 4 VMs for seismic; 8/6/4/2 for video) and the system runs until
+ * a fixed energy budget is exhausted — no adaptive management, so the
+ * intrinsic trade-off between compute capability and power-cycle overhead
+ * is visible.
+ */
+
+#ifndef INSURE_CORE_FIXED_MANAGER_HH
+#define INSURE_CORE_FIXED_MANAGER_HH
+
+#include "core/power_manager.hh"
+
+namespace insure::core {
+
+/** Pins the VM count; the buffer floats on the bus (no reconfiguration). */
+class FixedVmManager : public PowerManager
+{
+  public:
+    /**
+     * @param vms VM count to hold whenever work is pending
+     * @param restart_backoff hold-down after a power failure, seconds
+     */
+    explicit FixedVmManager(unsigned vms, Seconds restart_backoff = 900.0);
+
+    const char *name() const override { return "fixed-vm"; }
+
+    ControlActions control(const SystemView &view) override;
+
+  private:
+    unsigned vms_;
+    Seconds restartBackoff_;
+};
+
+} // namespace insure::core
+
+#endif // INSURE_CORE_FIXED_MANAGER_HH

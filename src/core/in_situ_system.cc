@@ -1,0 +1,429 @@
+#include "core/in_situ_system.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace insure::core {
+
+using battery::UnitMode;
+
+InSituSystem::InSituSystem(sim::Simulation &sim, const std::string &name,
+                           SystemConfig cfg,
+                           std::unique_ptr<solar::SolarSource> solar,
+                           std::unique_ptr<PowerManager> manager)
+    : sim::Component(sim, name), cfg_(std::move(cfg)),
+      solar_(std::move(solar)),
+      array_(cfg_.battery, cfg_.cabinetCount, cfg_.seriesCount,
+             cfg_.initialSoc),
+      registers_(512), monitor_(array_, registers_),
+      plc_(1, registers_),
+      link_(std::make_unique<telemetry::CoordinationLink>(plc_, 1)),
+      history_(cfg_.cabinetCount),
+      cluster_(cfg_.nodeCount, cfg_.node),
+      manager_(std::move(manager)),
+      storedGauge_(nullptr, name + ".stored", "stored energy fraction"),
+      pendingGauge_(nullptr, name + ".pending", "work pending"),
+      upPendingGauge_(nullptr, name + ".upPending",
+                      "productive while pending"),
+      log_(name)
+{
+    if (!solar_)
+        fatal("InSituSystem: solar source is required");
+    if (!manager_)
+        fatal("InSituSystem: power manager is required");
+
+    cluster_.setWorkloadUtil(cfg_.profile.powerUtil(cfg_.node.type));
+
+    Rng rng = sim.makeRng();
+    if (cfg_.batch)
+        batchSrc_.emplace(*cfg_.batch, rng.split());
+    if (cfg_.stream)
+        streamSrc_.emplace(*cfg_.stream, rng.split());
+
+    lastCurrents_.assign(cfg_.cabinetCount, 0.0);
+
+    auto &eq = sim.events();
+    physicsTask_ = std::make_unique<sim::PeriodicTask>(
+        eq, cfg_.physicsTick, sim::EventPriority::Physics,
+        [this](Seconds now) { physicsTick(now); });
+    telemetryTask_ = std::make_unique<sim::PeriodicTask>(
+        eq, cfg_.telemetryPeriod, sim::EventPriority::Telemetry,
+        [this](Seconds now) { telemetryTick(now); });
+    controlTask_ = std::make_unique<sim::PeriodicTask>(
+        eq, cfg_.controlPeriod, sim::EventPriority::Control,
+        [this](Seconds now) { controlTick(now); });
+}
+
+void
+InSituSystem::startup()
+{
+    // Everything starts in standby with the rack powered down; the first
+    // control tick decides what to do.
+    array_.setAllModes(UnitMode::Standby);
+    physicsTask_->start(cfg_.physicsTick);
+    telemetryTask_->start(cfg_.telemetryPeriod);
+    controlTask_->start(cfg_.controlPeriod);
+    if (traceTask_)
+        traceTask_->start(0.0);
+}
+
+void
+InSituSystem::enableTrace(Seconds period)
+{
+    if (trace_)
+        return;
+    trace_.emplace(std::vector<std::string>{
+        "time_s", "solar_w", "load_w", "delivered_w", "mean_soc",
+        "stored_wh", "vms", "duty", "productive", "cab0_v", "cab1_v",
+        "cab2_v"});
+    traceTask_ = std::make_unique<sim::PeriodicTask>(
+        sim().events(), period, sim::EventPriority::Stats,
+        [this](Seconds now) {
+            const unsigned n = array_.cabinetCount();
+            auto cabv = [&](unsigned i) {
+                return i < n ? array_.cabinet(i).openCircuitVoltage()
+                             : 0.0;
+            };
+            trace_->append(
+                {now, solar_->availablePower(), cluster_.power(),
+                 solar_->availablePower(), array_.meanSoc(),
+                 array_.storedEnergyWh(),
+                 static_cast<double>(cluster_.activeVms()),
+                 cluster_.nodeCount() ? cluster_.node(0).dutyCycle() : 1.0,
+                 cluster_.anyProductive() ? 1.0 : 0.0, cabv(0), cabv(1),
+                 cabv(2)});
+        });
+}
+
+Watts
+InSituSystem::cabinetPeakChargePower() const
+{
+    const auto &unit = array_.cabinet(0).unit(0);
+    return unit.chargeModel().peakChargePower() *
+           array_.cabinet(0).seriesCount();
+}
+
+void
+InSituSystem::physicsTick(Seconds now)
+{
+    const Seconds dt = cfg_.physicsTick;
+    const Seconds prev = now - dt;
+
+    // 1. Workload arrivals.
+    if (batchSrc_)
+        batchSrc_->step(prev, now, queue_);
+    if (streamSrc_)
+        streamSrc_->step(prev, now, queue_);
+
+    // 2. Solar supply (the source handles day/trace periodicity).
+    solar_->step(now, dt);
+    const Watts pg = solar_->availablePower();
+    offeredWh_ += units::energyWh(pg, dt);
+    log_.addSolar(units::energyWh(pg, dt));
+    solarAvgAccumWs_ += pg * dt;
+    solarAvgWindow_ += dt;
+
+    // 3. Power flow: direct green first, then the buffer.
+    const Watts pl = cluster_.power();
+    const Watts direct = std::min(pg, pl);
+    const Watts deficit = pl - direct;
+
+    array_.beginTick();
+
+    // PLC-speed reconfiguration: if the online cabinets cannot carry the
+    // deficit, promote healthy charging cabinets (highest SoC first) onto
+    // the load bus before the voltage collapses.
+    if (cfg_.fastSwitching && deficit > 0.0 &&
+        array_.maxDischargePower(dt) < deficit) {
+        std::vector<unsigned> charging =
+            array_.cabinetsInMode(UnitMode::Charging);
+        std::sort(charging.begin(), charging.end(),
+                  [this](unsigned a, unsigned b) {
+                      return array_.cabinet(a).soc() >
+                             array_.cabinet(b).soc();
+                  });
+        for (unsigned idx : charging) {
+            if (array_.maxDischargePower(dt) >= deficit)
+                break;
+            if (array_.cabinet(idx).soc() > cfg_.fastSwitchMinSoc)
+                array_.cabinet(idx).setMode(UnitMode::Discharging);
+        }
+    }
+
+    battery::ArrayDischargeResult dr;
+    if (deficit > 0.0)
+        dr = array_.discharge(deficit, dt);
+    if (dr.cabinetCurrents.empty()) {
+        dr.cabinetCurrents.assign(array_.cabinetCount(), 0.0);
+        dr.cabinetAh.assign(array_.cabinetCount(), 0.0);
+    }
+    lastCurrents_ = dr.cabinetCurrents;
+    for (unsigned i = 0; i < array_.cabinetCount(); ++i)
+        history_.record(i, dr.cabinetAh[i]);
+    throughputAh_ += dr.throughputAh;
+
+    // Hardware protection: tripped cabinets disconnect; in the unified
+    // wiring one trip takes the whole string down (paper Fig. 5).
+    if (!dr.tripped.empty()) {
+        bufferTrips_ += dr.tripped.size();
+        if (cfg_.unifiedBuffer) {
+            array_.setAllModes(UnitMode::Offline);
+        } else {
+            for (unsigned idx : dr.tripped)
+                array_.cabinet(idx).setMode(UnitMode::Offline);
+        }
+    }
+
+    // Secondary feed (paper Fig. 7): covers whatever deficit the green
+    // supply and the buffer could not. Real gensets have a start-up
+    // delay and a minimum run time, so once needed the feed stays warm
+    // for a while instead of flapping.
+    Watts secondary = 0.0;
+    const Watts shortfall =
+        std::max(0.0, deficit - dr.deliveredPower);
+    if (cfg_.secondary) {
+        const Seconds min_run = 600.0;
+        if (shortfall > 1.0) {
+            if (secondaryRunningSince_ < 0.0)
+                secondaryRunningSince_ = now;
+            secondaryLastNeeded_ = now;
+        } else if (secondaryRunningSince_ >= 0.0 &&
+                   now - secondaryLastNeeded_ > min_run) {
+            secondaryRunningSince_ = -1.0;
+        }
+        if (secondaryRunningSince_ >= 0.0 &&
+            now - secondaryRunningSince_ >=
+                cfg_.secondary->startupTime &&
+            shortfall > 1.0) {
+            secondary = std::min(shortfall, cfg_.secondary->capacity);
+            secondaryWh_ += units::energyWh(secondary, dt);
+        }
+    }
+
+    // Rack power loss when the buses cannot carry the load.
+    const Watts supplied = direct + dr.deliveredPower + secondary;
+    const bool failed =
+        pl > 1.0 && supplied < pl * cfg_.supplyTolerance;
+    if (failed && !powerFailedLastTick_) {
+        if (Logger::enabled(LogLevel::Debug)) {
+            std::string modes;
+            for (unsigned i = 0; i < array_.cabinetCount(); ++i) {
+                modes += battery::unitModeName(
+                    array_.cabinet(i).mode())[0];
+                modes += std::to_string(
+                    static_cast<int>(array_.cabinet(i).soc() * 100));
+                modes += ' ';
+            }
+            Logger::log(LogLevel::Debug,
+                        "%s: power failure t=%.0f pg=%.0f pl=%.0f "
+                        "supplied=%.0f cabinets=[%s]",
+                        name().c_str(), now, pg, pl, supplied,
+                        modes.c_str());
+        }
+        cluster_.emergencyShutdownAll();
+        ++powerFailures_;
+        lastPowerFailure_ = now;
+    }
+    powerFailedLastTick_ = failed;
+
+    // 4. Charge plan execution with the remaining surplus.
+    Watts surplus = std::max(0.0, pg - direct);
+    Watts charge_used = 0.0;
+    if (surplus > 0.0 && !chargePlan_.cabinets.empty()) {
+        if (chargePlan_.splitEvenly) {
+            const Watts each = surplus / chargePlan_.cabinets.size();
+            for (unsigned idx : chargePlan_.cabinets) {
+                const auto r = array_.chargeCabinet(
+                    idx, each, dt, cfg_.busCoupledCharging);
+                charge_used += r.consumedPower;
+            }
+        } else {
+            for (unsigned idx : chargePlan_.cabinets) {
+                if (surplus <= 1.0)
+                    break;
+                const auto r = array_.chargeCabinet(
+                    idx, surplus, dt, cfg_.busCoupledCharging);
+                charge_used += r.consumedPower;
+                surplus -= r.consumedPower;
+            }
+        }
+    }
+    array_.endTick(dt);
+
+    greenUsedWh_ += units::energyWh(
+        (failed ? 0.0 : direct) + charge_used, dt);
+
+    // 5. Servers and data processing.
+    const auto cs = cluster_.step(dt);
+    loadWh_ += cs.energyWh;
+    effectiveWh_ += cs.productiveEnergyWh;
+    log_.addLoad(cs.energyWh);
+    log_.addEffective(cs.productiveEnergyWh);
+
+    const double rate = cfg_.profile.gbPerVmHour(cfg_.node.type);
+    queue_.process(now, cs.usefulVmHours * rate);
+
+    // Work lost to uncheckpointed shutdowns must be redone.
+    const double lost_vmh = cluster_.lostVmHours();
+    if (lost_vmh > lostVmHoursSeen_ + 1e-12) {
+        queue_.requeue(now, (lost_vmh - lostVmHoursSeen_) * rate);
+        lostVmHoursSeen_ = lost_vmh;
+    }
+
+    // 6. Gauges.
+    const WattHours cap = array_.capacityWh();
+    storedGauge_.set(now, cap > 0.0 ? array_.storedEnergyWh() / cap : 0.0);
+    const bool pending = queue_.backlog() > 1e-9;
+    const bool productive = cluster_.anyProductive();
+    pendingGauge_.set(now, pending ? 1.0 : 0.0);
+    upPendingGauge_.set(now, pending && productive ? 1.0 : 0.0);
+}
+
+void
+InSituSystem::telemetryTick(Seconds now)
+{
+    monitor_.sample(now, lastCurrents_);
+}
+
+SystemView
+InSituSystem::buildView(Seconds now) const
+{
+    SystemView view;
+    view.now = now;
+    view.solarPower = solar_->availablePower();
+    view.solarPowerAvg = solarAvgWindow_ > 0.0
+                             ? solarAvgAccumWs_ / solarAvgWindow_
+                             : view.solarPower;
+    view.solarForecastAvg = solar_->forecastAvg(
+        std::fmod(now, units::secPerDay), units::hours(4.0));
+    view.loadPower = cluster_.power();
+    view.seriesPerCabinet = cfg_.seriesCount;
+    // The sensed values travel over the Modbus link, like the
+    // prototype's coordination node <-> control panel exchange; a failed
+    // exchange leaves the controller acting on its last good snapshot.
+    const auto readings = link_->readAll(array_.cabinetCount());
+    view.cabinets.resize(array_.cabinetCount());
+    for (unsigned i = 0; i < array_.cabinetCount(); ++i) {
+        auto &cv = view.cabinets[i];
+        cv.voltage = readings[i].voltage;
+        cv.current = readings[i].current;
+        cv.soc = readings[i].soc;
+        cv.mode = array_.cabinet(i).mode();
+        cv.dischargeThroughputAh = history_.total(i);
+        cv.capacityWh = array_.cabinet(i).capacityWh();
+    }
+    view.activeVms = cluster_.activeVms();
+    view.totalVmSlots = cluster_.totalVmSlots();
+    view.dutyCycle =
+        cluster_.nodeCount() ? cluster_.node(0).dutyCycle() : 1.0;
+    view.backlog = queue_.backlog();
+    view.oldestJobAge = queue_.oldestAge(now);
+    view.workloadKind = cfg_.profile.kind;
+    view.peakChargePower = cabinetPeakChargePower();
+    view.lastPowerFailureAge =
+        lastPowerFailure_ >= 0.0 ? now - lastPowerFailure_ : 1e18;
+    view.secondaryCapacity =
+        cfg_.secondary ? cfg_.secondary->capacity : 0.0;
+    return view;
+}
+
+void
+InSituSystem::controlTick(Seconds now)
+{
+    const SystemView view = buildView(now);
+    const ControlActions act = manager_->control(view);
+
+    // Apply cabinet modes.
+    if (act.cabinetModes.size() == array_.cabinetCount()) {
+        for (unsigned i = 0; i < array_.cabinetCount(); ++i) {
+            if (array_.cabinet(i).mode() != act.cabinetModes[i])
+                array_.cabinet(i).setMode(act.cabinetModes[i]);
+        }
+    }
+    chargePlan_ = act.chargePlan;
+
+    // Apply load controls.
+    cluster_.setDutyCycle(act.dutyCycle);
+    if (act.checkpointShutdown)
+        cluster_.setTargetVms(0);
+    else
+        cluster_.setTargetVms(act.targetVms);
+
+    // Power-control accounting for the daily log.
+    const std::uint64_t actions = manager_->powerCtrlActions();
+    log_.countPowerCtrl(actions - lastMgrActions_);
+    lastMgrActions_ = actions;
+
+    solarAvgAccumWs_ = 0.0;
+    solarAvgWindow_ = 0.0;
+    lastControl_ = now;
+}
+
+Metrics
+InSituSystem::metrics() const
+{
+    const Seconds now = sim().now();
+    Metrics m;
+    const double pending_time =
+        pendingGauge_.integral(now);
+    const double up_pending = upPendingGauge_.integral(now);
+    m.uptime = pending_time > 0.0 ? up_pending / pending_time : 1.0;
+    const double hours = units::toHours(std::max(1.0, now));
+    m.throughputGbPerHour = queue_.processedGb() / hours;
+    m.meanLatency = queue_.meanEffectiveDelay(now);
+    m.eBufferAvailability = storedGauge_.average(now);
+    m.serviceLifeYears = array_.projectedLifeYears(now);
+    m.perfPerAh =
+        queue_.processedGb() / std::max(1.0, throughputAh_);
+
+    // Work-normalised life: wear per processed GB extrapolated to the full
+    // arriving volume.
+    const double days = now / units::secPerDay;
+    const double daily_gb =
+        days > 0.0 ? queue_.arrivedGb() / days : 0.0;
+    const double calendar = cfg_.battery.calendarLifeYears;
+    if (queue_.processedGb() > 1e-9 && daily_gb > 1e-9 &&
+        throughputAh_ > 1e-9) {
+        const double ah_per_gb = throughputAh_ / queue_.processedGb();
+        const double ah_per_day = ah_per_gb * daily_gb;
+        const double lifetime_ah =
+            cfg_.battery.lifetimeThroughputAh * array_.cabinetCount();
+        m.workNormalizedLifeYears =
+            std::min(calendar,
+                     lifetime_ah / ah_per_day / units::daysPerYear);
+    } else {
+        m.workNormalizedLifeYears =
+            queue_.arrivedGb() > 1e-9 && queue_.processedGb() <= 1e-9
+                ? 0.0 // data arrived, none processed: useless buffer
+                : calendar;
+    }
+    m.processedGb = queue_.processedGb();
+    m.solarOfferedKwh = offeredWh_ / 1000.0;
+    m.greenUsedKwh = greenUsedWh_ / 1000.0;
+    m.loadKwh = loadWh_ / 1000.0;
+    m.effectiveKwh = effectiveWh_ / 1000.0;
+    m.secondaryKwh = secondaryWh_ / 1000.0;
+    m.bufferThroughputAh = throughputAh_;
+    m.bufferImbalanceAh = history_.imbalance();
+    m.bufferTrips = bufferTrips_;
+    m.emergencyShutdowns = cluster_.emergencyShutdowns();
+    m.onOffCycles = cluster_.onOffCycles();
+    m.vmCtrlOps = cluster_.vmControlOps();
+    m.powerCtrlOps = manager_->powerCtrlActions();
+    return m;
+}
+
+telemetry::DailyLogSummary
+InSituSystem::dailySummary() const
+{
+    telemetry::DailyLog log = log_;
+    log.finalize(cluster_.onOffCycles(), cluster_.vmControlOps(),
+                 monitor_.minUnitVoltage() * cfg_.seriesCount,
+                 monitor_.lastMeanVoltage(), monitor_.voltageSigma(),
+                 queue_.completedGb());
+    return log.summary();
+}
+
+} // namespace insure::core

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * The full in-situ system harness: solar supply, reconfigurable e-Buffer,
+ * server cluster, workload, telemetry and a pluggable power manager, wired
+ * together on the discrete-event kernel.
+ *
+ * Three periodic activities drive the plant (paper Fig. 12's three tiers):
+ *  - physics tick (1 s): solar sampling, power-flow balancing (direct
+ *    green, buffer discharge, charge-plan execution), battery kinetics,
+ *    server state machines and data processing;
+ *  - telemetry tick: the monitor samples the array through the transducers
+ *    into the PLC register map;
+ *  - control tick: the power manager reads the SENSED state and issues
+ *    mode changes, a charge plan, VM targets and a duty cycle.
+ */
+
+#ifndef INSURE_CORE_IN_SITU_SYSTEM_HH
+#define INSURE_CORE_IN_SITU_SYSTEM_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "battery/battery_array.hh"
+#include "core/metrics.hh"
+#include "core/power_manager.hh"
+#include "server/cluster.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+#include "solar/solar_source.hh"
+#include "telemetry/coordination_link.hh"
+#include "telemetry/daily_log.hh"
+#include "telemetry/history_table.hh"
+#include "telemetry/monitor.hh"
+#include "telemetry/register_map.hh"
+#include "workload/data_queue.hh"
+#include "workload/profiles.hh"
+#include "workload/sources.hh"
+
+namespace insure::core {
+
+/**
+ * Optional secondary power feed (paper Figs. 6/7: "supports a secondary
+ * power if available") — a backup generator or a weak grid tie that
+ * covers load the solar + buffer combination cannot, at a running cost.
+ */
+struct SecondaryPowerParams {
+    /** Maximum deliverable power, watts. */
+    Watts capacity = 800.0;
+    /** Start-up delay before the feed produces power, seconds. */
+    Seconds startupTime = 30.0;
+    /** Energy cost of the feed, $/kWh (diesel-class by default). */
+    double costPerKwh = 0.40;
+};
+
+/** Static configuration of the plant. */
+struct SystemConfig {
+    /** Battery cell parameters. */
+    battery::BatteryParams battery;
+    /** Number of switchable cabinets. */
+    unsigned cabinetCount = 3;
+    /** 12 V units per cabinet. */
+    unsigned seriesCount = 2;
+    /** Initial state of charge. */
+    double initialSoc = 0.60;
+    /** Server node model. */
+    server::NodeParams node;
+    /** Physical machines in the rack. */
+    unsigned nodeCount = 4;
+    /** Workload profile being served. */
+    workload::WorkloadProfile profile;
+    /** Batch arrival process (optional). */
+    std::optional<workload::BatchSource::Params> batch;
+    /** Stream arrival process (optional). */
+    std::optional<workload::StreamSource::Params> stream;
+    /** Secondary (backup) power feed (optional; paper Fig. 7 flows). */
+    std::optional<SecondaryPowerParams> secondary;
+    /** Physics integration step, seconds. */
+    Seconds physicsTick = 1.0;
+    /** Telemetry sampling period, seconds. */
+    Seconds telemetryPeriod = 5.0;
+    /** Power-manager control period, seconds. */
+    Seconds controlPeriod = 60.0;
+    /**
+     * Unified-buffer protection semantics: one cabinet trip disconnects
+     * the whole buffer (the baseline's single-string wiring).
+     */
+    bool unifiedBuffer = false;
+    /**
+     * PLC-speed relay reaction: when the load bus sags, healthy charging
+     * cabinets switch to discharge within the physics tick (the 25 ms
+     * relays of the prototype). The unified baseline cannot do this.
+     */
+    bool fastSwitching = true;
+    /** Minimum SoC for a fast-switch promotion to the load bus. */
+    double fastSwitchMinSoc = 0.25;
+    /**
+     * Bus-coupled charging: the buffer hangs directly on the DC bus, so
+     * cabinets in Standby also absorb charge (the baseline's unified
+     * wiring). InSURE's relay network isolates the charge bus instead.
+     */
+    bool busCoupledCharging = false;
+    /**
+     * Supplied/demanded power ratio below which the rack loses power.
+     * Server PSUs ride through modest bus sag; only a genuine collapse
+     * (supply well below demand) drops the rack.
+     */
+    double supplyTolerance = 0.93;
+};
+
+/** The assembled plant plus controller. */
+class InSituSystem : public sim::Component
+{
+  public:
+    /**
+     * @param sim owning simulation
+     * @param name component name
+     * @param cfg plant configuration
+     * @param solar power supply (ownership transferred)
+     * @param manager power-management policy (ownership transferred)
+     */
+    InSituSystem(sim::Simulation &sim, const std::string &name,
+                 SystemConfig cfg,
+                 std::unique_ptr<solar::SolarSource> solar,
+                 std::unique_ptr<PowerManager> manager);
+
+    void startup() override;
+
+    /** Record a (time, solar, load, soc, ...) trace every @p period s. */
+    void enableTrace(Seconds period);
+
+    /** The recorded trace (null when not enabled). */
+    const sim::Trace *trace() const { return trace_ ? &*trace_ : nullptr; }
+
+    /** Evaluation metrics as of the current simulated time. */
+    Metrics metrics() const;
+
+    /** Table 6-style daily log summary as of now. */
+    telemetry::DailyLogSummary dailySummary() const;
+
+    // Plant access (tests, benches).
+    battery::BatteryArray &array() { return array_; }
+    const battery::BatteryArray &array() const { return array_; }
+    server::Cluster &cluster() { return cluster_; }
+    workload::DataQueue &queue() { return queue_; }
+    const workload::DataQueue &queue() const { return queue_; }
+    const telemetry::SystemMonitor &monitor() const { return monitor_; }
+    telemetry::SystemMonitor &monitor() { return monitor_; }
+    /** The coordination node's Modbus master (fault injection, stats). */
+    telemetry::CoordinationLink &link() { return *link_; }
+    const telemetry::DischargeHistoryTable &history() const
+    {
+        return history_;
+    }
+    PowerManager &manager() { return *manager_; }
+    solar::SolarSource &solarSource() { return *solar_; }
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Buffer protection trips so far. */
+    std::uint64_t bufferTrips() const { return bufferTrips_; }
+
+    /** Rack power-loss events so far. */
+    std::uint64_t powerFailures() const { return powerFailures_; }
+
+    /** Energy drawn from the secondary feed so far, watt-hours. */
+    WattHours secondaryEnergyWh() const { return secondaryWh_; }
+
+  private:
+    SystemConfig cfg_;
+    std::unique_ptr<solar::SolarSource> solar_;
+    battery::BatteryArray array_;
+    telemetry::RegisterMap registers_;
+    telemetry::SystemMonitor monitor_;
+    telemetry::ModbusSlave plc_;
+    std::unique_ptr<telemetry::CoordinationLink> link_;
+    telemetry::DischargeHistoryTable history_;
+    server::Cluster cluster_;
+    workload::DataQueue queue_;
+    std::optional<workload::BatchSource> batchSrc_;
+    std::optional<workload::StreamSource> streamSrc_;
+    std::unique_ptr<PowerManager> manager_;
+
+    std::unique_ptr<sim::PeriodicTask> physicsTask_;
+    std::unique_ptr<sim::PeriodicTask> telemetryTask_;
+    std::unique_ptr<sim::PeriodicTask> controlTask_;
+    std::unique_ptr<sim::PeriodicTask> traceTask_;
+
+    ChargePlan chargePlan_;
+    std::vector<Amperes> lastCurrents_;
+    Seconds lastControl_ = 0.0;
+    double solarAvgAccumWs_ = 0.0;
+    Seconds solarAvgWindow_ = 0.0;
+    std::uint64_t lastMgrActions_ = 0;
+
+    // Accumulators.
+    sim::TimeWeightedGauge storedGauge_;
+    sim::TimeWeightedGauge pendingGauge_;
+    sim::TimeWeightedGauge upPendingGauge_;
+    WattHours offeredWh_ = 0.0;
+    WattHours greenUsedWh_ = 0.0;
+    WattHours loadWh_ = 0.0;
+    WattHours effectiveWh_ = 0.0;
+    AmpHours throughputAh_ = 0.0;
+    WattHours secondaryWh_ = 0.0;
+    Seconds secondaryRunningSince_ = -1.0;
+    Seconds secondaryLastNeeded_ = -1.0;
+    std::uint64_t bufferTrips_ = 0;
+    std::uint64_t powerFailures_ = 0;
+    Seconds lastPowerFailure_ = -1.0;
+    bool powerFailedLastTick_ = false;
+    double lostVmHoursSeen_ = 0.0;
+    telemetry::DailyLog log_;
+    std::optional<sim::Trace> trace_;
+
+    void physicsTick(Seconds now);
+    void telemetryTick(Seconds now);
+    void controlTick(Seconds now);
+    SystemView buildView(Seconds now) const;
+    Watts cabinetPeakChargePower() const;
+};
+
+} // namespace insure::core
+
+#endif // INSURE_CORE_IN_SITU_SYSTEM_HH

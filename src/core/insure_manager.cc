@@ -1,0 +1,332 @@
+#include "core/insure_manager.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace insure::core {
+
+using battery::UnitMode;
+
+namespace {
+
+/** Neutralise the TPM when the temporal ablation is requested. */
+TemporalParams
+effectiveTemporal(const InsureParams &params)
+{
+    TemporalParams t = params.temporal;
+    if (params.disableTemporal) {
+        t.currentThresholdPerCabinet = 1e9;
+        t.socFloor = 0.0;
+        t.socRestart = 0.0;
+        t.voltageFloorPerUnit = 0.0;
+    }
+    return t;
+}
+
+} // namespace
+
+InsureManager::InsureManager(const InsureParams &params,
+                             std::shared_ptr<NodeAllocator> allocator)
+    : params_(params), spatial_(params.spatial),
+      temporal_(effectiveTemporal(params)),
+      allocator_(std::move(allocator))
+{
+    if (!allocator_)
+        fatal("InsureManager: allocator is required");
+}
+
+Watts
+InsureManager::batteryAllowance(const SystemView &view,
+                                unsigned online_cabinets) const
+{
+    if (online_cabinets == 0)
+        return 0.0;
+    // Friendly discharge: the TPM current threshold per cabinet at the
+    // cabinet string voltage, across online cabinets.
+    Volts string_v = 24.0;
+    double min_soc = 1.0;
+    unsigned online_seen = 0;
+    for (const auto &c : view.cabinets) {
+        if (c.voltage > 1.0)
+            string_v = c.voltage;
+        if (c.mode == UnitMode::Discharging ||
+            c.mode == UnitMode::Standby) {
+            min_soc = std::min(min_soc, c.soc);
+            ++online_seen;
+        }
+    }
+    if (online_seen == 0)
+        min_soc = 0.0;
+
+    // Health scaling: a depleted buffer lends little, so solar surplus
+    // preferentially recharges instead of feeding more VMs; a healthy
+    // buffer lends its full friendly-current budget (the paper's
+    // charge-first morning behaviour, Fig. 16 Region A). The No-Opt
+    // ablation uses the buffer aggressively instead (paper §6.2).
+    double health = 1.0;
+    if (!params_.disableTemporal) {
+        const double lo = params_.temporal.socFloor;
+        const double hi = 0.75;
+        health = std::clamp((min_soc - lo) / std::max(1e-9, hi - lo),
+                            0.0, 1.0);
+    }
+
+    // Without temporal management there is no friendly-current cap
+    // either: the allowance is the rated discharge power.
+    const Amperes per_cabinet =
+        params_.disableTemporal
+            ? 30.0
+            : params_.temporal.currentThresholdPerCabinet;
+
+    return health * params_.batteryAssistFraction * online_cabinets *
+           per_cabinet * string_v;
+}
+
+ControlActions
+InsureManager::control(const SystemView &raw_view)
+{
+    // A secondary feed (backup generator / weak grid tie) counts as
+    // dispatchable supply for every decision below.
+    SystemView view = raw_view;
+    view.solarPower += view.secondaryCapacity;
+    view.solarPowerAvg += view.secondaryCapacity;
+    view.solarForecastAvg += view.secondaryCapacity;
+
+    ControlActions act;
+    act.cabinetModes.resize(view.cabinets.size());
+    for (unsigned i = 0; i < view.cabinets.size(); ++i)
+        act.cabinetModes[i] = view.cabinets[i].mode;
+    act.dutyCycle = view.dutyCycle;
+
+    // ---- 1. Spatial screening (coarse interval, Fig. 9). ----
+    if (view.now - lastSpatial_ >= params_.spatialPeriod) {
+        lastSpatial_ = view.now;
+        if (params_.disableBalancing) {
+            eligible_.clear();
+            for (unsigned i = 0; i < view.cabinets.size(); ++i)
+                eligible_.push_back(i);
+        } else {
+            eligible_ = spatial_.screen(view);
+        }
+        for (unsigned i : eligible_) {
+            if (act.cabinetModes[i] == UnitMode::Offline) {
+                act.cabinetModes[i] =
+                    view.cabinets[i].soc >= params_.chargedSoc
+                        ? UnitMode::Standby
+                        : UnitMode::Charging;
+                countActions();
+            }
+        }
+    }
+
+    // ---- 2/3. Mode transitions (Fig. 8). ----
+    const bool deficit = view.solarPowerAvg < view.loadPower;
+    for (unsigned i = 0; i < view.cabinets.size(); ++i) {
+        const auto &cab = view.cabinets[i];
+        switch (act.cabinetModes[i]) {
+          case UnitMode::Charging:
+            // Transition 2/5: charged cabinets go to standby.
+            if (cab.soc >= params_.chargedSoc) {
+                act.cabinetModes[i] = UnitMode::Standby;
+                countActions();
+            } else if (deficit && cab.soc > params_.temporal.socFloor) {
+                // Green budget became inadequate while charging: bring the
+                // cabinet back online to backstop the load.
+                act.cabinetModes[i] = UnitMode::Discharging;
+                countActions();
+            }
+            break;
+          case UnitMode::Standby:
+            // Transition 3: green budget inadequate -> discharge.
+            if (deficit) {
+                act.cabinetModes[i] = UnitMode::Discharging;
+                countActions();
+            }
+            break;
+          case UnitMode::Discharging:
+            // Transition 4: SoC depleted -> offline (recharge). The
+            // threshold sits below the TPM shutdown floor so the rack can
+            // still checkpoint on the way down.
+            if (cab.soc <= params_.offlineSoc) {
+                act.cabinetModes[i] = UnitMode::Offline;
+                countActions();
+            } else if (!deficit) {
+                // Transition 7: green exceeds demand -> standby.
+                act.cabinetModes[i] = UnitMode::Standby;
+                countActions();
+            }
+            break;
+          case UnitMode::Offline:
+            break;
+        }
+    }
+
+    // Under meaningful surplus, rotate not-fully-charged standby cabinets
+    // onto the charge bus, keeping the strongest one as a load reserve
+    // whenever the rack is drawing power (Fig. 14-a behaviour). A
+    // marginal surplus below a useful charge rate is not worth the relay
+    // churn.
+    const Watts rotation_surplus =
+        view.solarPowerAvg - view.loadPower;
+    if (!deficit && rotation_surplus > 0.3 * view.peakChargePower) {
+        int reserve = -1;
+        if (view.loadPower > 1.0 || view.backlog > 0.0) {
+            double best = -1.0;
+            for (unsigned i = 0; i < view.cabinets.size(); ++i) {
+                if (act.cabinetModes[i] == UnitMode::Standby &&
+                    view.cabinets[i].soc > best) {
+                    best = view.cabinets[i].soc;
+                    reserve = static_cast<int>(i);
+                }
+            }
+        }
+        for (unsigned i = 0; i < view.cabinets.size(); ++i) {
+            if (act.cabinetModes[i] == UnitMode::Standby &&
+                static_cast<int>(i) != reserve &&
+                view.cabinets[i].soc < params_.chargedSoc) {
+                act.cabinetModes[i] = UnitMode::Charging;
+                countActions();
+            }
+        }
+    }
+
+    // ---- 2b. Charge batching (Fig. 10): concentrate the budget. ----
+    std::vector<unsigned> charging_group;
+    for (unsigned i = 0; i < view.cabinets.size(); ++i) {
+        if (act.cabinetModes[i] == UnitMode::Charging)
+            charging_group.push_back(i);
+    }
+    const Watts surplus =
+        std::max(0.0, view.solarPowerAvg - view.loadPower);
+    if (params_.disableConcentration) {
+        act.chargePlan.cabinets = charging_group;
+        act.chargePlan.splitEvenly = true;
+    } else {
+        const unsigned batch = std::max(
+            1u, spatial_.optimalBatchSize(
+                    std::max(surplus, view.solarPowerAvg * 0.25),
+                    view.peakChargePower));
+        act.chargePlan.cabinets =
+            spatial_.selectForCharging(charging_group, view, batch);
+        act.chargePlan.splitEvenly = false;
+    }
+
+    // ---- 4. Temporal management (Fig. 11). ----
+    unsigned online = 0;
+    Amperes discharge_current = 0.0;
+    double min_online_soc = 1.0;
+    Volts min_unit_voltage = 1e9;
+    const unsigned series = std::max(1u, view.seriesPerCabinet);
+    for (unsigned i = 0; i < view.cabinets.size(); ++i) {
+        const auto mode = act.cabinetModes[i];
+        if (mode == UnitMode::Discharging || mode == UnitMode::Standby) {
+            ++online;
+            discharge_current += std::max(0.0, view.cabinets[i].current);
+            min_online_soc = std::min(min_online_soc,
+                                      view.cabinets[i].soc);
+            if (view.cabinets[i].voltage > 1.0) {
+                min_unit_voltage =
+                    std::min(min_unit_voltage,
+                             view.cabinets[i].voltage / series);
+            }
+        }
+    }
+    const TemporalDecision dec = temporal_.evaluate(
+        view, online, discharge_current, min_online_soc,
+        min_unit_voltage);
+    if (dec.acted)
+        countActions();
+    act.dutyCycle = dec.dutyCycle;
+    if (dec.checkpointShutdown) {
+        act.checkpointShutdown = true;
+        act.targetVms = 0;
+        batchActive_ = false;
+        return act;
+    }
+
+    // ---- 5. VM sizing (power-aware load matching). ----
+    const Watts budget =
+        view.solarPowerAvg + batteryAllowance(view, online);
+
+    if (view.workloadKind == workload::WorkloadKind::Batch) {
+        // Batch: pick the VM count once per job from the energy budget
+        // (Table 2's lesson), then hold it; TPM modulates the duty cycle.
+        if (view.backlog <= 0.0) {
+            batchActive_ = false;
+            batchVms_ = 0;
+            plannedBacklog_ = 0.0;
+            act.targetVms = 0;
+            return act;
+        }
+        // (Re)size when work first appears and whenever new arrivals
+        // grow the backlog past the planned volume -- a fresh job joined
+        // the queue (VM counts still never shrink mid-job; scarcity is
+        // the power fit's and the TPM's business).
+        const bool new_work =
+            batchActive_ && view.backlog > plannedBacklog_ + 1.0;
+        if (!batchActive_ || new_work) {
+            batchActive_ = true;
+            plannedBacklog_ = view.backlog;
+            // Size the job from stored energy plus the forecast solar
+            // over the planning horizon (the paper's controllers assume
+            // day-ahead irradiance prediction).
+            const Watts forecast = view.solarForecastAvg > 0.0
+                                       ? view.solarForecastAvg
+                                       : view.solarPowerAvg;
+            WattHours stored = 0.0;
+            for (const auto &c : view.cabinets)
+                stored += c.soc * c.capacityWh;
+            const WattHours expected =
+                stored * params_.batteryAssistFraction +
+                forecast * params_.batchPlanningHorizonHours;
+            unsigned planned =
+                allocator_->vmsForEnergyBudget(view.backlog, expected);
+            if (planned == 0) {
+                // Energy-constrained day: size to the power that can be
+                // sustained instead (Table 2: fewer VMs win under a
+                // tight budget).
+                planned = std::max(
+                    1u, allocator_->vmsForPower(
+                            forecast +
+                                0.5 * batteryAllowance(
+                                          view,
+                                          static_cast<unsigned>(
+                                              view.cabinets.size())),
+                            1.0));
+            }
+            batchVms_ = std::max(batchVms_, planned);
+            countActions();
+        }
+        // Never exceed what the current power budget can carry; with no
+        // budget at all, wait (checkpointed) for power to return.
+        const unsigned fit =
+            allocator_->vmsForPower(budget, act.dutyCycle);
+        act.targetVms = std::min(batchVms_, fit);
+    } else {
+        // Stream: adjust the VM count within the power budget, honouring
+        // the TPM's shed/grow delta. No work means no servers.
+        if (view.backlog <= 0.0) {
+            act.targetVms = 0;
+            return act;
+        }
+        const unsigned fit =
+            allocator_->vmsForPower(budget, act.dutyCycle);
+        int target = static_cast<int>(std::min(fit, view.totalVmSlots));
+        target = std::min(target,
+                          static_cast<int>(view.activeVms) + 1);
+        target += std::min(dec.vmDelta, 0);
+        act.targetVms =
+            static_cast<unsigned>(std::clamp(target, 0,
+                                             static_cast<int>(
+                                                 view.totalVmSlots)));
+    }
+    if (view.workloadKind == workload::WorkloadKind::Batch &&
+        dec.vmDelta < 0) {
+        const int reduced = static_cast<int>(act.targetVms) + dec.vmDelta;
+        act.targetVms = static_cast<unsigned>(std::max(0, reduced));
+    }
+    return act;
+}
+
+} // namespace insure::core

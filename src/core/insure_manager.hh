@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The InSURE power manager: joint spatio-temporal management over the
+ * reconfigurable distributed e-Buffer (paper §3).
+ *
+ * Each control period the manager:
+ *  1. runs the spatial screening (offline cabinets within their discharge
+ *     budget rejoin the charging group; over-used ones stay offline);
+ *  2. picks the charge batch: N = P_G / P_PC lowest-SoC cabinets charge
+ *     concurrently at full acceptance, the rest of the charging group
+ *     waits (budget concentration, Fig. 10 / Fig. 14-a);
+ *  3. moves cabinets through the Fig. 8 mode transitions (charged ->
+ *     standby, green deficit -> discharging, green surplus -> standby,
+ *     SoC floor -> offline);
+ *  4. runs the temporal manager: discharge-current capping via duty cycle
+ *     (batch) or VM shedding (stream), and SoC-floor checkpointing;
+ *  5. sizes the VM count to the power actually available (solar plus a
+ *     battery-friendly discharge allowance).
+ */
+
+#ifndef INSURE_CORE_INSURE_MANAGER_HH
+#define INSURE_CORE_INSURE_MANAGER_HH
+
+#include <memory>
+
+#include "core/node_allocator.hh"
+#include "core/power_manager.hh"
+#include "core/spatial_manager.hh"
+#include "core/temporal_manager.hh"
+
+namespace insure::core {
+
+/** Tuning of the overall InSURE policy. */
+struct InsureParams {
+    SpatialParams spatial;
+    TemporalParams temporal;
+    /** Interval between spatial (coarse) screenings, seconds. */
+    Seconds spatialPeriod = 300.0;
+    /** SoC at which a charging cabinet is promoted to standby. */
+    double chargedSoc = 0.90;
+    /**
+     * SoC at which a discharging cabinet is taken offline for recharge
+     * (Fig. 8 transition 4). Kept below the temporal manager's shutdown
+     * floor so a checkpointing rack can still be powered on the way down.
+     */
+    double offlineSoc = 0.22;
+    /** Fraction of battery energy budgeted when sizing VM counts. */
+    double batteryAssistFraction = 0.9;
+    /** Horizon used to estimate energy available to a batch job, hours. */
+    double batchPlanningHorizonHours = 4.0;
+
+    // Ablation switches (paper §6.2 "No-Opt" and DESIGN.md §6).
+    /** Disable temporal management (no capping, floor at cell minimum). */
+    bool disableTemporal = false;
+    /** Disable charge concentration (batch-charge the whole group). */
+    bool disableConcentration = false;
+    /** Disable wear balancing (every cabinet always within budget). */
+    bool disableBalancing = false;
+
+    /** The paper's "No-Opt" configuration: aggressive buffer use. */
+    static InsureParams
+    noOpt()
+    {
+        InsureParams p;
+        p.disableTemporal = true;
+        p.disableConcentration = true;
+        p.disableBalancing = true;
+        return p;
+    }
+};
+
+/** The paper's power-management scheme. */
+class InsureManager : public PowerManager
+{
+  public:
+    /**
+     * @param params policy tuning
+     * @param allocator VM sizing helper for the current workload
+     */
+    InsureManager(const InsureParams &params,
+                  std::shared_ptr<NodeAllocator> allocator);
+
+    const char *name() const override { return "insure"; }
+
+    ControlActions control(const SystemView &view) override;
+
+    /** Spatial sub-policy (for tests/ablation). */
+    const SpatialManager &spatial() const { return spatial_; }
+
+    /** Temporal sub-policy (for tests/ablation). */
+    const TemporalManager &temporal() const { return temporal_; }
+
+  private:
+    InsureParams params_;
+    SpatialManager spatial_;
+    TemporalManager temporal_;
+    std::shared_ptr<NodeAllocator> allocator_;
+    Seconds lastSpatial_ = -1e18;
+    std::vector<unsigned> eligible_;
+    unsigned batchVms_ = 0;
+    GigaBytes plannedBacklog_ = 0.0;
+    bool batchActive_ = false;
+
+    /** Battery power the TPM considers friendly, watts. */
+    Watts batteryAllowance(const SystemView &view,
+                           unsigned online_cabinets) const;
+};
+
+} // namespace insure::core
+
+#endif // INSURE_CORE_INSURE_MANAGER_HH

@@ -1,0 +1,21 @@
+#include "core/metrics.hh"
+
+namespace insure::core {
+
+double
+improvement(double opt, double base)
+{
+    if (base <= 0.0)
+        return opt > 0.0 ? 1.0 : 0.0;
+    return (opt - base) / base;
+}
+
+double
+reductionImprovement(double opt, double base)
+{
+    if (base <= 0.0)
+        return 0.0;
+    return (base - opt) / base;
+}
+
+} // namespace insure::core

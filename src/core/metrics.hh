@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Evaluation metrics (paper §6.4, Figs. 20/21).
+ *
+ * Service-related metrics: system uptime, load performance (throughput)
+ * and average latency. System-related metrics: e-Buffer energy
+ * availability, expected service life and performance per ampere-hour.
+ */
+
+#ifndef INSURE_CORE_METRICS_HH
+#define INSURE_CORE_METRICS_HH
+
+#include <cstdint>
+
+#include "sim/units.hh"
+
+namespace insure::core {
+
+/** Full-system evaluation metrics for one experiment run. */
+struct Metrics {
+    // Service-related.
+    /** Fraction of work-pending time the cluster was productive. */
+    double uptime = 0.0;
+    /** Data processed per hour of experiment, GB/h. */
+    double throughputGbPerHour = 0.0;
+    /** Mean job completion latency, seconds. */
+    Seconds meanLatency = 0.0;
+
+    // System-related.
+    /** Time-averaged e-Buffer stored energy, fraction of capacity. */
+    double eBufferAvailability = 0.0;
+    /** Projected battery service life at the observed usage rate, years. */
+    double serviceLifeYears = 0.0;
+    /**
+     * Service life normalised to the workload: the buffer lifetime if the
+     * system had to process the full arriving data volume at its observed
+     * wear-per-gigabyte efficiency. Unlike the raw projection this does
+     * not reward a system that simply fails to process data.
+     */
+    double workNormalizedLifeYears = 0.0;
+    /** Data processed per ampere-hour through the e-Buffer, GB/Ah. */
+    double perfPerAh = 0.0;
+
+    // Bookkeeping.
+    /** Total data completed, GB. */
+    double processedGb = 0.0;
+    /** Solar energy offered, kWh. */
+    double solarOfferedKwh = 0.0;
+    /** Solar energy actually used (direct + stored), kWh. */
+    double greenUsedKwh = 0.0;
+    /** Server load energy, kWh. */
+    double loadKwh = 0.0;
+    /** Energy consumed while productive, kWh. */
+    double effectiveKwh = 0.0;
+    /** Energy drawn from the secondary (backup) feed, kWh. */
+    double secondaryKwh = 0.0;
+    /** Ah pushed through the buffer. */
+    double bufferThroughputAh = 0.0;
+    /** Max-min spread of per-cabinet discharge throughput, Ah. */
+    double bufferImbalanceAh = 0.0;
+    /** Buffer protection trips (hardware disconnects). */
+    std::uint64_t bufferTrips = 0;
+    /** Server emergency (uncheckpointed) shutdowns. */
+    std::uint64_t emergencyShutdowns = 0;
+    /** Server on/off power cycles. */
+    std::uint64_t onOffCycles = 0;
+    /** VM control operations. */
+    std::uint64_t vmCtrlOps = 0;
+    /** Manager power-control actions. */
+    std::uint64_t powerCtrlOps = 0;
+
+    /** Fraction of offered solar energy put to use. */
+    double
+    solarUtilization() const
+    {
+        return solarOfferedKwh > 0.0 ? greenUsedKwh / solarOfferedKwh : 0.0;
+    }
+};
+
+/**
+ * Relative improvement of @p opt over @p base for a larger-is-better
+ * metric: (opt - base) / base. Guards against a zero baseline.
+ */
+double improvement(double opt, double base);
+
+/**
+ * Relative improvement for a smaller-is-better metric (latency):
+ * (base - opt) / base.
+ */
+double reductionImprovement(double opt, double base);
+
+} // namespace insure::core
+
+#endif // INSURE_CORE_METRICS_HH

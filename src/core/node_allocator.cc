@@ -1,0 +1,88 @@
+#include "core/node_allocator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/units.hh"
+
+namespace insure::core {
+
+NodeAllocator::NodeAllocator(const server::NodeParams &node,
+                             unsigned node_count,
+                             const workload::WorkloadProfile &profile)
+    : node_(node), nodeCount_(node_count), profile_(profile)
+{
+    if (node_count == 0)
+        fatal("NodeAllocator: node_count must be positive");
+}
+
+unsigned
+NodeAllocator::totalSlots() const
+{
+    return nodeCount_ * node_.vmSlots;
+}
+
+Watts
+NodeAllocator::powerForVms(unsigned vms, double duty) const
+{
+    vms = std::min(vms, totalSlots());
+    duty = std::clamp(duty, 0.0, 1.0);
+    Watts p = 0.0;
+    unsigned remaining = vms;
+    const double util_factor = profile_.powerUtil(node_.type);
+    for (unsigned n = 0; n < nodeCount_ && remaining > 0; ++n) {
+        const unsigned take = std::min(remaining, node_.vmSlots);
+        remaining -= take;
+        const double util = static_cast<double>(take) / node_.vmSlots;
+        p += node_.idlePower +
+             (node_.peakPower - node_.idlePower) * util * util_factor *
+                 duty;
+    }
+    return p;
+}
+
+unsigned
+NodeAllocator::vmsForPower(Watts budget, double duty) const
+{
+    unsigned best = 0;
+    for (unsigned vms = 1; vms <= totalSlots(); ++vms) {
+        if (powerForVms(vms, duty) <= budget)
+            best = vms;
+        else
+            break;
+    }
+    return best;
+}
+
+double
+NodeAllocator::throughputGbPerHour(unsigned vms, double duty) const
+{
+    return vms * profile_.gbPerVmHour(node_.type) *
+           std::clamp(duty, 0.0, 1.0);
+}
+
+WattHours
+NodeAllocator::energyForJob(GigaBytes gb, unsigned vms) const
+{
+    if (vms == 0)
+        return 0.0;
+    const double rate = throughputGbPerHour(vms, 1.0);
+    if (rate <= 0.0)
+        return 0.0;
+    const double hours = gb / rate;
+    return powerForVms(vms, 1.0) * hours;
+}
+
+unsigned
+NodeAllocator::vmsForEnergyBudget(GigaBytes gb, WattHours budget_wh) const
+{
+    unsigned best = 0;
+    for (unsigned vms = 1; vms <= totalSlots(); ++vms) {
+        if (energyForJob(gb, vms) <= budget_wh)
+            best = vms;
+    }
+    return best;
+}
+
+} // namespace insure::core

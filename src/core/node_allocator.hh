@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Power-aware VM allocation (the "smart node allocator" of paper Fig. 6).
+ *
+ * Translates a power budget into a VM count (and vice versa) for a given
+ * node model and workload, using the same power formula the cluster
+ * implements. Batch workloads additionally get an energy-planning helper
+ * that sizes the VM count for a whole job from the expected energy budget,
+ * because changing VMs mid-job is impossible (paper §2.3: over-committing
+ * a batch job triggers extra checkpoints and can LOWER throughput,
+ * Table 2).
+ */
+
+#ifndef INSURE_CORE_NODE_ALLOCATOR_HH
+#define INSURE_CORE_NODE_ALLOCATOR_HH
+
+#include "server/node_params.hh"
+#include "workload/profiles.hh"
+
+namespace insure::core {
+
+/** Sizing policy mapping power to VM counts. */
+class NodeAllocator
+{
+  public:
+    /**
+     * @param node node model of the rack
+     * @param node_count physical machines
+     * @param profile workload being served
+     */
+    NodeAllocator(const server::NodeParams &node, unsigned node_count,
+                  const workload::WorkloadProfile &profile);
+
+    /** Rack power if @p vms VMs run at duty cycle @p duty, watts. */
+    Watts powerForVms(unsigned vms, double duty) const;
+
+    /**
+     * Largest VM count whose power fits within @p budget watts at duty
+     * cycle @p duty (0 when even one VM does not fit).
+     */
+    unsigned vmsForPower(Watts budget, double duty) const;
+
+    /** Processing rate of @p vms VMs at duty @p duty, GB/hour. */
+    double throughputGbPerHour(unsigned vms, double duty) const;
+
+    /**
+     * Energy needed to process @p gb gigabytes with @p vms VMs at full
+     * duty, including idle draw, watt-hours.
+     */
+    WattHours energyForJob(GigaBytes gb, unsigned vms) const;
+
+    /**
+     * Best VM count for a batch job of @p gb gigabytes given an expected
+     * energy budget of @p budget_wh: the largest VM count whose job energy
+     * fits the budget (more VMs finish faster but burn more power for the
+     * same work due to idle overhead amortisation differences).
+     * @return 0 when not even one VM fits the budget — the caller should
+     *         fall back to power-based sizing (paper Table 2: under a
+     *         tight energy budget fewer VMs outperform more).
+     */
+    unsigned vmsForEnergyBudget(GigaBytes gb, WattHours budget_wh) const;
+
+    /** Total VM slots available. */
+    unsigned totalSlots() const;
+
+  private:
+    server::NodeParams node_;
+    unsigned nodeCount_;
+    workload::WorkloadProfile profile_;
+};
+
+} // namespace insure::core
+
+#endif // INSURE_CORE_NODE_ALLOCATOR_HH

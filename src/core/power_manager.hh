@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Abstract power-manager interface.
+ *
+ * Two implementations exist: InsureManager (the paper's joint
+ * spatio-temporal scheme over the reconfigurable buffer) and
+ * BaselineManager (the state-of-the-art grid-style green-datacenter
+ * approach the paper compares against in §6.4: renewable tracking + peak
+ * shaving over a unified buffer).
+ */
+
+#ifndef INSURE_CORE_POWER_MANAGER_HH
+#define INSURE_CORE_POWER_MANAGER_HH
+
+#include <cstdint>
+
+#include "core/system_view.hh"
+
+namespace insure::core {
+
+/** Supply-load coordination policy. */
+class PowerManager
+{
+  public:
+    virtual ~PowerManager() = default;
+
+    /** Human-readable policy name. */
+    virtual const char *name() const = 0;
+
+    /**
+     * Produce the control actions for the next control period from the
+     * sensed system state.
+     */
+    virtual ControlActions control(const SystemView &view) = 0;
+
+    /**
+     * Power-control actions issued so far (duty/VM adjustments and mode
+     * switches; the Table 6 "Power Ctrl. Times" column).
+     */
+    std::uint64_t powerCtrlActions() const { return powerCtrlActions_; }
+
+  protected:
+    /** Count @p n power-control actions. */
+    void countActions(std::uint64_t n = 1) { powerCtrlActions_ += n; }
+
+  private:
+    std::uint64_t powerCtrlActions_ = 0;
+};
+
+} // namespace insure::core
+
+#endif // INSURE_CORE_POWER_MANAGER_HH

@@ -1,0 +1,84 @@
+#include "core/spatial_manager.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace insure::core {
+
+SpatialManager::SpatialManager(const SpatialParams &params) : params_(params)
+{
+    if (params_.desiredLifetimeYears <= 0.0)
+        fatal("SpatialManager: desiredLifetimeYears must be positive");
+}
+
+AmpHours
+SpatialManager::dailyBudget()
+ const
+{
+    return params_.lifetimeDischargeAh /
+           (params_.desiredLifetimeYears * units::daysPerYear);
+}
+
+AmpHours
+SpatialManager::dischargeThreshold(Seconds now) const
+{
+    const double elapsed_days = now / units::secPerDay;
+    // δD = DU + DL * T / TL, with DU folded into the grace allowance and
+    // any relaxation granted so far.
+    return (elapsed_days + params_.graceDays) * dailyBudget() +
+           relaxedBudget_;
+}
+
+std::vector<unsigned>
+SpatialManager::screen(const SystemView &view)
+{
+    AmpHours threshold = dischargeThreshold(view.now);
+    std::vector<unsigned> eligible;
+    for (unsigned i = 0; i < view.cabinets.size(); ++i) {
+        if (view.cabinets[i].dischargeThroughputAh < threshold)
+            eligible.push_back(i);
+    }
+
+    while (params_.relaxThreshold && eligible.size() < params_.minEligible &&
+           eligible.size() < view.cabinets.size()) {
+        // On-demand acceleration: grant extra budget instead of starving
+        // the system (paper §3.3, gradual threshold increase).
+        relaxedBudget_ += params_.relaxFraction * dailyBudget();
+        ++relaxations_;
+        threshold = dischargeThreshold(view.now);
+        eligible.clear();
+        for (unsigned i = 0; i < view.cabinets.size(); ++i) {
+            if (view.cabinets[i].dischargeThroughputAh < threshold)
+                eligible.push_back(i);
+        }
+    }
+    return eligible;
+}
+
+unsigned
+SpatialManager::optimalBatchSize(Watts green_budget,
+                                 Watts peak_charge_power) const
+{
+    if (green_budget <= 0.0 || peak_charge_power <= 0.0)
+        return 0;
+    const double n = green_budget / peak_charge_power;
+    return std::max(1u, static_cast<unsigned>(std::floor(n)));
+}
+
+std::vector<unsigned>
+SpatialManager::selectForCharging(const std::vector<unsigned> &candidates,
+                                  const SystemView &view, unsigned n) const
+{
+    std::vector<unsigned> sorted = candidates;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [&](unsigned a, unsigned b) {
+                         return view.cabinets[a].soc < view.cabinets[b].soc;
+                     });
+    if (sorted.size() > n)
+        sorted.resize(n);
+    return sorted;
+}
+
+} // namespace insure::core

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Spatial power management (paper §3.3, Figs. 9 & 10).
+ *
+ * The spatial manager decides WHICH battery cabinets participate in
+ * charging:
+ *
+ *  1. Offline screening (Fig. 9): at each coarse control interval the
+ *     discharge threshold δD = DU + DL * T / TL is refreshed; offline
+ *     cabinets whose aggregated discharge AhT[i] is below δD re-enter the
+ *     charging group. Over-used cabinets stay offline, balancing wear.
+ *
+ *  2. Charge batching (Fig. 10): the optimal number of simultaneously
+ *     charging cabinets is N = P_G / P_PC — concentrate a small solar
+ *     budget on few cabinets so each charges at its peak acceptance rate
+ *     instead of trickling all of them.
+ *
+ * The threshold can optionally be relaxed on demand (paper §3.3 last
+ * paragraph): when high server demand would otherwise leave too few
+ * eligible cabinets, extra discharge budget is granted, trading a little
+ * battery life for throughput.
+ */
+
+#ifndef INSURE_CORE_SPATIAL_MANAGER_HH
+#define INSURE_CORE_SPATIAL_MANAGER_HH
+
+#include <vector>
+
+#include "core/system_view.hh"
+
+namespace insure::core {
+
+/** Tuning of the spatial manager. */
+struct SpatialParams {
+    /** Per-cabinet lifetime discharge budget DL, ampere-hours. */
+    AmpHours lifetimeDischargeAh = 8400.0;
+    /** Desired battery service life TL, years. */
+    double desiredLifetimeYears = 4.0;
+    /**
+     * Grace allowance: days of discharge budget available on day one, so
+     * a freshly deployed system is not starved by a zero threshold.
+     */
+    double graceDays = 30.0;
+    /** Allow threshold relaxation for on-demand acceleration. */
+    bool relaxThreshold = true;
+    /** Extra budget granted per relaxation, as a fraction of daily budget. */
+    double relaxFraction = 0.5;
+    /** Minimum cabinets to keep eligible when relaxation is enabled. */
+    unsigned minEligible = 1;
+};
+
+/** The spatial (which-battery) policy. */
+class SpatialManager
+{
+  public:
+    explicit SpatialManager(const SpatialParams &params);
+
+    /**
+     * Discharge threshold δD at elapsed deployment time @p now, including
+     * any relaxation granted so far.
+     */
+    AmpHours dischargeThreshold(Seconds now) const;
+
+    /**
+     * Fig. 9 screening: indices of cabinets whose aggregated discharge is
+     * within budget. When relaxation is enabled and fewer than minEligible
+     * cabinets qualify, the threshold is raised until the floor is met.
+     */
+    std::vector<unsigned> screen(const SystemView &view);
+
+    /**
+     * Fig. 10 batch size: optimal number of simultaneously charging
+     * cabinets for solar budget @p green_budget (at least 1 when any
+     * budget exists).
+     */
+    unsigned optimalBatchSize(Watts green_budget,
+                              Watts peak_charge_power) const;
+
+    /**
+     * Order @p candidates by sensed state of charge ascending (charge the
+     * low-SoC cabinets first, Fig. 14-a) and truncate to @p n.
+     */
+    std::vector<unsigned>
+    selectForCharging(const std::vector<unsigned> &candidates,
+                      const SystemView &view, unsigned n) const;
+
+    /** Relaxations granted so far (ablation statistic). */
+    std::uint64_t relaxations() const { return relaxations_; }
+
+  private:
+    SpatialParams params_;
+    AmpHours relaxedBudget_ = 0.0;
+    std::uint64_t relaxations_ = 0;
+
+    /** Daily discharge budget implied by DL / TL, ampere-hours. */
+    AmpHours dailyBudget() const;
+};
+
+} // namespace insure::core
+
+#endif // INSURE_CORE_SPATIAL_MANAGER_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Controller-facing view of the in-situ system and the actuation surface.
+ *
+ * Power managers never touch the physical models directly: each control
+ * period the harness assembles a SystemView from *sensed* telemetry
+ * (register-map values, quantised by the transducers) and applies the
+ * returned ControlActions to the plant. This mirrors the prototype's
+ * separation between the PLC/monitoring tier and the coordination node.
+ */
+
+#ifndef INSURE_CORE_SYSTEM_VIEW_HH
+#define INSURE_CORE_SYSTEM_VIEW_HH
+
+#include <vector>
+
+#include "battery/battery_unit.hh"
+#include "sim/units.hh"
+#include "workload/profiles.hh"
+
+namespace insure::core {
+
+/** Sensed state of one battery cabinet. */
+struct CabinetView {
+    /** Sensed string terminal voltage, volts. */
+    Volts voltage = 0.0;
+    /** Sensed string current (+ = discharge), amperes. */
+    Amperes current = 0.0;
+    /** Sensed state of charge, fraction. */
+    double soc = 0.0;
+    /** Current operating mode. */
+    battery::UnitMode mode = battery::UnitMode::Standby;
+    /** Aggregated discharge throughput AhT[i], ampere-hours. */
+    AmpHours dischargeThroughputAh = 0.0;
+    /** Full-charge energy capacity of the cabinet, watt-hours. */
+    WattHours capacityWh = 0.0;
+};
+
+/** Sensed system state handed to a power manager each control period. */
+struct SystemView {
+    /** Current simulated time, seconds. */
+    Seconds now = 0.0;
+    /** Sensed solar power currently available, watts. */
+    Watts solarPower = 0.0;
+    /** Average solar power over the last control period, watts. */
+    Watts solarPowerAvg = 0.0;
+    /** Forecast average solar power over the planning horizon, watts. */
+    Watts solarForecastAvg = 0.0;
+    /** Rack power draw, watts. */
+    Watts loadPower = 0.0;
+    /** Per-cabinet sensed state. */
+    std::vector<CabinetView> cabinets;
+    /** 12 V units in series per cabinet. */
+    unsigned seriesPerCabinet = 2;
+    /** VMs currently active. */
+    unsigned activeVms = 0;
+    /** Total VM slots in the rack. */
+    unsigned totalVmSlots = 0;
+    /** Current duty cycle. */
+    double dutyCycle = 1.0;
+    /** Pending backlog, gigabytes. */
+    GigaBytes backlog = 0.0;
+    /** Age of the oldest pending job, seconds. */
+    Seconds oldestJobAge = 0.0;
+    /** Workload management class. */
+    workload::WorkloadKind workloadKind = workload::WorkloadKind::Batch;
+    /** Per-unit peak charging power (for the N = P_G / P_PC rule). */
+    Watts peakChargePower = 0.0;
+    /** Seconds since the last rack power failure (large when none). */
+    Seconds lastPowerFailureAge = 1e18;
+    /** Capacity of the secondary (backup) feed, watts; 0 when absent. */
+    Watts secondaryCapacity = 0.0;
+};
+
+/** How to distribute surplus solar power across charging cabinets. */
+struct ChargePlan {
+    /** Cabinets to charge, in priority order. */
+    std::vector<unsigned> cabinets;
+    /**
+     * When true the surplus splits evenly across the listed cabinets
+     * (baseline batch charging); otherwise cabinets are filled in order,
+     * each taking what it accepts before the next one sees any budget
+     * (InSURE concentration).
+     */
+    bool splitEvenly = false;
+};
+
+/** Actions a power manager returns for the coming control period. */
+struct ControlActions {
+    /** Desired mode per cabinet (same size as SystemView::cabinets). */
+    std::vector<battery::UnitMode> cabinetModes;
+    /** Charging priority for surplus power. */
+    ChargePlan chargePlan;
+    /** Requested total VM count. */
+    unsigned targetVms = 0;
+    /** Requested duty cycle. */
+    double dutyCycle = 1.0;
+    /** Checkpoint and power down the whole rack cleanly. */
+    bool checkpointShutdown = false;
+};
+
+} // namespace insure::core
+
+#endif // INSURE_CORE_SYSTEM_VIEW_HH

@@ -1,0 +1,92 @@
+#include "core/temporal_manager.hh"
+
+#include <algorithm>
+
+namespace insure::core {
+
+TemporalManager::TemporalManager(const TemporalParams &params)
+    : params_(params)
+{
+}
+
+TemporalDecision
+TemporalManager::evaluate(const SystemView &view, unsigned online_cabinets,
+                          Amperes total_discharge_current,
+                          double min_online_soc,
+                          Volts min_online_unit_voltage)
+{
+    TemporalDecision d;
+    d.dutyCycle = view.dutyCycle;
+
+    // SoC/voltage floor: checkpoint and suspend until the buffer recovers.
+    if (online_cabinets == 0 || min_online_soc < params_.socFloor ||
+        (min_online_unit_voltage < params_.voltageFloorPerUnit &&
+         total_discharge_current > 0.5)) {
+        if (view.solarPower < view.loadPower) {
+            d.checkpointShutdown = true;
+            d.acted = true;
+            if (!haltedByFloor_) {
+                haltedByFloor_ = true;
+                ++shutdowns_;
+            }
+            return d;
+        }
+    }
+    if (haltedByFloor_) {
+        // Stay down until the buffer has meaningfully recovered.
+        if (min_online_soc < params_.socRestart && online_cabinets > 0 &&
+            view.solarPower < view.loadPower) {
+            d.checkpointShutdown = true;
+            return d;
+        }
+        haltedByFloor_ = false;
+    }
+
+    const Amperes threshold =
+        params_.currentThresholdPerCabinet * std::max(1u, online_cabinets);
+
+    if (total_discharge_current > threshold) {
+        // Over-current: cap the load (Fig. 11).
+        if (view.workloadKind == workload::WorkloadKind::Batch) {
+            if (view.dutyCycle > params_.minDuty + 1e-9) {
+                d.dutyCycle =
+                    std::max(params_.minDuty,
+                             view.dutyCycle - params_.dutyStep);
+            } else if (view.activeVms > 0) {
+                d.vmDelta = -static_cast<int>(
+                    std::min(2u, view.activeVms));
+            }
+        } else {
+            if (view.activeVms > 0)
+                d.vmDelta = -1;
+        }
+        d.acted = true;
+        ++cappings_;
+        return d;
+    }
+
+    if (total_discharge_current < params_.growFraction * threshold &&
+        view.backlog > 0.0) {
+        // Comfortable current and work pending: restore capacity.
+        bool grew = false;
+        if (view.workloadKind == workload::WorkloadKind::Batch) {
+            if (view.dutyCycle < 1.0 - 1e-9) {
+                d.dutyCycle = std::min(1.0, view.dutyCycle +
+                                                params_.dutyStep);
+                grew = true;
+            }
+        } else {
+            if (view.activeVms < view.totalVmSlots) {
+                d.vmDelta = 1;
+                grew = true;
+            }
+        }
+        if (grew) {
+            d.acted = true;
+            ++grows_;
+        }
+    }
+    return d;
+}
+
+} // namespace insure::core

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Temporal power management (paper §3.4, Fig. 11).
+ *
+ * The temporal manager decides WHEN and HOW HARD the servers run, so that
+ * the buffer discharges at battery-friendly currents:
+ *
+ *  - if the sensed total discharge current exceeds the threshold, the
+ *    server load is capped: batch jobs receive a reduced duty cycle
+ *    (driving OS-level DVFS), stream jobs lose a VM;
+ *  - if the buffer state of charge falls below the floor, VM state is
+ *    checkpointed and servers power down cleanly;
+ *  - symmetric grow rules restore duty/VMs when current is comfortably
+ *    low and there is backlog to process.
+ *
+ * Capped discharge keeps the KiBaM available well from collapsing (the
+ * recovery effect does the rest), avoiding the low-voltage disconnects
+ * that stall the whole unified buffer in the baseline.
+ */
+
+#ifndef INSURE_CORE_TEMPORAL_MANAGER_HH
+#define INSURE_CORE_TEMPORAL_MANAGER_HH
+
+#include <cstdint>
+
+#include "core/system_view.hh"
+
+namespace insure::core {
+
+/** Tuning of the temporal manager. */
+struct TemporalParams {
+    /**
+     * Per-online-cabinet discharge current threshold, amperes (the total
+     * threshold scales with the number of online cabinets).
+     */
+    Amperes currentThresholdPerCabinet = 12.0;
+    /** Hysteresis: grow only when current is below this fraction of cap. */
+    double growFraction = 0.55;
+    /** Duty-cycle decrement per capping action (batch). */
+    double dutyStep = 0.15;
+    /** Minimum duty cycle before resorting to VM reduction. */
+    double minDuty = 0.4;
+    /** State-of-charge floor triggering checkpoint + shutdown. */
+    double socFloor = 0.27;
+    /** State of charge required to restart after a floor shutdown. */
+    double socRestart = 0.45;
+    /** Per-unit voltage floor triggering checkpoint + shutdown, volts. */
+    Volts voltageFloorPerUnit = 11.95;
+};
+
+/** A load-shaping decision. */
+struct TemporalDecision {
+    /** New duty cycle. */
+    double dutyCycle = 1.0;
+    /** Change in VM count (negative = shed). */
+    int vmDelta = 0;
+    /** Checkpoint and power down the rack. */
+    bool checkpointShutdown = false;
+    /** True when this decision changed something (counts as an action). */
+    bool acted = false;
+};
+
+/** The temporal (when/how-hard) policy. */
+class TemporalManager
+{
+  public:
+    explicit TemporalManager(const TemporalParams &params);
+
+    /**
+     * Evaluate the sensed state and produce a load-shaping decision.
+     * @param view sensed system state
+     * @param online_cabinets cabinets currently able to supply the load
+     * @param total_discharge_current sensed buffer discharge current, A
+     * @param min_online_soc lowest state of charge among online cabinets
+     * @param min_online_unit_voltage lowest sensed per-unit voltage among
+     *        online cabinets (volts; pass a large value when unknown)
+     */
+    TemporalDecision evaluate(const SystemView &view,
+                              unsigned online_cabinets,
+                              Amperes total_discharge_current,
+                              double min_online_soc,
+                              Volts min_online_unit_voltage = 1e9);
+
+    /** Capping actions taken (statistics). */
+    std::uint64_t cappingActions() const { return cappings_; }
+
+    /** Grow actions taken. */
+    std::uint64_t growActions() const { return grows_; }
+
+    /** Floor shutdowns triggered. */
+    std::uint64_t floorShutdowns() const { return shutdowns_; }
+
+    const TemporalParams &params() const { return params_; }
+
+  private:
+    TemporalParams params_;
+    std::uint64_t cappings_ = 0;
+    std::uint64_t grows_ = 0;
+    std::uint64_t shutdowns_ = 0;
+    bool haltedByFloor_ = false;
+};
+
+} // namespace insure::core
+
+#endif // INSURE_CORE_TEMPORAL_MANAGER_HH

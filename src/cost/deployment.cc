@@ -1,0 +1,131 @@
+#include "cost/deployment.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace insure::cost {
+
+unsigned
+DeploymentModel::serversFor(double gb_per_day,
+                            double sunshine_fraction) const
+{
+    if (sunshine_fraction <= 0.0)
+        fatal("DeploymentModel: sunshine fraction must be positive");
+    const double per_server = gbPerServerDay * sunshine_fraction;
+    return std::max(1u, static_cast<unsigned>(
+                            std::ceil(gb_per_day / per_server)));
+}
+
+Dollars
+DeploymentModel::inSituCost(double gb_per_day, double days,
+                            double sunshine_fraction) const
+{
+    const unsigned n = serversFor(gb_per_day, sunshine_fraction);
+    const double years = days / units::daysPerYear;
+    const auto &it = proto.it;
+    const auto &sol = proto.solar;
+
+    // Hardware sized to the fleet; PV scales inversely with sunshine.
+    const unsigned server_units =
+        n * (1 + static_cast<unsigned>(
+                     std::floor(std::max(0.0, years - 1e-9) /
+                                it.serverLifeYears)));
+    const Dollars servers = server_units * it.serverCost;
+
+    const Watts pv = n * pvWattsPerServer / sunshine_fraction;
+    const Dollars panels = sol.panelPerWatt * pv;
+    const Dollars inverter = panels * sol.inverterFraction;
+
+    const unsigned battery_sets =
+        1 + static_cast<unsigned>(std::floor(
+                std::max(0.0, years - 1e-9) / sol.batteryLifeYears));
+    const Dollars batteries = battery_sets * sol.batteryPerAh *
+                              n * batteryAhPerServer *
+                              sol.batterySystemFactor;
+
+    // Shared infrastructure: one set per four servers.
+    const unsigned infra_sets = (n + 3) / 4;
+    const Dollars infra =
+        infra_sets * (it.switchCost + it.pduCost + it.hvacCost +
+                      proto.cellular.hardware);
+
+    const Dollars capex = servers + panels + inverter + batteries + infra;
+    const Dollars maintenance =
+        it.maintenanceFraction * (capex / it.infraLifeYears) * years;
+
+    const Dollars backhaul = proto.cellular.perGb * backhaulFraction *
+                             gb_per_day * days;
+
+    return capex + maintenance + backhaul;
+}
+
+Dollars
+DeploymentModel::cloudCost(double gb_per_day, double days) const
+{
+    const double volume = gb_per_day * days;
+    return proto.cellular.hardware + proto.cellular.perGb * volume +
+           cloudComputePerGb * volume;
+}
+
+double
+DeploymentModel::saving(double gb_per_day, double days,
+                        double sunshine_fraction) const
+{
+    const Dollars cloud = cloudCost(gb_per_day, days);
+    if (cloud <= 0.0)
+        return 0.0;
+    return 1.0 - inSituCost(gb_per_day, days, sunshine_fraction) / cloud;
+}
+
+double
+DeploymentModel::crossoverGbPerDay(double days, double sunshine_fraction,
+                                   double lo, double hi) const
+{
+    auto diff = [&](double rate) {
+        return inSituCost(rate, days, sunshine_fraction) -
+               cloudCost(rate, days);
+    };
+    if (diff(lo) < 0.0)
+        return lo; // in-situ already wins at the lower bound
+    if (diff(hi) > 0.0)
+        return hi; // cloud wins everywhere in range
+    for (int i = 0; i < 80; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (diff(mid) > 0.0)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+std::vector<ScaleOutRow>
+scaleOutTable(const DeploymentModel &model, double gb_per_day, double days)
+{
+    std::vector<ScaleOutRow> rows;
+    for (double f : {1.0, 0.8, 0.6, 0.4}) {
+        ScaleOutRow row;
+        row.sunshineFraction = f;
+        row.scaleOutCost = model.inSituCost(gb_per_day, days, f);
+        row.cloudCost = model.cloudCost(gb_per_day, days);
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::vector<Scenario>
+applicationScenarios()
+{
+    return {
+        {"Seismic Analysis", 130.0, 25.0, 0.80, 0.47, 0.55},
+        {"Post-Earthquake Disaster Monitoring", 60.0, 15.0, 0.90, 0.15,
+         0.15},
+        {"Wildlife Behavior Study", 20.0, 365.0, 0.90, 0.77, 0.93},
+        {"Coastal Monitoring", 50.0, 1000.0, 0.90, 0.94, 0.95},
+        {"Volcano Surveillance", 300.0, 1000.0, 0.85, 0.94, 0.97},
+    };
+}
+
+} // namespace insure::cost

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deployment-scale economics: in-situ system sizing, scale-out under
+ * varying sunshine fractions, the in-situ vs. cloud TCO crossover, and the
+ * application scenarios (paper Figs. 23, 24, 25).
+ */
+
+#ifndef INSURE_COST_DEPLOYMENT_HH
+#define INSURE_COST_DEPLOYMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_params.hh"
+
+namespace insure::cost {
+
+/** Sizing and pricing model for an in-situ deployment. */
+struct DeploymentModel {
+    PrototypeParams proto;
+    /** Data one server can pre-process per day at full duty, GB. */
+    double gbPerServerDay = 100.0;
+    /** PV watts required per server at 100% sunshine fraction. */
+    Watts pvWattsPerServer = 400.0;
+    /** Battery Ah per server at 100% sunshine fraction. */
+    AmpHours batteryAhPerServer = 52.5;
+    /** Fraction of raw data still backhauled after pre-processing. */
+    double backhaulFraction = 0.05;
+    /** Cloud-side cost of processing one GB (compute + storage). */
+    Dollars cloudComputePerGb = 0.25;
+
+    /**
+     * Servers needed to absorb @p gb_per_day given @p sunshine_fraction
+     * of nominal insolation (less sun -> fewer productive hours -> more
+     * capacity for the same daily volume).
+     */
+    unsigned serversFor(double gb_per_day, double sunshine_fraction) const;
+
+    /**
+     * Total cost of an in-situ deployment handling @p gb_per_day for
+     * @p days at @p sunshine_fraction, including hardware replacement on
+     * long deployments and cellular backhaul of the residual volume.
+     */
+    Dollars inSituCost(double gb_per_day, double days,
+                       double sunshine_fraction) const;
+
+    /**
+     * Total cost of shipping everything to the cloud instead: cellular
+     * transmission of the raw volume plus cloud processing.
+     */
+    Dollars cloudCost(double gb_per_day, double days) const;
+
+    /** Cost saving of in-situ vs. cloud, in [-inf, 1]. */
+    double saving(double gb_per_day, double days,
+                  double sunshine_fraction) const;
+
+    /**
+     * Fig. 24 crossover: the data rate (GB/day) above which in-situ wins,
+     * found by bisection over [lo, hi] for a deployment of @p days.
+     */
+    double crossoverGbPerDay(double days, double sunshine_fraction,
+                             double lo = 0.01, double hi = 100.0) const;
+};
+
+/** Fig. 23 row: scale-out vs. cloud at one sunshine fraction. */
+struct ScaleOutRow {
+    double sunshineFraction;
+    Dollars scaleOutCost;
+    Dollars cloudCost;
+};
+
+/**
+ * Fig. 23: amortised cost of meeting a fixed processing demand by scaling
+ * the in-situ system out as sunshine decreases, vs. relying on the cloud.
+ */
+std::vector<ScaleOutRow>
+scaleOutTable(const DeploymentModel &model, double gb_per_day,
+              double days);
+
+/** Fig. 25 application scenario. */
+struct Scenario {
+    std::string name;
+    double gbPerDay;
+    double deploymentDays;
+    double sunshineFraction;
+    /** Saving range the paper quotes, for reference in reports. */
+    double paperSavingLo;
+    double paperSavingHi;
+};
+
+/** The five Fig. 25 scenarios. */
+std::vector<Scenario> applicationScenarios();
+
+} // namespace insure::cost
+
+#endif // INSURE_COST_DEPLOYMENT_HH

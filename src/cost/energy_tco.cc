@@ -1,0 +1,152 @@
+#include "cost/energy_tco.hh"
+
+#include <cmath>
+
+namespace insure::cost {
+
+Dollars
+dieselTco(const DieselParams &p, double kw, double kwh_per_day,
+          double years)
+{
+    // Generator is replaced every lifetimeYears (unit count includes the
+    // initial purchase).
+    const int units =
+        1 + static_cast<int>(std::floor((years - 1e-9) / p.lifetimeYears));
+    const Dollars capex = units * p.perKw * kw;
+    const Dollars fuel =
+        p.perKwh * kwh_per_day * units::daysPerYear * years;
+    return capex + fuel;
+}
+
+Dollars
+fuelCellTco(const FuelCellParams &p, Watts watts, double kwh_per_day,
+            double years)
+{
+    const Dollars initial = p.perWatt * watts;
+    // Full system replaced at systemLifeYears; stack refreshed at
+    // stackLifeYears in between.
+    const int systems =
+        1 + static_cast<int>(std::floor((years - 1e-9) /
+                                        p.systemLifeYears));
+    const int stack_events =
+        static_cast<int>(std::floor((years - 1e-9) / p.stackLifeYears)) -
+        (systems - 1);
+    const Dollars capex = systems * initial +
+                          std::max(0, stack_events) * initial *
+                              p.stackReplaceFraction;
+    const Dollars fuel =
+        p.perKwh * kwh_per_day * units::daysPerYear * years;
+    return capex + fuel;
+}
+
+Dollars
+solarBatteryTco(const SolarBatteryParams &p, Watts panel_watts,
+                AmpHours battery_ah, double years)
+{
+    const Dollars panels = p.panelPerWatt * panel_watts;
+    const Dollars inverter = panels * p.inverterFraction;
+    const int battery_sets =
+        1 + static_cast<int>(std::floor((years - 1e-9) /
+                                        p.batteryLifeYears));
+    const Dollars batteries =
+        battery_sets * p.batteryPerAh * battery_ah;
+    return panels + inverter + batteries;
+}
+
+std::vector<EnergyTcoRow>
+energyTcoTable(const PrototypeParams &proto)
+{
+    std::vector<EnergyTcoRow> rows;
+    for (double years = 1.0; years <= 11.0; years += 2.0) {
+        EnergyTcoRow row;
+        row.years = years;
+        row.inSitu = solarBatteryTco(proto.solar, proto.pvWatts,
+                                     proto.batteryAh, years);
+        row.fuelCell = fuelCellTco(FuelCellParams{}, proto.pvWatts,
+                                   proto.dailyEnergyKwh, years);
+        row.diesel = dieselTco(DieselParams{}, proto.pvWatts / 1000.0,
+                               proto.dailyEnergyKwh, years);
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+const char *
+supplyKindName(SupplyKind k)
+{
+    switch (k) {
+      case SupplyKind::InSure: return "InSURE";
+      case SupplyKind::Diesel: return "Diesel";
+      case SupplyKind::FuelCell: return "FuelCell";
+    }
+    return "?";
+}
+
+std::vector<CostComponent>
+annualDepreciation(SupplyKind kind, const PrototypeParams &proto)
+{
+    std::vector<CostComponent> out;
+    const auto &it = proto.it;
+
+    out.push_back({"Server", proto.serverCount * it.serverCost /
+                                 it.serverLifeYears});
+    out.push_back({"Cellular", proto.cellular.hardware /
+                                   it.infraLifeYears});
+    out.push_back({"HVAC", it.hvacCost / it.infraLifeYears});
+    out.push_back({"PDU", it.pduCost / it.infraLifeYears});
+    out.push_back({"Switch", it.switchCost / it.infraLifeYears});
+
+    switch (kind) {
+      case SupplyKind::InSure: {
+        const Dollars panels =
+            proto.solar.panelPerWatt * proto.pvWatts;
+        out.push_back({"Battery",
+                       proto.solar.batteryPerAh * proto.batteryAh *
+                           proto.solar.batterySystemFactor /
+                           proto.solar.batteryLifeYears});
+        out.push_back({"PV Panels", panels / proto.solar.panelLifeYears});
+        out.push_back({"Inverter", panels * proto.solar.inverterFraction /
+                                       it.infraLifeYears});
+        break;
+      }
+      case SupplyKind::Diesel: {
+        const DieselParams dg;
+        // A continuous-duty genset is oversized ~2x relative to the rack
+        // peak so it is not always running at its limit.
+        out.push_back({"Generator", dg.perKw * 2.0 * proto.pvWatts /
+                                        1000.0 / dg.lifetimeYears});
+        out.push_back({"Fuel", dg.perKwh * proto.dailyEnergyKwh *
+                                   units::daysPerYear});
+        break;
+      }
+      case SupplyKind::FuelCell: {
+        const FuelCellParams fc;
+        const Dollars initial = fc.perWatt * proto.pvWatts;
+        out.push_back({"Generator",
+                       initial / fc.systemLifeYears +
+                           initial * fc.stackReplaceFraction /
+                               fc.stackLifeYears});
+        out.push_back({"Fuel", fc.perKwh * proto.dailyEnergyKwh *
+                                   units::daysPerYear});
+        break;
+      }
+    }
+
+    // Maintenance scales with everything above.
+    Dollars subtotal = 0.0;
+    for (const auto &c : out)
+        subtotal += c.annual;
+    out.push_back({"Maintenance", subtotal * it.maintenanceFraction});
+    return out;
+}
+
+Dollars
+totalAnnual(const std::vector<CostComponent> &components)
+{
+    Dollars t = 0.0;
+    for (const auto &c : components)
+        t += c.annual;
+    return t;
+}
+
+} // namespace insure::cost

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Energy-supply TCO models (paper Fig. 3-b, Table 1, Fig. 22).
+ */
+
+#ifndef INSURE_COST_ENERGY_TCO_HH
+#define INSURE_COST_ENERGY_TCO_HH
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_params.hh"
+
+namespace insure::cost {
+
+/**
+ * Cumulative cost of a diesel-generator supply after @p years for an
+ * installation of @p kw kilowatts delivering @p kwh_per_day (generator
+ * replaced at end of life).
+ */
+Dollars dieselTco(const DieselParams &p, double kw, double kwh_per_day,
+                  double years);
+
+/** Cumulative fuel-cell supply cost after @p years. */
+Dollars fuelCellTco(const FuelCellParams &p, Watts watts,
+                    double kwh_per_day, double years);
+
+/** Cumulative solar + battery supply cost after @p years. */
+Dollars solarBatteryTco(const SolarBatteryParams &p, Watts panel_watts,
+                        AmpHours battery_ah, double years);
+
+/** Fig. 3-(b) row: energy-related TCO at a given age. */
+struct EnergyTcoRow {
+    double years;
+    Dollars inSitu;   // solar + battery
+    Dollars fuelCell;
+    Dollars diesel;
+};
+
+/** Compute the Fig. 3-(b) series for the prototype installation. */
+std::vector<EnergyTcoRow> energyTcoTable(const PrototypeParams &proto = {});
+
+/** One component of the Fig. 22 annual-depreciation breakdown. */
+struct CostComponent {
+    std::string name;
+    Dollars annual;
+};
+
+/** Power-supply technology for the Fig. 22 comparison. */
+enum class SupplyKind {
+    InSure,      // solar + reconfigurable battery
+    Diesel,
+    FuelCell,
+};
+
+/** Printable name of a supply kind. */
+const char *supplyKindName(SupplyKind k);
+
+/**
+ * Fig. 22: component-wise annual depreciation of the prototype under the
+ * given supply technology.
+ */
+std::vector<CostComponent>
+annualDepreciation(SupplyKind kind, const PrototypeParams &proto = {});
+
+/** Sum of a component list. */
+Dollars totalAnnual(const std::vector<CostComponent> &components);
+
+} // namespace insure::cost
+
+#endif // INSURE_COST_ENERGY_TCO_HH

@@ -1,0 +1,118 @@
+#include "cost/transmission.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace insure::cost {
+
+std::vector<LinkOption>
+typicalLinks()
+{
+    return {
+        {"T1 (1.5 Mbps)", 1.5},   {"10 Mbps", 10.0},
+        {"44.7 Mbps (T3)", 44.7}, {"100 Mbps", 100.0},
+        {"1 Gbps", 1000.0},       {"10 Gbps", 10000.0},
+    };
+}
+
+double
+transferHours(const LinkOption &link, double terabytes)
+{
+    if (link.mbps <= 0.0)
+        fatal("transferHours: non-positive bandwidth");
+    const double megabits = terabytes * 1e6 * 8.0;
+    return megabits / link.mbps / 3600.0;
+}
+
+namespace {
+
+/** January-2014 AWS transfer-out tiers: (up to TB, $ per GB). */
+struct EgressTier {
+    double uptoTb;
+    double perGb;
+};
+
+constexpr EgressTier egressTiers[] = {
+    {0.001, 0.00},  // first GB free
+    {10.0, 0.120},
+    {50.0, 0.090},
+    {150.0, 0.070},
+    {500.0, 0.050},
+    {1e9, 0.040},
+};
+
+} // namespace
+
+Dollars
+awsEgressTotal(double terabytes)
+{
+    double remaining = terabytes;
+    double prev_cap = 0.0;
+    Dollars total = 0.0;
+    for (const auto &tier : egressTiers) {
+        if (remaining <= 0.0)
+            break;
+        const double span = tier.uptoTb - prev_cap;
+        const double take = std::min(remaining, span);
+        total += take * 1000.0 * tier.perGb;
+        remaining -= take;
+        prev_cap = tier.uptoTb;
+    }
+    return total;
+}
+
+Dollars
+awsEgressAvgPerTb(double terabytes)
+{
+    if (terabytes <= 0.0)
+        return 0.0;
+    return awsEgressTotal(terabytes) / terabytes;
+}
+
+Dollars
+satelliteCost(const SatelliteParams &p, double months)
+{
+    return p.hardware + p.monthlyService * months;
+}
+
+Dollars
+cellularCost(const CellularParams &p, double months, double gb_per_day)
+{
+    return p.hardware +
+           p.perGb * gb_per_day * months * units::daysPerMonth;
+}
+
+std::vector<ItTcoRow>
+itTcoTable(double gb_per_day, Dollars insitu_capex, Dollars insitu_annual,
+           double insitu_backhaul_fraction, const SatelliteParams &sat,
+           const CellularParams &cell)
+{
+    // Satellite-only rides the flat monthly plan (usage pricing cannot
+    // even carry the raw volume); cellular-only pays per GB for the raw
+    // stream.
+    std::vector<ItTcoRow> rows;
+    for (int year = 1; year <= 5; ++year) {
+        const double months = year * 12.0;
+        ItTcoRow row;
+        row.years = year;
+        row.satelliteOnly = satelliteCost(sat, months);
+        row.cellularOnly = cellularCost(cell, months, gb_per_day);
+
+        const Dollars insitu =
+            insitu_capex + insitu_annual * year;
+        // Backup satellite plan scales with the residual volume share.
+        SatelliteParams backup_sat = sat;
+        backup_sat.monthlyService =
+            sat.monthlyService * insitu_backhaul_fraction * 9.0;
+        row.insituPlusSatellite =
+            insitu + satelliteCost(backup_sat, months);
+        row.insituPlusCellular =
+            insitu + cellularCost(cell, months,
+                                  gb_per_day * insitu_backhaul_fraction);
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace insure::cost

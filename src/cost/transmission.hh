@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bulk data-movement cost and time models (paper Fig. 1 and Fig. 3-a).
+ */
+
+#ifndef INSURE_COST_TRANSMISSION_HH
+#define INSURE_COST_TRANSMISSION_HH
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_params.hh"
+
+namespace insure::cost {
+
+/** A network link option for Fig. 1-(a). */
+struct LinkOption {
+    std::string name;
+    /** Usable bandwidth, megabits per second. */
+    double mbps;
+};
+
+/** Typical links from slow WAN uplinks to data-center backbones. */
+std::vector<LinkOption> typicalLinks();
+
+/** Hours to move @p terabytes over @p link. */
+double transferHours(const LinkOption &link, double terabytes);
+
+/**
+ * AWS data-transfer-out pricing (January 2014 tiers): average $ per TB
+ * when @p terabytes leave the cloud in one month (Fig. 1-b).
+ */
+Dollars awsEgressAvgPerTb(double terabytes);
+
+/** Total AWS egress bill for @p terabytes in one month. */
+Dollars awsEgressTotal(double terabytes);
+
+/** Cumulative satellite-only transmission cost after @p months. */
+Dollars satelliteCost(const SatelliteParams &p, double months);
+
+/** Cumulative cellular-only transmission cost after @p months. */
+Dollars cellularCost(const CellularParams &p, double months,
+                     double gb_per_day);
+
+/**
+ * Fig. 3-(a): cumulative IT-related TCO of the four deployment options
+ * after @p months for a site producing @p gb_per_day of raw data.
+ * In-situ pre-processing shrinks the backhauled volume to
+ * @p insitu_backhaul_fraction of raw.
+ */
+struct ItTcoRow {
+    double years;
+    Dollars satelliteOnly;
+    Dollars cellularOnly;
+    Dollars insituPlusSatellite;
+    Dollars insituPlusCellular;
+};
+
+/**
+ * Compute the Fig. 3-(a) table.
+ * @param insitu_capex up-front in-situ system cost
+ * @param insitu_annual annual in-situ operating cost
+ */
+std::vector<ItTcoRow>
+itTcoTable(double gb_per_day, Dollars insitu_capex, Dollars insitu_annual,
+           double insitu_backhaul_fraction = 0.02,
+           const SatelliteParams &sat = {}, const CellularParams &cell = {});
+
+} // namespace insure::cost
+
+#endif // INSURE_COST_TRANSMISSION_HH

@@ -1,0 +1,185 @@
+#include "server/cluster.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace insure::server {
+
+Cluster::Cluster(unsigned node_count, NodeParams params)
+{
+    if (node_count == 0)
+        fatal("Cluster: need at least one node");
+    for (unsigned i = 0; i < node_count; ++i) {
+        nodes_.push_back(std::make_unique<ServerNode>(
+            "node" + std::to_string(i), params));
+    }
+}
+
+unsigned
+Cluster::totalVmSlots() const
+{
+    unsigned slots = 0;
+    for (const auto &n : nodes_)
+        slots += n->params().vmSlots;
+    return slots;
+}
+
+unsigned
+Cluster::activeVms() const
+{
+    unsigned vms = 0;
+    for (const auto &n : nodes_)
+        vms += n->activeVms();
+    return vms;
+}
+
+void
+Cluster::setTargetVms(unsigned n)
+{
+    n = std::min(n, totalVmSlots());
+    targetVms_ = n;
+
+    // Fill-first placement: the lowest-indexed nodes host the VMs; any
+    // node left without VMs is powered down (cleanly, with checkpoint).
+    unsigned remaining = n;
+    for (auto &node : nodes_) {
+        const unsigned take =
+            std::min(remaining, node->params().vmSlots);
+        remaining -= take;
+        if (take > 0) {
+            if (node->state() == NodeState::Off ||
+                node->state() == NodeState::ShuttingDown) {
+                node->powerOn();
+            }
+            node->setActiveVms(take);
+        } else {
+            node->setActiveVms(0);
+            if (node->state() == NodeState::On ||
+                node->state() == NodeState::Booting) {
+                node->powerOff();
+            }
+        }
+    }
+}
+
+void
+Cluster::setDutyCycle(double d)
+{
+    for (auto &n : nodes_)
+        n->setDutyCycle(d);
+}
+
+void
+Cluster::setFrequency(double f)
+{
+    for (auto &n : nodes_)
+        n->setFrequency(f);
+}
+
+void
+Cluster::setWorkloadUtil(double u)
+{
+    for (auto &n : nodes_)
+        n->setWorkloadUtil(u);
+}
+
+Watts
+Cluster::power() const
+{
+    Watts p = 0.0;
+    for (const auto &n : nodes_)
+        p += n->power();
+    return p;
+}
+
+Watts
+Cluster::plannedPower(unsigned vms, double duty) const
+{
+    vms = std::min(vms, totalVmSlots());
+    duty = std::clamp(duty, 0.0, 1.0);
+    Watts p = 0.0;
+    unsigned remaining = vms;
+    for (const auto &n : nodes_) {
+        const unsigned take = std::min(remaining, n->params().vmSlots);
+        remaining -= take;
+        if (take == 0)
+            continue;
+        const auto &prm = n->params();
+        const double util = static_cast<double>(take) / prm.vmSlots;
+        p += prm.idlePower +
+             (prm.peakPower - prm.idlePower) * util * n->workloadUtil() *
+                 std::pow(n->frequency(), prm.dvfsAlpha) * duty;
+    }
+    return p;
+}
+
+ClusterStepResult
+Cluster::step(Seconds dt)
+{
+    ClusterStepResult res;
+    for (auto &n : nodes_) {
+        const NodeStepResult r = n->step(dt);
+        res.energyWh += r.energyWh;
+        res.productiveEnergyWh += r.productiveEnergyWh;
+        res.usefulVmHours += r.usefulVmHours;
+    }
+    return res;
+}
+
+void
+Cluster::emergencyShutdownAll()
+{
+    for (auto &n : nodes_)
+        n->emergencyShutdown();
+    targetVms_ = 0;
+}
+
+bool
+Cluster::anyProductive() const
+{
+    for (const auto &n : nodes_) {
+        if (n->productive())
+            return true;
+    }
+    return false;
+}
+
+std::uint64_t
+Cluster::onOffCycles() const
+{
+    std::uint64_t c = 0;
+    for (const auto &n : nodes_)
+        c += n->onOffCycles();
+    return c;
+}
+
+std::uint64_t
+Cluster::vmControlOps() const
+{
+    std::uint64_t c = 0;
+    for (const auto &n : nodes_)
+        c += n->vmControlOps();
+    return c;
+}
+
+std::uint64_t
+Cluster::emergencyShutdowns() const
+{
+    std::uint64_t c = 0;
+    for (const auto &n : nodes_)
+        c += n->emergencyShutdowns();
+    return c;
+}
+
+double
+Cluster::lostVmHours() const
+{
+    double h = 0.0;
+    for (const auto &n : nodes_)
+        h += n->lostVmHours();
+    return h;
+}
+
+} // namespace insure::server

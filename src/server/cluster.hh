@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The in-situ server cluster: a rack of physical nodes with VM placement,
+ * cluster-wide power capping and power-state orchestration.
+ *
+ * VM placement is fill-first: the controller requests a total VM count and
+ * the cluster powers nodes on/off to host exactly that many (two slots per
+ * prototype node). Power capping applies a uniform duty cycle across the
+ * powered nodes (paper §3.4: the OS derives a DVFS schedule from the duty
+ * cycle it receives).
+ */
+
+#ifndef INSURE_SERVER_CLUSTER_HH
+#define INSURE_SERVER_CLUSTER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/server_node.hh"
+
+namespace insure::server {
+
+/** Aggregated result of advancing the whole cluster. */
+struct ClusterStepResult {
+    /** Energy consumed across all nodes, watt-hours. */
+    WattHours energyWh = 0.0;
+    /** Energy consumed while doing useful work, watt-hours. */
+    WattHours productiveEnergyWh = 0.0;
+    /** Useful compute delivered, VM-hours at nominal frequency. */
+    double usefulVmHours = 0.0;
+};
+
+/** A rack of identical server nodes. */
+class Cluster
+{
+  public:
+    /**
+     * @param node_count physical machines in the rack
+     * @param params node model (applies to every machine)
+     */
+    Cluster(unsigned node_count, NodeParams params);
+
+    unsigned nodeCount() const
+    {
+        return static_cast<unsigned>(nodes_.size());
+    }
+
+    ServerNode &node(unsigned i) { return *nodes_[i]; }
+    const ServerNode &node(unsigned i) const { return *nodes_[i]; }
+
+    /** Total VM slots across the rack. */
+    unsigned totalVmSlots() const;
+
+    /** VMs currently assigned across productive and booting nodes. */
+    unsigned activeVms() const;
+
+    /** Currently requested VM count. */
+    unsigned targetVms() const { return targetVms_; }
+
+    /**
+     * Request @p n total VMs. Powers nodes on/off as needed and places
+     * VMs fill-first. Nodes already booting count toward capacity.
+     */
+    void setTargetVms(unsigned n);
+
+    /** Apply a duty cycle to every powered node (power capping). */
+    void setDutyCycle(double d);
+
+    /** Apply a DVFS frequency fraction to every powered node. */
+    void setFrequency(double f);
+
+    /** Apply a workload power-utilisation factor to every node. */
+    void setWorkloadUtil(double u);
+
+    /** Instantaneous rack power, watts. */
+    Watts power() const;
+
+    /**
+     * Rack power if it were serving @p vms VMs at duty cycle @p duty
+     * (planning helper for the temporal manager).
+     */
+    Watts plannedPower(unsigned vms, double duty) const;
+
+    /** Advance all nodes. */
+    ClusterStepResult step(Seconds dt);
+
+    /** Emergency power loss on every node (battery bus collapse). */
+    void emergencyShutdownAll();
+
+    /** True when at least one node is productive. */
+    bool anyProductive() const;
+
+    /** Sum of per-node on/off cycles. */
+    std::uint64_t onOffCycles() const;
+
+    /** Sum of per-node VM control operations. */
+    std::uint64_t vmControlOps() const;
+
+    /** Sum of per-node emergency shutdowns. */
+    std::uint64_t emergencyShutdowns() const;
+
+    /** Total useful compute lost to emergencies, VM-hours. */
+    double lostVmHours() const;
+
+  private:
+    std::vector<std::unique_ptr<ServerNode>> nodes_;
+    unsigned targetVms_ = 0;
+};
+
+} // namespace insure::server
+
+#endif // INSURE_SERVER_CLUSTER_HH

@@ -1,0 +1,31 @@
+#include "server/node_params.hh"
+
+namespace insure::server {
+
+NodeParams
+xeonNode()
+{
+    NodeParams p;
+    p.type = "xeon";
+    p.idlePower = 280.0;
+    p.peakPower = 450.0;
+    p.vmSlots = 2;
+    return p;
+}
+
+NodeParams
+lowPowerNode()
+{
+    NodeParams p;
+    p.type = "lowpower";
+    p.idlePower = 18.0;
+    p.peakPower = 46.0;
+    p.vmSlots = 2;
+    // SSD-backed small node: faster suspend/resume.
+    p.bootTime = 180.0;
+    p.shutdownTime = 180.0;
+    p.vmMgmtTime = 120.0;
+    return p;
+}
+
+} // namespace insure::server

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Server node parameter sets.
+ *
+ * The prototype cluster is four HP ProLiant rack servers (dual Xeon
+ * 3.2 GHz, 16 GB RAM): idle ~280 W, peak ~450 W, two VMs per physical
+ * machine (paper §4/§5). Table 7 compares against a low-power Core
+ * i7-2720-class node at 42-46 W. On/off power cycles cost about 15 minutes
+ * of service interruption and each VM management operation about 5 minutes
+ * (paper §2.3, Table 6).
+ */
+
+#ifndef INSURE_SERVER_NODE_PARAMS_HH
+#define INSURE_SERVER_NODE_PARAMS_HH
+
+#include <string>
+
+#include "sim/units.hh"
+
+namespace insure::server {
+
+/** Static description of one server model. */
+struct NodeParams {
+    /** Short type tag ("xeon", "lowpower"). */
+    std::string type = "xeon";
+    /** Idle power draw when on, watts. */
+    Watts idlePower = 280.0;
+    /** Peak power draw at full utilisation and frequency, watts. */
+    Watts peakPower = 450.0;
+    /** VM slots per physical machine. */
+    unsigned vmSlots = 2;
+    /** Boot + VM restore time (half of a 15-minute power cycle). */
+    Seconds bootTime = 450.0;
+    /** Checkpoint + shutdown time (other half of the cycle). */
+    Seconds shutdownTime = 450.0;
+    /** Time a VM management operation keeps the node unproductive. */
+    Seconds vmMgmtTime = 300.0;
+    /** Exponent of the dynamic-power vs. frequency curve. */
+    double dvfsAlpha = 2.2;
+    /** Lowest DVFS frequency as a fraction of nominal. */
+    double minFrequency = 0.5;
+    /**
+     * Work lost (seconds of compute) when power fails without a clean
+     * checkpointed shutdown.
+     */
+    Seconds emergencyLossTime = 600.0;
+};
+
+/** The prototype's HP ProLiant Xeon node. */
+NodeParams xeonNode();
+
+/** A state-of-the-art low-power node (paper Table 7). */
+NodeParams lowPowerNode();
+
+} // namespace insure::server
+
+#endif // INSURE_SERVER_NODE_PARAMS_HH

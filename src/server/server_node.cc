@@ -1,0 +1,173 @@
+#include "server/server_node.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace insure::server {
+
+const char *
+nodeStateName(NodeState s)
+{
+    switch (s) {
+      case NodeState::Off: return "off";
+      case NodeState::Booting: return "booting";
+      case NodeState::On: return "on";
+      case NodeState::ShuttingDown: return "shutting-down";
+    }
+    return "?";
+}
+
+ServerNode::ServerNode(std::string name, NodeParams params)
+    : name_(std::move(name)), params_(std::move(params))
+{
+}
+
+bool
+ServerNode::productive() const
+{
+    return state_ == NodeState::On && mgmtRemaining_ <= 0.0 &&
+           activeVms_ > 0;
+}
+
+void
+ServerNode::powerOn()
+{
+    if (state_ != NodeState::Off)
+        return;
+    state_ = NodeState::Booting;
+    stateRemaining_ = params_.bootTime;
+}
+
+void
+ServerNode::powerOff()
+{
+    if (state_ == NodeState::Off || state_ == NodeState::ShuttingDown)
+        return;
+    state_ = NodeState::ShuttingDown;
+    stateRemaining_ = params_.shutdownTime;
+}
+
+void
+ServerNode::emergencyShutdown()
+{
+    if (state_ == NodeState::Off)
+        return;
+    if (state_ == NodeState::On && activeVms_ > 0) {
+        lostVmHours_ +=
+            activeVms_ * units::toHours(params_.emergencyLossTime);
+    }
+    state_ = NodeState::Off;
+    stateRemaining_ = 0.0;
+    mgmtRemaining_ = 0.0;
+    ++emergencyShutdowns_;
+    ++onOffCycles_;
+}
+
+void
+ServerNode::setActiveVms(unsigned n)
+{
+    n = std::min(n, params_.vmSlots);
+    if (n == activeVms_)
+        return;
+    activeVms_ = n;
+    ++vmControlOps_;
+    if (state_ == NodeState::On)
+        mgmtRemaining_ = params_.vmMgmtTime;
+}
+
+void
+ServerNode::setFrequency(double f)
+{
+    frequency_ = std::clamp(f, params_.minFrequency, 1.0);
+}
+
+void
+ServerNode::setDutyCycle(double d)
+{
+    dutyCycle_ = std::clamp(d, 0.0, 1.0);
+}
+
+void
+ServerNode::setWorkloadUtil(double u)
+{
+    workloadUtil_ = std::clamp(u, 0.0, 1.0);
+}
+
+Watts
+ServerNode::power() const
+{
+    switch (state_) {
+      case NodeState::Off:
+        return 0.0;
+      case NodeState::Booting:
+      case NodeState::ShuttingDown:
+        // Boot and checkpoint phases run near idle draw.
+        return params_.idlePower;
+      case NodeState::On:
+        break;
+    }
+    const double util =
+        static_cast<double>(activeVms_) / params_.vmSlots;
+    const double dyn = (params_.peakPower - params_.idlePower) * util *
+                       workloadUtil_ *
+                       std::pow(frequency_, params_.dvfsAlpha) * dutyCycle_;
+    return params_.idlePower + dyn;
+}
+
+NodeStepResult
+ServerNode::step(Seconds dt)
+{
+    NodeStepResult res;
+    if (dt <= 0.0)
+        return res;
+
+    Seconds remaining = dt;
+    while (remaining > 1e-9) {
+        Seconds slice = remaining;
+        switch (state_) {
+          case NodeState::Off:
+            // No power, no work; consume the rest of the step.
+            remaining = 0.0;
+            continue;
+          case NodeState::Booting:
+            slice = std::min(slice, stateRemaining_);
+            res.energyWh += units::energyWh(params_.idlePower, slice);
+            stateRemaining_ -= slice;
+            if (stateRemaining_ <= 1e-9)
+                state_ = NodeState::On;
+            break;
+          case NodeState::ShuttingDown:
+            slice = std::min(slice, stateRemaining_);
+            res.energyWh += units::energyWh(params_.idlePower, slice);
+            stateRemaining_ -= slice;
+            if (stateRemaining_ <= 1e-9) {
+                state_ = NodeState::Off;
+                ++onOffCycles_;
+            }
+            break;
+          case NodeState::On: {
+            if (mgmtRemaining_ > 0.0) {
+                slice = std::min(slice, mgmtRemaining_);
+                res.energyWh += units::energyWh(power(), slice);
+                mgmtRemaining_ -= slice;
+            } else {
+                const WattHours e = units::energyWh(power(), slice);
+                res.energyWh += e;
+                if (activeVms_ > 0) {
+                    res.productiveEnergyWh += e;
+                    res.usefulVmHours += activeVms_ * frequency_ *
+                                         dutyCycle_ *
+                                         units::toHours(slice);
+                }
+            }
+            break;
+          }
+        }
+        remaining -= slice;
+    }
+    return res;
+}
+
+} // namespace insure::server

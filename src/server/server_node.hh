@@ -1,0 +1,137 @@
+/**
+ * @file
+ * One physical server: power state machine, VM hosting, DVFS duty-cycle
+ * power capping, and checkpoint/restore behaviour.
+ *
+ * Power states follow Off -> Booting -> On -> ShuttingDown -> Off. A clean
+ * shutdown checkpoints VM state (work is preserved); an emergency power
+ * loss skips the checkpoint and loses recent work. While booting, shutting
+ * down or performing VM management the node draws power but produces no
+ * useful compute — this overhead is what makes aggressive VM scale-up
+ * counter-productive under tight energy budgets (paper Table 2).
+ */
+
+#ifndef INSURE_SERVER_SERVER_NODE_HH
+#define INSURE_SERVER_SERVER_NODE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "server/node_params.hh"
+#include "sim/units.hh"
+
+namespace insure::server {
+
+/** Power state of a physical node. */
+enum class NodeState {
+    Off,
+    Booting,
+    On,
+    ShuttingDown,
+};
+
+/** Printable name of a node state. */
+const char *nodeStateName(NodeState s);
+
+/** Outcome of advancing a node by one step. */
+struct NodeStepResult {
+    /** Energy consumed during the step, watt-hours. */
+    WattHours energyWh = 0.0;
+    /** Energy consumed while doing useful work, watt-hours. */
+    WattHours productiveEnergyWh = 0.0;
+    /** Useful compute delivered, in VM-hours at nominal frequency. */
+    double usefulVmHours = 0.0;
+};
+
+/** A single physical machine. */
+class ServerNode
+{
+  public:
+    ServerNode(std::string name, NodeParams params);
+
+    const std::string &name() const { return name_; }
+    const NodeParams &params() const { return params_; }
+
+    NodeState state() const { return state_; }
+
+    /** True when the node can host work right now (On, not busy). */
+    bool productive() const;
+
+    /** VMs currently assigned. */
+    unsigned activeVms() const { return activeVms_; }
+
+    /** Begin booting (no-op unless Off). */
+    void powerOn();
+
+    /** Begin a clean checkpointing shutdown (no-op unless On/Booting). */
+    void powerOff();
+
+    /**
+     * Immediate power loss without checkpoint: drops to Off, loses
+     * emergencyLossTime seconds' worth of recent work (reported by the
+     * next step as negative useful compute is avoided by clamping — the
+     * loss is tracked in lostVmHours()).
+     */
+    void emergencyShutdown();
+
+    /**
+     * Assign @p n VMs (clipped to the slot count). Changing the count on a
+     * running node triggers a VM-management busy period.
+     */
+    void setActiveVms(unsigned n);
+
+    /** Set the DVFS frequency fraction (clamped to [minFrequency, 1]). */
+    void setFrequency(double f);
+
+    /** Set the duty cycle for power capping (clamped to [0, 1]). */
+    void setDutyCycle(double d);
+
+    /**
+     * Set the workload's power utilisation: the fraction of the dynamic
+     * power range a fully-occupied node draws for this workload (e.g.
+     * seismic analysis on the Xeon rack runs at ~0.41 of the idle-to-peak
+     * range, paper Table 2).
+     */
+    void setWorkloadUtil(double u);
+
+    double frequency() const { return frequency_; }
+    double dutyCycle() const { return dutyCycle_; }
+    double workloadUtil() const { return workloadUtil_; }
+
+    /** Instantaneous power draw, watts. */
+    Watts power() const;
+
+    /** Advance the node state by @p dt seconds. */
+    NodeStepResult step(Seconds dt);
+
+    /** Completed On->Off power cycles. */
+    std::uint64_t onOffCycles() const { return onOffCycles_; }
+
+    /** VM management operations performed. */
+    std::uint64_t vmControlOps() const { return vmControlOps_; }
+
+    /** Emergency (uncheckpointed) shutdowns. */
+    std::uint64_t emergencyShutdowns() const { return emergencyShutdowns_; }
+
+    /** Total useful compute lost to emergencies, VM-hours. */
+    double lostVmHours() const { return lostVmHours_; }
+
+  private:
+    std::string name_;
+    NodeParams params_;
+    NodeState state_ = NodeState::Off;
+    Seconds stateRemaining_ = 0.0;
+    Seconds mgmtRemaining_ = 0.0;
+    unsigned activeVms_ = 0;
+    double frequency_ = 1.0;
+    double dutyCycle_ = 1.0;
+    double workloadUtil_ = 1.0;
+    std::uint64_t onOffCycles_ = 0;
+    std::uint64_t vmControlOps_ = 0;
+    std::uint64_t emergencyShutdowns_ = 0;
+    double lostVmHours_ = 0.0;
+};
+
+} // namespace insure::server
+
+#endif // INSURE_SERVER_SERVER_NODE_HH

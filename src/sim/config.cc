@@ -1,0 +1,182 @@
+#include "sim/config.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace insure::sim {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t a = 0;
+    std::size_t b = s.size();
+    while (a < b && std::isspace(static_cast<unsigned char>(s[a])))
+        ++a;
+    while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1])))
+        --b;
+    return s.substr(a, b - a);
+}
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+} // namespace
+
+Config
+Config::parse(const std::string &text)
+{
+    Config cfg;
+    std::istringstream is(text);
+    std::string line;
+    std::string section;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        // Strip comments (# or ;) outside of values' leading content.
+        const std::size_t hash = line.find_first_of("#;");
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                fatal("Config: unterminated section at line %zu", lineno);
+            section = trim(line.substr(1, line.size() - 2));
+            if (section.empty())
+                fatal("Config: empty section name at line %zu", lineno);
+            continue;
+        }
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("Config: expected 'key = value' at line %zu", lineno);
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            fatal("Config: empty key at line %zu", lineno);
+        const std::string full =
+            section.empty() ? key : section + "." + key;
+        cfg.values_[full] = value;
+    }
+    return cfg;
+}
+
+Config
+Config::load(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("Config: cannot open '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return parse(ss.str());
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &fallback) const
+{
+    used_.insert(key);
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+double
+Config::getDouble(const std::string &key, double fallback) const
+{
+    used_.insert(key);
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(it->second, &pos);
+        if (pos != it->second.size())
+            throw std::invalid_argument("trailing");
+        return v;
+    } catch (...) {
+        fatal("Config: '%s' is not a number for key '%s'",
+              it->second.c_str(), key.c_str());
+    }
+}
+
+long
+Config::getInt(const std::string &key, long fallback) const
+{
+    used_.insert(key);
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    try {
+        std::size_t pos = 0;
+        const long v = std::stol(it->second, &pos, 0);
+        if (pos != it->second.size())
+            throw std::invalid_argument("trailing");
+        return v;
+    } catch (...) {
+        fatal("Config: '%s' is not an integer for key '%s'",
+              it->second.c_str(), key.c_str());
+    }
+}
+
+bool
+Config::getBool(const std::string &key, bool fallback) const
+{
+    used_.insert(key);
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    const std::string v = lower(it->second);
+    if (v == "true" || v == "yes" || v == "on" || v == "1")
+        return true;
+    if (v == "false" || v == "no" || v == "off" || v == "0")
+        return false;
+    fatal("Config: '%s' is not a boolean for key '%s'",
+          it->second.c_str(), key.c_str());
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &[k, v] : values_)
+        out.push_back(k);
+    return out;
+}
+
+std::vector<std::string>
+Config::unusedKeys() const
+{
+    std::vector<std::string> out;
+    for (const auto &[k, v] : values_) {
+        if (!used_.count(k))
+            out.push_back(k);
+    }
+    return out;
+}
+
+} // namespace insure::sim

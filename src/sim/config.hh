@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal INI-style configuration reader.
+ *
+ * Syntax: `[section]` headers, `key = value` pairs, `#` or `;` comments,
+ * blank lines ignored. Keys are addressed as "section.key"; keys before
+ * any section header live in the "" section and are addressed bare.
+ * Typed getters fall back to a default and record which keys were read,
+ * so callers can report unused (likely misspelled) keys.
+ */
+
+#ifndef INSURE_SIM_CONFIG_HH
+#define INSURE_SIM_CONFIG_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace insure::sim {
+
+/** Parsed configuration file. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse from text. Fatal on malformed lines. */
+    static Config parse(const std::string &text);
+
+    /** Parse from a file. Fatal on I/O error. */
+    static Config load(const std::string &path);
+
+    /** True when "section.key" exists. */
+    bool has(const std::string &key) const;
+
+    /** String value or @p fallback. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback = "") const;
+
+    /** Double value or @p fallback; fatal if present but not numeric. */
+    double getDouble(const std::string &key, double fallback = 0.0) const;
+
+    /** Integer value or @p fallback; fatal if present but not integral. */
+    long getInt(const std::string &key, long fallback = 0) const;
+
+    /**
+     * Boolean value or @p fallback; accepts true/false/yes/no/on/off/0/1
+     * (case-insensitive), fatal otherwise.
+     */
+    bool getBool(const std::string &key, bool fallback = false) const;
+
+    /** Set a value programmatically (overrides the file). */
+    void set(const std::string &key, const std::string &value);
+
+    /** All keys present, sorted. */
+    std::vector<std::string> keys() const;
+
+    /** Keys never read by any getter (typo detection), sorted. */
+    std::vector<std::string> unusedKeys() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    mutable std::set<std::string> used_;
+};
+
+} // namespace insure::sim
+
+#endif // INSURE_SIM_CONFIG_HH

@@ -1,0 +1,131 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace insure::sim {
+
+EventId
+EventQueue::schedule(Seconds when, EventPriority prio,
+                     std::function<void()> fn)
+{
+    if (when < now_)
+        panic("EventQueue: scheduling into the past (%f < %f)", when, now_);
+    const EventId id = nextId_++;
+    queue_.push(Entry{when, static_cast<int>(prio), id, std::move(fn)});
+    ++pendingCount_;
+    return id;
+}
+
+EventId
+EventQueue::scheduleIn(Seconds delay, EventPriority prio,
+                       std::function<void()> fn)
+{
+    return schedule(now_ + delay, prio, std::move(fn));
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    cancelled_.push_back(id);
+}
+
+bool
+EventQueue::isCancelled(EventId id)
+{
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+    if (it == cancelled_.end())
+        return false;
+    cancelled_.erase(it);
+    return true;
+}
+
+bool
+EventQueue::empty() const
+{
+    return pendingCount_ == 0;
+}
+
+bool
+EventQueue::step()
+{
+    while (!queue_.empty()) {
+        Entry e = queue_.top();
+        queue_.pop();
+        --pendingCount_;
+        if (isCancelled(e.id))
+            continue;
+        now_ = e.when;
+        e.fn();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::runUntil(Seconds horizon)
+{
+    std::uint64_t executed = 0;
+    while (!queue_.empty()) {
+        const Entry &top = queue_.top();
+        if (top.when > horizon)
+            break;
+        Entry e = queue_.top();
+        queue_.pop();
+        --pendingCount_;
+        if (isCancelled(e.id))
+            continue;
+        now_ = e.when;
+        e.fn();
+        ++executed;
+    }
+    if (now_ < horizon)
+        now_ = horizon;
+    return executed;
+}
+
+PeriodicTask::PeriodicTask(EventQueue &eq, Seconds period,
+                           EventPriority prio,
+                           std::function<void(Seconds)> fn)
+    : eq_(eq), period_(period), prio_(prio), fn_(std::move(fn))
+{
+    if (period_ <= 0.0)
+        fatal("PeriodicTask: period must be positive (got %f)", period_);
+}
+
+PeriodicTask::~PeriodicTask()
+{
+    stop();
+}
+
+void
+PeriodicTask::start(Seconds phase)
+{
+    if (running_)
+        return;
+    running_ = true;
+    pendingId_ = eq_.scheduleIn(phase, prio_, [this] { fire(); });
+}
+
+void
+PeriodicTask::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    eq_.cancel(pendingId_);
+    pendingId_ = 0;
+}
+
+void
+PeriodicTask::fire()
+{
+    if (!running_)
+        return;
+    // Reschedule before invoking so the callback may call stop().
+    pendingId_ = eq_.scheduleIn(period_, prio_, [this] { fire(); });
+    fn_(eq_.now());
+}
+
+} // namespace insure::sim

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Discrete-event scheduling core.
+ *
+ * The simulator advances by executing callbacks ordered by (time, priority,
+ * insertion sequence). Components either schedule one-shot events or use
+ * PeriodicTask for fixed-interval control loops (the PLC scan cycle, the
+ * MPPT perturbation period, workload arrivals, ...).
+ */
+
+#ifndef INSURE_SIM_EVENT_QUEUE_HH
+#define INSURE_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/units.hh"
+
+namespace insure::sim {
+
+/** Opaque handle identifying a scheduled event (for cancellation). */
+using EventId = std::uint64_t;
+
+/** Relative execution order for events scheduled at the same instant. */
+enum class EventPriority : int {
+    /** Physical-model updates (battery integration, solar sampling). */
+    Physics = 0,
+    /** Sensing/telemetry sampling of physical state. */
+    Telemetry = 1,
+    /** Control decisions that act on sensed state. */
+    Control = 2,
+    /** Statistics and trace recording, after the dust settles. */
+    Stats = 3,
+};
+
+/**
+ * Time-ordered queue of callbacks. Not thread-safe; the whole simulator is
+ * single-threaded and deterministic.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time in seconds since simulation start. */
+    Seconds now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     * @return an id usable with cancel().
+     */
+    EventId schedule(Seconds when, EventPriority prio,
+                     std::function<void()> fn);
+
+    /** Schedule @p fn to run @p delay seconds from now. */
+    EventId scheduleIn(Seconds delay, EventPriority prio,
+                       std::function<void()> fn);
+
+    /** Cancel a pending event. Cancelling a fired event is a no-op. */
+    void cancel(EventId id);
+
+    /** True when no runnable events remain. */
+    bool empty() const;
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return pendingCount_; }
+
+    /**
+     * Run events until the queue is empty or simulated time would exceed
+     * @p horizon. Time is left at min(horizon, last event time).
+     * @return number of events executed.
+     */
+    std::uint64_t runUntil(Seconds horizon);
+
+    /** Execute at most one event. @return false if none was runnable. */
+    bool step();
+
+  private:
+    struct Entry {
+        Seconds when;
+        int prio;
+        EventId id;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (prio != o.prio)
+                return prio > o.prio;
+            return id > o.id;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+    std::vector<EventId> cancelled_;
+    Seconds now_ = 0.0;
+    EventId nextId_ = 1;
+    std::size_t pendingCount_ = 0;
+
+    bool isCancelled(EventId id);
+};
+
+/**
+ * Helper that reschedules a callback every @p period seconds. The callback
+ * may stop the task; stopping from outside is also supported.
+ */
+class PeriodicTask
+{
+  public:
+    /**
+     * @param eq queue driving the task
+     * @param period interval between invocations, seconds (> 0)
+     * @param prio event priority class
+     * @param fn callback, invoked with the current simulated time
+     */
+    PeriodicTask(EventQueue &eq, Seconds period, EventPriority prio,
+                 std::function<void(Seconds)> fn);
+    ~PeriodicTask();
+
+    PeriodicTask(const PeriodicTask &) = delete;
+    PeriodicTask &operator=(const PeriodicTask &) = delete;
+
+    /** Begin ticking; first invocation occurs @p phase seconds from now. */
+    void start(Seconds phase = 0.0);
+
+    /** Stop ticking; safe to call from within the callback. */
+    void stop();
+
+    /** True while the task is scheduled. */
+    bool running() const { return running_; }
+
+    /** The configured tick interval. */
+    Seconds period() const { return period_; }
+
+  private:
+    EventQueue &eq_;
+    Seconds period_;
+    EventPriority prio_;
+    std::function<void(Seconds)> fn_;
+    EventId pendingId_ = 0;
+    bool running_ = false;
+
+    void fire();
+};
+
+} // namespace insure::sim
+
+#endif // INSURE_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,109 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace insure {
+
+LogLevel Logger::minLevel_ = LogLevel::Warn;
+
+void
+Logger::setLevel(LogLevel level)
+{
+    minLevel_ = level;
+}
+
+LogLevel
+Logger::level()
+{
+    return minLevel_;
+}
+
+bool
+Logger::enabled(LogLevel level)
+{
+    return static_cast<int>(level) >= static_cast<int>(minLevel_);
+}
+
+namespace {
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+void
+vlog(LogLevel level, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "[%s] ", levelTag(level));
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+void
+Logger::log(LogLevel level, const char *fmt, ...)
+{
+    if (!enabled(level))
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vlog(level, fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!Logger::enabled(LogLevel::Info))
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vlog(LogLevel::Info, fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (!Logger::enabled(LogLevel::Warn))
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vlog(LogLevel::Warn, fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "[fatal] ");
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "[panic] ");
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+    va_end(args);
+    std::abort();
+}
+
+} // namespace insure

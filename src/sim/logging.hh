@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal gem5-style logging and error-termination helpers.
+ *
+ * Two failure channels are distinguished, following the gem5 convention:
+ *  - panic(): an internal invariant was violated (a bug in this library);
+ *    aborts so a debugger or core dump can capture the state.
+ *  - fatal(): the user supplied an impossible configuration; exits cleanly
+ *    with a non-zero status.
+ */
+
+#ifndef INSURE_SIM_LOGGING_HH
+#define INSURE_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace insure {
+
+/** Severity levels for runtime log messages. */
+enum class LogLevel {
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+/**
+ * Global log sink. Messages below the configured threshold are dropped.
+ * Thread-compatible (the simulator is single-threaded by design).
+ */
+class Logger
+{
+  public:
+    /** Set the minimum level that will be emitted. */
+    static void setLevel(LogLevel level);
+    /** Current minimum level. */
+    static LogLevel level();
+    /** Emit a printf-formatted message at @p level. */
+    static void log(LogLevel level, const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+    /** True if a message at @p level would be emitted. */
+    static bool enabled(LogLevel level);
+
+  private:
+    static LogLevel minLevel_;
+};
+
+/** Informational message for normal operating conditions. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Warning about suspicious but survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** User-error termination: prints the message and exits with status 1. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Internal-bug termination: prints the message and aborts. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace insure
+
+#endif // INSURE_SIM_LOGGING_HH

@@ -1,0 +1,57 @@
+#include "sim/simulation.hh"
+
+#include "sim/logging.hh"
+
+namespace insure::sim {
+
+Component::Component(Simulation &sim, std::string name)
+    : sim_(sim), name_(std::move(name))
+{
+    sim_.registerComponent(this);
+}
+
+Simulation::Simulation(std::uint64_t seed) : root_(seed)
+{
+}
+
+void
+Simulation::registerComponent(Component *c)
+{
+    if (find(c->name()))
+        fatal("Simulation: duplicate component name '%s'",
+              c->name().c_str());
+    components_.push_back(c);
+}
+
+Component *
+Simulation::find(const std::string &name) const
+{
+    for (auto *c : components_) {
+        if (c->name() == name)
+            return c;
+    }
+    return nullptr;
+}
+
+void
+Simulation::runUntil(Seconds horizon)
+{
+    if (!started_) {
+        started_ = true;
+        for (auto *c : components_)
+            c->startup();
+    }
+    executed_ += events_.runUntil(horizon);
+}
+
+void
+Simulation::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    for (auto *c : components_)
+        c->finalize();
+}
+
+} // namespace insure::sim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Top-level simulation container.
+ *
+ * A Simulation owns the event queue and a registry of named components.
+ * Components attach periodic tasks or one-shot events to the queue; the
+ * Simulation drives everything to a time horizon and then finalises.
+ */
+
+#ifndef INSURE_SIM_SIMULATION_HH
+#define INSURE_SIM_SIMULATION_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/units.hh"
+
+namespace insure::sim {
+
+class Simulation;
+
+/**
+ * Base class for simulated subsystems. A component is registered with its
+ * Simulation at construction, receives startup() once before time advances
+ * and finalize() once after the run completes.
+ */
+class Component
+{
+  public:
+    /**
+     * @param sim owning simulation
+     * @param name unique hierarchical name (e.g. "battery.unit0")
+     */
+    Component(Simulation &sim, std::string name);
+    virtual ~Component() = default;
+
+    Component(const Component &) = delete;
+    Component &operator=(const Component &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Owning simulation. */
+    Simulation &sim() { return sim_; }
+
+    /** Owning simulation (const). */
+    const Simulation &sim() const { return sim_; }
+
+    /** Called once before the first event executes. */
+    virtual void startup() {}
+
+    /** Called once after the run ends. */
+    virtual void finalize() {}
+
+  private:
+    Simulation &sim_;
+    std::string name_;
+};
+
+/** Owns the clock, event queue, root RNG and component registry. */
+class Simulation
+{
+  public:
+    /** @param seed root seed; per-component streams derive from it. */
+    explicit Simulation(std::uint64_t seed = 2015);
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /** The event queue driving this simulation. */
+    EventQueue &events() { return events_; }
+
+    /** Current simulated time, seconds. */
+    Seconds now() const { return events_.now(); }
+
+    /** Derive an independent RNG stream (deterministic order-dependent). */
+    Rng makeRng() { return root_.split(); }
+
+    /** Called by Component's constructor. */
+    void registerComponent(Component *c);
+
+    /** Look up a component by name; null if absent. */
+    Component *find(const std::string &name) const;
+
+    /**
+     * Run to @p horizon seconds: issues startup() on first call, executes
+     * events, then leaves the clock at the horizon. May be called multiple
+     * times with increasing horizons; finalize() fires via finish().
+     */
+    void runUntil(Seconds horizon);
+
+    /** Invoke finalize() on all components (idempotent). */
+    void finish();
+
+    /** Total events executed so far. */
+    std::uint64_t eventsExecuted() const { return executed_; }
+
+  private:
+    EventQueue events_;
+    Rng root_;
+    std::vector<Component *> components_;
+    bool started_ = false;
+    bool finished_ = false;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace insure::sim
+
+#endif // INSURE_SIM_SIMULATION_HH

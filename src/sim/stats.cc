@@ -1,0 +1,241 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace insure::sim {
+
+namespace {
+
+std::string
+renderLine(const std::string &name, double value, const std::string &desc)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%-40s %14.6g  # %s", name.c_str(),
+                  value, desc.c_str());
+    return buf;
+}
+
+} // namespace
+
+StatBase::StatBase(StatGroup *group, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    if (group)
+        group->registerStat(this);
+}
+
+std::string
+Counter::render() const
+{
+    return renderLine(name(), static_cast<double>(value_), desc());
+}
+
+void
+Accumulator::sample(double v)
+{
+    ++count_;
+    sum_ += v;
+    sumSq_ += v * v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+double
+Accumulator::stddev() const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double m = mean();
+    const double var = sumSq_ / count_ - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+std::string
+Accumulator::render() const
+{
+    std::ostringstream os;
+    os << renderLine(name() + ".mean", mean(), desc()) << '\n'
+       << renderLine(name() + ".min", min(), desc()) << '\n'
+       << renderLine(name() + ".max", max(), desc()) << '\n'
+       << renderLine(name() + ".count", static_cast<double>(count_), desc());
+    return os.str();
+}
+
+void
+Accumulator::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    sumSq_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+void
+TimeWeightedGauge::set(Seconds now, double v)
+{
+    if (!started_) {
+        started_ = true;
+        start_ = now;
+        last_ = now;
+        level_ = v;
+        return;
+    }
+    if (now < last_)
+        panic("TimeWeightedGauge %s: time went backwards (%f < %f)",
+              name().c_str(), now, last_);
+    integral_ += level_ * (now - last_);
+    last_ = now;
+    level_ = v;
+}
+
+double
+TimeWeightedGauge::integral(Seconds now) const
+{
+    if (!started_)
+        return 0.0;
+    return integral_ + level_ * std::max(0.0, now - last_);
+}
+
+double
+TimeWeightedGauge::average(Seconds now) const
+{
+    if (!started_ || now <= start_)
+        return level_;
+    return integral(now) / (now - start_);
+}
+
+std::string
+TimeWeightedGauge::render() const
+{
+    return renderLine(name() + ".avg", average(last_), desc());
+}
+
+void
+TimeWeightedGauge::reset()
+{
+    level_ = 0.0;
+    integral_ = 0.0;
+    start_ = 0.0;
+    last_ = 0.0;
+    started_ = false;
+}
+
+Histogram::Histogram(StatGroup *group, std::string name, std::string desc,
+                     double lo, double hi, std::size_t bins)
+    : StatBase(group, std::move(name), std::move(desc)),
+      lo_(lo), hi_(hi), bins_(bins, 0)
+{
+    if (bins == 0 || hi <= lo)
+        fatal("Histogram %s: invalid range [%f, %f) x %zu bins",
+              this->name().c_str(), lo, hi, bins);
+}
+
+void
+Histogram::sample(double v)
+{
+    ++count_;
+    sum_ += v;
+    if (v < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (v >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const auto idx = static_cast<std::size_t>(
+        (v - lo_) / (hi_ - lo_) * bins_.size());
+    ++bins_[std::min(idx, bins_.size() - 1)];
+}
+
+double
+Histogram::quantile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const double target = p * count_;
+    double cum = underflow_;
+    if (cum >= target)
+        return lo_;
+    const double width = (hi_ - lo_) / bins_.size();
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        const double next = cum + bins_[i];
+        if (next >= target && bins_[i] > 0) {
+            const double frac = (target - cum) / bins_[i];
+            return lo_ + width * (i + frac);
+        }
+        cum = next;
+    }
+    return hi_;
+}
+
+std::string
+Histogram::render() const
+{
+    std::ostringstream os;
+    os << renderLine(name() + ".mean", mean(), desc()) << '\n'
+       << renderLine(name() + ".count", static_cast<double>(count_), desc())
+       << '\n'
+       << renderLine(name() + ".p50", quantile(0.5), desc()) << '\n'
+       << renderLine(name() + ".p99", quantile(0.99), desc());
+    return os.str();
+}
+
+void
+Histogram::reset()
+{
+    std::fill(bins_.begin(), bins_.end(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+    count_ = 0;
+    sum_ = 0.0;
+}
+
+StatGroup::StatGroup(std::string name) : name_(std::move(name))
+{
+}
+
+void
+StatGroup::registerStat(StatBase *stat)
+{
+    if (find(stat->name()))
+        fatal("StatGroup %s: duplicate stat name '%s'", name_.c_str(),
+              stat->name().c_str());
+    stats_.push_back(stat);
+}
+
+const StatBase *
+StatGroup::find(const std::string &name) const
+{
+    for (const auto *s : stats_) {
+        if (s->name() == name)
+            return s;
+    }
+    return nullptr;
+}
+
+std::string
+StatGroup::report() const
+{
+    std::ostringstream os;
+    os << "---------- " << name_ << " ----------\n";
+    for (const auto *s : stats_)
+        os << s->render() << '\n';
+    return os.str();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto *s : stats_)
+        s->reset();
+}
+
+} // namespace insure::sim

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Lightweight statistics package, loosely modelled on gem5's Stats.
+ *
+ * Provides Counter (monotone event counts), Accumulator (sum/min/max/mean of
+ * samples), TimeWeightedGauge (averages a level over simulated time, used
+ * for e.g. "average stored energy"), Histogram (fixed-width bins), and a
+ * StatGroup registry that can render everything as a text report.
+ */
+
+#ifndef INSURE_SIM_STATS_HH
+#define INSURE_SIM_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/units.hh"
+
+namespace insure::sim {
+
+class StatGroup;
+
+/** Base class giving every statistic a name and description. */
+class StatBase
+{
+  public:
+    /**
+     * @param group owning group (registers this stat); may be null
+     * @param name short identifier, unique within the group
+     * @param desc one-line human description
+     */
+    StatBase(StatGroup *group, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Render the value(s) as "name value # desc" line(s). */
+    virtual std::string render() const = 0;
+
+    /** Reset to the initial state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** Monotonically increasing event counter. */
+class Counter : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+
+    std::string render() const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Sum / count / min / max / mean over a stream of samples. */
+class Accumulator : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    /** Record one sample. */
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    /** Population standard deviation of the samples. */
+    double stddev() const;
+
+    std::string render() const override;
+    void reset() override;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Averages a piecewise-constant level over simulated time. Call set() every
+ * time the level changes; the integral is maintained exactly.
+ */
+class TimeWeightedGauge : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    /** Record that the level becomes @p v at time @p now. */
+    void set(Seconds now, double v);
+
+    /** Current level. */
+    double current() const { return level_; }
+
+    /** Time-weighted mean of the level from the first set() to @p now. */
+    double average(Seconds now) const;
+
+    /** Integral of the level (level x seconds) up to @p now. */
+    double integral(Seconds now) const;
+
+    std::string render() const override;
+    void reset() override;
+
+  private:
+    double level_ = 0.0;
+    double integral_ = 0.0;
+    Seconds start_ = 0.0;
+    Seconds last_ = 0.0;
+    bool started_ = false;
+};
+
+/** Fixed-width-bin histogram with underflow/overflow buckets. */
+class Histogram : public StatBase
+{
+  public:
+    /**
+     * @param group owning group
+     * @param name identifier
+     * @param desc description
+     * @param lo lower edge of the first bin
+     * @param hi upper edge of the last bin
+     * @param bins number of bins (>= 1)
+     */
+    Histogram(StatGroup *group, std::string name, std::string desc,
+              double lo, double hi, std::size_t bins);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    const std::vector<std::uint64_t> &bins() const { return bins_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** Approximate p-quantile (0 <= p <= 1) from the binned data. */
+    double quantile(double p) const;
+
+    std::string render() const override;
+    void reset() override;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/** Named collection of statistics that renders a combined report. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name);
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Called by StatBase constructor. */
+    void registerStat(StatBase *stat);
+
+    /** All registered stats, in registration order. */
+    const std::vector<StatBase *> &stats() const { return stats_; }
+
+    /** Find a stat by name; null if absent. */
+    const StatBase *find(const std::string &name) const;
+
+    /** Render all stats as a gem5-style text block. */
+    std::string report() const;
+
+    /** Reset every stat in the group. */
+    void resetAll();
+
+  private:
+    std::string name_;
+    std::vector<StatBase *> stats_;
+};
+
+} // namespace insure::sim
+
+#endif // INSURE_SIM_STATS_HH

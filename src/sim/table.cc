@@ -1,0 +1,98 @@
+#include "sim/table.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace insure::sim {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("TextTable: at least one column is required");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        fatal("TextTable: row has %zu cells, expected %zu", cells.size(),
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::percent(double frac, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, frac * 100.0);
+    return buf;
+}
+
+std::string
+TextTable::dollars(double v)
+{
+    const bool neg = v < 0;
+    auto cents = static_cast<long long>(std::llround(std::fabs(v) * 100));
+    const long long whole = cents / 100;
+    std::string digits = std::to_string(whole);
+    std::string grouped;
+    int n = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (n && n % 3 == 0)
+            grouped.push_back(',');
+        grouped.push_back(*it);
+        ++n;
+    }
+    std::string out(grouped.rbegin(), grouped.rend());
+    return std::string(neg ? "-$" : "$") + out;
+}
+
+std::string
+TextTable::render(const std::string &title) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::ostringstream os;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c ? "  " : "");
+            os << cells[c];
+            os << std::string(widths[c] - cells[c].size(), ' ');
+        }
+        return os.str();
+    };
+
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w;
+    total += 2 * (widths.size() - 1);
+
+    std::ostringstream os;
+    if (!title.empty())
+        os << title << '\n';
+    os << renderRow(headers_) << '\n';
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        os << renderRow(row) << '\n';
+    return os.str();
+}
+
+} // namespace insure::sim

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Plain-text table formatting for benchmark reports.
+ *
+ * Every bench binary reproduces a paper table or figure by printing an
+ * aligned text table; TextTable keeps that output consistent.
+ */
+
+#ifndef INSURE_SIM_TABLE_HH
+#define INSURE_SIM_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace insure::sim {
+
+/** Simple aligned text table with a header row. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row of pre-formatted cells (must match header count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p precision significant decimals. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format a percentage (0.42 -> "42.0%"). */
+    static std::string percent(double frac, int precision = 1);
+
+    /** Format a dollar amount with thousands separators. */
+    static std::string dollars(double v);
+
+    /** Render the table with a title line and separators. */
+    std::string render(const std::string &title = "") const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace insure::sim
+
+#endif // INSURE_SIM_TABLE_HH

@@ -1,0 +1,160 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace insure::sim {
+
+Trace::Trace(std::vector<std::string> columns) : columns_(std::move(columns))
+{
+    if (columns_.empty())
+        fatal("Trace: at least one column is required");
+}
+
+void
+Trace::append(const std::vector<double> &row)
+{
+    if (row.size() != columns_.size())
+        fatal("Trace: row has %zu values, expected %zu", row.size(),
+              columns_.size());
+    rows_.push_back(row);
+}
+
+int
+Trace::columnIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+        if (columns_[i] == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+std::vector<double>
+Trace::column(const std::string &name) const
+{
+    const int idx = columnIndex(name);
+    if (idx < 0)
+        fatal("Trace: no column named '%s'", name.c_str());
+    std::vector<double> out;
+    out.reserve(rows_.size());
+    for (const auto &r : rows_)
+        out.push_back(r[idx]);
+    return out;
+}
+
+double
+Trace::at(std::size_t r, const std::string &name) const
+{
+    const int idx = columnIndex(name);
+    if (idx < 0)
+        fatal("Trace: no column named '%s'", name.c_str());
+    if (r >= rows_.size())
+        fatal("Trace: row %zu out of range (%zu rows)", r, rows_.size());
+    return rows_[r][idx];
+}
+
+double
+Trace::interpolate(double x, const std::string &name) const
+{
+    const int idx = columnIndex(name);
+    if (idx < 0)
+        fatal("Trace: no column named '%s'", name.c_str());
+    if (rows_.empty())
+        fatal("Trace: interpolate on empty trace");
+    if (x <= rows_.front()[0])
+        return rows_.front()[idx];
+    if (x >= rows_.back()[0])
+        return rows_.back()[idx];
+    // Binary search over the (sorted) first column.
+    std::size_t lo = 0;
+    std::size_t hi = rows_.size() - 1;
+    while (hi - lo > 1) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (rows_[mid][0] <= x)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    const double x0 = rows_[lo][0];
+    const double x1 = rows_[hi][0];
+    const double y0 = rows_[lo][idx];
+    const double y1 = rows_[hi][idx];
+    if (x1 <= x0)
+        return y0;
+    const double t = (x - x0) / (x1 - x0);
+    return y0 + t * (y1 - y0);
+}
+
+void
+Trace::writeCsv(std::ostream &os) const
+{
+    for (std::size_t i = 0; i < columns_.size(); ++i)
+        os << (i ? "," : "") << columns_[i];
+    os << '\n';
+    os.precision(10);
+    for (const auto &r : rows_) {
+        for (std::size_t i = 0; i < r.size(); ++i)
+            os << (i ? "," : "") << r[i];
+        os << '\n';
+    }
+}
+
+void
+Trace::saveCsv(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("Trace: cannot open '%s' for writing", path.c_str());
+    writeCsv(os);
+}
+
+Trace
+Trace::readCsv(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line))
+        fatal("Trace: empty CSV input");
+    std::vector<std::string> cols;
+    {
+        std::stringstream ss(line);
+        std::string field;
+        while (std::getline(ss, field, ','))
+            cols.push_back(field);
+    }
+    Trace t(cols);
+    std::size_t lineno = 1;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        std::vector<double> row;
+        row.reserve(cols.size());
+        std::stringstream ss(line);
+        std::string field;
+        while (std::getline(ss, field, ',')) {
+            try {
+                row.push_back(std::stod(field));
+            } catch (...) {
+                fatal("Trace: bad number '%s' at CSV line %zu",
+                      field.c_str(), lineno);
+            }
+        }
+        t.append(row);
+    }
+    return t;
+}
+
+Trace
+Trace::loadCsv(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("Trace: cannot open '%s' for reading", path.c_str());
+    return readCsv(is);
+}
+
+} // namespace insure::sim

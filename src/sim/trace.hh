@@ -1,0 +1,72 @@
+/**
+ * @file
+ * CSV trace recording and replay.
+ *
+ * TraceWriter records named columns of doubles, one row per sample, and can
+ * serialise to a CSV stream/file. TraceReader parses the same format back.
+ * Used for solar day traces, battery voltage logs, and bench outputs.
+ */
+
+#ifndef INSURE_SIM_TRACE_HH
+#define INSURE_SIM_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace insure::sim {
+
+/** In-memory columnar trace with CSV serialisation. */
+class Trace
+{
+  public:
+    /** Create a trace with the given column names (first is usually time). */
+    explicit Trace(std::vector<std::string> columns);
+
+    /** Column names. */
+    const std::vector<std::string> &columns() const { return columns_; }
+
+    /** Number of recorded rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Append one row; must have exactly columns().size() values. */
+    void append(const std::vector<double> &row);
+
+    /** Access row @p r. */
+    const std::vector<double> &row(std::size_t r) const { return rows_[r]; }
+
+    /** Index of a named column, or -1. */
+    int columnIndex(const std::string &name) const;
+
+    /** All values of a named column. Fatal if the column is absent. */
+    std::vector<double> column(const std::string &name) const;
+
+    /** Value at (row, named column). Fatal if the column is absent. */
+    double at(std::size_t r, const std::string &name) const;
+
+    /**
+     * Linear interpolation of @p name over the first column (which must be
+     * non-decreasing). Values outside the range clamp to the end points.
+     */
+    double interpolate(double x, const std::string &name) const;
+
+    /** Write CSV (header + rows) to a stream. */
+    void writeCsv(std::ostream &os) const;
+
+    /** Write CSV to a file path. Fatal on I/O error. */
+    void saveCsv(const std::string &path) const;
+
+    /** Parse CSV from a stream. Fatal on malformed input. */
+    static Trace readCsv(std::istream &is);
+
+    /** Parse CSV from a file path. Fatal on I/O error. */
+    static Trace loadCsv(const std::string &path);
+
+  private:
+    std::vector<std::string> columns_;
+    std::vector<std::vector<double>> rows_;
+};
+
+} // namespace insure::sim
+
+#endif // INSURE_SIM_TRACE_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Physical unit aliases and conversion helpers used across the InSURE
+ * simulation. All quantities are stored as doubles in SI-derived units that
+ * match everyday power-system usage (watts, watt-hours, amperes, volts,
+ * ampere-hours, seconds).
+ */
+
+#ifndef INSURE_SIM_UNITS_HH
+#define INSURE_SIM_UNITS_HH
+
+namespace insure {
+
+/** Simulated time in seconds. */
+using Seconds = double;
+/** Electrical power in watts. */
+using Watts = double;
+/** Energy in watt-hours. */
+using WattHours = double;
+/** Current in amperes. */
+using Amperes = double;
+/** Electric potential in volts. */
+using Volts = double;
+/** Charge in ampere-hours. */
+using AmpHours = double;
+/** Data volume in gigabytes. */
+using GigaBytes = double;
+/** Money in US dollars. */
+using Dollars = double;
+
+namespace units {
+
+/** Seconds per hour. */
+inline constexpr double secPerHour = 3600.0;
+/** Seconds per day. */
+inline constexpr double secPerDay = 86400.0;
+/** Hours per day. */
+inline constexpr double hoursPerDay = 24.0;
+/** Days per (average) month. */
+inline constexpr double daysPerMonth = 30.44;
+/** Days per year. */
+inline constexpr double daysPerYear = 365.25;
+
+/** Convert a duration in seconds to hours. */
+constexpr double
+toHours(Seconds s)
+{
+    return s / secPerHour;
+}
+
+/** Convert a duration in hours to seconds. */
+constexpr Seconds
+hours(double h)
+{
+    return h * secPerHour;
+}
+
+/** Convert a duration in minutes to seconds. */
+constexpr Seconds
+minutes(double m)
+{
+    return m * 60.0;
+}
+
+/** Convert a duration in days to seconds. */
+constexpr Seconds
+days(double d)
+{
+    return d * secPerDay;
+}
+
+/** Energy delivered by @p p watts over @p s seconds, in watt-hours. */
+constexpr WattHours
+energyWh(Watts p, Seconds s)
+{
+    return p * toHours(s);
+}
+
+/** Charge moved by @p i amperes over @p s seconds, in ampere-hours. */
+constexpr AmpHours
+chargeAh(Amperes i, Seconds s)
+{
+    return i * toHours(s);
+}
+
+} // namespace units
+} // namespace insure
+
+#endif // INSURE_SIM_UNITS_HH

@@ -1,0 +1,94 @@
+#include "solar/irradiance.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace insure::solar {
+
+const char *
+dayClassName(DayClass c)
+{
+    switch (c) {
+      case DayClass::Sunny: return "sunny";
+      case DayClass::Cloudy: return "cloudy";
+      case DayClass::Rainy: return "rainy";
+    }
+    return "?";
+}
+
+IrradianceParams
+irradianceParamsFor(DayClass c)
+{
+    IrradianceParams p;
+    switch (c) {
+      case DayClass::Sunny:
+        p.clearDwell = 4200.0;
+        p.cloudDwell = 180.0;
+        p.cloudTransmittance = 0.70;
+        p.cloudSpread = 0.10;
+        p.baseTransmittance = 1.0;
+        break;
+      case DayClass::Cloudy:
+        p.clearDwell = 900.0;
+        p.cloudDwell = 700.0;
+        p.cloudTransmittance = 0.40;
+        p.cloudSpread = 0.22;
+        p.baseTransmittance = 0.92;
+        break;
+      case DayClass::Rainy:
+        p.clearDwell = 500.0;
+        p.cloudDwell = 2200.0;
+        p.cloudTransmittance = 0.25;
+        p.cloudSpread = 0.12;
+        p.baseTransmittance = 0.55;
+        break;
+    }
+    return p;
+}
+
+IrradianceModel::IrradianceModel(const IrradianceParams &params, Rng rng)
+    : params_(params), rng_(rng)
+{
+    scheduleTransition(0.0);
+}
+
+void
+IrradianceModel::scheduleTransition(Seconds now)
+{
+    const Seconds dwell =
+        inCloud_ ? params_.cloudDwell : params_.clearDwell;
+    nextTransition_ = now + rng_.exponential(1.0 / std::max(1.0, dwell));
+    if (inCloud_) {
+        target_ = std::clamp(
+            rng_.normal(params_.cloudTransmittance, params_.cloudSpread),
+            0.02, 0.95);
+    } else {
+        target_ = 1.0;
+    }
+}
+
+double
+IrradianceModel::clearSky(Seconds now) const
+{
+    if (now <= params_.sunrise || now >= params_.sunset)
+        return 0.0;
+    const double x =
+        (now - params_.sunrise) / (params_.sunset - params_.sunrise);
+    return std::pow(std::sin(M_PI * x), params_.shape);
+}
+
+void
+IrradianceModel::step(Seconds now, Seconds dt)
+{
+    while (now >= nextTransition_) {
+        inCloud_ = !inCloud_;
+        scheduleTransition(nextTransition_);
+    }
+    // First-order low-pass toward the current transmittance target.
+    const double alpha =
+        1.0 - std::exp(-dt / std::max(1.0, params_.smoothing));
+    smoothed_ += alpha * (target_ - smoothed_);
+    value_ = clearSky(now) * smoothed_ * params_.baseTransmittance;
+}
+
+} // namespace insure::solar

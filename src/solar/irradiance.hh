@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Solar irradiance model: deterministic clear-sky envelope modulated by a
+ * stochastic cloud process.
+ *
+ * The clear-sky envelope is a sine-power day curve between sunrise and
+ * sunset. Cloud cover follows a two-state (clear / cloud) continuous-time
+ * Markov chain with exponentially distributed dwell times; within a cloud
+ * event the transmittance is drawn per event and low-pass filtered, which
+ * reproduces both slow overcast days and the fast, deep fluctuations of
+ * partly-cloudy days (paper Fig. 15/16 Region E).
+ */
+
+#ifndef INSURE_SOLAR_IRRADIANCE_HH
+#define INSURE_SOLAR_IRRADIANCE_HH
+
+#include "sim/rng.hh"
+#include "sim/units.hh"
+
+namespace insure::solar {
+
+/** Weather classes used throughout the evaluation (paper Table 6). */
+enum class DayClass {
+    Sunny,
+    Cloudy,
+    Rainy,
+};
+
+/** Printable name of a day class. */
+const char *dayClassName(DayClass c);
+
+/** Parameters of the irradiance process. */
+struct IrradianceParams {
+    /** Sunrise, seconds after midnight (prototype logs: ~6:54 AM). */
+    Seconds sunrise = 6.9 * units::secPerHour;
+    /** Sunset, seconds after midnight (~8:00 PM). */
+    Seconds sunset = 20.0 * units::secPerHour;
+    /** Shape exponent of the day curve (1 = pure sine). */
+    double shape = 1.2;
+    /** Mean dwell time in the clear state, seconds. */
+    Seconds clearDwell = 1800.0;
+    /** Mean dwell time in a cloud event, seconds. */
+    Seconds cloudDwell = 420.0;
+    /** Mean transmittance during a cloud event, in [0, 1]. */
+    double cloudTransmittance = 0.45;
+    /** Spread of per-event transmittance draws. */
+    double cloudSpread = 0.20;
+    /** Baseline (all-day) attenuation, in [0, 1]. */
+    double baseTransmittance = 1.0;
+    /** Low-pass time constant for transmittance changes, seconds. */
+    Seconds smoothing = 30.0;
+};
+
+/** Preset parameters for a weather class. */
+IrradianceParams irradianceParamsFor(DayClass c);
+
+/**
+ * Stateful irradiance process. Call step(dt) once per physics tick; the
+ * value() is the current irradiance fraction in [0, 1] relative to the
+ * clear-sky peak.
+ */
+class IrradianceModel
+{
+  public:
+    /**
+     * @param params process parameters
+     * @param rng dedicated random stream (owned copy)
+     */
+    IrradianceModel(const IrradianceParams &params, Rng rng);
+
+    /** Advance to absolute day time @p now (seconds after midnight). */
+    void step(Seconds now, Seconds dt);
+
+    /** Current irradiance fraction in [0, 1]. */
+    double value() const { return value_; }
+
+    /** Deterministic clear-sky fraction at @p now, in [0, 1]. */
+    double clearSky(Seconds now) const;
+
+    /** Current cloud transmittance target (before smoothing). */
+    double transmittanceTarget() const { return target_; }
+
+  private:
+    IrradianceParams params_;
+    Rng rng_;
+    bool inCloud_ = false;
+    Seconds nextTransition_ = 0.0;
+    double target_ = 1.0;
+    double smoothed_ = 1.0;
+    double value_ = 0.0;
+
+    void scheduleTransition(Seconds now);
+};
+
+} // namespace insure::solar
+
+#endif // INSURE_SOLAR_IRRADIANCE_HH

@@ -1,0 +1,59 @@
+#include "solar/mppt.hh"
+
+#include <algorithm>
+
+namespace insure::solar {
+
+MpptTracker::MpptTracker(const PvPanel &panel, const MpptParams &params)
+    : panel_(panel), params_(params)
+{
+    reset();
+}
+
+void
+MpptTracker::reset()
+{
+    voltage_ =
+        params_.initialFraction * panel_.params().openCircuitVoltage;
+    lastPower_ = 0.0;
+    direction_ = 1.0;
+}
+
+Watts
+MpptTracker::step(double g)
+{
+    // Dead output (night, or parked on the open-circuit rail): drift the
+    // operating point back toward the nominal MPP so tracking restarts
+    // cleanly at dawn, as real controllers do.
+    if (lastPower_ <= 1e-6 && panel_.power(g, voltage_) <= 1e-6) {
+        const Volts home =
+            params_.initialFraction * panel_.params().openCircuitVoltage;
+        voltage_ += std::clamp(home - voltage_, -4.0 * params_.stepVoltage,
+                               4.0 * params_.stepVoltage);
+        lastPower_ = panel_.power(g, voltage_);
+        return lastPower_;
+    }
+
+    // Observe power at the perturbed operating point; reverse direction if
+    // the last move reduced output.
+    const Volts candidate = std::clamp(
+        voltage_ + direction_ * params_.stepVoltage, 1.0,
+        panel_.params().openCircuitVoltage);
+    const Watts p = panel_.power(g, candidate);
+    if (p < lastPower_)
+        direction_ = -direction_;
+    voltage_ = candidate;
+    lastPower_ = p;
+    return p;
+}
+
+double
+MpptTracker::trackingEfficiency(double g) const
+{
+    const Watts ideal = panel_.maxPower(g);
+    if (ideal <= 1e-9)
+        return 1.0;
+    return std::clamp(lastPower_ / ideal, 0.0, 1.0);
+}
+
+} // namespace insure::solar

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Perturb & Observe maximum power point tracker.
+ *
+ * The tracker perturbs the array operating voltage by a fixed step each
+ * control period and keeps moving in the direction that increased measured
+ * power (paper §6.1, ref. [63]). Around the MPP this oscillates within one
+ * step; under fast irradiance swings it transiently mistracks — both appear
+ * as the "green peaks" of the paper's Fig. 16 Region B and the losses of
+ * Region E.
+ */
+
+#ifndef INSURE_SOLAR_MPPT_HH
+#define INSURE_SOLAR_MPPT_HH
+
+#include "solar/pv_panel.hh"
+
+namespace insure::solar {
+
+/** Tracker tuning. */
+struct MpptParams {
+    /** Voltage perturbation per control period. */
+    Volts stepVoltage = 1.5;
+    /** Control period, seconds. */
+    Seconds period = 1.0;
+    /** Initial operating voltage as a fraction of open-circuit voltage. */
+    double initialFraction = 0.8;
+};
+
+/** P&O tracker bound to a PV panel model. */
+class MpptTracker
+{
+  public:
+    /**
+     * @param panel electrical model to operate on (must outlive tracker)
+     * @param params tuning constants
+     */
+    MpptTracker(const PvPanel &panel, const MpptParams &params = {});
+
+    /**
+     * Run one perturb-observe cycle at irradiance fraction @p g.
+     * @return the array output power at the new operating point.
+     */
+    Watts step(double g);
+
+    /** Current operating voltage. */
+    Volts operatingVoltage() const { return voltage_; }
+
+    /** Output power at the last step. */
+    Watts outputPower() const { return lastPower_; }
+
+    /**
+     * Tracking efficiency at irradiance @p g: output power relative to the
+     * true maximum power point (1.0 = perfect).
+     */
+    double trackingEfficiency(double g) const;
+
+    /** Reset to the initial operating point. */
+    void reset();
+
+  private:
+    const PvPanel &panel_;
+    MpptParams params_;
+    Volts voltage_;
+    Watts lastPower_ = 0.0;
+    double direction_ = 1.0;
+};
+
+} // namespace insure::solar
+
+#endif // INSURE_SOLAR_MPPT_HH

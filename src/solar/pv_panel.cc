@@ -1,0 +1,99 @@
+#include "solar/pv_panel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace insure::solar {
+
+namespace {
+
+/** Golden-section maximisation of a unimodal function on [lo, hi]. */
+template <typename F>
+double
+goldenMax(F f, double lo, double hi, double tol = 1e-3)
+{
+    const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+    double a = lo;
+    double b = hi;
+    double x1 = b - phi * (b - a);
+    double x2 = a + phi * (b - a);
+    double f1 = f(x1);
+    double f2 = f(x2);
+    while (b - a > tol) {
+        if (f1 < f2) {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + phi * (b - a);
+            f2 = f(x2);
+        } else {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - phi * (b - a);
+            f1 = f(x1);
+        }
+    }
+    return (a + b) / 2.0;
+}
+
+} // namespace
+
+PvPanel::PvPanel(const PvPanelParams &params) : params_(params)
+{
+    if (params_.ratedPower <= 0.0 || params_.openCircuitVoltage <= 0.0 ||
+        params_.diodeScale <= 0.0)
+        fatal("PvPanel: invalid parameters");
+
+    // Calibrate the photocurrent so the true MPP at full irradiance equals
+    // the rated power. Power is linear in the current scale, so one pass
+    // with a unit photocurrent suffices.
+    iscFull_ = 1.0;
+    const Watts raw = maxPower(1.0);
+    iscFull_ = params_.ratedPower / raw;
+}
+
+Amperes
+PvPanel::shortCircuitCurrent(double g) const
+{
+    return iscFull_ * std::clamp(g, 0.0, 1.0);
+}
+
+Amperes
+PvPanel::current(double g, Volts v) const
+{
+    g = std::clamp(g, 0.0, 1.0);
+    if (g <= 0.0 || v >= params_.openCircuitVoltage * 1.2)
+        return 0.0;
+    const double i0 =
+        iscFull_ /
+        (std::exp(params_.openCircuitVoltage / params_.diodeScale) - 1.0);
+    const Amperes i =
+        iscFull_ * g - i0 * (std::exp(v / params_.diodeScale) - 1.0);
+    return std::max(0.0, i);
+}
+
+Watts
+PvPanel::power(double g, Volts v) const
+{
+    if (v <= 0.0)
+        return 0.0;
+    return current(g, v) * v * (1.0 - params_.seriesLoss);
+}
+
+Volts
+PvPanel::maxPowerVoltage(double g) const
+{
+    return goldenMax([&](double v) { return power(g, v); }, 0.0,
+                     params_.openCircuitVoltage);
+}
+
+Watts
+PvPanel::maxPower(double g) const
+{
+    return power(g, maxPowerVoltage(g));
+}
+
+} // namespace insure::solar

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Photovoltaic array electrical model.
+ *
+ * A simplified single-diode characteristic: the photocurrent scales with
+ * irradiance while the diode term fixes the voltage knee, giving the
+ * familiar I-V and P-V curves with a single maximum power point whose
+ * voltage drifts with irradiance. The MPPT (see mppt.hh) operates on this
+ * curve; the installed capacity defaults to the prototype's 1.6 kW
+ * Grape Solar array.
+ */
+
+#ifndef INSURE_SOLAR_PV_PANEL_HH
+#define INSURE_SOLAR_PV_PANEL_HH
+
+#include "sim/units.hh"
+
+namespace insure::solar {
+
+/** Electrical parameters of the PV array. */
+struct PvPanelParams {
+    /** Rated (STC) array power at full irradiance, watts. */
+    Watts ratedPower = 1600.0;
+    /** Open-circuit voltage at full irradiance. */
+    Volts openCircuitVoltage = 120.0;
+    /** Diode ideality scale: thermal-voltage equivalent of the array. */
+    Volts diodeScale = 4.0;
+    /** Series-loss fraction at the maximum power point. */
+    double seriesLoss = 0.02;
+};
+
+/** The PV array: maps (irradiance fraction, operating voltage) to power. */
+class PvPanel
+{
+  public:
+    explicit PvPanel(const PvPanelParams &params = {});
+
+    const PvPanelParams &params() const { return params_; }
+
+    /**
+     * Output current at irradiance fraction @p g (0..1) and terminal
+     * voltage @p v. Clamped at zero (no reverse conduction).
+     */
+    Amperes current(double g, Volts v) const;
+
+    /** Output power at irradiance fraction @p g and voltage @p v. */
+    Watts power(double g, Volts v) const;
+
+    /** Short-circuit current at irradiance fraction @p g. */
+    Amperes shortCircuitCurrent(double g) const;
+
+    /**
+     * True maximum power point at irradiance fraction @p g, found by
+     * golden-section search (reference for MPPT tracking efficiency).
+     */
+    Watts maxPower(double g) const;
+
+    /** Voltage of the true maximum power point at irradiance @p g. */
+    Volts maxPowerVoltage(double g) const;
+
+  private:
+    PvPanelParams params_;
+    Amperes iscFull_;
+};
+
+} // namespace insure::solar
+
+#endif // INSURE_SOLAR_PV_PANEL_HH

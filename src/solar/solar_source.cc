@@ -1,0 +1,124 @@
+#include "solar/solar_source.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace insure::solar {
+
+SolarSource::SolarSource(DayClass day, Rng rng, PvPanelParams panel,
+                         MpptParams mppt)
+    : model_(std::make_unique<Model>(day, rng, panel, mppt))
+{
+}
+
+SolarSource::SolarSource(sim::Trace trace) : trace_(std::move(trace))
+{
+    if (trace_->columnIndex("power_w") < 0)
+        fatal("SolarSource: trace must have a 'power_w' column");
+    if (trace_->rows() < 2)
+        fatal("SolarSource: trace needs at least two samples");
+    // Traces repeat on whole-day boundaries (a one-day trace replays
+    // daily; a multi-day campaign trace replays after its last day).
+    const Seconds last = trace_->row(trace_->rows() - 1)[0];
+    const double days = std::max(1.0, std::ceil(last / units::secPerDay));
+    traceSpan_ = days * units::secPerDay;
+}
+
+void
+SolarSource::step(Seconds now, Seconds dt)
+{
+    if (model_) {
+        model_->irradiance.step(std::fmod(now, units::secPerDay), dt);
+        power_ = model_->mppt.step(model_->irradiance.value());
+    } else {
+        power_ = trace_->interpolate(std::fmod(now, traceSpan_),
+                                     "power_w");
+    }
+    offeredWh_ += units::energyWh(power_, dt);
+}
+
+double
+SolarSource::irradiance() const
+{
+    return model_ ? model_->irradiance.value() : 0.0;
+}
+
+Watts
+SolarSource::forecastAvg(Seconds day_time, Seconds horizon) const
+{
+    if (horizon <= 0.0)
+        return power_;
+    const Seconds step = 300.0;
+    double sum = 0.0;
+    int n = 0;
+    for (Seconds t = day_time; t < day_time + horizon; t += step) {
+        if (trace_) {
+            sum += trace_->interpolate(std::fmod(t, traceSpan_),
+                                       "power_w");
+        } else {
+            // Clear-sky envelope at the panel's rated output, attenuated
+            // by the currently observed transmittance.
+            const Seconds wrapped = std::fmod(t, units::secPerDay);
+            const double clear = model_->irradiance.clearSky(wrapped);
+            sum += model_->panel.maxPower(
+                clear * model_->irradiance.transmittanceTarget());
+        }
+        ++n;
+    }
+    return n ? sum / n : power_;
+}
+
+double
+SolarSource::trackingEfficiency() const
+{
+    if (!model_)
+        return 1.0;
+    return model_->mppt.trackingEfficiency(model_->irradiance.value());
+}
+
+sim::Trace
+SolarSource::generateDayTrace(DayClass day, std::uint64_t seed,
+                              PvPanelParams panel, Seconds resolution)
+{
+    SolarSource src(day, Rng(seed), panel);
+    sim::Trace trace({"time_s", "power_w"});
+    for (Seconds t = 0.0; t < units::secPerDay; t += resolution) {
+        src.step(t, resolution);
+        trace.append({t, src.availablePower()});
+    }
+    return trace;
+}
+
+WattHours
+SolarSource::traceEnergyWh(const sim::Trace &trace)
+{
+    WattHours e = 0.0;
+    for (std::size_t r = 1; r < trace.rows(); ++r) {
+        const double dt = trace.row(r)[0] - trace.row(r - 1)[0];
+        const double p =
+            0.5 * (trace.at(r, "power_w") + trace.at(r - 1, "power_w"));
+        e += units::energyWh(p, dt);
+    }
+    return e;
+}
+
+sim::Trace
+SolarSource::scaleTraceToEnergy(const sim::Trace &trace, WattHours target_wh)
+{
+    const WattHours current = traceEnergyWh(trace);
+    if (current <= 0.0)
+        fatal("SolarSource: cannot scale a zero-energy trace");
+    const double k = target_wh / current;
+    sim::Trace out(trace.columns());
+    const int pcol = trace.columnIndex("power_w");
+    for (std::size_t r = 0; r < trace.rows(); ++r) {
+        auto row = trace.row(r);
+        row[pcol] *= k;
+        out.append(row);
+    }
+    return out;
+}
+
+} // namespace insure::solar

@@ -1,0 +1,68 @@
+#include "telemetry/coordination_link.hh"
+
+namespace insure::telemetry {
+
+CoordinationLink::CoordinationLink(ModbusSlave &slave, std::uint8_t unit)
+    : slave_(slave), unit_(unit)
+{
+}
+
+CabinetReading
+CoordinationLink::readCabinet(unsigned cabinet)
+{
+    using RL = RegisterLayout;
+    ++requests_;
+    if (last_.size() <= cabinet)
+        last_.resize(cabinet + 1);
+
+    auto frame = modbus::encodeReadRequest(
+        unit_, RL::cabinetReg(cabinet, 0), RL::perCabinet);
+    if (corruptRemaining_ > 0) {
+        --corruptRemaining_;
+        frame[corruptRng_.uniformInt(
+            0, static_cast<int>(frame.size()) - 1)] ^= 0x5A;
+    }
+
+    const auto resp_frame = slave_.service(frame);
+    const auto resp = modbus::decodeResponse(resp_frame);
+    if (!resp || resp->isException() ||
+        resp->values.size() != RL::perCabinet) {
+        // Stale data: the caller keeps acting on the last good snapshot.
+        ++failures_;
+        CabinetReading stale = last_[cabinet];
+        stale.fresh = false;
+        return stale;
+    }
+
+    const auto &v = resp->values;
+    CabinetReading r;
+    r.voltage = v[RL::voltage] / regscale::volts;
+    r.current = v[RL::current] / regscale::amps - regscale::ampOffset;
+    r.soc = v[RL::soc] / regscale::soc;
+    r.mode = v[RL::mode];
+    r.chargeRelayClosed = v[RL::chargeRelay] != 0;
+    r.dischargeRelayClosed = v[RL::dischargeRelay] != 0;
+    r.throughputAh = v[RL::throughput] / regscale::ampHours;
+    r.fresh = true;
+    last_[cabinet] = r;
+    return r;
+}
+
+std::vector<CabinetReading>
+CoordinationLink::readAll(unsigned count)
+{
+    std::vector<CabinetReading> out;
+    out.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        out.push_back(readCabinet(i));
+    return out;
+}
+
+void
+CoordinationLink::corruptNextRequests(unsigned n, Rng rng)
+{
+    corruptRemaining_ = n;
+    corruptRng_ = rng;
+}
+
+} // namespace insure::telemetry

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The coordination node's Modbus master (paper §4, tier 3).
+ *
+ * The power-and-load coordination node never touches the PLC's register
+ * memory directly: it issues Modbus read requests over the network link
+ * and decodes the responses. CoordinationLink is that master, bound to a
+ * ModbusSlave; every cabinet snapshot the power managers consume travels
+ * through a framed, CRC-checked request/response exchange, so a corrupted
+ * or dropped frame degrades into stale data rather than wrong data.
+ */
+
+#ifndef INSURE_TELEMETRY_COORDINATION_LINK_HH
+#define INSURE_TELEMETRY_COORDINATION_LINK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/units.hh"
+#include "telemetry/modbus.hh"
+
+namespace insure::telemetry {
+
+/** A cabinet snapshot as decoded from the PLC registers. */
+struct CabinetReading {
+    Volts voltage = 0.0;
+    Amperes current = 0.0;
+    double soc = 0.0;
+    std::uint16_t mode = 0;
+    bool chargeRelayClosed = false;
+    bool dischargeRelayClosed = false;
+    AmpHours throughputAh = 0.0;
+    /** False when the exchange failed and the reading is stale. */
+    bool fresh = false;
+};
+
+/** Modbus master used by the coordination node. */
+class CoordinationLink
+{
+  public:
+    /**
+     * @param slave the PLC-side endpoint (must outlive the link)
+     * @param unit Modbus unit id of the slave
+     */
+    CoordinationLink(ModbusSlave &slave, std::uint8_t unit = 1);
+
+    /**
+     * Read the register block of cabinet @p cabinet. On any framing or
+     * CRC failure the previous reading is returned with fresh=false.
+     */
+    CabinetReading readCabinet(unsigned cabinet);
+
+    /** Read all @p count cabinet blocks. */
+    std::vector<CabinetReading> readAll(unsigned count);
+
+    /**
+     * Fault injection: corrupt one byte of the next @p n request frames
+     * (models a noisy field network).
+     */
+    void corruptNextRequests(unsigned n, Rng rng);
+
+    /** Exchanges attempted. */
+    std::uint64_t requests() const { return requests_; }
+
+    /** Exchanges that failed (no/garbled response). */
+    std::uint64_t failures() const { return failures_; }
+
+  private:
+    ModbusSlave &slave_;
+    std::uint8_t unit_;
+    std::vector<CabinetReading> last_;
+    std::uint64_t requests_ = 0;
+    std::uint64_t failures_ = 0;
+    unsigned corruptRemaining_ = 0;
+    Rng corruptRng_{0};
+};
+
+} // namespace insure::telemetry
+
+#endif // INSURE_TELEMETRY_COORDINATION_LINK_HH

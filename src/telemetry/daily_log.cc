@@ -1,0 +1,27 @@
+#include "telemetry/daily_log.hh"
+
+namespace insure::telemetry {
+
+DailyLog::DailyLog(std::string label)
+{
+    summary_.label = std::move(label);
+}
+
+void
+DailyLog::finalize(std::uint64_t on_off_cycles, std::uint64_t vm_ctrl,
+                   double min_voltage, double end_voltage, double sigma,
+                   double processed_gb)
+{
+    summary_.solarBudgetKwh = solarWh_ / 1000.0;
+    summary_.loadKwh = loadWh_ / 1000.0;
+    summary_.effectiveKwh = effectiveWh_ / 1000.0;
+    summary_.powerCtrlTimes = powerCtrl_;
+    summary_.onOffCycles = on_off_cycles;
+    summary_.vmCtrlTimes = vm_ctrl;
+    summary_.minBatteryVoltage = min_voltage;
+    summary_.endOfDayVoltage = end_voltage;
+    summary_.batteryVoltageSigma = sigma;
+    summary_.processedGb = processed_gb;
+}
+
+} // namespace insure::telemetry

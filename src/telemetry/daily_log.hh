@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Day-long operation log (paper Table 6).
+ *
+ * Accumulates the statistics the paper extracts from its day-long logs:
+ * load energy, effective (productive) energy, power-control actions,
+ * server on/off cycles, VM control actions, and the battery voltage
+ * extremes/σ. The experiment harness feeds it once per control period.
+ */
+
+#ifndef INSURE_TELEMETRY_DAILY_LOG_HH
+#define INSURE_TELEMETRY_DAILY_LOG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/units.hh"
+
+namespace insure::telemetry {
+
+/** The Table 6 row produced by one day of operation. */
+struct DailyLogSummary {
+    std::string label;
+    /** Total solar energy offered during the day, kWh. */
+    double solarBudgetKwh = 0.0;
+    /** Energy consumed by the server load, kWh. */
+    double loadKwh = 0.0;
+    /** Energy consumed while productive (excludes boot/checkpoint), kWh. */
+    double effectiveKwh = 0.0;
+    /** Power-control actions (duty/VM adjustments by the managers). */
+    std::uint64_t powerCtrlTimes = 0;
+    /** Server on/off power cycles. */
+    std::uint64_t onOffCycles = 0;
+    /** VM management operations. */
+    std::uint64_t vmCtrlTimes = 0;
+    /** Minimum battery string voltage observed, volts. */
+    double minBatteryVoltage = 0.0;
+    /** Mean battery string voltage at end of day, volts. */
+    double endOfDayVoltage = 0.0;
+    /** Standard deviation of sampled battery voltages. */
+    double batteryVoltageSigma = 0.0;
+    /** Data processed during the day, GB. */
+    double processedGb = 0.0;
+};
+
+/** Incremental builder for a DailyLogSummary. */
+class DailyLog
+{
+  public:
+    explicit DailyLog(std::string label);
+
+    /** Add solar energy offered during a step, watt-hours. */
+    void addSolar(WattHours wh) { solarWh_ += wh; }
+
+    /** Add load energy for a step, watt-hours. */
+    void addLoad(WattHours wh) { loadWh_ += wh; }
+
+    /** Add productive energy for a step, watt-hours. */
+    void addEffective(WattHours wh) { effectiveWh_ += wh; }
+
+    /** Count a power-control action. */
+    void countPowerCtrl(std::uint64_t n = 1) { powerCtrl_ += n; }
+
+    /** Fix the end-of-run counters and voltages. */
+    void finalize(std::uint64_t on_off_cycles, std::uint64_t vm_ctrl,
+                  double min_voltage, double end_voltage, double sigma,
+                  double processed_gb);
+
+    /** The completed summary. */
+    const DailyLogSummary &summary() const { return summary_; }
+
+  private:
+    WattHours solarWh_ = 0.0;
+    WattHours loadWh_ = 0.0;
+    WattHours effectiveWh_ = 0.0;
+    std::uint64_t powerCtrl_ = 0;
+    DailyLogSummary summary_;
+};
+
+} // namespace insure::telemetry
+
+#endif // INSURE_TELEMETRY_DAILY_LOG_HH

@@ -1,0 +1,66 @@
+#include "telemetry/history_table.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace insure::telemetry {
+
+DischargeHistoryTable::DischargeHistoryTable(unsigned cabinets)
+    : totalAh_(cabinets, 0.0), periodAh_(cabinets, 0.0)
+{
+    if (cabinets == 0)
+        fatal("DischargeHistoryTable: need at least one cabinet");
+}
+
+void
+DischargeHistoryTable::record(unsigned i, AmpHours ah)
+{
+    if (i >= totalAh_.size())
+        panic("DischargeHistoryTable: cabinet %u out of range", i);
+    if (ah < 0.0)
+        panic("DischargeHistoryTable: negative discharge %f", ah);
+    totalAh_[i] += ah;
+    periodAh_[i] += ah;
+}
+
+AmpHours
+DischargeHistoryTable::total(unsigned i) const
+{
+    if (i >= totalAh_.size())
+        panic("DischargeHistoryTable: cabinet %u out of range", i);
+    return totalAh_[i];
+}
+
+AmpHours
+DischargeHistoryTable::grandTotal() const
+{
+    AmpHours s = 0.0;
+    for (auto v : totalAh_)
+        s += v;
+    return s;
+}
+
+AmpHours
+DischargeHistoryTable::imbalance() const
+{
+    const auto [lo, hi] =
+        std::minmax_element(totalAh_.begin(), totalAh_.end());
+    return *hi - *lo;
+}
+
+void
+DischargeHistoryTable::beginPeriod()
+{
+    std::fill(periodAh_.begin(), periodAh_.end(), 0.0);
+}
+
+AmpHours
+DischargeHistoryTable::periodTotal(unsigned i) const
+{
+    if (i >= periodAh_.size())
+        panic("DischargeHistoryTable: cabinet %u out of range", i);
+    return periodAh_[i];
+}
+
+} // namespace insure::telemetry

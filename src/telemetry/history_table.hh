@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Battery discharge-history table.
+ *
+ * The spatial manager's first screening step compares every cabinet's
+ * aggregated discharge AhT[i] against the discharge threshold (paper
+ * Fig. 9 / Eq-1). This table is the runtime record it consults; it also
+ * retains per-control-period usage for balance diagnostics.
+ */
+
+#ifndef INSURE_TELEMETRY_HISTORY_TABLE_HH
+#define INSURE_TELEMETRY_HISTORY_TABLE_HH
+
+#include <vector>
+
+#include "sim/units.hh"
+
+namespace insure::telemetry {
+
+/** Per-cabinet cumulative discharge record. */
+class DischargeHistoryTable
+{
+  public:
+    /** @param cabinets number of tracked cabinets. */
+    explicit DischargeHistoryTable(unsigned cabinets);
+
+    /** Number of tracked cabinets. */
+    unsigned size() const
+    {
+        return static_cast<unsigned>(totalAh_.size());
+    }
+
+    /** Add @p ah ampere-hours of discharge for cabinet @p i. */
+    void record(unsigned i, AmpHours ah);
+
+    /** Aggregated discharge of cabinet @p i (AhT[i]). */
+    AmpHours total(unsigned i) const;
+
+    /** Sum across cabinets. */
+    AmpHours grandTotal() const;
+
+    /** Largest minus smallest cabinet total (imbalance measure). */
+    AmpHours imbalance() const;
+
+    /**
+     * Mark the start of a new control period; per-period counters reset
+     * while cumulative totals persist.
+     */
+    void beginPeriod();
+
+    /** Discharge of cabinet @p i during the current period. */
+    AmpHours periodTotal(unsigned i) const;
+
+  private:
+    std::vector<AmpHours> totalAh_;
+    std::vector<AmpHours> periodAh_;
+};
+
+} // namespace insure::telemetry
+
+#endif // INSURE_TELEMETRY_HISTORY_TABLE_HH

@@ -1,0 +1,266 @@
+#include "telemetry/modbus.hh"
+
+namespace insure::telemetry {
+
+std::uint16_t
+modbusCrc16(const std::uint8_t *data, std::size_t len)
+{
+    std::uint16_t crc = 0xFFFF;
+    for (std::size_t i = 0; i < len; ++i) {
+        crc ^= data[i];
+        for (int bit = 0; bit < 8; ++bit) {
+            if (crc & 0x0001)
+                crc = (crc >> 1) ^ 0xA001;
+            else
+                crc >>= 1;
+        }
+    }
+    return crc;
+}
+
+namespace modbus {
+
+namespace {
+
+void
+pushU16(std::vector<std::uint8_t> &out, std::uint16_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+std::uint16_t
+readU16(const std::vector<std::uint8_t> &in, std::size_t pos)
+{
+    return static_cast<std::uint16_t>((in[pos] << 8) | in[pos + 1]);
+}
+
+void
+appendCrc(std::vector<std::uint8_t> &frame)
+{
+    const std::uint16_t crc = modbusCrc16(frame.data(), frame.size());
+    // CRC is transmitted low byte first.
+    frame.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+    frame.push_back(static_cast<std::uint8_t>(crc >> 8));
+}
+
+bool
+checkCrc(const std::vector<std::uint8_t> &frame)
+{
+    if (frame.size() < 4)
+        return false;
+    const std::uint16_t expect =
+        modbusCrc16(frame.data(), frame.size() - 2);
+    const std::uint16_t got = static_cast<std::uint16_t>(
+        frame[frame.size() - 2] | (frame[frame.size() - 1] << 8));
+    return expect == got;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeReadRequest(std::uint8_t unit, std::uint16_t addr,
+                  std::uint16_t count)
+{
+    std::vector<std::uint8_t> f{
+        unit,
+        static_cast<std::uint8_t>(ModbusFunction::ReadHoldingRegisters)};
+    pushU16(f, addr);
+    pushU16(f, count);
+    appendCrc(f);
+    return f;
+}
+
+std::vector<std::uint8_t>
+encodeWriteSingleRequest(std::uint8_t unit, std::uint16_t addr,
+                         std::uint16_t value)
+{
+    std::vector<std::uint8_t> f{
+        unit, static_cast<std::uint8_t>(ModbusFunction::WriteSingleRegister)};
+    pushU16(f, addr);
+    pushU16(f, value);
+    appendCrc(f);
+    return f;
+}
+
+std::vector<std::uint8_t>
+encodeWriteMultipleRequest(std::uint8_t unit, std::uint16_t addr,
+                           const std::vector<std::uint16_t> &values)
+{
+    std::vector<std::uint8_t> f{
+        unit,
+        static_cast<std::uint8_t>(ModbusFunction::WriteMultipleRegisters)};
+    pushU16(f, addr);
+    pushU16(f, static_cast<std::uint16_t>(values.size()));
+    f.push_back(static_cast<std::uint8_t>(values.size() * 2));
+    for (auto v : values)
+        pushU16(f, v);
+    appendCrc(f);
+    return f;
+}
+
+std::optional<ModbusRequest>
+decodeRequest(const std::vector<std::uint8_t> &frame)
+{
+    if (!checkCrc(frame))
+        return std::nullopt;
+    if (frame.size() < 8)
+        return std::nullopt;
+
+    ModbusRequest req;
+    req.unit = frame[0];
+    const std::uint8_t fn = frame[1];
+    switch (fn) {
+      case 0x03:
+        if (frame.size() != 8)
+            return std::nullopt;
+        req.function = ModbusFunction::ReadHoldingRegisters;
+        req.address = readU16(frame, 2);
+        req.count = readU16(frame, 4);
+        return req;
+      case 0x06:
+        if (frame.size() != 8)
+            return std::nullopt;
+        req.function = ModbusFunction::WriteSingleRegister;
+        req.address = readU16(frame, 2);
+        req.values = {readU16(frame, 4)};
+        req.count = 1;
+        return req;
+      case 0x10: {
+        if (frame.size() < 9)
+            return std::nullopt;
+        req.function = ModbusFunction::WriteMultipleRegisters;
+        req.address = readU16(frame, 2);
+        req.count = readU16(frame, 4);
+        const std::uint8_t bytes = frame[6];
+        if (bytes != req.count * 2 ||
+            frame.size() != static_cast<std::size_t>(9 + bytes))
+            return std::nullopt;
+        for (std::uint16_t i = 0; i < req.count; ++i)
+            req.values.push_back(readU16(frame, 7 + 2 * i));
+        return req;
+      }
+      default:
+        // Unknown function: report it so the slave can raise an exception.
+        req.function = static_cast<ModbusFunction>(fn);
+        return req;
+    }
+}
+
+std::optional<ModbusResponse>
+decodeResponse(const std::vector<std::uint8_t> &frame)
+{
+    if (!checkCrc(frame))
+        return std::nullopt;
+    if (frame.size() < 5)
+        return std::nullopt;
+
+    ModbusResponse resp;
+    resp.unit = frame[0];
+    resp.function = frame[1];
+    if (resp.function & 0x80) {
+        if (frame.size() != 5)
+            return std::nullopt;
+        resp.exception = static_cast<ModbusException>(frame[2]);
+        return resp;
+    }
+    switch (resp.function) {
+      case 0x03: {
+        const std::uint8_t bytes = frame[2];
+        if (frame.size() != static_cast<std::size_t>(5 + bytes) ||
+            bytes % 2 != 0)
+            return std::nullopt;
+        for (std::uint8_t i = 0; i < bytes / 2; ++i)
+            resp.values.push_back(readU16(frame, 3 + 2 * i));
+        return resp;
+      }
+      case 0x06:
+      case 0x10:
+        if (frame.size() != 8)
+            return std::nullopt;
+        resp.address = readU16(frame, 2);
+        resp.count = readU16(frame, 4);
+        return resp;
+      default:
+        return std::nullopt;
+    }
+}
+
+} // namespace modbus
+
+ModbusSlave::ModbusSlave(std::uint8_t unit, RegisterMap &map)
+    : unit_(unit), map_(map)
+{
+}
+
+std::vector<std::uint8_t>
+ModbusSlave::service(const std::vector<std::uint8_t> &frame)
+{
+    namespace mb = modbus;
+
+    const auto req = mb::decodeRequest(frame);
+    if (!req || req->unit != unit_)
+        return {}; // silence: bad CRC or not addressed to us
+
+    ++served_;
+
+    auto exception = [&](ModbusException code) {
+        ++exceptions_;
+        std::vector<std::uint8_t> f{
+            unit_, static_cast<std::uint8_t>(
+                       static_cast<std::uint8_t>(req->function) | 0x80),
+            static_cast<std::uint8_t>(code)};
+        const std::uint16_t crc = modbusCrc16(f.data(), f.size());
+        f.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+        f.push_back(static_cast<std::uint8_t>(crc >> 8));
+        return f;
+    };
+
+    switch (req->function) {
+      case ModbusFunction::ReadHoldingRegisters: {
+        if (req->count == 0 || req->count > 125)
+            return exception(ModbusException::IllegalDataValue);
+        if (!map_.validRange(req->address, req->count))
+            return exception(ModbusException::IllegalDataAddress);
+        const auto values = map_.readBlock(req->address, req->count);
+        std::vector<std::uint8_t> f{
+            unit_, 0x03, static_cast<std::uint8_t>(values.size() * 2)};
+        for (auto v : values) {
+            f.push_back(static_cast<std::uint8_t>(v >> 8));
+            f.push_back(static_cast<std::uint8_t>(v & 0xFF));
+        }
+        const std::uint16_t crc = modbusCrc16(f.data(), f.size());
+        f.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+        f.push_back(static_cast<std::uint8_t>(crc >> 8));
+        return f;
+      }
+      case ModbusFunction::WriteSingleRegister: {
+        if (!map_.validRange(req->address, 1))
+            return exception(ModbusException::IllegalDataAddress);
+        map_.write(req->address, req->values.front());
+        // Echo the request as the response.
+        return mb::encodeWriteSingleRequest(unit_, req->address,
+                                            req->values.front());
+      }
+      case ModbusFunction::WriteMultipleRegisters: {
+        if (req->count == 0 || req->count > 123)
+            return exception(ModbusException::IllegalDataValue);
+        if (!map_.validRange(req->address, req->count))
+            return exception(ModbusException::IllegalDataAddress);
+        map_.writeBlock(req->address, req->values);
+        std::vector<std::uint8_t> f{unit_, 0x10};
+        f.push_back(static_cast<std::uint8_t>(req->address >> 8));
+        f.push_back(static_cast<std::uint8_t>(req->address & 0xFF));
+        f.push_back(static_cast<std::uint8_t>(req->count >> 8));
+        f.push_back(static_cast<std::uint8_t>(req->count & 0xFF));
+        const std::uint16_t crc = modbusCrc16(f.data(), f.size());
+        f.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+        f.push_back(static_cast<std::uint8_t>(crc >> 8));
+        return f;
+      }
+      default:
+        return exception(ModbusException::IllegalFunction);
+    }
+}
+
+} // namespace insure::telemetry

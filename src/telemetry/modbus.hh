@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Modbus frame codec and a register-map-backed slave.
+ *
+ * The prototype's control panel talks to the coordination node over Modbus
+ * TCP (paper §4). The codec implements the RTU framing with CRC-16 for
+ * function codes 0x03 (read holding registers), 0x06 (write single
+ * register) and 0x10 (write multiple registers), plus exception responses,
+ * so the sensing path can be exercised and fault-injected end to end.
+ */
+
+#ifndef INSURE_TELEMETRY_MODBUS_HH
+#define INSURE_TELEMETRY_MODBUS_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "telemetry/register_map.hh"
+
+namespace insure::telemetry {
+
+/** Modbus function codes supported by the slave. */
+enum class ModbusFunction : std::uint8_t {
+    ReadHoldingRegisters = 0x03,
+    WriteSingleRegister = 0x06,
+    WriteMultipleRegisters = 0x10,
+};
+
+/** Modbus exception codes. */
+enum class ModbusException : std::uint8_t {
+    IllegalFunction = 0x01,
+    IllegalDataAddress = 0x02,
+    IllegalDataValue = 0x03,
+};
+
+/** A decoded request. */
+struct ModbusRequest {
+    std::uint8_t unit = 1;
+    ModbusFunction function = ModbusFunction::ReadHoldingRegisters;
+    std::uint16_t address = 0;
+    std::uint16_t count = 0;                 // read / write-multiple
+    std::vector<std::uint16_t> values;       // writes
+};
+
+/** A decoded response. */
+struct ModbusResponse {
+    std::uint8_t unit = 1;
+    std::uint8_t function = 0;               // high bit set on exception
+    std::vector<std::uint16_t> values;       // read responses
+    std::uint16_t address = 0;               // write echoes
+    std::uint16_t count = 0;
+    std::optional<ModbusException> exception;
+
+    /** True when the response is a Modbus exception. */
+    bool isException() const { return exception.has_value(); }
+};
+
+/** Modbus RTU CRC-16 over a byte span. */
+std::uint16_t modbusCrc16(const std::uint8_t *data, std::size_t len);
+
+/** Frame encoding/decoding. */
+namespace modbus {
+
+/** Encode a read-holding-registers request. */
+std::vector<std::uint8_t> encodeReadRequest(std::uint8_t unit,
+                                            std::uint16_t addr,
+                                            std::uint16_t count);
+
+/** Encode a write-single-register request. */
+std::vector<std::uint8_t> encodeWriteSingleRequest(std::uint8_t unit,
+                                                   std::uint16_t addr,
+                                                   std::uint16_t value);
+
+/** Encode a write-multiple-registers request. */
+std::vector<std::uint8_t>
+encodeWriteMultipleRequest(std::uint8_t unit, std::uint16_t addr,
+                           const std::vector<std::uint16_t> &values);
+
+/** Decode any supported request frame; nullopt on malformed/CRC error. */
+std::optional<ModbusRequest>
+decodeRequest(const std::vector<std::uint8_t> &frame);
+
+/** Decode a response frame; nullopt on malformed/CRC error. */
+std::optional<ModbusResponse>
+decodeResponse(const std::vector<std::uint8_t> &frame);
+
+} // namespace modbus
+
+/**
+ * A slave device servicing request frames against a RegisterMap (the role
+ * of the Weintek control panel + PLC in the prototype).
+ */
+class ModbusSlave
+{
+  public:
+    /**
+     * @param unit this slave's unit id
+     * @param map backing register bank (must outlive the slave)
+     */
+    ModbusSlave(std::uint8_t unit, RegisterMap &map);
+
+    /**
+     * Service a raw request frame.
+     * @return the raw response frame; empty when the frame is malformed or
+     *         addressed to another unit (no response on the wire).
+     */
+    std::vector<std::uint8_t>
+    service(const std::vector<std::uint8_t> &frame);
+
+    /** Requests served (statistics). */
+    std::uint64_t requestsServed() const { return served_; }
+
+    /** Exception responses produced. */
+    std::uint64_t exceptions() const { return exceptions_; }
+
+  private:
+    std::uint8_t unit_;
+    RegisterMap &map_;
+    std::uint64_t served_ = 0;
+    std::uint64_t exceptions_ = 0;
+};
+
+} // namespace insure::telemetry
+
+#endif // INSURE_TELEMETRY_MODBUS_HH

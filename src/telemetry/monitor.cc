@@ -1,0 +1,109 @@
+#include "telemetry/monitor.hh"
+
+#include <algorithm>
+
+namespace insure::telemetry {
+
+SystemMonitor::SystemMonitor(const battery::BatteryArray &array,
+                             RegisterMap &map)
+    : array_(array), map_(map),
+      voltageTd_(Transducer::voltageChannel()),
+      currentTd_(Transducer::currentChannel()),
+      voltageSamples_(nullptr, "monitor.voltage", "sampled unit voltages"),
+      voltageFaults_(array.cabinetCount()), socFaults_(array.cabinetCount())
+{
+    map_.write(RegisterLayout::cabinetCount,
+               static_cast<std::uint16_t>(array_.cabinetCount()));
+}
+
+void
+SystemMonitor::sample(Seconds now,
+                      const std::vector<Amperes> &cabinet_currents)
+{
+    (void)now;
+    ++sweeps_;
+    double mean_v = 0.0;
+    for (unsigned i = 0; i < array_.cabinetCount(); ++i) {
+        const auto &cab = array_.cabinet(i);
+        const Amperes current =
+            i < cabinet_currents.size() ? cabinet_currents[i] : 0.0;
+
+        // Per-unit voltages go through the 0-50 V channel; the cabinet
+        // register stores the sensed string sum. An injected fault pins
+        // the channel (stuck transducer).
+        Volts string_v = 0.0;
+        for (unsigned u = 0; u < cab.seriesCount(); ++u) {
+            const Volts v_true =
+                voltageFaults_[i] ? *voltageFaults_[i]
+                                  : cab.unit(u).terminalVoltage(current);
+            const Volts v_sensed = voltageTd_.measure(v_true);
+            string_v += v_sensed;
+            voltageSamples_.sample(v_sensed);
+            minUnitVoltage_ = std::min(minUnitVoltage_, v_sensed);
+        }
+        mean_v += string_v;
+
+        const Amperes i_sensed = currentTd_.measure(current);
+
+        using RL = RegisterLayout;
+        map_.writeVolts(RL::cabinetReg(i, RL::voltage), string_v);
+        map_.writeAmps(RL::cabinetReg(i, RL::current), i_sensed);
+        map_.writeSoc(RL::cabinetReg(i, RL::soc),
+                      socFaults_[i] ? *socFaults_[i] : cab.soc());
+        map_.write(RL::cabinetReg(i, RL::mode),
+                   static_cast<std::uint16_t>(cab.mode()));
+        map_.write(RL::cabinetReg(i, RL::chargeRelay),
+                   cab.chargeRelay().closed() ? 1 : 0);
+        map_.write(RL::cabinetReg(i, RL::dischargeRelay),
+                   cab.dischargeRelay().closed() ? 1 : 0);
+        map_.write(RL::cabinetReg(i, RL::throughput),
+                   static_cast<std::uint16_t>(std::min(
+                       65535.0,
+                       cab.dischargeThroughputAh() * regscale::ampHours)));
+    }
+    lastMeanVoltage_ = mean_v / array_.cabinetCount();
+}
+
+Volts
+SystemMonitor::sensedVoltage(unsigned cabinet) const
+{
+    using RL = RegisterLayout;
+    return map_.readVolts(RL::cabinetReg(cabinet, RL::voltage));
+}
+
+Amperes
+SystemMonitor::sensedCurrent(unsigned cabinet) const
+{
+    using RL = RegisterLayout;
+    return map_.readAmps(RL::cabinetReg(cabinet, RL::current));
+}
+
+void
+SystemMonitor::injectVoltageFault(unsigned cabinet, Volts volts)
+{
+    if (cabinet < voltageFaults_.size())
+        voltageFaults_[cabinet] = volts;
+}
+
+void
+SystemMonitor::injectSocFault(unsigned cabinet, double soc)
+{
+    if (cabinet < socFaults_.size())
+        socFaults_[cabinet] = soc;
+}
+
+void
+SystemMonitor::clearFaults()
+{
+    std::fill(voltageFaults_.begin(), voltageFaults_.end(), std::nullopt);
+    std::fill(socFaults_.begin(), socFaults_.end(), std::nullopt);
+}
+
+double
+SystemMonitor::sensedSoc(unsigned cabinet) const
+{
+    using RL = RegisterLayout;
+    return map_.readSoc(RL::cabinetReg(cabinet, RL::soc));
+}
+
+} // namespace insure::telemetry

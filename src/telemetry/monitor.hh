@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Real-time system monitoring (paper §4, tier 2).
+ *
+ * The monitor samples every battery cabinet through the voltage/current
+ * transducers into the PLC register map. Power managers read the sensed
+ * (quantised) values from the registers rather than simulator ground
+ * truth, preserving the prototype's sensing path. The monitor also keeps
+ * running aggregates used by the daily log (minimum battery voltage,
+ * voltage standard deviation, end-of-day voltage — paper Table 6).
+ */
+
+#ifndef INSURE_TELEMETRY_MONITOR_HH
+#define INSURE_TELEMETRY_MONITOR_HH
+
+#include <optional>
+#include <vector>
+
+#include "battery/battery_array.hh"
+#include "sim/stats.hh"
+#include "telemetry/register_map.hh"
+#include "telemetry/transducer.hh"
+
+namespace insure::telemetry {
+
+/** Samples the battery array into the register map. */
+class SystemMonitor
+{
+  public:
+    /**
+     * @param array battery array to observe (must outlive monitor)
+     * @param map register bank to populate (must outlive monitor)
+     */
+    SystemMonitor(const battery::BatteryArray &array, RegisterMap &map);
+
+    /**
+     * Sample all channels at time @p now with per-cabinet bus currents
+     * @p cabinet_currents (positive = discharge; may be empty for idle).
+     */
+    void sample(Seconds now, const std::vector<Amperes> &cabinet_currents);
+
+    /** Sensed cabinet string voltage, volts (from the registers). */
+    Volts sensedVoltage(unsigned cabinet) const;
+
+    /** Sensed cabinet current, amperes. */
+    Amperes sensedCurrent(unsigned cabinet) const;
+
+    /** Sensed cabinet state of charge, fraction. */
+    double sensedSoc(unsigned cabinet) const;
+
+    /** Minimum per-unit voltage observed so far (Table 6 column). */
+    Volts minUnitVoltage() const { return minUnitVoltage_; }
+
+    /** Most recent mean cabinet voltage. */
+    Volts lastMeanVoltage() const { return lastMeanVoltage_; }
+
+    /** Std-dev of all voltage samples so far (Table 6 sigma column). */
+    double voltageSigma() const { return voltageSamples_.stddev(); }
+
+    /** Number of sampling sweeps performed. */
+    std::uint64_t sweeps() const { return sweeps_; }
+
+    /**
+     * Fault injection: force the voltage channel of @p cabinet to report
+     * @p volts (per-unit) until clearFaults() — a stuck transducer.
+     */
+    void injectVoltageFault(unsigned cabinet, Volts volts);
+
+    /** Fault injection: force the SoC channel of @p cabinet. */
+    void injectSocFault(unsigned cabinet, double soc);
+
+    /** Remove all injected sensor faults. */
+    void clearFaults();
+
+  private:
+    const battery::BatteryArray &array_;
+    RegisterMap &map_;
+    Transducer voltageTd_;
+    Transducer currentTd_;
+    sim::Accumulator voltageSamples_;
+    Volts minUnitVoltage_ = 1e9;
+    Volts lastMeanVoltage_ = 0.0;
+    std::uint64_t sweeps_ = 0;
+    std::vector<std::optional<Volts>> voltageFaults_;
+    std::vector<std::optional<double>> socFaults_;
+};
+
+} // namespace insure::telemetry
+
+#endif // INSURE_TELEMETRY_MONITOR_HH

@@ -1,0 +1,97 @@
+#include "telemetry/register_map.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace insure::telemetry {
+
+RegisterMap::RegisterMap(std::uint16_t size) : regs_(size, 0)
+{
+    if (size == 0)
+        fatal("RegisterMap: size must be positive");
+}
+
+std::uint16_t
+RegisterMap::read(std::uint16_t addr) const
+{
+    if (addr >= regs_.size())
+        fatal("RegisterMap: read from invalid address %u", addr);
+    return regs_[addr];
+}
+
+void
+RegisterMap::write(std::uint16_t addr, std::uint16_t value)
+{
+    if (addr >= regs_.size())
+        fatal("RegisterMap: write to invalid address %u", addr);
+    regs_[addr] = value;
+}
+
+std::vector<std::uint16_t>
+RegisterMap::readBlock(std::uint16_t addr, std::uint16_t count) const
+{
+    if (!validRange(addr, count))
+        fatal("RegisterMap: invalid block read [%u, %u)", addr,
+              addr + count);
+    return {regs_.begin() + addr, regs_.begin() + addr + count};
+}
+
+void
+RegisterMap::writeBlock(std::uint16_t addr,
+                        const std::vector<std::uint16_t> &values)
+{
+    if (!validRange(addr, static_cast<std::uint16_t>(values.size())))
+        fatal("RegisterMap: invalid block write [%u, %zu)", addr,
+              addr + values.size());
+    std::copy(values.begin(), values.end(), regs_.begin() + addr);
+}
+
+bool
+RegisterMap::validRange(std::uint16_t addr, std::uint16_t count) const
+{
+    return static_cast<std::size_t>(addr) + count <= regs_.size();
+}
+
+void
+RegisterMap::writeVolts(std::uint16_t addr, double v)
+{
+    const double scaled = std::clamp(v, 0.0, 655.0) * regscale::volts;
+    write(addr, static_cast<std::uint16_t>(std::lround(scaled)));
+}
+
+double
+RegisterMap::readVolts(std::uint16_t addr) const
+{
+    return read(addr) / regscale::volts;
+}
+
+void
+RegisterMap::writeAmps(std::uint16_t addr, double a)
+{
+    const double shifted =
+        std::clamp(a + regscale::ampOffset, 0.0, 655.0) * regscale::amps;
+    write(addr, static_cast<std::uint16_t>(std::lround(shifted)));
+}
+
+double
+RegisterMap::readAmps(std::uint16_t addr) const
+{
+    return read(addr) / regscale::amps - regscale::ampOffset;
+}
+
+void
+RegisterMap::writeSoc(std::uint16_t addr, double soc)
+{
+    const double scaled = std::clamp(soc, 0.0, 1.0) * regscale::soc;
+    write(addr, static_cast<std::uint16_t>(std::lround(scaled)));
+}
+
+double
+RegisterMap::readSoc(std::uint16_t addr) const
+{
+    return read(addr) / regscale::soc;
+}
+
+} // namespace insure::telemetry

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * PLC holding-register map.
+ *
+ * All analog readings processed by the PLC's analog-input module land in
+ * 16-bit holding registers (paper §4); the coordination node reads them
+ * over Modbus. The map fixes the register layout for the battery array
+ * (per-cabinet voltage, current, state of charge, mode, relay states) plus
+ * array-level entries, with fixed-point scale factors.
+ */
+
+#ifndef INSURE_TELEMETRY_REGISTER_MAP_HH
+#define INSURE_TELEMETRY_REGISTER_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace insure::telemetry {
+
+/** Fixed-point scale factors for the register encodings. */
+namespace regscale {
+/** Volts are stored as V x 100. */
+inline constexpr double volts = 100.0;
+/** Amperes are stored as (A + 100) x 100 (offset-binary for sign). */
+inline constexpr double ampOffset = 100.0;
+inline constexpr double amps = 100.0;
+/** State of charge stored as fraction x 10000. */
+inline constexpr double soc = 10000.0;
+/** Ampere-hours stored as Ah x 10. */
+inline constexpr double ampHours = 10.0;
+} // namespace regscale
+
+/** Register layout constants. */
+struct RegisterLayout {
+    /** Registers reserved per cabinet. */
+    static constexpr std::uint16_t perCabinet = 8;
+    /** Base address of cabinet blocks. */
+    static constexpr std::uint16_t cabinetBase = 100;
+
+    // Offsets within a cabinet block.
+    static constexpr std::uint16_t voltage = 0;
+    static constexpr std::uint16_t current = 1;
+    static constexpr std::uint16_t soc = 2;
+    static constexpr std::uint16_t mode = 3;
+    static constexpr std::uint16_t chargeRelay = 4;
+    static constexpr std::uint16_t dischargeRelay = 5;
+    static constexpr std::uint16_t throughput = 6;
+
+    // Array-level registers.
+    static constexpr std::uint16_t arrayBase = 0;
+    static constexpr std::uint16_t cabinetCount = 0;
+    static constexpr std::uint16_t busVoltage = 1;
+    static constexpr std::uint16_t solarPower = 2; // watts
+    static constexpr std::uint16_t loadPower = 3;  // watts
+
+    /** Address of a cabinet-block register. */
+    static constexpr std::uint16_t
+    cabinetReg(unsigned cabinet, std::uint16_t offset)
+    {
+        return static_cast<std::uint16_t>(cabinetBase +
+                                          cabinet * perCabinet + offset);
+    }
+};
+
+/** A bank of 16-bit holding registers. */
+class RegisterMap
+{
+  public:
+    /** @param size number of holding registers. */
+    explicit RegisterMap(std::uint16_t size = 512);
+
+    /** Number of registers. */
+    std::uint16_t size() const
+    {
+        return static_cast<std::uint16_t>(regs_.size());
+    }
+
+    /** Read one register (fatal on out-of-range address). */
+    std::uint16_t read(std::uint16_t addr) const;
+
+    /** Write one register (fatal on out-of-range address). */
+    void write(std::uint16_t addr, std::uint16_t value);
+
+    /** Read @p count consecutive registers starting at @p addr. */
+    std::vector<std::uint16_t> readBlock(std::uint16_t addr,
+                                         std::uint16_t count) const;
+
+    /** Write a block of consecutive registers starting at @p addr. */
+    void writeBlock(std::uint16_t addr,
+                    const std::vector<std::uint16_t> &values);
+
+    /** True when [addr, addr+count) is a valid register range. */
+    bool validRange(std::uint16_t addr, std::uint16_t count) const;
+
+    // Scaled helpers.
+    /** Store a voltage. */
+    void writeVolts(std::uint16_t addr, double v);
+    /** Load a voltage. */
+    double readVolts(std::uint16_t addr) const;
+    /** Store a (possibly negative) current. */
+    void writeAmps(std::uint16_t addr, double a);
+    /** Load a current. */
+    double readAmps(std::uint16_t addr) const;
+    /** Store a state-of-charge fraction. */
+    void writeSoc(std::uint16_t addr, double soc);
+    /** Load a state-of-charge fraction. */
+    double readSoc(std::uint16_t addr) const;
+
+  private:
+    std::vector<std::uint16_t> regs_;
+};
+
+} // namespace insure::telemetry
+
+#endif // INSURE_TELEMETRY_REGISTER_MAP_HH

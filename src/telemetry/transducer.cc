@@ -1,0 +1,54 @@
+#include "telemetry/transducer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace insure::telemetry {
+
+Transducer::Transducer(double in_lo, double in_hi, unsigned adc_bits)
+    : inLo_(in_lo), inHi_(in_hi)
+{
+    if (in_hi <= in_lo)
+        fatal("Transducer: invalid range [%f, %f]", in_lo, in_hi);
+    if (adc_bits == 0 || adc_bits > 16)
+        fatal("Transducer: adc_bits must be in [1, 16]");
+    levels_ = (1u << adc_bits) - 1;
+}
+
+std::uint16_t
+Transducer::encode(double value) const
+{
+    const double clipped = std::clamp(value, inLo_, inHi_);
+    const double frac = (clipped - inLo_) / (inHi_ - inLo_);
+    return static_cast<std::uint16_t>(std::lround(frac * levels_));
+}
+
+double
+Transducer::decode(std::uint16_t code) const
+{
+    const double frac =
+        static_cast<double>(std::min<unsigned>(code, levels_)) / levels_;
+    return inLo_ + frac * (inHi_ - inLo_);
+}
+
+double
+Transducer::resolution() const
+{
+    return (inHi_ - inLo_) / levels_;
+}
+
+Transducer
+Transducer::voltageChannel()
+{
+    return Transducer(0.0, 50.0, 12);
+}
+
+Transducer
+Transducer::currentChannel()
+{
+    return Transducer(-40.0, 40.0, 12);
+}
+
+} // namespace insure::telemetry

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Analog transducer models.
+ *
+ * The prototype instruments every battery with a CR Magnetics CR5310
+ * voltage transducer (0-50 V in, +/-5 V out) and an HCS 20-10-AP-CL
+ * current transducer (+/-10 A in, +/-4 V out), sampled by the PLC's
+ * analog-input module (paper Table 4). The model applies range clipping,
+ * linear scaling and ADC quantisation so the controllers observe sensed
+ * values, not simulator ground truth.
+ */
+
+#ifndef INSURE_TELEMETRY_TRANSDUCER_HH
+#define INSURE_TELEMETRY_TRANSDUCER_HH
+
+#include <cstdint>
+
+namespace insure::telemetry {
+
+/** A linear transducer followed by an ADC. */
+class Transducer
+{
+  public:
+    /**
+     * @param in_lo lower bound of the measured quantity
+     * @param in_hi upper bound of the measured quantity
+     * @param adc_bits ADC resolution in bits (PLC module: 12)
+     */
+    Transducer(double in_lo, double in_hi, unsigned adc_bits = 12);
+
+    /** Convert a physical value to an ADC code (clipped + quantised). */
+    std::uint16_t encode(double value) const;
+
+    /** Convert an ADC code back to the physical quantity. */
+    double decode(std::uint16_t code) const;
+
+    /** Round-trip measurement: what the PLC reports for @p value. */
+    double measure(double value) const { return decode(encode(value)); }
+
+    /** Smallest representable change of the measured quantity. */
+    double resolution() const;
+
+    /** The CR5310-style battery voltage channel (0-50 V). */
+    static Transducer voltageChannel();
+
+    /** The HCS 20-10-style battery current channel (+/-40 A). */
+    static Transducer currentChannel();
+
+  private:
+    double inLo_;
+    double inHi_;
+    unsigned levels_;
+};
+
+} // namespace insure::telemetry
+
+#endif // INSURE_TELEMETRY_TRANSDUCER_HH

@@ -1,0 +1,91 @@
+#include "workload/data_queue.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace insure::workload {
+
+void
+DataQueue::arrive(Seconds now, GigaBytes size)
+{
+    if (size <= 0.0)
+        return;
+    jobs_.push_back(Job{now, size, size});
+    backlog_ += size;
+    arrivedGb_ += size;
+}
+
+GigaBytes
+DataQueue::process(Seconds now, GigaBytes amount)
+{
+    GigaBytes consumed = 0.0;
+    while (amount > 1e-12 && !jobs_.empty()) {
+        Job &job = jobs_.front();
+        const GigaBytes take = std::min(amount, job.remaining);
+        job.remaining -= take;
+        amount -= take;
+        consumed += take;
+        if (job.remaining <= 1e-12) {
+            const Seconds delay = std::max(0.0, now - job.arrival);
+            delaySum_ += delay;
+            maxDelay_ = std::max(maxDelay_, delay);
+            ++jobsCompleted_;
+            completedGb_ += job.size;
+            jobs_.pop_front();
+        }
+    }
+    backlog_ = std::max(0.0, backlog_ - consumed);
+    processedGb_ += consumed;
+    return consumed;
+}
+
+void
+DataQueue::requeue(Seconds now, GigaBytes amount)
+{
+    if (amount <= 0.0)
+        return;
+    amount = std::min(amount, processedGb_);
+    if (amount <= 0.0)
+        return;
+    if (!jobs_.empty()) {
+        // The lost work belonged to the job at the head of the queue;
+        // grow it back without disturbing its arrival time.
+        Job &head = jobs_.front();
+        head.remaining += amount;
+        head.size = std::max(head.size, head.remaining);
+    } else {
+        jobs_.push_front(Job{now, amount, amount});
+    }
+    backlog_ += amount;
+    processedGb_ -= amount;
+    lostGb_ += amount;
+}
+
+Seconds
+DataQueue::meanDelay() const
+{
+    return jobsCompleted_ ? delaySum_ / jobsCompleted_ : 0.0;
+}
+
+Seconds
+DataQueue::meanEffectiveDelay(Seconds now) const
+{
+    double sum = delaySum_;
+    std::uint64_t n = jobsCompleted_;
+    for (const auto &job : jobs_) {
+        sum += std::max(0.0, now - job.arrival);
+        ++n;
+    }
+    return n ? sum / n : 0.0;
+}
+
+Seconds
+DataQueue::oldestAge(Seconds now) const
+{
+    if (jobs_.empty())
+        return 0.0;
+    return std::max(0.0, now - jobs_.front().arrival);
+}
+
+} // namespace insure::workload

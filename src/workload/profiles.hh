@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Workload profiles: per-VM processing rates and power characteristics for
+ * the paper's two in-situ applications and six micro-benchmarks.
+ *
+ * Rates are calibrated from the paper's measurements:
+ *  - seismic analysis: Table 2 (4 VMs sustain 16.5 GB/h on the Xeon rack);
+ *  - video surveillance: Table 3 (8 VMs absorb the 0.21 GB/min stream);
+ *  - dedup / x264 / bayesian: Table 7 execution times and average power
+ *    for both the Xeon node and the low-power node;
+ *  - remaining micro-benchmarks: representative rates consistent with the
+ *    benchmark suites cited (PARSEC, HiBench, CloudSuite).
+ */
+
+#ifndef INSURE_WORKLOAD_PROFILES_HH
+#define INSURE_WORKLOAD_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/units.hh"
+
+namespace insure::workload {
+
+/** Management class of a workload (paper §2.3). */
+enum class WorkloadKind {
+    /** Intermittent large jobs; VM count fixed during execution. */
+    Batch,
+    /** Continuous stream split into small jobs; VM count adjustable. */
+    Stream,
+};
+
+/** Printable name of a workload kind. */
+const char *workloadKindName(WorkloadKind k);
+
+/** Per-workload performance/power description. */
+struct WorkloadProfile {
+    /** Short name ("seismic", "dedup", ...). */
+    std::string name;
+    /** Management class. */
+    WorkloadKind kind = WorkloadKind::Batch;
+    /** Processing rate per VM at nominal frequency on a Xeon node, GB/h. */
+    double xeonGbPerVmHour = 1.0;
+    /** Processing rate per VM on the low-power node, GB/h. */
+    double lowPowerGbPerVmHour = 1.0;
+    /** Fraction of the Xeon dynamic power range the workload exercises. */
+    double xeonPowerUtil = 0.45;
+    /** Same for the low-power node. */
+    double lowPowerPowerUtil = 0.9;
+
+    /** Rate for a node type tag ("xeon" / "lowpower"). */
+    double gbPerVmHour(const std::string &node_type) const;
+
+    /** Power utilisation for a node type tag. */
+    double powerUtil(const std::string &node_type) const;
+};
+
+/** Seismic data analysis (intermittent batch, paper §2.1/Table 2). */
+WorkloadProfile seismicProfile();
+
+/** Video surveillance analysis (continuous stream, paper §2.1/Table 3). */
+WorkloadProfile videoProfile();
+
+/** Look up a micro-benchmark profile by name; fatal if unknown. */
+WorkloadProfile microBenchmark(const std::string &name);
+
+/** The micro-benchmark set used in the paper's Figs. 17-19. */
+std::vector<WorkloadProfile> microBenchmarkSuite();
+
+} // namespace insure::workload
+
+#endif // INSURE_WORKLOAD_PROFILES_HH

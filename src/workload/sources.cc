@@ -1,0 +1,91 @@
+#include "workload/sources.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/units.hh"
+
+namespace insure::workload {
+
+BatchSource::BatchSource(Params params, Rng rng)
+    : params_(std::move(params)), rng_(rng)
+{
+}
+
+void
+BatchSource::step(Seconds prev, Seconds now, DataQueue &queue)
+{
+    if (now <= prev)
+        return;
+    // Walk the days overlapping (prev, now] and fire any schedule entries
+    // inside the interval.
+    const auto first_day = static_cast<long>(prev / units::secPerDay);
+    const auto last_day = static_cast<long>(now / units::secPerDay);
+    for (long day = first_day; day <= last_day; ++day) {
+        for (const Seconds t : params_.dailyTimes) {
+            const Seconds abs_t = day * units::secPerDay + t;
+            if (abs_t > prev && abs_t <= now) {
+                GigaBytes size = params_.jobSize;
+                if (params_.sizeJitter > 0.0) {
+                    size *= std::max(
+                        0.1, rng_.normal(1.0, params_.sizeJitter));
+                }
+                queue.arrive(abs_t, size);
+            }
+        }
+    }
+}
+
+GigaBytes
+BatchSource::dailyVolume() const
+{
+    return params_.jobSize * params_.dailyTimes.size();
+}
+
+StreamSource::StreamSource(Params params, Rng rng)
+    : params_(std::move(params)), rng_(rng)
+{
+    if (params_.chunkPeriod <= 0.0)
+        fatal("StreamSource: chunkPeriod must be positive");
+}
+
+bool
+StreamSource::inWindow(Seconds day_time) const
+{
+    return day_time >= params_.windowStart && day_time < params_.windowEnd;
+}
+
+void
+StreamSource::step(Seconds prev, Seconds now, DataQueue &queue)
+{
+    if (now <= prev)
+        return;
+    if (nextChunk_ < prev)
+        nextChunk_ = prev;
+    const GigaBytes chunk_gb =
+        params_.gbPerMinute * (params_.chunkPeriod / 60.0);
+    while (nextChunk_ <= now) {
+        const Seconds day_time =
+            std::fmod(nextChunk_, units::secPerDay);
+        if (inWindow(day_time)) {
+            GigaBytes size = chunk_gb;
+            if (params_.rateJitter > 0.0) {
+                size *= std::max(0.1,
+                                 rng_.normal(1.0, params_.rateJitter));
+            }
+            queue.arrive(nextChunk_, size);
+        }
+        nextChunk_ += params_.chunkPeriod;
+    }
+}
+
+GigaBytes
+StreamSource::dailyVolume() const
+{
+    const Seconds window =
+        std::max(0.0, params_.windowEnd - params_.windowStart);
+    return params_.gbPerMinute * window / 60.0;
+}
+
+} // namespace insure::workload

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Data-arrival generators for the two in-situ applications.
+ *
+ * BatchSource models intermittent engineering datasets: large jobs landing
+ * at fixed times of day (seismic surveys: 114 GB per job, twice daily).
+ * StreamSource models continuous sensor data: a constant aggregate rate
+ * chunked into small jobs (24 cameras at 0.21 GB/min, one chunk per
+ * minute) so per-chunk service delay is measurable.
+ */
+
+#ifndef INSURE_WORKLOAD_SOURCES_HH
+#define INSURE_WORKLOAD_SOURCES_HH
+
+#include <vector>
+
+#include "sim/rng.hh"
+#include "workload/data_queue.hh"
+
+namespace insure::workload {
+
+/** Intermittent batch-job generator. */
+class BatchSource
+{
+  public:
+    /** Configuration of the arrival schedule. */
+    struct Params {
+        /** Size of each job, gigabytes (paper: 114 GB). */
+        GigaBytes jobSize = 114.0;
+        /** Arrival times within each day, seconds after midnight. */
+        std::vector<Seconds> dailyTimes = {8.5 * 3600.0, 16.5 * 3600.0};
+        /** Relative jitter applied to the job size (0 disables). */
+        double sizeJitter = 0.0;
+    };
+
+    BatchSource(Params params, Rng rng);
+
+    /**
+     * Deposit any jobs whose arrival time falls in (prev, now] into the
+     * queue. @p now is absolute simulation time (may span several days).
+     */
+    void step(Seconds prev, Seconds now, DataQueue &queue);
+
+    /** Total data generated per day with the configured schedule. */
+    GigaBytes dailyVolume() const;
+
+  private:
+    Params params_;
+    Rng rng_;
+};
+
+/** Continuous stream generator. */
+class StreamSource
+{
+  public:
+    /** Configuration of the stream. */
+    struct Params {
+        /** Aggregate arrival rate, gigabytes per minute (paper: 0.21). */
+        double gbPerMinute = 0.21;
+        /** Chunking interval: one job per this many seconds. */
+        Seconds chunkPeriod = 60.0;
+        /** Daily active window start (cameras run 24/7 by default). */
+        Seconds windowStart = 0.0;
+        /** Daily active window end. */
+        Seconds windowEnd = 24.0 * 3600.0;
+        /** Relative jitter on chunk sizes (0 disables). */
+        double rateJitter = 0.0;
+    };
+
+    StreamSource(Params params, Rng rng);
+
+    /** Deposit chunks for the interval (prev, now] into the queue. */
+    void step(Seconds prev, Seconds now, DataQueue &queue);
+
+    /** Total data generated per day with the configured window. */
+    GigaBytes dailyVolume() const;
+
+  private:
+    Params params_;
+    Rng rng_;
+    Seconds nextChunk_ = 0.0;
+
+    bool inWindow(Seconds day_time) const;
+};
+
+} // namespace insure::workload
+
+#endif // INSURE_WORKLOAD_SOURCES_HH

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for the reconfigurable battery array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "battery/battery_array.hh"
+
+namespace insure::battery {
+namespace {
+
+BatteryArray
+makeArray(double soc = 0.9)
+{
+    return BatteryArray(BatteryParams{}, 3, 2, soc);
+}
+
+TEST(BatteryArray, ConstructionAndAggregates)
+{
+    BatteryArray a = makeArray(0.5);
+    EXPECT_EQ(a.cabinetCount(), 3u);
+    EXPECT_NEAR(a.meanSoc(), 0.5, 1e-9);
+    EXPECT_NEAR(a.capacityWh(), 3 * 840.0, 1e-6);
+    EXPECT_NEAR(a.storedEnergyWh(), 0.5 * 3 * 840.0, 1e-6);
+    EXPECT_DOUBLE_EQ(a.busVoltage(), 24.0);
+}
+
+TEST(BatteryArray, ModeFiltering)
+{
+    BatteryArray a = makeArray();
+    a.setAllModes(UnitMode::Standby);
+    a.cabinet(1).setMode(UnitMode::Charging);
+    EXPECT_EQ(a.cabinetsInMode(UnitMode::Charging),
+              (std::vector<unsigned>{1}));
+    EXPECT_EQ(a.cabinetsInMode(UnitMode::Standby),
+              (std::vector<unsigned>{0, 2}));
+}
+
+TEST(BatteryArray, DischargeSplitsAcrossOnlineCabinets)
+{
+    BatteryArray a = makeArray();
+    a.setAllModes(UnitMode::Discharging);
+    a.beginTick();
+    const auto r = a.discharge(720.0, 60.0); // ~10 A per cabinet at 24 V
+    EXPECT_NEAR(r.deliveredPower, 720.0, 20.0);
+    ASSERT_EQ(r.cabinetCurrents.size(), 3u);
+    EXPECT_NEAR(r.cabinetCurrents[0], r.cabinetCurrents[1], 0.5);
+    EXPECT_NEAR(r.cabinetCurrents[1], r.cabinetCurrents[2], 0.5);
+    EXPECT_TRUE(r.tripped.empty());
+}
+
+TEST(BatteryArray, StandbyCabinetsBackstopTheLoad)
+{
+    BatteryArray a = makeArray();
+    a.setAllModes(UnitMode::Standby);
+    a.beginTick();
+    const auto r = a.discharge(500.0, 60.0);
+    EXPECT_NEAR(r.deliveredPower, 500.0, 15.0);
+}
+
+TEST(BatteryArray, OfflineAndChargingCabinetsDoNotSupply)
+{
+    BatteryArray a = makeArray();
+    a.setAllModes(UnitMode::Offline);
+    a.cabinet(0).setMode(UnitMode::Charging);
+    a.beginTick();
+    const auto r = a.discharge(500.0, 60.0);
+    EXPECT_DOUBLE_EQ(r.deliveredPower, 0.0);
+}
+
+TEST(BatteryArray, WeakCabinetRedistributesToStrong)
+{
+    BatteryArray a = makeArray();
+    a.setAllModes(UnitMode::Discharging);
+    a.cabinet(0).setSoc(0.205); // a hair above the discharge floor
+    a.beginTick();
+    const auto r = a.discharge(1200.0, 60.0);
+    ASSERT_EQ(r.cabinetCurrents.size(), 3u);
+    EXPECT_LT(r.cabinetCurrents[0], r.cabinetCurrents[1]);
+    // Strong cabinets pick up the slack.
+    EXPECT_GT(r.cabinetCurrents[1], 1200.0 / 3.0 / 25.0);
+}
+
+TEST(BatteryArray, ImpossibleDemandUnderDelivers)
+{
+    BatteryArray a = makeArray(0.3);
+    a.setAllModes(UnitMode::Discharging);
+    a.beginTick();
+    const auto r = a.discharge(50000.0, 60.0);
+    EXPECT_LT(r.deliveredPower, 50000.0 * 0.5);
+}
+
+TEST(BatteryArray, MaxDischargePowerPredictsDeliverable)
+{
+    BatteryArray a = makeArray(0.7);
+    a.setAllModes(UnitMode::Discharging);
+    const Watts pmax = a.maxDischargePower(60.0);
+    EXPECT_GT(pmax, 0.0);
+    a.beginTick();
+    const auto r = a.discharge(0.9 * pmax, 60.0);
+    EXPECT_NEAR(r.deliveredPower, 0.9 * pmax, 0.05 * pmax);
+    EXPECT_TRUE(r.tripped.empty());
+}
+
+TEST(BatteryArray, ChargeCabinetRespectsMode)
+{
+    BatteryArray a = makeArray(0.4);
+    a.setAllModes(UnitMode::Standby);
+    a.beginTick();
+    // Standby refuses charge unless bus-coupled wiring is requested.
+    EXPECT_DOUBLE_EQ(a.chargeCabinet(0, 500.0, 60.0).storedAh, 0.0);
+    EXPECT_GT(a.chargeCabinet(0, 500.0, 60.0, true).storedAh, 0.0);
+    a.cabinet(1).setMode(UnitMode::Charging);
+    EXPECT_GT(a.chargeCabinet(1, 500.0, 60.0).storedAh, 0.0);
+}
+
+TEST(BatteryArray, ChargePowerBoundedByBudgetAndAcceptance)
+{
+    BatteryArray a = makeArray(0.4);
+    a.setAllModes(UnitMode::Charging);
+    a.beginTick();
+    const auto small = a.chargeCabinet(0, 100.0, 60.0);
+    EXPECT_LE(small.consumedPower, 100.0 + 1e-6);
+    const auto big = a.chargeCabinet(1, 5000.0, 60.0);
+    // Acceptance-limited: ~17.75 A at 28.8 V absorption.
+    EXPECT_LT(big.consumedPower, 600.0);
+}
+
+TEST(BatteryArray, EndTickRestsUntouchedCabinets)
+{
+    BatteryArray a = makeArray(0.8);
+    a.setAllModes(UnitMode::Discharging);
+    a.cabinet(2).setMode(UnitMode::Offline);
+    // Deplete available wells of cabinet 0/1 via heavy discharge.
+    a.beginTick();
+    a.discharge(1500.0, 600.0);
+    const double avail_before = a.cabinet(2).unit(0).availableFraction();
+    a.endTick(600.0);
+    // Cabinet 2 rested (self-discharge only, tiny change).
+    EXPECT_NEAR(a.cabinet(2).unit(0).availableFraction(), avail_before,
+                1e-3);
+}
+
+TEST(BatteryArray, VoltageStddevReflectsImbalance)
+{
+    BatteryArray a = makeArray(0.8);
+    EXPECT_NEAR(a.voltageStddev(), 0.0, 1e-9);
+    a.cabinet(0).setSoc(0.3);
+    EXPECT_GT(a.voltageStddev(), 0.1);
+}
+
+TEST(BatteryArray, ThroughputAggregatesAcrossCabinets)
+{
+    BatteryArray a = makeArray();
+    a.setAllModes(UnitMode::Discharging);
+    a.beginTick();
+    const auto r = a.discharge(720.0, 3600.0);
+    EXPECT_NEAR(a.totalDischargeThroughputAh(), r.throughputAh, 1e-9);
+    EXPECT_GT(r.throughputAh, 25.0);
+}
+
+TEST(BatteryArrayDeath, InvalidCabinetIndexPanics)
+{
+    BatteryArray a = makeArray();
+    a.beginTick();
+    EXPECT_DEATH(a.chargeCabinet(99, 100.0, 1.0), "out of range");
+}
+
+TEST(BatteryArrayDeath, ZeroCabinetsIsFatal)
+{
+    EXPECT_DEATH(BatteryArray(BatteryParams{}, 0), "at least one");
+}
+
+} // namespace
+} // namespace insure::battery

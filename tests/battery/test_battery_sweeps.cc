@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Parameterized property sweeps over the battery unit: invariants that
+ * must hold across the whole (state-of-charge x current) grid.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "battery/battery_unit.hh"
+#include "battery/cabinet.hh"
+
+namespace insure::battery {
+namespace {
+
+using SocCurrent = std::tuple<double, double>;
+
+class DischargeSweep : public testing::TestWithParam<SocCurrent>
+{
+};
+
+TEST_P(DischargeSweep, DeliveredChargeNeverExceedsStored)
+{
+    const auto [soc, current] = GetParam();
+    BatteryUnit u("b", BatteryParams{}, soc);
+    const AmpHours stored = soc * 35.0;
+    AmpHours delivered = 0.0;
+    for (int i = 0; i < 240; ++i)
+        delivered += u.discharge(current, 60.0).deliveredAh;
+    EXPECT_LE(delivered, stored + 1e-6);
+    EXPECT_GE(u.soc(), -1e-9);
+}
+
+TEST_P(DischargeSweep, VoltageneverRecoversAboveOpenCircuit)
+{
+    const auto [soc, current] = GetParam();
+    BatteryUnit u("b", BatteryParams{}, soc);
+    const Volts ocv0 = u.openCircuitVoltage();
+    u.discharge(current, 600.0);
+    u.rest(units::hours(4.0));
+    // After a long rest the OCV approaches but never exceeds the initial.
+    EXPECT_LE(u.openCircuitVoltage(), ocv0 + 1e-9);
+}
+
+TEST_P(DischargeSweep, WearEqualsDeliveredCharge)
+{
+    const auto [soc, current] = GetParam();
+    BatteryUnit u("b", BatteryParams{}, soc);
+    AmpHours delivered = 0.0;
+    for (int i = 0; i < 30; ++i)
+        delivered += u.discharge(current, 60.0).deliveredAh;
+    EXPECT_NEAR(u.wear().dischargeThroughput(), delivered, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DischargeSweep,
+    testing::Combine(testing::Values(0.3, 0.6, 0.9),
+                     testing::Values(2.0, 10.0, 20.0, 34.0)));
+
+class ChargeSweep : public testing::TestWithParam<SocCurrent>
+{
+};
+
+TEST_P(ChargeSweep, RoundTripIsLossy)
+{
+    const auto [soc, current] = GetParam();
+    BatteryUnit u("b", BatteryParams{}, soc);
+    // Charge for an hour, then discharge the stored amount back out.
+    AmpHours stored = 0.0;
+    WattHours bus_in = 0.0;
+    for (int i = 0; i < 60; ++i) {
+        const ChargeResult r = u.charge(current, 60.0);
+        stored += r.storedAh;
+        bus_in += r.busEnergyWh;
+    }
+    if (stored < 0.1)
+        return; // acceptance-limited corner: nothing to verify
+    WattHours out = 0.0;
+    for (int i = 0; i < 600 && !u.depleted(); ++i)
+        out += u.discharge(10.0, 60.0).energyWh;
+    // Everything extractable is bounded by what went in over the bus
+    // plus what the cell held initially; losses make it strictly less.
+    const WattHours initial = soc * 35.0 * 12.9;
+    EXPECT_LT(out, bus_in + initial);
+    // And the charging leg alone is lossy: stored charge < bus charge.
+    EXPECT_LT(stored * 14.4, bus_in);
+}
+
+TEST_P(ChargeSweep, SocIsMonotoneUnderCharge)
+{
+    const auto [soc, current] = GetParam();
+    BatteryUnit u("b", BatteryParams{}, soc);
+    double prev = u.soc();
+    for (int i = 0; i < 120; ++i) {
+        u.charge(current, 60.0);
+        EXPECT_GE(u.soc(), prev - 1e-7);
+        prev = u.soc();
+    }
+    EXPECT_LE(u.soc(), 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ChargeSweep,
+    testing::Combine(testing::Values(0.25, 0.5, 0.8),
+                     testing::Values(4.0, 10.0, 17.5)));
+
+/** Series-count sweep: cabinet electrical identities. */
+class SeriesSweep : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SeriesSweep, CabinetScalesWithSeriesCount)
+{
+    const unsigned n = GetParam();
+    Cabinet c("c", BatteryParams{}, n, 0.8);
+    EXPECT_EQ(c.seriesCount(), n);
+    EXPECT_NEAR(c.nominalVoltage(), 12.0 * n, 1e-9);
+    EXPECT_NEAR(c.capacityWh(), 420.0 * n, 1e-6);
+    EXPECT_DOUBLE_EQ(c.capacityAh(), 35.0); // series: Ah unchanged
+    const DischargeResult r = c.discharge(5.0, 3600.0);
+    EXPECT_NEAR(r.deliveredAh, 5.0, 1e-6);
+    // Energy scales with the series count.
+    EXPECT_NEAR(r.energyWh / n, 5.0 * 12.4, 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, SeriesSweep,
+                         testing::Values(1u, 2u, 3u, 4u));
+
+} // namespace
+} // namespace insure::battery

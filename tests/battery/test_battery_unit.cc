@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the composed battery unit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "battery/battery_unit.hh"
+
+namespace insure::battery {
+namespace {
+
+TEST(BatteryUnit, InitialState)
+{
+    BatteryUnit u("b", BatteryParams{}, 0.9);
+    EXPECT_NEAR(u.soc(), 0.9, 1e-12);
+    EXPECT_TRUE(u.charged());
+    EXPECT_FALSE(u.depleted());
+    EXPECT_GT(u.openCircuitVoltage(), 12.5);
+    EXPECT_NEAR(u.storedEnergyWh(), 0.9 * 35.0 * 12.0, 1e-6);
+    EXPECT_NEAR(u.capacityWh(), 420.0, 1e-9);
+}
+
+TEST(BatteryUnit, DischargeDeliversEnergyAndWears)
+{
+    BatteryUnit u("b", BatteryParams{}, 0.9);
+    const DischargeResult r = u.discharge(10.0, 3600.0);
+    EXPECT_NEAR(r.deliveredAh, 10.0, 1e-6);
+    EXPECT_GT(r.energyWh, 10.0 * 11.8);
+    EXPECT_LT(r.energyWh, 10.0 * 13.0);
+    EXPECT_FALSE(r.hitProtection);
+    EXPECT_NEAR(u.soc(), 0.9 - 10.0 / 35.0, 1e-6);
+    EXPECT_NEAR(u.wear().dischargeThroughput(), 10.0, 1e-6);
+}
+
+TEST(BatteryUnit, TerminalVoltageSagsUnderLoad)
+{
+    BatteryUnit u("b", BatteryParams{}, 0.9);
+    EXPECT_LT(u.terminalVoltage(20.0), u.terminalVoltage(0.0));
+}
+
+TEST(BatteryUnit, OverCurrentIsClippedWithProtectionFlag)
+{
+    BatteryParams p;
+    BatteryUnit u("b", p, 0.9);
+    const DischargeResult r =
+        u.discharge(p.maxDischargeCurrent * 2.0, 60.0);
+    EXPECT_TRUE(r.hitProtection);
+    EXPECT_LE(r.deliveredAh,
+              p.maxDischargeCurrent * 60.0 / 3600.0 + 1e-9);
+}
+
+TEST(BatteryUnit, EmptyUnitTripsImmediately)
+{
+    BatteryUnit u("b", BatteryParams{}, 0.02);
+    const DischargeResult r = u.discharge(20.0, 60.0);
+    EXPECT_TRUE(r.hitProtection);
+    EXPECT_DOUBLE_EQ(r.deliveredAh, 0.0);
+}
+
+TEST(BatteryUnit, SafeDischargeCurrentIsActuallySafe)
+{
+    for (double soc : {0.3, 0.5, 0.7, 0.9}) {
+        BatteryUnit u("b", BatteryParams{}, soc);
+        const Amperes safe = u.safeDischargeCurrent(60.0);
+        if (safe <= 0.0)
+            continue;
+        const DischargeResult r = u.discharge(safe * 0.98, 60.0);
+        EXPECT_FALSE(r.hitProtection) << "soc=" << soc;
+    }
+}
+
+TEST(BatteryUnit, DepletedUnitHasZeroSafeCurrent)
+{
+    BatteryParams p;
+    BatteryUnit u("b", p, p.minSoc);
+    EXPECT_DOUBLE_EQ(u.safeDischargeCurrent(60.0), 0.0);
+}
+
+TEST(BatteryUnit, ChargeStoresLessThanBusDelivers)
+{
+    BatteryUnit u("b", BatteryParams{}, 0.3);
+    const ChargeResult r = u.charge(10.0, 3600.0);
+    EXPECT_GT(r.storedAh, 0.0);
+    EXPECT_LT(r.storedAh, 10.0); // efficiency + parasitics
+    EXPECT_NEAR(r.busEnergyWh, 10.0 * 14.4, 1e-6);
+    EXPECT_GT(u.soc(), 0.3);
+}
+
+TEST(BatteryUnit, ChargeToFullTapersOff)
+{
+    BatteryUnit u("b", BatteryParams{}, 0.85);
+    // Hours of abundant charging saturate near full.
+    for (int i = 0; i < 20; ++i)
+        u.charge(20.0, 1800.0);
+    EXPECT_GT(u.soc(), 0.97);
+    EXPECT_LE(u.soc(), 1.0 + 1e-9);
+}
+
+TEST(BatteryUnit, RestSelfDischargesSlowly)
+{
+    BatteryUnit u("b", BatteryParams{}, 0.8);
+    u.rest(units::days(10.0));
+    EXPECT_LT(u.soc(), 0.8);
+    EXPECT_GT(u.soc(), 0.75); // ~0.15%/day
+}
+
+TEST(BatteryUnit, ModeIsSticky)
+{
+    BatteryUnit u("b", BatteryParams{}, 0.5);
+    EXPECT_EQ(u.mode(), UnitMode::Standby);
+    u.setMode(UnitMode::Charging);
+    EXPECT_EQ(u.mode(), UnitMode::Charging);
+}
+
+TEST(BatteryUnit, ModeNamesAreStable)
+{
+    EXPECT_STREQ(unitModeName(UnitMode::Offline), "offline");
+    EXPECT_STREQ(unitModeName(UnitMode::Charging), "charging");
+    EXPECT_STREQ(unitModeName(UnitMode::Standby), "standby");
+    EXPECT_STREQ(unitModeName(UnitMode::Discharging), "discharging");
+}
+
+/** Property: energy delivered never exceeds the ideal OCV energy. */
+class UnitDischargeProperty : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(UnitDischargeProperty, EnergyBoundedByIdeal)
+{
+    const Amperes current = GetParam();
+    BatteryUnit u("b", BatteryParams{}, 0.9);
+    const Volts ocv = u.openCircuitVoltage();
+    const DischargeResult r = u.discharge(current, 600.0);
+    EXPECT_LE(r.energyWh, r.deliveredAh * ocv + 1e-9);
+    EXPECT_GE(r.energyWh, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Currents, UnitDischargeProperty,
+                         testing::Values(1.0, 5.0, 10.0, 20.0, 30.0));
+
+} // namespace
+} // namespace insure::battery

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the battery cabinet (series string behind relays).
+ */
+
+#include <gtest/gtest.h>
+
+#include "battery/cabinet.hh"
+
+namespace insure::battery {
+namespace {
+
+TEST(Cabinet, SeriesStringSumsVoltage)
+{
+    Cabinet c("c", BatteryParams{}, 2, 0.9);
+    EXPECT_EQ(c.seriesCount(), 2u);
+    EXPECT_NEAR(c.openCircuitVoltage(),
+                2.0 * c.unit(0).openCircuitVoltage(), 1e-9);
+    EXPECT_DOUBLE_EQ(c.nominalVoltage(), 24.0);
+    EXPECT_DOUBLE_EQ(c.capacityAh(), 35.0);
+    EXPECT_NEAR(c.capacityWh(), 840.0, 1e-9);
+}
+
+TEST(Cabinet, DischargeCountsAhOnceEnergyTwice)
+{
+    Cabinet c("c", BatteryParams{}, 2, 0.9);
+    const DischargeResult r = c.discharge(5.0, 3600.0);
+    EXPECT_NEAR(r.deliveredAh, 5.0, 1e-6);       // series: one current
+    EXPECT_GT(r.energyWh, 5.0 * 23.5);           // both units contribute
+    EXPECT_LT(r.energyWh, 5.0 * 26.0);
+}
+
+TEST(Cabinet, ChargeAffectsAllUnitsEqually)
+{
+    Cabinet c("c", BatteryParams{}, 2, 0.3);
+    c.charge(10.0, 3600.0);
+    EXPECT_NEAR(c.unit(0).soc(), c.unit(1).soc(), 1e-9);
+    EXPECT_GT(c.soc(), 0.3);
+}
+
+TEST(Cabinet, ModesDriveRelayPair)
+{
+    Cabinet c("c", BatteryParams{}, 2, 0.9);
+    c.setMode(UnitMode::Charging);
+    EXPECT_TRUE(c.chargeRelay().closed());
+    EXPECT_FALSE(c.dischargeRelay().closed());
+    c.setMode(UnitMode::Discharging);
+    EXPECT_FALSE(c.chargeRelay().closed());
+    EXPECT_TRUE(c.dischargeRelay().closed());
+    c.setMode(UnitMode::Offline);
+    EXPECT_FALSE(c.chargeRelay().closed());
+    EXPECT_FALSE(c.dischargeRelay().closed());
+    EXPECT_GE(c.relayOperations(), 4u);
+}
+
+TEST(Cabinet, ModePropagatesToUnits)
+{
+    Cabinet c("c", BatteryParams{}, 2, 0.9);
+    c.setMode(UnitMode::Charging);
+    EXPECT_EQ(c.unit(0).mode(), UnitMode::Charging);
+    EXPECT_EQ(c.unit(1).mode(), UnitMode::Charging);
+}
+
+TEST(Cabinet, ChargedAndDepletedFollowWeakestUnit)
+{
+    Cabinet c("c", BatteryParams{}, 2, 0.95);
+    EXPECT_TRUE(c.charged());
+    c.unit(1).setSoc(0.5);
+    EXPECT_FALSE(c.charged());
+    c.unit(1).setSoc(0.1);
+    EXPECT_TRUE(c.depleted());
+}
+
+TEST(Cabinet, SafeCurrentLimitedByWeakestUnit)
+{
+    Cabinet c("c", BatteryParams{}, 2, 0.9);
+    const Amperes strong = c.safeDischargeCurrent(60.0);
+    c.unit(1).setSoc(0.21); // just above the discharge floor
+    const Amperes weak = c.safeDischargeCurrent(60.0);
+    EXPECT_LT(weak, strong);
+}
+
+TEST(Cabinet, AcceptanceLimitedByFullestUnit)
+{
+    BatteryParams p;
+    Cabinet c("c", p, 2, 0.5);
+    EXPECT_DOUBLE_EQ(c.acceptanceCurrent(), p.maxChargeCurrent);
+    c.unit(0).setSoc(0.95);
+    EXPECT_LT(c.acceptanceCurrent(), p.maxChargeCurrent);
+}
+
+TEST(Cabinet, SetSocAppliesToAllUnits)
+{
+    Cabinet c("c", BatteryParams{}, 3, 0.9);
+    c.setSoc(0.42);
+    for (unsigned i = 0; i < 3; ++i)
+        EXPECT_NEAR(c.unit(i).soc(), 0.42, 1e-9);
+}
+
+TEST(CabinetDeath, ZeroSeriesCountIsFatal)
+{
+    EXPECT_DEATH(Cabinet("c", BatteryParams{}, 0), "series_count");
+}
+
+} // namespace
+} // namespace insure::battery

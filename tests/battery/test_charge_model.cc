@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the charge-acceptance and charge-efficiency models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "battery/charge_model.hh"
+
+namespace insure::battery {
+namespace {
+
+TEST(ChargeModel, FullRateBelowAbsorption)
+{
+    BatteryParams p;
+    ChargeModel cm(p);
+    EXPECT_DOUBLE_EQ(cm.acceptanceCurrent(0.0), p.maxChargeCurrent);
+    EXPECT_DOUBLE_EQ(cm.acceptanceCurrent(p.absorptionSoc),
+                     p.maxChargeCurrent);
+}
+
+TEST(ChargeModel, AcceptanceTapersAboveAbsorption)
+{
+    BatteryParams p;
+    ChargeModel cm(p);
+    const double a85 = cm.acceptanceCurrent(0.85);
+    const double a95 = cm.acceptanceCurrent(0.95);
+    EXPECT_LT(a85, p.maxChargeCurrent);
+    EXPECT_LT(a95, a85);
+    EXPECT_GT(a95, 0.0);
+    EXPECT_DOUBLE_EQ(cm.acceptanceCurrent(1.0), 0.0);
+}
+
+TEST(ChargeModel, EfficiencyIncreasesWithRate)
+{
+    ChargeModel cm{BatteryParams{}};
+    double prev = 0.0;
+    for (double i = 1.0; i <= 17.5; i += 1.0) {
+        const double eta = cm.efficiency(i);
+        EXPECT_GT(eta, prev);
+        EXPECT_LT(eta, 1.0);
+        prev = eta;
+    }
+}
+
+TEST(ChargeModel, TrickleChargingIsInefficient)
+{
+    BatteryParams p;
+    ChargeModel cm(p);
+    // At a healthy 0.5C the efficiency approaches the maximum; at a
+    // trickle it is dominated by gassing/self-discharge losses.
+    EXPECT_GT(cm.efficiency(17.5), 0.85);
+    EXPECT_LT(cm.efficiency(1.0), 0.45);
+}
+
+TEST(ChargeModel, ZeroOrNegativeCurrentHasZeroEfficiency)
+{
+    ChargeModel cm{BatteryParams{}};
+    EXPECT_DOUBLE_EQ(cm.efficiency(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(cm.efficiency(-5.0), 0.0);
+}
+
+TEST(ChargeModel, EffectiveCurrentAppliesParasiticsAndAcceptance)
+{
+    BatteryParams p;
+    ChargeModel cm(p);
+    // Below the parasitic draw nothing is stored.
+    EXPECT_DOUBLE_EQ(cm.effectiveChargeCurrent(p.parasiticBusCurrent / 2,
+                                               0.5),
+                     0.0);
+    // Abundant bus current is capped by acceptance.
+    const double eff = cm.effectiveChargeCurrent(100.0, 0.5);
+    EXPECT_LE(eff, p.maxChargeCurrent);
+    EXPECT_GT(eff, 0.8 * p.maxChargeCurrent);
+}
+
+TEST(ChargeModel, EffectiveCurrentMonotoneInBusCurrent)
+{
+    ChargeModel cm{BatteryParams{}};
+    double prev = -1.0;
+    for (double i = 0.0; i <= 25.0; i += 0.5) {
+        const double eff = cm.effectiveChargeCurrent(i, 0.4);
+        EXPECT_GE(eff, prev - 1e-12);
+        prev = eff;
+    }
+}
+
+TEST(ChargeModel, BusPowerUsesAbsorptionVoltage)
+{
+    BatteryParams p;
+    ChargeModel cm(p);
+    EXPECT_DOUBLE_EQ(cm.busPower(10.0), 10.0 * p.absorptionVoltage);
+    EXPECT_DOUBLE_EQ(cm.peakChargePower(),
+                     (p.maxChargeCurrent + p.parasiticBusCurrent) *
+                         p.absorptionVoltage);
+}
+
+} // namespace
+} // namespace insure::battery

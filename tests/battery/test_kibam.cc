@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit and property tests for the KiBaM two-well kinetic battery model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "battery/kibam.hh"
+
+namespace insure::battery {
+namespace {
+
+constexpr double kCap = 35.0;
+constexpr double kC = 0.62;
+constexpr double kK = 0.85;
+
+TEST(Kibam, InitialSocSplitsWellsAtEquilibrium)
+{
+    Kibam k(kCap, kC, kK, 0.5);
+    EXPECT_NEAR(k.soc(), 0.5, 1e-12);
+    EXPECT_NEAR(k.availableCharge(), kC * kCap * 0.5, 1e-12);
+    EXPECT_NEAR(k.boundCharge(), (1.0 - kC) * kCap * 0.5, 1e-12);
+    EXPECT_NEAR(k.availableFraction(), 0.5, 1e-12);
+}
+
+TEST(Kibam, ChargeConservationUnderDischarge)
+{
+    Kibam k(kCap, kC, kK, 1.0);
+    const double before = k.availableCharge() + k.boundCharge();
+    k.step(5.0, 3600.0); // 5 A for 1 h = 5 Ah
+    const double after = k.availableCharge() + k.boundCharge();
+    EXPECT_NEAR(before - after, 5.0, 1e-9);
+}
+
+TEST(Kibam, RateCapacityEffect)
+{
+    // At a high rate the battery exhausts with more total charge left
+    // inside than at a low rate (the available well runs dry first).
+    Kibam slow(kCap, kC, kK, 1.0);
+    Kibam fast(kCap, kC, kK, 1.0);
+
+    Seconds t_slow = 0.0;
+    while (!slow.exhausted() && t_slow < 500 * 3600.0) {
+        slow.step(2.0, 60.0);
+        t_slow += 60.0;
+    }
+    Seconds t_fast = 0.0;
+    while (!fast.exhausted() && t_fast < 500 * 3600.0) {
+        fast.step(30.0, 60.0);
+        t_fast += 60.0;
+    }
+
+    const double delivered_slow = 2.0 * t_slow / 3600.0;
+    const double delivered_fast = 30.0 * t_fast / 3600.0;
+    EXPECT_GT(delivered_slow, delivered_fast * 1.1);
+    // Fast discharge leaves charge stranded in the bound well.
+    EXPECT_GT(fast.boundCharge(), slow.boundCharge());
+}
+
+TEST(Kibam, RecoveryEffectRestoresAvailableCharge)
+{
+    Kibam k(kCap, kC, kK, 1.0);
+    // Hard discharge to deplete the available well.
+    while (!k.exhausted())
+        k.step(30.0, 60.0);
+    const double avail_depleted = k.availableCharge();
+    EXPECT_LT(avail_depleted, 0.5);
+    // Rest for two hours: bound charge flows back.
+    k.step(0.0, 2.0 * 3600.0);
+    EXPECT_GT(k.availableCharge(), avail_depleted + 1.0);
+    // Total charge unchanged by resting.
+    EXPECT_GT(k.boundCharge(), 0.0);
+}
+
+TEST(Kibam, RestingPreservesTotalCharge)
+{
+    Kibam k(kCap, kC, kK, 0.7);
+    const double before = k.availableCharge() + k.boundCharge();
+    k.step(0.0, 10.0 * 3600.0);
+    EXPECT_NEAR(k.availableCharge() + k.boundCharge(), before, 1e-9);
+}
+
+TEST(Kibam, ChargingFillsBothWells)
+{
+    Kibam k(kCap, kC, kK, 0.2);
+    k.step(-10.0, 3600.0); // charge 10 Ah
+    EXPECT_NEAR(k.soc(), 0.2 + 10.0 / kCap, 1e-6);
+}
+
+TEST(Kibam, OverchargeIsClippedAndReported)
+{
+    Kibam k(kCap, kC, kK, 0.95);
+    const AmpHours rejected = k.step(-20.0, 3600.0);
+    EXPECT_GT(rejected, 0.0);
+    EXPECT_LE(k.soc(), 1.0 + 1e-9);
+}
+
+TEST(Kibam, OverDischargeIsClippedAndReported)
+{
+    Kibam k(kCap, kC, kK, 0.05);
+    const AmpHours rejected = k.step(35.0, 3600.0);
+    EXPECT_GT(rejected, 0.0);
+    EXPECT_GE(k.availableCharge(), -1e-12);
+}
+
+TEST(Kibam, MaxDischargeCurrentEmptiesExactly)
+{
+    Kibam k(kCap, kC, kK, 0.8);
+    const Seconds dt = 600.0;
+    const Amperes imax = k.maxDischargeCurrent(dt);
+    ASSERT_GT(imax, 0.0);
+    k.step(imax, dt);
+    EXPECT_NEAR(k.availableCharge(), 0.0, 1e-6);
+}
+
+TEST(Kibam, MaxDischargeCurrentIsSafeBound)
+{
+    Kibam k(kCap, kC, kK, 0.6);
+    const Seconds dt = 60.0;
+    const Amperes imax = k.maxDischargeCurrent(dt);
+    const AmpHours rejected = k.step(0.95 * imax, dt);
+    EXPECT_DOUBLE_EQ(rejected, 0.0);
+}
+
+TEST(Kibam, SetSocClampsRange)
+{
+    Kibam k(kCap, kC, kK, 0.5);
+    k.setSoc(2.0);
+    EXPECT_DOUBLE_EQ(k.soc(), 1.0);
+    k.setSoc(-1.0);
+    EXPECT_DOUBLE_EQ(k.soc(), 0.0);
+    EXPECT_TRUE(k.exhausted());
+}
+
+TEST(KibamDeath, InvalidParamsAreFatal)
+{
+    EXPECT_DEATH(Kibam(0.0, kC, kK), "invalid");
+    EXPECT_DEATH(Kibam(kCap, 1.5, kK), "invalid");
+    EXPECT_DEATH(Kibam(kCap, kC, -1.0), "invalid");
+}
+
+/** Property sweep: closed-form step matches fine-grained Euler. */
+class KibamEulerProperty : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(KibamEulerProperty, ClosedFormMatchesEuler)
+{
+    // Mid-range initial state so neither clipping boundary is reached
+    // (clipping is covered by dedicated tests above).
+    const Amperes current = GetParam();
+    Kibam analytic(kCap, kC, kK, 0.55);
+
+    // Euler integration at 10 ms steps.
+    double y1 = 0.55 * kC * kCap;
+    double y2 = 0.55 * (1.0 - kC) * kCap;
+    const double dt_h = 0.01 / 3600.0;
+    const double horizon_s = 1800.0;
+    for (double t = 0.0; t < horizon_s; t += 0.01) {
+        const double h1 = y1 / kC;
+        const double h2 = y2 / (1.0 - kC);
+        const double flow = kK * kC * (1.0 - kC) * (h2 - h1);
+        y1 += (-current + flow) * dt_h;
+        y2 += -flow * dt_h;
+    }
+    analytic.step(current, horizon_s);
+
+    EXPECT_NEAR(analytic.availableCharge(), y1, 0.05);
+    EXPECT_NEAR(analytic.boundCharge(), y2, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(CurrentSweep, KibamEulerProperty,
+                         testing::Values(-10.0, -2.0, 0.0, 1.0, 5.0, 12.0,
+                                         20.0));
+
+/** Property sweep: step-size invariance of the closed form. */
+class KibamStepSizeProperty : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(KibamStepSizeProperty, ResultIndependentOfStepSize)
+{
+    const Seconds step = GetParam();
+    Kibam coarse(kCap, kC, kK, 0.8);
+    Kibam fine(kCap, kC, kK, 0.8);
+    const Seconds horizon = 1200.0;
+    coarse.step(6.0, horizon);
+    for (Seconds t = 0.0; t < horizon; t += step)
+        fine.step(6.0, step);
+    EXPECT_NEAR(coarse.availableCharge(), fine.availableCharge(), 1e-6);
+    EXPECT_NEAR(coarse.boundCharge(), fine.boundCharge(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(StepSweep, KibamStepSizeProperty,
+                         testing::Values(1.0, 5.0, 60.0, 300.0));
+
+} // namespace
+} // namespace insure::battery

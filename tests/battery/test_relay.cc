@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Unit tests for the relay model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "battery/relay.hh"
+
+namespace insure::battery {
+namespace {
+
+TEST(Relay, StartsOpen)
+{
+    Relay r("r");
+    EXPECT_FALSE(r.closed());
+    EXPECT_EQ(r.operations(), 0u);
+}
+
+TEST(Relay, CountsOnlyStateChanges)
+{
+    Relay r("r");
+    EXPECT_TRUE(r.close());
+    EXPECT_FALSE(r.close()); // already closed
+    EXPECT_TRUE(r.open());
+    EXPECT_FALSE(r.open());
+    EXPECT_EQ(r.operations(), 2u);
+}
+
+TEST(Relay, WearFractionScalesWithOperations)
+{
+    RelayParams p;
+    p.mechanicalLife = 100.0;
+    Relay r("r", p);
+    for (int i = 0; i < 25; ++i) {
+        r.close();
+        r.open();
+    }
+    EXPECT_DOUBLE_EQ(r.wearFraction(), 0.5);
+}
+
+} // namespace
+} // namespace insure::battery

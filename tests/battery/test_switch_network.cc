@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the P1/P2/P3 switch network (paper Fig. 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "battery/switch_network.hh"
+
+namespace insure::battery {
+namespace {
+
+TEST(SwitchNetwork, DefaultsToParallel)
+{
+    SwitchNetwork net;
+    EXPECT_EQ(net.topology(), BusTopology::Parallel);
+    EXPECT_TRUE(net.p1());
+    EXPECT_FALSE(net.p2());
+    EXPECT_TRUE(net.p3());
+}
+
+TEST(SwitchNetwork, SeriesSelection)
+{
+    SwitchNetwork net;
+    net.selectSeries();
+    EXPECT_EQ(net.topology(), BusTopology::Series);
+}
+
+TEST(SwitchNetwork, ParallelRatings)
+{
+    SwitchNetwork net;
+    net.selectParallel();
+    EXPECT_DOUBLE_EQ(net.busVoltage(24.0, 3), 24.0);
+    EXPECT_DOUBLE_EQ(net.busCapacityAh(35.0, 3), 105.0);
+}
+
+TEST(SwitchNetwork, SeriesRatings)
+{
+    SwitchNetwork net;
+    net.selectSeries();
+    EXPECT_DOUBLE_EQ(net.busVoltage(24.0, 3), 72.0);
+    EXPECT_DOUBLE_EQ(net.busCapacityAh(35.0, 3), 35.0);
+}
+
+TEST(SwitchNetwork, ShortingCombinationsAreInvalid)
+{
+    SwitchNetwork net;
+    // Closing the series link together with a parallel tie shorts a
+    // cabinet: must be reported invalid with a dead bus.
+    net.set(true, true, true);
+    EXPECT_EQ(net.topology(), BusTopology::Invalid);
+    EXPECT_DOUBLE_EQ(net.busVoltage(24.0, 3), 0.0);
+    EXPECT_DOUBLE_EQ(net.busCapacityAh(35.0, 3), 0.0);
+
+    net.set(true, true, false);
+    EXPECT_EQ(net.topology(), BusTopology::Invalid);
+    net.set(false, false, false);
+    EXPECT_EQ(net.topology(), BusTopology::Invalid);
+}
+
+TEST(SwitchNetwork, OperationsCountSwitchChanges)
+{
+    SwitchNetwork net; // parallel: p1=1 p2=0 p3=1 (2 operations)
+    const auto initial = net.operations();
+    net.selectSeries(); // flips all three
+    EXPECT_EQ(net.operations(), initial + 3);
+    net.selectSeries(); // no-op
+    EXPECT_EQ(net.operations(), initial + 3);
+}
+
+TEST(SwitchNetwork, TopologyNames)
+{
+    EXPECT_STREQ(busTopologyName(BusTopology::Parallel), "parallel");
+    EXPECT_STREQ(busTopologyName(BusTopology::Series), "series");
+    EXPECT_STREQ(busTopologyName(BusTopology::Invalid), "invalid");
+}
+
+} // namespace
+} // namespace insure::battery

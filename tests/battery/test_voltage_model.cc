@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the lead-acid terminal-voltage model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "battery/voltage_model.hh"
+
+namespace insure::battery {
+namespace {
+
+TEST(VoltageModel, OcvIsMonotoneInAvailableFraction)
+{
+    VoltageModel vm{BatteryParams{}};
+    double prev = 0.0;
+    for (double f = 0.0; f <= 1.0; f += 0.05) {
+        const double v = vm.openCircuit(f);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(VoltageModel, OcvEndpointsMatchLeadAcid)
+{
+    VoltageModel vm{BatteryParams{}};
+    EXPECT_NEAR(vm.openCircuit(0.0), 11.60, 1e-9);
+    EXPECT_NEAR(vm.openCircuit(1.0), 12.90, 1e-9);
+    EXPECT_NEAR(vm.openCircuit(0.5), 12.35, 1e-9);
+}
+
+TEST(VoltageModel, DischargeSagsByIrDrop)
+{
+    BatteryParams p;
+    VoltageModel vm{p};
+    const double v0 = vm.terminal(0.8, 0.0);
+    const double v20 = vm.terminal(0.8, 20.0);
+    EXPECT_NEAR(v0 - v20, 20.0 * p.internalResistanceOhm, 1e-12);
+}
+
+TEST(VoltageModel, ChargingRaisesVoltageUpToAbsorption)
+{
+    BatteryParams p;
+    VoltageModel vm{p};
+    const double v = vm.terminal(0.5, -10.0);
+    EXPECT_GT(v, vm.openCircuit(0.5));
+    EXPECT_LE(v, p.absorptionVoltage);
+    // Large charge current clamps at the charger's absorption setpoint.
+    EXPECT_DOUBLE_EQ(vm.terminal(0.95, -100.0), p.absorptionVoltage);
+}
+
+TEST(VoltageModel, CutoffDetection)
+{
+    BatteryParams p;
+    VoltageModel vm{p};
+    EXPECT_FALSE(vm.belowCutoff(0.9, 10.0));
+    EXPECT_FALSE(vm.belowCutoff(0.3, 5.0));
+    EXPECT_TRUE(vm.belowCutoff(0.01, 20.0));
+}
+
+TEST(VoltageModel, MaxCurrentAboveCutoffIsConsistent)
+{
+    BatteryParams p;
+    VoltageModel vm{p};
+    for (double f : {0.3, 0.5, 0.8, 1.0}) {
+        const double imax = vm.maxCurrentAboveCutoff(f);
+        if (imax > 0.0) {
+            EXPECT_GE(vm.terminal(f, imax * 0.999), p.cutoffVoltage - 1e-9);
+            EXPECT_LT(vm.terminal(f, imax * 1.2), p.cutoffVoltage);
+        }
+    }
+}
+
+TEST(VoltageModel, HeadroomShrinksTowardEmpty)
+{
+    // Voltage headroom (and thus the legal current) shrinks as the
+    // available well drains; the kinetic model owns the hard zero.
+    VoltageModel vm{BatteryParams{}};
+    EXPECT_LT(vm.maxCurrentAboveCutoff(0.0),
+              0.5 * vm.maxCurrentAboveCutoff(0.5));
+}
+
+TEST(VoltageModel, ScalesWithNominalVoltage)
+{
+    BatteryParams p;
+    p.nominalVoltage = 24.0;
+    VoltageModel vm{p};
+    EXPECT_NEAR(vm.openCircuit(1.0), 25.80, 1e-9);
+}
+
+} // namespace
+} // namespace insure::battery

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for the Ah-throughput wear model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "battery/wear_model.hh"
+
+namespace insure::battery {
+namespace {
+
+TEST(WearModel, FreshBatteryHasFullBudget)
+{
+    WearModel w{BatteryParams{}};
+    EXPECT_DOUBLE_EQ(w.remainingFraction(), 1.0);
+    EXPECT_FALSE(w.wornOut());
+    EXPECT_DOUBLE_EQ(w.dischargeThroughput(), 0.0);
+}
+
+TEST(WearModel, ThroughputAccumulates)
+{
+    WearModel w{BatteryParams{}};
+    w.recordDischarge(10.0);
+    w.recordDischarge(5.0);
+    w.recordCharge(12.0);
+    EXPECT_DOUBLE_EQ(w.dischargeThroughput(), 15.0);
+    EXPECT_DOUBLE_EQ(w.chargeThroughput(), 12.0);
+}
+
+TEST(WearModel, WearsOutAtLifetimeThroughput)
+{
+    BatteryParams p;
+    p.lifetimeThroughputAh = 100.0;
+    WearModel w(p);
+    w.recordDischarge(50.0);
+    EXPECT_NEAR(w.remainingFraction(), 0.5, 1e-12);
+    w.recordDischarge(60.0);
+    EXPECT_DOUBLE_EQ(w.remainingFraction(), 0.0);
+    EXPECT_TRUE(w.wornOut());
+}
+
+TEST(WearModel, UnusedBatteryProjectsCalendarLife)
+{
+    BatteryParams p;
+    WearModel w(p);
+    EXPECT_DOUBLE_EQ(w.projectedLifeYears(units::days(30.0)),
+                     p.calendarLifeYears);
+}
+
+TEST(WearModel, HeavyUseShortensProjectedLife)
+{
+    BatteryParams p; // 8400 Ah lifetime
+    WearModel w(p);
+    // 28 Ah/day for 10 days -> 8400 / (28 * 365.25) ~ 0.82 years.
+    w.recordDischarge(280.0);
+    const double years = w.projectedLifeYears(units::days(10.0));
+    EXPECT_NEAR(years, 8400.0 / (28.0 * units::daysPerYear), 1e-6);
+}
+
+TEST(WearModel, LightUseCapsAtCalendarLife)
+{
+    BatteryParams p;
+    WearModel w(p);
+    w.recordDischarge(1.0);
+    EXPECT_DOUBLE_EQ(w.projectedLifeYears(units::days(10.0)),
+                     p.calendarLifeYears);
+}
+
+TEST(WearModelDeath, NegativeThroughputPanics)
+{
+    WearModel w{BatteryParams{}};
+    EXPECT_DEATH(w.recordDischarge(-1.0), "negative");
+    EXPECT_DEATH(w.recordCharge(-1.0), "negative");
+}
+
+} // namespace
+} // namespace insure::battery

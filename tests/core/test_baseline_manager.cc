@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the baseline (grid-style unified buffer) manager.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/baseline_manager.hh"
+#include "server/node_params.hh"
+
+namespace insure::core {
+namespace {
+
+using battery::UnitMode;
+
+std::shared_ptr<NodeAllocator>
+seismicAllocator()
+{
+    return std::make_shared<NodeAllocator>(server::xeonNode(), 4,
+                                           workload::seismicProfile());
+}
+
+SystemView
+baseView()
+{
+    SystemView v;
+    v.now = units::hours(10.0);
+    v.solarPower = 900.0;
+    v.solarPowerAvg = 900.0;
+    v.loadPower = 700.0;
+    v.totalVmSlots = 8;
+    v.activeVms = 4;
+    v.dutyCycle = 1.0;
+    v.backlog = 100.0;
+    v.workloadKind = workload::WorkloadKind::Batch;
+    v.seriesPerCabinet = 2;
+    v.cabinets.resize(3);
+    for (auto &c : v.cabinets) {
+        c.soc = 0.7;
+        c.voltage = 24.8;
+        c.current = 3.0;
+        c.mode = UnitMode::Standby;
+        c.capacityWh = 840.0;
+    }
+    return v;
+}
+
+TEST(BaselineManager, UnifiedModeIsUniform)
+{
+    BaselineManager mgr(BaselineParams{}, seismicAllocator());
+    const auto act = mgr.control(baseView());
+    for (auto m : act.cabinetModes)
+        EXPECT_EQ(m, act.cabinetModes[0]);
+    EXPECT_TRUE(act.chargePlan.splitEvenly);
+    EXPECT_EQ(act.chargePlan.cabinets.size(), 3u);
+    EXPECT_DOUBLE_EQ(act.dutyCycle, 1.0); // never caps
+}
+
+TEST(BaselineManager, HealthyBufferStaysOnBusWithoutSurplus)
+{
+    BaselineManager mgr(BaselineParams{}, seismicAllocator());
+    auto view = baseView();
+    view.solarPowerAvg = 720.0; // no meaningful surplus
+    const auto act = mgr.control(view);
+    EXPECT_EQ(act.cabinetModes[0], UnitMode::Standby);
+    EXPECT_FALSE(mgr.inLockout());
+}
+
+TEST(BaselineManager, SurplusSwitchesWholeBufferToChargeBus)
+{
+    // Unified-buffer limitation: it cannot charge while backstopping the
+    // load, so sustained surplus with an uncharged buffer moves the whole
+    // string to the charge bus and the servers ride on raw solar.
+    BaselineManager mgr(BaselineParams{}, seismicAllocator());
+    auto view = baseView();
+    view.solarPowerAvg = 1400.0;
+    view.loadPower = 700.0;
+    const auto act = mgr.control(view);
+    for (auto m : act.cabinetModes)
+        EXPECT_EQ(m, UnitMode::Charging);
+    EXPECT_FALSE(mgr.inLockout());
+}
+
+TEST(BaselineManager, LowSocTripsLockout)
+{
+    BaselineParams p;
+    BaselineManager mgr(p, seismicAllocator());
+    auto view = baseView();
+    view.cabinets[1].soc = p.protectSoc - 0.02;
+    const auto act = mgr.control(view);
+    EXPECT_TRUE(mgr.inLockout());
+    EXPECT_EQ(mgr.lockouts(), 1u);
+    for (auto m : act.cabinetModes)
+        EXPECT_EQ(m, UnitMode::Charging);
+}
+
+TEST(BaselineManager, VoltageTripUnderLoadLocksOut)
+{
+    BaselineParams p;
+    BaselineManager mgr(p, seismicAllocator());
+    auto view = baseView();
+    view.cabinets[0].voltage = 2 * (p.cutoffPerUnit - 0.2);
+    view.cabinets[0].current = 10.0;
+    mgr.control(view);
+    EXPECT_TRUE(mgr.inLockout());
+}
+
+TEST(BaselineManager, HardwareOfflineCabinetTriggersLockout)
+{
+    BaselineManager mgr(BaselineParams{}, seismicAllocator());
+    auto view = baseView();
+    view.cabinets[2].mode = UnitMode::Offline;
+    mgr.control(view);
+    EXPECT_TRUE(mgr.inLockout());
+}
+
+TEST(BaselineManager, LockoutEndsAtRechargeTarget)
+{
+    BaselineParams p;
+    BaselineManager mgr(p, seismicAllocator());
+    auto view = baseView();
+    view.cabinets[1].soc = p.protectSoc - 0.02;
+    mgr.control(view);
+    ASSERT_TRUE(mgr.inLockout());
+    for (auto &c : view.cabinets)
+        c.soc = p.rechargeTargetSoc + 0.01;
+    mgr.control(view);
+    EXPECT_FALSE(mgr.inLockout());
+    EXPECT_EQ(mgr.lockouts(), 1u);
+}
+
+TEST(BaselineManager, LockoutShrinksLoadToDeratedSolar)
+{
+    BaselineParams p;
+    auto allocator = seismicAllocator();
+    BaselineManager mgr(p, allocator);
+    auto view = baseView();
+    view.cabinets[1].soc = p.protectSoc - 0.02;
+    view.solarPowerAvg = 800.0;
+    const auto act = mgr.control(view);
+    // 0.6 x 800 W fits only 2 VMs in the seismic profile.
+    EXPECT_LE(act.targetVms,
+              allocator->vmsForPower(0.6 * 800.0, 1.0));
+}
+
+TEST(BaselineManager, TracksRenewableWithBatteryAssist)
+{
+    BaselineParams p;
+    auto allocator = seismicAllocator();
+    BaselineManager mgr(p, allocator);
+    auto view = baseView();
+    view.solarPowerAvg = 400.0;
+    const auto act = mgr.control(view);
+    EXPECT_EQ(act.targetVms,
+              allocator->vmsForPower(400.0 + p.batteryAssist, 1.0));
+}
+
+TEST(BaselineManager, BacksOffAfterPowerFailure)
+{
+    BaselineParams p;
+    BaselineManager mgr(p, seismicAllocator());
+    auto view = baseView();
+    view.lastPowerFailureAge = p.restartBackoff / 2.0;
+    const auto act = mgr.control(view);
+    EXPECT_EQ(act.targetVms, 0u);
+}
+
+TEST(BaselineManager, NoWorkMeansNoServers)
+{
+    BaselineManager mgr(BaselineParams{}, seismicAllocator());
+    auto view = baseView();
+    view.backlog = 0.0;
+    EXPECT_EQ(mgr.control(view).targetVms, 0u);
+}
+
+TEST(BaselineManagerDeath, RequiresAllocator)
+{
+    EXPECT_DEATH(BaselineManager(BaselineParams{}, nullptr), "allocator");
+}
+
+} // namespace
+} // namespace insure::core

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Checkpoint-cost sensitivity (DESIGN.md §6, ablation 5): Table 2's
+ * inversion — a high-VM configuration losing to a low-VM one under a
+ * tight energy budget — is driven by the cost of server power cycles.
+ * Sweeping that cost must strengthen/weaken the inversion accordingly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/experiment.hh"
+#include "core/fixed_manager.hh"
+
+namespace insure::core {
+namespace {
+
+/** Useful data processed by a fixed-VM battery-only run of ~2 kWh. */
+double
+processedGb(unsigned vms, Seconds cycle_half, Seconds loss)
+{
+    sim::Simulation simulation(2015);
+    SystemConfig system;
+    system.node = server::xeonNode();
+    system.node.bootTime = cycle_half;
+    system.node.shutdownTime = cycle_half;
+    system.node.emergencyLossTime = loss;
+    system.nodeCount = 4;
+    system.profile = workload::seismicProfile();
+    system.initialSoc = 0.99;
+    system.busCoupledCharging = true;
+    system.fastSwitching = false;
+    workload::BatchSource::Params batch;
+    batch.jobSize = 114.0;
+    batch.dailyTimes = {60.0};
+    system.batch = batch;
+
+    sim::Trace dark({"time_s", "power_w"});
+    dark.append({0.0, 0.0});
+    dark.append({units::secPerDay, 0.0});
+
+    InSituSystem plant(simulation, "ckpt", system,
+                       std::make_unique<solar::SolarSource>(dark),
+                       std::make_unique<FixedVmManager>(vms));
+    simulation.runUntil(units::hours(8.0));
+    simulation.finish();
+    return plant.queue().processedGb();
+}
+
+class CheckpointCostSweep : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(CheckpointCostSweep, HighVmConfigSuffersMoreFromCycleCost)
+{
+    const double scale = GetParam();
+    const Seconds cycle_half = 450.0 * scale;
+    const Seconds loss = 600.0 * scale;
+    const double high = processedGb(8, cycle_half, loss);
+    const double low = processedGb(4, cycle_half, loss);
+    // The low configuration has no mid-run interruptions, so only its
+    // single boot scales with the cycle cost; the high configuration
+    // pays per interruption.
+    EXPECT_GT(low, 0.6 * processedGb(4, 450.0, 600.0)) << scale;
+    if (scale >= 2.0) {
+        // Expensive cycles: the Table 2 inversion must appear clearly.
+        EXPECT_LT(high, low) << "scale " << scale;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, CheckpointCostSweep,
+                         testing::Values(0.5, 1.0, 2.0, 4.0));
+
+TEST(CheckpointCostSweep, InversionStrengthGrowsMonotonically)
+{
+    // Ratio low/high must not shrink as cycles get more expensive.
+    double prev_ratio = 0.0;
+    for (const double scale : {0.5, 2.0, 4.0}) {
+        const double high =
+            processedGb(8, 450.0 * scale, 600.0 * scale);
+        const double low = processedGb(4, 450.0 * scale, 600.0 * scale);
+        const double ratio = low / std::max(1.0, high);
+        EXPECT_GE(ratio, prev_ratio * 0.9) << "scale " << scale;
+        prev_ratio = ratio;
+    }
+}
+
+} // namespace
+} // namespace insure::core

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the experiment harness and the headline reproduction claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+namespace insure::core {
+namespace {
+
+TEST(Experiment, SolarTraceScalingToDailyEnergy)
+{
+    ExperimentConfig cfg = seismicExperiment();
+    cfg.day = solar::DayClass::Sunny;
+    cfg.targetDailyKwh = 7.9; // Table 6 sunny budget
+    const sim::Trace t = buildSolarTrace(cfg);
+    EXPECT_NEAR(solar::SolarSource::traceEnergyWh(t), 7900.0, 5.0);
+}
+
+TEST(Experiment, SolarTraceScalingToWindowAverage)
+{
+    ExperimentConfig cfg = seismicExperiment();
+    cfg.scaleToAvgWatts = 1114.0; // Fig. 15 high trace
+    const sim::Trace t = buildSolarTrace(cfg);
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+        const double ts = t.row(r)[0];
+        if (ts >= 7.0 * 3600.0 && ts <= 20.0 * 3600.0) {
+            sum += t.at(r, "power_w");
+            ++n;
+        }
+    }
+    EXPECT_NEAR(sum / n, 1114.0, 2.0);
+}
+
+TEST(Experiment, RunsAreDeterministicForSeed)
+{
+    ExperimentConfig cfg = seismicExperiment();
+    cfg.duration = units::hours(14.0);
+    const ExperimentResult a = runExperiment(cfg);
+    const ExperimentResult b = runExperiment(cfg);
+    EXPECT_DOUBLE_EQ(a.metrics.processedGb, b.metrics.processedGb);
+    EXPECT_DOUBLE_EQ(a.metrics.loadKwh, b.metrics.loadKwh);
+    EXPECT_EQ(a.metrics.onOffCycles, b.metrics.onOffCycles);
+}
+
+TEST(Experiment, ManagerKindSelectsPolicy)
+{
+    ExperimentConfig cfg = seismicExperiment();
+    cfg.duration = units::hours(2.0);
+    cfg.manager = ManagerKind::Insure;
+    EXPECT_EQ(runExperiment(cfg).managerName, "insure");
+    cfg.manager = ManagerKind::Baseline;
+    EXPECT_EQ(runExperiment(cfg).managerName, "baseline");
+}
+
+TEST(Experiment, PresetsHaveExpectedWorkloads)
+{
+    EXPECT_TRUE(seismicExperiment().system.batch.has_value());
+    EXPECT_FALSE(seismicExperiment().system.stream.has_value());
+    EXPECT_TRUE(videoExperiment().system.stream.has_value());
+    EXPECT_EQ(videoExperiment().system.profile.kind,
+              workload::WorkloadKind::Stream);
+    const ExperimentConfig micro = microExperiment("dedup");
+    EXPECT_TRUE(micro.system.stream.has_value());
+    // Near-saturating: arrivals approach peak rack throughput.
+    const double peak =
+        micro.system.profile.xeonGbPerVmHour * 8.0 / 60.0;
+    EXPECT_GT(micro.system.stream->gbPerMinute, 0.7 * peak);
+    EXPECT_LE(micro.system.stream->gbPerMinute, peak);
+}
+
+TEST(Experiment, TraceRecordingIsReturned)
+{
+    ExperimentConfig cfg = seismicExperiment();
+    cfg.duration = units::hours(2.0);
+    cfg.recordTrace = true;
+    cfg.tracePeriod = 60.0;
+    const ExperimentResult r = runExperiment(cfg);
+    ASSERT_TRUE(r.trace.has_value());
+    EXPECT_GE(r.trace->rows(), 100u);
+}
+
+TEST(Experiment, ConfigFileBuildsExperiment)
+{
+    const sim::Config file = sim::Config::parse(R"(
+[experiment]
+workload = video
+manager = baseline
+days = 2
+seed = 7
+[solar]
+day = cloudy
+kwh = 5.9
+[system]
+nodes = 2
+lowpower = yes
+secondary_watts = 500
+)");
+    const ExperimentConfig cfg = experimentFromConfig(file);
+    EXPECT_EQ(cfg.manager, ManagerKind::Baseline);
+    EXPECT_EQ(cfg.day, solar::DayClass::Cloudy);
+    EXPECT_DOUBLE_EQ(cfg.duration, units::days(2.0));
+    EXPECT_EQ(cfg.seed, 7u);
+    ASSERT_TRUE(cfg.targetDailyKwh.has_value());
+    EXPECT_DOUBLE_EQ(*cfg.targetDailyKwh, 5.9);
+    EXPECT_EQ(cfg.system.nodeCount, 2u);
+    EXPECT_EQ(cfg.system.node.type, "lowpower");
+    ASSERT_TRUE(cfg.system.secondary.has_value());
+    EXPECT_DOUBLE_EQ(cfg.system.secondary->capacity, 500.0);
+    EXPECT_EQ(cfg.system.profile.kind, workload::WorkloadKind::Stream);
+}
+
+TEST(Experiment, ConfigDefaultsAreSeismicInsure)
+{
+    const ExperimentConfig cfg =
+        experimentFromConfig(sim::Config::parse(""));
+    EXPECT_EQ(cfg.manager, ManagerKind::Insure);
+    EXPECT_EQ(cfg.system.profile.name, "seismic");
+    EXPECT_EQ(cfg.day, solar::DayClass::Sunny);
+}
+
+TEST(ExperimentDeath, ConfigRejectsUnknownKeysAndValues)
+{
+    EXPECT_DEATH(experimentFromConfig(
+                     sim::Config::parse("[experiment]\ntypo = 1\n")),
+                 "unknown key");
+    EXPECT_DEATH(experimentFromConfig(
+                     sim::Config::parse("[solar]\nday = foggy\n")),
+                 "unknown day");
+    EXPECT_DEATH(experimentFromConfig(sim::Config::parse(
+                     "[experiment]\nmanager = magic\n")),
+                 "unknown manager");
+}
+
+/**
+ * The headline reproduction: on the paper's evaluation days, InSURE
+ * improves the resiliency-critical metrics over the baseline.
+ */
+TEST(Experiment, InsureBeatsBaselineWhereItMatters)
+{
+    ExperimentConfig cfg = seismicExperiment();
+    cfg.day = solar::DayClass::Cloudy;
+    cfg.targetDailyKwh = 5.9;
+    const ComparisonResult cmp = runComparison(cfg);
+    const Metrics &ins = cmp.insure.metrics;
+    const Metrics &base = cmp.baseline.metrics;
+
+    // Fewer disruptions...
+    EXPECT_LE(ins.emergencyShutdowns, base.emergencyShutdowns);
+    EXPECT_LE(ins.bufferTrips, base.bufferTrips);
+    // ...and better use of every ampere-hour through the buffer.
+    EXPECT_GT(ins.perfPerAh, base.perfPerAh);
+}
+
+} // namespace
+} // namespace insure::core

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Failure-injection tests: secondary-feed fallback, stuck sensors, weak
+ * cabinets. The system must degrade gracefully, never silently corrupt
+ * its accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/experiment.hh"
+#include "core/in_situ_system.hh"
+
+namespace insure::core {
+namespace {
+
+sim::Trace
+darkTrace()
+{
+    sim::Trace t({"time_s", "power_w"});
+    t.append({0.0, 0.0});
+    t.append({units::secPerDay, 0.0});
+    return t;
+}
+
+std::unique_ptr<InSituSystem>
+makePlant(sim::Simulation &sim, SystemConfig system, sim::Trace trace)
+{
+    auto allocator = std::make_shared<NodeAllocator>(
+        system.node, system.nodeCount, system.profile);
+    return std::make_unique<InSituSystem>(
+        sim, "fault", system,
+        std::make_unique<solar::SolarSource>(std::move(trace)),
+        std::make_unique<InsureManager>(InsureParams{}, allocator));
+}
+
+SystemConfig
+videoSystem()
+{
+    SystemConfig system;
+    system.node = server::xeonNode();
+    system.nodeCount = 4;
+    system.profile = workload::videoProfile();
+    workload::StreamSource::Params stream;
+    stream.gbPerMinute = 0.21;
+    system.stream = stream;
+    return system;
+}
+
+TEST(FaultInjection, SecondaryFeedCarriesDarkOperation)
+{
+    sim::Simulation simulation(7);
+    SystemConfig system = videoSystem();
+    system.initialSoc = 0.5;
+    SecondaryPowerParams secondary;
+    secondary.capacity = 1600.0;
+    system.secondary = secondary;
+
+    auto plant = makePlant(simulation, system, darkTrace());
+    simulation.runUntil(units::hours(8.0));
+
+    const Metrics m = plant->metrics();
+    // The feed keeps the rack alive with zero solar.
+    EXPECT_EQ(m.emergencyShutdowns, 0u);
+    EXPECT_GT(plant->secondaryEnergyWh(), 100.0);
+    EXPECT_GT(m.processedGb, 1.0);
+}
+
+TEST(FaultInjection, WithoutSecondaryDarkOperationIsBounded)
+{
+    sim::Simulation simulation(7);
+    SystemConfig system = videoSystem();
+    system.initialSoc = 0.5;
+
+    auto plant = makePlant(simulation, system, darkTrace());
+    simulation.runUntil(units::hours(8.0));
+
+    // Battery-only: the TPM must have parked the system before the
+    // hardware protection fired.
+    EXPECT_DOUBLE_EQ(plant->secondaryEnergyWh(), 0.0);
+    EXPECT_GE(plant->array().meanSoc(), 0.2);
+    EXPECT_EQ(plant->bufferTrips(), 0u);
+}
+
+TEST(FaultInjection, StuckLowSocSensorCausesConservativeShutdown)
+{
+    sim::Simulation simulation(7);
+    SystemConfig system = videoSystem();
+    system.initialSoc = 0.8;
+    auto plant = makePlant(simulation, system, darkTrace());
+
+    // Let it start up, then pin every SoC channel at 5%.
+    simulation.runUntil(units::hours(1.0));
+    for (unsigned i = 0; i < plant->array().cabinetCount(); ++i)
+        plant->monitor().injectSocFault(i, 0.05);
+    simulation.runUntil(units::hours(2.0));
+
+    // The controller believes the buffer is empty: servers are parked
+    // (conservative, not catastrophic) and the real battery is intact.
+    EXPECT_EQ(plant->cluster().targetVms(), 0u);
+    EXPECT_GT(plant->array().meanSoc(), 0.55);
+    EXPECT_EQ(plant->bufferTrips(), 0u);
+}
+
+TEST(FaultInjection, StuckHighSocSensorIsCaughtByHardwareProtection)
+{
+    sim::Simulation simulation(7);
+    SystemConfig system = videoSystem();
+    system.initialSoc = 0.45;
+    auto plant = makePlant(simulation, system, darkTrace());
+
+    simulation.runUntil(units::hours(0.5));
+    for (unsigned i = 0; i < plant->array().cabinetCount(); ++i) {
+        plant->monitor().injectSocFault(i, 0.95);
+        plant->monitor().injectVoltageFault(i, 12.8);
+    }
+    simulation.runUntil(units::hours(10.0));
+
+    // The fooled controller over-commits; the independent hardware layer
+    // (cell-level protection + bus collapse) must still contain it.
+    EXPECT_GT(plant->bufferTrips() + plant->powerFailures(), 0u);
+    // Cells never driven below their physical floor.
+    for (unsigned i = 0; i < plant->array().cabinetCount(); ++i)
+        EXPECT_GE(plant->array().cabinet(i).soc(), 0.15);
+}
+
+TEST(FaultInjection, WeakCabinetDoesNotSinkTheSystem)
+{
+    sim::Simulation simulation(7);
+    SystemConfig system = videoSystem();
+    system.initialSoc = 0.7;
+
+    ExperimentConfig cfg;
+    cfg.day = solar::DayClass::Sunny;
+    auto plant = makePlant(simulation, system, buildSolarTrace(cfg));
+    plant->array().cabinet(1).setSoc(0.22); // nearly empty at dawn
+
+    simulation.runUntil(units::days(1.0));
+    const Metrics m = plant->metrics();
+    EXPECT_GT(m.processedGb, 50.0);
+    EXPECT_EQ(m.emergencyShutdowns, 0u);
+    // The weak cabinet was recharged, not abandoned.
+    EXPECT_GT(plant->array().cabinet(1).soc(), 0.3);
+}
+
+TEST(FaultInjection, ClearFaultsRestoresSensing)
+{
+    sim::Simulation simulation(7);
+    SystemConfig system = videoSystem();
+    auto plant = makePlant(simulation, system, darkTrace());
+    simulation.runUntil(300.0);
+    plant->monitor().injectSocFault(0, 0.01);
+    simulation.runUntil(400.0);
+    EXPECT_NEAR(plant->monitor().sensedSoc(0), 0.01, 1e-3);
+    plant->monitor().clearFaults();
+    simulation.runUntil(500.0);
+    EXPECT_NEAR(plant->monitor().sensedSoc(0),
+                plant->array().cabinet(0).soc(), 1e-3);
+}
+
+} // namespace
+} // namespace insure::core

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Integration tests for the assembled in-situ system.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/experiment.hh"
+#include "core/in_situ_system.hh"
+
+namespace insure::core {
+namespace {
+
+struct Rig {
+    sim::Simulation simulation;
+    InSituSystem *plant = nullptr;
+
+    explicit Rig(ManagerKind kind, solar::DayClass day,
+                 WattHours daily_kwh = 7.9)
+        : simulation(2015)
+    {
+        ExperimentConfig cfg = seismicExperiment();
+        cfg.manager = kind;
+        cfg.day = day;
+        cfg.targetDailyKwh = daily_kwh;
+
+        SystemConfig system = cfg.system;
+        system.unifiedBuffer = kind == ManagerKind::Baseline;
+        system.fastSwitching = kind == ManagerKind::Insure;
+        system.busCoupledCharging = kind == ManagerKind::Baseline;
+
+        auto allocator = std::make_shared<NodeAllocator>(
+            system.node, system.nodeCount, system.profile);
+        std::unique_ptr<PowerManager> manager;
+        if (kind == ManagerKind::Insure) {
+            manager =
+                std::make_unique<InsureManager>(cfg.insure, allocator);
+        } else {
+            manager = std::make_unique<BaselineManager>(cfg.baseline,
+                                                        allocator);
+        }
+        auto solar_src =
+            std::make_unique<solar::SolarSource>(buildSolarTrace(cfg));
+        plant_ = std::make_unique<InSituSystem>(
+            simulation, "plant", system, std::move(solar_src),
+            std::move(manager));
+        plant = plant_.get();
+    }
+
+  private:
+    std::unique_ptr<InSituSystem> plant_;
+};
+
+TEST(InSituSystem, SunnyDayProcessesFirstJobWithoutEmergencies)
+{
+    Rig rig(ManagerKind::Insure, solar::DayClass::Sunny);
+    rig.simulation.runUntil(units::days(1.0));
+    rig.simulation.finish();
+    const Metrics m = rig.plant->metrics();
+    EXPECT_EQ(m.emergencyShutdowns, 0u);
+    EXPECT_EQ(m.bufferTrips, 0u);
+    EXPECT_GE(rig.plant->queue().completedGb(), 114.0);
+    EXPECT_GT(m.uptime, 0.3);
+    EXPECT_GT(m.solarOfferedKwh, 7.0);
+}
+
+TEST(InSituSystem, EnergyConservationHolds)
+{
+    Rig rig(ManagerKind::Insure, solar::DayClass::Sunny);
+    rig.simulation.runUntil(units::days(1.0));
+    const Metrics m = rig.plant->metrics();
+    // Green energy used never exceeds offered.
+    EXPECT_LE(m.greenUsedKwh, m.solarOfferedKwh * 1.001);
+    // Effective (productive) energy is a subset of load energy.
+    EXPECT_LE(m.effectiveKwh, m.loadKwh * 1.001);
+    // Load energy comes from green + the buffer, which started at 60%.
+    const double initial_kwh =
+        0.6 * rig.plant->array().capacityWh() / 1000.0;
+    EXPECT_LE(m.loadKwh, m.greenUsedKwh + initial_kwh + 0.1);
+}
+
+TEST(InSituSystem, HistoryTableMatchesWear)
+{
+    Rig rig(ManagerKind::Insure, solar::DayClass::Sunny);
+    rig.simulation.runUntil(units::days(1.0));
+    const auto &hist = rig.plant->history();
+    EXPECT_NEAR(hist.grandTotal(),
+                rig.plant->array().totalDischargeThroughputAh(), 0.5);
+}
+
+TEST(InSituSystem, MetricsStayInValidRanges)
+{
+    for (auto day : {solar::DayClass::Sunny, solar::DayClass::Cloudy,
+                     solar::DayClass::Rainy}) {
+        Rig rig(ManagerKind::Insure, day, 5.0);
+        rig.simulation.runUntil(units::days(1.0));
+        const Metrics m = rig.plant->metrics();
+        EXPECT_GE(m.uptime, 0.0);
+        EXPECT_LE(m.uptime, 1.0);
+        EXPECT_GE(m.eBufferAvailability, 0.0);
+        EXPECT_LE(m.eBufferAvailability, 1.0);
+        EXPECT_GE(m.serviceLifeYears, 0.0);
+        EXPECT_LE(m.serviceLifeYears, 5.0);
+        EXPECT_GE(m.workNormalizedLifeYears, 0.0);
+        EXPECT_LE(m.workNormalizedLifeYears, 5.0);
+        EXPECT_GE(m.solarUtilization(), 0.0);
+        EXPECT_LE(m.solarUtilization(), 1.001);
+    }
+}
+
+TEST(InSituSystem, BaselineUnifiedBufferLocksOutUnderStress)
+{
+    // A weak solar day forces deep cycling: the unified baseline must
+    // experience protection trips or emergency shutdowns where InSURE
+    // rides through (Fig. 5 / §6.4 behaviour).
+    Rig base(ManagerKind::Baseline, solar::DayClass::Cloudy, 5.9);
+    base.simulation.runUntil(units::days(1.0));
+    const Metrics mb = base.plant->metrics();
+
+    Rig ins(ManagerKind::Insure, solar::DayClass::Cloudy, 5.9);
+    ins.simulation.runUntil(units::days(1.0));
+    const Metrics mi = ins.plant->metrics();
+
+    EXPECT_GT(mb.bufferTrips + mb.emergencyShutdowns,
+              mi.bufferTrips + mi.emergencyShutdowns);
+}
+
+TEST(InSituSystem, TraceRecordingCapturesDay)
+{
+    Rig rig(ManagerKind::Insure, solar::DayClass::Sunny);
+    rig.plant->enableTrace(60.0);
+    rig.simulation.runUntil(units::hours(6.0));
+    ASSERT_NE(rig.plant->trace(), nullptr);
+    const sim::Trace &t = *rig.plant->trace();
+    EXPECT_GE(t.rows(), 300u);
+    EXPECT_GE(t.columnIndex("solar_w"), 0);
+    EXPECT_GE(t.columnIndex("mean_soc"), 0);
+}
+
+TEST(InSituSystem, DailySummaryIsConsistent)
+{
+    Rig rig(ManagerKind::Insure, solar::DayClass::Sunny);
+    rig.simulation.runUntil(units::days(1.0));
+    const auto log = rig.plant->dailySummary();
+    const Metrics m = rig.plant->metrics();
+    EXPECT_NEAR(log.solarBudgetKwh, m.solarOfferedKwh, 0.01);
+    EXPECT_NEAR(log.loadKwh, m.loadKwh, 0.01);
+    EXPECT_NEAR(log.effectiveKwh, m.effectiveKwh, 0.01);
+    EXPECT_EQ(log.onOffCycles, m.onOffCycles);
+    EXPECT_EQ(log.vmCtrlTimes, m.vmCtrlOps);
+    EXPECT_GT(log.minBatteryVoltage, 20.0);
+    EXPECT_LT(log.minBatteryVoltage, 27.0);
+    EXPECT_GT(log.endOfDayVoltage, 20.0);
+}
+
+TEST(InSituSystem, DeterministicAcrossRuns)
+{
+    Rig a(ManagerKind::Insure, solar::DayClass::Cloudy);
+    Rig b(ManagerKind::Insure, solar::DayClass::Cloudy);
+    a.simulation.runUntil(units::days(1.0));
+    b.simulation.runUntil(units::days(1.0));
+    const Metrics ma = a.plant->metrics();
+    const Metrics mb = b.plant->metrics();
+    EXPECT_DOUBLE_EQ(ma.processedGb, mb.processedGb);
+    EXPECT_DOUBLE_EQ(ma.loadKwh, mb.loadKwh);
+    EXPECT_EQ(ma.powerCtrlOps, mb.powerCtrlOps);
+}
+
+} // namespace
+} // namespace insure::core

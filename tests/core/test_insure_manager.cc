@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit tests for the InSURE power manager's control decisions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/insure_manager.hh"
+#include "server/node_params.hh"
+
+namespace insure::core {
+namespace {
+
+using battery::UnitMode;
+
+std::shared_ptr<NodeAllocator>
+seismicAllocator()
+{
+    return std::make_shared<NodeAllocator>(server::xeonNode(), 4,
+                                           workload::seismicProfile());
+}
+
+SystemView
+baseView()
+{
+    SystemView v;
+    v.now = units::hours(9.0);
+    v.solarPower = 800.0;
+    v.solarPowerAvg = 800.0;
+    v.loadPower = 0.0;
+    v.totalVmSlots = 8;
+    v.activeVms = 0;
+    v.dutyCycle = 1.0;
+    v.backlog = 114.0;
+    v.workloadKind = workload::WorkloadKind::Batch;
+    v.peakChargePower = 520.0;
+    v.seriesPerCabinet = 2;
+    v.cabinets.resize(3);
+    for (auto &c : v.cabinets) {
+        c.soc = 0.6;
+        c.voltage = 24.8;
+        c.current = 0.0;
+        c.mode = UnitMode::Standby;
+        c.dischargeThroughputAh = 0.0;
+        c.capacityWh = 840.0;
+    }
+    return v;
+}
+
+TEST(InsureManager, ChargedCabinetPromotedToStandby)
+{
+    InsureManager mgr(InsureParams{}, seismicAllocator());
+    auto view = baseView();
+    view.cabinets[0].mode = UnitMode::Charging;
+    view.cabinets[0].soc = 0.95;
+    const auto act = mgr.control(view);
+    EXPECT_EQ(act.cabinetModes[0], UnitMode::Standby);
+}
+
+TEST(InsureManager, DeficitMovesStandbyToDischarging)
+{
+    InsureManager mgr(InsureParams{}, seismicAllocator());
+    auto view = baseView();
+    view.solarPowerAvg = 100.0;
+    view.loadPower = 1200.0;
+    const auto act = mgr.control(view);
+    for (auto m : act.cabinetModes)
+        EXPECT_EQ(m, UnitMode::Discharging);
+}
+
+TEST(InsureManager, SurplusReturnsDischargersToStandbyOrCharge)
+{
+    InsureManager mgr(InsureParams{}, seismicAllocator());
+    auto view = baseView();
+    view.solarPowerAvg = 1500.0;
+    view.loadPower = 700.0;
+    for (auto &c : view.cabinets) {
+        c.mode = UnitMode::Discharging;
+        c.soc = 0.5;
+    }
+    const auto act = mgr.control(view);
+    // Not-fully-charged cabinets rotate onto the charge bus, with one
+    // kept as reserve.
+    unsigned charging = 0;
+    unsigned standby = 0;
+    for (auto m : act.cabinetModes) {
+        charging += m == UnitMode::Charging;
+        standby += m == UnitMode::Standby;
+    }
+    EXPECT_EQ(charging, 2u);
+    EXPECT_EQ(standby, 1u);
+}
+
+TEST(InsureManager, DepletedDischargerGoesOffline)
+{
+    InsureParams p;
+    InsureManager mgr(p, seismicAllocator());
+    auto view = baseView();
+    view.solarPowerAvg = 0.0;
+    view.loadPower = 700.0;
+    view.cabinets[1].mode = UnitMode::Discharging;
+    view.cabinets[1].soc = p.offlineSoc - 0.01;
+    const auto act = mgr.control(view);
+    EXPECT_EQ(act.cabinetModes[1], UnitMode::Offline);
+}
+
+TEST(InsureManager, OfflineScreeningRestoresEligibleCabinets)
+{
+    InsureParams p;
+    InsureManager mgr(p, seismicAllocator());
+    auto view = baseView();
+    view.cabinets[0].mode = UnitMode::Offline;
+    view.cabinets[0].soc = 0.3;
+    const auto act = mgr.control(view);
+    EXPECT_EQ(act.cabinetModes[0], UnitMode::Charging);
+}
+
+TEST(InsureManager, OverusedOfflineCabinetStaysOffline)
+{
+    InsureParams p;
+    p.spatial.relaxThreshold = false;
+    InsureManager mgr(p, seismicAllocator());
+    auto view = baseView();
+    view.cabinets[0].mode = UnitMode::Offline;
+    view.cabinets[0].soc = 0.3;
+    view.cabinets[0].dischargeThroughputAh = 1e9; // way over budget
+    const auto act = mgr.control(view);
+    EXPECT_EQ(act.cabinetModes[0], UnitMode::Offline);
+}
+
+TEST(InsureManager, ChargePlanConcentratesOnLowSoc)
+{
+    InsureManager mgr(InsureParams{}, seismicAllocator());
+    auto view = baseView();
+    // Two cabinets charging at different SoC, surplus budget for one.
+    view.solarPowerAvg = 600.0;
+    view.loadPower = 0.0;
+    view.backlog = 0.0;
+    view.cabinets[0].mode = UnitMode::Charging;
+    view.cabinets[0].soc = 0.7;
+    view.cabinets[1].mode = UnitMode::Charging;
+    view.cabinets[1].soc = 0.3;
+    const auto act = mgr.control(view);
+    ASSERT_FALSE(act.chargePlan.cabinets.empty());
+    EXPECT_EQ(act.chargePlan.cabinets.front(), 1u);
+    EXPECT_FALSE(act.chargePlan.splitEvenly);
+}
+
+TEST(InsureManager, BatchSizingHoldsThroughJob)
+{
+    InsureManager mgr(InsureParams{}, seismicAllocator());
+    auto view = baseView();
+    const auto act1 = mgr.control(view);
+    EXPECT_GT(act1.targetVms, 0u);
+    // Same backlog, later, with the cabinet modes the manager chose
+    // actually applied: VM count stays pinned (no thrash).
+    view.now += 600.0;
+    view.activeVms = act1.targetVms;
+    view.loadPower = 700.0;
+    for (unsigned i = 0; i < view.cabinets.size(); ++i)
+        view.cabinets[i].mode = act1.cabinetModes[i];
+    const auto act2 = mgr.control(view);
+    EXPECT_EQ(act2.targetVms, act1.targetVms);
+}
+
+TEST(InsureManager, NoWorkMeansNoServers)
+{
+    InsureManager mgr(InsureParams{}, seismicAllocator());
+    auto view = baseView();
+    view.backlog = 0.0;
+    const auto act = mgr.control(view);
+    EXPECT_EQ(act.targetVms, 0u);
+}
+
+TEST(InsureManager, StreamAdjustsWithinPowerBudget)
+{
+    auto allocator = std::make_shared<NodeAllocator>(
+        server::xeonNode(), 4, workload::videoProfile());
+    InsureManager mgr(InsureParams{}, allocator);
+    auto view = baseView();
+    view.workloadKind = workload::WorkloadKind::Stream;
+    view.activeVms = 4;
+    view.loadPower = allocator->powerForVms(4, 1.0);
+    view.solarPowerAvg = 1600.0;
+    const auto act = mgr.control(view);
+    // Grows by at most one VM per period.
+    EXPECT_LE(act.targetVms, 5u);
+    EXPECT_GE(act.targetVms, 4u);
+}
+
+TEST(InsureManager, CheckpointShutdownOnEmptyBuffer)
+{
+    InsureManager mgr(InsureParams{}, seismicAllocator());
+    auto view = baseView();
+    view.solarPower = 50.0;
+    view.solarPowerAvg = 50.0;
+    view.loadPower = 700.0;
+    view.activeVms = 4;
+    for (auto &c : view.cabinets) {
+        c.mode = UnitMode::Offline;
+        c.soc = 0.15;
+        c.dischargeThroughputAh = 1e9;
+    }
+    InsureParams strict;
+    strict.spatial.relaxThreshold = false;
+    InsureManager mgr2(strict, seismicAllocator());
+    const auto act = mgr2.control(view);
+    EXPECT_TRUE(act.checkpointShutdown);
+    EXPECT_EQ(act.targetVms, 0u);
+}
+
+TEST(InsureManagerDeath, RequiresAllocator)
+{
+    EXPECT_DEATH(InsureManager(InsureParams{}, nullptr), "allocator");
+}
+
+} // namespace
+} // namespace insure::core

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Unit tests for metrics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hh"
+
+namespace insure::core {
+namespace {
+
+TEST(Metrics, ImprovementForLargerIsBetter)
+{
+    EXPECT_DOUBLE_EQ(improvement(1.5, 1.0), 0.5);
+    EXPECT_DOUBLE_EQ(improvement(0.5, 1.0), -0.5);
+    EXPECT_DOUBLE_EQ(improvement(1.0, 0.0), 1.0); // guarded
+    EXPECT_DOUBLE_EQ(improvement(0.0, 0.0), 0.0);
+}
+
+TEST(Metrics, ReductionImprovementForSmallerIsBetter)
+{
+    EXPECT_DOUBLE_EQ(reductionImprovement(50.0, 100.0), 0.5);
+    EXPECT_DOUBLE_EQ(reductionImprovement(150.0, 100.0), -0.5);
+    EXPECT_DOUBLE_EQ(reductionImprovement(1.0, 0.0), 0.0);
+}
+
+TEST(Metrics, SolarUtilizationGuardsZero)
+{
+    Metrics m;
+    EXPECT_DOUBLE_EQ(m.solarUtilization(), 0.0);
+    m.solarOfferedKwh = 8.0;
+    m.greenUsedKwh = 6.0;
+    EXPECT_DOUBLE_EQ(m.solarUtilization(), 0.75);
+}
+
+} // namespace
+} // namespace insure::core

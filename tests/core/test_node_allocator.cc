@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the power-aware VM allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/node_allocator.hh"
+#include "server/node_params.hh"
+#include "workload/profiles.hh"
+
+namespace insure::core {
+namespace {
+
+NodeAllocator
+makeSeismicAllocator()
+{
+    return NodeAllocator(server::xeonNode(), 4,
+                         workload::seismicProfile());
+}
+
+TEST(NodeAllocator, PowerForVmsMatchesTable2)
+{
+    const NodeAllocator a = makeSeismicAllocator();
+    EXPECT_NEAR(a.powerForVms(8, 1.0), 1397.0, 15.0);
+    EXPECT_NEAR(a.powerForVms(4, 1.0), 696.0, 15.0);
+    EXPECT_DOUBLE_EQ(a.powerForVms(0, 1.0), 0.0);
+    EXPECT_EQ(a.totalSlots(), 8u);
+}
+
+TEST(NodeAllocator, PowerIsMonotoneInVms)
+{
+    const NodeAllocator a = makeSeismicAllocator();
+    double prev = 0.0;
+    for (unsigned vms = 1; vms <= 8; ++vms) {
+        const double p = a.powerForVms(vms, 1.0);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(NodeAllocator, VmsForPowerInvertsPowerForVms)
+{
+    const NodeAllocator a = makeSeismicAllocator();
+    for (unsigned vms = 1; vms <= 8; ++vms) {
+        const Watts p = a.powerForVms(vms, 1.0);
+        EXPECT_EQ(a.vmsForPower(p + 1.0, 1.0), vms);
+        EXPECT_LT(a.vmsForPower(p - 1.0, 1.0), vms + 1);
+    }
+    EXPECT_EQ(a.vmsForPower(10.0, 1.0), 0u);
+    EXPECT_EQ(a.vmsForPower(1e9, 1.0), 8u);
+}
+
+TEST(NodeAllocator, DutyReducesPowerAndThroughput)
+{
+    const NodeAllocator a = makeSeismicAllocator();
+    EXPECT_LT(a.powerForVms(8, 0.5), a.powerForVms(8, 1.0));
+    EXPECT_NEAR(a.throughputGbPerHour(4, 0.5),
+                0.5 * a.throughputGbPerHour(4, 1.0), 1e-12);
+}
+
+TEST(NodeAllocator, ThroughputMatchesProfile)
+{
+    const NodeAllocator a = makeSeismicAllocator();
+    EXPECT_NEAR(a.throughputGbPerHour(4, 1.0), 16.5, 0.1);
+}
+
+TEST(NodeAllocator, JobEnergyScalesWithIdleAmortisation)
+{
+    const NodeAllocator a = makeSeismicAllocator();
+    // 114 GB at 4 VMs: ~6.9 h at ~700 W -> ~4.8 kWh.
+    const WattHours e4 = a.energyForJob(114.0, 4);
+    EXPECT_NEAR(e4, 4830.0, 100.0);
+    // One VM is least efficient (half-idle node).
+    EXPECT_GT(a.energyForJob(114.0, 1), e4 * 1.5);
+}
+
+TEST(NodeAllocator, EnergyBudgetPicksLargestFitting)
+{
+    const NodeAllocator a = makeSeismicAllocator();
+    const WattHours e8 = a.energyForJob(114.0, 8);
+    EXPECT_EQ(a.vmsForEnergyBudget(114.0, e8 * 1.01), 8u);
+    const WattHours e2 = a.energyForJob(114.0, 2);
+    // Budget below every config: returns 0 for caller fallback.
+    EXPECT_EQ(a.vmsForEnergyBudget(114.0, e2 * 0.5), 0u);
+}
+
+TEST(NodeAllocator, LowPowerNodeProfileIsEfficient)
+{
+    const NodeAllocator lp(server::lowPowerNode(), 4,
+                           workload::microBenchmark("dedup"));
+    const NodeAllocator xe(server::xeonNode(), 4,
+                           workload::microBenchmark("dedup"));
+    EXPECT_LT(lp.energyForJob(100.0, 8), xe.energyForJob(100.0, 8) / 5.0);
+}
+
+TEST(NodeAllocatorDeath, ZeroNodesIsFatal)
+{
+    EXPECT_DEATH(NodeAllocator(server::xeonNode(), 0,
+                               workload::seismicProfile()),
+                 "node_count");
+}
+
+} // namespace
+} // namespace insure::core

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the spatial power manager (paper Figs. 9/10, Eq-1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/spatial_manager.hh"
+
+namespace insure::core {
+namespace {
+
+SystemView
+makeView(const std::vector<double> &throughput,
+         const std::vector<double> &socs, Seconds now = 0.0)
+{
+    SystemView v;
+    v.now = now;
+    v.cabinets.resize(throughput.size());
+    for (std::size_t i = 0; i < throughput.size(); ++i) {
+        v.cabinets[i].dischargeThroughputAh = throughput[i];
+        v.cabinets[i].soc = i < socs.size() ? socs[i] : 0.5;
+    }
+    return v;
+}
+
+TEST(SpatialManager, ThresholdGrowsLinearlyWithTime)
+{
+    SpatialParams p;
+    p.relaxThreshold = false;
+    SpatialManager spm(p);
+    const AmpHours d0 = spm.dischargeThreshold(0.0);
+    const AmpHours d10 = spm.dischargeThreshold(units::days(10.0));
+    const AmpHours d20 = spm.dischargeThreshold(units::days(20.0));
+    EXPECT_GT(d0, 0.0); // grace allowance
+    EXPECT_NEAR(d20 - d10, d10 - d0, 1e-9);
+    // Slope is DL / TL per day.
+    const double daily =
+        p.lifetimeDischargeAh / (p.desiredLifetimeYears *
+                                 units::daysPerYear);
+    EXPECT_NEAR(d10 - d0, 10.0 * daily, 1e-6);
+}
+
+TEST(SpatialManager, ScreensOverusedCabinets)
+{
+    SpatialParams p;
+    p.relaxThreshold = false;
+    SpatialManager spm(p);
+    const AmpHours threshold = spm.dischargeThreshold(0.0);
+    const auto view = makeView(
+        {threshold / 2.0, threshold * 2.0, threshold / 4.0},
+        {0.5, 0.5, 0.5});
+    const auto eligible = spm.screen(view);
+    EXPECT_EQ(eligible, (std::vector<unsigned>{0, 2}));
+}
+
+TEST(SpatialManager, RelaxationRescuesStarvedSystem)
+{
+    SpatialParams p;
+    p.relaxThreshold = true;
+    p.minEligible = 1;
+    SpatialManager spm(p);
+    const AmpHours threshold = spm.dischargeThreshold(0.0);
+    // All cabinets over budget: without relaxation nothing is eligible.
+    auto view = makeView({threshold * 1.2, threshold * 1.3,
+                          threshold * 1.4},
+                         {0.5, 0.5, 0.5});
+    const auto eligible = spm.screen(view);
+    EXPECT_FALSE(eligible.empty());
+    EXPECT_GT(spm.relaxations(), 0u);
+    // The least-used cabinet is rescued first.
+    EXPECT_EQ(eligible.front(), 0u);
+}
+
+TEST(SpatialManager, NoRelaxationWhenDisabled)
+{
+    SpatialParams p;
+    p.relaxThreshold = false;
+    SpatialManager spm(p);
+    const AmpHours threshold = spm.dischargeThreshold(0.0);
+    auto view = makeView({threshold * 2, threshold * 2, threshold * 2},
+                         {0.5, 0.5, 0.5});
+    EXPECT_TRUE(spm.screen(view).empty());
+    EXPECT_EQ(spm.relaxations(), 0u);
+}
+
+TEST(SpatialManager, BatchSizeFollowsBudgetRule)
+{
+    SpatialManager spm{SpatialParams{}};
+    const Watts ppc = 500.0;
+    EXPECT_EQ(spm.optimalBatchSize(0.0, ppc), 0u);
+    EXPECT_EQ(spm.optimalBatchSize(250.0, ppc), 1u); // floor < 1 -> 1
+    EXPECT_EQ(spm.optimalBatchSize(600.0, ppc), 1u);
+    EXPECT_EQ(spm.optimalBatchSize(1100.0, ppc), 2u);
+    EXPECT_EQ(spm.optimalBatchSize(1600.0, ppc), 3u);
+}
+
+TEST(SpatialManager, SelectionPrefersLowSoc)
+{
+    SpatialManager spm{SpatialParams{}};
+    const auto view = makeView({0, 0, 0}, {0.8, 0.2, 0.5});
+    const auto pick = spm.selectForCharging({0, 1, 2}, view, 2);
+    EXPECT_EQ(pick, (std::vector<unsigned>{1, 2}));
+}
+
+TEST(SpatialManager, SelectionIsStableForTies)
+{
+    SpatialManager spm{SpatialParams{}};
+    const auto view = makeView({0, 0, 0}, {0.5, 0.5, 0.5});
+    const auto pick = spm.selectForCharging({0, 1, 2}, view, 2);
+    EXPECT_EQ(pick, (std::vector<unsigned>{0, 1}));
+}
+
+TEST(SpatialManagerDeath, InvalidLifetimeIsFatal)
+{
+    SpatialParams p;
+    p.desiredLifetimeYears = 0.0;
+    EXPECT_DEATH(SpatialManager{p}, "desiredLifetimeYears");
+}
+
+} // namespace
+} // namespace insure::core

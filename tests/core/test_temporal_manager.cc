@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the temporal power manager (paper Fig. 11).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/temporal_manager.hh"
+
+namespace insure::core {
+namespace {
+
+SystemView
+makeView(workload::WorkloadKind kind, double duty, unsigned vms,
+         double backlog, Watts solar = 0.0, Watts load = 1000.0)
+{
+    SystemView v;
+    v.workloadKind = kind;
+    v.dutyCycle = duty;
+    v.activeVms = vms;
+    v.totalVmSlots = 8;
+    v.backlog = backlog;
+    v.solarPower = solar;
+    v.solarPowerAvg = solar;
+    v.loadPower = load;
+    return v;
+}
+
+TEST(TemporalManager, OverCurrentCapsBatchDuty)
+{
+    TemporalParams p;
+    TemporalManager tpm(p);
+    const auto view =
+        makeView(workload::WorkloadKind::Batch, 1.0, 8, 100.0);
+    const Amperes over = p.currentThresholdPerCabinet * 3 * 1.5;
+    const auto d = tpm.evaluate(view, 3, over, 0.6);
+    EXPECT_FALSE(d.checkpointShutdown);
+    EXPECT_NEAR(d.dutyCycle, 1.0 - p.dutyStep, 1e-12);
+    EXPECT_EQ(d.vmDelta, 0);
+    EXPECT_TRUE(d.acted);
+    EXPECT_EQ(tpm.cappingActions(), 1u);
+}
+
+TEST(TemporalManager, BatchFallsBackToVmSheddingAtMinDuty)
+{
+    TemporalParams p;
+    TemporalManager tpm(p);
+    const auto view =
+        makeView(workload::WorkloadKind::Batch, p.minDuty, 8, 100.0);
+    const auto d = tpm.evaluate(view, 3, 100.0, 0.6);
+    EXPECT_LT(d.vmDelta, 0);
+}
+
+TEST(TemporalManager, OverCurrentShedsStreamVm)
+{
+    TemporalParams p;
+    TemporalManager tpm(p);
+    const auto view =
+        makeView(workload::WorkloadKind::Stream, 1.0, 6, 100.0);
+    const auto d = tpm.evaluate(view, 3, 100.0, 0.6);
+    EXPECT_EQ(d.vmDelta, -1);
+    EXPECT_DOUBLE_EQ(d.dutyCycle, 1.0);
+}
+
+TEST(TemporalManager, ComfortableCurrentGrowsLoad)
+{
+    TemporalParams p;
+    TemporalManager tpm(p);
+    auto view = makeView(workload::WorkloadKind::Batch, 0.7, 4, 50.0);
+    const auto d = tpm.evaluate(view, 3, 1.0, 0.8);
+    EXPECT_NEAR(d.dutyCycle, 0.7 + p.dutyStep, 1e-12);
+    EXPECT_EQ(tpm.growActions(), 1u);
+
+    auto stream = makeView(workload::WorkloadKind::Stream, 1.0, 4, 50.0);
+    const auto d2 = tpm.evaluate(stream, 3, 1.0, 0.8);
+    EXPECT_EQ(d2.vmDelta, 1);
+}
+
+TEST(TemporalManager, NoGrowthWithoutBacklog)
+{
+    TemporalManager tpm{TemporalParams{}};
+    const auto view = makeView(workload::WorkloadKind::Batch, 0.7, 4, 0.0);
+    const auto d = tpm.evaluate(view, 3, 1.0, 0.8);
+    EXPECT_FALSE(d.acted);
+    EXPECT_DOUBLE_EQ(d.dutyCycle, 0.7);
+}
+
+TEST(TemporalManager, HysteresisBandHoldsSteady)
+{
+    TemporalParams p;
+    TemporalManager tpm(p);
+    const auto view =
+        makeView(workload::WorkloadKind::Batch, 0.8, 4, 50.0);
+    // Current between grow and cap thresholds: no action.
+    const Amperes mid =
+        0.8 * p.currentThresholdPerCabinet * 3;
+    const auto d = tpm.evaluate(view, 3, mid, 0.8);
+    EXPECT_FALSE(d.acted);
+}
+
+TEST(TemporalManager, SocFloorTriggersCheckpointShutdown)
+{
+    TemporalParams p;
+    TemporalManager tpm(p);
+    const auto view =
+        makeView(workload::WorkloadKind::Batch, 1.0, 8, 100.0, 100.0,
+                 1000.0);
+    const auto d =
+        tpm.evaluate(view, 3, 10.0, p.socFloor - 0.02);
+    EXPECT_TRUE(d.checkpointShutdown);
+    EXPECT_EQ(tpm.floorShutdowns(), 1u);
+}
+
+TEST(TemporalManager, VoltageFloorTriggersCheckpointShutdown)
+{
+    TemporalParams p;
+    TemporalManager tpm(p);
+    const auto view =
+        makeView(workload::WorkloadKind::Batch, 1.0, 8, 100.0, 100.0,
+                 1000.0);
+    const auto d = tpm.evaluate(view, 3, 10.0, 0.6,
+                                p.voltageFloorPerUnit - 0.1);
+    EXPECT_TRUE(d.checkpointShutdown);
+}
+
+TEST(TemporalManager, NoShutdownWhenSolarCoversLoad)
+{
+    TemporalParams p;
+    TemporalManager tpm(p);
+    const auto view =
+        makeView(workload::WorkloadKind::Batch, 1.0, 8, 100.0, 2000.0,
+                 1000.0);
+    const auto d =
+        tpm.evaluate(view, 3, 0.0, p.socFloor - 0.02);
+    EXPECT_FALSE(d.checkpointShutdown);
+}
+
+TEST(TemporalManager, RestartRequiresRecovery)
+{
+    TemporalParams p;
+    TemporalManager tpm(p);
+    auto low = makeView(workload::WorkloadKind::Batch, 1.0, 8, 100.0,
+                        100.0, 1000.0);
+    // Trip the floor.
+    auto d = tpm.evaluate(low, 3, 10.0, p.socFloor - 0.02);
+    ASSERT_TRUE(d.checkpointShutdown);
+    // Slightly above floor but below restart threshold: stay down.
+    d = tpm.evaluate(low, 3, 10.0, p.socFloor + 0.05);
+    EXPECT_TRUE(d.checkpointShutdown);
+    // Recovered: released.
+    d = tpm.evaluate(low, 3, 10.0, p.socRestart + 0.05);
+    EXPECT_FALSE(d.checkpointShutdown);
+    EXPECT_EQ(tpm.floorShutdowns(), 1u); // one episode, not three
+}
+
+TEST(TemporalManager, ZeroOnlineCabinetsUnderDeficitShutsDown)
+{
+    TemporalManager tpm{TemporalParams{}};
+    const auto view =
+        makeView(workload::WorkloadKind::Stream, 1.0, 4, 10.0, 100.0,
+                 800.0);
+    const auto d = tpm.evaluate(view, 0, 0.0, 1.0);
+    EXPECT_TRUE(d.checkpointShutdown);
+}
+
+} // namespace
+} // namespace insure::core

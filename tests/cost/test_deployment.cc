@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for deployment economics (paper Figs. 23, 24, 25).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cost/deployment.hh"
+
+namespace insure::cost {
+namespace {
+
+TEST(Deployment, ServerSizingScalesWithRateAndSun)
+{
+    DeploymentModel m;
+    EXPECT_EQ(m.serversFor(50.0, 1.0), 1u);
+    EXPECT_EQ(m.serversFor(250.0, 1.0), 3u);
+    // Less sun -> fewer productive hours -> more servers.
+    EXPECT_GT(m.serversFor(250.0, 0.5), m.serversFor(250.0, 1.0));
+}
+
+TEST(Deployment, CloudCostLinearInVolume)
+{
+    DeploymentModel m;
+    const double c1 = m.cloudCost(10.0, 100.0);
+    const double c2 = m.cloudCost(20.0, 100.0);
+    EXPECT_NEAR(c2 - m.proto.cellular.hardware,
+                2.0 * (c1 - m.proto.cellular.hardware), 1e-6);
+}
+
+TEST(Deployment, Fig24CrossoverNearOneGbPerDay)
+{
+    DeploymentModel m;
+    // Paper: ~0.9 GB/day for the prototype over a multi-year horizon.
+    const double crossover = m.crossoverGbPerDay(3.0 * 365.25, 1.0);
+    EXPECT_GT(crossover, 0.2);
+    EXPECT_LT(crossover, 5.0);
+}
+
+TEST(Deployment, Fig24HighRateSavesUpTo96Percent)
+{
+    DeploymentModel m;
+    const double saving = m.saving(500.0, 3.0 * 365.25, 1.0);
+    EXPECT_GT(saving, 0.90);
+    EXPECT_LT(saving, 0.99);
+}
+
+TEST(Deployment, SavingGrowsWithDataRate)
+{
+    DeploymentModel m;
+    double prev = -10.0;
+    for (double rate : {1.0, 5.0, 50.0, 500.0}) {
+        const double s = m.saving(rate, 1000.0, 1.0);
+        EXPECT_GT(s, prev);
+        prev = s;
+    }
+}
+
+TEST(Deployment, BelowCrossoverCloudWins)
+{
+    DeploymentModel m;
+    EXPECT_LT(m.saving(0.1, 365.0, 1.0), 0.0);
+}
+
+TEST(Deployment, Fig23ScaleOutStillBeatsCloud)
+{
+    DeploymentModel m;
+    const auto rows = scaleOutTable(m, 200.0, 3.0 * 365.25);
+    ASSERT_EQ(rows.size(), 4u);
+    double prev_cost = 0.0;
+    for (const auto &row : rows) {
+        // Scale-out cost grows as sunshine shrinks...
+        EXPECT_GT(row.scaleOutCost, prev_cost);
+        prev_cost = row.scaleOutCost;
+        // ...but stays below shipping everything to the cloud
+        // (paper: up to 60% cost saving).
+        EXPECT_LT(row.scaleOutCost, row.cloudCost);
+    }
+    EXPECT_DOUBLE_EQ(rows.front().sunshineFraction, 1.0);
+    EXPECT_DOUBLE_EQ(rows.back().sunshineFraction, 0.4);
+    // At full sun the saving is at least 40%.
+    EXPECT_LT(rows.front().scaleOutCost, 0.6 * rows.front().cloudCost);
+}
+
+TEST(Deployment, Fig25ScenariosLandInPaperRanges)
+{
+    DeploymentModel m;
+    for (const auto &sc : applicationScenarios()) {
+        const double s =
+            m.saving(sc.gbPerDay, sc.deploymentDays, sc.sunshineFraction);
+        // Within a generous band of the paper's quoted range (shape
+        // reproduction, not absolute-number matching).
+        EXPECT_GT(s, sc.paperSavingLo - 0.15) << sc.name;
+        EXPECT_LT(s, sc.paperSavingHi + 0.10) << sc.name;
+    }
+}
+
+TEST(Deployment, Fig25LongDeploymentsSaveMost)
+{
+    DeploymentModel m;
+    const auto scenarios = applicationScenarios();
+    // Volcano surveillance (long, high-rate) saves more than
+    // post-earthquake monitoring (short, moderate).
+    const auto &volcano = scenarios[4];
+    const auto &quake = scenarios[1];
+    EXPECT_GT(m.saving(volcano.gbPerDay, volcano.deploymentDays,
+                       volcano.sunshineFraction),
+              m.saving(quake.gbPerDay, quake.deploymentDays,
+                       quake.sunshineFraction));
+}
+
+TEST(Deployment, HardwareReplacementRaisesLongDeploymentCost)
+{
+    DeploymentModel m;
+    const double one_battery_life =
+        m.inSituCost(50.0, 3.9 * 365.25, 1.0);
+    const double two_battery_lives =
+        m.inSituCost(50.0, 4.1 * 365.25, 1.0);
+    EXPECT_GT(two_battery_lives,
+              one_battery_life +
+                  0.9 * m.proto.solar.batteryPerAh *
+                      m.batteryAhPerServer *
+                      m.proto.solar.batterySystemFactor);
+}
+
+TEST(DeploymentDeath, ZeroSunshineIsFatal)
+{
+    DeploymentModel m;
+    EXPECT_DEATH(m.serversFor(10.0, 0.0), "sunshine");
+}
+
+} // namespace
+} // namespace insure::cost

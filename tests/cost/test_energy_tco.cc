@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for energy-supply TCO models (paper Fig. 3-b, Fig. 22).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cost/energy_tco.hh"
+
+namespace insure::cost {
+namespace {
+
+TEST(EnergyTco, DieselReplacementCadence)
+{
+    DieselParams p;
+    // Within the first lifetime: one unit.
+    const double y3 = dieselTco(p, 1.6, 8.0, 3.0);
+    const double y6 = dieselTco(p, 1.6, 8.0, 6.0);
+    // Year 6 includes a replacement generator.
+    const double fuel_per_year = p.perKwh * 8.0 * 365.25;
+    EXPECT_NEAR(y3, p.perKw * 1.6 + 3.0 * fuel_per_year, 1.0);
+    EXPECT_NEAR(y6, 2.0 * p.perKw * 1.6 + 6.0 * fuel_per_year, 1.0);
+}
+
+TEST(EnergyTco, FuelCellStackRefreshes)
+{
+    FuelCellParams p;
+    const double y4 = fuelCellTco(p, 1600.0, 8.0, 4.0);
+    const double y6 = fuelCellTco(p, 1600.0, 8.0, 6.0);
+    const double fuel_per_year = p.perKwh * 8.0 * 365.25;
+    // Year 6 adds one stack refresh on top of fuel.
+    EXPECT_NEAR(y6 - y4,
+                2.0 * fuel_per_year +
+                    p.stackReplaceFraction * p.perWatt * 1600.0,
+                1.0);
+}
+
+TEST(EnergyTco, SolarBatteryReplacesBatteriesOnly)
+{
+    SolarBatteryParams p;
+    const double y3 = solarBatteryTco(p, 1600.0, 210.0, 3.0);
+    const double y5 = solarBatteryTco(p, 1600.0, 210.0, 5.0);
+    // Crossing the 4-year battery life adds one battery set.
+    EXPECT_NEAR(y5 - y3, p.batteryPerAh * 210.0, 1.0);
+}
+
+TEST(EnergyTco, Fig3bShapeHolds)
+{
+    const auto rows = energyTcoTable();
+    ASSERT_EQ(rows.size(), 6u); // years 1,3,5,7,9,11
+    const EnergyTcoRow &last = rows.back();
+    EXPECT_DOUBLE_EQ(last.years, 11.0);
+    // Paper Fig. 3-b: solar+battery cheapest, fuel cell most expensive
+    // long-run, diesel in between.
+    EXPECT_LT(last.inSitu, last.diesel);
+    EXPECT_LT(last.diesel, last.fuelCell);
+    // Fuel cell starts expensive already at year 1 (high CapEx).
+    EXPECT_GT(rows.front().fuelCell, rows.front().inSitu);
+    EXPECT_GT(rows.front().fuelCell, rows.front().diesel);
+    // Magnitudes in the paper's range (thousands, not millions).
+    EXPECT_LT(last.fuelCell, 40000.0);
+    EXPECT_GT(last.inSitu, 2000.0);
+    EXPECT_LT(last.inSitu, 10000.0);
+}
+
+TEST(Fig22, ComponentBreakdownShape)
+{
+    const auto insure = annualDepreciation(SupplyKind::InSure);
+    const auto diesel = annualDepreciation(SupplyKind::Diesel);
+    const auto fc = annualDepreciation(SupplyKind::FuelCell);
+
+    const double t_insure = totalAnnual(insure);
+    const double t_diesel = totalAnnual(diesel);
+    const double t_fc = totalAnnual(fc);
+
+    // Paper §6.5: DG raises cost ~20%, FC ~24% over InSURE.
+    EXPECT_GT(t_diesel, t_insure * 1.08);
+    EXPECT_LT(t_diesel, t_insure * 1.40);
+    EXPECT_GT(t_fc, t_insure * 1.15);
+    EXPECT_LT(t_fc, t_insure * 1.55);
+
+    // Solar array + inverter ~8% of InSURE; battery ~9%.
+    double pv = 0.0;
+    double battery = 0.0;
+    for (const auto &c : insure) {
+        if (c.name == "PV Panels" || c.name == "Inverter")
+            pv += c.annual;
+        if (c.name == "Battery")
+            battery += c.annual;
+    }
+    EXPECT_NEAR(pv / t_insure, 0.08, 0.035);
+    EXPECT_NEAR(battery / t_insure, 0.09, 0.035);
+}
+
+TEST(Fig22, MaintenanceIsConfiguredFraction)
+{
+    const auto insure = annualDepreciation(SupplyKind::InSure);
+    double maint = 0.0;
+    double rest = 0.0;
+    for (const auto &c : insure) {
+        if (c.name == "Maintenance")
+            maint += c.annual;
+        else
+            rest += c.annual;
+    }
+    EXPECT_NEAR(maint / rest, PrototypeParams{}.it.maintenanceFraction,
+                1e-9);
+}
+
+TEST(Fig22, SupplyKindNames)
+{
+    EXPECT_STREQ(supplyKindName(SupplyKind::InSure), "InSURE");
+    EXPECT_STREQ(supplyKindName(SupplyKind::Diesel), "Diesel");
+    EXPECT_STREQ(supplyKindName(SupplyKind::FuelCell), "FuelCell");
+}
+
+} // namespace
+} // namespace insure::cost

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for transmission time/cost models (paper Figs. 1 and 3-a).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cost/transmission.hh"
+
+namespace insure::cost {
+namespace {
+
+TEST(Transmission, TransferHoursMatchArithmetic)
+{
+    // 1 TB over 100 Mbps: 8e6 Mb / 100 Mbps = 80000 s ~ 22.2 h.
+    const LinkOption link{"100 Mbps", 100.0};
+    EXPECT_NEAR(transferHours(link, 1.0), 22.22, 0.01);
+    // Fig. 1-a shape: slow links need days-to-weeks per TB.
+    EXPECT_GT(transferHours(LinkOption{"T1", 1.5}, 1.0), 1000.0);
+    EXPECT_LT(transferHours(LinkOption{"10G", 10000.0}, 1.0), 1.0);
+}
+
+TEST(Transmission, LinkTableIsSortedByBandwidth)
+{
+    const auto links = typicalLinks();
+    ASSERT_GE(links.size(), 4u);
+    for (std::size_t i = 1; i < links.size(); ++i)
+        EXPECT_GT(links[i].mbps, links[i - 1].mbps);
+}
+
+TEST(Transmission, AwsEgressTiersDecline)
+{
+    // Fig. 1-b: average $/TB falls with volume (~$120 -> ~$60).
+    const double at10 = awsEgressAvgPerTb(10.0);
+    const double at500 = awsEgressAvgPerTb(500.0);
+    EXPECT_NEAR(at10, 120.0, 3.0);
+    EXPECT_NEAR(at500, 60.0, 5.0);
+    double prev = 1e18;
+    for (double tb : {10.0, 50.0, 150.0, 250.0, 500.0}) {
+        const double avg = awsEgressAvgPerTb(tb);
+        EXPECT_LT(avg, prev);
+        prev = avg;
+    }
+}
+
+TEST(Transmission, AwsEgressTotalIsMonotone)
+{
+    double prev = -1.0;
+    for (double tb = 1.0; tb < 600.0; tb += 37.0) {
+        const double total = awsEgressTotal(tb);
+        EXPECT_GT(total, prev);
+        prev = total;
+    }
+    EXPECT_DOUBLE_EQ(awsEgressTotal(0.0), 0.0);
+}
+
+TEST(Transmission, SatelliteDominatedByService)
+{
+    SatelliteParams p;
+    // 5 years of satellite service ~ $1.8M (paper Fig. 3-a scale).
+    EXPECT_NEAR(satelliteCost(p, 60.0), 11500.0 + 30000.0 * 60.0, 1.0);
+    EXPECT_GT(satelliteCost(p, 60.0), 1.5e6);
+}
+
+TEST(Transmission, CellularScalesWithVolume)
+{
+    CellularParams p;
+    const double c = cellularCost(p, 12.0, 228.0);
+    EXPECT_NEAR(c, 1000.0 + 10.0 * 228.0 * 12.0 * 30.44, 1.0);
+}
+
+TEST(Transmission, ItTcoTableReproducesFig3aShape)
+{
+    // Seismic site: 228 GB/day raw; in-situ CapEx ~$25K, ~$3K/yr.
+    const auto rows = itTcoTable(228.0, 25000.0, 3000.0);
+    ASSERT_EQ(rows.size(), 5u);
+    const ItTcoRow &y5 = rows.back();
+    EXPECT_DOUBLE_EQ(y5.years, 5.0);
+
+    // Raw-data transmission (either link) dwarfs the in-situ options;
+    // in-situ + cellular is the cheapest, saving over 90% vs. the
+    // satellite plan (paper: 95%).
+    EXPECT_GT(y5.cellularOnly, y5.insituPlusCellular);
+    EXPECT_GT(y5.satelliteOnly, y5.insituPlusSatellite);
+    EXPECT_LT(y5.insituPlusCellular, 0.1 * y5.satelliteOnly);
+    // In-situ + satellite saves at least half vs. satellite-only
+    // (paper: >55% OpEx saving).
+    EXPECT_LT(y5.insituPlusSatellite, 0.55 * y5.satelliteOnly);
+    // Costs grow with time.
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        EXPECT_GT(rows[i].satelliteOnly, rows[i - 1].satelliteOnly);
+        EXPECT_GT(rows[i].insituPlusCellular,
+                  rows[i - 1].insituPlusCellular);
+    }
+    // Million-dollar 5-year saving (paper §2.1).
+    EXPECT_GT(y5.satelliteOnly - y5.insituPlusSatellite, 1e6 * 0.8);
+}
+
+TEST(TransmissionDeath, ZeroBandwidthIsFatal)
+{
+    EXPECT_DEATH(transferHours(LinkOption{"x", 0.0}, 1.0),
+                 "bandwidth");
+}
+
+} // namespace
+} // namespace insure::cost

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the server cluster.
+ */
+
+#include <gtest/gtest.h>
+
+#include "server/cluster.hh"
+
+namespace insure::server {
+namespace {
+
+Cluster
+makeWarmCluster()
+{
+    Cluster c(4, xeonNode());
+    c.setTargetVms(8);
+    c.step(xeonNode().bootTime + xeonNode().vmMgmtTime);
+    return c;
+}
+
+TEST(Cluster, FillFirstPlacement)
+{
+    Cluster c(4, xeonNode());
+    c.setTargetVms(3);
+    EXPECT_EQ(c.node(0).activeVms(), 2u);
+    EXPECT_EQ(c.node(1).activeVms(), 1u);
+    EXPECT_EQ(c.node(2).activeVms(), 0u);
+    EXPECT_EQ(c.node(0).state(), NodeState::Booting);
+    EXPECT_EQ(c.node(2).state(), NodeState::Off);
+    EXPECT_EQ(c.totalVmSlots(), 8u);
+}
+
+TEST(Cluster, ShrinkingPowersNodesDown)
+{
+    Cluster c = makeWarmCluster();
+    EXPECT_EQ(c.activeVms(), 8u);
+    c.setTargetVms(2);
+    EXPECT_EQ(c.node(0).activeVms(), 2u);
+    EXPECT_EQ(c.node(1).state(), NodeState::ShuttingDown);
+    EXPECT_EQ(c.node(3).state(), NodeState::ShuttingDown);
+}
+
+TEST(Cluster, TargetClampsToCapacity)
+{
+    Cluster c(2, xeonNode());
+    c.setTargetVms(100);
+    EXPECT_EQ(c.targetVms(), 4u);
+}
+
+TEST(Cluster, PowerAggregatesNodes)
+{
+    Cluster c = makeWarmCluster();
+    EXPECT_NEAR(c.power(), 4 * 450.0, 1e-9);
+    c.setWorkloadUtil(0.41);
+    EXPECT_NEAR(c.power(), 4 * (280.0 + 170.0 * 0.41), 1e-6);
+}
+
+TEST(Cluster, PlannedPowerMatchesRealizedPower)
+{
+    Cluster c = makeWarmCluster();
+    c.setWorkloadUtil(0.41);
+    for (unsigned vms : {2u, 4u, 6u, 8u}) {
+        Cluster probe(4, xeonNode());
+        probe.setWorkloadUtil(0.41);
+        probe.setTargetVms(vms);
+        probe.step(xeonNode().bootTime + xeonNode().vmMgmtTime);
+        EXPECT_NEAR(c.plannedPower(vms, 1.0), probe.power(), 1e-6)
+            << vms << " VMs";
+    }
+}
+
+TEST(Cluster, PlannedPowerTable2Regime)
+{
+    // Paper Table 2: 8 VMs -> ~1397 W, 4 VMs -> ~696 W (seismic util).
+    Cluster c(4, xeonNode());
+    c.setWorkloadUtil(0.41);
+    EXPECT_NEAR(c.plannedPower(8, 1.0), 1397.0, 15.0);
+    EXPECT_NEAR(c.plannedPower(4, 1.0), 696.0, 15.0);
+}
+
+TEST(Cluster, StepAggregatesEnergyAndCompute)
+{
+    Cluster c = makeWarmCluster();
+    const auto r = c.step(3600.0);
+    EXPECT_NEAR(r.usefulVmHours, 8.0, 1e-9);
+    EXPECT_NEAR(r.energyWh, 1800.0, 1.0);
+    EXPECT_NEAR(r.productiveEnergyWh, r.energyWh, 1e-9);
+}
+
+TEST(Cluster, EmergencyShutdownAllDropsEverything)
+{
+    Cluster c = makeWarmCluster();
+    c.emergencyShutdownAll();
+    EXPECT_DOUBLE_EQ(c.power(), 0.0);
+    EXPECT_FALSE(c.anyProductive());
+    EXPECT_EQ(c.emergencyShutdowns(), 4u);
+    EXPECT_GT(c.lostVmHours(), 0.0);
+    EXPECT_EQ(c.targetVms(), 0u);
+}
+
+TEST(Cluster, CountersAggregate)
+{
+    Cluster c = makeWarmCluster();
+    c.setTargetVms(0);
+    c.step(xeonNode().shutdownTime);
+    EXPECT_EQ(c.onOffCycles(), 4u);
+    EXPECT_GE(c.vmControlOps(), 8u);
+}
+
+TEST(ClusterDeath, ZeroNodesIsFatal)
+{
+    EXPECT_DEATH(Cluster(0, xeonNode()), "at least one");
+}
+
+} // namespace
+} // namespace insure::server

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the server node power/state model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "server/server_node.hh"
+
+namespace insure::server {
+namespace {
+
+TEST(ServerNode, StartsOffDrawingNothing)
+{
+    ServerNode n("n", xeonNode());
+    EXPECT_EQ(n.state(), NodeState::Off);
+    EXPECT_DOUBLE_EQ(n.power(), 0.0);
+    EXPECT_FALSE(n.productive());
+    const auto r = n.step(3600.0);
+    EXPECT_DOUBLE_EQ(r.energyWh, 0.0);
+    EXPECT_DOUBLE_EQ(r.usefulVmHours, 0.0);
+}
+
+TEST(ServerNode, BootTakesConfiguredTime)
+{
+    NodeParams p = xeonNode();
+    ServerNode n("n", p);
+    n.powerOn();
+    EXPECT_EQ(n.state(), NodeState::Booting);
+    n.step(p.bootTime / 2.0);
+    EXPECT_EQ(n.state(), NodeState::Booting);
+    n.step(p.bootTime / 2.0);
+    EXPECT_EQ(n.state(), NodeState::On);
+}
+
+TEST(ServerNode, PowerModelMatchesPrototype)
+{
+    NodeParams p = xeonNode();
+    ServerNode n("n", p);
+    n.powerOn();
+    n.step(p.bootTime);
+    EXPECT_DOUBLE_EQ(n.power(), 280.0); // idle
+    n.setActiveVms(2);
+    n.step(p.vmMgmtTime);
+    EXPECT_DOUBLE_EQ(n.power(), 450.0); // both slots at full util
+    n.setWorkloadUtil(0.41);
+    EXPECT_NEAR(n.power(), 280.0 + 170.0 * 0.41, 1e-9); // ~350 W
+}
+
+TEST(ServerNode, DutyCycleScalesDynamicPower)
+{
+    ServerNode n("n", xeonNode());
+    n.powerOn();
+    n.step(1000.0);
+    n.setActiveVms(2);
+    n.step(1000.0);
+    const Watts full = n.power();
+    n.setDutyCycle(0.5);
+    EXPECT_NEAR(n.power(), 280.0 + (full - 280.0) * 0.5, 1e-9);
+}
+
+TEST(ServerNode, DvfsScalesSuperlinearly)
+{
+    NodeParams p = xeonNode();
+    ServerNode n("n", p);
+    n.powerOn();
+    n.step(p.bootTime);
+    n.setActiveVms(2);
+    n.step(p.vmMgmtTime);
+    const Watts full = n.power();
+    n.setFrequency(0.7);
+    const Watts reduced = n.power();
+    // Dynamic part scales by 0.7^2.2 ~ 0.456.
+    EXPECT_NEAR((reduced - 280.0) / (full - 280.0),
+                std::pow(0.7, 2.2), 1e-6);
+}
+
+TEST(ServerNode, FrequencyClampsToMin)
+{
+    NodeParams p = xeonNode();
+    ServerNode n("n", p);
+    n.setFrequency(0.1);
+    EXPECT_DOUBLE_EQ(n.frequency(), p.minFrequency);
+    n.setFrequency(1.5);
+    EXPECT_DOUBLE_EQ(n.frequency(), 1.0);
+}
+
+TEST(ServerNode, VmChangeOnRunningNodeCostsManagementTime)
+{
+    NodeParams p = xeonNode();
+    ServerNode n("n", p);
+    n.powerOn();
+    n.step(p.bootTime);
+    n.setActiveVms(1);
+    EXPECT_FALSE(n.productive()); // management busy
+    auto r = n.step(p.vmMgmtTime / 2.0);
+    EXPECT_DOUBLE_EQ(r.usefulVmHours, 0.0);
+    r = n.step(p.vmMgmtTime / 2.0);
+    EXPECT_TRUE(n.productive());
+    r = n.step(3600.0);
+    EXPECT_NEAR(r.usefulVmHours, 1.0, 1e-9);
+    EXPECT_NEAR(r.productiveEnergyWh, r.energyWh, 1e-9);
+    EXPECT_EQ(n.vmControlOps(), 1u);
+}
+
+TEST(ServerNode, CleanShutdownCountsCycleAndPreservesNothingLost)
+{
+    NodeParams p = xeonNode();
+    ServerNode n("n", p);
+    n.powerOn();
+    n.step(p.bootTime);
+    n.setActiveVms(2);
+    n.step(p.vmMgmtTime + 100.0);
+    n.powerOff();
+    EXPECT_EQ(n.state(), NodeState::ShuttingDown);
+    n.step(p.shutdownTime);
+    EXPECT_EQ(n.state(), NodeState::Off);
+    EXPECT_EQ(n.onOffCycles(), 1u);
+    EXPECT_DOUBLE_EQ(n.lostVmHours(), 0.0);
+    EXPECT_EQ(n.emergencyShutdowns(), 0u);
+}
+
+TEST(ServerNode, EmergencyShutdownLosesWork)
+{
+    NodeParams p = xeonNode();
+    ServerNode n("n", p);
+    n.powerOn();
+    n.step(p.bootTime);
+    n.setActiveVms(2);
+    n.step(p.vmMgmtTime);
+    n.emergencyShutdown();
+    EXPECT_EQ(n.state(), NodeState::Off);
+    EXPECT_EQ(n.emergencyShutdowns(), 1u);
+    EXPECT_NEAR(n.lostVmHours(),
+                2.0 * p.emergencyLossTime / 3600.0, 1e-9);
+}
+
+TEST(ServerNode, StepSpansStateTransitions)
+{
+    NodeParams p = xeonNode();
+    ServerNode n("n", p);
+    n.setActiveVms(2); // assigned while off: no mgmt penalty
+    n.powerOn();
+    // One big step covering boot + some productive time.
+    const auto r = n.step(p.bootTime + 3600.0);
+    EXPECT_EQ(n.state(), NodeState::On);
+    EXPECT_NEAR(r.usefulVmHours, 2.0, 1e-9);
+    // Energy: idle during boot plus loaded for an hour.
+    const double expect_wh =
+        280.0 * p.bootTime / 3600.0 + 450.0;
+    EXPECT_NEAR(r.energyWh, expect_wh, 1e-6);
+}
+
+TEST(ServerNode, VmsClampToSlots)
+{
+    ServerNode n("n", xeonNode());
+    n.setActiveVms(99);
+    EXPECT_EQ(n.activeVms(), 2u);
+}
+
+TEST(ServerNode, LowPowerNodeProfile)
+{
+    NodeParams p = lowPowerNode();
+    ServerNode n("n", p);
+    n.powerOn();
+    n.step(p.bootTime);
+    n.setActiveVms(2);
+    n.step(p.vmMgmtTime);
+    EXPECT_NEAR(n.power(), 46.0, 1e-9);
+    EXPECT_LT(n.power(), 50.0); // Table 7 regime
+}
+
+TEST(ServerNode, PowerOffWhileBootingIsClean)
+{
+    NodeParams p = xeonNode();
+    ServerNode n("n", p);
+    n.powerOn();
+    n.step(10.0);
+    n.powerOff();
+    n.step(p.shutdownTime);
+    EXPECT_EQ(n.state(), NodeState::Off);
+    EXPECT_EQ(n.onOffCycles(), 1u);
+}
+
+} // namespace
+} // namespace insure::server

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the INI-style configuration reader.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "sim/config.hh"
+
+namespace insure::sim {
+namespace {
+
+const char *kSample = R"(
+# a comment
+top = 1
+[solar]
+day = cloudy
+kwh = 5.9          ; trailing comment
+scale = 1.25
+[system]
+nodes = 4
+lowpower = yes
+fast_switching = off
+)";
+
+TEST(Config, ParsesSectionsAndTypes)
+{
+    const Config cfg = Config::parse(kSample);
+    EXPECT_TRUE(cfg.has("solar.day"));
+    EXPECT_EQ(cfg.getString("solar.day"), "cloudy");
+    EXPECT_DOUBLE_EQ(cfg.getDouble("solar.kwh"), 5.9);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("solar.scale"), 1.25);
+    EXPECT_EQ(cfg.getInt("system.nodes"), 4);
+    EXPECT_TRUE(cfg.getBool("system.lowpower"));
+    EXPECT_FALSE(cfg.getBool("system.fast_switching"));
+    EXPECT_EQ(cfg.getInt("top"), 1);
+}
+
+TEST(Config, FallbacksForMissingKeys)
+{
+    const Config cfg = Config::parse(kSample);
+    EXPECT_EQ(cfg.getString("nope", "dflt"), "dflt");
+    EXPECT_DOUBLE_EQ(cfg.getDouble("nope", 3.5), 3.5);
+    EXPECT_EQ(cfg.getInt("nope", -2), -2);
+    EXPECT_TRUE(cfg.getBool("nope", true));
+    EXPECT_FALSE(cfg.has("nope"));
+}
+
+TEST(Config, BooleanSpellings)
+{
+    const Config cfg = Config::parse(
+        "a = TRUE\nb = No\nc = on\nd = 0\ne = 1\n");
+    EXPECT_TRUE(cfg.getBool("a"));
+    EXPECT_FALSE(cfg.getBool("b"));
+    EXPECT_TRUE(cfg.getBool("c"));
+    EXPECT_FALSE(cfg.getBool("d"));
+    EXPECT_TRUE(cfg.getBool("e"));
+}
+
+TEST(Config, SetOverridesFile)
+{
+    Config cfg = Config::parse("[s]\nk = 1\n");
+    cfg.set("s.k", "2");
+    cfg.set("new.key", "hello");
+    EXPECT_EQ(cfg.getInt("s.k"), 2);
+    EXPECT_EQ(cfg.getString("new.key"), "hello");
+}
+
+TEST(Config, TracksUnusedKeys)
+{
+    const Config cfg = Config::parse("[a]\nused = 1\ntypo = 2\n");
+    cfg.getInt("a.used");
+    const auto unused = cfg.unusedKeys();
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0], "a.typo");
+}
+
+TEST(Config, KeysAreSorted)
+{
+    const Config cfg = Config::parse("[b]\nz = 1\n[a]\ny = 2\n");
+    const auto keys = cfg.keys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "a.y");
+    EXPECT_EQ(keys[1], "b.z");
+}
+
+TEST(Config, FileRoundTrip)
+{
+    const std::string path = testing::TempDir() + "/insure_cfg_test.ini";
+    {
+        std::ofstream os(path);
+        os << kSample;
+    }
+    const Config cfg = Config::load(path);
+    EXPECT_EQ(cfg.getString("solar.day"), "cloudy");
+}
+
+TEST(ConfigDeath, MalformedInputIsFatal)
+{
+    EXPECT_DEATH(Config::parse("[open\n"), "unterminated");
+    EXPECT_DEATH(Config::parse("novalue\n"), "key = value");
+    EXPECT_DEATH(Config::parse("= 3\n"), "empty key");
+    EXPECT_DEATH(Config::parse("[]\n"), "empty section");
+    const Config cfg = Config::parse("k = abc\n");
+    EXPECT_DEATH(cfg.getDouble("k"), "not a number");
+    EXPECT_DEATH(cfg.getInt("k"), "not an integer");
+    EXPECT_DEATH(cfg.getBool("k"), "not a boolean");
+}
+
+} // namespace
+} // namespace insure::sim

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue and periodic tasks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace insure::sim {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTimeZero)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_DOUBLE_EQ(eq.now(), 0.0);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(3.0, EventPriority::Physics, [&] { order.push_back(3); });
+    eq.schedule(1.0, EventPriority::Physics, [&] { order.push_back(1); });
+    eq.schedule(2.0, EventPriority::Physics, [&] { order.push_back(2); });
+    eq.runUntil(10.0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(eq.now(), 10.0);
+}
+
+TEST(EventQueue, PriorityBreaksTimeTies)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(1.0, EventPriority::Stats, [&] { order.push_back(4); });
+    eq.schedule(1.0, EventPriority::Physics, [&] { order.push_back(1); });
+    eq.schedule(1.0, EventPriority::Control, [&] { order.push_back(3); });
+    eq.schedule(1.0, EventPriority::Telemetry, [&] { order.push_back(2); });
+    eq.runUntil(2.0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, InsertionOrderBreaksFullTies)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        eq.schedule(1.0, EventPriority::Physics,
+                    [&order, i] { order.push_back(i); });
+    }
+    eq.runUntil(2.0);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    bool ran = false;
+    const EventId id =
+        eq.schedule(1.0, EventPriority::Physics, [&] { ran = true; });
+    eq.cancel(id);
+    eq.runUntil(2.0);
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1.0, EventPriority::Physics, [&] { ++count; });
+    eq.schedule(5.0, EventPriority::Physics, [&] { ++count; });
+    EXPECT_EQ(eq.runUntil(2.0), 1u);
+    EXPECT_EQ(count, 1);
+    EXPECT_DOUBLE_EQ(eq.now(), 2.0);
+    EXPECT_EQ(eq.runUntil(6.0), 1u);
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            eq.scheduleIn(1.0, EventPriority::Physics, chain);
+    };
+    eq.schedule(0.0, EventPriority::Physics, chain);
+    eq.runUntil(100.0);
+    EXPECT_EQ(depth, 5);
+}
+
+TEST(EventQueue, NowTracksCurrentEventTime)
+{
+    EventQueue eq;
+    Seconds seen = -1.0;
+    eq.schedule(4.25, EventPriority::Physics, [&] { seen = eq.now(); });
+    eq.runUntil(10.0);
+    EXPECT_DOUBLE_EQ(seen, 4.25);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(5.0, EventPriority::Physics, [] {});
+    eq.runUntil(5.0);
+    EXPECT_DEATH(eq.schedule(1.0, EventPriority::Physics, [] {}),
+                 "past");
+}
+
+TEST(PeriodicTask, TicksAtFixedInterval)
+{
+    EventQueue eq;
+    std::vector<Seconds> ticks;
+    PeriodicTask task(eq, 10.0, EventPriority::Physics,
+                      [&](Seconds now) { ticks.push_back(now); });
+    task.start(10.0);
+    eq.runUntil(35.0);
+    EXPECT_EQ(ticks, (std::vector<Seconds>{10.0, 20.0, 30.0}));
+}
+
+TEST(PeriodicTask, StopHaltsTicking)
+{
+    EventQueue eq;
+    int count = 0;
+    PeriodicTask task(eq, 1.0, EventPriority::Physics,
+                      [&](Seconds) { ++count; });
+    task.start(1.0);
+    eq.runUntil(3.5);
+    task.stop();
+    eq.runUntil(10.0);
+    EXPECT_EQ(count, 3);
+    EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTask, CallbackMayStopItself)
+{
+    EventQueue eq;
+    int count = 0;
+    PeriodicTask *handle = nullptr;
+    PeriodicTask task(eq, 1.0, EventPriority::Physics, [&](Seconds) {
+        if (++count == 2)
+            handle->stop();
+    });
+    handle = &task;
+    task.start(1.0);
+    eq.runUntil(10.0);
+    EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTask, RestartAfterStop)
+{
+    EventQueue eq;
+    int count = 0;
+    PeriodicTask task(eq, 1.0, EventPriority::Physics,
+                      [&](Seconds) { ++count; });
+    task.start(1.0);
+    eq.runUntil(2.5);
+    task.stop();
+    task.start(1.0);
+    eq.runUntil(4.5);
+    EXPECT_EQ(count, 4);
+}
+
+TEST(PeriodicTask, DestructorCancelsPendingTick)
+{
+    EventQueue eq;
+    int count = 0;
+    {
+        PeriodicTask task(eq, 1.0, EventPriority::Physics,
+                          [&](Seconds) { ++count; });
+        task.start(1.0);
+        eq.runUntil(1.5);
+    }
+    eq.runUntil(10.0);
+    EXPECT_EQ(count, 1);
+}
+
+} // namespace
+} // namespace insure::sim

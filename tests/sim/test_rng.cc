@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/rng.hh"
+
+namespace insure {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-4.0, 9.0);
+        EXPECT_GE(v, -4.0);
+        EXPECT_LT(v, 9.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(5);
+    std::set<int> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformInt(2, 5));
+    EXPECT_EQ(seen, (std::set<int>{2, 3, 4, 5}));
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    double sumSq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal(3.0, 2.0);
+        sum += v;
+        sumSq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sumSq / n - mean * mean;
+    EXPECT_NEAR(mean, 3.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(0.25);
+    EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialIsPositive)
+{
+    Rng rng(19);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.exponential(5.0), 0.0);
+}
+
+TEST(Rng, BernoulliFrequencyMatches)
+{
+    Rng rng(23);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreIndependentDeterministic)
+{
+    Rng parent1(99);
+    Rng parent2(99);
+    Rng childA = parent1.split();
+    Rng childB = parent2.split();
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(childA.next(), childB.next());
+
+    // Child differs from a fresh parent stream.
+    Rng parent3(99);
+    Rng child = parent3.split();
+    int same = 0;
+    for (int i = 0; i < 50; ++i) {
+        if (child.next() == parent3.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngDeath, InvalidArgumentsPanic)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.exponential(0.0), "rate");
+    EXPECT_DEATH(rng.uniformInt(5, 2), "range");
+}
+
+} // namespace
+} // namespace insure

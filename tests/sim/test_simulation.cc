@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the Simulation container and Component lifecycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hh"
+
+namespace insure::sim {
+namespace {
+
+class Probe : public Component
+{
+  public:
+    Probe(Simulation &sim, const std::string &name)
+        : Component(sim, name),
+          task_(sim.events(), 1.0, EventPriority::Physics,
+                [this](Seconds) { ++ticks_; })
+    {
+    }
+
+    void startup() override
+    {
+        started_ = true;
+        task_.start(1.0);
+    }
+
+    void finalize() override { finalized_ = true; }
+
+    bool started_ = false;
+    bool finalized_ = false;
+    int ticks_ = 0;
+
+  private:
+    PeriodicTask task_;
+};
+
+TEST(Simulation, StartupRunsOnceBeforeEvents)
+{
+    Simulation sim;
+    Probe p(sim, "probe");
+    EXPECT_FALSE(p.started_);
+    sim.runUntil(5.0);
+    EXPECT_TRUE(p.started_);
+    EXPECT_EQ(p.ticks_, 5);
+    sim.runUntil(10.0);
+    EXPECT_EQ(p.ticks_, 10);
+}
+
+TEST(Simulation, FinishInvokesFinalizeOnce)
+{
+    Simulation sim;
+    Probe p(sim, "probe");
+    sim.runUntil(2.0);
+    sim.finish();
+    EXPECT_TRUE(p.finalized_);
+    p.finalized_ = false;
+    sim.finish();
+    EXPECT_FALSE(p.finalized_);
+}
+
+TEST(Simulation, FindsComponentsByName)
+{
+    Simulation sim;
+    Probe a(sim, "a");
+    Probe b(sim, "b");
+    EXPECT_EQ(sim.find("a"), &a);
+    EXPECT_EQ(sim.find("b"), &b);
+    EXPECT_EQ(sim.find("c"), nullptr);
+}
+
+TEST(Simulation, RngStreamsAreSeedDeterministic)
+{
+    Simulation s1(77);
+    Simulation s2(77);
+    Rng a = s1.makeRng();
+    Rng b = s2.makeRng();
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Simulation, EventsExecutedAccumulates)
+{
+    Simulation sim;
+    Probe p(sim, "probe");
+    sim.runUntil(3.0);
+    EXPECT_EQ(sim.eventsExecuted(), 3u);
+}
+
+TEST(SimulationDeath, DuplicateComponentNameIsFatal)
+{
+    Simulation sim;
+    Probe a(sim, "dup");
+    EXPECT_DEATH(Probe(sim, "dup"), "duplicate");
+}
+
+} // namespace
+} // namespace insure::sim

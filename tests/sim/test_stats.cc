@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/stats.hh"
+
+namespace insure::sim {
+namespace {
+
+TEST(Counter, CountsAndResets)
+{
+    StatGroup group("g");
+    Counter c(&group, "events", "test counter");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 4;
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Accumulator, TracksMoments)
+{
+    Accumulator a(nullptr, "a", "samples");
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        a.sample(v);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 4.0);
+    EXPECT_NEAR(a.stddev(), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator a(nullptr, "a", "samples");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(TimeWeightedGauge, AveragesOverTime)
+{
+    TimeWeightedGauge g(nullptr, "g", "level");
+    g.set(0.0, 10.0);
+    g.set(5.0, 20.0);   // 10 for 5 s
+    g.set(10.0, 0.0);   // 20 for 5 s
+    // Average over [0, 10] = (50 + 100) / 10 = 15.
+    EXPECT_DOUBLE_EQ(g.average(10.0), 15.0);
+    EXPECT_DOUBLE_EQ(g.integral(10.0), 150.0);
+}
+
+TEST(TimeWeightedGauge, ExtendsLastLevel)
+{
+    TimeWeightedGauge g(nullptr, "g", "level");
+    g.set(0.0, 4.0);
+    EXPECT_DOUBLE_EQ(g.average(8.0), 4.0);
+    EXPECT_DOUBLE_EQ(g.integral(8.0), 32.0);
+}
+
+TEST(TimeWeightedGauge, BeforeFirstSampleIsLevel)
+{
+    TimeWeightedGauge g(nullptr, "g", "level");
+    EXPECT_DOUBLE_EQ(g.average(5.0), 0.0);
+    g.set(2.0, 7.0);
+    EXPECT_DOUBLE_EQ(g.average(2.0), 7.0);
+}
+
+TEST(Histogram, BinsAndQuantiles)
+{
+    Histogram h(nullptr, "h", "dist", 0.0, 10.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i % 10 + 0.5);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    for (auto b : h.bins())
+        EXPECT_EQ(b, 10u);
+    EXPECT_NEAR(h.quantile(0.5), 5.0, 0.6);
+    EXPECT_NEAR(h.mean(), 5.0, 1e-9);
+}
+
+TEST(Histogram, OutOfRangeGoesToOverflowBuckets)
+{
+    Histogram h(nullptr, "h", "dist", 0.0, 1.0, 4);
+    h.sample(-1.0);
+    h.sample(2.0);
+    h.sample(0.5);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(StatGroup, RegistersAndReports)
+{
+    StatGroup group("battery");
+    Counter c(&group, "trips", "protection trips");
+    Accumulator a(&group, "volts", "voltage samples");
+    ++c;
+    a.sample(12.5);
+    const std::string report = group.report();
+    EXPECT_NE(report.find("battery"), std::string::npos);
+    EXPECT_NE(report.find("trips"), std::string::npos);
+    EXPECT_NE(report.find("volts.mean"), std::string::npos);
+    EXPECT_EQ(group.stats().size(), 2u);
+    EXPECT_NE(group.find("trips"), nullptr);
+    EXPECT_EQ(group.find("absent"), nullptr);
+}
+
+TEST(StatGroup, ResetAllClearsEverything)
+{
+    StatGroup group("g");
+    Counter c(&group, "c", "");
+    Accumulator a(&group, "a", "");
+    ++c;
+    a.sample(1.0);
+    group.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(StatGroupDeath, DuplicateNameIsFatal)
+{
+    StatGroup group("g");
+    Counter c1(&group, "same", "");
+    EXPECT_DEATH(Counter(&group, "same", ""), "duplicate");
+}
+
+TEST(HistogramDeath, InvalidRangeIsFatal)
+{
+    EXPECT_DEATH(Histogram(nullptr, "h", "", 1.0, 0.0, 4), "invalid");
+}
+
+} // namespace
+} // namespace insure::sim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for the text-table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/table.hh"
+
+namespace insure::sim {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    const std::string out = t.render("Title");
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAreAligned)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"long-cell", "x"});
+    t.addRow({"s", "y"});
+    const std::string out = t.render();
+    // Both data lines should have the same position for column b.
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        const std::size_t next = out.find('\n', pos);
+        lines.push_back(out.substr(pos, next - pos));
+        pos = next + 1;
+    }
+    ASSERT_GE(lines.size(), 4u);
+    EXPECT_EQ(lines[2].find('x'), lines[3].find('y'));
+}
+
+TEST(TextTable, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(10.0, 0), "10");
+}
+
+TEST(TextTable, PercentFormats)
+{
+    EXPECT_EQ(TextTable::percent(0.423), "42.3%");
+    EXPECT_EQ(TextTable::percent(1.0, 0), "100%");
+}
+
+TEST(TextTable, DollarsGroupThousands)
+{
+    EXPECT_EQ(TextTable::dollars(1234567.0), "$1,234,567");
+    EXPECT_EQ(TextTable::dollars(999.0), "$999");
+    EXPECT_EQ(TextTable::dollars(-4200.0), "-$4,200");
+    EXPECT_EQ(TextTable::dollars(0.0), "$0");
+}
+
+TEST(TextTableDeath, RowWidthMismatchIsFatal)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row has");
+}
+
+} // namespace
+} // namespace insure::sim

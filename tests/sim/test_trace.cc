@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for CSV trace recording, parsing and interpolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/trace.hh"
+
+namespace insure::sim {
+namespace {
+
+Trace
+makeRamp()
+{
+    Trace t({"time_s", "power_w"});
+    t.append({0.0, 0.0});
+    t.append({10.0, 100.0});
+    t.append({20.0, 50.0});
+    return t;
+}
+
+TEST(Trace, StoresRowsAndColumns)
+{
+    const Trace t = makeRamp();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.columnIndex("power_w"), 1);
+    EXPECT_EQ(t.columnIndex("missing"), -1);
+    EXPECT_DOUBLE_EQ(t.at(1, "power_w"), 100.0);
+    EXPECT_EQ(t.column("time_s"),
+              (std::vector<double>{0.0, 10.0, 20.0}));
+}
+
+TEST(Trace, InterpolatesLinearly)
+{
+    const Trace t = makeRamp();
+    EXPECT_DOUBLE_EQ(t.interpolate(5.0, "power_w"), 50.0);
+    EXPECT_DOUBLE_EQ(t.interpolate(15.0, "power_w"), 75.0);
+}
+
+TEST(Trace, InterpolationClampsAtEnds)
+{
+    const Trace t = makeRamp();
+    EXPECT_DOUBLE_EQ(t.interpolate(-5.0, "power_w"), 0.0);
+    EXPECT_DOUBLE_EQ(t.interpolate(100.0, "power_w"), 50.0);
+}
+
+TEST(Trace, CsvRoundTrip)
+{
+    const Trace t = makeRamp();
+    std::stringstream ss;
+    t.writeCsv(ss);
+    const Trace back = Trace::readCsv(ss);
+    ASSERT_EQ(back.rows(), t.rows());
+    ASSERT_EQ(back.columns(), t.columns());
+    for (std::size_t r = 0; r < t.rows(); ++r)
+        EXPECT_EQ(back.row(r), t.row(r));
+}
+
+TEST(Trace, ReadCsvSkipsBlankLines)
+{
+    std::stringstream ss("a,b\n1,2\n\n3,4\n");
+    const Trace t = Trace::readCsv(ss);
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_DOUBLE_EQ(t.at(1, "b"), 4.0);
+}
+
+TEST(Trace, FileRoundTrip)
+{
+    const Trace t = makeRamp();
+    const std::string path =
+        testing::TempDir() + "/insure_trace_test.csv";
+    t.saveCsv(path);
+    const Trace back = Trace::loadCsv(path);
+    EXPECT_EQ(back.rows(), 3u);
+    EXPECT_DOUBLE_EQ(back.interpolate(15.0, "power_w"), 75.0);
+}
+
+TEST(TraceDeath, MismatchedRowIsFatal)
+{
+    Trace t({"a", "b"});
+    EXPECT_DEATH(t.append({1.0}), "row has");
+}
+
+TEST(TraceDeath, MissingColumnIsFatal)
+{
+    const Trace t = makeRamp();
+    EXPECT_DEATH(t.column("nope"), "no column");
+}
+
+TEST(TraceDeath, BadNumberIsFatal)
+{
+    std::stringstream ss("a,b\n1,xyz\n");
+    EXPECT_DEATH(Trace::readCsv(ss), "bad number");
+}
+
+TEST(TraceDeath, EmptyColumnsIsFatal)
+{
+    EXPECT_DEATH(Trace(std::vector<std::string>{}), "at least one");
+}
+
+} // namespace
+} // namespace insure::sim

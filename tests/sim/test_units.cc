@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Unit tests for the unit-conversion helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/units.hh"
+
+namespace insure::units {
+namespace {
+
+TEST(Units, HourConversionsRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(toHours(hours(3.5)), 3.5);
+    EXPECT_DOUBLE_EQ(hours(1.0), 3600.0);
+    EXPECT_DOUBLE_EQ(minutes(90.0), 5400.0);
+    EXPECT_DOUBLE_EQ(days(2.0), 172800.0);
+}
+
+TEST(Units, EnergyAndCharge)
+{
+    // 100 W for half an hour = 50 Wh.
+    EXPECT_DOUBLE_EQ(energyWh(100.0, 1800.0), 50.0);
+    // 10 A for 2 hours = 20 Ah.
+    EXPECT_DOUBLE_EQ(chargeAh(10.0, 7200.0), 20.0);
+}
+
+TEST(Units, CalendarConstantsConsistent)
+{
+    EXPECT_DOUBLE_EQ(secPerDay, 24.0 * secPerHour);
+    EXPECT_GT(daysPerYear, 365.0);
+    EXPECT_LT(daysPerYear, 366.0);
+}
+
+} // namespace
+} // namespace insure::units

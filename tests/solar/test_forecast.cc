@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the solar forecast and multi-day trace replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/units.hh"
+#include "solar/solar_source.hh"
+
+namespace insure::solar {
+namespace {
+
+sim::Trace
+twoDayTrace(double day1_peak, double day2_peak)
+{
+    sim::Trace t({"time_s", "power_w"});
+    for (double d = 0; d < 2; ++d) {
+        const double peak = d < 1 ? day1_peak : day2_peak;
+        for (double h = 0; h < 24; h += 0.5) {
+            const double x = (h - 7.0) / 13.0;
+            const double p =
+                (x > 0 && x < 1) ? peak * std::sin(M_PI * x) : 0.0;
+            t.append({d * units::secPerDay + h * 3600.0, p});
+        }
+    }
+    return t;
+}
+
+TEST(SolarForecast, TraceForecastAveragesTheFuture)
+{
+    SolarSource src(twoDayTrace(1000.0, 1000.0));
+    // Over midday the 4-hour forecast must be near the curve's top.
+    const Watts f = src.forecastAvg(11.5 * 3600.0, units::hours(4.0));
+    EXPECT_GT(f, 700.0);
+    EXPECT_LT(f, 1050.0);
+    // Night forecast of the next 4 hours is zero.
+    EXPECT_NEAR(src.forecastAvg(22.0 * 3600.0, units::hours(2.0)), 0.0,
+                1.0);
+}
+
+TEST(SolarForecast, ZeroHorizonReturnsCurrentPower)
+{
+    SolarSource src(twoDayTrace(500.0, 500.0));
+    src.step(12.0 * 3600.0, 1.0);
+    EXPECT_DOUBLE_EQ(src.forecastAvg(12.0 * 3600.0, 0.0),
+                     src.availablePower());
+}
+
+TEST(SolarForecast, ModelModeForecastTracksClearSky)
+{
+    SolarSource src(DayClass::Sunny, Rng(3));
+    src.step(10.0 * 3600.0, 10.0);
+    const Watts f = src.forecastAvg(10.0 * 3600.0, units::hours(4.0));
+    EXPECT_GT(f, 500.0);
+    EXPECT_LT(f, 1700.0);
+}
+
+TEST(SolarMultiDay, TraceReplaysDistinctDays)
+{
+    SolarSource src(twoDayTrace(1000.0, 200.0));
+    src.step(12.0 * 3600.0, 1.0);
+    const Watts day1 = src.availablePower();
+    src.step(units::secPerDay + 12.0 * 3600.0, 1.0);
+    const Watts day2 = src.availablePower();
+    EXPECT_GT(day1, 4.0 * day2);
+}
+
+TEST(SolarMultiDay, TraceWrapsAfterItsSpan)
+{
+    SolarSource src(twoDayTrace(1000.0, 200.0));
+    src.step(12.0 * 3600.0, 1.0);
+    const Watts day1 = src.availablePower();
+    // Day 3 wraps back onto day 1 of the two-day trace.
+    src.step(2.0 * units::secPerDay + 12.0 * 3600.0, 1.0);
+    EXPECT_NEAR(src.availablePower(), day1, 1.0);
+}
+
+TEST(SolarMultiDay, SingleDayTraceRepeatsDaily)
+{
+    sim::Trace one({"time_s", "power_w"});
+    for (double h = 0; h < 24; h += 1.0)
+        one.append({h * 3600.0, h >= 8 && h <= 18 ? 800.0 : 0.0});
+    SolarSource src(std::move(one));
+    src.step(12.0 * 3600.0, 1.0);
+    const Watts first = src.availablePower();
+    src.step(5.0 * units::secPerDay + 12.0 * 3600.0, 1.0);
+    EXPECT_NEAR(src.availablePower(), first, 1e-9);
+}
+
+} // namespace
+} // namespace insure::solar

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit and statistical tests for the irradiance model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/units.hh"
+#include "solar/irradiance.hh"
+
+namespace insure::solar {
+namespace {
+
+double
+dayEnergyFraction(DayClass day, std::uint64_t seed)
+{
+    IrradianceModel m(irradianceParamsFor(day), Rng(seed));
+    double integral = 0.0;
+    const Seconds dt = 30.0;
+    for (Seconds t = 0.0; t < units::secPerDay; t += dt) {
+        m.step(t, dt);
+        integral += m.value() * dt;
+    }
+    return integral / units::secPerDay;
+}
+
+TEST(Irradiance, ZeroAtNight)
+{
+    IrradianceModel m(irradianceParamsFor(DayClass::Sunny), Rng(1));
+    m.step(2.0 * 3600.0, 10.0);
+    EXPECT_DOUBLE_EQ(m.value(), 0.0);
+    m.step(23.0 * 3600.0, 10.0);
+    EXPECT_DOUBLE_EQ(m.value(), 0.0);
+}
+
+TEST(Irradiance, BoundedToUnitInterval)
+{
+    IrradianceModel m(irradianceParamsFor(DayClass::Cloudy), Rng(2));
+    for (Seconds t = 0.0; t < units::secPerDay; t += 10.0) {
+        m.step(t, 10.0);
+        EXPECT_GE(m.value(), 0.0);
+        EXPECT_LE(m.value(), 1.0);
+    }
+}
+
+TEST(Irradiance, ClearSkyPeaksNearMidday)
+{
+    const IrradianceParams p = irradianceParamsFor(DayClass::Sunny);
+    IrradianceModel m(p, Rng(3));
+    const Seconds midday = 0.5 * (p.sunrise + p.sunset);
+    EXPECT_NEAR(m.clearSky(midday), 1.0, 1e-9);
+    EXPECT_LT(m.clearSky(p.sunrise + 3600.0), 0.7);
+    EXPECT_DOUBLE_EQ(m.clearSky(p.sunrise), 0.0);
+    EXPECT_DOUBLE_EQ(m.clearSky(p.sunset), 0.0);
+}
+
+TEST(Irradiance, DayClassesOrderEnergy)
+{
+    // Averaged over several seeds: sunny > cloudy > rainy.
+    double sunny = 0.0;
+    double cloudy = 0.0;
+    double rainy = 0.0;
+    for (std::uint64_t s = 1; s <= 5; ++s) {
+        sunny += dayEnergyFraction(DayClass::Sunny, s);
+        cloudy += dayEnergyFraction(DayClass::Cloudy, s);
+        rainy += dayEnergyFraction(DayClass::Rainy, s);
+    }
+    EXPECT_GT(sunny, cloudy * 1.15);
+    EXPECT_GT(cloudy, rainy * 1.15);
+}
+
+TEST(Irradiance, DeterministicForSeed)
+{
+    IrradianceModel a(irradianceParamsFor(DayClass::Cloudy), Rng(9));
+    IrradianceModel b(irradianceParamsFor(DayClass::Cloudy), Rng(9));
+    for (Seconds t = 0.0; t < 6.0 * 3600.0; t += 10.0) {
+        a.step(t, 10.0);
+        b.step(t, 10.0);
+        EXPECT_DOUBLE_EQ(a.value(), b.value());
+    }
+}
+
+TEST(Irradiance, CloudyDaysFluctuateMoreThanSunny)
+{
+    auto variability = [](DayClass day) {
+        IrradianceModel m(irradianceParamsFor(day), Rng(4));
+        double sum = 0.0;
+        double prev = -1.0;
+        int n = 0;
+        for (Seconds t = 9 * 3600.0; t < 17 * 3600.0; t += 60.0) {
+            m.step(t, 60.0);
+            if (prev >= 0.0) {
+                sum += std::abs(m.value() - prev);
+                ++n;
+            }
+            prev = m.value();
+        }
+        return sum / n;
+    };
+    EXPECT_GT(variability(DayClass::Cloudy),
+              variability(DayClass::Sunny) * 1.5);
+}
+
+TEST(Irradiance, DayClassNames)
+{
+    EXPECT_STREQ(dayClassName(DayClass::Sunny), "sunny");
+    EXPECT_STREQ(dayClassName(DayClass::Cloudy), "cloudy");
+    EXPECT_STREQ(dayClassName(DayClass::Rainy), "rainy");
+}
+
+} // namespace
+} // namespace insure::solar

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the Perturb & Observe MPPT tracker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "solar/mppt.hh"
+
+namespace insure::solar {
+namespace {
+
+TEST(Mppt, ConvergesToMaximumPowerPoint)
+{
+    PvPanel panel;
+    MpptTracker mppt(panel);
+    for (int i = 0; i < 60; ++i)
+        mppt.step(1.0);
+    EXPECT_GT(mppt.trackingEfficiency(1.0), 0.98);
+}
+
+TEST(Mppt, OscillatesWithinOneStepAroundMpp)
+{
+    PvPanel panel;
+    MpptParams params;
+    MpptTracker mppt(panel, params);
+    for (int i = 0; i < 100; ++i)
+        mppt.step(0.8);
+    const Volts vmpp = panel.maxPowerVoltage(0.8);
+    for (int i = 0; i < 10; ++i) {
+        mppt.step(0.8);
+        EXPECT_NEAR(mppt.operatingVoltage(), vmpp,
+                    3.0 * params.stepVoltage);
+    }
+}
+
+TEST(Mppt, TracksIrradianceChanges)
+{
+    PvPanel panel;
+    MpptTracker mppt(panel);
+    for (int i = 0; i < 60; ++i)
+        mppt.step(1.0);
+    // Sudden drop: transiently mistracks, then recovers.
+    for (int i = 0; i < 60; ++i)
+        mppt.step(0.4);
+    EXPECT_GT(mppt.trackingEfficiency(0.4), 0.95);
+}
+
+TEST(Mppt, RecoversAfterNight)
+{
+    PvPanel panel;
+    MpptTracker mppt(panel);
+    for (int i = 0; i < 50; ++i)
+        mppt.step(1.0);
+    // Full night of zero irradiance.
+    for (int i = 0; i < 3600; ++i)
+        mppt.step(0.0);
+    EXPECT_DOUBLE_EQ(mppt.outputPower(), 0.0);
+    // Dawn: must resume producing power quickly.
+    Watts p = 0.0;
+    for (int i = 0; i < 60; ++i)
+        p = mppt.step(0.3);
+    EXPECT_GT(p, 0.8 * panel.maxPower(0.3));
+}
+
+TEST(Mppt, ResetRestoresInitialPoint)
+{
+    PvPanel panel;
+    MpptParams params;
+    MpptTracker mppt(panel, params);
+    for (int i = 0; i < 30; ++i)
+        mppt.step(1.0);
+    mppt.reset();
+    EXPECT_DOUBLE_EQ(mppt.operatingVoltage(),
+                     params.initialFraction *
+                         panel.params().openCircuitVoltage);
+    EXPECT_DOUBLE_EQ(mppt.outputPower(), 0.0);
+}
+
+TEST(Mppt, EfficiencyIsOneWhenNoPowerAvailable)
+{
+    PvPanel panel;
+    MpptTracker mppt(panel);
+    EXPECT_DOUBLE_EQ(mppt.trackingEfficiency(0.0), 1.0);
+}
+
+} // namespace
+} // namespace insure::solar

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the PV array electrical model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "solar/pv_panel.hh"
+
+namespace insure::solar {
+namespace {
+
+TEST(PvPanel, CalibratedToRatedPower)
+{
+    PvPanel p;
+    EXPECT_NEAR(p.maxPower(1.0), 1600.0, 1.0);
+}
+
+TEST(PvPanel, PowerScalesRoughlyWithIrradiance)
+{
+    PvPanel p;
+    const double half = p.maxPower(0.5);
+    EXPECT_GT(half, 0.40 * 1600.0);
+    EXPECT_LT(half, 0.55 * 1600.0);
+    EXPECT_DOUBLE_EQ(p.maxPower(0.0), 0.0);
+}
+
+TEST(PvPanel, MppVoltageBelowOpenCircuit)
+{
+    PvPanel p;
+    for (double g : {0.2, 0.5, 1.0}) {
+        const double vmpp = p.maxPowerVoltage(g);
+        EXPECT_GT(vmpp, 0.5 * p.params().openCircuitVoltage);
+        EXPECT_LT(vmpp, p.params().openCircuitVoltage);
+    }
+}
+
+TEST(PvPanel, CurrentMonotoneDecreasingInVoltage)
+{
+    PvPanel p;
+    double prev = 1e18;
+    for (double v = 0.0; v <= 120.0; v += 5.0) {
+        const double i = p.current(1.0, v);
+        EXPECT_LE(i, prev + 1e-9);
+        prev = i;
+    }
+}
+
+TEST(PvPanel, NoReverseConduction)
+{
+    PvPanel p;
+    EXPECT_DOUBLE_EQ(p.current(1.0, 200.0), 0.0);
+    EXPECT_DOUBLE_EQ(p.current(0.0, 50.0), 0.0);
+    EXPECT_DOUBLE_EQ(p.power(1.0, -5.0), 0.0);
+}
+
+TEST(PvPanel, PowerCurveIsUnimodal)
+{
+    PvPanel p;
+    const double vmpp = p.maxPowerVoltage(0.8);
+    const double pmax = p.power(0.8, vmpp);
+    EXPECT_LT(p.power(0.8, vmpp - 20.0), pmax);
+    EXPECT_LT(p.power(0.8, vmpp + 10.0), pmax);
+}
+
+TEST(PvPanel, ShortCircuitCurrentScalesWithIrradiance)
+{
+    PvPanel p;
+    EXPECT_NEAR(p.shortCircuitCurrent(0.5),
+                0.5 * p.shortCircuitCurrent(1.0), 1e-9);
+}
+
+TEST(PvPanelDeath, InvalidParamsAreFatal)
+{
+    PvPanelParams bad;
+    bad.ratedPower = -1.0;
+    EXPECT_DEATH(PvPanel{bad}, "invalid");
+}
+
+} // namespace
+} // namespace insure::solar

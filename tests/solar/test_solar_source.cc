@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the solar power supply front-end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/units.hh"
+#include "solar/solar_source.hh"
+
+namespace insure::solar {
+namespace {
+
+TEST(SolarSource, ModelModeProducesDaylightPower)
+{
+    SolarSource src(DayClass::Sunny, Rng(7));
+    Watts at_noon = 0.0;
+    Watts at_night = 0.0;
+    for (Seconds t = 0.0; t < units::secPerDay; t += 10.0) {
+        src.step(t, 10.0);
+        if (std::abs(t - 12.5 * 3600.0) < 5.0)
+            at_noon = src.availablePower();
+        if (std::abs(t - 2.0 * 3600.0) < 5.0)
+            at_night = src.availablePower();
+    }
+    EXPECT_GT(at_noon, 800.0);
+    EXPECT_DOUBLE_EQ(at_night, 0.0);
+    EXPECT_GT(src.energyOfferedWh(), 3000.0);
+}
+
+TEST(SolarSource, GeneratedTraceIsDeterministic)
+{
+    const sim::Trace a = SolarSource::generateDayTrace(DayClass::Cloudy, 5);
+    const sim::Trace b = SolarSource::generateDayTrace(DayClass::Cloudy, 5);
+    ASSERT_EQ(a.rows(), b.rows());
+    for (std::size_t r = 0; r < a.rows(); r += 100)
+        EXPECT_DOUBLE_EQ(a.row(r)[1], b.row(r)[1]);
+}
+
+TEST(SolarSource, TraceReplayMatchesTrace)
+{
+    sim::Trace t({"time_s", "power_w"});
+    t.append({0.0, 0.0});
+    t.append({100.0, 500.0});
+    t.append({200.0, 0.0});
+    SolarSource src(t);
+    src.step(50.0, 1.0);
+    EXPECT_NEAR(src.availablePower(), 250.0, 1e-9);
+    src.step(100.0, 1.0);
+    EXPECT_NEAR(src.availablePower(), 500.0, 1e-9);
+    EXPECT_DOUBLE_EQ(src.trackingEfficiency(), 1.0);
+    EXPECT_DOUBLE_EQ(src.irradiance(), 0.0);
+}
+
+TEST(SolarSource, TraceEnergyIntegration)
+{
+    sim::Trace t({"time_s", "power_w"});
+    t.append({0.0, 1000.0});
+    t.append({3600.0, 1000.0});
+    EXPECT_NEAR(SolarSource::traceEnergyWh(t), 1000.0, 1e-9);
+}
+
+TEST(SolarSource, ScaleTraceHitsEnergyTarget)
+{
+    sim::Trace t = SolarSource::generateDayTrace(DayClass::Sunny, 11);
+    const sim::Trace scaled =
+        SolarSource::scaleTraceToEnergy(t, 7900.0); // Table 6 sunny day
+    EXPECT_NEAR(SolarSource::traceEnergyWh(scaled), 7900.0, 1.0);
+}
+
+TEST(SolarSource, ScalePreservesShape)
+{
+    sim::Trace t({"time_s", "power_w"});
+    t.append({0.0, 100.0});
+    t.append({3600.0, 300.0});
+    const sim::Trace scaled = SolarSource::scaleTraceToEnergy(t, 400.0);
+    // Ratio between samples preserved.
+    EXPECT_NEAR(scaled.at(1, "power_w") / scaled.at(0, "power_w"), 3.0,
+                1e-9);
+}
+
+TEST(SolarSourceDeath, ZeroEnergyTraceCannotBeScaled)
+{
+    sim::Trace t({"time_s", "power_w"});
+    t.append({0.0, 0.0});
+    t.append({100.0, 0.0});
+    EXPECT_DEATH(SolarSource::scaleTraceToEnergy(t, 100.0), "zero");
+}
+
+TEST(SolarSourceDeath, TraceNeedsPowerColumn)
+{
+    sim::Trace t({"time_s", "watts"});
+    t.append({0.0, 1.0});
+    EXPECT_DEATH(SolarSource{t}, "power_w");
+}
+
+} // namespace
+} // namespace insure::solar

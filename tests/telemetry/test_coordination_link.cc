@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the coordination node's Modbus master.
+ */
+
+#include <gtest/gtest.h>
+
+#include "battery/battery_array.hh"
+#include "telemetry/coordination_link.hh"
+#include "telemetry/monitor.hh"
+
+namespace insure::telemetry {
+namespace {
+
+struct Rig {
+    battery::BatteryArray array{battery::BatteryParams{}, 3, 2, 0.8};
+    RegisterMap map{512};
+    SystemMonitor monitor{array, map};
+    ModbusSlave slave{1, map};
+    CoordinationLink link{slave, 1};
+
+    void
+    sample(const std::vector<Amperes> &currents = {})
+    {
+        monitor.sample(0.0, currents);
+    }
+};
+
+TEST(CoordinationLink, ReadsMatchMonitoredValues)
+{
+    Rig rig;
+    rig.array.cabinet(1).setSoc(0.42);
+    rig.array.cabinet(2).setMode(battery::UnitMode::Charging);
+    rig.sample({5.0, 0.0, 0.0});
+
+    const auto readings = rig.link.readAll(3);
+    ASSERT_EQ(readings.size(), 3u);
+    EXPECT_TRUE(readings[0].fresh);
+    EXPECT_NEAR(readings[0].current, 5.0, 0.05);
+    EXPECT_NEAR(readings[1].soc, 0.42, 1e-3);
+    EXPECT_NEAR(readings[0].voltage,
+                rig.array.cabinet(0).openCircuitVoltage(), 0.5);
+    EXPECT_EQ(readings[2].mode,
+              static_cast<std::uint16_t>(battery::UnitMode::Charging));
+    EXPECT_TRUE(readings[2].chargeRelayClosed);
+    EXPECT_FALSE(readings[2].dischargeRelayClosed);
+    EXPECT_EQ(rig.link.failures(), 0u);
+}
+
+TEST(CoordinationLink, CorruptedFramesYieldStaleNotWrongData)
+{
+    Rig rig;
+    rig.sample();
+    const auto good = rig.link.readCabinet(0);
+    ASSERT_TRUE(good.fresh);
+
+    // Change the plant, then corrupt the next exchange: the master must
+    // return the OLD snapshot flagged stale, never garbage.
+    rig.array.cabinet(0).setSoc(0.10);
+    rig.sample();
+    rig.link.corruptNextRequests(1, Rng(5));
+    const auto stale = rig.link.readCabinet(0);
+    EXPECT_FALSE(stale.fresh);
+    EXPECT_NEAR(stale.soc, good.soc, 1e-6);
+    EXPECT_EQ(rig.link.failures(), 1u);
+
+    // The following clean exchange recovers the new state.
+    const auto recovered = rig.link.readCabinet(0);
+    EXPECT_TRUE(recovered.fresh);
+    EXPECT_NEAR(recovered.soc, 0.10, 1e-3);
+}
+
+TEST(CoordinationLink, ThroughputRegisterRoundTrips)
+{
+    Rig rig;
+    rig.array.setAllModes(battery::UnitMode::Discharging);
+    rig.array.beginTick();
+    rig.array.discharge(720.0, 3600.0);
+    rig.sample();
+    const auto r = rig.link.readCabinet(0);
+    EXPECT_NEAR(r.throughputAh, rig.array.cabinet(0).dischargeThroughputAh(),
+                0.1);
+}
+
+TEST(CoordinationLink, CountsExchanges)
+{
+    Rig rig;
+    rig.sample();
+    rig.link.readAll(3);
+    rig.link.readAll(3);
+    EXPECT_EQ(rig.link.requests(), 6u);
+    EXPECT_EQ(rig.link.failures(), 0u);
+}
+
+TEST(CoordinationLink, SustainedNoiseDegradesGracefully)
+{
+    Rig rig;
+    rig.sample();
+    rig.link.readCabinet(0); // seed the last-good snapshot
+    rig.link.corruptNextRequests(50, Rng(9));
+    for (int i = 0; i < 50; ++i) {
+        const auto r = rig.link.readCabinet(0);
+        // Stale snapshots keep sane values throughout the outage.
+        EXPECT_GE(r.soc, 0.0);
+        EXPECT_LE(r.soc, 1.0);
+        EXPECT_GT(r.voltage, 10.0);
+    }
+    EXPECT_EQ(rig.link.failures(), 50u);
+    EXPECT_TRUE(rig.link.readCabinet(0).fresh);
+}
+
+} // namespace
+} // namespace insure::telemetry

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Unit tests for the daily operation log.
+ */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/daily_log.hh"
+
+namespace insure::telemetry {
+namespace {
+
+TEST(DailyLog, AccumulatesAndFinalizes)
+{
+    DailyLog log("sunny-opt");
+    log.addSolar(4000.0);
+    log.addSolar(3900.0);
+    log.addLoad(6500.0);
+    log.addEffective(5900.0);
+    log.countPowerCtrl(40);
+    log.countPowerCtrl(7);
+    log.finalize(16, 42, 23.7, 25.5, 0.93, 150.0);
+
+    const DailyLogSummary &s = log.summary();
+    EXPECT_EQ(s.label, "sunny-opt");
+    EXPECT_NEAR(s.solarBudgetKwh, 7.9, 1e-9);
+    EXPECT_NEAR(s.loadKwh, 6.5, 1e-9);
+    EXPECT_NEAR(s.effectiveKwh, 5.9, 1e-9);
+    EXPECT_EQ(s.powerCtrlTimes, 47u);
+    EXPECT_EQ(s.onOffCycles, 16u);
+    EXPECT_EQ(s.vmCtrlTimes, 42u);
+    EXPECT_DOUBLE_EQ(s.minBatteryVoltage, 23.7);
+    EXPECT_DOUBLE_EQ(s.endOfDayVoltage, 25.5);
+    EXPECT_DOUBLE_EQ(s.batteryVoltageSigma, 0.93);
+    EXPECT_DOUBLE_EQ(s.processedGb, 150.0);
+}
+
+TEST(DailyLog, EffectiveNeverExceedsLoadInPractice)
+{
+    DailyLog log("x");
+    log.addLoad(100.0);
+    log.addEffective(80.0);
+    log.finalize(0, 0, 0, 0, 0, 0);
+    EXPECT_LE(log.summary().effectiveKwh, log.summary().loadKwh);
+}
+
+} // namespace
+} // namespace insure::telemetry

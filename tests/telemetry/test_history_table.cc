@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Unit tests for the discharge history table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/history_table.hh"
+
+namespace insure::telemetry {
+namespace {
+
+TEST(HistoryTable, AccumulatesPerCabinet)
+{
+    DischargeHistoryTable t(3);
+    t.record(0, 5.0);
+    t.record(0, 2.5);
+    t.record(2, 1.0);
+    EXPECT_DOUBLE_EQ(t.total(0), 7.5);
+    EXPECT_DOUBLE_EQ(t.total(1), 0.0);
+    EXPECT_DOUBLE_EQ(t.total(2), 1.0);
+    EXPECT_DOUBLE_EQ(t.grandTotal(), 8.5);
+}
+
+TEST(HistoryTable, ImbalanceIsSpread)
+{
+    DischargeHistoryTable t(3);
+    EXPECT_DOUBLE_EQ(t.imbalance(), 0.0);
+    t.record(0, 10.0);
+    t.record(1, 4.0);
+    EXPECT_DOUBLE_EQ(t.imbalance(), 10.0);
+}
+
+TEST(HistoryTable, PeriodsResetWithoutLosingTotals)
+{
+    DischargeHistoryTable t(2);
+    t.record(0, 3.0);
+    t.beginPeriod();
+    EXPECT_DOUBLE_EQ(t.periodTotal(0), 0.0);
+    EXPECT_DOUBLE_EQ(t.total(0), 3.0);
+    t.record(0, 2.0);
+    EXPECT_DOUBLE_EQ(t.periodTotal(0), 2.0);
+    EXPECT_DOUBLE_EQ(t.total(0), 5.0);
+}
+
+TEST(HistoryTableDeath, InvalidUsagePanics)
+{
+    DischargeHistoryTable t(2);
+    EXPECT_DEATH(t.record(5, 1.0), "out of range");
+    EXPECT_DEATH(t.record(0, -1.0), "negative");
+    EXPECT_DEATH(DischargeHistoryTable(0), "at least one");
+}
+
+} // namespace
+} // namespace insure::telemetry

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the Modbus codec and the register-backed slave.
+ */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/modbus.hh"
+
+namespace insure::telemetry {
+namespace {
+
+TEST(ModbusCrc, KnownVector)
+{
+    // Classic reference vector: 01 03 00 00 00 0A -> CRC 0xCDC5
+    // (transmitted C5 CD).
+    const std::uint8_t frame[] = {0x01, 0x03, 0x00, 0x00, 0x00, 0x0A};
+    EXPECT_EQ(modbusCrc16(frame, sizeof(frame)), 0xCDC5);
+}
+
+TEST(ModbusCodec, ReadRequestRoundTrip)
+{
+    const auto frame = modbus::encodeReadRequest(2, 100, 8);
+    const auto req = modbus::decodeRequest(frame);
+    ASSERT_TRUE(req.has_value());
+    EXPECT_EQ(req->unit, 2);
+    EXPECT_EQ(req->function, ModbusFunction::ReadHoldingRegisters);
+    EXPECT_EQ(req->address, 100);
+    EXPECT_EQ(req->count, 8);
+}
+
+TEST(ModbusCodec, WriteSingleRoundTrip)
+{
+    const auto frame = modbus::encodeWriteSingleRequest(1, 42, 0xABCD);
+    const auto req = modbus::decodeRequest(frame);
+    ASSERT_TRUE(req.has_value());
+    EXPECT_EQ(req->function, ModbusFunction::WriteSingleRegister);
+    EXPECT_EQ(req->address, 42);
+    ASSERT_EQ(req->values.size(), 1u);
+    EXPECT_EQ(req->values[0], 0xABCD);
+}
+
+TEST(ModbusCodec, WriteMultipleRoundTrip)
+{
+    const std::vector<std::uint16_t> values{10, 20, 30};
+    const auto frame = modbus::encodeWriteMultipleRequest(1, 5, values);
+    const auto req = modbus::decodeRequest(frame);
+    ASSERT_TRUE(req.has_value());
+    EXPECT_EQ(req->function, ModbusFunction::WriteMultipleRegisters);
+    EXPECT_EQ(req->address, 5);
+    EXPECT_EQ(req->values, values);
+}
+
+TEST(ModbusCodec, CorruptedCrcRejected)
+{
+    auto frame = modbus::encodeReadRequest(1, 0, 4);
+    frame[2] ^= 0xFF;
+    EXPECT_FALSE(modbus::decodeRequest(frame).has_value());
+}
+
+TEST(ModbusCodec, TruncatedFrameRejected)
+{
+    auto frame = modbus::encodeReadRequest(1, 0, 4);
+    frame.pop_back();
+    EXPECT_FALSE(modbus::decodeRequest(frame).has_value());
+}
+
+TEST(ModbusSlave, ServesReads)
+{
+    RegisterMap map(32);
+    map.write(10, 111);
+    map.write(11, 222);
+    ModbusSlave slave(1, map);
+    const auto resp_frame =
+        slave.service(modbus::encodeReadRequest(1, 10, 2));
+    const auto resp = modbus::decodeResponse(resp_frame);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_FALSE(resp->isException());
+    EXPECT_EQ(resp->values, (std::vector<std::uint16_t>{111, 222}));
+    EXPECT_EQ(slave.requestsServed(), 1u);
+}
+
+TEST(ModbusSlave, ServesWrites)
+{
+    RegisterMap map(32);
+    ModbusSlave slave(1, map);
+    const auto resp1 = modbus::decodeResponse(
+        slave.service(modbus::encodeWriteSingleRequest(1, 4, 77)));
+    ASSERT_TRUE(resp1.has_value());
+    EXPECT_EQ(map.read(4), 77);
+
+    const auto resp2 = modbus::decodeResponse(slave.service(
+        modbus::encodeWriteMultipleRequest(1, 8, {5, 6, 7})));
+    ASSERT_TRUE(resp2.has_value());
+    EXPECT_EQ(resp2->count, 3);
+    EXPECT_EQ(map.read(9), 6);
+}
+
+TEST(ModbusSlave, IgnoresOtherUnits)
+{
+    RegisterMap map(32);
+    ModbusSlave slave(1, map);
+    EXPECT_TRUE(slave.service(modbus::encodeReadRequest(9, 0, 1)).empty());
+    EXPECT_EQ(slave.requestsServed(), 0u);
+}
+
+TEST(ModbusSlave, IgnoresCorruptFrames)
+{
+    RegisterMap map(32);
+    ModbusSlave slave(1, map);
+    auto frame = modbus::encodeReadRequest(1, 0, 1);
+    frame[3] ^= 0x55;
+    EXPECT_TRUE(slave.service(frame).empty());
+}
+
+TEST(ModbusSlave, AddressExceptions)
+{
+    RegisterMap map(16);
+    ModbusSlave slave(1, map);
+    const auto resp = modbus::decodeResponse(
+        slave.service(modbus::encodeReadRequest(1, 14, 8)));
+    ASSERT_TRUE(resp.has_value());
+    ASSERT_TRUE(resp->isException());
+    EXPECT_EQ(*resp->exception, ModbusException::IllegalDataAddress);
+    EXPECT_EQ(slave.exceptions(), 1u);
+}
+
+TEST(ModbusSlave, CountExceptions)
+{
+    RegisterMap map(16);
+    ModbusSlave slave(1, map);
+    const auto resp = modbus::decodeResponse(
+        slave.service(modbus::encodeReadRequest(1, 0, 0)));
+    ASSERT_TRUE(resp.has_value());
+    ASSERT_TRUE(resp->isException());
+    EXPECT_EQ(*resp->exception, ModbusException::IllegalDataValue);
+}
+
+TEST(ModbusSlave, UnknownFunctionException)
+{
+    RegisterMap map(16);
+    ModbusSlave slave(1, map);
+    // Hand-build a function-0x55 frame with a valid CRC.
+    std::vector<std::uint8_t> frame{1, 0x55, 0, 0, 0, 1, 0, 0};
+    frame.resize(6);
+    const std::uint16_t crc = modbusCrc16(frame.data(), frame.size());
+    frame.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+    frame.push_back(static_cast<std::uint8_t>(crc >> 8));
+    const auto resp = modbus::decodeResponse(slave.service(frame));
+    ASSERT_TRUE(resp.has_value());
+    ASSERT_TRUE(resp->isException());
+    EXPECT_EQ(*resp->exception, ModbusException::IllegalFunction);
+}
+
+/** Property sweep: read responses round-trip for many block sizes. */
+class ModbusReadSweep : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(ModbusReadSweep, ReadBlockRoundTrip)
+{
+    const int count = GetParam();
+    RegisterMap map(256);
+    for (int i = 0; i < count; ++i)
+        map.write(static_cast<std::uint16_t>(i),
+                  static_cast<std::uint16_t>(i * 3 + 1));
+    ModbusSlave slave(1, map);
+    const auto resp = modbus::decodeResponse(slave.service(
+        modbus::encodeReadRequest(1, 0,
+                                  static_cast<std::uint16_t>(count))));
+    ASSERT_TRUE(resp.has_value());
+    ASSERT_EQ(resp->values.size(), static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        EXPECT_EQ(resp->values[i], i * 3 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ModbusReadSweep,
+                         testing::Values(1, 2, 16, 64, 125));
+
+} // namespace
+} // namespace insure::telemetry

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the system monitor's register-mediated sensing path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/monitor.hh"
+
+namespace insure::telemetry {
+namespace {
+
+TEST(Monitor, PublishesCabinetCount)
+{
+    battery::BatteryArray array(battery::BatteryParams{}, 3, 2, 0.8);
+    RegisterMap map(512);
+    SystemMonitor mon(array, map);
+    EXPECT_EQ(map.read(RegisterLayout::cabinetCount), 3);
+}
+
+TEST(Monitor, SampledSocMatchesTruthWithinQuantisation)
+{
+    battery::BatteryArray array(battery::BatteryParams{}, 3, 2, 0.8);
+    array.cabinet(1).setSoc(0.43);
+    RegisterMap map(512);
+    SystemMonitor mon(array, map);
+    mon.sample(0.0, {});
+    EXPECT_NEAR(mon.sensedSoc(0), 0.8, 1e-3);
+    EXPECT_NEAR(mon.sensedSoc(1), 0.43, 1e-3);
+}
+
+TEST(Monitor, SampledVoltageIsStringSum)
+{
+    battery::BatteryArray array(battery::BatteryParams{}, 3, 2, 0.8);
+    RegisterMap map(512);
+    SystemMonitor mon(array, map);
+    mon.sample(0.0, {0.0, 0.0, 0.0});
+    EXPECT_NEAR(mon.sensedVoltage(0),
+                array.cabinet(0).openCircuitVoltage(), 0.05);
+}
+
+TEST(Monitor, CurrentAffectsSampledVoltage)
+{
+    battery::BatteryArray array(battery::BatteryParams{}, 3, 2, 0.8);
+    RegisterMap map(512);
+    SystemMonitor mon(array, map);
+    mon.sample(0.0, {15.0, 0.0, 0.0});
+    EXPECT_LT(mon.sensedVoltage(0), mon.sensedVoltage(1));
+    EXPECT_NEAR(mon.sensedCurrent(0), 15.0, 0.05);
+    EXPECT_NEAR(mon.sensedCurrent(1), 0.0, 0.05);
+}
+
+TEST(Monitor, ModeAndRelayRegisters)
+{
+    battery::BatteryArray array(battery::BatteryParams{}, 3, 2, 0.8);
+    array.cabinet(2).setMode(battery::UnitMode::Charging);
+    RegisterMap map(512);
+    SystemMonitor mon(array, map);
+    mon.sample(0.0, {});
+    using RL = RegisterLayout;
+    EXPECT_EQ(map.read(RL::cabinetReg(2, RL::mode)),
+              static_cast<std::uint16_t>(battery::UnitMode::Charging));
+    EXPECT_EQ(map.read(RL::cabinetReg(2, RL::chargeRelay)), 1);
+    EXPECT_EQ(map.read(RL::cabinetReg(2, RL::dischargeRelay)), 0);
+}
+
+TEST(Monitor, TracksMinimumVoltageAndSigma)
+{
+    battery::BatteryArray array(battery::BatteryParams{}, 3, 2, 0.9);
+    RegisterMap map(512);
+    SystemMonitor mon(array, map);
+    mon.sample(0.0, {});
+    const double v_full = mon.minUnitVoltage();
+    array.cabinet(0).setSoc(0.3);
+    mon.sample(1.0, {});
+    EXPECT_LT(mon.minUnitVoltage(), v_full);
+    EXPECT_GT(mon.voltageSigma(), 0.0);
+    EXPECT_EQ(mon.sweeps(), 2u);
+}
+
+} // namespace
+} // namespace insure::telemetry

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the PLC register map.
+ */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/register_map.hh"
+
+namespace insure::telemetry {
+namespace {
+
+TEST(RegisterMap, ReadWriteSingle)
+{
+    RegisterMap map(16);
+    map.write(3, 0xBEEF);
+    EXPECT_EQ(map.read(3), 0xBEEF);
+    EXPECT_EQ(map.read(4), 0);
+}
+
+TEST(RegisterMap, BlockOperations)
+{
+    RegisterMap map(16);
+    map.writeBlock(4, {1, 2, 3});
+    EXPECT_EQ(map.readBlock(4, 3), (std::vector<std::uint16_t>{1, 2, 3}));
+    EXPECT_TRUE(map.validRange(13, 3));
+    EXPECT_FALSE(map.validRange(14, 3));
+}
+
+TEST(RegisterMap, ScaledVoltage)
+{
+    RegisterMap map(16);
+    map.writeVolts(0, 25.37);
+    EXPECT_NEAR(map.readVolts(0), 25.37, 0.005);
+}
+
+TEST(RegisterMap, ScaledCurrentHandlesSign)
+{
+    RegisterMap map(16);
+    map.writeAmps(0, -12.5);
+    EXPECT_NEAR(map.readAmps(0), -12.5, 0.005);
+    map.writeAmps(0, 17.25);
+    EXPECT_NEAR(map.readAmps(0), 17.25, 0.005);
+}
+
+TEST(RegisterMap, ScaledSoc)
+{
+    RegisterMap map(16);
+    map.writeSoc(0, 0.8731);
+    EXPECT_NEAR(map.readSoc(0), 0.8731, 1e-4);
+    map.writeSoc(0, 1.7); // clamps
+    EXPECT_NEAR(map.readSoc(0), 1.0, 1e-9);
+}
+
+TEST(RegisterMap, CabinetLayoutAddressing)
+{
+    using RL = RegisterLayout;
+    EXPECT_EQ(RL::cabinetReg(0, RL::voltage), 100);
+    EXPECT_EQ(RL::cabinetReg(1, RL::voltage), 108);
+    EXPECT_EQ(RL::cabinetReg(2, RL::soc), 118);
+    // Blocks never overlap.
+    EXPECT_GT(RL::cabinetReg(1, 0),
+              RL::cabinetReg(0, RL::perCabinet - 1));
+}
+
+TEST(RegisterMapDeath, OutOfRangeAccessIsFatal)
+{
+    RegisterMap map(8);
+    EXPECT_DEATH(map.read(8), "invalid address");
+    EXPECT_DEATH(map.write(9, 1), "invalid address");
+    EXPECT_DEATH(map.readBlock(6, 4), "invalid block");
+    EXPECT_DEATH(RegisterMap(0), "size");
+}
+
+} // namespace
+} // namespace insure::telemetry

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Unit tests for the analog transducer + ADC model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/transducer.hh"
+
+namespace insure::telemetry {
+namespace {
+
+TEST(Transducer, RoundTripWithinResolution)
+{
+    const Transducer td(0.0, 50.0, 12);
+    for (double v = 0.0; v <= 50.0; v += 0.37) {
+        EXPECT_NEAR(td.measure(v), v, td.resolution() / 2.0 + 1e-12);
+    }
+}
+
+TEST(Transducer, ClipsOutOfRange)
+{
+    const Transducer td(0.0, 50.0, 12);
+    EXPECT_DOUBLE_EQ(td.measure(-10.0), 0.0);
+    EXPECT_DOUBLE_EQ(td.measure(60.0), 50.0);
+}
+
+TEST(Transducer, ResolutionMatchesBits)
+{
+    const Transducer td(0.0, 50.0, 12);
+    EXPECT_NEAR(td.resolution(), 50.0 / 4095.0, 1e-12);
+    const Transducer coarse(0.0, 50.0, 8);
+    EXPECT_NEAR(coarse.resolution(), 50.0 / 255.0, 1e-12);
+}
+
+TEST(Transducer, BipolarCurrentChannel)
+{
+    const Transducer td = Transducer::currentChannel();
+    EXPECT_NEAR(td.measure(-20.0), -20.0, td.resolution());
+    EXPECT_NEAR(td.measure(0.0), 0.0, td.resolution());
+    EXPECT_NEAR(td.measure(35.0), 35.0, td.resolution());
+}
+
+TEST(Transducer, VoltageChannelCoversBatteryRange)
+{
+    const Transducer td = Transducer::voltageChannel();
+    // Per-unit lead-acid voltages (11-15 V) resolve to ~0.01 V.
+    EXPECT_LT(td.resolution(), 0.02);
+    EXPECT_NEAR(td.measure(12.65), 12.65, td.resolution());
+}
+
+TEST(Transducer, EncodeDecodeAreInverse)
+{
+    const Transducer td(0.0, 100.0, 10);
+    for (std::uint16_t code : {0u, 100u, 512u, 1023u})
+        EXPECT_EQ(td.encode(td.decode(static_cast<std::uint16_t>(code))),
+                  code);
+}
+
+TEST(TransducerDeath, InvalidConfigIsFatal)
+{
+    EXPECT_DEATH(Transducer(5.0, 5.0, 12), "invalid range");
+    EXPECT_DEATH(Transducer(0.0, 1.0, 0), "adc_bits");
+    EXPECT_DEATH(Transducer(0.0, 1.0, 17), "adc_bits");
+}
+
+} // namespace
+} // namespace insure::telemetry

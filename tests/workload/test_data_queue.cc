@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the FIFO data queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/data_queue.hh"
+
+namespace insure::workload {
+namespace {
+
+TEST(DataQueue, StartsEmpty)
+{
+    DataQueue q;
+    EXPECT_DOUBLE_EQ(q.backlog(), 0.0);
+    EXPECT_EQ(q.jobsPending(), 0u);
+    EXPECT_DOUBLE_EQ(q.process(10.0, 5.0), 0.0);
+}
+
+TEST(DataQueue, ArrivalsAccumulateBacklog)
+{
+    DataQueue q;
+    q.arrive(0.0, 100.0);
+    q.arrive(5.0, 50.0);
+    EXPECT_DOUBLE_EQ(q.backlog(), 150.0);
+    EXPECT_DOUBLE_EQ(q.arrivedGb(), 150.0);
+    EXPECT_EQ(q.jobsPending(), 2u);
+}
+
+TEST(DataQueue, FifoCompletionWithDelays)
+{
+    DataQueue q;
+    q.arrive(0.0, 10.0);
+    q.arrive(0.0, 10.0);
+    EXPECT_DOUBLE_EQ(q.process(100.0, 10.0), 10.0); // completes job 1
+    EXPECT_EQ(q.jobsCompleted(), 1u);
+    EXPECT_DOUBLE_EQ(q.meanDelay(), 100.0);
+    EXPECT_DOUBLE_EQ(q.process(300.0, 10.0), 10.0); // completes job 2
+    EXPECT_DOUBLE_EQ(q.meanDelay(), 200.0);
+    EXPECT_DOUBLE_EQ(q.maxDelay(), 300.0);
+}
+
+TEST(DataQueue, PartialProcessingKeepsJobPending)
+{
+    DataQueue q;
+    q.arrive(0.0, 10.0);
+    q.process(1.0, 4.0);
+    EXPECT_EQ(q.jobsPending(), 1u);
+    EXPECT_EQ(q.jobsCompleted(), 0u);
+    EXPECT_DOUBLE_EQ(q.backlog(), 6.0);
+    EXPECT_DOUBLE_EQ(q.processedGb(), 4.0);
+    EXPECT_DOUBLE_EQ(q.completedGb(), 0.0);
+}
+
+TEST(DataQueue, ProcessingSpansJobs)
+{
+    DataQueue q;
+    q.arrive(0.0, 5.0);
+    q.arrive(0.0, 5.0);
+    q.arrive(0.0, 5.0);
+    EXPECT_DOUBLE_EQ(q.process(10.0, 12.0), 12.0);
+    EXPECT_EQ(q.jobsCompleted(), 2u);
+    EXPECT_DOUBLE_EQ(q.backlog(), 3.0);
+}
+
+TEST(DataQueue, OldestAgeTracksHead)
+{
+    DataQueue q;
+    EXPECT_DOUBLE_EQ(q.oldestAge(100.0), 0.0);
+    q.arrive(10.0, 5.0);
+    q.arrive(50.0, 5.0);
+    EXPECT_DOUBLE_EQ(q.oldestAge(100.0), 90.0);
+    q.process(100.0, 5.0);
+    EXPECT_DOUBLE_EQ(q.oldestAge(100.0), 50.0);
+}
+
+TEST(DataQueue, ZeroSizeArrivalIgnored)
+{
+    DataQueue q;
+    q.arrive(0.0, 0.0);
+    q.arrive(0.0, -5.0);
+    EXPECT_EQ(q.jobsPending(), 0u);
+}
+
+TEST(DataQueue, EffectiveDelayIncludesPendingJobs)
+{
+    DataQueue q;
+    q.arrive(0.0, 10.0);
+    q.arrive(0.0, 10.0);
+    q.process(100.0, 10.0); // job 1 done at t=100
+    // At t=500: finished job contributes 100, pending job its age 500.
+    EXPECT_DOUBLE_EQ(q.meanEffectiveDelay(500.0), 300.0);
+    EXPECT_DOUBLE_EQ(q.meanDelay(), 100.0);
+}
+
+TEST(DataQueue, RequeueReturnsLostWorkToHead)
+{
+    DataQueue q;
+    q.arrive(0.0, 10.0);
+    q.process(5.0, 6.0);
+    EXPECT_DOUBLE_EQ(q.processedGb(), 6.0);
+    q.requeue(10.0, 2.0);
+    EXPECT_DOUBLE_EQ(q.processedGb(), 4.0);
+    EXPECT_DOUBLE_EQ(q.backlog(), 6.0);
+    EXPECT_DOUBLE_EQ(q.lostGb(), 2.0);
+    // Requeue never exceeds what was processed.
+    q.requeue(11.0, 100.0);
+    EXPECT_DOUBLE_EQ(q.processedGb(), 0.0);
+    EXPECT_DOUBLE_EQ(q.lostGb(), 6.0);
+}
+
+TEST(DataQueue, ConservationInvariant)
+{
+    DataQueue q;
+    double in = 0.0;
+    for (int i = 0; i < 50; ++i) {
+        q.arrive(i, 1.0 + (i % 7));
+        in += 1.0 + (i % 7);
+        q.process(i + 0.5, 2.5);
+    }
+    EXPECT_NEAR(q.processedGb() + q.backlog(), in, 1e-9);
+    EXPECT_NEAR(q.arrivedGb(), in, 1e-9);
+}
+
+} // namespace
+} // namespace insure::workload

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for workload profiles and their paper calibrations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/profiles.hh"
+
+namespace insure::workload {
+namespace {
+
+TEST(Profiles, SeismicMatchesTable2)
+{
+    const WorkloadProfile p = seismicProfile();
+    EXPECT_EQ(p.kind, WorkloadKind::Batch);
+    // 4 VMs sustain 16.5 GB/h (Table 2).
+    EXPECT_NEAR(4.0 * p.xeonGbPerVmHour, 16.5, 0.1);
+}
+
+TEST(Profiles, VideoMatchesTable3)
+{
+    const WorkloadProfile p = videoProfile();
+    EXPECT_EQ(p.kind, WorkloadKind::Stream);
+    // 8 VMs absorb the 0.21 GB/min stream (12.6 GB/h).
+    EXPECT_GE(8.0 * p.xeonGbPerVmHour, 12.6);
+}
+
+TEST(Profiles, DedupMatchesTable7)
+{
+    const WorkloadProfile p = microBenchmark("dedup");
+    // Xeon: 2.6 GB in 97 s -> ~96.5 GB/h per node (2 VMs).
+    EXPECT_NEAR(2.0 * p.xeonGbPerVmHour, 96.5, 2.0);
+    // Low-power: 2.6 GB in 48 s -> ~195 GB/h per node.
+    EXPECT_NEAR(2.0 * p.lowPowerGbPerVmHour, 195.0, 3.0);
+}
+
+TEST(Profiles, Table7EnergyEfficiencyShape)
+{
+    // Data processed per kWh: the low-power node wins by an order of
+    // magnitude on dedup (Table 7: 277 GB/kWh vs 4.4 TB/kWh).
+    const WorkloadProfile p = microBenchmark("dedup");
+    const double xeon_w = 280.0 + 170.0 * p.xeonPowerUtil;
+    const double lp_w = 18.0 + 28.0 * p.lowPowerPowerUtil;
+    const double xeon_gb_per_kwh =
+        2.0 * p.xeonGbPerVmHour / (xeon_w / 1000.0);
+    const double lp_gb_per_kwh =
+        2.0 * p.lowPowerGbPerVmHour / (lp_w / 1000.0);
+    EXPECT_NEAR(xeon_gb_per_kwh, 277.0, 30.0);
+    EXPECT_GT(lp_gb_per_kwh, 10.0 * xeon_gb_per_kwh);
+}
+
+TEST(Profiles, NodeTypeLookup)
+{
+    const WorkloadProfile p = microBenchmark("x264");
+    EXPECT_DOUBLE_EQ(p.gbPerVmHour("xeon"), p.xeonGbPerVmHour);
+    EXPECT_DOUBLE_EQ(p.gbPerVmHour("lowpower"), p.lowPowerGbPerVmHour);
+    EXPECT_DOUBLE_EQ(p.powerUtil("xeon"), p.xeonPowerUtil);
+    EXPECT_DOUBLE_EQ(p.powerUtil("lowpower"), p.lowPowerPowerUtil);
+}
+
+TEST(Profiles, SuiteMatchesPaperFigures)
+{
+    const auto suite = microBenchmarkSuite();
+    ASSERT_EQ(suite.size(), 6u);
+    // The set used in Figs. 17-19.
+    const std::vector<std::string> expected = {"x264", "vips",  "sort",
+                                               "graph", "dedup",
+                                               "terasort"};
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(suite[i].name, expected[i]);
+}
+
+TEST(Profiles, AllBenchmarksHavePositiveRates)
+{
+    for (const char *name : {"dedup", "x264", "bayesian", "vips", "graph",
+                             "wordcount", "sort", "terasort"}) {
+        const WorkloadProfile p = microBenchmark(name);
+        EXPECT_GT(p.xeonGbPerVmHour, 0.0) << name;
+        EXPECT_GT(p.lowPowerGbPerVmHour, 0.0) << name;
+        EXPECT_GT(p.xeonPowerUtil, 0.0) << name;
+        EXPECT_LE(p.xeonPowerUtil, 1.0) << name;
+        EXPECT_LE(p.lowPowerPowerUtil, 1.0) << name;
+    }
+}
+
+TEST(Profiles, KindNames)
+{
+    EXPECT_STREQ(workloadKindName(WorkloadKind::Batch), "batch");
+    EXPECT_STREQ(workloadKindName(WorkloadKind::Stream), "stream");
+}
+
+TEST(ProfilesDeath, UnknownBenchmarkIsFatal)
+{
+    EXPECT_DEATH(microBenchmark("nonexistent"), "unknown");
+}
+
+} // namespace
+} // namespace insure::workload

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the batch and stream arrival generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/units.hh"
+#include "workload/sources.hh"
+
+namespace insure::workload {
+namespace {
+
+TEST(BatchSource, FiresAtScheduledTimes)
+{
+    BatchSource::Params p;
+    p.jobSize = 114.0;
+    p.dailyTimes = {units::hours(8.5), units::hours(16.5)};
+    BatchSource src(p, Rng(1));
+    DataQueue q;
+
+    src.step(0.0, units::hours(8.0), q);
+    EXPECT_EQ(q.jobsPending(), 0u);
+    src.step(units::hours(8.0), units::hours(9.0), q);
+    EXPECT_EQ(q.jobsPending(), 1u);
+    EXPECT_DOUBLE_EQ(q.backlog(), 114.0);
+    src.step(units::hours(9.0), units::hours(24.0), q);
+    EXPECT_EQ(q.jobsPending(), 2u);
+}
+
+TEST(BatchSource, SpansMultipleDays)
+{
+    BatchSource::Params p;
+    p.dailyTimes = {units::hours(12.0)};
+    BatchSource src(p, Rng(1));
+    DataQueue q;
+    src.step(0.0, units::days(3.0), q);
+    EXPECT_EQ(q.jobsPending(), 3u);
+}
+
+TEST(BatchSource, IntervalBoundariesAreHalfOpen)
+{
+    BatchSource::Params p;
+    p.dailyTimes = {100.0};
+    BatchSource src(p, Rng(1));
+    DataQueue q;
+    src.step(0.0, 100.0, q); // (0, 100] includes the arrival
+    EXPECT_EQ(q.jobsPending(), 1u);
+    src.step(100.0, 200.0, q); // must not re-fire
+    EXPECT_EQ(q.jobsPending(), 1u);
+}
+
+TEST(BatchSource, DailyVolume)
+{
+    BatchSource::Params p;
+    p.jobSize = 114.0;
+    p.dailyTimes = {1.0, 2.0};
+    BatchSource src(p, Rng(1));
+    EXPECT_DOUBLE_EQ(src.dailyVolume(), 228.0);
+}
+
+TEST(BatchSource, JitterVariesJobSizes)
+{
+    BatchSource::Params p;
+    p.jobSize = 100.0;
+    p.sizeJitter = 0.2;
+    p.dailyTimes = {units::hours(12.0)};
+    BatchSource src(p, Rng(5));
+    DataQueue q;
+    src.step(0.0, units::days(20.0), q);
+    EXPECT_EQ(q.jobsPending(), 20u);
+    // Sizes should not all be identical.
+    EXPECT_NE(q.backlog(), 2000.0);
+    EXPECT_NEAR(q.backlog(), 2000.0, 500.0);
+}
+
+TEST(StreamSource, ProducesChunksAtRate)
+{
+    StreamSource::Params p;
+    p.gbPerMinute = 0.21;
+    p.chunkPeriod = 60.0;
+    StreamSource src(p, Rng(1));
+    DataQueue q;
+    src.step(0.0, units::hours(1.0), q);
+    // One chunk per minute, 0.21 GB each (chunk at t=0 included).
+    EXPECT_NEAR(q.backlog(), 0.21 * 60.0, 0.43);
+    EXPECT_GE(q.jobsPending(), 60u);
+}
+
+TEST(StreamSource, RespectsActiveWindow)
+{
+    StreamSource::Params p;
+    p.gbPerMinute = 1.0;
+    p.chunkPeriod = 60.0;
+    p.windowStart = units::hours(8.0);
+    p.windowEnd = units::hours(10.0);
+    StreamSource src(p, Rng(1));
+    DataQueue q;
+    src.step(0.0, units::days(1.0), q);
+    EXPECT_NEAR(q.backlog(), 120.0, 2.0);
+    EXPECT_DOUBLE_EQ(src.dailyVolume(), 120.0);
+}
+
+TEST(StreamSource, ContinuesAcrossCalls)
+{
+    StreamSource::Params p;
+    p.gbPerMinute = 1.0;
+    StreamSource src(p, Rng(1));
+    DataQueue q;
+    src.step(0.0, 90.0, q);
+    const auto first = q.jobsPending();
+    src.step(90.0, 180.0, q);
+    EXPECT_GT(q.jobsPending(), first);
+    // No duplicates: ~1 chunk per minute overall.
+    EXPECT_LE(q.jobsPending(), 4u);
+}
+
+TEST(StreamSourceDeath, InvalidChunkPeriodIsFatal)
+{
+    StreamSource::Params p;
+    p.chunkPeriod = 0.0;
+    EXPECT_DEATH(StreamSource(p, Rng(1)), "chunkPeriod");
+}
+
+} // namespace
+} // namespace insure::workload
