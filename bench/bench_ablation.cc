@@ -13,14 +13,14 @@ using sim::TextTable;
 
 namespace {
 
-core::Metrics
-runVariant(const core::InsureParams &params)
+core::ExperimentConfig
+variantConfig(const core::InsureParams &params)
 {
     core::ExperimentConfig cfg = core::seismicExperiment();
     cfg.day = solar::DayClass::Cloudy;
     cfg.targetDailyKwh = 5.9;
     cfg.insure = params;
-    return core::runExperiment(cfg).metrics;
+    return cfg;
 }
 
 } // namespace
@@ -56,8 +56,14 @@ main()
 
     TextTable t({"variant", "uptime", "GB/h", "e-Buffer avail",
                  "life (y)", "GB/Ah", "imbalance Ah", "trips+emerg"});
-    for (const auto &v : variants) {
-        const core::Metrics m = runVariant(v.params);
+    std::vector<core::RunSpec> specs;
+    for (const auto &v : variants)
+        specs.push_back({v.name, variantConfig(v.params)});
+    const auto runs = bench::runBatch(std::move(specs));
+
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        const auto &v = variants[i];
+        const core::Metrics &m = runs[i].result.metrics;
         t.addRow({v.name, TextTable::percent(m.uptime),
                   TextTable::num(m.throughputGbPerHour, 2),
                   TextTable::percent(m.eBufferAvailability),

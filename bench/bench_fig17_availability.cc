@@ -15,15 +15,14 @@ main()
     bench::header("Figure 17", "In-situ service availability improvement");
 
     std::vector<std::pair<std::string, std::pair<double, double>>> rows;
-    for (const std::string &name : bench::microBenchNames()) {
-        const auto high = bench::runMicroComparison(name, 1114.0);
-        const auto low = bench::runMicroComparison(name, 427.0);
+    for (const auto &r : bench::runMicroSweep(bench::microBenchNames())) {
         rows.emplace_back(
-            name,
-            std::make_pair(core::improvement(high.insure.metrics.uptime,
-                                             high.baseline.metrics.uptime),
-                           core::improvement(low.insure.metrics.uptime,
-                                             low.baseline.metrics.uptime)));
+            r.name,
+            std::make_pair(
+                core::improvement(r.high.insure.metrics.uptime,
+                                  r.high.baseline.metrics.uptime),
+                core::improvement(r.low.insure.metrics.uptime,
+                                  r.low.baseline.metrics.uptime)));
     }
     bench::printImprovementPanel(
         "Service availability improvement (InSURE vs baseline)", rows);

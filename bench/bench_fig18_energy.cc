@@ -15,17 +15,16 @@ main()
     bench::header("Figure 18", "e-Buffer energy availability improvement");
 
     std::vector<std::pair<std::string, std::pair<double, double>>> rows;
-    for (const std::string &name : bench::microBenchNames()) {
-        const auto high = bench::runMicroComparison(name, 1114.0);
-        const auto low = bench::runMicroComparison(name, 427.0);
+    for (const auto &r : bench::runMicroSweep(bench::microBenchNames())) {
         rows.emplace_back(
-            name, std::make_pair(
-                      core::improvement(
-                          high.insure.metrics.eBufferAvailability,
-                          high.baseline.metrics.eBufferAvailability),
-                      core::improvement(
-                          low.insure.metrics.eBufferAvailability,
-                          low.baseline.metrics.eBufferAvailability)));
+            r.name,
+            std::make_pair(
+                core::improvement(
+                    r.high.insure.metrics.eBufferAvailability,
+                    r.high.baseline.metrics.eBufferAvailability),
+                core::improvement(
+                    r.low.insure.metrics.eBufferAvailability,
+                    r.low.baseline.metrics.eBufferAvailability)));
     }
     bench::printImprovementPanel(
         "Average stored energy improvement (InSURE vs baseline)", rows);

@@ -15,17 +15,16 @@ main()
     bench::header("Figure 19", "Expected e-Buffer service life improvement");
 
     std::vector<std::pair<std::string, std::pair<double, double>>> rows;
-    for (const std::string &name : bench::microBenchNames()) {
-        const auto high = bench::runMicroComparison(name, 1114.0);
-        const auto low = bench::runMicroComparison(name, 427.0);
+    for (const auto &r : bench::runMicroSweep(bench::microBenchNames())) {
         rows.emplace_back(
-            name, std::make_pair(
-                      core::improvement(
-                          high.insure.metrics.workNormalizedLifeYears,
-                          high.baseline.metrics.workNormalizedLifeYears),
-                      core::improvement(
-                          low.insure.metrics.workNormalizedLifeYears,
-                          low.baseline.metrics.workNormalizedLifeYears)));
+            r.name,
+            std::make_pair(
+                core::improvement(
+                    r.high.insure.metrics.workNormalizedLifeYears,
+                    r.high.baseline.metrics.workNormalizedLifeYears),
+                core::improvement(
+                    r.low.insure.metrics.workNormalizedLifeYears,
+                    r.low.baseline.metrics.workNormalizedLifeYears)));
     }
     bench::printImprovementPanel(
         "Service-life improvement at the workload's data volume "

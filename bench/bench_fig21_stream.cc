@@ -14,18 +14,23 @@ main()
 {
     bench::header("Figure 21", "Full-system results: in-situ data stream");
 
-    for (const double watts : {1000.0, 500.0}) {
+    const std::vector<double> levels = {1000.0, 500.0};
+    std::vector<core::ExperimentConfig> cfgs;
+    for (const double watts : levels) {
         core::ExperimentConfig cfg = core::videoExperiment();
         cfg.day = watts > 700.0 ? solar::DayClass::Sunny
                                 : solar::DayClass::Cloudy;
         cfg.scaleToAvgWatts = watts;
-        const core::ComparisonResult cmp = core::runComparison(cfg);
+        cfgs.push_back(cfg);
+    }
+    const auto cmps = bench::runComparisonBatch(std::move(cfgs));
+    for (std::size_t i = 0; i < levels.size(); ++i) {
         char title[96];
         std::snprintf(title, sizeof(title),
                       "%s solar generation (%.0f W avg)",
-                      watts > 700.0 ? "High" : "Low", watts);
-        bench::printMetricComparison(title, cmp.insure.metrics,
-                                     cmp.baseline.metrics);
+                      levels[i] > 700.0 ? "High" : "Low", levels[i]);
+        bench::printMetricComparison(title, cmps[i].insure.metrics,
+                                     cmps[i].baseline.metrics);
     }
 
     std::printf("Paper: system-related metric gains are largely workload-"

@@ -4,12 +4,24 @@
  * throughput, battery-model steps, and full day-long system runs. Not a
  * paper artefact — this guards the simulation's performance so the
  * reproduction benches stay fast.
+ *
+ * After the micro-benchmarks, a sweep-throughput section times the same
+ * batch of experiments through the harness with 1 worker and with the
+ * default worker count, reporting runs/sec and simulated-seconds per
+ * wall-second for each, plus a machine-readable JSON summary line
+ * (also written to the file named by INSURE_SIMSPEED_JSON, if set).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
 #include "battery/battery_unit.hh"
 #include "core/experiment.hh"
+#include "harness/batch_runner.hh"
 #include "sim/event_queue.hh"
 #include "telemetry/modbus.hh"
 
@@ -79,6 +91,100 @@ BM_FullDaySimulation(benchmark::State &state)
 BENCHMARK(BM_FullDaySimulation)->Arg(6)->Arg(24)->Unit(
     benchmark::kMillisecond);
 
+/** One timed pass of the batch runner over an identical sweep. */
+struct SweepTiming {
+    unsigned jobs = 0;
+    double wallSeconds = 0.0;
+    double runsPerSecond = 0.0;
+    double simSecondsPerWallSecond = 0.0;
+};
+
+SweepTiming
+timeSweep(unsigned jobs, std::size_t nRuns, double hoursPerRun)
+{
+    std::vector<core::RunSpec> specs;
+    specs.reserve(nRuns);
+    for (std::size_t i = 0; i < nRuns; ++i) {
+        core::ExperimentConfig cfg = core::seismicExperiment();
+        cfg.duration = units::hours(hoursPerRun);
+        char label[32];
+        std::snprintf(label, sizeof(label), "sweep-%02zu", i + 1);
+        specs.push_back({label, cfg});
+    }
+    const harness::BatchRunner runner(jobs);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = runner.runSeeded(std::move(specs), kDefaultSeed);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    const core::SweepSummary merged = core::mergeResults(results);
+    SweepTiming t;
+    t.jobs = runner.jobs();
+    t.wallSeconds = wall;
+    if (wall > 0.0) {
+        t.runsPerSecond = static_cast<double>(nRuns) / wall;
+        t.simSecondsPerWallSecond = merged.simulatedSeconds / wall;
+    }
+    return t;
+}
+
+void
+reportSweepThroughput()
+{
+    constexpr std::size_t kRuns = 8;
+    constexpr double kHoursPerRun = 6.0;
+
+    std::printf("\n--- sweep throughput (batch runner, %zu x %.0f h "
+                "seismic runs) ---\n",
+                kRuns, kHoursPerRun);
+    const SweepTiming single = timeSweep(1, kRuns, kHoursPerRun);
+    const SweepTiming multi = timeSweep(0, kRuns, kHoursPerRun);
+    for (const SweepTiming &t : {single, multi}) {
+        std::printf("jobs=%-2u  wall=%7.2fs  runs/sec=%6.2f  "
+                    "sim-sec/wall-sec=%10.0f\n",
+                    t.jobs, t.wallSeconds, t.runsPerSecond,
+                    t.simSecondsPerWallSecond);
+    }
+    const double speedup = single.wallSeconds > 0.0 && multi.wallSeconds > 0.0
+                               ? single.wallSeconds / multi.wallSeconds
+                               : 0.0;
+    std::printf("speedup at jobs=%u: %.2fx\n", multi.jobs, speedup);
+
+    char json[512];
+    std::snprintf(
+        json, sizeof(json),
+        "{\"sweep\":{\"runs\":%zu,\"hours_per_run\":%.1f,"
+        "\"single\":{\"jobs\":%u,\"wall_s\":%.4f,\"runs_per_s\":%.4f,"
+        "\"sim_s_per_wall_s\":%.1f},"
+        "\"multi\":{\"jobs\":%u,\"wall_s\":%.4f,\"runs_per_s\":%.4f,"
+        "\"sim_s_per_wall_s\":%.1f},\"speedup\":%.4f}}",
+        kRuns, kHoursPerRun, single.jobs, single.wallSeconds,
+        single.runsPerSecond, single.simSecondsPerWallSecond, multi.jobs,
+        multi.wallSeconds, multi.runsPerSecond,
+        multi.simSecondsPerWallSecond, speedup);
+    std::printf("%s\n", json);
+
+    if (const char *path = std::getenv("INSURE_SIMSPEED_JSON")) {
+        if (std::FILE *f = std::fopen(path, "w")) {
+            std::fprintf(f, "%s\n", json);
+            std::fclose(f);
+        } else {
+            std::fprintf(stderr, "cannot write %s\n", path);
+        }
+    }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    reportSweepThroughput();
+    return 0;
+}

@@ -40,6 +40,7 @@ main()
     double eff_opt = 0.0;
     double eff_noopt = 0.0;
 
+    std::vector<core::RunSpec> specs;
     for (const Day &day : days) {
         for (const bool opt : {false, true}) {
             core::ExperimentConfig cfg = core::seismicExperiment();
@@ -48,8 +49,17 @@ main()
             cfg.manager = core::ManagerKind::Insure;
             if (!opt)
                 cfg.insure = core::InsureParams::noOpt();
-            const core::ExperimentResult res = core::runExperiment(cfg);
-            const auto &log = res.log;
+            specs.push_back({std::string(day.label) +
+                                 (opt ? " Opt" : " Non-Opt"),
+                             cfg});
+        }
+    }
+    const auto runs = bench::runBatch(std::move(specs));
+
+    std::size_t idx = 0;
+    for (const Day &day : days) {
+        for (const bool opt : {false, true}) {
+            const auto &log = runs[idx++].result.log;
             t.addRow({day.label, opt ? "Opt" : "Non-Opt",
                       TextTable::num(log.loadKwh, 2),
                       TextTable::num(log.effectiveKwh, 2),

@@ -10,9 +10,11 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hh"
+#include "harness/batch_runner.hh"
 #include "sim/table.hh"
 
 namespace insure::bench {
@@ -87,20 +89,66 @@ printMetricComparison(const std::string &title, const core::Metrics &ins,
 }
 
 /**
- * Run one micro-benchmark day under both managers on the same solar
- * trace (paper §6.3 methodology: replayed traces scaled to the Fig. 15
- * averages: high 1114 W, low 427 W over 7:00-20:00).
+ * Run a batch of labelled experiment specs through the parallel batch
+ * runner. Worker count follows INSURE_JOBS (or the hardware); per-run
+ * results are bit-identical at any job count, so routing every sweep
+ * through here changes nothing but the wall-clock time.
  */
-inline core::ComparisonResult
-runMicroComparison(const std::string &benchmark, double avg_watts,
-                   std::uint64_t seed = 2015)
+inline std::vector<core::RunResult>
+runBatch(std::vector<core::RunSpec> specs)
+{
+    return harness::BatchRunner().run(specs);
+}
+
+/**
+ * Run InSURE and the baseline for each config on the same solar trace
+ * (the paper's trace-replay methodology, §5), all runs dispatched
+ * concurrently. Results come back in config order.
+ */
+inline std::vector<core::ComparisonResult>
+runComparisonBatch(std::vector<core::ExperimentConfig> cfgs)
+{
+    std::vector<core::RunSpec> specs;
+    specs.reserve(cfgs.size() * 2);
+    for (core::ExperimentConfig &cfg : cfgs) {
+        cfg.manager = core::ManagerKind::Insure;
+        specs.push_back({"insure", cfg});
+        cfg.manager = core::ManagerKind::Baseline;
+        specs.push_back({"baseline", cfg});
+    }
+    std::vector<core::RunResult> results = runBatch(std::move(specs));
+    std::vector<core::ComparisonResult> out(cfgs.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i].insure = std::move(results[2 * i].result);
+        out[i].baseline = std::move(results[2 * i + 1].result);
+    }
+    return out;
+}
+
+/**
+ * Build the config for one micro-benchmark day (paper §6.3 methodology:
+ * replayed traces scaled to the Fig. 15 averages: high 1114 W, low
+ * 427 W over 7:00-20:00).
+ */
+inline core::ExperimentConfig
+microComparisonConfig(const std::string &benchmark, double avg_watts,
+                      std::uint64_t seed = kDefaultSeed)
 {
     core::ExperimentConfig cfg = core::microExperiment(benchmark);
     cfg.day = avg_watts > 700.0 ? solar::DayClass::Sunny
                                 : solar::DayClass::Cloudy;
     cfg.scaleToAvgWatts = avg_watts;
     cfg.seed = seed;
-    return core::runComparison(cfg);
+    return cfg;
+}
+
+/** Run one micro-benchmark day under both managers on the same trace. */
+inline core::ComparisonResult
+runMicroComparison(const std::string &benchmark, double avg_watts,
+                   std::uint64_t seed = kDefaultSeed)
+{
+    return core::runComparison(
+        microComparisonConfig(benchmark, avg_watts, seed));
 }
 
 /** The micro-benchmark names used in the paper's Figs. 17-19. */
@@ -108,6 +156,39 @@ inline std::vector<std::string>
 microBenchNames()
 {
     return {"x264", "vips", "sort", "graph", "dedup", "terasort"};
+}
+
+/** One benchmark's paired high/low-solar comparisons (Figs. 17-19). */
+struct MicroSweepRow {
+    std::string name;
+    core::ComparisonResult high;
+    core::ComparisonResult low;
+};
+
+/**
+ * The full Figs. 17-19 sweep — every (benchmark x solar level x
+ * manager) combination — dispatched through the batch runner.
+ */
+inline std::vector<MicroSweepRow>
+runMicroSweep(const std::vector<std::string> &names,
+              double high_watts = 1114.0, double low_watts = 427.0,
+              std::uint64_t seed = kDefaultSeed)
+{
+    std::vector<core::ExperimentConfig> cfgs;
+    cfgs.reserve(names.size() * 2);
+    for (const std::string &name : names) {
+        cfgs.push_back(microComparisonConfig(name, high_watts, seed));
+        cfgs.push_back(microComparisonConfig(name, low_watts, seed));
+    }
+    std::vector<core::ComparisonResult> cmps =
+        runComparisonBatch(std::move(cfgs));
+    std::vector<MicroSweepRow> rows;
+    rows.reserve(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        rows.push_back({names[i], std::move(cmps[2 * i]),
+                        std::move(cmps[2 * i + 1])});
+    }
+    return rows;
 }
 
 /**

@@ -18,14 +18,24 @@
  *     --secondary <watts>                          (backup feed)
  *     --trace <file.csv>                           (dump system trace)
  *     --json                                       (machine-readable out)
+ *     --runs <n>                                   (repeat with child seeds)
+ *     --jobs <n>                                   (worker threads; 0=auto)
+ *
+ * With --runs N > 1 the configured experiment is repeated N times with
+ * per-run seeds derived from --seed via Rng::split(), executed by the
+ * batch runner across --jobs threads (default: INSURE_JOBS env, then
+ * hardware concurrency). Per-run progress goes to stderr; the merged
+ * sweep summary goes to stdout. Results are identical for any --jobs.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/experiment.hh"
+#include "harness/batch_runner.hh"
 #include "sim/config.hh"
 #include "sim/table.hh"
 
@@ -41,7 +51,8 @@ usage(const char *argv0)
         "usage: %s [--config file.ini] [--workload seismic|video|<bench>] "
         "[--manager insure|baseline|noopt] [--day sunny|cloudy|rainy]\n"
         "          [--kwh N] [--avg-watts N] [--days N] [--seed N] "
-        "[--nodes N] [--lowpower] [--secondary W] [--trace F] [--json]\n",
+        "[--nodes N] [--lowpower] [--secondary W] [--trace F] [--json]\n"
+        "          [--runs N] [--jobs N]\n",
         argv0);
     std::exit(2);
 }
@@ -93,6 +104,99 @@ printJson(const core::ExperimentResult &res)
         static_cast<unsigned long long>(m.onOffCycles));
 }
 
+void
+printSummaryHuman(const core::SweepSummary &s)
+{
+    sim::TextTable t({"sweep metric", "value"});
+    using TT = sim::TextTable;
+    t.addRow({"runs", std::to_string(s.runs)});
+    t.addRow({"simulated (h)", TT::num(s.simulatedSeconds / 3600.0, 1)});
+    t.addRow({"run wall time (s)", TT::num(s.runWallSeconds, 2)});
+    t.addRow({"processed (GB)", TT::num(s.processedGb, 1)});
+    t.addRow({"solar offered (kWh)", TT::num(s.solarOfferedKwh)});
+    t.addRow({"solar used (kWh)", TT::num(s.greenUsedKwh)});
+    t.addRow({"secondary used (kWh)", TT::num(s.secondaryKwh)});
+    t.addRow({"load energy (kWh)", TT::num(s.loadKwh)});
+    t.addRow({"buffer throughput (Ah)", TT::num(s.bufferThroughputAh, 1)});
+    t.addRow({"buffer trips", std::to_string(s.bufferTrips)});
+    t.addRow({"emergency shutdowns",
+              std::to_string(s.emergencyShutdowns)});
+    t.addRow({"on/off cycles", std::to_string(s.onOffCycles)});
+    t.addRow({"uptime mean", TT::percent(s.meanUptime)});
+    t.addRow({"uptime min", TT::percent(s.minUptime)});
+    t.addRow({"uptime max", TT::percent(s.maxUptime)});
+    t.addRow({"e-Buffer avail mean",
+              TT::percent(s.meanEBufferAvailability)});
+    t.addRow({"perf per Ah mean", TT::num(s.meanPerfPerAh)});
+    t.addRow({"throughput mean (GB/h)",
+              TT::num(s.meanThroughputGbPerHour)});
+    std::printf("%s", t.render("insure_cli sweep summary").c_str());
+}
+
+void
+printSummaryJson(const core::SweepSummary &s)
+{
+    std::printf(
+        "{\"runs\":%zu,\"simulated_s\":%.1f,\"run_wall_s\":%.4f,"
+        "\"processed_gb\":%.3f,\"solar_offered_kwh\":%.4f,"
+        "\"green_used_kwh\":%.4f,\"load_kwh\":%.4f,"
+        "\"secondary_kwh\":%.4f,\"buffer_throughput_ah\":%.4f,"
+        "\"buffer_trips\":%llu,\"emergency_shutdowns\":%llu,"
+        "\"on_off_cycles\":%llu,\"uptime_mean\":%.6f,"
+        "\"uptime_min\":%.6f,\"uptime_max\":%.6f,"
+        "\"ebuffer_availability_mean\":%.6f,\"perf_per_ah_mean\":%.6f,"
+        "\"throughput_gb_per_h_mean\":%.6f}\n",
+        s.runs, s.simulatedSeconds, s.runWallSeconds, s.processedGb,
+        s.solarOfferedKwh, s.greenUsedKwh, s.loadKwh, s.secondaryKwh,
+        s.bufferThroughputAh,
+        static_cast<unsigned long long>(s.bufferTrips),
+        static_cast<unsigned long long>(s.emergencyShutdowns),
+        static_cast<unsigned long long>(s.onOffCycles), s.meanUptime,
+        s.minUptime, s.maxUptime, s.meanEBufferAvailability,
+        s.meanPerfPerAh, s.meanThroughputGbPerHour);
+}
+
+/**
+ * Repeat cfg `runs` times with child seeds split from cfg.seed, run
+ * them across `jobs` worker threads, and print the merged summary.
+ * Per-run progress lines go to stderr so --json stdout stays parseable.
+ */
+int
+runSweep(core::ExperimentConfig cfg, unsigned runs, unsigned jobs,
+         bool json)
+{
+    if (cfg.recordTrace) {
+        std::fprintf(stderr,
+                     "--trace ignored with --runs > 1 (per-run traces "
+                     "are not merged)\n");
+        cfg.recordTrace = false;
+    }
+    std::vector<core::RunSpec> specs;
+    specs.reserve(runs);
+    for (unsigned i = 0; i < runs; ++i) {
+        char label[32];
+        std::snprintf(label, sizeof(label), "run-%03u", i + 1);
+        specs.push_back({label, cfg});
+    }
+    const harness::BatchRunner runner(jobs);
+    const std::vector<core::RunResult> results = runner.runSeeded(
+        std::move(specs), cfg.seed,
+        [](const core::RunResult &r, std::size_t done, std::size_t total) {
+            std::fprintf(stderr,
+                         "[%zu/%zu] %s seed=%llu uptime=%.1f%% "
+                         "(%.2fs wall)\n",
+                         done, total, r.label.c_str(),
+                         static_cast<unsigned long long>(r.seed),
+                         100.0 * r.result.metrics.uptime, r.wallSeconds);
+        });
+    const core::SweepSummary summary = core::mergeResults(results);
+    if (json)
+        printSummaryJson(summary);
+    else
+        printSummaryHuman(summary);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -107,8 +211,10 @@ main(int argc, char **argv)
     double avg_watts = -1.0;
     double days = 1.0;
     double secondary_w = 0.0;
-    std::uint64_t seed = 2015;
+    std::uint64_t seed = kDefaultSeed;
     unsigned nodes = 4;
+    unsigned runs = 1;
+    unsigned jobs = 0;
     bool lowpower = false;
     bool json = false;
 
@@ -138,6 +244,10 @@ main(int argc, char **argv)
             seed = std::strtoull(need("--seed"), nullptr, 10);
         else if (!std::strcmp(argv[i], "--nodes"))
             nodes = static_cast<unsigned>(std::atoi(need("--nodes")));
+        else if (!std::strcmp(argv[i], "--runs"))
+            runs = static_cast<unsigned>(std::atoi(need("--runs")));
+        else if (!std::strcmp(argv[i], "--jobs"))
+            jobs = static_cast<unsigned>(std::atoi(need("--jobs")));
         else if (!std::strcmp(argv[i], "--secondary"))
             secondary_w = std::atof(need("--secondary"));
         else if (!std::strcmp(argv[i], "--trace"))
@@ -158,6 +268,8 @@ main(int argc, char **argv)
             cfg.recordTrace = true;
             cfg.tracePeriod = 60.0;
         }
+        if (runs > 1)
+            return runSweep(cfg, runs, jobs, json);
         const core::ExperimentResult res = core::runExperiment(cfg);
         if (json)
             printJson(res);
@@ -214,6 +326,9 @@ main(int argc, char **argv)
         cfg.recordTrace = true;
         cfg.tracePeriod = 60.0;
     }
+
+    if (runs > 1)
+        return runSweep(cfg, runs, jobs, json);
 
     const core::ExperimentResult res = core::runExperiment(cfg);
     if (json)

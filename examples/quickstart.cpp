@@ -39,7 +39,7 @@ main(int argc, char **argv)
     //    batch workload for one day.
     core::ExperimentConfig cfg = core::seismicExperiment();
     cfg.day = day;
-    cfg.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2015;
+    cfg.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : kDefaultSeed;
     cfg.duration = units::days(1.0);
 
     // 2. Run both power managers on the identical solar trace.

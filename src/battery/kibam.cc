@@ -42,12 +42,29 @@ Kibam::exhausted() const
     return y1_ <= 1e-9;
 }
 
+namespace {
+
+/** Longest interval handled by a single closed-form step, seconds. */
+constexpr Seconds kMaxStep = 60.0;
+
+} // namespace
+
 AmpHours
 Kibam::step(Amperes current, Seconds dt)
 {
     if (dt <= 0.0)
         return 0.0;
+    AmpHours rejected = 0.0;
+    while (dt > kMaxStep) {
+        rejected += stepExact(current, kMaxStep);
+        dt -= kMaxStep;
+    }
+    return rejected + stepExact(current, dt);
+}
 
+AmpHours
+Kibam::stepExact(Amperes current, Seconds dt)
+{
     const double t = units::toHours(dt);
     const double k = kPrime_;
     const double e = std::exp(-k * t);

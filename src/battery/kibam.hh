@@ -42,6 +42,12 @@ class Kibam
      * or underflow the wells is clipped; the clipped charge is returned so
      * the caller can account for rejected energy.
      *
+     * A non-positive @p dt is a no-op. Steps longer than one minute are
+     * subdivided internally: the closed form composes exactly while the
+     * wells stay inside their bounds, but a single long step that crosses
+     * a bound mid-interval would mis-account the clipped charge, so the
+     * subdivision bounds that error to one sub-step.
+     *
      * @return ampere-hours of requested transfer that could NOT be honoured
      *         (0 when the step executed fully).
      */
@@ -80,6 +86,9 @@ class Kibam
     double kPrime_;
     AmpHours y1_;
     AmpHours y2_;
+
+    /** One closed-form constant-current step with boundary clipping. */
+    AmpHours stepExact(Amperes current, Seconds dt);
 };
 
 } // namespace insure::battery

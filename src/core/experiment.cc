@@ -1,5 +1,7 @@
 #include "core/experiment.hh"
 
+#include <algorithm>
+#include <limits>
 #include <memory>
 
 #include "server/node_params.hh"
@@ -115,6 +117,43 @@ runExperiment(const ExperimentConfig &cfg)
     return res;
 }
 
+SweepSummary
+mergeResults(const std::vector<RunResult> &runs)
+{
+    SweepSummary s;
+    if (runs.empty())
+        return s;
+    s.runs = runs.size();
+    s.minUptime = std::numeric_limits<double>::infinity();
+    s.maxUptime = -std::numeric_limits<double>::infinity();
+    for (const RunResult &r : runs) {
+        const Metrics &m = r.result.metrics;
+        s.simulatedSeconds += r.simulatedSeconds;
+        s.runWallSeconds += r.wallSeconds;
+        s.processedGb += m.processedGb;
+        s.solarOfferedKwh += m.solarOfferedKwh;
+        s.greenUsedKwh += m.greenUsedKwh;
+        s.loadKwh += m.loadKwh;
+        s.secondaryKwh += m.secondaryKwh;
+        s.bufferThroughputAh += m.bufferThroughputAh;
+        s.bufferTrips += m.bufferTrips;
+        s.emergencyShutdowns += m.emergencyShutdowns;
+        s.onOffCycles += m.onOffCycles;
+        s.meanUptime += m.uptime;
+        s.minUptime = std::min(s.minUptime, m.uptime);
+        s.maxUptime = std::max(s.maxUptime, m.uptime);
+        s.meanEBufferAvailability += m.eBufferAvailability;
+        s.meanPerfPerAh += m.perfPerAh;
+        s.meanThroughputGbPerHour += m.throughputGbPerHour;
+    }
+    const double n = static_cast<double>(s.runs);
+    s.meanUptime /= n;
+    s.meanEBufferAvailability /= n;
+    s.meanPerfPerAh /= n;
+    s.meanThroughputGbPerHour /= n;
+    return s;
+}
+
 ComparisonResult
 runComparison(ExperimentConfig cfg)
 {
@@ -206,8 +245,8 @@ experimentFromConfig(const sim::Config &cfg)
 
     out.duration =
         units::days(cfg.getDouble("experiment.days", 1.0));
-    out.seed = static_cast<std::uint64_t>(
-        cfg.getInt("experiment.seed", 2015));
+    out.seed = static_cast<std::uint64_t>(cfg.getInt(
+        "experiment.seed", static_cast<long>(kDefaultSeed)));
     out.recordTrace = cfg.getBool("experiment.record_trace", false);
 
     const std::string day = cfg.getString("solar.day", "sunny");

@@ -8,13 +8,16 @@
 #ifndef INSURE_CORE_EXPERIMENT_HH
 #define INSURE_CORE_EXPERIMENT_HH
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/baseline_manager.hh"
 #include "core/in_situ_system.hh"
 #include "core/insure_manager.hh"
 #include "sim/config.hh"
+#include "sim/rng.hh"
 
 namespace insure::core {
 
@@ -36,7 +39,7 @@ struct ExperimentConfig {
     /** Weather class of the generated solar day. */
     solar::DayClass day = solar::DayClass::Sunny;
     /** Seed for the solar trace and all stochastic processes. */
-    std::uint64_t seed = 2015;
+    std::uint64_t seed = kDefaultSeed;
     /** Scale the solar trace to this many kWh per day (optional). */
     std::optional<double> targetDailyKwh;
     /**
@@ -69,6 +72,68 @@ struct ComparisonResult {
     ExperimentResult insure;
     ExperimentResult baseline;
 };
+
+/**
+ * One named run in a sweep. The batch runner (src/harness) executes
+ * vectors of these concurrently; the config carries everything a run
+ * needs, so specs are freely movable across worker threads.
+ */
+struct RunSpec {
+    /** Display label for progress lines and result tables. */
+    std::string label;
+    /** Full run description, including the seed. */
+    ExperimentConfig config;
+};
+
+/** Outcome of one sweep run. */
+struct RunResult {
+    /** Label copied from the spec. */
+    std::string label;
+    /** The seed the run actually used (after any child-seed derivation). */
+    std::uint64_t seed = 0;
+    /** Simulated run length, seconds. */
+    Seconds simulatedSeconds = 0.0;
+    /** Wall-clock execution time of this run, seconds. */
+    double wallSeconds = 0.0;
+    /** The experiment outputs. */
+    ExperimentResult result;
+};
+
+/**
+ * Aggregate statistics over a set of runs: additive quantities are
+ * summed, ratio-style metrics are averaged with min/max extremes. This
+ * is the merge step after a parallel sweep — totals are independent of
+ * the order runs completed in.
+ */
+struct SweepSummary {
+    std::size_t runs = 0;
+    /** Sum of simulated run lengths, seconds. */
+    Seconds simulatedSeconds = 0.0;
+    /** Sum of per-run wall-clock times (CPU-side cost), seconds. */
+    double runWallSeconds = 0.0;
+
+    // Additive totals.
+    double processedGb = 0.0;
+    double solarOfferedKwh = 0.0;
+    double greenUsedKwh = 0.0;
+    double loadKwh = 0.0;
+    double secondaryKwh = 0.0;
+    double bufferThroughputAh = 0.0;
+    std::uint64_t bufferTrips = 0;
+    std::uint64_t emergencyShutdowns = 0;
+    std::uint64_t onOffCycles = 0;
+
+    // Per-run ratio metrics.
+    double meanUptime = 0.0;
+    double minUptime = 0.0;
+    double maxUptime = 0.0;
+    double meanEBufferAvailability = 0.0;
+    double meanPerfPerAh = 0.0;
+    double meanThroughputGbPerHour = 0.0;
+};
+
+/** Merge per-run results into aggregate sweep statistics. */
+SweepSummary mergeResults(const std::vector<RunResult> &runs);
 
 /**
  * Build the solar power trace an experiment will replay (exposed so

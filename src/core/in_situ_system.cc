@@ -70,6 +70,18 @@ InSituSystem::startup()
 }
 
 void
+InSituSystem::finalize()
+{
+    // Fold the interval between each gauge's last sample and the end of
+    // the run into its integral, so report-time averages cover the whole
+    // run even for levels that were set once and never changed again.
+    const Seconds now = sim().now();
+    storedGauge_.finalize(now);
+    pendingGauge_.finalize(now);
+    upPendingGauge_.finalize(now);
+}
+
+void
 InSituSystem::enableTrace(Seconds period)
 {
     if (trace_)

@@ -127,6 +127,9 @@ class InSituSystem : public sim::Component
 
     void startup() override;
 
+    /** Close out time-weighted gauges at the end-of-run time. */
+    void finalize() override;
+
     /** Record a (time, solar, load, soc, ...) trace every @p period s. */
     void enableTrace(Seconds period);
 

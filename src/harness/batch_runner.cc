@@ -1,0 +1,97 @@
+#include "harness/batch_runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace insure::harness {
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("INSURE_JOBS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<unsigned>(v);
+        warn("INSURE_JOBS='%s' is not a positive integer; ignoring", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+BatchRunner::BatchRunner(unsigned jobs)
+    : jobs_(jobs > 0 ? jobs : defaultJobs())
+{
+}
+
+std::vector<core::RunResult>
+BatchRunner::run(const std::vector<core::RunSpec> &specs,
+                 const Progress &progress) const
+{
+    std::vector<core::RunResult> results(specs.size());
+    std::atomic<std::size_t> nextIndex{0};
+    std::size_t done = 0;
+    std::mutex progressMutex;
+
+    auto runOne = [&](std::size_t i) {
+        const core::RunSpec &spec = specs[i];
+        core::RunResult &out = results[i];
+        out.label = spec.label;
+        out.seed = spec.config.seed;
+        out.simulatedSeconds = spec.config.duration;
+        const auto t0 = std::chrono::steady_clock::now();
+        out.result = core::runExperiment(spec.config);
+        out.wallSeconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        if (progress) {
+            const std::lock_guard<std::mutex> lock(progressMutex);
+            progress(out, ++done, specs.size());
+        }
+    };
+
+    const std::size_t workers =
+        std::min<std::size_t>(jobs_, specs.size());
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            runOne(i);
+        return results;
+    }
+
+    auto worker = [&] {
+        for (std::size_t i = nextIndex.fetch_add(1); i < specs.size();
+             i = nextIndex.fetch_add(1)) {
+            runOne(i);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+    return results;
+}
+
+std::vector<core::RunResult>
+BatchRunner::runSeeded(std::vector<core::RunSpec> specs,
+                       std::uint64_t masterSeed,
+                       const Progress &progress) const
+{
+    // Child-seed derivation is sequential and happens before any worker
+    // starts: the i-th spec always receives the i-th split of the master
+    // stream, so the schedule cannot influence any run.
+    Rng master(masterSeed);
+    for (core::RunSpec &spec : specs)
+        spec.config.seed = master.splitSeed();
+    return run(specs, progress);
+}
+
+} // namespace insure::harness

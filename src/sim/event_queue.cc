@@ -1,7 +1,5 @@
 #include "sim/event_queue.hh"
 
-#include <algorithm>
-
 #include "sim/logging.hh"
 
 namespace insure::sim {
@@ -14,7 +12,7 @@ EventQueue::schedule(Seconds when, EventPriority prio,
         panic("EventQueue: scheduling into the past (%f < %f)", when, now_);
     const EventId id = nextId_++;
     queue_.push(Entry{when, static_cast<int>(prio), id, std::move(fn)});
-    ++pendingCount_;
+    live_.insert(id);
     return id;
 }
 
@@ -28,23 +26,23 @@ EventQueue::scheduleIn(Seconds delay, EventPriority prio,
 void
 EventQueue::cancel(EventId id)
 {
-    cancelled_.push_back(id);
+    // Only ids that are still scheduled move to the cancelled set; an id
+    // that already fired, was already cancelled, or was never issued is
+    // ignored, so stale handles can never suppress an unrelated event.
+    if (live_.erase(id) > 0)
+        cancelled_.insert(id);
 }
 
 bool
 EventQueue::isCancelled(EventId id)
 {
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
-    if (it == cancelled_.end())
-        return false;
-    cancelled_.erase(it);
-    return true;
+    return cancelled_.erase(id) > 0;
 }
 
 bool
 EventQueue::empty() const
 {
-    return pendingCount_ == 0;
+    return live_.empty();
 }
 
 bool
@@ -53,9 +51,9 @@ EventQueue::step()
     while (!queue_.empty()) {
         Entry e = queue_.top();
         queue_.pop();
-        --pendingCount_;
         if (isCancelled(e.id))
             continue;
+        live_.erase(e.id);
         now_ = e.when;
         e.fn();
         return true;
@@ -73,9 +71,9 @@ EventQueue::runUntil(Seconds horizon)
             break;
         Entry e = queue_.top();
         queue_.pop();
-        --pendingCount_;
         if (isCancelled(e.id))
             continue;
+        live_.erase(e.id);
         now_ = e.when;
         e.fn();
         ++executed;

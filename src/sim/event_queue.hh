@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/units.hh"
@@ -60,14 +61,18 @@ class EventQueue
     EventId scheduleIn(Seconds delay, EventPriority prio,
                        std::function<void()> fn);
 
-    /** Cancel a pending event. Cancelling a fired event is a no-op. */
+    /**
+     * Cancel a pending event. Cancelling an id that already fired, was
+     * already cancelled, or was never issued is a safe no-op; a cancelled
+     * event never executes.
+     */
     void cancel(EventId id);
 
     /** True when no runnable events remain. */
     bool empty() const;
 
     /** Number of pending (non-cancelled) events. */
-    std::size_t pending() const { return pendingCount_; }
+    std::size_t pending() const { return live_.size(); }
 
     /**
      * Run events until the queue is empty or simulated time would exceed
@@ -98,11 +103,14 @@ class EventQueue
     };
 
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-    std::vector<EventId> cancelled_;
+    /** Ids scheduled but not yet fired or cancelled. */
+    std::unordered_set<EventId> live_;
+    /** Cancelled ids whose entries are still inside queue_. */
+    std::unordered_set<EventId> cancelled_;
     Seconds now_ = 0.0;
     EventId nextId_ = 1;
-    std::size_t pendingCount_ = 0;
 
+    /** Pop the entry for a cancelled id; true if it was cancelled. */
     bool isCancelled(EventId id);
 };
 

@@ -5,24 +5,25 @@
 
 namespace insure {
 
-LogLevel Logger::minLevel_ = LogLevel::Warn;
+std::atomic<LogLevel> Logger::minLevel_{LogLevel::Warn};
 
 void
 Logger::setLevel(LogLevel level)
 {
-    minLevel_ = level;
+    minLevel_.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 Logger::level()
 {
-    return minLevel_;
+    return minLevel_.load(std::memory_order_relaxed);
 }
 
 bool
 Logger::enabled(LogLevel level)
 {
-    return static_cast<int>(level) >= static_cast<int>(minLevel_);
+    return static_cast<int>(level) >=
+           static_cast<int>(minLevel_.load(std::memory_order_relaxed));
 }
 
 namespace {
@@ -42,9 +43,11 @@ levelTag(LogLevel level)
 void
 vlog(LogLevel level, const char *fmt, va_list args)
 {
-    std::fprintf(stderr, "[%s] ", levelTag(level));
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    // Format into a buffer first so the message reaches stderr in one
+    // stdio call and cannot interleave with other worker threads.
+    char msg[1024];
+    std::vsnprintf(msg, sizeof(msg), fmt, args);
+    std::fprintf(stderr, "[%s] %s\n", levelTag(level), msg);
 }
 
 } // namespace
@@ -85,24 +88,24 @@ warn(const char *fmt, ...)
 void
 fatal(const char *fmt, ...)
 {
+    char msg[1024];
     va_list args;
     va_start(args, fmt);
-    std::fprintf(stderr, "[fatal] ");
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    std::vsnprintf(msg, sizeof(msg), fmt, args);
     va_end(args);
+    std::fprintf(stderr, "[fatal] %s\n", msg);
     std::exit(1);
 }
 
 void
 panic(const char *fmt, ...)
 {
+    char msg[1024];
     va_list args;
     va_start(args, fmt);
-    std::fprintf(stderr, "[panic] ");
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    std::vsnprintf(msg, sizeof(msg), fmt, args);
     va_end(args);
+    std::fprintf(stderr, "[panic] %s\n", msg);
     std::abort();
 }
 

@@ -12,6 +12,7 @@
 #ifndef INSURE_SIM_LOGGING_HH
 #define INSURE_SIM_LOGGING_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <string>
 
@@ -27,7 +28,9 @@ enum class LogLevel {
 
 /**
  * Global log sink. Messages below the configured threshold are dropped.
- * Thread-compatible (the simulator is single-threaded by design).
+ * Thread-safe: the level is atomic and each message is emitted with a
+ * single stdio call, so concurrent simulations (the batch runner) may
+ * log freely; set the level before spawning workers for a clean cut.
  */
 class Logger
 {
@@ -43,7 +46,7 @@ class Logger
     static bool enabled(LogLevel level);
 
   private:
-    static LogLevel minLevel_;
+    static std::atomic<LogLevel> minLevel_;
 };
 
 /** Informational message for normal operating conditions. */

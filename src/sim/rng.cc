@@ -125,7 +125,13 @@ Rng::bernoulli(double p)
 Rng
 Rng::split()
 {
-    return Rng(next() ^ 0xA3EC4F0E62C3D956ULL);
+    return Rng(splitSeed());
+}
+
+std::uint64_t
+Rng::splitSeed()
+{
+    return next() ^ 0xA3EC4F0E62C3D956ULL;
 }
 
 } // namespace insure

@@ -15,6 +15,15 @@
 namespace insure {
 
 /**
+ * The project-wide default seed (the paper's publication year, ISCA 2015).
+ *
+ * Every layer that needs a fallback seed — Simulation, ExperimentConfig,
+ * the bench sweeps and insure_cli — flows from this single constant, so
+ * "the default run" means the same stream of random numbers everywhere.
+ */
+inline constexpr std::uint64_t kDefaultSeed = 2015;
+
+/**
  * A small, fast, deterministic PRNG (xoshiro256**) with convenience
  * distributions. Copyable; copies continue independent identical streams.
  */
@@ -22,7 +31,7 @@ class Rng
 {
   public:
     /** Construct from a 64-bit seed (expanded through SplitMix64). */
-    explicit Rng(std::uint64_t seed = 0x1A5C2015ULL);
+    explicit Rng(std::uint64_t seed = kDefaultSeed);
 
     /** Construct with a specific seed. */
     static Rng fromSeed(std::uint64_t seed);
@@ -53,6 +62,14 @@ class Rng
 
     /** Derive an independent child stream (for per-component seeding). */
     Rng split();
+
+    /**
+     * Derive the seed of the next child stream: Rng(splitSeed()) yields
+     * exactly the generator split() would return. Used where a seed value
+     * must cross an API boundary (e.g. the batch runner handing each run
+     * a child seed derived from a master seed).
+     */
+    std::uint64_t splitSeed();
 
   private:
     std::uint64_t s_[4];

@@ -63,7 +63,7 @@ class Simulation
 {
   public:
     /** @param seed root seed; per-component streams derive from it. */
-    explicit Simulation(std::uint64_t seed = 2015);
+    explicit Simulation(std::uint64_t seed = kDefaultSeed);
 
     Simulation(const Simulation &) = delete;
     Simulation &operator=(const Simulation &) = delete;

@@ -94,6 +94,15 @@ TimeWeightedGauge::set(Seconds now, double v)
     level_ = v;
 }
 
+void
+TimeWeightedGauge::finalize(Seconds end)
+{
+    if (!started_ || end <= last_)
+        return;
+    integral_ += level_ * (end - last_);
+    last_ = end;
+}
+
 double
 TimeWeightedGauge::integral(Seconds now) const
 {

@@ -118,6 +118,14 @@ class TimeWeightedGauge : public StatBase
     /** Integral of the level (level x seconds) up to @p now. */
     double integral(Seconds now) const;
 
+    /**
+     * Fold the tail interval between the last set() and @p end into the
+     * stored integral, so render() (which has no notion of "now") reports
+     * values that cover the whole run. Called at simulation finalize time;
+     * idempotent, and a no-op for times at or before the last sample.
+     */
+    void finalize(Seconds end);
+
     std::string render() const override;
     void reset() override;
 

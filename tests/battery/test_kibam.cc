@@ -134,6 +134,49 @@ TEST(Kibam, SetSocClampsRange)
     EXPECT_TRUE(k.exhausted());
 }
 
+TEST(Kibam, NonPositiveStepIsIgnored)
+{
+    Kibam k(kCap, kC, kK, 0.7);
+    const double avail = k.availableCharge();
+    const double bound = k.boundCharge();
+    EXPECT_DOUBLE_EQ(k.step(5.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(k.step(5.0, -3600.0), 0.0);
+    EXPECT_DOUBLE_EQ(k.availableCharge(), avail);
+    EXPECT_DOUBLE_EQ(k.boundCharge(), bound);
+}
+
+// One huge step must agree with many small ones: step() subdivides
+// internally, so the well trajectory (and any clipping) cannot depend on
+// the caller's time resolution.
+TEST(Kibam, HourStepMatchesSecondSteps)
+{
+    Kibam coarse(kCap, kC, kK, 0.9);
+    Kibam fine(kCap, kC, kK, 0.9);
+    const double rejectedCoarse = coarse.step(2.0, 3600.0);
+    double rejectedFine = 0.0;
+    for (int s = 0; s < 3600; ++s)
+        rejectedFine += fine.step(2.0, 1.0);
+    EXPECT_NEAR(coarse.availableCharge(), fine.availableCharge(), 1e-6);
+    EXPECT_NEAR(coarse.boundCharge(), fine.boundCharge(), 1e-6);
+    EXPECT_NEAR(rejectedCoarse, rejectedFine, 1e-6);
+}
+
+// Same invariance where the step size used to matter most: a step so
+// large the available well runs dry partway through. The subdivided
+// coarse step must clip close to where the fine trajectory clips.
+TEST(Kibam, HugeDepletingStepMatchesFineSteps)
+{
+    Kibam coarse(kCap, kC, kK, 0.3);
+    Kibam fine(kCap, kC, kK, 0.3);
+    const double rejectedCoarse = coarse.step(8.0, 2.0 * 3600.0);
+    double rejectedFine = 0.0;
+    for (int s = 0; s < 2 * 3600; ++s)
+        rejectedFine += fine.step(8.0, 1.0);
+    // Subdivision bounds the clipping error to one 60 s sub-step.
+    EXPECT_NEAR(coarse.availableCharge(), fine.availableCharge(), 1e-3);
+    EXPECT_NEAR(rejectedCoarse, rejectedFine, 8.0 * 60.0 / 3600.0);
+}
+
 TEST(KibamDeath, InvalidParamsAreFatal)
 {
     EXPECT_DEATH(Kibam(0.0, kC, kK), "invalid");

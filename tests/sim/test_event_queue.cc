@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -177,6 +178,92 @@ TEST(PeriodicTask, DestructorCancelsPendingTick)
     }
     eq.runUntil(10.0);
     EXPECT_EQ(count, 1);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoOp)
+{
+    EventQueue eq;
+    bool ran = false;
+    eq.schedule(1.0, EventPriority::Physics, [&] { ran = true; });
+    eq.cancel(static_cast<EventId>(123456)); // never issued
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.runUntil(2.0);
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, CancelFiredIdIsNoOp)
+{
+    EventQueue eq;
+    int count = 0;
+    const EventId id =
+        eq.schedule(1.0, EventPriority::Physics, [&] { ++count; });
+    eq.schedule(3.0, EventPriority::Physics, [&] { ++count; });
+    eq.runUntil(2.0);
+    eq.cancel(id); // already executed
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.runUntil(4.0);
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, DoubleCancelIsSafe)
+{
+    EventQueue eq;
+    bool ran = false;
+    const EventId id =
+        eq.schedule(1.0, EventPriority::Physics, [&] { ran = true; });
+    eq.cancel(id);
+    eq.cancel(id);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_TRUE(eq.empty());
+    eq.runUntil(2.0);
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, PendingCountsOnlyLiveEvents)
+{
+    EventQueue eq;
+    const EventId a = eq.schedule(1.0, EventPriority::Physics, [] {});
+    eq.schedule(2.0, EventPriority::Physics, [] {});
+    eq.schedule(3.0, EventPriority::Physics, [] {});
+    EXPECT_EQ(eq.pending(), 3u);
+    eq.cancel(a);
+    EXPECT_EQ(eq.pending(), 2u);
+    EXPECT_FALSE(eq.empty()); // cancelled entries do not mask live ones
+    eq.runUntil(10.0);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, QueueOfOnlyCancelledEventsIsEmpty)
+{
+    EventQueue eq;
+    const EventId a = eq.schedule(1.0, EventPriority::Physics, [] {});
+    const EventId b = eq.schedule(2.0, EventPriority::Physics, [] {});
+    eq.cancel(a);
+    eq.cancel(b);
+    // Both entries still sit in the heap, but nothing live remains.
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.runUntil(10.0), 0u);
+}
+
+TEST(PeriodicTask, DestroyedMidSimLeavesNoDanglingCallback)
+{
+    EventQueue eq;
+    int survivorTicks = 0;
+    PeriodicTask survivor(eq, 1.0, EventPriority::Physics,
+                          [&](Seconds) { ++survivorTicks; });
+    survivor.start(0.5);
+    auto doomed = std::make_unique<PeriodicTask>(
+        eq, 1.0, EventPriority::Physics, [](Seconds) {});
+    doomed->start(1.0);
+    // Destroy the task from inside the simulation, between its ticks.
+    eq.schedule(3.25, EventPriority::Control, [&] { doomed.reset(); });
+    eq.runUntil(10.0);
+    // The survivor keeps ticking and the destroyed task's pending tick
+    // never fires into freed memory (would crash / trip sanitizers).
+    EXPECT_EQ(survivorTicks, 10);
+    EXPECT_EQ(doomed, nullptr);
 }
 
 } // namespace

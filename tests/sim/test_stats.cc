@@ -72,6 +72,41 @@ TEST(TimeWeightedGauge, BeforeFirstSampleIsLevel)
     EXPECT_DOUBLE_EQ(g.average(2.0), 7.0);
 }
 
+// Regression: a gauge set once at t=0 and never again used to render a
+// zero-length observation window — the whole run's tail interval was
+// dropped. finalize() folds it in.
+TEST(TimeWeightedGauge, FinalizeAccountsForTailInterval)
+{
+    TimeWeightedGauge g(nullptr, "g", "level");
+    g.set(0.0, 5.0);
+    g.finalize(100.0);
+    EXPECT_DOUBLE_EQ(g.integral(100.0), 500.0);
+    EXPECT_DOUBLE_EQ(g.average(100.0), 5.0);
+    // render() averages over the recorded window, which now spans the run.
+    EXPECT_NE(g.render().find("5"), std::string::npos);
+}
+
+TEST(TimeWeightedGauge, FinalizeIsIdempotent)
+{
+    TimeWeightedGauge g(nullptr, "g", "level");
+    g.set(0.0, 10.0);
+    g.set(5.0, 20.0);
+    g.finalize(10.0);
+    const double once = g.integral(10.0);
+    g.finalize(10.0); // second call must not double-count
+    g.finalize(8.0);  // nor may an earlier time rewind anything
+    EXPECT_DOUBLE_EQ(g.integral(10.0), once);
+    EXPECT_DOUBLE_EQ(once, 10.0 * 5.0 + 20.0 * 5.0);
+}
+
+TEST(TimeWeightedGauge, FinalizeOnUnstartedGaugeIsNoOp)
+{
+    TimeWeightedGauge g(nullptr, "g", "level");
+    g.finalize(100.0);
+    EXPECT_DOUBLE_EQ(g.integral(100.0), 0.0);
+    EXPECT_DOUBLE_EQ(g.average(100.0), 0.0);
+}
+
 TEST(Histogram, BinsAndQuantiles)
 {
     Histogram h(nullptr, "h", "dist", 0.0, 10.0, 10);
