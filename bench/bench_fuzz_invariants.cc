@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Standalone invariant fuzz sweep (not a paper artefact). Derives
+ * hundreds of randomized system configurations from a master seed, runs
+ * them concurrently with a validate::InvariantChecker attached, and
+ * reports any violation with a shrunk, reproducible seed line.
+ *
+ *   bench_fuzz_invariants [--runs N] [--seed S] [--jobs J]
+ *                         [--duration SECONDS] [--repro SEED [DUR]]
+ *
+ * --repro re-runs one derived case (fuzzCaseFromSeed) and prints its
+ * violation messages, for digging into a failure the sweep reported.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "validate/fuzz.hh"
+
+using namespace insure;
+
+namespace {
+
+int
+runRepro(std::uint64_t seed, Seconds duration)
+{
+    validate::FuzzCase fc = validate::fuzzCaseFromSeed(seed, duration);
+    validate::attachInvariantChecker(fc.config, validate::Policy::Log);
+    std::printf("repro %s\n", fc.label.c_str());
+    const core::ExperimentResult res = core::runExperiment(fc.config);
+    std::printf("violations: %llu\n",
+                static_cast<unsigned long long>(res.invariantViolations));
+    for (const std::string &note : res.invariantNotes)
+        std::printf("  %s\n", note.c_str());
+    return res.invariantViolations == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    validate::FuzzOptions opts;
+    opts.runs = 200;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--runs") == 0) {
+            opts.runs = static_cast<std::size_t>(std::atoll(value()));
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            opts.masterSeed =
+                static_cast<std::uint64_t>(std::strtoull(value(), nullptr, 10));
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            opts.jobs = static_cast<unsigned>(std::atoi(value()));
+        } else if (std::strcmp(arg, "--duration") == 0) {
+            opts.duration = std::atof(value());
+        } else if (std::strcmp(arg, "--repro") == 0) {
+            const std::uint64_t seed =
+                static_cast<std::uint64_t>(std::strtoull(value(), nullptr, 10));
+            Seconds dur = 0.0;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                dur = std::atof(argv[++i]);
+            return runRepro(seed, dur);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--runs N] [--seed S] [--jobs J] "
+                         "[--duration SECONDS] [--repro SEED [DUR]]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::size_t lastPercent = static_cast<std::size_t>(-1);
+    opts.progress = [&](const core::RunResult &, std::size_t done,
+                        std::size_t total) {
+        const std::size_t pct = total ? done * 100 / total : 100;
+        if (pct != lastPercent && pct % 10 == 0) {
+            lastPercent = pct;
+            std::fprintf(stderr, "fuzz: %zu/%zu (%zu%%)\n", done, total,
+                         pct);
+        }
+    };
+
+    const validate::FuzzReport report = validate::fuzzInvariants(opts);
+    std::printf("%s\n", validate::formatFuzzReport(report).c_str());
+    return report.clean() ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# One-command verification gate: tier-1 tests, golden-trace check, a fuzz
+# smoke sweep, and the validation suites under ASan/UBSan.
+#
+# Usage: scripts/check.sh [--no-asan] [--fuzz-runs N]
+#
+# Run from anywhere; builds land in <repo>/build and <repo>/build-asan.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+run_asan=1
+fuzz_runs=200
+while [ $# -gt 0 ]; do
+    case "$1" in
+    --no-asan) run_asan=0 ;;
+    --fuzz-runs)
+        shift
+        fuzz_runs="$1"
+        ;;
+    *)
+        echo "usage: $0 [--no-asan] [--fuzz-runs N]" >&2
+        exit 2
+        ;;
+    esac
+    shift
+done
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "configure + build (tier 1)"
+cmake -B build -S . >/dev/null
+cmake --build build -j
+
+step "tier-1 test suite"
+ctest --test-dir build --output-on-failure -j
+
+step "golden traces (Fig. 14 / Fig. 16 full-day scenarios)"
+./build/tests/golden_trace --check
+
+step "invariant fuzz sweep ($fuzz_runs randomized configs)"
+./build/bench/bench_fuzz_invariants --runs "$fuzz_runs"
+
+if [ "$run_asan" = 1 ]; then
+    step "validation suites under ASan/UBSan"
+    cmake --preset asan >/dev/null
+    cmake --build --preset asan -j
+    ctest --preset asan --output-on-failure
+fi
+
+step "all checks passed"

@@ -65,6 +65,15 @@ BatteryArray::meanSoc() const
     return s / cabinets_.size();
 }
 
+AmpHours
+BatteryArray::totalUnitAh() const
+{
+    AmpHours ah = 0.0;
+    for (const auto &c : cabinets_)
+        ah += c->unitAh();
+    return ah;
+}
+
 double
 BatteryArray::voltageStddev() const
 {

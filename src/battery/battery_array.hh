@@ -85,6 +85,9 @@ class BatteryArray
     /** Mean state of charge across cabinets. */
     double meanSoc() const;
 
+    /** Exact stored charge summed over every unit, ampere-hours. */
+    AmpHours totalUnitAh() const;
+
     /** Population std-dev of cabinet open-circuit voltages (Table 6). */
     double voltageStddev() const;
 

@@ -8,6 +8,7 @@
 #ifndef INSURE_BATTERY_BATTERY_UNIT_HH
 #define INSURE_BATTERY_BATTERY_UNIT_HH
 
+#include <functional>
 #include <string>
 
 #include "battery/battery_params.hh"
@@ -127,8 +128,26 @@ class BatteryUnit
     /** Current operating mode. */
     UnitMode mode() const { return mode_; }
 
+    /**
+     * Observer invoked on every actual mode transition (from != to),
+     * before the new mode takes effect. Used by the validation layer to
+     * police the Fig. 8 state machine at the point every transition —
+     * manager decision, fast-switch promotion, protection trip — funnels
+     * through.
+     */
+    using ModeObserver = std::function<void(UnitMode from, UnitMode to)>;
+
+    /** Install (or clear, with nullptr) the mode-transition observer. */
+    void setModeObserver(ModeObserver obs) { modeObserver_ = std::move(obs); }
+
     /** Set the operating mode (transitions are policed by the managers). */
-    void setMode(UnitMode mode) { mode_ = mode; }
+    void
+    setMode(UnitMode mode)
+    {
+        if (modeObserver_ && mode != mode_)
+            modeObserver_(mode_, mode);
+        mode_ = mode;
+    }
 
     /** Force the state of charge (testing / scenario setup). */
     void setSoc(double soc) { kibam_.setSoc(soc); }
@@ -141,6 +160,7 @@ class BatteryUnit
     ChargeModel charge_;
     WearModel wear_;
     UnitMode mode_ = UnitMode::Standby;
+    ModeObserver modeObserver_;
 };
 
 } // namespace insure::battery

@@ -76,6 +76,15 @@ Cabinet::capacityWh() const
 }
 
 AmpHours
+Cabinet::unitAh() const
+{
+    AmpHours ah = 0.0;
+    for (const auto &u : units_)
+        ah += u->soc() * u->params().capacityAh;
+    return ah;
+}
+
+AmpHours
 Cabinet::capacityAh() const
 {
     // Series string: same Ah rating as one unit.

@@ -55,6 +55,13 @@ class Cabinet
     /** Stored energy across all units, watt-hours. */
     WattHours storedEnergyWh() const;
 
+    /**
+     * Exact stored charge, summed over every unit (soc * capacityAh),
+     * ampere-hours. The per-tick conservation invariant balances deltas
+     * of this quantity against delivered/stored ampere-hours.
+     */
+    AmpHours unitAh() const;
+
     /** Full-charge capacity across all units, watt-hours. */
     WattHours capacityWh() const;
 

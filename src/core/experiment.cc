@@ -105,6 +105,17 @@ runExperiment(const ExperimentConfig &cfg)
     if (cfg.recordTrace)
         plant.enableTrace(cfg.tracePeriod);
 
+    // A factory-made observer is owned by this run (one instance per run,
+    // so sweeps stay thread-confined); a raw pointer is the caller's.
+    std::unique_ptr<SystemObserver> owned;
+    SystemObserver *observer = cfg.observer;
+    if (cfg.observerFactory) {
+        owned = cfg.observerFactory();
+        observer = owned.get();
+    }
+    if (observer)
+        plant.attachObserver(observer);
+
     simulation.runUntil(cfg.duration);
     simulation.finish();
 
@@ -114,6 +125,10 @@ runExperiment(const ExperimentConfig &cfg)
     res.log = plant.dailySummary();
     if (plant.trace())
         res.trace = *plant.trace();
+    if (observer) {
+        res.invariantViolations = observer->violationCount();
+        res.invariantNotes = observer->violationMessages();
+    }
     return res;
 }
 

@@ -9,6 +9,8 @@
 #define INSURE_CORE_EXPERIMENT_HH
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -57,6 +59,19 @@ struct ExperimentConfig {
     InsureParams insure;
     /** Baseline policy tuning (used when manager == Baseline). */
     BaselineParams baseline;
+    /**
+     * Tick-loop observer for this run (non-owning; must outlive the run).
+     * For sweeps executed across worker threads use observerFactory
+     * instead, so every run gets its own instance.
+     */
+    SystemObserver *observer = nullptr;
+    /**
+     * Creates a per-run observer (e.g. a validate::InvariantChecker).
+     * Invoked inside runExperiment; violation counts/messages are
+     * harvested into the ExperimentResult after the run. Takes precedence
+     * over the raw observer pointer.
+     */
+    std::function<std::unique_ptr<SystemObserver>()> observerFactory;
 };
 
 /** Outputs of one run. */
@@ -65,6 +80,10 @@ struct ExperimentResult {
     Metrics metrics;
     telemetry::DailyLogSummary log;
     std::optional<sim::Trace> trace;
+    /** Invariant violations reported by the run's observer (0 if none). */
+    std::uint64_t invariantViolations = 0;
+    /** Violation details (bounded; see validate::CheckerOptions). */
+    std::vector<std::string> invariantNotes;
 };
 
 /** Paired run of both policies on the same solar trace. */

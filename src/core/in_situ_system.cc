@@ -109,6 +109,27 @@ InSituSystem::enableTrace(Seconds period)
         });
 }
 
+void
+InSituSystem::attachObserver(SystemObserver *obs)
+{
+    observer_ = obs;
+    // Route mode transitions through the observer: unit 0 of each cabinet
+    // sees every transition (Cabinet::setMode propagates to all units),
+    // and the unit-level hook filters no-op writes (from == to).
+    for (unsigned i = 0; i < array_.cabinetCount(); ++i) {
+        battery::BatteryUnit &u = array_.cabinet(i).unit(0);
+        if (obs) {
+            u.setModeObserver(
+                [this, i](UnitMode from, UnitMode to) {
+                    observer_->onModeChange(i, from, to, sim().now(),
+                                            array_.cabinet(i).soc());
+                });
+        } else {
+            u.setModeObserver(nullptr);
+        }
+    }
+}
+
 Watts
 InSituSystem::cabinetPeakChargePower() const
 {
@@ -122,6 +143,10 @@ InSituSystem::physicsTick(Seconds now)
 {
     const Seconds dt = cfg_.physicsTick;
     const Seconds prev = now - dt;
+
+    // Exact pre-tick charge inventory, for the conservation invariant.
+    const AmpHours obsAhBefore =
+        observer_ ? array_.totalUnitAh() : 0.0;
 
     // 1. Workload arrivals.
     if (batchSrc_)
@@ -243,6 +268,7 @@ InSituSystem::physicsTick(Seconds now)
     // 4. Charge plan execution with the remaining surplus.
     Watts surplus = std::max(0.0, pg - direct);
     Watts charge_used = 0.0;
+    AmpHours charge_stored = 0.0;
     if (surplus > 0.0 && !chargePlan_.cabinets.empty()) {
         if (chargePlan_.splitEvenly) {
             const Watts each = surplus / chargePlan_.cabinets.size();
@@ -250,6 +276,7 @@ InSituSystem::physicsTick(Seconds now)
                 const auto r = array_.chargeCabinet(
                     idx, each, dt, cfg_.busCoupledCharging);
                 charge_used += r.consumedPower;
+                charge_stored += r.storedAh;
             }
         } else {
             for (unsigned idx : chargePlan_.cabinets) {
@@ -258,6 +285,7 @@ InSituSystem::physicsTick(Seconds now)
                 const auto r = array_.chargeCabinet(
                     idx, surplus, dt, cfg_.busCoupledCharging);
                 charge_used += r.consumedPower;
+                charge_stored += r.storedAh;
                 surplus -= r.consumedPower;
             }
         }
@@ -291,6 +319,30 @@ InSituSystem::physicsTick(Seconds now)
     const bool productive = cluster_.anyProductive();
     pendingGauge_.set(now, pending ? 1.0 : 0.0);
     upPendingGauge_.set(now, pending && productive ? 1.0 : 0.0);
+
+    if (observer_) {
+        TickSample s;
+        s.now = now;
+        s.dt = dt;
+        s.solarPower = pg;
+        s.loadPower = pl;
+        s.directPower = direct;
+        s.bufferDischargePower = dr.deliveredPower;
+        s.secondaryPower = secondary;
+        s.chargePower = charge_used;
+        s.dischargeAh = dr.throughputAh;
+        s.chargeStoredAh = charge_stored;
+        s.unitAhBefore = obsAhBefore;
+        s.unitAhAfter = array_.totalUnitAh();
+        s.powerFailed = failed;
+        s.activeVms = cluster_.activeVms();
+        s.backlogGb = queue_.backlog();
+        s.productive = productive;
+        s.array = &array_;
+        s.config = &cfg_;
+        s.chargePlan = &chargePlan_;
+        observer_->onTick(s);
+    }
 }
 
 void
@@ -346,6 +398,13 @@ InSituSystem::controlTick(Seconds now)
 {
     const SystemView view = buildView(now);
     const ControlActions act = manager_->control(view);
+
+    if (observer_) {
+        ControlSample s;
+        s.view = &view;
+        s.actions = &act;
+        observer_->onControl(s);
+    }
 
     // Apply cabinet modes.
     if (act.cabinetModes.size() == array_.cabinetCount()) {

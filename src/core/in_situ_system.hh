@@ -24,6 +24,7 @@
 #include "battery/battery_array.hh"
 #include "core/metrics.hh"
 #include "core/power_manager.hh"
+#include "core/system_observer.hh"
 #include "server/cluster.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
@@ -133,6 +134,16 @@ class InSituSystem : public sim::Component
     /** Record a (time, solar, load, soc, ...) trace every @p period s. */
     void enableTrace(Seconds period);
 
+    /**
+     * Attach a tick-loop observer (nullptr detaches). Not owned; must
+     * outlive the run. With no observer attached the tick loop pays one
+     * branch, so benches run at full speed.
+     */
+    void attachObserver(SystemObserver *obs);
+
+    /** The attached observer, if any. */
+    SystemObserver *observer() const { return observer_; }
+
     /** The recorded trace (null when not enabled). */
     const sim::Trace *trace() const { return trace_ ? &*trace_ : nullptr; }
 
@@ -189,6 +200,7 @@ class InSituSystem : public sim::Component
     std::unique_ptr<sim::PeriodicTask> controlTask_;
     std::unique_ptr<sim::PeriodicTask> traceTask_;
 
+    SystemObserver *observer_ = nullptr;
     ChargePlan chargePlan_;
     std::vector<Amperes> lastCurrents_;
     Seconds lastControl_ = 0.0;

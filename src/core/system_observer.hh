@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Observation hooks into the in-situ system's tick loop.
+ *
+ * A SystemObserver attached to an InSituSystem receives one TickSample per
+ * physics tick (the resolved power flows plus exact ampere-hour movements),
+ * one ControlSample per control period (the sensed view and the manager's
+ * actions, before they are applied), and one onModeChange per actual
+ * cabinet mode transition (wired through the BatteryUnit mode setter, so
+ * hardware-protection trips and fast-switch promotions are seen too).
+ *
+ * The hooks exist for the runtime validation layer (src/validate): the
+ * InvariantChecker asserts conservation/state-machine/budget invariants,
+ * the GoldenRecorder digests canonical runs. When no observer is attached
+ * the instrumentation reduces to one branch per tick.
+ */
+
+#ifndef INSURE_CORE_SYSTEM_OBSERVER_HH
+#define INSURE_CORE_SYSTEM_OBSERVER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "battery/battery_array.hh"
+#include "core/system_view.hh"
+#include "sim/units.hh"
+
+namespace insure::core {
+
+struct SystemConfig;
+
+/** Resolved power flows and charge movements of one physics tick. */
+struct TickSample {
+    /** End-of-tick simulated time, seconds. */
+    Seconds now = 0.0;
+    /** Tick length, seconds. */
+    Seconds dt = 0.0;
+    /** Solar power available this tick, watts. */
+    Watts solarPower = 0.0;
+    /** Rack demand at the start of the tick, watts. */
+    Watts loadPower = 0.0;
+    /** Green power fed directly to the rack, watts. */
+    Watts directPower = 0.0;
+    /** Average power delivered by the buffer, watts. */
+    Watts bufferDischargePower = 0.0;
+    /** Power delivered by the secondary feed, watts. */
+    Watts secondaryPower = 0.0;
+    /** Green power consumed by the charge plan, watts. */
+    Watts chargePower = 0.0;
+    /** String ampere-hours delivered by the buffer this tick. */
+    AmpHours dischargeAh = 0.0;
+    /** String ampere-hours stored by the charge plan this tick. */
+    AmpHours chargeStoredAh = 0.0;
+    /** Sum over every unit of soc * capacityAh, before this tick. */
+    AmpHours unitAhBefore = 0.0;
+    /** Sum over every unit of soc * capacityAh, after this tick. */
+    AmpHours unitAhAfter = 0.0;
+    /** True when the rack lost power this tick. */
+    bool powerFailed = false;
+    /** VMs active after the tick. */
+    unsigned activeVms = 0;
+    /** Queue backlog after the tick, gigabytes. */
+    GigaBytes backlogGb = 0.0;
+    /** True when any node is doing productive work. */
+    bool productive = false;
+    /** The physical buffer (post-tick state). */
+    const battery::BatteryArray *array = nullptr;
+    /** The plant configuration. */
+    const SystemConfig *config = nullptr;
+    /** The charge plan in force during the tick. */
+    const ChargePlan *chargePlan = nullptr;
+};
+
+/** One control period: the sensed view and the manager's response. */
+struct ControlSample {
+    const SystemView *view = nullptr;
+    const ControlActions *actions = nullptr;
+};
+
+/**
+ * Base class for tick-loop observers. All hooks default to no-ops;
+ * violationCount()/violationMessages() let harnesses harvest results from
+ * checking observers without knowing their concrete type.
+ */
+class SystemObserver
+{
+  public:
+    virtual ~SystemObserver() = default;
+
+    /** Called at the end of every physics tick. */
+    virtual void onTick(const TickSample &) {}
+
+    /** Called each control period, before the actions are applied. */
+    virtual void onControl(const ControlSample &) {}
+
+    /**
+     * Called on every actual cabinet mode transition (from != to).
+     * @p soc is the cabinet's true state of charge at the transition.
+     */
+    virtual void onModeChange(unsigned cabinet, battery::UnitMode from,
+                              battery::UnitMode to, Seconds now,
+                              double soc)
+    {
+        (void)cabinet;
+        (void)from;
+        (void)to;
+        (void)now;
+        (void)soc;
+    }
+
+    /** Invariant violations recorded so far (0 for passive observers). */
+    virtual std::uint64_t violationCount() const { return 0; }
+
+    /** Human-readable violation details (empty for passive observers). */
+    virtual std::vector<std::string> violationMessages() const
+    {
+        return {};
+    }
+};
+
+/** Fans every hook out to a list of observers (non-owning). */
+class ObserverList : public SystemObserver
+{
+  public:
+    void add(SystemObserver *obs)
+    {
+        if (obs)
+            observers_.push_back(obs);
+    }
+
+    void
+    onTick(const TickSample &s) override
+    {
+        for (auto *o : observers_)
+            o->onTick(s);
+    }
+
+    void
+    onControl(const ControlSample &s) override
+    {
+        for (auto *o : observers_)
+            o->onControl(s);
+    }
+
+    void
+    onModeChange(unsigned cabinet, battery::UnitMode from,
+                 battery::UnitMode to, Seconds now, double soc) override
+    {
+        for (auto *o : observers_)
+            o->onModeChange(cabinet, from, to, now, soc);
+    }
+
+    std::uint64_t
+    violationCount() const override
+    {
+        std::uint64_t n = 0;
+        for (const auto *o : observers_)
+            n += o->violationCount();
+        return n;
+    }
+
+    std::vector<std::string>
+    violationMessages() const override
+    {
+        std::vector<std::string> out;
+        for (const auto *o : observers_) {
+            auto m = o->violationMessages();
+            out.insert(out.end(), m.begin(), m.end());
+        }
+        return out;
+    }
+
+  private:
+    std::vector<SystemObserver *> observers_;
+};
+
+} // namespace insure::core
+
+#endif // INSURE_CORE_SYSTEM_OBSERVER_HH

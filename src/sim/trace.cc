@@ -20,6 +20,11 @@ Trace::append(const std::vector<double> &row)
     if (row.size() != columns_.size())
         fatal("Trace: row has %zu values, expected %zu", row.size(),
               columns_.size());
+    if (!rows_.empty() && row[0] < rows_.back()[0]) {
+        fatal("Trace: first column must be non-decreasing "
+              "(row %zu: %g < %g)",
+              rows_.size(), row[0], rows_.back()[0]);
+    }
     rows_.push_back(row);
 }
 

@@ -29,7 +29,12 @@ class Trace
     /** Number of recorded rows. */
     std::size_t rows() const { return rows_.size(); }
 
-    /** Append one row; must have exactly columns().size() values. */
+    /**
+     * Append one row; must have exactly columns().size() values, and the
+     * first column (the interpolation axis) must not decrease. Violations
+     * are fatal — a silently unsorted axis would make interpolate()
+     * return garbage from its binary search.
+     */
     void append(const std::vector<double> &row);
 
     /** Access row @p r. */

@@ -1,0 +1,249 @@
+#include "validate/golden_trace.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace insure::validate {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t
+fnv1a(std::uint64_t h, const std::string &bytes)
+{
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** The hashed/serialised payload of one record (everything but hash). */
+std::string
+payload(const GoldenRecord &r)
+{
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "\"i\":%llu,\"t\":%.1f,\"solar\":%.6f,\"load\":%.6f,"
+                  "\"supplied\":%.6f,\"mean_soc\":%.6f,"
+                  "\"stored_wh\":%.6f,\"vms\":%u,\"backlog_gb\":%.6f,"
+                  "\"modes\":\"%s\"",
+                  static_cast<unsigned long long>(r.index), r.t, r.solar,
+                  r.load, r.supplied, r.meanSoc, r.storedWh, r.vms,
+                  r.backlogGb, r.modes.c_str());
+    return buf;
+}
+
+double
+jsonNumber(const std::string &line, const char *key, std::size_t lineno)
+{
+    const std::string needle = std::string("\"") + key + "\":";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos)
+        fatal("golden: missing key '%s' at line %zu", key, lineno);
+    return std::strtod(line.c_str() + pos + needle.size(), nullptr);
+}
+
+std::string
+jsonString(const std::string &line, const char *key, std::size_t lineno)
+{
+    const std::string needle = std::string("\"") + key + "\":\"";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos)
+        fatal("golden: missing key '%s' at line %zu", key, lineno);
+    const auto start = pos + needle.size();
+    const auto end = line.find('"', start);
+    if (end == std::string::npos)
+        fatal("golden: unterminated string '%s' at line %zu", key, lineno);
+    return line.substr(start, end - start);
+}
+
+} // namespace
+
+GoldenRecorder::GoldenRecorder(Seconds period) : period_(period)
+{
+    if (period_ <= 0.0)
+        fatal("GoldenRecorder: period must be positive");
+    next_ = period_;
+}
+
+void
+GoldenRecorder::onTick(const core::TickSample &s)
+{
+    if (s.now + 1e-9 < next_)
+        return;
+    next_ += period_;
+
+    GoldenRecord r;
+    r.index = records_.size();
+    r.t = s.now;
+    r.solar = s.solarPower;
+    r.load = s.loadPower;
+    r.supplied = s.directPower + s.bufferDischargePower +
+                 s.secondaryPower;
+    r.meanSoc = s.array ? s.array->meanSoc() : 0.0;
+    r.storedWh = s.array ? s.array->storedEnergyWh() : 0.0;
+    r.vms = s.activeVms;
+    r.backlogGb = s.backlogGb;
+    if (s.array) {
+        for (unsigned i = 0; i < s.array->cabinetCount(); ++i)
+            r.modes += battery::unitModeName(
+                s.array->cabinet(i).mode())[0];
+    }
+
+    hash_ = fnv1a(hash_, payload(r));
+    r.hash = hex64(hash_);
+    records_.push_back(std::move(r));
+}
+
+std::string
+GoldenRecorder::finalHash() const
+{
+    return records_.empty() ? std::string() : records_.back().hash;
+}
+
+void
+GoldenRecorder::save(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("golden: cannot open '%s' for writing", path.c_str());
+    for (const auto &r : records_)
+        os << '{' << payload(r) << ",\"hash\":\"" << r.hash << "\"}\n";
+    if (!os)
+        fatal("golden: write to '%s' failed", path.c_str());
+}
+
+std::vector<GoldenRecord>
+GoldenRecorder::load(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("golden: cannot open '%s' for reading", path.c_str());
+    std::vector<GoldenRecord> out;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        GoldenRecord r;
+        r.index = static_cast<std::uint64_t>(
+            jsonNumber(line, "i", lineno));
+        r.t = jsonNumber(line, "t", lineno);
+        r.solar = jsonNumber(line, "solar", lineno);
+        r.load = jsonNumber(line, "load", lineno);
+        r.supplied = jsonNumber(line, "supplied", lineno);
+        r.meanSoc = jsonNumber(line, "mean_soc", lineno);
+        r.storedWh = jsonNumber(line, "stored_wh", lineno);
+        r.vms = static_cast<unsigned>(jsonNumber(line, "vms", lineno));
+        r.backlogGb = jsonNumber(line, "backlog_gb", lineno);
+        r.modes = jsonString(line, "modes", lineno);
+        r.hash = jsonString(line, "hash", lineno);
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+GoldenMismatch
+compareGolden(const std::vector<GoldenRecord> &golden,
+              const std::vector<GoldenRecord> &actual, double tol)
+{
+    GoldenMismatch m;
+    auto fail = [&](std::size_t i, std::string detail) {
+        if (m.matched) {
+            m.matched = false;
+            m.record = i;
+            m.detail = std::move(detail);
+        }
+    };
+    if (golden.size() != actual.size()) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "record count %zu != golden %zu", actual.size(),
+                      golden.size());
+        fail(std::min(golden.size(), actual.size()), buf);
+    }
+    const std::size_t n = std::min(golden.size(), actual.size());
+    for (std::size_t i = 0; i < n && m.matched; ++i) {
+        const GoldenRecord &g = golden[i];
+        const GoldenRecord &a = actual[i];
+        auto num = [&](const char *field, double gv, double av) {
+            if (std::fabs(gv - av) > tol) {
+                char buf[160];
+                std::snprintf(buf, sizeof(buf),
+                              "t=%.1f field %s: %.6f != golden %.6f",
+                              g.t, field, av, gv);
+                fail(i, buf);
+            }
+        };
+        num("t", g.t, a.t);
+        num("solar", g.solar, a.solar);
+        num("load", g.load, a.load);
+        num("supplied", g.supplied, a.supplied);
+        num("mean_soc", g.meanSoc, a.meanSoc);
+        num("stored_wh", g.storedWh, a.storedWh);
+        num("vms", g.vms, a.vms);
+        num("backlog_gb", g.backlogGb, a.backlogGb);
+        if (m.matched && g.modes != a.modes) {
+            fail(i, "t=" + std::to_string(g.t) + " modes " + a.modes +
+                        " != golden " + g.modes);
+        }
+    }
+    m.hashIdentical = !golden.empty() && !actual.empty() &&
+                      golden.back().hash == actual.back().hash &&
+                      golden.size() == actual.size();
+    return m;
+}
+
+std::vector<std::string>
+goldenScenarioNames()
+{
+    return {"fig14_seismic_sunny", "fig16_video_cloudy"};
+}
+
+core::ExperimentConfig
+goldenScenario(const std::string &name)
+{
+    if (name == "fig14_seismic_sunny") {
+        core::ExperimentConfig cfg = core::seismicExperiment();
+        cfg.day = solar::DayClass::Sunny;
+        return cfg;
+    }
+    if (name == "fig16_video_cloudy") {
+        core::ExperimentConfig cfg = core::videoExperiment();
+        cfg.day = solar::DayClass::Cloudy;
+        return cfg;
+    }
+    fatal("golden: unknown scenario '%s'", name.c_str());
+}
+
+std::vector<GoldenRecord>
+recordGoldenRun(core::ExperimentConfig cfg, Seconds period)
+{
+    GoldenRecorder recorder(period);
+    core::ObserverList observers;
+    observers.add(&recorder);
+    observers.add(cfg.observer);
+    cfg.observerFactory = nullptr;
+    cfg.observer = &observers;
+    core::runExperiment(cfg);
+    return recorder.records();
+}
+
+} // namespace insure::validate

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Golden-trace regression checking for the canonical full-day scenarios.
+ *
+ * A GoldenRecorder observes a run and digests the system state every
+ * sampling period into one JSONL record (time, power flows, buffer state,
+ * cabinet modes) plus a rolling FNV-1a hash chained across records. The
+ * canonical digests for the Fig. 14/16 full-day scenarios live in
+ * tests/golden/ and are compared field-by-field (tight tolerance, so a
+ * libm difference does not fail the check while any behavioural drift
+ * does). The golden_trace tool (tests/validate/golden_trace_main.cc)
+ * wires --record/--check into ctest.
+ */
+
+#ifndef INSURE_VALIDATE_GOLDEN_TRACE_HH
+#define INSURE_VALIDATE_GOLDEN_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/system_observer.hh"
+
+namespace insure::validate {
+
+/** One per-period digest of the system state. */
+struct GoldenRecord {
+    /** Sample index. */
+    std::uint64_t index = 0;
+    /** Simulated time, seconds. */
+    Seconds t = 0.0;
+    /** Solar power, watts. */
+    Watts solar = 0.0;
+    /** Rack load, watts. */
+    Watts load = 0.0;
+    /** Power supplied to the rack (direct + buffer + secondary), watts. */
+    Watts supplied = 0.0;
+    /** Mean buffer state of charge. */
+    double meanSoc = 0.0;
+    /** Stored buffer energy, watt-hours. */
+    WattHours storedWh = 0.0;
+    /** Active VMs. */
+    unsigned vms = 0;
+    /** Queue backlog, gigabytes. */
+    double backlogGb = 0.0;
+    /** Cabinet modes as one letter each (O/C/S/D). */
+    std::string modes;
+    /** Rolling FNV-1a hash (hex) chained over all records so far. */
+    std::string hash;
+};
+
+/** Result of comparing a recorded run against a golden file. */
+struct GoldenMismatch {
+    /** True when every record matched within tolerance. */
+    bool matched = true;
+    /** True when the final rolling hashes are bit-identical. */
+    bool hashIdentical = true;
+    /** First mismatching record (when !matched). */
+    std::size_t record = 0;
+    /** Human-readable description of the first mismatch. */
+    std::string detail;
+};
+
+/** Observer that samples golden records every @p period seconds. */
+class GoldenRecorder : public core::SystemObserver
+{
+  public:
+    explicit GoldenRecorder(Seconds period = 300.0);
+
+    void onTick(const core::TickSample &s) override;
+
+    const std::vector<GoldenRecord> &records() const { return records_; }
+
+    /** Final rolling hash (hex), empty before any sample. */
+    std::string finalHash() const;
+
+    /** Write the records as JSONL. Fatal on I/O error. */
+    void save(const std::string &path) const;
+
+    /** Parse a JSONL golden file. Fatal on I/O error or bad format. */
+    static std::vector<GoldenRecord> load(const std::string &path);
+
+  private:
+    Seconds period_;
+    Seconds next_ = 0.0;
+    std::uint64_t hash_ = 14695981039346656037ull; // FNV-1a offset basis
+    std::vector<GoldenRecord> records_;
+};
+
+/**
+ * Compare a recorded run against golden records. Numeric fields compare
+ * with absolute tolerance @p tol (records are serialised at 1e-6
+ * resolution); modes compare exactly. Hash identity is reported
+ * separately so platform-level float drift is visible without failing.
+ */
+GoldenMismatch compareGolden(const std::vector<GoldenRecord> &golden,
+                             const std::vector<GoldenRecord> &actual,
+                             double tol = 2e-6);
+
+/** Names of the canonical golden scenarios. */
+std::vector<std::string> goldenScenarioNames();
+
+/**
+ * Experiment configuration of a canonical scenario
+ * ("fig14_seismic_sunny" or "fig16_video_cloudy"). Fatal on an unknown
+ * name.
+ */
+core::ExperimentConfig goldenScenario(const std::string &name);
+
+/** Sampling period used for the checked-in golden digests, seconds. */
+inline constexpr Seconds kGoldenPeriod = 300.0;
+
+/**
+ * Run a scenario with a GoldenRecorder (and any extra observer the
+ * config already carries) attached; returns the recorded digests.
+ */
+std::vector<GoldenRecord> recordGoldenRun(core::ExperimentConfig cfg,
+                                          Seconds period = kGoldenPeriod);
+
+} // namespace insure::validate
+
+#endif // INSURE_VALIDATE_GOLDEN_TRACE_HH

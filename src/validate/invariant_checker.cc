@@ -1,0 +1,413 @@
+#include "validate/invariant_checker.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+
+#include "core/experiment.hh"
+#include "sim/logging.hh"
+
+namespace insure::validate {
+
+using battery::UnitMode;
+
+namespace {
+
+/** printf-style formatting into a std::string (messages are bounded). */
+std::string
+strf(const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return buf;
+}
+
+} // namespace
+
+CheckerOptions
+optionsForExperiment(const core::ExperimentConfig &cfg)
+{
+    CheckerOptions opts;
+    if (cfg.manager == core::ManagerKind::Insure) {
+        opts.checkConcentration = !cfg.insure.disableConcentration;
+        opts.checkScreening = !cfg.insure.disableBalancing;
+        opts.spatial = cfg.insure.spatial;
+        opts.spatialPeriod = cfg.insure.spatialPeriod;
+        opts.minDischargeSoc = cfg.insure.offlineSoc;
+    } else {
+        // The baseline neither concentrates charge nor screens by wear;
+        // it also never commands Discharging (strings float on the bus
+        // in Standby), so the generic checks are the meaningful ones.
+        opts.checkConcentration = false;
+        opts.checkScreening = false;
+        opts.minDischargeSoc = cfg.system.battery.minSoc;
+    }
+    return opts;
+}
+
+void
+attachInvariantChecker(core::ExperimentConfig &cfg, Policy policy)
+{
+    CheckerOptions opts = optionsForExperiment(cfg);
+    opts.policy = policy;
+    cfg.observerFactory = [opts] {
+        return std::make_unique<InvariantChecker>(opts);
+    };
+}
+
+InvariantChecker::InvariantChecker(CheckerOptions opts)
+    : opts_(std::move(opts))
+{
+}
+
+void
+InvariantChecker::report(Seconds now, const char *check, std::string detail)
+{
+    ++violations_;
+    std::string msg =
+        strf("t=%.1f [%s] ", now, check) + detail;
+    if (opts_.policy == Policy::Abort)
+        panic("invariant violated: %s", msg.c_str());
+    if (messages_.size() < opts_.maxMessages) {
+        Logger::log(LogLevel::Warn, "invariant violated: %s",
+                    msg.c_str());
+        messages_.push_back(std::move(msg));
+    }
+}
+
+bool
+InvariantChecker::legalTransition(UnitMode from, UnitMode to, double soc,
+                                  double min_discharge_soc)
+{
+    if (from == to)
+        return true;
+    // Protection/depletion may retire a cabinet from any mode (Fig. 8
+    // transition 4 plus the hardware trip paths).
+    if (to == UnitMode::Offline)
+        return true;
+    switch (from) {
+      case UnitMode::Offline:
+        // Screening re-admission lands on the charge bus or in standby.
+        // A depleted offline cabinet must never reconnect straight to
+        // the load bus; a healthy one may (re-admission composed with an
+        // immediate deficit promotion within one control period). The
+        // 0.01 slack absorbs sensed-vs-true SoC quantisation.
+        if (to == UnitMode::Discharging)
+            return soc > min_discharge_soc - 0.01;
+        return true;
+      case UnitMode::Charging:
+      case UnitMode::Standby:
+        // Charged -> standby, deficit -> discharging, surplus rotation.
+        return true;
+      case UnitMode::Discharging:
+        // Surplus -> standby (possibly composed with a rotation onto the
+        // charge bus in the same control period).
+        return true;
+    }
+    return false;
+}
+
+void
+InvariantChecker::onModeChange(unsigned cabinet, UnitMode from, UnitMode to,
+                               Seconds now, double soc)
+{
+    if (opts_.policy == Policy::Off || !opts_.checkTransitions)
+        return;
+    ++transitions_;
+    if (!legalTransition(from, to, soc, opts_.minDischargeSoc)) {
+        report(now, "fig8-transition",
+               strf("cab%u %s -> %s at soc=%.3f (min discharge soc "
+                    "%.3f)",
+                    cabinet, battery::unitModeName(from),
+                    battery::unitModeName(to), soc,
+                    opts_.minDischargeSoc));
+    }
+}
+
+void
+InvariantChecker::onTick(const core::TickSample &s)
+{
+    if (opts_.policy == Policy::Off)
+        return;
+    ++ticks_;
+    const double eps = 1e-9;
+
+    if (opts_.checkSocBounds && s.array) {
+        for (unsigned i = 0; i < s.array->cabinetCount(); ++i) {
+            const auto &cab = s.array->cabinet(i);
+            for (unsigned u = 0; u < cab.seriesCount(); ++u) {
+                const auto &unit = cab.unit(u);
+                const double soc = unit.soc();
+                const double avail = unit.availableFraction();
+                if (soc < -eps || soc > 1.0 + eps) {
+                    report(s.now, "soc-bounds",
+                           strf("cab%u.u%u soc=%.9f", i, u, soc));
+                }
+                if (avail < -eps || avail > 1.0 + eps) {
+                    report(s.now, "soc-bounds",
+                           strf("cab%u.u%u availableFraction=%.9f", i,
+                                u, avail));
+                }
+                const Volts ocv = unit.openCircuitVoltage();
+                if (ocv < 5.0 || ocv > 18.0) {
+                    report(s.now, "voltage-sanity",
+                           strf("cab%u.u%u ocv=%.3f V outside [5, 18]",
+                                i, u, ocv));
+                }
+            }
+        }
+    }
+
+    if (opts_.checkConservation && s.config) {
+        // Exact Ah balance: the unit-level inventory moves only by what
+        // the series strings delivered/stored (each series unit carries
+        // the string current) minus bounded self-discharge of resting
+        // units. KiBaM accounts rejected charge exactly, so the slack is
+        // numerical noise plus the self-discharge allowance.
+        const auto &bp = s.config->battery;
+        const unsigned series = std::max(1u, s.config->seriesCount);
+        const unsigned total_units =
+            (s.array ? s.array->cabinetCount()
+                     : s.config->cabinetCount) *
+            series;
+        const AmpHours self_dis = bp.selfDischargePerDay * bp.capacityAh *
+                                  (s.dt / units::secPerDay) * total_units;
+        const AmpHours delta = s.unitAhAfter - s.unitAhBefore;
+        const AmpHours expected =
+            (s.chargeStoredAh - s.dischargeAh) * series;
+        const AmpHours residual = delta - expected;
+        if (residual > opts_.ahTolerance ||
+            residual < -(self_dis + opts_.ahTolerance)) {
+            report(s.now, "ah-conservation",
+                   strf("delta=%.9f Ah expected=%.9f Ah residual=%.9f "
+                        "Ah (self-discharge bound %.9f)",
+                        delta, expected, residual, self_dis));
+        }
+        // Cross-tick continuity: nothing may move the inventory between
+        // two physics ticks (control/telemetry events switch relays but
+        // never touch charge). This is what catches out-of-band charge
+        // injection the per-tick balance above cannot see.
+        if (haveLastAh_ &&
+            std::fabs(s.unitAhBefore - lastUnitAhAfter_) >
+                opts_.ahTolerance) {
+            report(s.now, "ah-conservation",
+                   strf("inventory jumped between ticks: %.9f Ah -> "
+                        "%.9f Ah",
+                        lastUnitAhAfter_, s.unitAhBefore));
+        }
+        lastUnitAhAfter_ = s.unitAhAfter;
+        haveLastAh_ = true;
+    }
+
+    if (opts_.checkPowerFlow && s.config) {
+        const Watts tol_w = 1e-6 * std::max(1.0, s.solarPower);
+        if (s.directPower + s.chargePower > s.solarPower + tol_w) {
+            report(s.now, "green-accounting",
+                   strf("direct=%.3f W + charge=%.3f W > solar=%.3f W",
+                        s.directPower, s.chargePower, s.solarPower));
+        }
+        if (s.directPower > s.loadPower + tol_w ||
+            s.directPower < -tol_w) {
+            report(s.now, "green-accounting",
+                   strf("direct=%.3f W outside [0, load=%.3f W]",
+                        s.directPower, s.loadPower));
+        }
+        if (s.bufferDischargePower < -1e-9) {
+            report(s.now, "power-flow",
+                   strf("negative buffer discharge %.6f W",
+                        s.bufferDischargePower));
+        }
+        const Watts sec_cap =
+            s.config->secondary ? s.config->secondary->capacity : 0.0;
+        if (s.secondaryPower < -1e-9 ||
+            s.secondaryPower > sec_cap + 1e-6) {
+            report(s.now, "power-flow",
+                   strf("secondary=%.3f W outside [0, %.3f W]",
+                        s.secondaryPower, sec_cap));
+        }
+        const Watts supplied = s.directPower + s.bufferDischargePower +
+                               s.secondaryPower;
+        const bool expect_failed =
+            s.loadPower > 1.0 &&
+            supplied < s.loadPower * s.config->supplyTolerance;
+        if (s.powerFailed != expect_failed) {
+            report(s.now, "power-failure-flag",
+                   strf("failed=%d but supplied=%.3f W load=%.3f W "
+                        "tolerance=%.3f",
+                        s.powerFailed ? 1 : 0, supplied, s.loadPower,
+                        s.config->supplyTolerance));
+        }
+    }
+
+    if (opts_.checkRelays && s.array) {
+        for (unsigned i = 0; i < s.array->cabinetCount(); ++i) {
+            const auto &cab = s.array->cabinet(i);
+            const bool cr = cab.chargeRelay().closed();
+            const bool dr = cab.dischargeRelay().closed();
+            if (cr && dr) {
+                report(s.now, "relay-consistency",
+                       strf("cab%u charge and discharge relays both "
+                            "closed (bus short)",
+                            i));
+                continue;
+            }
+            bool ok = true;
+            switch (cab.mode()) {
+              case UnitMode::Offline:
+              case UnitMode::Standby:
+                ok = !cr && !dr;
+                break;
+              case UnitMode::Charging:
+                ok = cr && !dr;
+                break;
+              case UnitMode::Discharging:
+                ok = !cr && dr;
+                break;
+            }
+            if (!ok) {
+                report(s.now, "relay-consistency",
+                       strf("cab%u mode=%s but relays charge=%d "
+                            "discharge=%d",
+                            i, battery::unitModeName(cab.mode()), cr,
+                            dr));
+            }
+        }
+        if (s.array->network().topology() ==
+            battery::BusTopology::Invalid) {
+            report(s.now, "switch-topology",
+                   "P1/P2/P3 combination is invalid (bus disconnected)");
+        }
+    }
+}
+
+void
+InvariantChecker::onControl(const core::ControlSample &s)
+{
+    if (opts_.policy == Policy::Off || !s.view || !s.actions)
+        return;
+    ++controls_;
+    const core::SystemView &view = *s.view;
+    const core::ControlActions &act = *s.actions;
+
+    if (!act.cabinetModes.empty() &&
+        act.cabinetModes.size() != view.cabinets.size()) {
+        report(view.now, "control-shape",
+               strf("%zu cabinet modes for %zu cabinets",
+                    act.cabinetModes.size(), view.cabinets.size()));
+    }
+    if (act.dutyCycle < -1e-9 || act.dutyCycle > 1.0 + 1e-9) {
+        report(view.now, "control-shape",
+               strf("duty cycle %.6f outside [0, 1]", act.dutyCycle));
+    }
+    for (unsigned idx : act.chargePlan.cabinets) {
+        if (idx >= view.cabinets.size()) {
+            report(view.now, "control-shape",
+                   strf("charge plan names cab%u of %zu", idx,
+                        view.cabinets.size()));
+        }
+    }
+
+    // Fig. 10 concentration: with a concentrated (sequential-fill) plan,
+    // at most N = P_G / P_PC cabinets charge at once. The bound mirrors
+    // InsureManager::control exactly: the dispatchable average includes
+    // the secondary feed, and the budget never falls below a quarter of
+    // it (morning-charge behaviour).
+    if (opts_.checkConcentration && !act.chargePlan.splitEvenly &&
+        !act.chargePlan.cabinets.empty()) {
+        const Watts avg = view.solarPowerAvg + view.secondaryCapacity;
+        const Watts surplus = std::max(0.0, avg - view.loadPower);
+        const Watts budget = std::max(surplus, avg * 0.25);
+        const Watts peak = view.peakChargePower;
+        std::size_t bound = 1;
+        if (budget > 0.0 && peak > 0.0) {
+            bound = std::max(
+                1.0, std::floor(static_cast<double>(budget / peak)));
+        }
+        if (act.chargePlan.cabinets.size() > bound) {
+            report(view.now, "charge-concentration",
+                   strf("%zu cabinets charging, budget %.1f W / peak "
+                        "%.1f W allows %zu",
+                        act.chargePlan.cabinets.size(), budget, peak,
+                        bound));
+        }
+        for (unsigned idx : act.chargePlan.cabinets) {
+            if (idx < act.cabinetModes.size() &&
+                act.cabinetModes[idx] != UnitMode::Charging) {
+                report(view.now, "charge-concentration",
+                       strf("planned cab%u commanded %s, not Charging",
+                            idx,
+                            battery::unitModeName(
+                                act.cabinetModes[idx])));
+            }
+        }
+    }
+
+    // Eq-1 screening: offline cabinets re-enter only within the δD
+    // discharge budget. The mirror reproduces SpatialManager exactly —
+    // same screening schedule, same monotone on-demand relaxation — so a
+    // manager re-admitting an over-budget cabinet is flagged.
+    if (opts_.checkScreening &&
+        act.cabinetModes.size() == view.cabinets.size()) {
+        const core::SpatialParams &sp = opts_.spatial;
+        const AmpHours daily =
+            sp.lifetimeDischargeAh /
+            (sp.desiredLifetimeYears * units::daysPerYear);
+        const bool screen_step =
+            view.now - lastScreen_ >= opts_.spatialPeriod;
+        if (screen_step) {
+            lastScreen_ = view.now;
+            auto threshold = [&]() {
+                return (view.now / units::secPerDay + sp.graceDays) *
+                           daily +
+                       relaxedBudgetAh_;
+            };
+            auto eligible = [&](AmpHours thr) {
+                std::size_t n = 0;
+                for (const auto &c : view.cabinets) {
+                    if (c.dischargeThroughputAh < thr)
+                        ++n;
+                }
+                return n;
+            };
+            AmpHours thr = threshold();
+            std::size_t n = eligible(thr);
+            while (sp.relaxThreshold && n < sp.minEligible &&
+                   n < view.cabinets.size()) {
+                relaxedBudgetAh_ += sp.relaxFraction * daily;
+                thr = threshold();
+                n = eligible(thr);
+            }
+            for (unsigned i = 0; i < view.cabinets.size(); ++i) {
+                if (view.cabinets[i].mode != UnitMode::Offline ||
+                    act.cabinetModes[i] == UnitMode::Offline)
+                    continue;
+                if (view.cabinets[i].dischargeThroughputAh >=
+                    thr + 1e-9) {
+                    report(view.now, "spatial-budget",
+                           strf("cab%u re-admitted with AhT=%.3f >= "
+                                "threshold %.3f Ah",
+                                i,
+                                view.cabinets[i].dischargeThroughputAh,
+                                thr));
+                }
+            }
+        } else {
+            for (unsigned i = 0; i < view.cabinets.size(); ++i) {
+                if (view.cabinets[i].mode == UnitMode::Offline &&
+                    act.cabinetModes[i] != UnitMode::Offline) {
+                    report(view.now, "spatial-budget",
+                           strf("cab%u re-admitted outside a "
+                                "screening step",
+                                i));
+                }
+            }
+        }
+    }
+}
+
+} // namespace insure::validate

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Runtime invariant checking for the in-situ system simulation.
+ *
+ * The InvariantChecker is a SystemObserver that asserts, every simulated
+ * step, the physical and protocol invariants the paper's evaluation rests
+ * on:
+ *
+ *  - charge conservation: the exact ampere-hour inventory of the buffer
+ *    moves only by what was delivered/stored this tick (plus bounded
+ *    self-discharge) — KiBaM bookkeeping is conservation-exact, so the
+ *    tolerance is tight;
+ *  - green-energy accounting: direct feed + charging never exceed the
+ *    solar input;
+ *  - per-unit SoC/available-well in [0, 1] and voltage-model sanity;
+ *  - Fig. 8 state-machine legality, observed at the BatteryUnit mode
+ *    setter (every transition funnels through it: manager decisions,
+ *    fast-switch promotions, hardware protection trips);
+ *  - spatial-manager budget compliance: the Eq-1 δD screening threshold
+ *    (with the on-demand relaxation mirrored exactly) and the
+ *    N = P_G / P_PC charge-concentration bound;
+ *  - relay/switch-network topology consistency (mode <-> relay states,
+ *    never a shorted bus, never an invalid P1/P2/P3 combination).
+ *
+ * Policy Off/Log/Abort selects the response: Off makes every hook an
+ * immediate return (benches at zero overhead attach nothing at all),
+ * Log records bounded messages and counts, Abort panics on the first
+ * violation (debugging).
+ */
+
+#ifndef INSURE_VALIDATE_INVARIANT_CHECKER_HH
+#define INSURE_VALIDATE_INVARIANT_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/spatial_manager.hh"
+#include "core/system_observer.hh"
+
+namespace insure::core {
+struct ExperimentConfig;
+}
+
+namespace insure::validate {
+
+/** What to do when an invariant fails. */
+enum class Policy {
+    /** Check nothing (hooks return immediately). */
+    Off,
+    /** Count violations and keep bounded messages; log at Warn. */
+    Log,
+    /** panic() on the first violation (stops in a debugger/core dump). */
+    Abort,
+};
+
+/** Configuration of the checker. */
+struct CheckerOptions {
+    Policy policy = Policy::Log;
+
+    // Individual check groups.
+    bool checkConservation = true;
+    bool checkSocBounds = true;
+    bool checkPowerFlow = true;
+    bool checkRelays = true;
+    bool checkTransitions = true;
+    /** N = P_G / P_PC concentration bound (InSURE w/ concentration). */
+    bool checkConcentration = false;
+    /** Eq-1 δD screening compliance (InSURE w/ wear balancing). */
+    bool checkScreening = false;
+
+    /** Spatial parameters mirrored for the screening/batch math. */
+    core::SpatialParams spatial;
+    /** Screening interval mirrored from InsureParams::spatialPeriod. */
+    Seconds spatialPeriod = 300.0;
+    /**
+     * SoC below which a cabinet retired Offline must not re-enter
+     * Discharging (the Fig. 8 taboo transition); sensed/true SoC skew is
+     * absorbed by a 0.01 slack.
+     */
+    double minDischargeSoc = 0.2;
+
+    /** Absolute ampere-hour slack for the conservation balance. */
+    double ahTolerance = 1e-6;
+    /** Keep at most this many violation messages (counting continues). */
+    std::size_t maxMessages = 32;
+};
+
+/** Derive checker options matching an experiment's manager/ablations. */
+CheckerOptions optionsForExperiment(const core::ExperimentConfig &cfg);
+
+/**
+ * Wire a per-run InvariantChecker into @p cfg via its observerFactory
+ * (options derived with optionsForExperiment; policy overridden to
+ * @p policy). Violations surface in ExperimentResult after the run.
+ */
+void attachInvariantChecker(core::ExperimentConfig &cfg,
+                            Policy policy = Policy::Log);
+
+/** The runtime invariant checker (attach via InSituSystem or config). */
+class InvariantChecker : public core::SystemObserver
+{
+  public:
+    explicit InvariantChecker(CheckerOptions opts = {});
+
+    void onTick(const core::TickSample &s) override;
+    void onControl(const core::ControlSample &s) override;
+    void onModeChange(unsigned cabinet, battery::UnitMode from,
+                      battery::UnitMode to, Seconds now,
+                      double soc) override;
+
+    std::uint64_t violationCount() const override { return violations_; }
+    std::vector<std::string> violationMessages() const override
+    {
+        return messages_;
+    }
+
+    /** Physics ticks inspected so far. */
+    std::uint64_t ticksChecked() const { return ticks_; }
+
+    /** Control periods inspected so far. */
+    std::uint64_t controlsChecked() const { return controls_; }
+
+    /** Mode transitions inspected so far. */
+    std::uint64_t transitionsChecked() const { return transitions_; }
+
+    /**
+     * True when the Fig. 8 state machine allows @p from -> @p to at state
+     * of charge @p soc, under @p minDischargeSoc (exposed for tests).
+     */
+    static bool legalTransition(battery::UnitMode from,
+                                battery::UnitMode to, double soc,
+                                double min_discharge_soc);
+
+  private:
+    void report(Seconds now, const char *check, std::string detail);
+
+    CheckerOptions opts_;
+    std::uint64_t violations_ = 0;
+    std::uint64_t ticks_ = 0;
+    std::uint64_t controls_ = 0;
+    std::uint64_t transitions_ = 0;
+    std::vector<std::string> messages_;
+
+    // Mirror of SpatialManager's relaxation state (Eq-1 screening).
+    AmpHours relaxedBudgetAh_ = 0.0;
+    Seconds lastScreen_ = -1e18;
+
+    // Cross-tick inventory continuity state.
+    AmpHours lastUnitAhAfter_ = 0.0;
+    bool haveLastAh_ = false;
+};
+
+} // namespace insure::validate
+
+#endif // INSURE_VALIDATE_INVARIANT_CHECKER_HH

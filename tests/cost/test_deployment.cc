@@ -123,6 +123,62 @@ TEST(Deployment, HardwareReplacementRaisesLongDeploymentCost)
                       m.proto.solar.batterySystemFactor);
 }
 
+TEST(Deployment, Fig23GoldenValues)
+{
+    // Regression lock on the Fig. 23 scale-out table (200 GB/day site,
+    // 3-year deployment) as EXPERIMENTS.md reports it.
+    DeploymentModel m;
+    const double days = 3.0 * 365.25;
+    const auto rows = scaleOutTable(m, 200.0, days);
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_NEAR(rows[0].cloudCost, 2247287.0, 1000.0);
+    // Cloud cost does not depend on sunshine.
+    for (const auto &row : rows)
+        EXPECT_DOUBLE_EQ(row.cloudCost, rows[0].cloudCost);
+    EXPECT_NEAR(rows[0].scaleOutCost, 122508.0, 100.0);
+    EXPECT_NEAR(rows[1].scaleOutCost, 127533.0, 100.0);
+    EXPECT_NEAR(rows[2].scaleOutCost, 133859.0, 100.0);
+    EXPECT_NEAR(rows[3].scaleOutCost, 147992.0, 100.0);
+    EXPECT_EQ(m.serversFor(200.0, 1.0), 2u);
+    EXPECT_EQ(m.serversFor(200.0, 0.4), 5u);
+    // Savings slide from 94.5% to 93.4% as the sun fades.
+    EXPECT_NEAR(1.0 - rows[0].scaleOutCost / rows[0].cloudCost, 0.945,
+                0.005);
+    EXPECT_NEAR(1.0 - rows[3].scaleOutCost / rows[3].cloudCost, 0.934,
+                0.005);
+}
+
+TEST(Deployment, Fig24GoldenValues)
+{
+    // Regression lock on the Fig. 24 crossover rates and the headline
+    // saving at 500 GB/day over a 3-year deployment.
+    DeploymentModel m;
+    const double days = 3.0 * 365.25;
+    EXPECT_NEAR(m.crossoverGbPerDay(days, 1.0), 0.72, 0.02);
+    EXPECT_NEAR(m.crossoverGbPerDay(days, 0.8), 0.75, 0.02);
+    EXPECT_NEAR(m.crossoverGbPerDay(days, 0.6), 0.79, 0.02);
+    EXPECT_NEAR(m.crossoverGbPerDay(days, 0.4), 0.88, 0.02);
+    EXPECT_NEAR(m.cloudCost(500.0, days), 5616718.0, 1000.0);
+    EXPECT_NEAR(m.inSituCost(500.0, days, 1.0), 303993.0, 500.0);
+    EXPECT_NEAR(m.saving(500.0, days, 1.0), 0.946, 0.005);
+}
+
+TEST(Deployment, Fig25GoldenValues)
+{
+    // Regression lock on the Fig. 25 per-scenario savings.
+    DeploymentModel m;
+    const auto scenarios = applicationScenarios();
+    ASSERT_EQ(scenarios.size(), 5u);
+    const double expected[] = {0.585, 0.146, 0.840, 0.934, 0.944};
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const auto &sc = scenarios[i];
+        EXPECT_NEAR(m.saving(sc.gbPerDay, sc.deploymentDays,
+                             sc.sunshineFraction),
+                    expected[i], 0.005)
+            << sc.name;
+    }
+}
+
 TEST(DeploymentDeath, ZeroSunshineIsFatal)
 {
     DeploymentModel m;

@@ -44,6 +44,53 @@ TEST(EnergyTco, SolarBatteryReplacesBatteriesOnly)
     EXPECT_NEAR(y5 - y3, p.batteryPerAh * 210.0, 1.0);
 }
 
+TEST(EnergyTco, Fig3bGoldenValues)
+{
+    // Regression lock on the Fig. 3-b table as EXPERIMENTS.md reports it
+    // (11-year energy TCO of the prototype's three supply options). Any
+    // parameter drift in cost_params.hh shows up here first.
+    const auto rows = energyTcoTable();
+    const EnergyTcoRow &y11 = rows.back();
+    EXPECT_DOUBLE_EQ(y11.years, 11.0);
+    EXPECT_NEAR(y11.inSitu, 5420.0, 1.0);
+    EXPECT_NEAR(y11.fuelCell, 24742.0, 1.0);
+    EXPECT_NEAR(y11.diesel, 14632.0, 1.0);
+    const EnergyTcoRow &y1 = rows.front();
+    EXPECT_NEAR(y1.inSitu, 4580.0, 1.0);
+    EXPECT_NEAR(y1.fuelCell, 8467.0, 1.0);
+    EXPECT_NEAR(y1.diesel, 1760.0, 1.0);
+}
+
+TEST(Depreciation, Fig22GoldenValues)
+{
+    // Fig. 22: annual depreciation totals and the premiums over InSURE
+    // (paper: diesel ~+20%, fuel cell ~+24%; our model lands at +19% /
+    // +36%, see EXPERIMENTS.md).
+    const auto insure = annualDepreciation(SupplyKind::InSure);
+    const auto diesel = annualDepreciation(SupplyKind::Diesel);
+    const auto fuel_cell = annualDepreciation(SupplyKind::FuelCell);
+    const Dollars t_insure = totalAnnual(insure);
+    const Dollars t_diesel = totalAnnual(diesel);
+    const Dollars t_fc = totalAnnual(fuel_cell);
+    EXPECT_NEAR(t_insure, 3997.0, 2.0);
+    EXPECT_NEAR(t_diesel, 4766.0, 2.0);
+    EXPECT_NEAR(t_fc, 5418.0, 2.0);
+    EXPECT_NEAR(t_diesel / t_insure - 1.0, 0.19, 0.01);
+    EXPECT_NEAR(t_fc / t_insure - 1.0, 0.36, 0.01);
+
+    // PV+inverter ~8% and battery ~9% of the InSURE total (the paper's
+    // point: the reconfigurable supply is a small cost slice).
+    Dollars pv = 0.0, battery = 0.0;
+    for (const auto &c : insure) {
+        if (c.name == "PV Panels" || c.name == "Inverter")
+            pv += c.annual;
+        if (c.name == "Battery")
+            battery += c.annual;
+    }
+    EXPECT_NEAR(pv / t_insure, 0.088, 0.01);
+    EXPECT_NEAR(battery / t_insure, 0.092, 0.01);
+}
+
 TEST(EnergyTco, Fig3bShapeHolds)
 {
     const auto rows = energyTcoTable();

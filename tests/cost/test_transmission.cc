@@ -96,6 +96,25 @@ TEST(Transmission, ItTcoTableReproducesFig3aShape)
     EXPECT_GT(y5.satelliteOnly - y5.insituPlusSatellite, 1e6 * 0.8);
 }
 
+TEST(ItTco, Fig3aGoldenValues)
+{
+    // Regression lock on the Fig. 3-a table for the seismic site (228
+    // GB/day, $25K CapEx, $3K/yr OpEx) — the exact numbers EXPERIMENTS.md
+    // reports: 79% / 93% five-year savings and a $1.4M absolute saving.
+    const auto rows = itTcoTable(228.0, 25000.0, 3000.0);
+    const ItTcoRow &y5 = rows.back();
+    EXPECT_DOUBLE_EQ(y5.years, 5.0);
+    EXPECT_NEAR(y5.satelliteOnly, 1811500.0, 1.0);
+    EXPECT_NEAR(y5.cellularOnly, 4165192.0, 1000.0);
+    EXPECT_NEAR(y5.insituPlusSatellite, 375500.0, 1.0);
+    EXPECT_NEAR(y5.insituPlusCellular, 124283.0, 1000.0);
+    EXPECT_NEAR(1.0 - y5.insituPlusSatellite / y5.satelliteOnly, 0.79,
+                0.005);
+    EXPECT_NEAR(1.0 - y5.insituPlusCellular / y5.satelliteOnly, 0.93,
+                0.005);
+    EXPECT_GT(y5.satelliteOnly - y5.insituPlusSatellite, 1.4e6);
+}
+
 TEST(TransmissionDeath, ZeroBandwidthIsFatal)
 {
     EXPECT_DEATH(transferHours(LinkOption{"x", 0.0}, 1.0),

@@ -45,6 +45,31 @@ TEST(Trace, InterpolationClampsAtEnds)
     const Trace t = makeRamp();
     EXPECT_DOUBLE_EQ(t.interpolate(-5.0, "power_w"), 0.0);
     EXPECT_DOUBLE_EQ(t.interpolate(100.0, "power_w"), 50.0);
+    // Exactly on the boundaries returns the end-point values.
+    EXPECT_DOUBLE_EQ(t.interpolate(0.0, "power_w"), 0.0);
+    EXPECT_DOUBLE_EQ(t.interpolate(20.0, "power_w"), 50.0);
+}
+
+TEST(Trace, SingleRowInterpolatesToThatRow)
+{
+    Trace t({"time_s", "power_w"});
+    t.append({5.0, 42.0});
+    EXPECT_DOUBLE_EQ(t.interpolate(-100.0, "power_w"), 42.0);
+    EXPECT_DOUBLE_EQ(t.interpolate(5.0, "power_w"), 42.0);
+    EXPECT_DOUBLE_EQ(t.interpolate(100.0, "power_w"), 42.0);
+}
+
+TEST(Trace, DuplicateTimestampsAreAllowed)
+{
+    // A step change recorded as two rows at the same instant must not
+    // divide by zero and must interpolate to one of the two values.
+    Trace t({"time_s", "power_w"});
+    t.append({0.0, 0.0});
+    t.append({10.0, 100.0});
+    t.append({10.0, 200.0});
+    t.append({20.0, 200.0});
+    EXPECT_DOUBLE_EQ(t.interpolate(5.0, "power_w"), 50.0);
+    EXPECT_DOUBLE_EQ(t.interpolate(15.0, "power_w"), 200.0);
 }
 
 TEST(Trace, CsvRoundTrip)
@@ -99,6 +124,21 @@ TEST(TraceDeath, BadNumberIsFatal)
 TEST(TraceDeath, EmptyColumnsIsFatal)
 {
     EXPECT_DEATH(Trace(std::vector<std::string>{}), "at least one");
+}
+
+TEST(TraceDeath, DecreasingAxisIsFatal)
+{
+    // A silently unsorted axis used to make interpolate() return garbage
+    // from its binary search; it must now fail loudly at append time.
+    Trace t({"time_s", "power_w"});
+    t.append({10.0, 1.0});
+    EXPECT_DEATH(t.append({5.0, 2.0}), "non-decreasing");
+}
+
+TEST(TraceDeath, UnsortedCsvIsFatal)
+{
+    std::stringstream ss("t,v\n10,1\n5,2\n");
+    EXPECT_DEATH(Trace::readCsv(ss), "non-decreasing");
 }
 
 } // namespace

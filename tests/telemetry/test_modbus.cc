@@ -177,5 +177,145 @@ TEST_P(ModbusReadSweep, ReadBlockRoundTrip)
 INSTANTIATE_TEST_SUITE_P(Counts, ModbusReadSweep,
                          testing::Values(1, 2, 16, 64, 125));
 
+/** Re-stamp a frame's CRC after mutating its body. */
+std::vector<std::uint8_t>
+withFreshCrc(std::vector<std::uint8_t> frame)
+{
+    frame.resize(frame.size() - 2);
+    const std::uint16_t crc = modbusCrc16(frame.data(), frame.size());
+    frame.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+    frame.push_back(static_cast<std::uint8_t>(crc >> 8));
+    return frame;
+}
+
+TEST(ModbusCodec, EmptyAndTinyFramesRejected)
+{
+    EXPECT_FALSE(modbus::decodeRequest({}).has_value());
+    EXPECT_FALSE(modbus::decodeRequest({0x01}).has_value());
+    EXPECT_FALSE(modbus::decodeRequest({0x01, 0x03, 0x00}).has_value());
+    EXPECT_FALSE(modbus::decodeResponse({}).has_value());
+    EXPECT_FALSE(modbus::decodeResponse({0x01, 0x83}).has_value());
+}
+
+TEST(ModbusCodec, WriteMultipleByteCountMismatchRejected)
+{
+    // Declare 3 registers but carry the byte count of 2: CRC-valid yet
+    // structurally inconsistent, must be rejected.
+    auto frame = modbus::encodeWriteMultipleRequest(1, 5, {10, 20, 30});
+    frame[6] = 4;
+    EXPECT_FALSE(modbus::decodeRequest(withFreshCrc(frame)).has_value());
+}
+
+TEST(ModbusCodec, WriteMultipleTruncatedPayloadRejected)
+{
+    auto frame = modbus::encodeWriteMultipleRequest(1, 5, {10, 20, 30});
+    // Drop the last register (and re-stamp the CRC): the declared count
+    // no longer matches the frame length.
+    frame.resize(frame.size() - 4);
+    const std::uint16_t crc = modbusCrc16(frame.data(), frame.size());
+    frame.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+    frame.push_back(static_cast<std::uint8_t>(crc >> 8));
+    EXPECT_FALSE(modbus::decodeRequest(frame).has_value());
+}
+
+TEST(ModbusCodec, ResponseOddByteCountRejected)
+{
+    RegisterMap map(32);
+    ModbusSlave slave(1, map);
+    auto resp = slave.service(modbus::encodeReadRequest(1, 0, 2));
+    resp[2] = 3; // declare an odd payload size
+    EXPECT_FALSE(modbus::decodeResponse(withFreshCrc(resp)).has_value());
+}
+
+TEST(ModbusCodec, ResponseUnknownFunctionRejected)
+{
+    std::vector<std::uint8_t> frame{0x01, 0x55, 0x00, 0x00, 0x00, 0x00};
+    const std::uint16_t crc = modbusCrc16(frame.data(), frame.size());
+    frame.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+    frame.push_back(static_cast<std::uint8_t>(crc >> 8));
+    EXPECT_FALSE(modbus::decodeResponse(frame).has_value());
+}
+
+TEST(ModbusCodec, ExceptionResponseWrongLengthRejected)
+{
+    // An exception response must be exactly 5 bytes.
+    std::vector<std::uint8_t> frame{0x01, 0x83, 0x02, 0x00};
+    const std::uint16_t crc = modbusCrc16(frame.data(), frame.size());
+    frame.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+    frame.push_back(static_cast<std::uint8_t>(crc >> 8));
+    EXPECT_FALSE(modbus::decodeResponse(frame).has_value());
+}
+
+TEST(ModbusSlave, ReadCountOverLimitIsIllegalValue)
+{
+    RegisterMap map(256);
+    ModbusSlave slave(1, map);
+    const auto resp = modbus::decodeResponse(
+        slave.service(modbus::encodeReadRequest(1, 0, 126)));
+    ASSERT_TRUE(resp.has_value());
+    ASSERT_TRUE(resp->isException());
+    EXPECT_EQ(*resp->exception, ModbusException::IllegalDataValue);
+}
+
+TEST(ModbusSlave, WriteSingleToInvalidAddress)
+{
+    RegisterMap map(16);
+    ModbusSlave slave(1, map);
+    const auto resp = modbus::decodeResponse(
+        slave.service(modbus::encodeWriteSingleRequest(1, 16, 1)));
+    ASSERT_TRUE(resp.has_value());
+    ASSERT_TRUE(resp->isException());
+    EXPECT_EQ(*resp->exception, ModbusException::IllegalDataAddress);
+    EXPECT_EQ(slave.exceptions(), 1u);
+}
+
+TEST(ModbusSlave, WriteMultipleToInvalidRange)
+{
+    RegisterMap map(16);
+    ModbusSlave slave(1, map);
+    const auto resp = modbus::decodeResponse(slave.service(
+        modbus::encodeWriteMultipleRequest(1, 14, {1, 2, 3})));
+    ASSERT_TRUE(resp.has_value());
+    ASSERT_TRUE(resp->isException());
+    EXPECT_EQ(*resp->exception, ModbusException::IllegalDataAddress);
+    // Nothing may have been partially written.
+    EXPECT_EQ(map.read(14), 0);
+    EXPECT_EQ(map.read(15), 0);
+}
+
+TEST(ModbusSlave, WriteMultipleCountOverLimitIsIllegalValue)
+{
+    RegisterMap map(256);
+    ModbusSlave slave(1, map);
+    const std::vector<std::uint16_t> values(124, 1);
+    const auto resp = modbus::decodeResponse(
+        slave.service(modbus::encodeWriteMultipleRequest(1, 0, values)));
+    ASSERT_TRUE(resp.has_value());
+    ASSERT_TRUE(resp->isException());
+    EXPECT_EQ(*resp->exception, ModbusException::IllegalDataValue);
+}
+
+TEST(ModbusSlave, EmptyFrameProducesNoResponse)
+{
+    RegisterMap map(16);
+    ModbusSlave slave(1, map);
+    EXPECT_TRUE(slave.service({}).empty());
+    EXPECT_EQ(slave.requestsServed(), 0u);
+}
+
+TEST(ModbusSlave, WriteEchoRoundTrips)
+{
+    RegisterMap map(32);
+    ModbusSlave slave(1, map);
+    const auto resp = modbus::decodeResponse(
+        slave.service(modbus::encodeWriteSingleRequest(1, 7, 0x1234)));
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_FALSE(resp->isException());
+    // 0x06 echoes address/value; the codec surfaces them as address and
+    // count fields.
+    EXPECT_EQ(resp->address, 7);
+    EXPECT_EQ(resp->count, 0x1234);
+}
+
 } // namespace
 } // namespace insure::telemetry

@@ -63,6 +63,65 @@ TEST(RegisterMap, CabinetLayoutAddressing)
               RL::cabinetReg(0, RL::perCabinet - 1));
 }
 
+TEST(RegisterMap, ScaledHelpersSaturateAtEncodingLimits)
+{
+    RegisterMap map(16);
+    // Voltages clamp to [0, 655] V (the u16 x100 encoding range).
+    map.writeVolts(0, -3.0);
+    EXPECT_DOUBLE_EQ(map.readVolts(0), 0.0);
+    map.writeVolts(0, 1000.0);
+    EXPECT_NEAR(map.readVolts(0), 655.0, 1e-9);
+    // Currents clamp to [-100, 555] A (offset-binary).
+    map.writeAmps(1, -250.0);
+    EXPECT_NEAR(map.readAmps(1), -100.0, 1e-9);
+    map.writeAmps(1, 1000.0);
+    EXPECT_NEAR(map.readAmps(1), 555.0, 1e-9);
+    // SoC clamps to [0, 1].
+    map.writeSoc(2, -0.5);
+    EXPECT_NEAR(map.readSoc(2), 0.0, 1e-9);
+}
+
+TEST(RegisterMap, ScaledRoundTripsAcrossTheRange)
+{
+    RegisterMap map(16);
+    for (double v : {0.0, 11.83, 26.4, 300.0, 654.99}) {
+        map.writeVolts(0, v);
+        EXPECT_NEAR(map.readVolts(0), v, 0.005) << v;
+    }
+    for (double a : {-99.99, -0.01, 0.0, 0.01, 42.42, 554.99}) {
+        map.writeAmps(0, a);
+        EXPECT_NEAR(map.readAmps(0), a, 0.005) << a;
+    }
+    for (double s : {0.0, 0.0001, 0.2215, 0.5, 0.9999, 1.0}) {
+        map.writeSoc(0, s);
+        EXPECT_NEAR(map.readSoc(0), s, 5e-5) << s;
+    }
+}
+
+TEST(RegisterMap, ValidRangeEdges)
+{
+    RegisterMap map(16);
+    EXPECT_TRUE(map.validRange(0, 16));
+    EXPECT_FALSE(map.validRange(0, 17));
+    EXPECT_TRUE(map.validRange(15, 1));
+    EXPECT_FALSE(map.validRange(16, 1));
+    // Zero-count ranges are vacuously valid, even at the end.
+    EXPECT_TRUE(map.validRange(16, 0));
+    // The address+count sum must not wrap u16 arithmetic.
+    EXPECT_FALSE(map.validRange(65535, 2));
+}
+
+TEST(RegisterMap, WriteBlockIsAtomicallyVisible)
+{
+    RegisterMap map(8);
+    map.writeBlock(0, {1, 2, 3, 4, 5, 6, 7, 8});
+    EXPECT_EQ(map.readBlock(0, 8),
+              (std::vector<std::uint16_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+    // An empty write is a no-op, not an error.
+    map.writeBlock(8, {});
+    EXPECT_EQ(map.read(7), 8);
+}
+
 TEST(RegisterMapDeath, OutOfRangeAccessIsFatal)
 {
     RegisterMap map(8);

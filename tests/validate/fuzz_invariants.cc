@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Property-based fuzz smoke test: a couple dozen randomized system
+ * configurations, each with an InvariantChecker attached, must complete
+ * without a single violation. The full sweep (hundreds of cases) runs
+ * through bench/bench_fuzz_invariants; this keeps the ctest pass fast
+ * while still exercising the whole derive/run/shrink machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "validate/fuzz.hh"
+
+namespace insure::validate {
+namespace {
+
+TEST(FuzzCase, DerivationIsDeterministic)
+{
+    const FuzzCase a = fuzzCaseFromSeed(42);
+    const FuzzCase b = fuzzCaseFromSeed(42);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.config.seed, b.config.seed);
+    EXPECT_EQ(a.config.manager, b.config.manager);
+    EXPECT_EQ(a.config.day, b.config.day);
+    EXPECT_DOUBLE_EQ(a.config.duration, b.config.duration);
+    EXPECT_DOUBLE_EQ(a.config.system.initialSoc,
+                     b.config.system.initialSoc);
+}
+
+TEST(FuzzCase, DurationOverrideChangesNothingElse)
+{
+    const FuzzCase full = fuzzCaseFromSeed(1234);
+    const FuzzCase half = fuzzCaseFromSeed(1234, full.config.duration / 2);
+    EXPECT_DOUBLE_EQ(half.config.duration, full.config.duration / 2);
+    EXPECT_EQ(half.config.manager, full.config.manager);
+    EXPECT_EQ(half.config.day, full.config.day);
+    EXPECT_EQ(half.config.system.cabinetCount,
+              full.config.system.cabinetCount);
+    EXPECT_EQ(half.config.system.nodeCount, full.config.system.nodeCount);
+    EXPECT_DOUBLE_EQ(half.config.system.initialSoc,
+                     full.config.system.initialSoc);
+    EXPECT_EQ(half.config.system.secondary.has_value(),
+              full.config.system.secondary.has_value());
+}
+
+TEST(FuzzCase, SeedsExploreTheConfigSpace)
+{
+    std::set<core::ManagerKind> managers;
+    std::set<solar::DayClass> days;
+    std::set<unsigned> cabinets;
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+        const FuzzCase fc = fuzzCaseFromSeed(seed);
+        managers.insert(fc.config.manager);
+        days.insert(fc.config.day);
+        cabinets.insert(fc.config.system.cabinetCount);
+        EXPECT_GE(fc.config.duration, 2.0 * 3600.0);
+        EXPECT_LE(fc.config.duration, 6.0 * 3600.0);
+        EXPECT_GE(fc.config.system.initialSoc, 0.25);
+        EXPECT_LE(fc.config.system.initialSoc, 0.90);
+    }
+    EXPECT_EQ(managers.size(), 2u);
+    EXPECT_EQ(days.size(), 3u);
+    EXPECT_EQ(cabinets.size(), 3u);
+}
+
+TEST(FuzzInvariants, SmokeSweepIsClean)
+{
+    FuzzOptions opts;
+    opts.runs = 24;
+    opts.duration = units::hours(2.0);
+    const FuzzReport report = fuzzInvariants(opts);
+    EXPECT_EQ(report.runs, 24u);
+    EXPECT_TRUE(report.clean()) << formatFuzzReport(report);
+    EXPECT_EQ(report.totalViolations, 0u);
+    EXPECT_NEAR(report.simulatedSeconds, 24 * units::hours(2.0), 1.0);
+}
+
+TEST(FuzzInvariants, SweepIsDeterministicAcrossJobCounts)
+{
+    FuzzOptions opts;
+    opts.runs = 8;
+    opts.duration = units::hours(1.0);
+    opts.jobs = 1;
+    const FuzzReport serial = fuzzInvariants(opts);
+    opts.jobs = 4;
+    const FuzzReport parallel = fuzzInvariants(opts);
+    EXPECT_EQ(serial.runs, parallel.runs);
+    EXPECT_EQ(serial.failedRuns, parallel.failedRuns);
+    EXPECT_DOUBLE_EQ(serial.simulatedSeconds, parallel.simulatedSeconds);
+}
+
+TEST(FuzzInvariants, ReportFormatsFailures)
+{
+    FuzzReport report;
+    report.runs = 10;
+    report.failedRuns = 1;
+    report.totalViolations = 3;
+    FuzzFailure f;
+    f.seed = 7;
+    f.label = "seed=7 manager=insure";
+    f.duration = 3600.0;
+    f.violations = 3;
+    f.notes = {"t=1.0 [ah-conservation] residual"};
+    f.repro = "fuzz repro: fuzzCaseFromSeed(7, 3600)";
+    report.failures.push_back(f);
+    const std::string text = formatFuzzReport(report);
+    EXPECT_NE(text.find("1 failing"), std::string::npos);
+    EXPECT_NE(text.find("fuzzCaseFromSeed(7, 3600)"), std::string::npos);
+    EXPECT_NE(text.find("ah-conservation"), std::string::npos);
+    EXPECT_FALSE(report.clean());
+}
+
+} // namespace
+} // namespace insure::validate

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Golden-trace record/check tool, wired into ctest as `golden_check`.
+ *
+ *   golden_trace --check [DIR]     compare the canonical scenarios
+ *                                  against the digests in DIR
+ *   golden_trace --record [DIR]    regenerate the digests (run after an
+ *                                  intentional behaviour change, then
+ *                                  review the diff and commit)
+ *
+ * DIR defaults to the checked-in tests/golden directory. Every run also
+ * executes with an InvariantChecker attached, so re-recording a golden
+ * from a run that violates invariants is impossible.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "validate/golden_trace.hh"
+#include "validate/invariant_checker.hh"
+
+using namespace insure;
+
+namespace {
+
+int
+recordAll(const std::string &dir)
+{
+    for (const std::string &name : validate::goldenScenarioNames()) {
+        core::ExperimentConfig cfg = validate::goldenScenario(name);
+        validate::InvariantChecker checker(
+            validate::optionsForExperiment(cfg));
+        validate::GoldenRecorder recorder(validate::kGoldenPeriod);
+        core::ObserverList observers;
+        observers.add(&recorder);
+        observers.add(&checker);
+        cfg.observer = &observers;
+        core::runExperiment(cfg);
+
+        if (checker.violationCount() != 0) {
+            std::fprintf(stderr,
+                         "%s: refusing to record: %llu invariant "
+                         "violations\n",
+                         name.c_str(),
+                         static_cast<unsigned long long>(
+                             checker.violationCount()));
+            for (const std::string &msg : checker.violationMessages())
+                std::fprintf(stderr, "  %s\n", msg.c_str());
+            return 1;
+        }
+        const std::string path = dir + "/" + name + ".jsonl";
+        recorder.save(path);
+        std::printf("%s: recorded %zu digests, hash %s\n", name.c_str(),
+                    recorder.records().size(),
+                    recorder.finalHash().c_str());
+    }
+    return 0;
+}
+
+int
+checkAll(const std::string &dir)
+{
+    int rc = 0;
+    for (const std::string &name : validate::goldenScenarioNames()) {
+        const std::string path = dir + "/" + name + ".jsonl";
+        const auto golden = validate::GoldenRecorder::load(path);
+
+        core::ExperimentConfig cfg = validate::goldenScenario(name);
+        validate::InvariantChecker checker(
+            validate::optionsForExperiment(cfg));
+        cfg.observer = &checker;
+        const auto actual = validate::recordGoldenRun(cfg);
+
+        const validate::GoldenMismatch m =
+            validate::compareGolden(golden, actual);
+        if (checker.violationCount() != 0) {
+            std::fprintf(stderr, "%s: %llu invariant violations\n",
+                         name.c_str(),
+                         static_cast<unsigned long long>(
+                             checker.violationCount()));
+            rc = 1;
+        }
+        if (!m.matched) {
+            std::fprintf(stderr, "%s: MISMATCH at record %zu: %s\n",
+                         name.c_str(), m.record, m.detail.c_str());
+            rc = 1;
+        } else {
+            std::printf("%s: %zu digests match%s\n", name.c_str(),
+                        golden.size(),
+                        m.hashIdentical ? " (hash identical)"
+                                        : " (within tolerance)");
+        }
+    }
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string dir = INSURE_GOLDEN_DIR;
+    bool record = false;
+    bool check = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--record") == 0)
+            record = true;
+        else if (std::strcmp(argv[i], "--check") == 0)
+            check = true;
+        else
+            dir = argv[i];
+    }
+    if (record == check) {
+        std::fprintf(stderr, "usage: %s --record|--check [DIR]\n",
+                     argv[0]);
+        return 2;
+    }
+    return record ? recordAll(dir) : checkAll(dir);
+}

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for the runtime invariant checker: clean runs stay clean across
+ * managers and weather, the Fig. 8 legality table is exact, options
+ * derive correctly from experiment configs, every policy behaves, and an
+ * injected conservation bug (charge appearing from nothing mid-run) is
+ * caught — the mutation smoke test guarding the checker itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/experiment.hh"
+#include "core/in_situ_system.hh"
+#include "validate/invariant_checker.hh"
+
+namespace insure::validate {
+namespace {
+
+using battery::UnitMode;
+using core::ManagerKind;
+
+/** A directly-driven plant (mirrors tests/core/test_in_situ_system.cc). */
+struct Rig {
+    sim::Simulation simulation;
+    core::InSituSystem *plant = nullptr;
+
+    explicit Rig(ManagerKind kind, solar::DayClass day,
+                 WattHours daily_kwh = 7.9)
+        : simulation(2015)
+    {
+        core::ExperimentConfig cfg = core::seismicExperiment();
+        cfg.manager = kind;
+        cfg.day = day;
+        cfg.targetDailyKwh = daily_kwh;
+        config = cfg;
+
+        core::SystemConfig system = cfg.system;
+        system.unifiedBuffer = kind == ManagerKind::Baseline;
+        system.fastSwitching = kind == ManagerKind::Insure;
+        system.busCoupledCharging = kind == ManagerKind::Baseline;
+
+        auto allocator = std::make_shared<core::NodeAllocator>(
+            system.node, system.nodeCount, system.profile);
+        std::unique_ptr<core::PowerManager> manager;
+        if (kind == ManagerKind::Insure) {
+            manager = std::make_unique<core::InsureManager>(cfg.insure,
+                                                            allocator);
+        } else {
+            manager = std::make_unique<core::BaselineManager>(cfg.baseline,
+                                                              allocator);
+        }
+        auto solar_src = std::make_unique<solar::SolarSource>(
+            core::buildSolarTrace(cfg));
+        plant_ = std::make_unique<core::InSituSystem>(
+            simulation, "plant", system, std::move(solar_src),
+            std::move(manager));
+        plant = plant_.get();
+    }
+
+    core::ExperimentConfig config;
+
+  private:
+    std::unique_ptr<core::InSituSystem> plant_;
+};
+
+/** Create charge from nothing: bump every unit of cabinet 0 by 0.2 SoC. */
+void
+injectConservationBug(Rig &rig, Seconds at)
+{
+    rig.simulation.events().schedule(
+        at, sim::EventPriority::Physics, [&rig] {
+            battery::Cabinet &cab = rig.plant->array().cabinet(0);
+            for (unsigned u = 0; u < cab.seriesCount(); ++u) {
+                battery::BatteryUnit &unit = cab.unit(u);
+                unit.setSoc(std::min(1.0, unit.soc() + 0.2));
+            }
+        });
+}
+
+TEST(LegalTransition, Fig8Table)
+{
+    const double kMin = 0.22;
+    // Self-transitions and protection retirement are always legal.
+    for (auto m : {UnitMode::Offline, UnitMode::Charging, UnitMode::Standby,
+                   UnitMode::Discharging}) {
+        EXPECT_TRUE(InvariantChecker::legalTransition(m, m, 0.0, kMin));
+        EXPECT_TRUE(InvariantChecker::legalTransition(m, UnitMode::Offline,
+                                                      0.0, kMin));
+    }
+    // Re-admission paths from Offline.
+    EXPECT_TRUE(InvariantChecker::legalTransition(
+        UnitMode::Offline, UnitMode::Charging, 0.05, kMin));
+    EXPECT_TRUE(InvariantChecker::legalTransition(
+        UnitMode::Offline, UnitMode::Standby, 0.05, kMin));
+    // A depleted offline cabinet must never land on the load bus...
+    EXPECT_FALSE(InvariantChecker::legalTransition(
+        UnitMode::Offline, UnitMode::Discharging, 0.10, kMin));
+    // ...but a healthy one may (re-admit + deficit within one period).
+    EXPECT_TRUE(InvariantChecker::legalTransition(
+        UnitMode::Offline, UnitMode::Discharging, 0.50, kMin));
+    // The ordinary Fig. 8 arrows.
+    EXPECT_TRUE(InvariantChecker::legalTransition(
+        UnitMode::Charging, UnitMode::Standby, 0.9, kMin));
+    EXPECT_TRUE(InvariantChecker::legalTransition(
+        UnitMode::Charging, UnitMode::Discharging, 0.6, kMin));
+    EXPECT_TRUE(InvariantChecker::legalTransition(
+        UnitMode::Standby, UnitMode::Discharging, 0.6, kMin));
+    EXPECT_TRUE(InvariantChecker::legalTransition(
+        UnitMode::Discharging, UnitMode::Standby, 0.6, kMin));
+}
+
+TEST(OptionsForExperiment, TracksManagerAndAblations)
+{
+    core::ExperimentConfig cfg = core::seismicExperiment();
+    cfg.manager = ManagerKind::Insure;
+    CheckerOptions opts = optionsForExperiment(cfg);
+    EXPECT_TRUE(opts.checkConcentration);
+    EXPECT_TRUE(opts.checkScreening);
+    EXPECT_DOUBLE_EQ(opts.minDischargeSoc, cfg.insure.offlineSoc);
+    EXPECT_DOUBLE_EQ(opts.spatialPeriod, cfg.insure.spatialPeriod);
+
+    cfg.insure = core::InsureParams::noOpt();
+    opts = optionsForExperiment(cfg);
+    EXPECT_FALSE(opts.checkConcentration);
+    EXPECT_FALSE(opts.checkScreening);
+
+    cfg = core::videoExperiment();
+    cfg.manager = ManagerKind::Baseline;
+    opts = optionsForExperiment(cfg);
+    EXPECT_FALSE(opts.checkConcentration);
+    EXPECT_FALSE(opts.checkScreening);
+    EXPECT_DOUBLE_EQ(opts.minDischargeSoc, cfg.system.battery.minSoc);
+}
+
+TEST(InvariantChecker, CleanInsureDayHasNoViolations)
+{
+    core::ExperimentConfig cfg = core::seismicExperiment();
+    InvariantChecker checker(optionsForExperiment(cfg));
+    cfg.observer = &checker;
+    const core::ExperimentResult res = core::runExperiment(cfg);
+    EXPECT_EQ(res.invariantViolations, 0u);
+    EXPECT_EQ(checker.violationCount(), 0u);
+    // A full day at 1 s physics and 60 s control, all hooks exercised.
+    EXPECT_GT(checker.ticksChecked(), 80000u);
+    EXPECT_GT(checker.controlsChecked(), 1000u);
+    EXPECT_GT(checker.transitionsChecked(), 0u);
+}
+
+TEST(InvariantChecker, CleanBaselineDayHasNoViolations)
+{
+    core::ExperimentConfig cfg = core::videoExperiment();
+    cfg.manager = ManagerKind::Baseline;
+    cfg.day = solar::DayClass::Cloudy;
+    attachInvariantChecker(cfg);
+    const core::ExperimentResult res = core::runExperiment(cfg);
+    EXPECT_EQ(res.invariantViolations, 0u);
+    EXPECT_TRUE(res.invariantNotes.empty());
+}
+
+TEST(InvariantChecker, ConservationMutationIsCaught)
+{
+    Rig rig(ManagerKind::Insure, solar::DayClass::Sunny);
+    InvariantChecker checker(optionsForExperiment(rig.config));
+    rig.plant->attachObserver(&checker);
+    injectConservationBug(rig, units::hours(3.0) + 0.5);
+    rig.simulation.runUntil(units::hours(6.0));
+    ASSERT_GE(checker.violationCount(), 1u);
+    bool sawConservation = false;
+    for (const std::string &msg : checker.violationMessages())
+        sawConservation |= msg.find("ah-conservation") != std::string::npos;
+    EXPECT_TRUE(sawConservation);
+}
+
+TEST(InvariantChecker, PolicyOffChecksNothing)
+{
+    Rig rig(ManagerKind::Insure, solar::DayClass::Sunny);
+    CheckerOptions opts = optionsForExperiment(rig.config);
+    opts.policy = Policy::Off;
+    InvariantChecker checker(opts);
+    rig.plant->attachObserver(&checker);
+    injectConservationBug(rig, units::hours(3.0) + 0.5);
+    rig.simulation.runUntil(units::hours(6.0));
+    EXPECT_EQ(checker.violationCount(), 0u);
+    EXPECT_EQ(checker.ticksChecked(), 0u);
+}
+
+TEST(InvariantCheckerDeathTest, PolicyAbortPanicsOnViolation)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            Rig rig(ManagerKind::Insure, solar::DayClass::Sunny);
+            CheckerOptions opts = optionsForExperiment(rig.config);
+            opts.policy = Policy::Abort;
+            InvariantChecker checker(opts);
+            rig.plant->attachObserver(&checker);
+            injectConservationBug(rig, units::hours(3.0) + 0.5);
+            rig.simulation.runUntil(units::hours(6.0));
+        },
+        "invariant violated");
+}
+
+TEST(InvariantChecker, MessageCountIsBoundedButCountingContinues)
+{
+    Rig rig(ManagerKind::Insure, solar::DayClass::Sunny);
+    CheckerOptions opts = optionsForExperiment(rig.config);
+    opts.maxMessages = 4;
+    InvariantChecker checker(opts);
+    rig.plant->attachObserver(&checker);
+    // A persistent bug: keep re-inflating the cabinet every half hour.
+    for (int i = 0; i < 8; ++i)
+        injectConservationBug(rig, units::hours(1.0 + 0.5 * i) + 0.5);
+    rig.simulation.runUntil(units::hours(6.0));
+    EXPECT_GE(checker.violationCount(), 5u);
+    EXPECT_LE(checker.violationMessages().size(), 4u);
+}
+
+TEST(InvariantChecker, ObserverFactoryResultsAreHarvested)
+{
+    struct CountingObserver final : core::SystemObserver {
+        std::uint64_t violationCount() const override { return 3; }
+        std::vector<std::string> violationMessages() const override
+        {
+            return {"synthetic"};
+        }
+    };
+    core::ExperimentConfig cfg = core::seismicExperiment();
+    cfg.duration = units::hours(1.0);
+    cfg.observerFactory = [] {
+        return std::make_unique<CountingObserver>();
+    };
+    const core::ExperimentResult res = core::runExperiment(cfg);
+    EXPECT_EQ(res.invariantViolations, 3u);
+    ASSERT_EQ(res.invariantNotes.size(), 1u);
+    EXPECT_EQ(res.invariantNotes.front(), "synthetic");
+}
+
+TEST(ObserverList, FansOutAndAggregates)
+{
+    struct Probe final : core::SystemObserver {
+        int ticks = 0;
+        void onTick(const core::TickSample &) override { ++ticks; }
+        std::uint64_t violationCount() const override { return 1; }
+        std::vector<std::string> violationMessages() const override
+        {
+            return {"probe"};
+        }
+    };
+    Probe a, b;
+    core::ObserverList list;
+    list.add(&a);
+    list.add(&b);
+    list.add(nullptr); // ignored
+    core::TickSample s;
+    list.onTick(s);
+    EXPECT_EQ(a.ticks, 1);
+    EXPECT_EQ(b.ticks, 1);
+    EXPECT_EQ(list.violationCount(), 2u);
+    EXPECT_EQ(list.violationMessages().size(), 2u);
+}
+
+} // namespace
+} // namespace insure::validate
