@@ -16,9 +16,7 @@ namespace {
 core::ExperimentConfig
 variantConfig(const core::InsureParams &params)
 {
-    core::ExperimentConfig cfg = core::seismicExperiment();
-    cfg.day = solar::DayClass::Cloudy;
-    cfg.targetDailyKwh = 5.9;
+    core::ExperimentConfig cfg = bench::seismicDay(solar::DayClass::Cloudy, 5.9);
     cfg.insure = params;
     return cfg;
 }

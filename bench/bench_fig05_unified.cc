@@ -17,10 +17,8 @@ main()
     bench::header("Figure 5",
                   "Unified e-Buffer forces load shedding (baseline)");
 
-    core::ExperimentConfig cfg = core::seismicExperiment();
+    core::ExperimentConfig cfg = bench::seismicDay(solar::DayClass::Cloudy, 5.9);
     cfg.manager = core::ManagerKind::Baseline;
-    cfg.day = solar::DayClass::Cloudy;
-    cfg.targetDailyKwh = 5.9;
     cfg.recordTrace = true;
     cfg.tracePeriod = 120.0;
     cfg.system.initialSoc = 0.45; // mid-charge buffer, as in the snapshot

@@ -19,9 +19,7 @@ main()
 {
     bench::header("Figure 14", "Demonstration of InSURE power behaviour");
 
-    core::ExperimentConfig cfg = core::seismicExperiment();
-    cfg.day = solar::DayClass::Sunny;
-    cfg.targetDailyKwh = 7.9;
+    core::ExperimentConfig cfg = bench::seismicDay(solar::DayClass::Sunny, 7.9);
 
     sim::Simulation simulation(cfg.seed);
     core::SystemConfig system = cfg.system;

@@ -54,15 +54,11 @@ main()
 {
     bench::header("Figure 15", "Solar traces for the micro benchmarks");
 
-    core::ExperimentConfig high = core::seismicExperiment();
-    high.day = solar::DayClass::Sunny;
-    high.scaleToAvgWatts = 1114.0;
+    const core::ExperimentConfig high = bench::seismicScaled(1114.0);
     const sim::Trace high_trace = core::buildSolarTrace(high);
 
-    core::ExperimentConfig low = core::seismicExperiment();
-    low.day = solar::DayClass::Cloudy;
+    core::ExperimentConfig low = bench::seismicScaled(427.0);
     low.seed = 77;
-    low.scaleToAvgWatts = 427.0;
     const sim::Trace low_trace = core::buildSolarTrace(low);
 
     printTrace("(a) High solar generation (hourly means)", high_trace);

@@ -16,9 +16,8 @@ main()
 {
     bench::header("Figure 16", "Full-day operation demonstration");
 
-    core::ExperimentConfig cfg = core::seismicExperiment();
-    cfg.day = solar::DayClass::Cloudy; // variability shows Region E
-    cfg.targetDailyKwh = 6.5;
+    // Cloudy: variability shows Region E.
+    core::ExperimentConfig cfg = bench::seismicDay(solar::DayClass::Cloudy, 6.5);
     cfg.recordTrace = true;
     cfg.tracePeriod = 300.0;
     cfg.system.initialSoc = 0.4; // morning starts with charging (A)

@@ -18,11 +18,7 @@ main()
     const std::vector<double> levels = {1000.0, 500.0};
     std::vector<core::ExperimentConfig> cfgs;
     for (const double watts : levels) {
-        core::ExperimentConfig cfg = core::seismicExperiment();
-        cfg.day = watts > 700.0 ? solar::DayClass::Sunny
-                                : solar::DayClass::Cloudy;
-        cfg.scaleToAvgWatts = watts;
-        cfgs.push_back(cfg);
+        cfgs.push_back(bench::seismicScaled(watts));
     }
     const auto cmps = bench::runComparisonBatch(std::move(cfgs));
     for (std::size_t i = 0; i < levels.size(); ++i) {

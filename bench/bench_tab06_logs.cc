@@ -43,9 +43,7 @@ main()
     std::vector<core::RunSpec> specs;
     for (const Day &day : days) {
         for (const bool opt : {false, true}) {
-            core::ExperimentConfig cfg = core::seismicExperiment();
-            cfg.day = day.cls;
-            cfg.targetDailyKwh = day.kwh;
+            core::ExperimentConfig cfg = bench::seismicDay(day.cls, day.kwh);
             cfg.manager = core::ManagerKind::Insure;
             if (!opt)
                 cfg.insure = core::InsureParams::noOpt();

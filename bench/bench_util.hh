@@ -126,6 +126,49 @@ runComparisonBatch(std::vector<core::ExperimentConfig> cfgs)
 }
 
 /**
+ * Build the seismic-station config for one simulated day of @p cls
+ * weather yielding @p kwh — the setup shared by the Fig. 5/14/16,
+ * Table 6 and ablation benches.
+ */
+inline core::ExperimentConfig
+seismicDay(solar::DayClass cls, double kwh)
+{
+    core::ExperimentConfig cfg = core::seismicExperiment();
+    cfg.day = cls;
+    cfg.targetDailyKwh = kwh;
+    return cfg;
+}
+
+/**
+ * Build the seismic-station config with the solar trace scaled to an
+ * average of @p watts over 7:00-20:00 (the Fig. 15 normalisation); the
+ * day class follows the paper's high/low split at 700 W.
+ */
+inline core::ExperimentConfig
+seismicScaled(double watts)
+{
+    core::ExperimentConfig cfg = core::seismicExperiment();
+    cfg.day = watts > 700.0 ? solar::DayClass::Sunny
+                            : solar::DayClass::Cloudy;
+    cfg.scaleToAvgWatts = watts;
+    return cfg;
+}
+
+/**
+ * Build the seismic-station config truncated to @p hours of simulated
+ * time — the unit of work used by the simspeed bench and batch-runner
+ * throughput sweeps.
+ */
+inline core::ExperimentConfig
+seismicHours(double hours, std::uint64_t seed = kDefaultSeed)
+{
+    core::ExperimentConfig cfg = core::seismicExperiment();
+    cfg.duration = units::hours(hours);
+    cfg.seed = seed;
+    return cfg;
+}
+
+/**
  * Build the config for one micro-benchmark day (paper §6.3 methodology:
  * replayed traces scaled to the Fig. 15 averages: high 1114 W, low
  * 427 W over 7:00-20:00).

@@ -3,24 +3,37 @@
 # smoke sweep, and the validation suites under ASan/UBSan.
 #
 # Usage: scripts/check.sh [--no-asan] [--fuzz-runs N]
+#        scripts/check.sh --perf [--tolerance X]
 #
-# Run from anywhere; builds land in <repo>/build and <repo>/build-asan.
+# --perf builds Release and runs the simulation-speed gate against the
+# committed BENCH_simspeed.json baseline, failing on a >20% regression
+# (override the band with --tolerance, e.g. --tolerance 0.10).
+#
+# Run from anywhere; builds land in <repo>/build, <repo>/build-asan and
+# <repo>/build-release.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
 
 run_asan=1
+run_perf=0
 fuzz_runs=200
+tolerance=0.20
 while [ $# -gt 0 ]; do
     case "$1" in
     --no-asan) run_asan=0 ;;
+    --perf) run_perf=1 ;;
+    --tolerance)
+        shift
+        tolerance="$1"
+        ;;
     --fuzz-runs)
         shift
         fuzz_runs="$1"
         ;;
     *)
-        echo "usage: $0 [--no-asan] [--fuzz-runs N]" >&2
+        echo "usage: $0 [--no-asan] [--fuzz-runs N] | --perf [--tolerance X]" >&2
         exit 2
         ;;
     esac
@@ -28,6 +41,22 @@ while [ $# -gt 0 ]; do
 done
 
 step() { printf '\n==> %s\n' "$*"; }
+
+if [ "$run_perf" = 1 ]; then
+    step "configure + build (Release, for stable timings)"
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build build-release -j --target bench_simspeed
+
+    step "simspeed gate vs BENCH_simspeed.json (tolerance ${tolerance})"
+    # 3 repetitions; the gate compares the fastest one per benchmark,
+    # which is far more stable than a single run on a shared machine.
+    ./build-release/bench/bench_simspeed \
+        --benchmark_repetitions=3 \
+        --baseline "$repo/BENCH_simspeed.json" --tolerance "$tolerance"
+
+    step "perf gate passed"
+    exit 0
+fi
 
 step "configure + build (tier 1)"
 cmake -B build -S . >/dev/null

@@ -121,29 +121,49 @@ ArrayDischargeResult
 BatteryArray::discharge(Watts demand, Seconds dt)
 {
     ArrayDischargeResult res;
+    discharge(demand, dt, res);
+    return res;
+}
+
+void
+BatteryArray::discharge(Watts demand, Seconds dt, ArrayDischargeResult &res)
+{
+    res.deliveredPower = 0.0;
+    res.energyWh = 0.0;
+    res.throughputAh = 0.0;
+    res.tripped.clear();
     res.cabinetCurrents.assign(cabinets_.size(), 0.0);
     res.cabinetAh.assign(cabinets_.size(), 0.0);
     if (demand <= 0.0 || dt <= 0.0)
-        return res;
+        return;
 
-    auto active = cabinetsInMode(UnitMode::Discharging);
-    for (auto idx : cabinetsInMode(UnitMode::Standby))
-        active.push_back(idx);
-    std::sort(active.begin(), active.end());
+    // Online cabinets (Discharging and Standby), ascending index — the
+    // same order the old collect-per-mode-then-sort produced, without
+    // the temporary vectors.
+    auto &active = scratchActive_;
+    active.clear();
+    for (unsigned i = 0; i < cabinets_.size(); ++i) {
+        const UnitMode m = cabinets_[i]->mode();
+        if (m == UnitMode::Discharging || m == UnitMode::Standby)
+            active.push_back(i);
+    }
     if (active.empty())
-        return res;
+        return;
 
     // Determine per-cabinet current: equal split at the bus voltage with
     // redistribution when a cabinet saturates at its safe current.
-    std::vector<Amperes> alloc(active.size(), 0.0);
-    std::vector<Amperes> limit(active.size(), 0.0);
+    auto &alloc = scratchAlloc_;
+    auto &limit = scratchLimit_;
+    alloc.assign(active.size(), 0.0);
+    limit.assign(active.size(), 0.0);
     for (std::size_t j = 0; j < active.size(); ++j)
         limit[j] = cabinets_[active[j]]->safeDischargeCurrent(dt);
 
     Watts remaining = demand;
     for (int pass = 0; pass < 3 && remaining > 1e-9; ++pass) {
         // Count cabinets that still have headroom.
-        std::vector<std::size_t> open;
+        auto &open = scratchOpen_;
+        open.clear();
         for (std::size_t j = 0; j < active.size(); ++j) {
             if (alloc[j] < limit[j] - 1e-12)
                 open.push_back(j);
@@ -185,7 +205,6 @@ BatteryArray::discharge(Watts demand, Seconds dt)
             res.tripped.push_back(idx);
     }
     res.deliveredPower = res.energyWh / units::toHours(dt);
-    return res;
 }
 
 ArrayChargeResult

@@ -113,6 +113,14 @@ class BatteryArray
     ArrayDischargeResult discharge(Watts demand, Seconds dt);
 
     /**
+     * Allocation-free variant: same semantics, but results land in
+     * @p res, whose vectors (and this array's internal scratch buffers)
+     * are reused across calls — the physics tick issues one of these
+     * per simulated second, so steady state never touches the heap.
+     */
+    void discharge(Watts demand, Seconds dt, ArrayDischargeResult &res);
+
+    /**
      * Charge cabinet @p idx with up to @p budget watts of charger output
      * for @p dt seconds (the cabinet draws what it accepts). Only
      * cabinets in Charging mode accept charge unless @p allow_standby is
@@ -138,6 +146,14 @@ class BatteryArray
     std::vector<std::unique_ptr<Cabinet>> cabinets_;
     SwitchNetwork network_;
     std::vector<bool> touched_;
+
+    // Scratch buffers for discharge(); the simulator is single-threaded,
+    // so reusing them across ticks is safe and keeps the hot path off
+    // the allocator.
+    std::vector<unsigned> scratchActive_;
+    std::vector<Amperes> scratchAlloc_;
+    std::vector<Amperes> scratchLimit_;
+    std::vector<std::size_t> scratchOpen_;
 };
 
 } // namespace insure::battery

@@ -27,38 +27,8 @@ BatteryUnit::BatteryUnit(std::string name, const BatteryParams &params,
 {
 }
 
-Volts
-BatteryUnit::terminalVoltage(Amperes current) const
-{
-    return voltage_.terminal(kibam_.availableFraction(), current);
-}
-
-Volts
-BatteryUnit::openCircuitVoltage() const
-{
-    return voltage_.openCircuit(kibam_.availableFraction());
-}
-
-WattHours
-BatteryUnit::storedEnergyWh() const
-{
-    return soc() * params_.capacityAh * params_.nominalVoltage;
-}
-
-WattHours
-BatteryUnit::capacityWh() const
-{
-    return params_.capacityAh * params_.nominalVoltage;
-}
-
-bool
-BatteryUnit::depleted() const
-{
-    return soc() <= params_.minSoc || kibam_.exhausted();
-}
-
 Amperes
-BatteryUnit::safeDischargeCurrent(Seconds dt) const
+BatteryUnit::computeSafeDischargeCurrent(Seconds dt) const
 {
     if (depleted())
         return 0.0;
@@ -122,6 +92,7 @@ BatteryUnit::discharge(Amperes current, Seconds dt)
 
     const AmpHours requested = units::chargeAh(applied, dt);
     const AmpHours rejected = kibam_.step(applied, dt);
+    invalidateSafeCache();
     res.deliveredAh = std::max(0.0, requested - rejected);
     if (rejected > 1e-12)
         res.hitProtection = true;
@@ -148,6 +119,7 @@ BatteryUnit::charge(Amperes bus_current, Seconds dt)
         charge_.effectiveChargeCurrent(bus_current, soc());
     const AmpHours requested = units::chargeAh(effective, dt);
     const AmpHours rejected = kibam_.step(-effective, dt);
+    invalidateSafeCache();
     res.storedAh = std::max(0.0, requested - rejected);
     // The bus pays for the full supplied current regardless of how much the
     // cell stored (losses go to gassing/heat/parasitics).
@@ -155,18 +127,6 @@ BatteryUnit::charge(Amperes bus_current, Seconds dt)
         units::energyWh(charge_.busPower(bus_current), dt);
     wear_.recordCharge(res.storedAh);
     return res;
-}
-
-void
-BatteryUnit::rest(Seconds dt)
-{
-    if (dt <= 0.0)
-        return;
-    // Self-discharge expressed as a tiny drain current; also lets the
-    // two wells re-equilibrate (recovery effect).
-    const Amperes drain = params_.selfDischargePerDay * params_.capacityAh /
-                          units::hoursPerDay;
-    kibam_.step(drain, dt);
 }
 
 } // namespace insure::battery

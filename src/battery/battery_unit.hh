@@ -79,23 +79,52 @@ class BatteryUnit
     double availableFraction() const { return kibam_.availableFraction(); }
 
     /** Terminal voltage at the given current (+ = discharge). */
-    Volts terminalVoltage(Amperes current) const;
+    Volts
+    terminalVoltage(Amperes current) const
+    {
+        return voltage_.terminal(kibam_.availableFraction(), current);
+    }
 
     /** Open-circuit voltage at the present state. */
-    Volts openCircuitVoltage() const;
+    Volts
+    openCircuitVoltage() const
+    {
+        return voltage_.openCircuit(kibam_.availableFraction());
+    }
 
     /** Stored energy estimate at nominal voltage, watt-hours. */
-    WattHours storedEnergyWh() const;
+    WattHours
+    storedEnergyWh() const
+    {
+        return soc() * params_.capacityAh * params_.nominalVoltage;
+    }
 
     /** Usable capacity of the unit, watt-hours (full to empty). */
-    WattHours capacityWh() const;
+    WattHours
+    capacityWh() const
+    {
+        return params_.capacityAh * params_.nominalVoltage;
+    }
 
     /**
      * Largest discharge current that is safe for @p dt seconds: respects
      * the rated limit, the KiBaM available well, the low-voltage cutoff and
      * the SoC floor.
+     *
+     * The result is a pure function of the electrochemical state and
+     * @p dt, so it is memoised until the next state change: within one
+     * physics tick the array asks several times (fast-switch headroom
+     * check, per-cabinet allocation limits) with identical state.
      */
-    Amperes safeDischargeCurrent(Seconds dt) const;
+    Amperes
+    safeDischargeCurrent(Seconds dt) const
+    {
+        if (dt != safeCacheDt_) {
+            safeCacheDt_ = dt;
+            safeCacheI_ = computeSafeDischargeCurrent(dt);
+        }
+        return safeCacheI_;
+    }
 
     /**
      * Discharge at @p current amperes for @p dt seconds. The current is
@@ -110,14 +139,32 @@ class BatteryUnit
      */
     ChargeResult charge(Amperes bus_current, Seconds dt);
 
-    /** Let the unit rest for @p dt seconds (self-discharge + recovery). */
-    void rest(Seconds dt);
+    /**
+     * Let the unit rest for @p dt seconds (self-discharge + recovery).
+     * Every idle unit rests every physics tick, so inline.
+     */
+    void
+    rest(Seconds dt)
+    {
+        if (dt <= 0.0)
+            return;
+        // Self-discharge expressed as a tiny drain current; also lets the
+        // two wells re-equilibrate (recovery effect).
+        const Amperes drain = params_.selfDischargePerDay *
+                              params_.capacityAh / units::hoursPerDay;
+        kibam_.step(drain, dt);
+        invalidateSafeCache();
+    }
 
     /** True when charged to the configured "charged" threshold. */
     bool charged() const { return soc() >= params_.chargedSoc; }
 
     /** True when at or below the discharge floor. */
-    bool depleted() const;
+    bool
+    depleted() const
+    {
+        return soc() <= params_.minSoc || kibam_.exhausted();
+    }
 
     /** Ageing state. */
     const WearModel &wear() const { return wear_; }
@@ -150,7 +197,12 @@ class BatteryUnit
     }
 
     /** Force the state of charge (testing / scenario setup). */
-    void setSoc(double soc) { kibam_.setSoc(soc); }
+    void
+    setSoc(double soc)
+    {
+        kibam_.setSoc(soc);
+        invalidateSafeCache();
+    }
 
   private:
     std::string name_;
@@ -161,6 +213,15 @@ class BatteryUnit
     WearModel wear_;
     UnitMode mode_ = UnitMode::Standby;
     ModeObserver modeObserver_;
+
+    // safeDischargeCurrent memo; valid until the electrochemical state
+    // changes (discharge/charge/rest/setSoc all invalidate).
+    mutable Seconds safeCacheDt_ = -1.0;
+    mutable Amperes safeCacheI_ = 0.0;
+
+    void invalidateSafeCache() const { safeCacheDt_ = -1.0; }
+
+    Amperes computeSafeDischargeCurrent(Seconds dt) const;
 };
 
 } // namespace insure::battery

@@ -21,33 +21,6 @@ Cabinet::Cabinet(std::string name, const BatteryParams &params,
     setMode(UnitMode::Standby);
 }
 
-double
-Cabinet::soc() const
-{
-    double sum = 0.0;
-    for (const auto &u : units_)
-        sum += u->soc();
-    return sum / units_.size();
-}
-
-Volts
-Cabinet::terminalVoltage(Amperes current) const
-{
-    Volts v = 0.0;
-    for (const auto &u : units_)
-        v += u->terminalVoltage(current);
-    return v;
-}
-
-Volts
-Cabinet::openCircuitVoltage() const
-{
-    Volts v = 0.0;
-    for (const auto &u : units_)
-        v += u->openCircuitVoltage();
-    return v;
-}
-
 Volts
 Cabinet::nominalVoltage() const
 {
@@ -55,15 +28,6 @@ Cabinet::nominalVoltage() const
     for (const auto &u : units_)
         v += u->params().nominalVoltage;
     return v;
-}
-
-WattHours
-Cabinet::storedEnergyWh() const
-{
-    WattHours e = 0.0;
-    for (const auto &u : units_)
-        e += u->storedEnergyWh();
-    return e;
 }
 
 WattHours
@@ -76,39 +40,10 @@ Cabinet::capacityWh() const
 }
 
 AmpHours
-Cabinet::unitAh() const
-{
-    AmpHours ah = 0.0;
-    for (const auto &u : units_)
-        ah += u->soc() * u->params().capacityAh;
-    return ah;
-}
-
-AmpHours
 Cabinet::capacityAh() const
 {
     // Series string: same Ah rating as one unit.
     return units_.front()->params().capacityAh;
-}
-
-Amperes
-Cabinet::safeDischargeCurrent(Seconds dt) const
-{
-    Amperes limit = units_.front()->safeDischargeCurrent(dt);
-    for (const auto &u : units_)
-        limit = std::min(limit, u->safeDischargeCurrent(dt));
-    return limit;
-}
-
-Amperes
-Cabinet::acceptanceCurrent() const
-{
-    // Series string: the least-accepting unit limits the string current.
-    Amperes acc = units_.front()->chargeModel().acceptanceCurrent(
-        units_.front()->soc());
-    for (const auto &u : units_)
-        acc = std::min(acc, u->chargeModel().acceptanceCurrent(u->soc()));
-    return acc;
 }
 
 DischargeResult
@@ -148,33 +83,6 @@ Cabinet::charge(Amperes bus_current, Seconds dt)
         total.busEnergyWh += r.busEnergyWh;
     }
     return total;
-}
-
-void
-Cabinet::rest(Seconds dt)
-{
-    for (auto &u : units_)
-        u->rest(dt);
-}
-
-bool
-Cabinet::charged() const
-{
-    for (const auto &u : units_) {
-        if (!u->charged())
-            return false;
-    }
-    return true;
-}
-
-bool
-Cabinet::depleted() const
-{
-    for (const auto &u : units_) {
-        if (u->depleted())
-            return true;
-    }
-    return false;
 }
 
 AmpHours

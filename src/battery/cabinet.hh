@@ -9,6 +9,7 @@
 #ifndef INSURE_BATTERY_CABINET_HH
 #define INSURE_BATTERY_CABINET_HH
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,27 +41,66 @@ class Cabinet
     BatteryUnit &unit(unsigned i) { return *units_[i]; }
     const BatteryUnit &unit(unsigned i) const { return *units_[i]; }
 
+    // The per-unit reductions below run several times per physics tick
+    // (manager decisions, telemetry scan, invariant checks), so they are
+    // inline; a cabinet is a short series string (typically 2 units).
+
     /** Mean state of charge across units. */
-    double soc() const;
+    double
+    soc() const
+    {
+        double sum = 0.0;
+        for (const auto &u : units_)
+            sum += u->soc();
+        return sum / units_.size();
+    }
 
     /** String terminal voltage at the given current (+ = discharge). */
-    Volts terminalVoltage(Amperes current) const;
+    Volts
+    terminalVoltage(Amperes current) const
+    {
+        Volts v = 0.0;
+        for (const auto &u : units_)
+            v += u->terminalVoltage(current);
+        return v;
+    }
 
     /** String open-circuit voltage. */
-    Volts openCircuitVoltage() const;
+    Volts
+    openCircuitVoltage() const
+    {
+        Volts v = 0.0;
+        for (const auto &u : units_)
+            v += u->openCircuitVoltage();
+        return v;
+    }
 
     /** Nominal string voltage. */
     Volts nominalVoltage() const;
 
     /** Stored energy across all units, watt-hours. */
-    WattHours storedEnergyWh() const;
+    WattHours
+    storedEnergyWh() const
+    {
+        WattHours e = 0.0;
+        for (const auto &u : units_)
+            e += u->storedEnergyWh();
+        return e;
+    }
 
     /**
      * Exact stored charge, summed over every unit (soc * capacityAh),
      * ampere-hours. The per-tick conservation invariant balances deltas
      * of this quantity against delivered/stored ampere-hours.
      */
-    AmpHours unitAh() const;
+    AmpHours
+    unitAh() const
+    {
+        AmpHours ah = 0.0;
+        for (const auto &u : units_)
+            ah += u->soc() * u->params().capacityAh;
+        return ah;
+    }
 
     /** Full-charge capacity across all units, watt-hours. */
     WattHours capacityWh() const;
@@ -69,10 +109,27 @@ class Cabinet
     AmpHours capacityAh() const;
 
     /** Safe discharge current for @p dt seconds (min across units). */
-    Amperes safeDischargeCurrent(Seconds dt) const;
+    Amperes
+    safeDischargeCurrent(Seconds dt) const
+    {
+        Amperes limit = units_.front()->safeDischargeCurrent(dt);
+        for (const auto &u : units_)
+            limit = std::min(limit, u->safeDischargeCurrent(dt));
+        return limit;
+    }
 
     /** Largest charger bus current any unit will accept right now. */
-    Amperes acceptanceCurrent() const;
+    Amperes
+    acceptanceCurrent() const
+    {
+        // Series string: the least-accepting unit limits the current.
+        Amperes acc = units_.front()->chargeModel().acceptanceCurrent(
+            units_.front()->soc());
+        for (const auto &u : units_)
+            acc = std::min(acc,
+                           u->chargeModel().acceptanceCurrent(u->soc()));
+        return acc;
+    }
 
     /** Discharge the string at @p current for @p dt. */
     DischargeResult discharge(Amperes current, Seconds dt);
@@ -81,13 +138,34 @@ class Cabinet
     ChargeResult charge(Amperes bus_current, Seconds dt);
 
     /** Rest all units for @p dt. */
-    void rest(Seconds dt);
+    void
+    rest(Seconds dt)
+    {
+        for (auto &u : units_)
+            u->rest(dt);
+    }
 
     /** True when every unit reached the charged threshold. */
-    bool charged() const;
+    bool
+    charged() const
+    {
+        for (const auto &u : units_) {
+            if (!u->charged())
+                return false;
+        }
+        return true;
+    }
 
     /** True when any unit is at the discharge floor. */
-    bool depleted() const;
+    bool
+    depleted() const
+    {
+        for (const auto &u : units_) {
+            if (u->depleted())
+                return true;
+        }
+        return false;
+    }
 
     /** Aggregated discharge throughput of the string, ampere-hours. */
     AmpHours dischargeThroughputAh() const;

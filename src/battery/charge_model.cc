@@ -10,28 +10,6 @@ ChargeModel::ChargeModel(const BatteryParams &params) : params_(params)
 }
 
 Amperes
-ChargeModel::acceptanceCurrent(double soc) const
-{
-    soc = std::clamp(soc, 0.0, 1.0);
-    if (soc >= 1.0)
-        return 0.0;
-    if (soc <= params_.absorptionSoc)
-        return params_.maxChargeCurrent;
-    const double over = soc - params_.absorptionSoc;
-    return params_.maxChargeCurrent *
-           std::exp(-over / params_.acceptanceTaper);
-}
-
-double
-ChargeModel::efficiency(Amperes current) const
-{
-    if (current <= 0.0)
-        return 0.0;
-    const double rate = current / params_.capacityAh; // C-rate
-    return params_.chargeEtaMax * rate / (rate + params_.chargeEtaHalfRate);
-}
-
-Amperes
 ChargeModel::effectiveChargeCurrent(Amperes bus_current, double soc) const
 {
     if (bus_current <= 0.0)

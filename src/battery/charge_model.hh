@@ -18,6 +18,9 @@
 #ifndef INSURE_BATTERY_CHARGE_MODEL_HH
 #define INSURE_BATTERY_CHARGE_MODEL_HH
 
+#include <algorithm>
+#include <cmath>
+
 #include "battery/battery_params.hh"
 #include "sim/units.hh"
 
@@ -32,14 +35,34 @@ class ChargeModel
     /**
      * Maximum current the cell will accept at state of charge @p soc
      * (rated CC current below absorption, exponential taper above).
+     * Evaluated for every unit on every charging tick, so inline.
      */
-    Amperes acceptanceCurrent(double soc) const;
+    Amperes
+    acceptanceCurrent(double soc) const
+    {
+        soc = std::clamp(soc, 0.0, 1.0);
+        if (soc >= 1.0)
+            return 0.0;
+        if (soc <= params_.absorptionSoc)
+            return params_.maxChargeCurrent;
+        const double over = soc - params_.absorptionSoc;
+        return params_.maxChargeCurrent *
+               std::exp(-over / params_.acceptanceTaper);
+    }
 
     /**
      * Coulombic efficiency of charging at bus current @p current: the
      * fraction of the current that ends up as stored charge.
      */
-    double efficiency(Amperes current) const;
+    double
+    efficiency(Amperes current) const
+    {
+        if (current <= 0.0)
+            return 0.0;
+        const double rate = current / params_.capacityAh; // C-rate
+        return params_.chargeEtaMax * rate /
+               (rate + params_.chargeEtaHalfRate);
+    }
 
     /**
      * Stored (effective) charging current when the bus supplies

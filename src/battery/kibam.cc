@@ -24,24 +24,6 @@ Kibam::setSoc(double soc)
     y2_ = (1.0 - c_) * cap_ * soc;
 }
 
-double
-Kibam::soc() const
-{
-    return std::clamp((y1_ + y2_) / cap_, 0.0, 1.0);
-}
-
-double
-Kibam::availableFraction() const
-{
-    return std::clamp(y1_ / (c_ * cap_), 0.0, 1.0);
-}
-
-bool
-Kibam::exhausted() const
-{
-    return y1_ <= 1e-9;
-}
-
 namespace {
 
 /** Longest interval handled by a single closed-form step, seconds. */
@@ -67,7 +49,7 @@ Kibam::stepExact(Amperes current, Seconds dt)
 {
     const double t = units::toHours(dt);
     const double k = kPrime_;
-    const double e = std::exp(-k * t);
+    const double e = expK(t);
     const double q0 = y1_ + y2_;
     const double requested = current * t;
 
@@ -103,7 +85,7 @@ Kibam::maxDischargeCurrent(Seconds dt) const
         return 0.0;
     const double t = units::toHours(dt);
     const double k = kPrime_;
-    const double e = std::exp(-k * t);
+    const double e = expK(t);
     const double q0 = y1_ + y2_;
     const double denom = (1.0 - e) + c_ * (k * t - 1.0 + e);
     if (denom <= 0.0)

@@ -19,6 +19,9 @@
 #ifndef INSURE_BATTERY_KIBAM_HH
 #define INSURE_BATTERY_KIBAM_HH
 
+#include <algorithm>
+#include <cmath>
+
 #include "sim/units.hh"
 
 namespace insure::battery {
@@ -53,11 +56,16 @@ class Kibam
      */
     AmpHours step(Amperes current, Seconds dt);
 
-    /** Total state of charge (both wells) in [0, 1]. */
-    double soc() const;
+    /** Total state of charge (both wells) in [0, 1]. Inline: polled for
+     *  every unit on every physics tick. */
+    double soc() const { return std::clamp((y1_ + y2_) / cap_, 0.0, 1.0); }
 
     /** Fill level of the available well in [0, 1]; drives terminal voltage. */
-    double availableFraction() const;
+    double
+    availableFraction() const
+    {
+        return std::clamp(y1_ / (c_ * cap_), 0.0, 1.0);
+    }
 
     /** Ampere-hours in the available well. */
     AmpHours availableCharge() const { return y1_; }
@@ -69,7 +77,7 @@ class Kibam
     AmpHours capacity() const { return cap_; }
 
     /** True when the available well cannot support further discharge. */
-    bool exhausted() const;
+    bool exhausted() const { return y1_ <= 1e-9; }
 
     /**
      * Maximum constant discharge current sustainable for @p dt seconds
@@ -86,6 +94,24 @@ class Kibam
     double kPrime_;
     AmpHours y1_;
     AmpHours y2_;
+
+    // exp(-k' t) memo. The simulator steps every unit with the same fixed
+    // dt (the physics tick, or the rest step), so the transcendental in
+    // the closed form is recomputed only when the step size changes —
+    // bit-identical to calling exp every time, since exp is pure.
+    mutable double expTHours_ = -1.0;
+    mutable double expValue_ = 0.0;
+
+    /** exp(-kPrime_ * t_hours), memoised on t_hours. */
+    double
+    expK(double t_hours) const
+    {
+        if (t_hours != expTHours_) {
+            expTHours_ = t_hours;
+            expValue_ = std::exp(-kPrime_ * t_hours);
+        }
+        return expValue_;
+    }
 
     /** One closed-form constant-current step with boundary clipping. */
     AmpHours stepExact(Amperes current, Seconds dt);

@@ -1,66 +1,9 @@
 #include "battery/voltage_model.hh"
 
-#include <algorithm>
-#include <array>
-
 namespace insure::battery {
-
-namespace {
-
-/** OCV anchor points (available-well fraction -> volts) for AGM cells. */
-struct OcvPoint {
-    double frac;
-    Volts volts;
-};
-
-constexpr std::array<OcvPoint, 7> ocvCurve = {{
-    {0.00, 11.60},
-    {0.10, 11.95},
-    {0.25, 12.10},
-    {0.50, 12.35},
-    {0.75, 12.55},
-    {0.90, 12.70},
-    {1.00, 12.90},
-}};
-
-} // namespace
 
 VoltageModel::VoltageModel(const BatteryParams &params) : params_(params)
 {
-}
-
-Volts
-VoltageModel::openCircuit(double available_frac) const
-{
-    const double f = std::clamp(available_frac, 0.0, 1.0);
-    // Scale the 12 V reference curve to the configured nominal voltage.
-    const double scale = params_.nominalVoltage / 12.0;
-    for (std::size_t i = 1; i < ocvCurve.size(); ++i) {
-        if (f <= ocvCurve[i].frac) {
-            const auto &a = ocvCurve[i - 1];
-            const auto &b = ocvCurve[i];
-            const double t = (f - a.frac) / (b.frac - a.frac);
-            return scale * (a.volts + t * (b.volts - a.volts));
-        }
-    }
-    return scale * ocvCurve.back().volts;
-}
-
-Volts
-VoltageModel::terminal(double available_frac, Amperes current) const
-{
-    const Volts v =
-        openCircuit(available_frac) - current * params_.internalResistanceOhm;
-    // Charging voltage is clamped by the absorption setpoint of the charger.
-    if (current < 0.0)
-        return std::min(v, params_.absorptionVoltage);
-    return v;
-}
-
-bool
-VoltageModel::belowCutoff(double available_frac, Amperes current) const
-{
-    return terminal(available_frac, current) < params_.cutoffVoltage;
 }
 
 Amperes

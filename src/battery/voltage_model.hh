@@ -12,6 +12,9 @@
 #ifndef INSURE_BATTERY_VOLTAGE_MODEL_HH
 #define INSURE_BATTERY_VOLTAGE_MODEL_HH
 
+#include <algorithm>
+#include <array>
+
 #include "battery/battery_params.hh"
 #include "sim/units.hh"
 
@@ -25,18 +28,50 @@ class VoltageModel
 
     /**
      * Open-circuit voltage for an available-well fill level in [0, 1].
+     * Inline: evaluated several times per unit per physics tick (loaded
+     * voltage before/after a step, protection checks, telemetry).
      */
-    Volts openCircuit(double available_frac) const;
+    Volts
+    openCircuit(double available_frac) const
+    {
+        const double f = std::clamp(available_frac, 0.0, 1.0);
+        // Scale the 12 V reference curve to the configured nominal
+        // voltage.
+        const double scale = params_.nominalVoltage / 12.0;
+        for (std::size_t i = 1; i < ocvCurve.size(); ++i) {
+            if (f <= ocvCurve[i].frac) {
+                const auto &a = ocvCurve[i - 1];
+                const auto &b = ocvCurve[i];
+                const double t = (f - a.frac) / (b.frac - a.frac);
+                return scale * (a.volts + t * (b.volts - a.volts));
+            }
+        }
+        return scale * ocvCurve.back().volts;
+    }
 
     /**
      * Loaded terminal voltage.
      * @param available_frac available-well fill level in [0, 1]
      * @param current positive = discharge, negative = charge (amperes)
      */
-    Volts terminal(double available_frac, Amperes current) const;
+    Volts
+    terminal(double available_frac, Amperes current) const
+    {
+        const Volts v = openCircuit(available_frac) -
+                        current * params_.internalResistanceOhm;
+        // Charging voltage is clamped by the absorption setpoint of the
+        // charger.
+        if (current < 0.0)
+            return std::min(v, params_.absorptionVoltage);
+        return v;
+    }
 
     /** True when the loaded terminal voltage is below the cutoff. */
-    bool belowCutoff(double available_frac, Amperes current) const;
+    bool
+    belowCutoff(double available_frac, Amperes current) const
+    {
+        return terminal(available_frac, current) < params_.cutoffVoltage;
+    }
 
     /**
      * Largest discharge current keeping the terminal voltage at or above
@@ -45,6 +80,22 @@ class VoltageModel
     Amperes maxCurrentAboveCutoff(double available_frac) const;
 
   private:
+    /** OCV anchor points (available-well fraction -> volts), AGM cells. */
+    struct OcvPoint {
+        double frac;
+        Volts volts;
+    };
+
+    static constexpr std::array<OcvPoint, 7> ocvCurve = {{
+        {0.00, 11.60},
+        {0.10, 11.95},
+        {0.25, 12.10},
+        {0.50, 12.35},
+        {0.75, 12.55},
+        {0.90, 12.70},
+        {1.00, 12.90},
+    }};
+
     const BatteryParams params_;
 };
 

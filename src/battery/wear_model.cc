@@ -11,19 +11,9 @@ WearModel::WearModel(const BatteryParams &params) : params_(params)
 }
 
 void
-WearModel::recordDischarge(AmpHours ah)
+WearModel::negativeThroughput(AmpHours ah) const
 {
-    if (ah < 0.0)
-        panic("WearModel: negative discharge throughput %f", ah);
-    discharged_ += ah;
-}
-
-void
-WearModel::recordCharge(AmpHours ah)
-{
-    if (ah < 0.0)
-        panic("WearModel: negative charge throughput %f", ah);
-    charged_ += ah;
+    panic("WearModel: negative throughput %f", ah);
 }
 
 double

@@ -24,11 +24,24 @@ class WearModel
   public:
     explicit WearModel(const BatteryParams &params);
 
-    /** Record @p ah ampere-hours of discharge throughput. */
-    void recordDischarge(AmpHours ah);
+    /** Record @p ah ampere-hours of discharge throughput. Once per
+     *  discharging tick per unit, so the success path is inline. */
+    void
+    recordDischarge(AmpHours ah)
+    {
+        if (ah < 0.0)
+            negativeThroughput(ah);
+        discharged_ += ah;
+    }
 
     /** Record @p ah ampere-hours of charge throughput (tracked separately). */
-    void recordCharge(AmpHours ah);
+    void
+    recordCharge(AmpHours ah)
+    {
+        if (ah < 0.0)
+            negativeThroughput(ah);
+        charged_ += ah;
+    }
 
     /** Cumulative discharge throughput. */
     AmpHours dischargeThroughput() const { return discharged_; }
@@ -53,6 +66,8 @@ class WearModel
     const BatteryParams params_;
     AmpHours discharged_ = 0.0;
     AmpHours charged_ = 0.0;
+
+    [[noreturn]] void negativeThroughput(AmpHours ah) const;
 };
 
 } // namespace insure::battery

@@ -174,8 +174,12 @@ InSituSystem::physicsTick(Seconds now)
     // the load bus before the voltage collapses.
     if (cfg_.fastSwitching && deficit > 0.0 &&
         array_.maxDischargePower(dt) < deficit) {
-        std::vector<unsigned> charging =
-            array_.cabinetsInMode(UnitMode::Charging);
+        std::vector<unsigned> &charging = fastSwitchScratch_;
+        charging.clear();
+        for (unsigned i = 0; i < array_.cabinetCount(); ++i) {
+            if (array_.cabinet(i).mode() == UnitMode::Charging)
+                charging.push_back(i);
+        }
         std::sort(charging.begin(), charging.end(),
                   [this](unsigned a, unsigned b) {
                       return array_.cabinet(a).soc() >
@@ -189,9 +193,10 @@ InSituSystem::physicsTick(Seconds now)
         }
     }
 
-    battery::ArrayDischargeResult dr;
-    if (deficit > 0.0)
-        dr = array_.discharge(deficit, dt);
+    // dr_ is a member so its vectors keep their capacity tick to tick;
+    // the out-param discharge() resets every field either way.
+    battery::ArrayDischargeResult &dr = dr_;
+    array_.discharge(deficit, dt, dr);
     if (dr.cabinetCurrents.empty()) {
         dr.cabinetCurrents.assign(array_.cabinetCount(), 0.0);
         dr.cabinetAh.assign(array_.cabinetCount(), 0.0);
@@ -313,7 +318,9 @@ InSituSystem::physicsTick(Seconds now)
     }
 
     // 6. Gauges.
-    const WattHours cap = array_.capacityWh();
+    if (capacityWhCache_ < 0.0)
+        capacityWhCache_ = array_.capacityWh();
+    const WattHours cap = capacityWhCache_;
     storedGauge_.set(now, cap > 0.0 ? array_.storedEnergyWh() / cap : 0.0);
     const bool pending = queue_.backlog() > 1e-9;
     const bool productive = cluster_.anyProductive();

@@ -228,6 +228,14 @@ class InSituSystem : public sim::Component
     telemetry::DailyLog log_;
     std::optional<sim::Trace> trace_;
 
+    // Per-tick scratch state, reused so the physics tick stays off the
+    // allocator: the discharge result (its vectors keep their capacity),
+    // the fast-switch candidate list, and the array capacity (constant
+    // for a run, cached on first use).
+    battery::ArrayDischargeResult dr_;
+    std::vector<unsigned> fastSwitchScratch_;
+    WattHours capacityWhCache_ = -1.0;
+
     void physicsTick(Seconds now);
     void telemetryTick(Seconds now);
     void controlTick(Seconds now);

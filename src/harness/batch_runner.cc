@@ -13,21 +13,45 @@
 namespace insure::harness {
 
 unsigned
+hardwareConcurrency()
+{
+    // hardware_concurrency() may probe the OS on every call; the value
+    // cannot change under us, so resolve it exactly once.
+    static const unsigned hw = [] {
+        const unsigned probed = std::thread::hardware_concurrency();
+        return probed > 0 ? probed : 1u;
+    }();
+    return hw;
+}
+
+unsigned
+clampJobs(unsigned jobs, const char *origin)
+{
+    const unsigned hw = hardwareConcurrency();
+    if (jobs > hw) {
+        warn("%s requests %u worker threads but only %u hardware "
+             "threads exist; clamping to %u",
+             origin, jobs, hw, hw);
+        return hw;
+    }
+    return jobs;
+}
+
+unsigned
 defaultJobs()
 {
     if (const char *env = std::getenv("INSURE_JOBS")) {
         char *end = nullptr;
         const long v = std::strtol(env, &end, 10);
         if (end != env && *end == '\0' && v > 0)
-            return static_cast<unsigned>(v);
+            return clampJobs(static_cast<unsigned>(v), "INSURE_JOBS");
         warn("INSURE_JOBS='%s' is not a positive integer; ignoring", env);
     }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? hw : 1;
+    return hardwareConcurrency();
 }
 
 BatchRunner::BatchRunner(unsigned jobs)
-    : jobs_(jobs > 0 ? jobs : defaultJobs())
+    : jobs_(jobs > 0 ? clampJobs(jobs, "--jobs") : defaultJobs())
 {
 }
 

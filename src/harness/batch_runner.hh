@@ -24,9 +24,24 @@
 namespace insure::harness {
 
 /**
+ * Number of hardware threads, resolved once and cached (minimum 1).
+ * std::thread::hardware_concurrency() may issue a system call per query,
+ * so callers should use this instead.
+ */
+unsigned hardwareConcurrency();
+
+/**
+ * Clamp a requested worker-thread count to the hardware concurrency,
+ * warning (with @p origin naming the source of the request, e.g.
+ * "--jobs") when the request would oversubscribe the machine.
+ */
+unsigned clampJobs(unsigned jobs, const char *origin);
+
+/**
  * Worker-thread count a runner uses when none is given explicitly: the
- * INSURE_JOBS environment variable when set to a positive integer,
- * otherwise the hardware concurrency (minimum 1).
+ * INSURE_JOBS environment variable when set to a positive integer
+ * (clamped to the hardware concurrency, with a warning), otherwise the
+ * hardware concurrency (minimum 1).
  */
 unsigned defaultJobs();
 
@@ -42,7 +57,11 @@ class BatchRunner
                                         std::size_t done,
                                         std::size_t total)>;
 
-    /** @param jobs worker threads; 0 selects defaultJobs(). */
+    /**
+     * @param jobs worker threads; 0 selects defaultJobs(). A request
+     * above the hardware concurrency warns and is clamped — the runs
+     * are CPU-bound, so oversubscription only adds context switches.
+     */
     explicit BatchRunner(unsigned jobs = 0);
 
     /** The worker-thread count this runner executes with. */

@@ -24,13 +24,6 @@ ServerNode::ServerNode(std::string name, NodeParams params)
 {
 }
 
-bool
-ServerNode::productive() const
-{
-    return state_ == NodeState::On && mgmtRemaining_ <= 0.0 &&
-           activeVms_ > 0;
-}
-
 void
 ServerNode::powerOn()
 {
@@ -93,27 +86,6 @@ void
 ServerNode::setWorkloadUtil(double u)
 {
     workloadUtil_ = std::clamp(u, 0.0, 1.0);
-}
-
-Watts
-ServerNode::power() const
-{
-    switch (state_) {
-      case NodeState::Off:
-        return 0.0;
-      case NodeState::Booting:
-      case NodeState::ShuttingDown:
-        // Boot and checkpoint phases run near idle draw.
-        return params_.idlePower;
-      case NodeState::On:
-        break;
-    }
-    const double util =
-        static_cast<double>(activeVms_) / params_.vmSlots;
-    const double dyn = (params_.peakPower - params_.idlePower) * util *
-                       workloadUtil_ *
-                       std::pow(frequency_, params_.dvfsAlpha) * dutyCycle_;
-    return params_.idlePower + dyn;
 }
 
 NodeStepResult

@@ -14,6 +14,7 @@
 #ifndef INSURE_SERVER_SERVER_NODE_HH
 #define INSURE_SERVER_SERVER_NODE_HH
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -55,7 +56,12 @@ class ServerNode
     NodeState state() const { return state_; }
 
     /** True when the node can host work right now (On, not busy). */
-    bool productive() const;
+    bool
+    productive() const
+    {
+        return state_ == NodeState::On && mgmtRemaining_ <= 0.0 &&
+               activeVms_ > 0;
+    }
 
     /** VMs currently assigned. */
     unsigned activeVms() const { return activeVms_; }
@@ -98,8 +104,30 @@ class ServerNode
     double dutyCycle() const { return dutyCycle_; }
     double workloadUtil() const { return workloadUtil_; }
 
-    /** Instantaneous power draw, watts. */
-    Watts power() const;
+    /**
+     * Instantaneous power draw, watts. Sampled several times per physics
+     * tick (step, telemetry, manager), so the whole computation is inline.
+     */
+    Watts
+    power() const
+    {
+        switch (state_) {
+          case NodeState::Off:
+            return 0.0;
+          case NodeState::Booting:
+          case NodeState::ShuttingDown:
+            // Boot and checkpoint phases run near idle draw.
+            return params_.idlePower;
+          case NodeState::On:
+            break;
+        }
+        const double util =
+            static_cast<double>(activeVms_) / params_.vmSlots;
+        const double dyn =
+            (params_.peakPower - params_.idlePower) * util * workloadUtil_ *
+            std::pow(frequency_, params_.dvfsAlpha) * dutyCycle_;
+        return params_.idlePower + dyn;
+    }
 
     /** Advance the node state by @p dt seconds. */
     NodeStepResult step(Seconds dt);

@@ -4,88 +4,21 @@
 
 namespace insure::sim {
 
-EventId
-EventQueue::schedule(Seconds when, EventPriority prio,
-                     std::function<void()> fn)
+void
+EventQueue::scheduledIntoPast(Seconds when) const
 {
-    if (when < now_)
-        panic("EventQueue: scheduling into the past (%f < %f)", when, now_);
-    const EventId id = nextId_++;
-    queue_.push(Entry{when, static_cast<int>(prio), id, std::move(fn)});
-    live_.insert(id);
-    return id;
-}
-
-EventId
-EventQueue::scheduleIn(Seconds delay, EventPriority prio,
-                       std::function<void()> fn)
-{
-    return schedule(now_ + delay, prio, std::move(fn));
+    panic("EventQueue: scheduling into the past (%f < %f)", when, now_);
 }
 
 void
-EventQueue::cancel(EventId id)
+EventQueue::rearmOutsideDispatch() const
 {
-    // Only ids that are still scheduled move to the cancelled set; an id
-    // that already fired, was already cancelled, or was never issued is
-    // ignored, so stale handles can never suppress an unrelated event.
-    if (live_.erase(id) > 0)
-        cancelled_.insert(id);
-}
-
-bool
-EventQueue::isCancelled(EventId id)
-{
-    return cancelled_.erase(id) > 0;
-}
-
-bool
-EventQueue::empty() const
-{
-    return live_.empty();
-}
-
-bool
-EventQueue::step()
-{
-    while (!queue_.empty()) {
-        Entry e = queue_.top();
-        queue_.pop();
-        if (isCancelled(e.id))
-            continue;
-        live_.erase(e.id);
-        now_ = e.when;
-        e.fn();
-        return true;
-    }
-    return false;
-}
-
-std::uint64_t
-EventQueue::runUntil(Seconds horizon)
-{
-    std::uint64_t executed = 0;
-    while (!queue_.empty()) {
-        const Entry &top = queue_.top();
-        if (top.when > horizon)
-            break;
-        Entry e = queue_.top();
-        queue_.pop();
-        if (isCancelled(e.id))
-            continue;
-        live_.erase(e.id);
-        now_ = e.when;
-        e.fn();
-        ++executed;
-    }
-    if (now_ < horizon)
-        now_ = horizon;
-    return executed;
+    panic("EventQueue: rearmCurrentIn outside event dispatch");
 }
 
 PeriodicTask::PeriodicTask(EventQueue &eq, Seconds period,
                            EventPriority prio,
-                           std::function<void(Seconds)> fn)
+                           InlineFunction<void(Seconds)> fn)
     : eq_(eq), period_(period), prio_(prio), fn_(std::move(fn))
 {
     if (period_ <= 0.0)
@@ -121,8 +54,10 @@ PeriodicTask::fire()
 {
     if (!running_)
         return;
-    // Reschedule before invoking so the callback may call stop().
-    pendingId_ = eq_.scheduleIn(period_, prio_, [this] { fire(); });
+    // Re-arm before invoking so the callback may call stop(); the re-arm
+    // reuses the slot this event fired from, so a steady tick performs no
+    // allocation and constructs no closure.
+    pendingId_ = eq_.rearmCurrentIn(period_, prio_);
     fn_(eq_.now());
 }
 

@@ -6,17 +6,24 @@
  * insertion sequence). Components either schedule one-shot events or use
  * PeriodicTask for fixed-interval control loops (the PLC scan cycle, the
  * MPPT perturbation period, workload arrivals, ...).
+ *
+ * The hot path is allocation-free in steady state: callables live in a
+ * small-buffer-optimised InlineFunction inside a recycled slot pool, the
+ * heap holds only POD entries, and liveness/cancellation is tracked with
+ * generation-tagged slots instead of hash sets. A PeriodicTask re-arms the
+ * slot it is firing from, so a steady periodic tick neither constructs a
+ * closure nor touches the allocator.
  */
 
 #ifndef INSURE_SIM_EVENT_QUEUE_HH
 #define INSURE_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <deque>
+#include <limits>
 #include <vector>
 
+#include "sim/inline_function.hh"
 #include "sim/units.hh"
 
 namespace insure::sim {
@@ -43,6 +50,9 @@ enum class EventPriority : int {
 class EventQueue
 {
   public:
+    /** Callable type stored per event (inline up to small captures). */
+    using Callback = InlineFunction<void()>;
+
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -54,69 +64,347 @@ class EventQueue
      * Schedule @p fn to run at absolute time @p when.
      * @return an id usable with cancel().
      */
-    EventId schedule(Seconds when, EventPriority prio,
-                     std::function<void()> fn);
+    EventId
+    schedule(Seconds when, EventPriority prio, Callback fn)
+    {
+        if (when < now_)
+            scheduledIntoPast(when);
+        const std::uint32_t slot = acquireSlot();
+        Slot &s = slots_[slot];
+        s.fn = std::move(fn);
+        ++s.gen;
+        s.live = true;
+        ++liveCount_;
+        queue_.push(Entry{when, makeKey(prio, nextSeq_++), slot, s.gen});
+        return makeId(s.gen, slot);
+    }
 
     /** Schedule @p fn to run @p delay seconds from now. */
-    EventId scheduleIn(Seconds delay, EventPriority prio,
-                       std::function<void()> fn);
+    EventId
+    scheduleIn(Seconds delay, EventPriority prio, Callback fn)
+    {
+        return schedule(now_ + delay, prio, std::move(fn));
+    }
 
     /**
      * Cancel a pending event. Cancelling an id that already fired, was
      * already cancelled, or was never issued is a safe no-op; a cancelled
      * event never executes.
      */
-    void cancel(EventId id);
+    void
+    cancel(EventId id)
+    {
+        // Only a live (scheduled, not yet fired) event is affected; an id
+        // that already fired, was already cancelled, or was never issued
+        // fails the generation check, so stale handles can never suppress
+        // an unrelated event. The heap entry stays behind and is skipped
+        // when popped.
+        const std::uint32_t slot =
+            static_cast<std::uint32_t>(id & 0xffffffffu);
+        const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+        if (slot >= slots_.size())
+            return;
+        Slot &s = slots_[slot];
+        if (!s.live || s.gen != gen)
+            return;
+        s.live = false;
+        --liveCount_;
+        if (slot != executingSlot_) {
+            s.fn.reset(); // release captured state promptly
+            freeSlots_.push_back(slot);
+        }
+    }
 
     /** True when no runnable events remain. */
-    bool empty() const;
+    bool empty() const { return liveCount_ == 0; }
 
     /** Number of pending (non-cancelled) events. */
-    std::size_t pending() const { return live_.size(); }
+    std::size_t pending() const { return liveCount_; }
 
     /**
      * Run events until the queue is empty or simulated time would exceed
      * @p horizon. Time is left at min(horizon, last event time).
      * @return number of events executed.
      */
-    std::uint64_t runUntil(Seconds horizon);
+    std::uint64_t
+    runUntil(Seconds horizon)
+    {
+        std::uint64_t executed = 0;
+        while (dispatchOne(horizon))
+            ++executed;
+        if (now_ < horizon)
+            now_ = horizon;
+        return executed;
+    }
 
     /** Execute at most one event. @return false if none was runnable. */
-    bool step();
+    bool
+    step()
+    {
+        return dispatchOne(std::numeric_limits<Seconds>::infinity());
+    }
+
+    /**
+     * Re-arm the event currently being dispatched to fire again @p delay
+     * seconds from now, at priority @p prio, reusing its slot and callable
+     * (no closure construction, no allocation). Only valid while inside a
+     * callback; the returned id cancels the re-armed firing.
+     */
+    EventId
+    rearmCurrentIn(Seconds delay, EventPriority prio)
+    {
+        if (executingSlot_ == kNoSlot)
+            rearmOutsideDispatch();
+        Slot &s = slots_[executingSlot_];
+        ++s.gen;
+        s.live = true;
+        ++liveCount_;
+        queue_.push(Entry{now_ + delay, makeKey(prio, nextSeq_++),
+                          executingSlot_, s.gen});
+        return makeId(s.gen, executingSlot_);
+    }
 
   private:
+    static constexpr std::uint32_t kNoSlot = ~0u;
+
+    /**
+     * POD heap entry. Execution order is (when, prio, seq); priority and
+     * the monotone schedule sequence number are packed into one 64-bit
+     * key (prio in the top byte, seq below — seq can never reach 2^56),
+     * so ties at the same instant compare with a single integer compare
+     * and the entry fits in 24 bytes. (slot, gen) locates the callable
+     * and detects stale entries for cancelled or recycled slots.
+     */
     struct Entry {
         Seconds when;
-        int prio;
-        EventId id;
-        std::function<void()> fn;
+        std::uint64_t key;
+        std::uint32_t slot;
+        std::uint32_t gen;
 
         bool
         operator>(const Entry &o) const
         {
             if (when != o.when)
                 return when > o.when;
-            if (prio != o.prio)
-                return prio > o.prio;
-            return id > o.id;
+            return key > o.key;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-    /** Ids scheduled but not yet fired or cancelled. */
-    std::unordered_set<EventId> live_;
-    /** Cancelled ids whose entries are still inside queue_. */
-    std::unordered_set<EventId> cancelled_;
-    Seconds now_ = 0.0;
-    EventId nextId_ = 1;
+    static std::uint64_t
+    makeKey(EventPriority prio, std::uint64_t seq)
+    {
+        return (static_cast<std::uint64_t>(prio) << 56) | seq;
+    }
 
-    /** Pop the entry for a cancelled id; true if it was cancelled. */
-    bool isCancelled(EventId id);
+    /**
+     * Priority structure specialised for simulation traffic. Almost all
+     * pushes arrive in non-decreasing execution order (periodic re-arms
+     * land one period ahead, bulk setup schedules forward in time), so
+     * entries are appended to a sorted run vector consumed by cursor:
+     * push and pop are then O(1) with perfectly sequential memory
+     * access. A push that would break the run's ordering falls back to
+     * a 4-ary min-heap, and top()/pop() take whichever front executes
+     * first. The pop order is fully determined by the strict total
+     * order on (when, key) (seq makes every key unique) and both sides
+     * agree on it, so the split never affects execution order.
+     */
+    class EntryHeap
+    {
+      public:
+        bool
+        empty() const
+        {
+            return runHead_ == run_.size() && heap_.empty();
+        }
+
+        std::size_t
+        size() const
+        {
+            return (run_.size() - runHead_) + heap_.size();
+        }
+
+        const Entry &
+        top() const
+        {
+            if (runHead_ == run_.size())
+                return heap_[0];
+            if (heap_.empty() || !before(heap_[0], run_[runHead_]))
+                return run_[runHead_];
+            return heap_[0];
+        }
+
+        void
+        push(const Entry &e)
+        {
+            if (runHead_ == run_.size()) {
+                run_.clear();
+                runHead_ = 0;
+                run_.push_back(e);
+            } else if (!before(e, run_.back())) {
+                run_.push_back(e);
+            } else {
+                heap_.push_back(e);
+                siftUp(heap_.size() - 1);
+            }
+        }
+
+        void
+        pop()
+        {
+            if (runHead_ != run_.size() &&
+                (heap_.empty() || !before(heap_[0], run_[runHead_]))) {
+                ++runHead_;
+                if (runHead_ == run_.size()) {
+                    run_.clear();
+                    runHead_ = 0;
+                } else if (runHead_ >= kCompactAt &&
+                           runHead_ * 2 >= run_.size()) {
+                    // Reclaim the consumed prefix once it dominates the
+                    // vector; each erase moves at most as many entries
+                    // as the pops that paid for it, so amortised O(1).
+                    run_.erase(run_.begin(),
+                               run_.begin() +
+                                   static_cast<std::ptrdiff_t>(runHead_));
+                    runHead_ = 0;
+                }
+            } else {
+                const Entry last = heap_.back();
+                heap_.pop_back();
+                if (!heap_.empty())
+                    siftDown(last);
+            }
+        }
+
+      private:
+        static constexpr std::size_t kCompactAt = 1024;
+
+        /** In-order pushes, sorted; consumed from runHead_. */
+        std::vector<Entry> run_;
+        /** Out-of-order pushes, 4-ary min-heap. */
+        std::vector<Entry> heap_;
+        std::size_t runHead_ = 0;
+
+        /** True when @p a executes before @p b. */
+        static bool before(const Entry &a, const Entry &b)
+        {
+            return b > a;
+        }
+
+        void
+        siftUp(std::size_t i)
+        {
+            const Entry e = heap_[i];
+            while (i != 0) {
+                const std::size_t p = (i - 1) >> 2;
+                if (!before(e, heap_[p]))
+                    break;
+                heap_[i] = heap_[p];
+                i = p;
+            }
+            heap_[i] = e;
+        }
+
+        /** Re-insert @p e starting from the root after a pop. */
+        void
+        siftDown(const Entry &e)
+        {
+            const std::size_t n = heap_.size();
+            std::size_t i = 0;
+            for (;;) {
+                const std::size_t c = 4 * i + 1;
+                if (c >= n)
+                    break;
+                std::size_t m = c;
+                const std::size_t end = c + 4 < n ? c + 4 : n;
+                for (std::size_t j = c + 1; j < end; ++j) {
+                    if (before(heap_[j], heap_[m]))
+                        m = j;
+                }
+                if (!before(heap_[m], e))
+                    break;
+                heap_[i] = heap_[m];
+                i = m;
+            }
+            heap_[i] = e;
+        }
+    };
+
+    /**
+     * Recycled callable storage. A slot's generation increments on every
+     * acquisition, so an EventId (gen << 32 | slot) from a previous tenant
+     * can never cancel the current one.
+     */
+    struct Slot {
+        Callback fn;
+        std::uint32_t gen = 0;
+        bool live = false;
+    };
+
+    EntryHeap queue_;
+    /** Slot storage; deque so callbacks stay put while executing. */
+    std::deque<Slot> slots_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::size_t liveCount_ = 0;
+    std::uint64_t nextSeq_ = 1;
+    std::uint32_t executingSlot_ = kNoSlot;
+    Seconds now_ = 0.0;
+
+    static EventId
+    makeId(std::uint32_t gen, std::uint32_t slot)
+    {
+        return (static_cast<EventId>(gen) << 32) | slot;
+    }
+
+    std::uint32_t
+    acquireSlot()
+    {
+        if (!freeSlots_.empty()) {
+            const std::uint32_t slot = freeSlots_.back();
+            freeSlots_.pop_back();
+            return slot;
+        }
+        slots_.emplace_back();
+        return static_cast<std::uint32_t>(slots_.size() - 1);
+    }
+
+    bool
+    dispatchOne(Seconds horizon)
+    {
+        while (!queue_.empty()) {
+            const Entry &top = queue_.top();
+            if (top.when > horizon)
+                return false;
+            const Entry e = top;
+            queue_.pop();
+            Slot &s = slots_[e.slot];
+            if (!s.live || s.gen != e.gen)
+                continue; // cancelled, or the slot moved on to a new tenant
+            s.live = false;
+            --liveCount_;
+            now_ = e.when;
+            executingSlot_ = e.slot;
+            s.fn(); // may schedule, cancel, or re-arm this very slot
+            executingSlot_ = kNoSlot;
+            // A re-arm (or nothing) happened: only recycle the slot when
+            // the callback did not re-register it.
+            if (!s.live) {
+                s.fn.reset();
+                freeSlots_.push_back(e.slot);
+            }
+            return true;
+        }
+        return false;
+    }
+
+    [[noreturn]] void scheduledIntoPast(Seconds when) const;
+    [[noreturn]] void rearmOutsideDispatch() const;
 };
 
 /**
  * Helper that reschedules a callback every @p period seconds. The callback
- * may stop the task; stopping from outside is also supported.
+ * may stop the task; stopping from outside is also supported. Steady-state
+ * ticking re-arms the queue slot in place (see EventQueue::rearmCurrentIn)
+ * instead of scheduling a fresh closure every tick.
  */
 class PeriodicTask
 {
@@ -128,7 +416,7 @@ class PeriodicTask
      * @param fn callback, invoked with the current simulated time
      */
     PeriodicTask(EventQueue &eq, Seconds period, EventPriority prio,
-                 std::function<void(Seconds)> fn);
+                 InlineFunction<void(Seconds)> fn);
     ~PeriodicTask();
 
     PeriodicTask(const PeriodicTask &) = delete;
@@ -150,7 +438,7 @@ class PeriodicTask
     EventQueue &eq_;
     Seconds period_;
     EventPriority prio_;
-    std::function<void(Seconds)> fn_;
+    InlineFunction<void(Seconds)> fn_;
     EventId pendingId_ = 0;
     bool running_ = false;
 

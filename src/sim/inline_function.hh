@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Small-buffer-optimised move-only callable.
+ *
+ * The event queue schedules hundreds of thousands of callbacks per
+ * simulated day; std::function's type erasure is convenient but its heap
+ * fallback and two-pointer indirection are measurable there. InlineFunction
+ * stores callables up to a fixed capture size inline (no allocation, one
+ * indirect call to invoke) and transparently falls back to the heap for
+ * oversized captures, so the API stays as general as std::function.
+ */
+
+#ifndef INSURE_SIM_INLINE_FUNCTION_HH
+#define INSURE_SIM_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace insure::sim {
+
+template <typename Signature, std::size_t Capacity = 48>
+class InlineFunction;
+
+/**
+ * Move-only callable with @p Capacity bytes of inline storage. Callables
+ * whose size or alignment exceed the inline buffer are heap-allocated, so
+ * any callable is accepted; the simulator's hot-path lambdas (a captured
+ * `this`, a reference or two) always stay inline.
+ */
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity>
+{
+  public:
+    InlineFunction() = default;
+
+    /** Wrap any callable; intentionally implicit, like std::function. */
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::decay_t<F>, InlineFunction>>>
+    InlineFunction(F &&f) // NOLINT(google-explicit-constructor)
+    {
+        emplace(std::forward<F>(f));
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    /** Destroy the held callable (if any); leaves the function empty. */
+    void
+    reset()
+    {
+        if (ops_) {
+            if (ops_->destroy)
+                ops_->destroy(&storage_);
+            ops_ = nullptr;
+        }
+    }
+
+    /** True when a callable is held. */
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    R
+    operator()(Args... args) const
+    {
+        return ops_->invoke(&storage_, std::forward<Args>(args)...);
+    }
+
+  private:
+    /**
+     * Per-type operation table (one static instance per callable type).
+     * For trivially copyable inline callables — the event queue's usual
+     * diet of pointer-capturing lambdas — move and destroy are null:
+     * relocation is a memcpy and destruction a no-op, with no indirect
+     * call on either.
+     */
+    struct Ops {
+        R (*invoke)(void *, Args...);
+        void (*move)(void *dst, void *src);
+        void (*destroy)(void *);
+    };
+
+    template <typename F>
+    static constexpr bool fitsInline =
+        sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<F>;
+
+    template <typename F>
+    void
+    emplace(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn> && std::is_trivially_copyable_v<Fn>) {
+            ::new (static_cast<void *>(&storage_))
+                Fn(std::forward<F>(f));
+            static const Ops ops = {
+                [](void *s, Args... args) -> R {
+                    return (*std::launder(reinterpret_cast<Fn *>(s)))(
+                        std::forward<Args>(args)...);
+                },
+                nullptr, // relocate by memcpy
+                nullptr, // trivially destructible
+            };
+            ops_ = &ops;
+        } else if constexpr (fitsInline<Fn>) {
+            ::new (static_cast<void *>(&storage_))
+                Fn(std::forward<F>(f));
+            static const Ops ops = {
+                [](void *s, Args... args) -> R {
+                    return (*std::launder(reinterpret_cast<Fn *>(s)))(
+                        std::forward<Args>(args)...);
+                },
+                [](void *dst, void *src) {
+                    Fn *from = std::launder(reinterpret_cast<Fn *>(src));
+                    ::new (dst) Fn(std::move(*from));
+                    from->~Fn();
+                },
+                [](void *s) {
+                    std::launder(reinterpret_cast<Fn *>(s))->~Fn();
+                },
+            };
+            ops_ = &ops;
+        } else {
+            // Heap fallback: the buffer holds a single owning pointer.
+            ::new (static_cast<void *>(&storage_))
+                Fn *(new Fn(std::forward<F>(f)));
+            static const Ops ops = {
+                [](void *s, Args... args) -> R {
+                    return (**std::launder(reinterpret_cast<Fn **>(s)))(
+                        std::forward<Args>(args)...);
+                },
+                [](void *dst, void *src) {
+                    Fn **from = std::launder(
+                        reinterpret_cast<Fn **>(src));
+                    ::new (dst) Fn *(*from);
+                    *from = nullptr;
+                },
+                [](void *s) {
+                    delete *std::launder(reinterpret_cast<Fn **>(s));
+                },
+            };
+            ops_ = &ops;
+        }
+    }
+
+    void
+    moveFrom(InlineFunction &other)
+    {
+        if (other.ops_) {
+            if (other.ops_->move)
+                other.ops_->move(&storage_, &other.storage_);
+            else
+                std::memcpy(&storage_, &other.storage_, sizeof(storage_));
+            ops_ = other.ops_;
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) mutable
+        unsigned char storage_[Capacity < sizeof(void *) ? sizeof(void *)
+                                                         : Capacity];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace insure::sim
+
+#endif // INSURE_SIM_INLINE_FUNCTION_HH

@@ -13,19 +13,6 @@ Logger::setLevel(LogLevel level)
     minLevel_.store(level, std::memory_order_relaxed);
 }
 
-LogLevel
-Logger::level()
-{
-    return minLevel_.load(std::memory_order_relaxed);
-}
-
-bool
-Logger::enabled(LogLevel level)
-{
-    return static_cast<int>(level) >=
-           static_cast<int>(minLevel_.load(std::memory_order_relaxed));
-}
-
 namespace {
 
 const char *

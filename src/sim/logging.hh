@@ -37,13 +37,29 @@ class Logger
   public:
     /** Set the minimum level that will be emitted. */
     static void setLevel(LogLevel level);
-    /** Current minimum level. */
-    static LogLevel level();
+
+    /** Current minimum level. Inline: hot loops poll this per tick. */
+    static LogLevel
+    level()
+    {
+        return minLevel_.load(std::memory_order_relaxed);
+    }
+
     /** Emit a printf-formatted message at @p level. */
     static void log(LogLevel level, const char *fmt, ...)
         __attribute__((format(printf, 2, 3)));
-    /** True if a message at @p level would be emitted. */
-    static bool enabled(LogLevel level);
+
+    /**
+     * True if a message at @p level would be emitted. Inline and
+     * branch-free (one relaxed load + compare), so per-tick guard
+     * checks cost a couple of instructions when logging is off.
+     */
+    static bool
+    enabled(LogLevel level)
+    {
+        return static_cast<int>(level) >=
+               static_cast<int>(minLevel_.load(std::memory_order_relaxed));
+    }
 
   private:
     static std::atomic<LogLevel> minLevel_;

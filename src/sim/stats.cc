@@ -35,16 +35,6 @@ Counter::render() const
     return renderLine(name(), static_cast<double>(value_), desc());
 }
 
-void
-Accumulator::sample(double v)
-{
-    ++count_;
-    sum_ += v;
-    sumSq_ += v * v;
-    min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
-}
-
 double
 Accumulator::stddev() const
 {
@@ -77,21 +67,10 @@ Accumulator::reset()
 }
 
 void
-TimeWeightedGauge::set(Seconds now, double v)
+TimeWeightedGauge::timeWentBackwards(Seconds now) const
 {
-    if (!started_) {
-        started_ = true;
-        start_ = now;
-        last_ = now;
-        level_ = v;
-        return;
-    }
-    if (now < last_)
-        panic("TimeWeightedGauge %s: time went backwards (%f < %f)",
-              name().c_str(), now, last_);
-    integral_ += level_ * (now - last_);
-    last_ = now;
-    level_ = v;
+    panic("TimeWeightedGauge %s: time went backwards (%f < %f)",
+          name().c_str(), now, last_);
 }
 
 void

@@ -11,6 +11,7 @@
 #ifndef INSURE_SIM_STATS_HH
 #define INSURE_SIM_STATS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -75,8 +76,16 @@ class Accumulator : public StatBase
   public:
     using StatBase::StatBase;
 
-    /** Record one sample. */
-    void sample(double v);
+    /** Record one sample. Sampled once per physics tick, so inline. */
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        sumSq_ += v * v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
 
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
@@ -106,8 +115,27 @@ class TimeWeightedGauge : public StatBase
   public:
     using StatBase::StatBase;
 
-    /** Record that the level becomes @p v at time @p now. */
-    void set(Seconds now, double v);
+    /**
+     * Record that the level becomes @p v at time @p now. Called once per
+     * physics tick for every gauge, so the whole update is inline; only
+     * the time-went-backwards failure path stays out of line.
+     */
+    void
+    set(Seconds now, double v)
+    {
+        if (!started_) {
+            started_ = true;
+            start_ = now;
+            last_ = now;
+            level_ = v;
+            return;
+        }
+        if (now < last_)
+            timeWentBackwards(now);
+        integral_ += level_ * (now - last_);
+        last_ = now;
+        level_ = v;
+    }
 
     /** Current level. */
     double current() const { return level_; }
@@ -135,6 +163,8 @@ class TimeWeightedGauge : public StatBase
     Seconds start_ = 0.0;
     Seconds last_ = 0.0;
     bool started_ = false;
+
+    [[noreturn]] void timeWentBackwards(Seconds now) const;
 };
 
 /** Fixed-width-bin histogram with underflow/overflow buckets. */

@@ -62,6 +62,38 @@ Trace::at(std::size_t r, const std::string &name) const
     return rows_[r][idx];
 }
 
+std::size_t
+Trace::lowerSegment(double x) const
+{
+    // Binary search over the (sorted) first column. Invariant:
+    // rows_[lo][0] <= x < rows_[hi][0], so the final lo is the unique
+    // segment whose right edge lies strictly beyond x (duplicates of a
+    // timestamp all fall to the left of it).
+    std::size_t lo = 0;
+    std::size_t hi = rows_.size() - 1;
+    while (hi - lo > 1) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (rows_[mid][0] <= x)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+double
+Trace::interpolateSegment(std::size_t lo, double x, int idx) const
+{
+    const double x0 = rows_[lo][0];
+    const double x1 = rows_[lo + 1][0];
+    const double y0 = rows_[lo][idx];
+    const double y1 = rows_[lo + 1][idx];
+    if (x1 <= x0)
+        return y0;
+    const double t = (x - x0) / (x1 - x0);
+    return y0 + t * (y1 - y0);
+}
+
 double
 Trace::interpolate(double x, const std::string &name) const
 {
@@ -74,24 +106,41 @@ Trace::interpolate(double x, const std::string &name) const
         return rows_.front()[idx];
     if (x >= rows_.back()[0])
         return rows_.back()[idx];
-    // Binary search over the (sorted) first column.
-    std::size_t lo = 0;
-    std::size_t hi = rows_.size() - 1;
-    while (hi - lo > 1) {
-        const std::size_t mid = (lo + hi) / 2;
-        if (rows_[mid][0] <= x)
-            lo = mid;
-        else
-            hi = mid;
+    return interpolateSegment(lowerSegment(x), x, idx);
+}
+
+Trace::Cursor::Cursor(const Trace &trace, const std::string &column)
+    : trace_(&trace), idx_(trace.columnIndex(column))
+{
+    if (idx_ < 0)
+        fatal("Trace::Cursor: no column named '%s'", column.c_str());
+}
+
+double
+Trace::Cursor::sample(double x)
+{
+    if (trace_ == nullptr)
+        fatal("Trace::Cursor: sample() on a detached cursor");
+    const auto &rows = trace_->rows_;
+    if (rows.empty())
+        fatal("Trace::Cursor: sample on empty trace");
+    if (x <= rows.front()[0]) {
+        pos_ = 0;
+        return rows.front()[idx_];
     }
-    const double x0 = rows_[lo][0];
-    const double x1 = rows_[hi][0];
-    const double y0 = rows_[lo][idx];
-    const double y1 = rows_[hi][idx];
-    if (x1 <= x0)
-        return y0;
-    const double t = (x - x0) / (x1 - x0);
-    return y0 + t * (y1 - y0);
+    if (x >= rows.back()[0]) {
+        pos_ = rows.size() - 1;
+        return rows.back()[idx_];
+    }
+    // pos_ may point past the in-range segments after an end-point clamp
+    // or a backward seek; re-anchor with the binary search, then walk.
+    if (pos_ + 1 >= rows.size() || rows[pos_][0] > x)
+        pos_ = trace_->lowerSegment(x);
+    // Forward walk: with rows[pos_][0] <= x < rows.back()[0] the strictly
+    // greater right edge exists, so the walk stops before the last row.
+    while (rows[pos_ + 1][0] <= x)
+        ++pos_;
+    return trace_->interpolateSegment(pos_, x, idx_);
 }
 
 void

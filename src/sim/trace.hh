@@ -55,6 +55,40 @@ class Trace
      */
     double interpolate(double x, const std::string &name) const;
 
+    /**
+     * Stateful sampler for repeated interpolation of one column.
+     *
+     * Simulation components sample traces with a (mostly) monotonically
+     * increasing axis value, one query per tick; a Cursor remembers the
+     * last bracketing segment so a forward query advances at most a few
+     * rows (O(1) amortized over a sweep) instead of binary-searching the
+     * whole trace every call. A backward seek (e.g. the day-wrap of a
+     * cyclically replayed trace) falls back to the binary search and
+     * re-anchors. Results are bit-identical to interpolate().
+     *
+     * The cursor holds a pointer to the trace: keep the trace alive, and
+     * do not remove rows while a cursor is attached (appending is fine).
+     */
+    class Cursor
+    {
+      public:
+        Cursor() = default;
+
+        /** Attach to @p trace, resolving @p column once. Fatal if absent. */
+        Cursor(const Trace &trace, const std::string &column);
+
+        /** Interpolated value at @p x; same clamping as interpolate(). */
+        double sample(double x);
+
+        /** Row index of the segment found by the last sample() call. */
+        std::size_t position() const { return pos_; }
+
+      private:
+        const Trace *trace_ = nullptr;
+        int idx_ = -1;
+        std::size_t pos_ = 0;
+    };
+
     /** Write CSV (header + rows) to a stream. */
     void writeCsv(std::ostream &os) const;
 
@@ -70,6 +104,13 @@ class Trace
   private:
     std::vector<std::string> columns_;
     std::vector<std::vector<double>> rows_;
+
+    /** Largest row r (≤ rows-2) with rows_[r][0] <= x; requires
+     *  front[0] < x < back[0] (callers clamp first). */
+    std::size_t lowerSegment(double x) const;
+
+    /** Interpolate column @p idx on the segment [lo, lo+1] at @p x. */
+    double interpolateSegment(std::size_t lo, double x, int idx) const;
 };
 
 } // namespace insure::sim

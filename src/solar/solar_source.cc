@@ -27,16 +27,11 @@ SolarSource::SolarSource(sim::Trace trace) : trace_(std::move(trace))
 }
 
 void
-SolarSource::step(Seconds now, Seconds dt)
+SolarSource::attachCursors() const
 {
-    if (model_) {
-        model_->irradiance.step(std::fmod(now, units::secPerDay), dt);
-        power_ = model_->mppt.step(model_->irradiance.value());
-    } else {
-        power_ = trace_->interpolate(std::fmod(now, traceSpan_),
-                                     "power_w");
-    }
-    offeredWh_ += units::energyWh(power_, dt);
+    stepCursor_ = sim::Trace::Cursor(*trace_, "power_w");
+    forecastCursor_ = sim::Trace::Cursor(*trace_, "power_w");
+    cursorTrace_ = &*trace_;
 }
 
 double
@@ -55,8 +50,8 @@ SolarSource::forecastAvg(Seconds day_time, Seconds horizon) const
     int n = 0;
     for (Seconds t = day_time; t < day_time + horizon; t += step) {
         if (trace_) {
-            sum += trace_->interpolate(std::fmod(t, traceSpan_),
-                                       "power_w");
+            ensureCursors();
+            sum += forecastCursor_.sample(std::fmod(t, traceSpan_));
         } else {
             // Clear-sky envelope at the panel's rated output, attenuated
             // by the currently observed transmittance.

@@ -13,10 +13,12 @@
 #ifndef INSURE_SOLAR_SOLAR_SOURCE_HH
 #define INSURE_SOLAR_SOLAR_SOURCE_HH
 
+#include <cmath>
 #include <memory>
 #include <optional>
 
 #include "sim/rng.hh"
+#include "sim/units.hh"
 #include "sim/trace.hh"
 #include "solar/irradiance.hh"
 #include "solar/mppt.hh"
@@ -38,9 +40,21 @@ class SolarSource
     /**
      * Advance to absolute simulation time @p now. Model mode is
      * day-periodic; trace mode repeats the trace after its last whole
-     * day, so multi-day campaign traces replay correctly.
+     * day, so multi-day campaign traces replay correctly. Called every
+     * physics tick, so inline.
      */
-    void step(Seconds now, Seconds dt);
+    void
+    step(Seconds now, Seconds dt)
+    {
+        if (model_) {
+            model_->irradiance.step(std::fmod(now, units::secPerDay), dt);
+            power_ = model_->mppt.step(model_->irradiance.value());
+        } else {
+            ensureCursors();
+            power_ = stepCursor_.sample(std::fmod(now, traceSpan_));
+        }
+        offeredWh_ += units::energyWh(power_, dt);
+    }
 
     /** Power currently available from the supply, watts. */
     Watts availablePower() const { return power_; }
@@ -100,6 +114,24 @@ class SolarSource
     Seconds traceSpan_ = units::secPerDay;
     Watts power_ = 0.0;
     WattHours offeredWh_ = 0.0;
+
+    /**
+     * Per-caller trace cursors (see sim::Trace::Cursor): step() and
+     * forecastAvg() each sweep time mostly forward, so each keeps its own
+     * cursor and pays a binary search only on the day-wrap backward seek.
+     * Attached lazily so a moved-from/moved-into source re-anchors; the
+     * steady-state check is a single pointer compare, so inline.
+     */
+    void
+    ensureCursors() const
+    {
+        if (cursorTrace_ != &*trace_)
+            attachCursors();
+    }
+    void attachCursors() const;
+    mutable sim::Trace::Cursor stepCursor_;
+    mutable sim::Trace::Cursor forecastCursor_;
+    mutable const sim::Trace *cursorTrace_ = nullptr;
 };
 
 } // namespace insure::solar

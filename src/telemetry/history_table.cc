@@ -14,14 +14,11 @@ DischargeHistoryTable::DischargeHistoryTable(unsigned cabinets)
 }
 
 void
-DischargeHistoryTable::record(unsigned i, AmpHours ah)
+DischargeHistoryTable::badRecord(unsigned i, AmpHours ah) const
 {
     if (i >= totalAh_.size())
         panic("DischargeHistoryTable: cabinet %u out of range", i);
-    if (ah < 0.0)
-        panic("DischargeHistoryTable: negative discharge %f", ah);
-    totalAh_[i] += ah;
-    periodAh_[i] += ah;
+    panic("DischargeHistoryTable: negative discharge %f", ah);
 }
 
 AmpHours

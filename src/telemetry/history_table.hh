@@ -30,8 +30,18 @@ class DischargeHistoryTable
         return static_cast<unsigned>(totalAh_.size());
     }
 
-    /** Add @p ah ampere-hours of discharge for cabinet @p i. */
-    void record(unsigned i, AmpHours ah);
+    /**
+     * Add @p ah ampere-hours of discharge for cabinet @p i. Recorded on
+     * every discharging physics tick, so the success path is inline.
+     */
+    void
+    record(unsigned i, AmpHours ah)
+    {
+        if (i >= totalAh_.size() || ah < 0.0)
+            badRecord(i, ah);
+        totalAh_[i] += ah;
+        periodAh_[i] += ah;
+    }
 
     /** Aggregated discharge of cabinet @p i (AhT[i]). */
     AmpHours total(unsigned i) const;
@@ -54,6 +64,8 @@ class DischargeHistoryTable
   private:
     std::vector<AmpHours> totalAh_;
     std::vector<AmpHours> periodAh_;
+
+    [[noreturn]] void badRecord(unsigned i, AmpHours ah) const;
 };
 
 } // namespace insure::telemetry

@@ -13,20 +13,10 @@ RegisterMap::RegisterMap(std::uint16_t size) : regs_(size, 0)
         fatal("RegisterMap: size must be positive");
 }
 
-std::uint16_t
-RegisterMap::read(std::uint16_t addr) const
-{
-    if (addr >= regs_.size())
-        fatal("RegisterMap: read from invalid address %u", addr);
-    return regs_[addr];
-}
-
 void
-RegisterMap::write(std::uint16_t addr, std::uint16_t value)
+RegisterMap::invalidAccess(const char *what, std::uint16_t addr) const
 {
-    if (addr >= regs_.size())
-        fatal("RegisterMap: write to invalid address %u", addr);
-    regs_[addr] = value;
+    fatal("RegisterMap: %s invalid address %u", what, addr);
 }
 
 std::vector<std::uint16_t>
@@ -52,46 +42,6 @@ bool
 RegisterMap::validRange(std::uint16_t addr, std::uint16_t count) const
 {
     return static_cast<std::size_t>(addr) + count <= regs_.size();
-}
-
-void
-RegisterMap::writeVolts(std::uint16_t addr, double v)
-{
-    const double scaled = std::clamp(v, 0.0, 655.0) * regscale::volts;
-    write(addr, static_cast<std::uint16_t>(std::lround(scaled)));
-}
-
-double
-RegisterMap::readVolts(std::uint16_t addr) const
-{
-    return read(addr) / regscale::volts;
-}
-
-void
-RegisterMap::writeAmps(std::uint16_t addr, double a)
-{
-    const double shifted =
-        std::clamp(a + regscale::ampOffset, 0.0, 655.0) * regscale::amps;
-    write(addr, static_cast<std::uint16_t>(std::lround(shifted)));
-}
-
-double
-RegisterMap::readAmps(std::uint16_t addr) const
-{
-    return read(addr) / regscale::amps - regscale::ampOffset;
-}
-
-void
-RegisterMap::writeSoc(std::uint16_t addr, double soc)
-{
-    const double scaled = std::clamp(soc, 0.0, 1.0) * regscale::soc;
-    write(addr, static_cast<std::uint16_t>(std::lround(scaled)));
-}
-
-double
-RegisterMap::readSoc(std::uint16_t addr) const
-{
-    return read(addr) / regscale::soc;
 }
 
 } // namespace insure::telemetry

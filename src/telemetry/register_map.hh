@@ -12,6 +12,8 @@
 #ifndef INSURE_TELEMETRY_REGISTER_MAP_HH
 #define INSURE_TELEMETRY_REGISTER_MAP_HH
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -75,11 +77,27 @@ class RegisterMap
         return static_cast<std::uint16_t>(regs_.size());
     }
 
-    /** Read one register (fatal on out-of-range address). */
-    std::uint16_t read(std::uint16_t addr) const;
+    /**
+     * Read one register (fatal on out-of-range address). The monitor
+     * reads and writes registers on every telemetry scan, so the single
+     * accessors are inline with only the failure path out of line.
+     */
+    std::uint16_t
+    read(std::uint16_t addr) const
+    {
+        if (addr >= regs_.size())
+            invalidAccess("read from", addr);
+        return regs_[addr];
+    }
 
     /** Write one register (fatal on out-of-range address). */
-    void write(std::uint16_t addr, std::uint16_t value);
+    void
+    write(std::uint16_t addr, std::uint16_t value)
+    {
+        if (addr >= regs_.size())
+            invalidAccess("write to", addr);
+        regs_[addr] = value;
+    }
 
     /** Read @p count consecutive registers starting at @p addr. */
     std::vector<std::uint16_t> readBlock(std::uint16_t addr,
@@ -94,20 +112,54 @@ class RegisterMap
 
     // Scaled helpers.
     /** Store a voltage. */
-    void writeVolts(std::uint16_t addr, double v);
+    void
+    writeVolts(std::uint16_t addr, double v)
+    {
+        const double scaled = std::clamp(v, 0.0, 655.0) * regscale::volts;
+        write(addr, static_cast<std::uint16_t>(std::lround(scaled)));
+    }
+
     /** Load a voltage. */
-    double readVolts(std::uint16_t addr) const;
+    double readVolts(std::uint16_t addr) const
+    {
+        return read(addr) / regscale::volts;
+    }
+
     /** Store a (possibly negative) current. */
-    void writeAmps(std::uint16_t addr, double a);
+    void
+    writeAmps(std::uint16_t addr, double a)
+    {
+        const double shifted =
+            std::clamp(a + regscale::ampOffset, 0.0, 655.0) *
+            regscale::amps;
+        write(addr, static_cast<std::uint16_t>(std::lround(shifted)));
+    }
+
     /** Load a current. */
-    double readAmps(std::uint16_t addr) const;
+    double readAmps(std::uint16_t addr) const
+    {
+        return read(addr) / regscale::amps - regscale::ampOffset;
+    }
+
     /** Store a state-of-charge fraction. */
-    void writeSoc(std::uint16_t addr, double soc);
+    void
+    writeSoc(std::uint16_t addr, double soc)
+    {
+        const double scaled = std::clamp(soc, 0.0, 1.0) * regscale::soc;
+        write(addr, static_cast<std::uint16_t>(std::lround(scaled)));
+    }
+
     /** Load a state-of-charge fraction. */
-    double readSoc(std::uint16_t addr) const;
+    double readSoc(std::uint16_t addr) const
+    {
+        return read(addr) / regscale::soc;
+    }
 
   private:
     std::vector<std::uint16_t> regs_;
+
+    [[noreturn]] void invalidAccess(const char *what,
+                                    std::uint16_t addr) const;
 };
 
 } // namespace insure::telemetry

@@ -17,22 +17,6 @@ Transducer::Transducer(double in_lo, double in_hi, unsigned adc_bits)
     levels_ = (1u << adc_bits) - 1;
 }
 
-std::uint16_t
-Transducer::encode(double value) const
-{
-    const double clipped = std::clamp(value, inLo_, inHi_);
-    const double frac = (clipped - inLo_) / (inHi_ - inLo_);
-    return static_cast<std::uint16_t>(std::lround(frac * levels_));
-}
-
-double
-Transducer::decode(std::uint16_t code) const
-{
-    const double frac =
-        static_cast<double>(std::min<unsigned>(code, levels_)) / levels_;
-    return inLo_ + frac * (inHi_ - inLo_);
-}
-
 double
 Transducer::resolution() const
 {

@@ -13,6 +13,8 @@
 #ifndef INSURE_TELEMETRY_TRANSDUCER_HH
 #define INSURE_TELEMETRY_TRANSDUCER_HH
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 namespace insure::telemetry {
@@ -28,11 +30,28 @@ class Transducer
      */
     Transducer(double in_lo, double in_hi, unsigned adc_bits = 12);
 
-    /** Convert a physical value to an ADC code (clipped + quantised). */
-    std::uint16_t encode(double value) const;
+    /**
+     * Convert a physical value to an ADC code (clipped + quantised).
+     * Every sensed channel runs through here once per telemetry scan, so
+     * encode/decode are inline.
+     */
+    std::uint16_t
+    encode(double value) const
+    {
+        const double clipped = std::clamp(value, inLo_, inHi_);
+        const double frac = (clipped - inLo_) / (inHi_ - inLo_);
+        return static_cast<std::uint16_t>(std::lround(frac * levels_));
+    }
 
     /** Convert an ADC code back to the physical quantity. */
-    double decode(std::uint16_t code) const;
+    double
+    decode(std::uint16_t code) const
+    {
+        const double frac =
+            static_cast<double>(std::min<unsigned>(code, levels_)) /
+            levels_;
+        return inLo_ + frac * (inHi_ - inLo_);
+    }
 
     /** Round-trip measurement: what the PLC reports for @p value. */
     double measure(double value) const { return decode(encode(value)); }

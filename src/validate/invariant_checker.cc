@@ -137,29 +137,45 @@ InvariantChecker::onTick(const core::TickSample &s)
     ++ticks_;
     const double eps = 1e-9;
 
-    if (opts_.checkSocBounds && s.array) {
+    // One pass over the cabinets covers both the per-unit SoC/voltage
+    // checks and the relay-consistency checks; the array shape is walked
+    // once per tick instead of once per check group.
+    const bool do_soc = opts_.checkSocBounds && s.array;
+    const bool do_relays = opts_.checkRelays && s.array;
+    if (do_soc || do_relays) {
         for (unsigned i = 0; i < s.array->cabinetCount(); ++i) {
             const auto &cab = s.array->cabinet(i);
-            for (unsigned u = 0; u < cab.seriesCount(); ++u) {
-                const auto &unit = cab.unit(u);
-                const double soc = unit.soc();
-                const double avail = unit.availableFraction();
-                if (soc < -eps || soc > 1.0 + eps) {
-                    report(s.now, "soc-bounds",
-                           strf("cab%u.u%u soc=%.9f", i, u, soc));
-                }
-                if (avail < -eps || avail > 1.0 + eps) {
-                    report(s.now, "soc-bounds",
-                           strf("cab%u.u%u availableFraction=%.9f", i,
-                                u, avail));
-                }
-                const Volts ocv = unit.openCircuitVoltage();
-                if (ocv < 5.0 || ocv > 18.0) {
-                    report(s.now, "voltage-sanity",
-                           strf("cab%u.u%u ocv=%.3f V outside [5, 18]",
-                                i, u, ocv));
+            if (do_soc) {
+                for (unsigned u = 0; u < cab.seriesCount(); ++u) {
+                    const auto &unit = cab.unit(u);
+                    const double soc = unit.soc();
+                    const double avail = unit.availableFraction();
+                    if (soc < -eps || soc > 1.0 + eps) {
+                        report(s.now, "soc-bounds",
+                               strf("cab%u.u%u soc=%.9f", i, u, soc));
+                    }
+                    if (avail < -eps || avail > 1.0 + eps) {
+                        report(s.now, "soc-bounds",
+                               strf("cab%u.u%u availableFraction=%.9f",
+                                    i, u, avail));
+                    }
+                    const Volts ocv = unit.openCircuitVoltage();
+                    if (ocv < 5.0 || ocv > 18.0) {
+                        report(s.now, "voltage-sanity",
+                               strf("cab%u.u%u ocv=%.3f V outside "
+                                    "[5, 18]",
+                                    i, u, ocv));
+                    }
                 }
             }
+            if (do_relays)
+                checkCabinetRelays(i, cab, s.now);
+        }
+        if (do_relays &&
+            s.array->network().topology() ==
+                battery::BusTopology::Invalid) {
+            report(s.now, "switch-topology",
+                   "P1/P2/P3 combination is invalid (bus disconnected)");
         }
     }
 
@@ -169,17 +185,20 @@ InvariantChecker::onTick(const core::TickSample &s)
         // the string current) minus bounded self-discharge of resting
         // units. KiBaM accounts rejected charge exactly, so the slack is
         // numerical noise plus the self-discharge allowance.
-        const auto &bp = s.config->battery;
-        const unsigned series = std::max(1u, s.config->seriesCount);
-        const unsigned total_units =
-            (s.array ? s.array->cabinetCount()
-                     : s.config->cabinetCount) *
-            series;
-        const AmpHours self_dis = bp.selfDischargePerDay * bp.capacityAh *
-                                  (s.dt / units::secPerDay) * total_units;
+        if (!haveDerived_) {
+            const auto &bp = s.config->battery;
+            series_ = std::max(1u, s.config->seriesCount);
+            totalUnits_ = (s.array ? s.array->cabinetCount()
+                                   : s.config->cabinetCount) *
+                          series_;
+            selfDisAhPerSec_ = bp.selfDischargePerDay * bp.capacityAh /
+                               units::secPerDay * totalUnits_;
+            haveDerived_ = true;
+        }
+        const AmpHours self_dis = selfDisAhPerSec_ * s.dt;
         const AmpHours delta = s.unitAhAfter - s.unitAhBefore;
         const AmpHours expected =
-            (s.chargeStoredAh - s.dischargeAh) * series;
+            (s.chargeStoredAh - s.dischargeAh) * series_;
         const AmpHours residual = delta - expected;
         if (residual > opts_.ahTolerance ||
             residual < -(self_dis + opts_.ahTolerance)) {
@@ -244,44 +263,39 @@ InvariantChecker::onTick(const core::TickSample &s)
         }
     }
 
-    if (opts_.checkRelays && s.array) {
-        for (unsigned i = 0; i < s.array->cabinetCount(); ++i) {
-            const auto &cab = s.array->cabinet(i);
-            const bool cr = cab.chargeRelay().closed();
-            const bool dr = cab.dischargeRelay().closed();
-            if (cr && dr) {
-                report(s.now, "relay-consistency",
-                       strf("cab%u charge and discharge relays both "
-                            "closed (bus short)",
-                            i));
-                continue;
-            }
-            bool ok = true;
-            switch (cab.mode()) {
-              case UnitMode::Offline:
-              case UnitMode::Standby:
-                ok = !cr && !dr;
-                break;
-              case UnitMode::Charging:
-                ok = cr && !dr;
-                break;
-              case UnitMode::Discharging:
-                ok = !cr && dr;
-                break;
-            }
-            if (!ok) {
-                report(s.now, "relay-consistency",
-                       strf("cab%u mode=%s but relays charge=%d "
-                            "discharge=%d",
-                            i, battery::unitModeName(cab.mode()), cr,
-                            dr));
-            }
-        }
-        if (s.array->network().topology() ==
-            battery::BusTopology::Invalid) {
-            report(s.now, "switch-topology",
-                   "P1/P2/P3 combination is invalid (bus disconnected)");
-        }
+}
+
+void
+InvariantChecker::checkCabinetRelays(unsigned i,
+                                     const battery::Cabinet &cab,
+                                     Seconds now)
+{
+    const bool cr = cab.chargeRelay().closed();
+    const bool dr = cab.dischargeRelay().closed();
+    if (cr && dr) {
+        report(now, "relay-consistency",
+               strf("cab%u charge and discharge relays both closed "
+                    "(bus short)",
+                    i));
+        return;
+    }
+    bool ok = true;
+    switch (cab.mode()) {
+      case UnitMode::Offline:
+      case UnitMode::Standby:
+        ok = !cr && !dr;
+        break;
+      case UnitMode::Charging:
+        ok = cr && !dr;
+        break;
+      case UnitMode::Discharging:
+        ok = !cr && dr;
+        break;
+    }
+    if (!ok) {
+        report(now, "relay-consistency",
+               strf("cab%u mode=%s but relays charge=%d discharge=%d",
+                    i, battery::unitModeName(cab.mode()), cr, dr));
     }
 }
 

@@ -134,6 +134,8 @@ class InvariantChecker : public core::SystemObserver
 
   private:
     void report(Seconds now, const char *check, std::string detail);
+    void checkCabinetRelays(unsigned i, const battery::Cabinet &cab,
+                            Seconds now);
 
     CheckerOptions opts_;
     std::uint64_t violations_ = 0;
@@ -149,6 +151,15 @@ class InvariantChecker : public core::SystemObserver
     // Cross-tick inventory continuity state.
     AmpHours lastUnitAhAfter_ = 0.0;
     bool haveLastAh_ = false;
+
+    // Derived quantities that are constant for a run (the config and
+    // array shape never change mid-simulation), cached on the first tick
+    // so the per-tick conservation check is pure arithmetic.
+    bool haveDerived_ = false;
+    unsigned series_ = 1;
+    unsigned totalUnits_ = 0;
+    /** Self-discharge allowance per simulated second, whole array, Ah. */
+    double selfDisAhPerSec_ = 0.0;
 };
 
 } // namespace insure::validate

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <vector>
 
@@ -128,8 +130,11 @@ TEST(BatchRunner, ProgressReportsEveryRunExactlyOnce)
 
 TEST(DefaultJobs, HonoursEnvironmentVariable)
 {
+    // Requests above the hardware width are clamped, so phrase the
+    // expectations relative to hardwareConcurrency() — the suite must
+    // pass on a 1-core CI box and a 64-core workstation alike.
     ::setenv("INSURE_JOBS", "3", 1);
-    EXPECT_EQ(defaultJobs(), 3u);
+    EXPECT_EQ(defaultJobs(), std::min(3u, hardwareConcurrency()));
     ::setenv("INSURE_JOBS", "abc", 1);
     EXPECT_GE(defaultJobs(), 1u); // invalid value ignored, falls back
     ::setenv("INSURE_JOBS", "-2", 1);
@@ -141,8 +146,31 @@ TEST(DefaultJobs, HonoursEnvironmentVariable)
 TEST(DefaultJobs, SelectsRunnerWidth)
 {
     ::setenv("INSURE_JOBS", "7", 1);
-    EXPECT_EQ(BatchRunner(0).jobs(), 7u);
-    EXPECT_EQ(BatchRunner(2).jobs(), 2u); // explicit beats env
+    EXPECT_EQ(BatchRunner(0).jobs(), std::min(7u, hardwareConcurrency()));
+    // explicit beats env
+    EXPECT_EQ(BatchRunner(2).jobs(), std::min(2u, hardwareConcurrency()));
+    ::unsetenv("INSURE_JOBS");
+}
+
+TEST(DefaultJobs, CachesHardwareConcurrency)
+{
+    const unsigned hw = hardwareConcurrency();
+    EXPECT_GE(hw, 1u);
+    EXPECT_EQ(hardwareConcurrency(), hw); // stable across calls
+}
+
+TEST(DefaultJobs, ClampsRequestsAboveHardwareWidth)
+{
+    const unsigned hw = hardwareConcurrency();
+    EXPECT_EQ(clampJobs(hw + 5, "test"), hw);
+    EXPECT_EQ(clampJobs(hw, "test"), hw);
+    EXPECT_EQ(clampJobs(1, "test"), 1u);
+    EXPECT_EQ(BatchRunner(hw + 5).jobs(), hw);
+
+    char env[16];
+    std::snprintf(env, sizeof(env), "%u", hw + 9);
+    ::setenv("INSURE_JOBS", env, 1);
+    EXPECT_EQ(defaultJobs(), hw);
     ::unsetenv("INSURE_JOBS");
 }
 

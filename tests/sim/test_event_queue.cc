@@ -266,5 +266,93 @@ TEST(PeriodicTask, DestroyedMidSimLeavesNoDanglingCallback)
     EXPECT_EQ(doomed, nullptr);
 }
 
+TEST(EventQueue, RearmReusesSlotAcrossFirings)
+{
+    EventQueue eq;
+    int fired = 0;
+    EventId id = 0;
+    // A self-rearming event: each firing re-registers the same slot and
+    // callable until five firings have happened.
+    id = eq.scheduleIn(1.0, EventPriority::Control, [&] {
+        ++fired;
+        if (fired < 5)
+            id = eq.rearmCurrentIn(1.0, EventPriority::Control);
+    });
+    eq.runUntil(10.0);
+    EXPECT_EQ(fired, 5);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RearmedFiringIsCancellable)
+{
+    EventQueue eq;
+    int fired = 0;
+    EventId rearmedId = 0;
+    eq.scheduleIn(1.0, EventPriority::Control, [&] {
+        ++fired;
+        rearmedId = eq.rearmCurrentIn(1.0, EventPriority::Control);
+    });
+    eq.runUntil(1.5); // first firing happened, re-arm is pending
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.cancel(rearmedId);
+    eq.runUntil(10.0);
+    EXPECT_EQ(fired, 1); // the re-armed firing never ran
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, StaleIdCannotCancelRearmedFiring)
+{
+    EventQueue eq;
+    int fired = 0;
+    const EventId original =
+        eq.scheduleIn(1.0, EventPriority::Control, [&] {
+            ++fired;
+            if (fired < 2)
+                eq.rearmCurrentIn(1.0, EventPriority::Control);
+        });
+    eq.runUntil(1.5);
+    EXPECT_EQ(fired, 1);
+    // The original id fired already; the slot is now re-armed under a
+    // new generation, so the stale handle must not suppress it.
+    eq.cancel(original);
+    eq.runUntil(10.0);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueDeath, RearmOutsideDispatchPanics)
+{
+    EventQueue eq;
+    EXPECT_DEATH(eq.rearmCurrentIn(1.0, EventPriority::Control),
+                 "rearm");
+}
+
+// Torture the ordering contract with a mix of in-order and out-of-order
+// scheduling interleaved with partial drains — the pattern that exercises
+// both the sorted-run fast path and the heap fallback of the queue.
+TEST(EventQueue, MixedOrderSchedulingExecutesInOrder)
+{
+    EventQueue eq;
+    std::vector<double> times;
+    auto record = [&] { times.push_back(eq.now()); };
+
+    // Forward batch, then stragglers scheduled before the batch's tail.
+    for (int i = 0; i < 50; ++i)
+        eq.schedule(10.0 + i, EventPriority::Physics, record);
+    for (int i = 0; i < 20; ++i)
+        eq.schedule(30.0 + 0.5 * i, EventPriority::Physics, record);
+    eq.runUntil(25.0);
+    // More events while the queue is partially drained, some earlier
+    // than already-pending ones.
+    for (int i = 0; i < 20; ++i)
+        eq.schedule(26.0 + 0.25 * i, EventPriority::Physics, record);
+    eq.runUntil(1000.0);
+
+    ASSERT_EQ(times.size(), 90u);
+    for (std::size_t i = 1; i < times.size(); ++i)
+        EXPECT_LE(times[i - 1], times[i]) << "at index " << i;
+    EXPECT_TRUE(eq.empty());
+}
+
 } // namespace
 } // namespace insure::sim

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 
 #include "sim/trace.hh"
@@ -139,6 +140,105 @@ TEST(TraceDeath, UnsortedCsvIsFatal)
 {
     std::stringstream ss("t,v\n10,1\n5,2\n");
     EXPECT_DEATH(Trace::readCsv(ss), "non-decreasing");
+}
+
+TEST(TraceCursor, ForwardSweepMatchesInterpolate)
+{
+    Trace t({"time_s", "power_w"});
+    for (int i = 0; i <= 100; ++i)
+        t.append({i * 10.0, (i % 13) * 7.5});
+
+    Trace::Cursor cur(t, "power_w");
+    for (double x = -5.0; x <= 1010.0; x += 0.7) {
+        ASSERT_EQ(cur.sample(x), t.interpolate(x, "power_w"))
+            << "at x=" << x;
+    }
+}
+
+TEST(TraceCursor, BackwardSeekReanchors)
+{
+    Trace t({"time_s", "power_w"});
+    for (int i = 0; i <= 100; ++i)
+        t.append({i * 10.0, i * 1.0});
+
+    Trace::Cursor cur(t, "power_w");
+    // Sweep forward to the tail, then jump back to the head — the
+    // day-wrap pattern of a cyclically replayed solar trace.
+    EXPECT_EQ(cur.sample(995.0), t.interpolate(995.0, "power_w"));
+    EXPECT_GT(cur.position(), 90u);
+    EXPECT_EQ(cur.sample(5.0), t.interpolate(5.0, "power_w"));
+    EXPECT_EQ(cur.position(), 0u);
+    // And forward again from the re-anchored position.
+    EXPECT_EQ(cur.sample(15.0), t.interpolate(15.0, "power_w"));
+    EXPECT_EQ(cur.position(), 1u);
+}
+
+TEST(TraceCursor, IndependentCursorsOnInterleavedTraces)
+{
+    Trace a({"t", "v"});
+    Trace b({"t", "v"});
+    for (int i = 0; i <= 50; ++i) {
+        a.append({i * 1.0, i * 2.0});
+        b.append({i * 4.0, 100.0 - i});
+    }
+
+    // Two cursors over different traces, advanced in lockstep: each must
+    // track its own trace without the other's progress interfering.
+    Trace::Cursor ca(a, "v");
+    Trace::Cursor cb(b, "v");
+    for (double x = 0.0; x <= 200.0; x += 1.3) {
+        ASSERT_EQ(ca.sample(x), a.interpolate(x, "v")) << "trace a, x=" << x;
+        ASSERT_EQ(cb.sample(x), b.interpolate(x, "v")) << "trace b, x=" << x;
+    }
+}
+
+TEST(TraceCursor, RandomQueriesMatchBinarySearch)
+{
+    Trace t({"t", "v"});
+    // Include duplicate axis values: the cursor must pick the same
+    // segment the binary search picks.
+    t.append({0.0, 1.0});
+    t.append({5.0, 2.0});
+    t.append({5.0, 3.0});
+    t.append({9.0, 4.0});
+    t.append({9.0, 4.5});
+    t.append({14.0, -2.0});
+
+    Trace::Cursor cur(t, "v");
+    // Deterministic pseudo-random query sequence mixing forward and
+    // backward moves, end clamps and exact-knot hits.
+    std::uint64_t s = 0x9E3779B97F4A7C15ull;
+    for (int i = 0; i < 2000; ++i) {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        const double x = -2.0 + static_cast<double>(s >> 40) *
+                                    (18.0 / 16777216.0);
+        ASSERT_EQ(cur.sample(x), t.interpolate(x, "v"))
+            << "i=" << i << " x=" << x;
+    }
+    for (const double x : {0.0, 5.0, 9.0, 14.0, -1.0, 20.0}) {
+        ASSERT_EQ(cur.sample(x), t.interpolate(x, "v")) << "knot x=" << x;
+    }
+}
+
+TEST(TraceCursor, SingleRowAndAppendWhileAttached)
+{
+    Trace t({"t", "v"});
+    t.append({3.0, 42.0});
+    Trace::Cursor cur(t, "v");
+    EXPECT_EQ(cur.sample(0.0), 42.0);
+    EXPECT_EQ(cur.sample(100.0), 42.0);
+
+    // Appending while a cursor is attached is allowed.
+    t.append({10.0, 50.0});
+    for (const double x : {5.0, 9.0, 3.0, 12.0}) {
+        ASSERT_EQ(cur.sample(x), t.interpolate(x, "v")) << "x=" << x;
+    }
+}
+
+TEST(TraceCursorDeath, MissingColumnIsFatal)
+{
+    const Trace t = makeRamp();
+    EXPECT_DEATH(Trace::Cursor(t, "nope"), "nope");
 }
 
 } // namespace
