@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Fault-injection campaign driver (resilience evaluation, not a paper
+ * artefact). Replays one experiment configuration across N seeded runs
+ * on the batch runner, with a Poisson fault plan installed on every
+ * run, and reports aggregate resilience metrics plus per-run outcomes.
+ *
+ *   bench_fault_campaign [--runs N] [--seed S] [--jobs J]
+ *                        [--rate PER_HOUR] [--types a,b,...]
+ *                        [--workload seismic|video] [--days D]
+ *                        [--policy log|throw|off] [--json FILE]
+ *                        [--repro SEED]
+ *
+ * --rate 0 disables the plan entirely: every run takes the exact clean
+ * code path (golden digests stay bit-identical — see
+ * tests/fault/test_fault_zero_cost.cc).
+ * --types filters the fault classes (battery, relay, sensor, link,
+ * server; default all).
+ * --json writes the campaign summary as JSON ("-" = stdout).
+ * --repro re-runs one seed solo and prints its ground-truth injection
+ * log with the resilience metrics.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hh"
+#include "fault/fault_injector.hh"
+
+using namespace insure;
+
+namespace {
+
+std::vector<fault::FaultClass>
+parseClasses(const char *arg)
+{
+    std::vector<fault::FaultClass> out;
+    std::string s(arg);
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        const std::string tok = s.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (tok == "battery")
+            out.push_back(fault::FaultClass::Battery);
+        else if (tok == "relay")
+            out.push_back(fault::FaultClass::Relay);
+        else if (tok == "sensor")
+            out.push_back(fault::FaultClass::Sensor);
+        else if (tok == "link")
+            out.push_back(fault::FaultClass::Link);
+        else if (tok == "server")
+            out.push_back(fault::FaultClass::Server);
+        else {
+            std::fprintf(stderr,
+                         "unknown fault class '%s' (battery, relay, "
+                         "sensor, link, server)\n",
+                         tok.c_str());
+            std::exit(2);
+        }
+    }
+    return out;
+}
+
+int
+runRepro(fault::CampaignConfig cfg, std::uint64_t seed)
+{
+    cfg.base.seed = seed;
+    fault::installFaultPlan(cfg.base, cfg.plan);
+    validate::attachInvariantChecker(cfg.base, validate::Policy::Log);
+    std::printf("repro seed=%llu\n",
+                static_cast<unsigned long long>(seed));
+    const core::ExperimentResult res = core::runExperiment(cfg.base);
+    if (res.resilience) {
+        const core::ResilienceMetrics &m = *res.resilience;
+        std::printf("faults injected %llu, cleared %llu, detected "
+                    "%llu, quarantines %llu\n",
+                    static_cast<unsigned long long>(m.faultsInjected),
+                    static_cast<unsigned long long>(m.faultsCleared),
+                    static_cast<unsigned long long>(m.detectedFaults),
+                    static_cast<unsigned long long>(m.quarantines));
+        std::printf("TTD mean %.0f s max %.0f s, outage %.0f s, unsafe "
+                    "%.0f s, energy lost %.3f kWh\n",
+                    m.meanTimeToDetect, m.maxTimeToDetect,
+                    m.outageSeconds, m.unsafeOperationSeconds,
+                    m.energyLostKwh);
+    } else {
+        std::printf("no faults injected (plan disabled)\n");
+    }
+    std::printf("uptime %.4f, processed %.2f GB, violations %llu\n",
+                res.metrics.uptime, res.metrics.processedGb,
+                static_cast<unsigned long long>(
+                    res.invariantViolations));
+    for (const std::string &note : res.invariantNotes)
+        std::printf("  %s\n", note.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fault::CampaignConfig cfg;
+    cfg.base = core::seismicExperiment();
+    cfg.runs = 50;
+    double rate = 2.0;
+    double days = 1.0;
+    std::vector<fault::FaultClass> classes;
+    const char *jsonPath = nullptr;
+    bool repro = false;
+    std::uint64_t reproSeed = 0;
+    std::string workload = "seismic";
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--runs") == 0) {
+            cfg.runs = static_cast<std::size_t>(std::atoll(value()));
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            cfg.masterSeed = static_cast<std::uint64_t>(
+                std::strtoull(value(), nullptr, 10));
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            cfg.jobs = static_cast<unsigned>(std::atoi(value()));
+        } else if (std::strcmp(arg, "--rate") == 0) {
+            rate = std::atof(value());
+        } else if (std::strcmp(arg, "--types") == 0) {
+            classes = parseClasses(value());
+        } else if (std::strcmp(arg, "--workload") == 0) {
+            workload = value();
+        } else if (std::strcmp(arg, "--days") == 0) {
+            days = std::atof(value());
+        } else if (std::strcmp(arg, "--policy") == 0) {
+            const char *p = value();
+            if (std::strcmp(p, "log") == 0)
+                cfg.policy = validate::Policy::Log;
+            else if (std::strcmp(p, "throw") == 0)
+                cfg.policy = validate::Policy::Throw;
+            else if (std::strcmp(p, "off") == 0)
+                cfg.policy = validate::Policy::Off;
+            else {
+                std::fprintf(stderr,
+                             "--policy must be log, throw or off\n");
+                return 2;
+            }
+        } else if (std::strcmp(arg, "--json") == 0) {
+            jsonPath = value();
+        } else if (std::strcmp(arg, "--repro") == 0) {
+            repro = true;
+            reproSeed = static_cast<std::uint64_t>(
+                std::strtoull(value(), nullptr, 10));
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: %s [--runs N] [--seed S] [--jobs J] [--rate "
+                "PER_HOUR] [--types a,b,...] [--workload "
+                "seismic|video] [--days D] [--policy log|throw|off] "
+                "[--json FILE] [--repro SEED]\n",
+                argv[0]);
+            return 2;
+        }
+    }
+
+    if (workload == "seismic") {
+        cfg.base = core::seismicExperiment();
+    } else if (workload == "video") {
+        cfg.base = core::videoExperiment();
+    } else {
+        std::fprintf(stderr, "--workload must be seismic or video\n");
+        return 2;
+    }
+    cfg.base.duration = days * units::secPerDay;
+    cfg.plan = fault::makeRatePlan(rate, classes);
+
+    if (repro)
+        return runRepro(cfg, reproSeed);
+
+    std::size_t lastPercent = static_cast<std::size_t>(-1);
+    cfg.progress = [&](std::size_t done, std::size_t total) {
+        const std::size_t pct = total ? done * 100 / total : 100;
+        if (pct != lastPercent && pct % 10 == 0) {
+            lastPercent = pct;
+            std::fprintf(stderr, "campaign: %zu/%zu (%zu%%)\n", done,
+                         total, pct);
+        }
+    };
+
+    const fault::CampaignSummary summary = fault::runFaultCampaign(cfg);
+    std::printf("%s", fault::formatCampaignSummary(summary).c_str());
+
+    if (jsonPath) {
+        if (std::strcmp(jsonPath, "-") == 0) {
+            fault::writeCampaignJson(summary, std::cout);
+        } else {
+            std::ofstream out(jsonPath);
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n", jsonPath);
+                return 1;
+            }
+            fault::writeCampaignJson(summary, out);
+            std::printf("wrote %s\n", jsonPath);
+        }
+    }
+
+    // A campaign fails only when the sweep itself lost runs to crashes
+    // the policy did not anticipate: with Throw, failed runs are the
+    // expected way invariant breaches surface, so they do not fail the
+    // tool.
+    return 0;
+}

@@ -2,12 +2,17 @@
 # One-command verification gate: tier-1 tests, golden-trace check, a fuzz
 # smoke sweep, and the validation suites under ASan/UBSan.
 #
-# Usage: scripts/check.sh [--no-asan] [--fuzz-runs N]
+# Usage: scripts/check.sh [--no-asan] [--fuzz-runs N] [--faults]
 #        scripts/check.sh --perf [--tolerance X]
 #
 # --perf builds Release and runs the simulation-speed gate against the
 # committed BENCH_simspeed.json baseline, failing on a >20% regression
 # (override the band with --tolerance, e.g. --tolerance 0.10).
+#
+# --faults adds a fault-injection smoke campaign: a short seeded sweep at
+# a high fault rate under the Throw invariant policy (a violating run is
+# recorded as failed, the sweep must survive), plus a rate-0 campaign
+# that must stay on the clean code path.
 #
 # Run from anywhere; builds land in <repo>/build, <repo>/build-asan and
 # <repo>/build-release.
@@ -18,12 +23,14 @@ cd "$repo"
 
 run_asan=1
 run_perf=0
+run_faults=0
 fuzz_runs=200
 tolerance=0.20
 while [ $# -gt 0 ]; do
     case "$1" in
     --no-asan) run_asan=0 ;;
     --perf) run_perf=1 ;;
+    --faults) run_faults=1 ;;
     --tolerance)
         shift
         tolerance="$1"
@@ -33,7 +40,7 @@ while [ $# -gt 0 ]; do
         fuzz_runs="$1"
         ;;
     *)
-        echo "usage: $0 [--no-asan] [--fuzz-runs N] | --perf [--tolerance X]" >&2
+        echo "usage: $0 [--no-asan] [--fuzz-runs N] [--faults] | --perf [--tolerance X]" >&2
         exit 2
         ;;
     esac
@@ -70,6 +77,14 @@ step "golden traces (Fig. 14 / Fig. 16 full-day scenarios)"
 
 step "invariant fuzz sweep ($fuzz_runs randomized configs)"
 ./build/bench/bench_fuzz_invariants --runs "$fuzz_runs"
+
+if [ "$run_faults" = 1 ]; then
+    step "fault smoke campaign (8 runs, rate 6/h, Throw policy)"
+    ./build/bench/bench_fault_campaign --runs 8 --rate 6 --policy throw
+
+    step "fault rate-0 campaign (clean code path)"
+    ./build/bench/bench_fault_campaign --runs 4 --rate 0
+fi
 
 if [ "$run_asan" = 1 ]; then
     step "validation suites under ASan/UBSan"

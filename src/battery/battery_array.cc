@@ -74,6 +74,15 @@ BatteryArray::totalUnitAh() const
     return ah;
 }
 
+AmpHours
+BatteryArray::totalExogenousAh() const
+{
+    AmpHours ah = 0.0;
+    for (const auto &c : cabinets_)
+        ah += c->exogenousAh();
+    return ah;
+}
+
 double
 BatteryArray::voltageStddev() const
 {

@@ -88,6 +88,14 @@ class BatteryArray
     /** Exact stored charge summed over every unit, ampere-hours. */
     AmpHours totalUnitAh() const;
 
+    /**
+     * Ampere-hours removed from the pack by fault mechanisms (capacity
+     * fade, internal shorts), summed over every unit. Monotonic; the
+     * conservation invariant consumes per-tick deltas. Zero for a
+     * healthy array.
+     */
+    AmpHours totalExogenousAh() const;
+
     /** Population std-dev of cabinet open-circuit voltages (Table 6). */
     double voltageStddev() const;
 

@@ -27,10 +27,21 @@ BatteryUnit::BatteryUnit(std::string name, const BatteryParams &params,
 {
 }
 
+AmpHours
+BatteryUnit::injectCapacityFade(double factor)
+{
+    factor = std::clamp(factor, 0.05, 1.0);
+    params_.capacityAh *= factor;
+    const AmpHours dropped = kibam_.scaleCapacity(factor);
+    exogenousAh_ += dropped;
+    invalidateSafeCache();
+    return dropped;
+}
+
 Amperes
 BatteryUnit::computeSafeDischargeCurrent(Seconds dt) const
 {
-    if (depleted())
+    if (openCircuit_ || depleted())
         return 0.0;
     Amperes hi = params_.maxDischargeCurrent;
     hi = std::min(hi, kibam_.maxDischargeCurrent(dt));
@@ -73,7 +84,10 @@ DischargeResult
 BatteryUnit::discharge(Amperes current, Seconds dt)
 {
     DischargeResult res;
-    if (current <= 0.0 || dt <= 0.0) {
+    if (openCircuit_ || current <= 0.0 || dt <= 0.0) {
+        // An open-circuit unit conducts nothing — and deliberately does
+        // NOT flag protection: there is no hardware trip to save it, the
+        // controller has to notice the dead string through telemetry.
         rest(dt);
         return res;
     }
@@ -110,7 +124,7 @@ ChargeResult
 BatteryUnit::charge(Amperes bus_current, Seconds dt)
 {
     ChargeResult res;
-    if (bus_current <= 0.0 || dt <= 0.0) {
+    if (openCircuit_ || bus_current <= 0.0 || dt <= 0.0) {
         rest(dt);
         return res;
     }

@@ -78,10 +78,15 @@ class BatteryUnit
     /** Available-well fill level (drives terminal voltage). */
     double availableFraction() const { return kibam_.availableFraction(); }
 
-    /** Terminal voltage at the given current (+ = discharge). */
+    /** Terminal voltage at the given current (+ = discharge). An
+     *  open-circuit-failed unit reads 0 V at the terminals (broken
+     *  strap/weld): this is what the transducers sense, and the
+     *  controller's quarantine plausibility check keys off it. */
     Volts
     terminalVoltage(Amperes current) const
     {
+        if (openCircuit_)
+            return 0.0;
         return voltage_.terminal(kibam_.availableFraction(), current);
     }
 
@@ -153,6 +158,15 @@ class BatteryUnit
         const Amperes drain = params_.selfDischargePerDay *
                               params_.capacityAh / units::hoursPerDay;
         kibam_.step(drain, dt);
+        if (shortMultiplier_ > 1.0) {
+            // Internal-short fault: extra drain beyond the nominal
+            // self-discharge, logged as exogenous inventory loss (the
+            // conservation invariant only allows for the nominal rate).
+            const Amperes extra = drain * (shortMultiplier_ - 1.0);
+            const AmpHours requested = units::chargeAh(extra, dt);
+            const AmpHours rejected = kibam_.step(extra, dt);
+            exogenousAh_ += std::max(0.0, requested - rejected);
+        }
         invalidateSafeCache();
     }
 
@@ -204,6 +218,48 @@ class BatteryUnit
         invalidateSafeCache();
     }
 
+    // ---- Fault-injection hooks (src/fault) -------------------------------
+    // The hooks model physical failure, not controller knowledge: the
+    // managers only ever see the faults through telemetry.
+
+    /** True when failed open-circuit (conducts no current, reads 0 V). */
+    bool openCircuit() const { return openCircuit_; }
+
+    /** Fail the unit open-circuit, or clear the fault. */
+    void
+    setOpenCircuit(bool open)
+    {
+        openCircuit_ = open;
+        invalidateSafeCache();
+    }
+
+    /**
+     * Sudden capacity fade: shrink the remaining capacity to @p factor of
+     * its present value (clamped to [0.05, 1]). Charge that no longer
+     * fits is dropped and logged as exogenous loss.
+     * @return ampere-hours dropped from the inventory.
+     */
+    AmpHours injectCapacityFade(double factor);
+
+    /**
+     * Internal short: self-discharge accelerated to @p multiplier times
+     * nominal (1 restores health). The extra drain beyond the nominal
+     * rate is logged as exogenous loss each rest step.
+     */
+    void
+    setSelfDischargeMultiplier(double multiplier)
+    {
+        shortMultiplier_ = std::max(1.0, multiplier);
+    }
+
+    /**
+     * Ampere-hours removed from this cell by fault mechanisms (capacity
+     * fade, internal-short extra drain) — inventory changes outside the
+     * regular discharge/charge/self-discharge paths. Monotonic; the
+     * conservation invariant consumes per-tick deltas.
+     */
+    AmpHours exogenousAh() const { return exogenousAh_; }
+
   private:
     std::string name_;
     BatteryParams params_;
@@ -213,6 +269,11 @@ class BatteryUnit
     WearModel wear_;
     UnitMode mode_ = UnitMode::Standby;
     ModeObserver modeObserver_;
+
+    // Fault state (all default to healthy).
+    bool openCircuit_ = false;
+    double shortMultiplier_ = 1.0;
+    AmpHours exogenousAh_ = 0.0;
 
     // safeDischargeCurrent memo; valid until the electrochemical state
     // changes (discharge/charge/rest/setSoc all invalidate).

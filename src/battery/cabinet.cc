@@ -50,6 +50,14 @@ DischargeResult
 Cabinet::discharge(Amperes current, Seconds dt)
 {
     DischargeResult total;
+    if (anyUnitOpenCircuit()) {
+        // Series string with a broken unit: no current path. Rest every
+        // unit so the step's physics (self-discharge, recovery) still
+        // apply, and deliver nothing. Deliberately no protection flag —
+        // quarantining the dead string is the controller's job.
+        rest(dt);
+        return total;
+    }
     bool first = true;
     for (auto &u : units_) {
         const DischargeResult r = u->discharge(current, dt);
@@ -71,6 +79,10 @@ ChargeResult
 Cabinet::charge(Amperes bus_current, Seconds dt)
 {
     ChargeResult total;
+    if (anyUnitOpenCircuit()) {
+        rest(dt);
+        return total;
+    }
     bool first = true;
     for (auto &u : units_) {
         const ChargeResult r = u->charge(bus_current, dt);

@@ -185,6 +185,32 @@ class Cabinet
     /** Discharge-side relay (for telemetry). */
     const Relay &dischargeRelay() const { return dischargeRelay_; }
 
+    /** Mutable relay access (fault injection). */
+    Relay &chargeRelay() { return chargeRelay_; }
+    Relay &dischargeRelay() { return dischargeRelay_; }
+
+    /** True when any series unit has failed open-circuit: the whole
+     *  string is dead (no current path). */
+    bool
+    anyUnitOpenCircuit() const
+    {
+        for (const auto &u : units_) {
+            if (u->openCircuit())
+                return true;
+        }
+        return false;
+    }
+
+    /** Sum of per-unit exogenous (fault-caused) inventory loss, Ah. */
+    AmpHours
+    exogenousAh() const
+    {
+        AmpHours ah = 0.0;
+        for (const auto &u : units_)
+            ah += u->exogenousAh();
+        return ah;
+    }
+
     /** Total relay operations (maintenance statistic). */
     std::uint64_t relayOperations() const;
 

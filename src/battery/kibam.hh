@@ -88,6 +88,24 @@ class Kibam
     /** Force the state of charge (wells set to equilibrium split). */
     void setSoc(double soc);
 
+    /**
+     * Shrink total capacity by @p factor in (0, 1] (sudden capacity-fade
+     * fault). Well fill levels are clipped to the new well sizes; the
+     * ampere-hours that no longer fit are returned so the caller can log
+     * the inventory loss (it leaves the pack outside the regular
+     * charge/discharge/self-discharge paths).
+     */
+    AmpHours
+    scaleCapacity(double factor)
+    {
+        cap_ *= factor;
+        const AmpHours drop1 = std::max(0.0, y1_ - c_ * cap_);
+        const AmpHours drop2 = std::max(0.0, y2_ - (1.0 - c_) * cap_);
+        y1_ -= drop1;
+        y2_ -= drop2;
+        return drop1 + drop2;
+    }
+
   private:
     AmpHours cap_;
     double c_;

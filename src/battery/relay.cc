@@ -12,9 +12,32 @@ Relay::set(bool closed)
 {
     if (closed == closed_)
         return false;
+    if (delayedOps_ > 0) {
+        // Sluggish actuation: the command is lost; the PLC's periodic
+        // re-assertion will retry next control period.
+        --delayedOps_;
+        return false;
+    }
+    // A mechanically faulted contact ignores commands that would move it
+    // out of the faulted position.
+    if (fault_ == RelayFault::StuckOpen && closed)
+        return false;
+    if (fault_ == RelayFault::WeldedClosed && !closed)
+        return false;
     closed_ = closed;
     ++operations_;
     return true;
+}
+
+void
+Relay::injectFault(RelayFault fault)
+{
+    fault_ = fault;
+    // The failure itself moves the contact (no commanded operation).
+    if (fault == RelayFault::StuckOpen)
+        closed_ = false;
+    else if (fault == RelayFault::WeldedClosed)
+        closed_ = true;
 }
 
 double

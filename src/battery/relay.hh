@@ -19,6 +19,19 @@
 
 namespace insure::battery {
 
+/**
+ * Mechanical failure mode of a relay contact (fault injection). The
+ * contact diverges from its commanded state; the controllers only see
+ * this through the telemetry relay registers.
+ */
+enum class RelayFault {
+    None,
+    /** Contact cannot close (broken return spring / burnt coil). */
+    StuckOpen,
+    /** Contact welded shut, cannot open. */
+    WeldedClosed,
+};
+
 /** A single SPST relay contact. */
 class Relay
 {
@@ -52,11 +65,33 @@ class Relay
 
     const std::string &name() const { return name_; }
 
+    // ---- Fault-injection hooks (src/fault) ---------------------------
+
+    /**
+     * Inject a mechanical fault (or clear it with RelayFault::None).
+     * StuckOpen drops a closed contact immediately; WeldedClosed freezes
+     * the contact shut. Subsequent set() commands cannot move the
+     * contact out of the faulted position.
+     */
+    void injectFault(RelayFault fault);
+
+    /** Active mechanical fault. */
+    RelayFault fault() const { return fault_; }
+
+    /**
+     * Sluggish actuation: silently drop the next @p commands state-change
+     * commands (the PLC re-asserts relay states every control period, so
+     * each dropped command delays the transition by one period).
+     */
+    void delayActuation(unsigned commands) { delayedOps_ += commands; }
+
   private:
     std::string name_;
     RelayParams params_;
     bool closed_ = false;
     std::uint64_t operations_ = 0;
+    RelayFault fault_ = RelayFault::None;
+    unsigned delayedOps_ = 0;
 };
 
 } // namespace insure::battery

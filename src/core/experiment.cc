@@ -116,6 +116,12 @@ runExperiment(const ExperimentConfig &cfg)
     if (observer)
         plant.attachObserver(observer);
 
+    // An extension (e.g. the src/fault injector) attaches to the live
+    // plant before the clock starts; clean runs skip this entirely.
+    std::unique_ptr<PlantExtension> extension;
+    if (cfg.extensionFactory)
+        extension = cfg.extensionFactory(plant, simulation);
+
     simulation.runUntil(cfg.duration);
     simulation.finish();
 
@@ -129,6 +135,8 @@ runExperiment(const ExperimentConfig &cfg)
         res.invariantViolations = observer->violationCount();
         res.invariantNotes = observer->violationMessages();
     }
+    if (extension)
+        extension->onRunComplete(plant, res);
     return res;
 }
 
@@ -142,6 +150,12 @@ mergeResults(const std::vector<RunResult> &runs)
     s.minUptime = std::numeric_limits<double>::infinity();
     s.maxUptime = -std::numeric_limits<double>::infinity();
     for (const RunResult &r : runs) {
+        if (r.failed) {
+            ++s.failedRuns;
+            if (s.failures.size() < 20)
+                s.failures.push_back(r.label + ": " + r.error);
+            continue;
+        }
         const Metrics &m = r.result.metrics;
         s.simulatedSeconds += r.simulatedSeconds;
         s.runWallSeconds += r.wallSeconds;
@@ -161,7 +175,13 @@ mergeResults(const std::vector<RunResult> &runs)
         s.meanPerfPerAh += m.perfPerAh;
         s.meanThroughputGbPerHour += m.throughputGbPerHour;
     }
-    const double n = static_cast<double>(s.runs);
+    const std::size_t completed = s.runs - s.failedRuns;
+    if (completed == 0) {
+        s.minUptime = 0.0;
+        s.maxUptime = 0.0;
+        return s;
+    }
+    const double n = static_cast<double>(completed);
     s.meanUptime /= n;
     s.meanEBufferAvailability /= n;
     s.meanPerfPerAh /= n;

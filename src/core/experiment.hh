@@ -32,6 +32,26 @@ enum class ManagerKind {
 /** Printable name of a manager kind. */
 const char *managerKindName(ManagerKind k);
 
+struct ExperimentResult;
+
+/**
+ * An optional per-run attachment constructed against the live plant
+ * (e.g. the src/fault injector). runExperiment keeps it alive for the
+ * whole run and calls onRunComplete once the clock stops, so the
+ * extension can harvest results. core knows nothing about concrete
+ * extensions — higher layers register one via
+ * ExperimentConfig::extensionFactory.
+ */
+class PlantExtension
+{
+  public:
+    virtual ~PlantExtension() = default;
+
+    /** Harvest per-run outputs (e.g. ExperimentResult::resilience). */
+    virtual void onRunComplete(const InSituSystem &plant,
+                               ExperimentResult &result) = 0;
+};
+
 /** Complete description of one experiment run. */
 struct ExperimentConfig {
     /** Policy under test. */
@@ -72,6 +92,16 @@ struct ExperimentConfig {
      * over the raw observer pointer.
      */
     std::function<std::unique_ptr<SystemObserver>()> observerFactory;
+    /**
+     * Creates a per-run plant extension (see PlantExtension) once the
+     * plant is constructed, before the clock starts. Unset on clean runs:
+     * runExperiment then takes exactly the code path it always has, so
+     * optional subsystems (fault injection lives in src/fault) cost
+     * nothing when disabled.
+     */
+    std::function<std::unique_ptr<PlantExtension>(InSituSystem &,
+                                                  sim::Simulation &)>
+        extensionFactory;
 };
 
 /** Outputs of one run. */
@@ -84,6 +114,8 @@ struct ExperimentResult {
     std::uint64_t invariantViolations = 0;
     /** Violation details (bounded; see validate::CheckerOptions). */
     std::vector<std::string> invariantNotes;
+    /** Resilience metrics when a fault extension ran (absent otherwise). */
+    std::optional<ResilienceMetrics> resilience;
 };
 
 /** Paired run of both policies on the same solar trace. */
@@ -114,7 +146,15 @@ struct RunResult {
     Seconds simulatedSeconds = 0.0;
     /** Wall-clock execution time of this run, seconds. */
     double wallSeconds = 0.0;
-    /** The experiment outputs. */
+    /**
+     * True when the run threw instead of completing (crash-testing
+     * campaigns produce these on purpose). `result` is default-initialised
+     * and `error` holds the exception message; the sweep itself survives.
+     */
+    bool failed = false;
+    /** Exception message of a failed run (empty otherwise). */
+    std::string error;
+    /** The experiment outputs (valid only when !failed). */
     ExperimentResult result;
 };
 
@@ -126,6 +166,13 @@ struct RunResult {
  */
 struct SweepSummary {
     std::size_t runs = 0;
+    /**
+     * Runs that threw instead of completing. Failed runs are excluded
+     * from every aggregate below (`runs` still counts them).
+     */
+    std::size_t failedRuns = 0;
+    /** "label: error" lines for failed runs (bounded to the first 20). */
+    std::vector<std::string> failures;
     /** Sum of simulated run lengths, seconds. */
     Seconds simulatedSeconds = 0.0;
     /** Sum of per-run wall-clock times (CPU-side cost), seconds. */

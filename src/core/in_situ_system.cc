@@ -36,6 +36,11 @@ InSituSystem::InSituSystem(sim::Simulation &sim, const std::string &name,
 
     cluster_.setWorkloadUtil(cfg_.profile.powerUtil(cfg_.node.type));
 
+    // Workload streams use ordinal split() in this fixed order — the
+    // checked-in golden digests lock the derivation, so new subsystems
+    // must NOT insert split() calls here. Anything added later (the
+    // fault layer, for one) derives its streams advance-free via
+    // Rng::derive with a streams:: tag, which cannot perturb these.
     Rng rng = sim.makeRng();
     if (cfg_.batch)
         batchSrc_.emplace(*cfg_.batch, rng.split());
@@ -145,8 +150,13 @@ InSituSystem::physicsTick(Seconds now)
     const Seconds prev = now - dt;
 
     // Exact pre-tick charge inventory, for the conservation invariant.
+    // Fault injections fire between ticks (Stats priority), so any
+    // exogenous inventory change since the last tick is credited to the
+    // inter-tick window here.
     const AmpHours obsAhBefore =
         observer_ ? array_.totalUnitAh() : 0.0;
+    const AmpHours obsExoPre =
+        observer_ ? array_.totalExogenousAh() - exoAhSeen_ : 0.0;
 
     // 1. Workload arrivals.
     if (batchSrc_)
@@ -341,6 +351,10 @@ InSituSystem::physicsTick(Seconds now)
         s.chargeStoredAh = charge_stored;
         s.unitAhBefore = obsAhBefore;
         s.unitAhAfter = array_.totalUnitAh();
+        const AmpHours exoTotal = array_.totalExogenousAh();
+        s.exogenousPreTickAh = obsExoPre;
+        s.exogenousInTickAh = exoTotal - exoAhSeen_ - obsExoPre;
+        exoAhSeen_ = exoTotal;
         s.powerFailed = failed;
         s.activeVms = cluster_.activeVms();
         s.backlogGb = queue_.backlog();
@@ -384,6 +398,9 @@ InSituSystem::buildView(Seconds now) const
         cv.mode = array_.cabinet(i).mode();
         cv.dischargeThroughputAh = history_.total(i);
         cv.capacityWh = array_.cabinet(i).capacityWh();
+        cv.chargeRelayClosed = readings[i].chargeRelayClosed;
+        cv.dischargeRelayClosed = readings[i].dischargeRelayClosed;
+        cv.fresh = readings[i].fresh;
     }
     view.activeVms = cluster_.activeVms();
     view.totalVmSlots = cluster_.totalVmSlots();

@@ -157,6 +157,7 @@ class InSituSystem : public sim::Component
     battery::BatteryArray &array() { return array_; }
     const battery::BatteryArray &array() const { return array_; }
     server::Cluster &cluster() { return cluster_; }
+    const server::Cluster &cluster() const { return cluster_; }
     workload::DataQueue &queue() { return queue_; }
     const workload::DataQueue &queue() const { return queue_; }
     const telemetry::SystemMonitor &monitor() const { return monitor_; }
@@ -168,6 +169,7 @@ class InSituSystem : public sim::Component
         return history_;
     }
     PowerManager &manager() { return *manager_; }
+    const PowerManager &manager() const { return *manager_; }
     solar::SolarSource &solarSource() { return *solar_; }
     const SystemConfig &config() const { return cfg_; }
 
@@ -224,6 +226,8 @@ class InSituSystem : public sim::Component
     std::uint64_t powerFailures_ = 0;
     Seconds lastPowerFailure_ = -1.0;
     bool powerFailedLastTick_ = false;
+    /** totalExogenousAh() as of the last observed tick (fault runs). */
+    AmpHours exoAhSeen_ = 0.0;
     double lostVmHoursSeen_ = 0.0;
     telemetry::DailyLog log_;
     std::optional<sim::Trace> trace_;

@@ -26,6 +26,22 @@ effectiveTemporal(const InsureParams &params)
 
 } // namespace
 
+const char *
+quarantineReasonName(QuarantineReason r)
+{
+    switch (r) {
+      case QuarantineReason::DeadString:
+        return "dead-string";
+      case QuarantineReason::RelayMismatch:
+        return "relay-mismatch";
+      case QuarantineReason::FrozenTelemetry:
+        return "frozen-telemetry";
+      case QuarantineReason::StaleTelemetry:
+        return "stale-telemetry";
+    }
+    return "unknown";
+}
+
 InsureManager::InsureManager(const InsureParams &params,
                              std::shared_ptr<NodeAllocator> allocator)
     : params_(params), spatial_(params.spatial),
@@ -99,6 +115,33 @@ InsureManager::control(const SystemView &raw_view)
         act.cabinetModes[i] = view.cabinets[i].mode;
     act.dutyCycle = view.dutyCycle;
 
+    // ---- 0. Degraded-mode management (telemetry plausibility). ----
+    // Quarantined cabinets are forced Offline and drop out of every
+    // decision below, so the SPM re-selects charge/discharge sets and
+    // the TPM re-derives its thresholds over the surviving strings.
+    if (params_.quarantineEnabled) {
+        updateQuarantine(view);
+        for (unsigned i = 0; i < view.cabinets.size(); ++i) {
+            if (isQuarantined(i) &&
+                act.cabinetModes[i] != UnitMode::Offline) {
+                act.cabinetModes[i] = UnitMode::Offline;
+                countActions();
+            }
+        }
+        // With every string quarantined the rack has no trustworthy
+        // buffer; if green cannot carry the load either, checkpoint and
+        // suspend instead of riding through on an unknown supply.
+        if (!view.cabinets.empty() &&
+            quarantinedCount_ == view.cabinets.size() &&
+            view.solarPowerAvg < view.loadPower) {
+            act.checkpointShutdown = true;
+            act.targetVms = 0;
+            batchActive_ = false;
+            countActions();
+            return act;
+        }
+    }
+
     // ---- 1. Spatial screening (coarse interval, Fig. 9). ----
     if (view.now - lastSpatial_ >= params_.spatialPeriod) {
         lastSpatial_ = view.now;
@@ -110,6 +153,8 @@ InsureManager::control(const SystemView &raw_view)
             eligible_ = spatial_.screen(view);
         }
         for (unsigned i : eligible_) {
+            if (isQuarantined(i))
+                continue;
             if (act.cabinetModes[i] == UnitMode::Offline) {
                 act.cabinetModes[i] =
                     view.cabinets[i].soc >= params_.chargedSoc
@@ -275,8 +320,12 @@ InsureManager::control(const SystemView &raw_view)
                                        ? view.solarForecastAvg
                                        : view.solarPowerAvg;
             WattHours stored = 0.0;
-            for (const auto &c : view.cabinets)
-                stored += c.soc * c.capacityWh;
+            for (unsigned i = 0; i < view.cabinets.size(); ++i) {
+                if (isQuarantined(i))
+                    continue; // sensed SoC untrustworthy, energy lost
+                stored += view.cabinets[i].soc *
+                          view.cabinets[i].capacityWh;
+            }
             const WattHours expected =
                 stored * params_.batteryAssistFraction +
                 forecast * params_.batchPlanningHorizonHours;
@@ -327,6 +376,103 @@ InsureManager::control(const SystemView &raw_view)
         act.targetVms = static_cast<unsigned>(std::max(0, reduced));
     }
     return act;
+}
+
+void
+InsureManager::updateQuarantine(const SystemView &view)
+{
+    if (health_.size() < view.cabinets.size())
+        health_.resize(view.cabinets.size());
+    for (unsigned i = 0; i < view.cabinets.size(); ++i) {
+        CabinetHealth &h = health_[i];
+        const CabinetView &cab = view.cabinets[i];
+        if (h.quarantined)
+            continue; // sticky for the run
+
+        // Dead string: the sensed string voltage is the per-unit sum,
+        // and a healthy unit never reads below ~10 V while the rack is
+        // up; a sum implying a ~0 V unit means an open circuit (or a
+        // dead transducer) — either way the string cannot be trusted
+        // on a bus.
+        const bool online = cab.mode != UnitMode::Offline;
+        const Volts dead_floor = params_.quarantineVoltageFloor *
+                                 std::max(1u, view.seriesPerCabinet);
+        if (cab.fresh && online && cab.voltage < dead_floor)
+            ++h.deadStreak;
+        else
+            h.deadStreak = 0;
+
+        // Relay mismatch: the sensed contact states must agree with the
+        // commanded mode. Sampling can lag a mid-period fast-switch by
+        // one period, so a single mismatch is tolerated; a healthy relay
+        // is never out of position for two.
+        bool relays_ok = true;
+        switch (cab.mode) {
+          case UnitMode::Offline:
+          case UnitMode::Standby:
+            relays_ok =
+                !cab.chargeRelayClosed && !cab.dischargeRelayClosed;
+            break;
+          case UnitMode::Charging:
+            relays_ok =
+                cab.chargeRelayClosed && !cab.dischargeRelayClosed;
+            break;
+          case UnitMode::Discharging:
+            relays_ok =
+                !cab.chargeRelayClosed && cab.dischargeRelayClosed;
+            break;
+        }
+        if (cab.fresh && !relays_ok)
+            ++h.relayStreak;
+        else
+            h.relayStreak = 0;
+
+        // Frozen telemetry: while a string actually carries discharge
+        // current its sensed SoC and voltage move every period (the SoC
+        // register alone steps tens of counts a minute); bit-identical
+        // readings mean the registers stopped updating.
+        const bool frozen = cab.fresh &&
+                            cab.mode == UnitMode::Discharging &&
+                            cab.current > 0.5 &&
+                            cab.voltage == h.lastVoltage &&
+                            cab.current == h.lastCurrent &&
+                            cab.soc == h.lastSoc;
+        if (frozen)
+            ++h.frozenStreak;
+        else
+            h.frozenStreak = 0;
+        h.lastVoltage = cab.voltage;
+        h.lastCurrent = cab.current;
+        h.lastSoc = cab.soc;
+
+        // Stale link: Modbus exchanges to the cabinet keep failing, so
+        // the manager is flying blind on it.
+        if (!cab.fresh)
+            ++h.staleStreak;
+        else
+            h.staleStreak = 0;
+
+        QuarantineReason reason = QuarantineReason::DeadString;
+        bool trip = false;
+        if (h.deadStreak >= params_.quarantinePeriods) {
+            reason = QuarantineReason::DeadString;
+            trip = true;
+        } else if (h.relayStreak >= params_.quarantinePeriods) {
+            reason = QuarantineReason::RelayMismatch;
+            trip = true;
+        } else if (h.frozenStreak >= params_.frozenTelemetryPeriods) {
+            reason = QuarantineReason::FrozenTelemetry;
+            trip = true;
+        } else if (h.staleStreak >= params_.staleLinkPeriods) {
+            reason = QuarantineReason::StaleTelemetry;
+            trip = true;
+        }
+        if (trip) {
+            h.quarantined = true;
+            ++quarantinedCount_;
+            quarantineLog_.push_back({view.now, i, reason});
+        }
+    }
 }
 
 } // namespace insure::core

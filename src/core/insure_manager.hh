@@ -57,6 +57,26 @@ struct InsureParams {
     /** Disable wear balancing (every cabinet always within budget). */
     bool disableBalancing = false;
 
+    // Degraded-mode management: quarantine cabinets whose telemetry is
+    // implausible (dead string, relay/mode contradiction, frozen or
+    // stale registers). The checks run on the SENSED view only — the
+    // manager has no oracle knowledge of injected faults.
+    /** Master switch for telemetry-plausibility quarantine. */
+    bool quarantineEnabled = true;
+    /**
+     * Per-unit sensed voltage floor: an online string reading below
+     * (floor x units-in-series) has lost at least one unit (a healthy
+     * lead-acid unit never sags under ~10 V before the TPM shuts the
+     * rack down; an open-circuit unit reads 0 V).
+     */
+    Volts quarantineVoltageFloor = 8.0;
+    /** Consecutive suspect periods before a cabinet is quarantined. */
+    unsigned quarantinePeriods = 2;
+    /** Periods of bit-identical readings under load before quarantine. */
+    unsigned frozenTelemetryPeriods = 4;
+    /** Periods of failed Modbus exchanges before quarantine. */
+    unsigned staleLinkPeriods = 5;
+
     /** The paper's "No-Opt" configuration: aggressive buffer use. */
     static InsureParams
     noOpt()
@@ -67,6 +87,31 @@ struct InsureParams {
         p.disableBalancing = true;
         return p;
     }
+};
+
+/** Why a cabinet was quarantined (telemetry plausibility signals). */
+enum class QuarantineReason {
+    /** Sensed string voltage collapsed while the string was online. */
+    DeadString,
+    /** Sensed relay contacts contradict the commanded mode. */
+    RelayMismatch,
+    /** Registers stopped moving while the string carried current. */
+    FrozenTelemetry,
+    /** Modbus exchanges to the cabinet keep failing. */
+    StaleTelemetry,
+};
+
+/** Human-readable name of a quarantine reason. */
+const char *quarantineReasonName(QuarantineReason r);
+
+/** One quarantine decision (degraded-mode management). */
+struct QuarantineEvent {
+    /** Control-period timestamp of the decision, seconds. */
+    Seconds at = 0.0;
+    /** Quarantined cabinet index. */
+    unsigned cabinet = 0;
+    /** Plausibility signal that tripped. */
+    QuarantineReason reason = QuarantineReason::DeadString;
 };
 
 /** The paper's power-management scheme. */
@@ -90,13 +135,45 @@ class InsureManager : public PowerManager
     /** Temporal sub-policy (for tests/ablation). */
     const TemporalManager &temporal() const { return temporal_; }
 
+    /** Quarantine decisions so far, in order (degraded mode). */
+    const std::vector<QuarantineEvent> &quarantineEvents() const
+    {
+        return quarantineLog_;
+    }
+
+    /** True when cabinet @p i is quarantined (sticky for the run). */
+    bool isQuarantined(unsigned i) const
+    {
+        return i < health_.size() && health_[i].quarantined;
+    }
+
+    /** Cabinets currently quarantined. */
+    unsigned quarantinedCount() const { return quarantinedCount_; }
+
   private:
+    /** Per-cabinet plausibility-tracking state. */
+    struct CabinetHealth {
+        unsigned deadStreak = 0;
+        unsigned relayStreak = 0;
+        unsigned frozenStreak = 0;
+        unsigned staleStreak = 0;
+        Volts lastVoltage = -1.0;
+        Amperes lastCurrent = -1.0;
+        double lastSoc = -1.0;
+        bool quarantined = false;
+    };
+
+    void updateQuarantine(const SystemView &view);
+
     InsureParams params_;
     SpatialManager spatial_;
     TemporalManager temporal_;
     std::shared_ptr<NodeAllocator> allocator_;
     Seconds lastSpatial_ = -1e18;
     std::vector<unsigned> eligible_;
+    std::vector<CabinetHealth> health_;
+    std::vector<QuarantineEvent> quarantineLog_;
+    unsigned quarantinedCount_ = 0;
     unsigned batchVms_ = 0;
     GigaBytes plannedBacklog_ = 0.0;
     bool batchActive_ = false;

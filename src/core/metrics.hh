@@ -78,6 +78,45 @@ struct Metrics {
 };
 
 /**
+ * Resilience metrics for a fault-injected run (produced by the
+ * src/fault ResilienceTracker; absent on clean runs).
+ *
+ * Detection is credited when the controller quarantines the faulted
+ * component; recovery when the system then completes a full failure-free
+ * control window. "Unsafe operation" counts seconds during which a
+ * faulted battery unit or relay stayed electrically conducting — the
+ * window in which a real deployment risks damage.
+ */
+struct ResilienceMetrics {
+    /** Faults injected / cleared (expired duration) during the run. */
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t faultsCleared = 0;
+    /** Faults the controller detected (matching quarantine). */
+    std::uint64_t detectedFaults = 0;
+    /** Cabinet quarantine events the controller recorded. */
+    std::uint64_t quarantines = 0;
+
+    /** Injection -> quarantine, over detected faults, seconds. */
+    Seconds meanTimeToDetect = 0.0;
+    Seconds maxTimeToDetect = 0.0;
+    /** Detection -> first failure-free control window, seconds. */
+    Seconds meanTimeToRecover = 0.0;
+    Seconds maxTimeToRecover = 0.0;
+
+    /** Seconds the rack was power-failed (load unmet). */
+    Seconds outageSeconds = 0.0;
+    /** Seconds with work pending but the cluster unproductive. */
+    Seconds pendingDownSeconds = 0.0;
+    /** Seconds a faulted unit/relay stayed conducting. */
+    Seconds unsafeOperationSeconds = 0.0;
+
+    /** Load energy missing vs the demanded load while faulted, kWh. */
+    double energyLostKwh = 0.0;
+    /** VM-hours of work lost to emergency shutdowns. */
+    double lostVmHours = 0.0;
+};
+
+/**
  * Relative improvement of @p opt over @p base for a larger-is-better
  * metric: (opt - base) / base. Guards against a zero baseline.
  */

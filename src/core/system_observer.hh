@@ -56,6 +56,17 @@ struct TickSample {
     AmpHours unitAhBefore = 0.0;
     /** Sum over every unit of soc * capacityAh, after this tick. */
     AmpHours unitAhAfter = 0.0;
+    /**
+     * Per-unit ampere-hours removed by fault mechanisms (capacity fade,
+     * internal shorts) between the previous tick and this one (fault
+     * injections fire between physics ticks). Consumed by the cross-tick
+     * continuity invariant; zero on healthy runs.
+     */
+    AmpHours exogenousPreTickAh = 0.0;
+    /** Per-unit fault-removed ampere-hours during this tick (internal-
+     *  short extra drain). Consumed by the per-tick balance; zero when
+     *  healthy. */
+    AmpHours exogenousInTickAh = 0.0;
     /** True when the rack lost power this tick. */
     bool powerFailed = false;
     /** VMs active after the tick. */

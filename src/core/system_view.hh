@@ -34,6 +34,16 @@ struct CabinetView {
     AmpHours dischargeThroughputAh = 0.0;
     /** Full-charge energy capacity of the cabinet, watt-hours. */
     WattHours capacityWh = 0.0;
+    /** Sensed charge-relay contact state (PLC register). */
+    bool chargeRelayClosed = false;
+    /** Sensed discharge-relay contact state (PLC register). */
+    bool dischargeRelayClosed = false;
+    /**
+     * False when the Modbus exchange behind this snapshot failed and the
+     * values are the stale last-good reading. Managers use sustained
+     * staleness as a link-health plausibility signal.
+     */
+    bool fresh = true;
 };
 
 /** Sensed system state handed to a power manager each control period. */

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fault campaigns: seeded batch sweeps of fault-injected runs.
+ *
+ * A campaign replays one experiment configuration N times on the PR-1
+ * batch runner (deterministic per-run child seeds from a master seed),
+ * installs the same FaultPlan on every run — each run's injector
+ * derives its streams from that run's child seed, so occurrences
+ * differ per run but reproduce exactly — and aggregates per-run
+ * outcomes plus resilience metrics into a CampaignSummary that
+ * serialises to JSON (bench/bench_fault_campaign).
+ */
+
+#ifndef INSURE_FAULT_CAMPAIGN_HH
+#define INSURE_FAULT_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "fault/fault_plan.hh"
+#include "validate/invariant_checker.hh"
+
+namespace insure::fault {
+
+/** Configuration of one campaign. */
+struct CampaignConfig {
+    /** Per-run experiment (workload, weather, duration, manager). */
+    core::ExperimentConfig base;
+    /** The fault plan installed on every run. */
+    FaultPlan plan;
+    /** Seeded runs to execute. */
+    std::size_t runs = 50;
+    /** Master seed; per-run child seeds derive from it in run order. */
+    std::uint64_t masterSeed = kDefaultSeed;
+    /** Worker threads (0 = default). */
+    unsigned jobs = 0;
+    /**
+     * Invariant policy attached to every run. Throw records a violating
+     * run as failed (the sweep survives); Log keeps counts only.
+     */
+    validate::Policy policy = validate::Policy::Log;
+    /** Optional progress hook (forwarded to the batch runner). */
+    std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+/** Per-run campaign outcome. */
+struct CampaignRun {
+    std::string label;
+    std::uint64_t seed = 0;
+    bool failed = false;
+    std::string error;
+    std::uint64_t invariantViolations = 0;
+    core::ResilienceMetrics resilience;
+    double uptime = 0.0;
+    double processedGb = 0.0;
+};
+
+/** Campaign-level aggregates (completed runs only). */
+struct CampaignSummary {
+    CampaignConfig config;
+    core::SweepSummary sweep;
+    std::vector<CampaignRun> perRun;
+
+    // Aggregated resilience over completed runs.
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t faultsCleared = 0;
+    std::uint64_t detectedFaults = 0;
+    std::uint64_t quarantines = 0;
+    /** Mean of per-run mean TTD over runs with a detection, seconds. */
+    double meanTimeToDetect = 0.0;
+    Seconds maxTimeToDetect = 0.0;
+    double meanTimeToRecover = 0.0;
+    Seconds maxTimeToRecover = 0.0;
+    Seconds outageSeconds = 0.0;
+    Seconds unsafeOperationSeconds = 0.0;
+    double energyLostKwh = 0.0;
+    double lostVmHours = 0.0;
+    std::uint64_t invariantViolations = 0;
+};
+
+/** Execute a campaign (see file comment). */
+CampaignSummary runFaultCampaign(const CampaignConfig &cfg);
+
+/** Serialise a campaign summary as JSON. */
+void writeCampaignJson(const CampaignSummary &summary, std::ostream &os);
+
+/** Human-readable one-screen summary. */
+std::string formatCampaignSummary(const CampaignSummary &summary);
+
+} // namespace insure::fault
+
+#endif // INSURE_FAULT_CAMPAIGN_HH

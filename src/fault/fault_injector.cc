@@ -1,0 +1,396 @@
+#include "fault/fault_injector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace insure::fault {
+
+using battery::RelayFault;
+using sim::EventPriority;
+
+// ---------------------------------------------------------------------
+// ResilienceTracker
+
+void
+ResilienceTracker::onTick(const core::TickSample &s)
+{
+    if (s.powerFailed)
+        outageSeconds_ += s.dt;
+    if (s.backlogGb > 0.0 && s.activeVms == 0)
+        pendingDownSeconds_ += s.dt;
+    // Exogenous fields are whole-array per-unit ampere-hour sums; the
+    // 12 V nominal unit voltage turns them into an energy estimate.
+    energyLostWh_ += (s.exogenousPreTickAh + s.exogenousInTickAh) * 12.0;
+
+    // Recovery tracking: a quarantine decision is "recovered from" at
+    // the first subsequent tick where the rack has power and is either
+    // productive or has drained its backlog.
+    if (mgr_) {
+        const auto &q = mgr_->quarantineEvents();
+        for (std::size_t i = seenQuarantines_; i < q.size(); ++i)
+            pendingRecovery_.push_back(q[i].at);
+        seenQuarantines_ = q.size();
+    }
+    if (!pendingRecovery_.empty() && !s.powerFailed &&
+        (s.productive || s.backlogGb <= 0.0)) {
+        for (Seconds t : pendingRecovery_)
+            recoveries_.push_back(std::max(0.0, s.now - t));
+        pendingRecovery_.clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// FaultInjector
+
+FaultInjector::FaultInjector(core::InSituSystem &plant,
+                             sim::Simulation &sim, FaultPlan plan)
+    : plant_(plant), sim_(sim), plan_(std::move(plan)),
+      faultRng_(Rng(sim.seed()).derive(streams::kFault)),
+      tracker_(dynamic_cast<const core::InsureManager *>(&plant.manager()))
+{
+    // Tag-derived streams only: nothing here touches the simulation's
+    // ordinal split sequence, so workload/solar draws are unperturbed.
+    processRng_.reserve(plan_.processes.size());
+    for (std::size_t k = 0; k < plan_.processes.size(); ++k) {
+        processRng_.push_back(
+            faultRng_.derive(streams::kFaultSchedule + k + 1));
+    }
+    plant_.monitor().seedSensorNoise(
+        faultRng_.deriveSeed(streams::kFaultSensor));
+
+    // Observe the run alongside whatever was already attached (the
+    // InvariantChecker keeps seeing every hook).
+    observers_.add(plant_.observer());
+    observers_.add(&tracker_);
+    plant_.attachObserver(&observers_);
+
+    for (const FaultSpec &spec : plan_.scheduled)
+        scheduleSpec(spec);
+    for (unsigned k = 0; k < plan_.processes.size(); ++k)
+        scheduleNextArrival(k);
+}
+
+void
+FaultInjector::scheduleSpec(const FaultSpec &spec)
+{
+    const Seconds when = std::max(spec.at, sim_.now());
+    FaultSpec s = spec;
+    s.at = when;
+    // Stats priority: injections land after the physics tick at the
+    // same instant has fully settled, never mid-tick.
+    sim_.events().schedule(when, EventPriority::Stats,
+                           [this, s] { apply(s); });
+}
+
+void
+FaultInjector::scheduleNextArrival(unsigned process)
+{
+    const auto &proc = plan_.processes[process];
+    if (proc.ratePerHour <= 0.0)
+        return;
+    const Seconds gap =
+        processRng_[process].exponential(proc.ratePerHour / 3600.0);
+    sim_.events().scheduleIn(gap, EventPriority::Stats,
+                             [this, process] {
+                                 fireProcess(process);
+                                 scheduleNextArrival(process);
+                             });
+}
+
+void
+FaultInjector::fireProcess(unsigned process)
+{
+    const auto &proc = plan_.processes[process];
+    Rng &rng = processRng_[process];
+
+    FaultSpec spec;
+    spec.kind = proc.kind;
+    spec.at = sim_.now();
+    spec.magnitude = proc.magnitude;
+    spec.duration = proc.duration;
+
+    const unsigned cabs = plant_.array().cabinetCount();
+    switch (faultClassOf(proc.kind)) {
+      case FaultClass::Battery:
+        spec.target = static_cast<unsigned>(
+            rng.uniformInt(0, static_cast<int>(cabs) - 1));
+        spec.unit = static_cast<unsigned>(rng.uniformInt(
+            0,
+            static_cast<int>(
+                plant_.array().cabinet(spec.target).seriesCount()) -
+                1));
+        break;
+      case FaultClass::Relay:
+      case FaultClass::Sensor:
+        spec.target = static_cast<unsigned>(
+            rng.uniformInt(0, static_cast<int>(cabs) - 1));
+        break;
+      case FaultClass::Link:
+        break;
+      case FaultClass::Server:
+        spec.target = static_cast<unsigned>(rng.uniformInt(
+            0,
+            static_cast<int>(plant_.cluster().nodeCount()) - 1));
+        break;
+    }
+    apply(spec);
+}
+
+std::size_t
+FaultInjector::apply(FaultSpec spec)
+{
+    auto &array = plant_.array();
+    const unsigned cabs = array.cabinetCount();
+    bool clearable = false;
+
+    switch (spec.kind) {
+      case FaultKind::BatteryCapacityFade: {
+        spec.target = std::min(spec.target, cabs - 1);
+        auto &cab = array.cabinet(spec.target);
+        spec.unit = std::min(spec.unit, cab.seriesCount() - 1);
+        if (spec.magnitude <= 0.0 || spec.magnitude >= 1.0)
+            spec.magnitude = 0.5;
+        cab.unit(spec.unit).injectCapacityFade(spec.magnitude);
+        break;
+      }
+      case FaultKind::BatteryOpenCircuit: {
+        spec.target = std::min(spec.target, cabs - 1);
+        auto &cab = array.cabinet(spec.target);
+        spec.unit = std::min(spec.unit, cab.seriesCount() - 1);
+        cab.unit(spec.unit).setOpenCircuit(true);
+        clearable = spec.duration > 0.0;
+        break;
+      }
+      case FaultKind::BatteryInternalShort: {
+        spec.target = std::min(spec.target, cabs - 1);
+        auto &cab = array.cabinet(spec.target);
+        spec.unit = std::min(spec.unit, cab.seriesCount() - 1);
+        if (spec.magnitude <= 1.0)
+            spec.magnitude = 50.0;
+        cab.unit(spec.unit).setSelfDischargeMultiplier(spec.magnitude);
+        clearable = spec.duration > 0.0;
+        break;
+      }
+      case FaultKind::RelayStuckOpen:
+        spec.target = std::min(spec.target, cabs - 1);
+        array.cabinet(spec.target)
+            .dischargeRelay()
+            .injectFault(RelayFault::StuckOpen);
+        clearable = spec.duration > 0.0;
+        break;
+      case FaultKind::RelayWeldedClosed:
+        spec.target = std::min(spec.target, cabs - 1);
+        array.cabinet(spec.target)
+            .chargeRelay()
+            .injectFault(RelayFault::WeldedClosed);
+        clearable = spec.duration > 0.0;
+        break;
+      case FaultKind::RelayDelayedActuation: {
+        spec.target = std::min(spec.target, cabs - 1);
+        const unsigned n = std::max(
+            1u, static_cast<unsigned>(spec.magnitude));
+        spec.magnitude = n;
+        array.cabinet(spec.target).chargeRelay().delayActuation(n);
+        array.cabinet(spec.target).dischargeRelay().delayActuation(n);
+        break;
+      }
+      case FaultKind::SensorBias:
+        spec.target = std::min(spec.target, cabs - 1);
+        if (spec.magnitude == 0.0)
+            spec.magnitude = 0.8;
+        plant_.monitor().injectSensorBias(spec.target, spec.magnitude);
+        clearable = spec.duration > 0.0;
+        break;
+      case FaultKind::SensorNoise:
+        spec.target = std::min(spec.target, cabs - 1);
+        if (spec.magnitude <= 0.0)
+            spec.magnitude = 0.5;
+        plant_.monitor().injectSensorNoise(spec.target, spec.magnitude);
+        clearable = spec.duration > 0.0;
+        break;
+      case FaultKind::SensorDropout:
+        spec.target = std::min(spec.target, cabs - 1);
+        plant_.monitor().injectSensorDropout(spec.target, true);
+        clearable = spec.duration > 0.0;
+        break;
+      case FaultKind::LinkDrop: {
+        const unsigned n = std::max(
+            1u, static_cast<unsigned>(spec.magnitude));
+        spec.magnitude = n;
+        plant_.link().dropNextExchanges(n);
+        break;
+      }
+      case FaultKind::LinkCorrupt: {
+        const unsigned n = std::max(
+            1u, static_cast<unsigned>(spec.magnitude));
+        spec.magnitude = n;
+        plant_.link().truncateNextResponses(n);
+        break;
+      }
+      case FaultKind::ServerCrash:
+        spec.target =
+            std::min(spec.target, plant_.cluster().nodeCount() - 1);
+        plant_.cluster().crashNode(spec.target);
+        break;
+      case FaultKind::ServerHang:
+        spec.target =
+            std::min(spec.target, plant_.cluster().nodeCount() - 1);
+        if (spec.duration <= 0.0)
+            spec.duration = 600.0;
+        plant_.cluster().hangNode(spec.target, spec.duration);
+        break;
+    }
+
+    Logger::log(LogLevel::Debug,
+                     "fault: inject %s cab/node=%u unit=%u mag=%.3f "
+                     "dur=%.0f at t=%.1f",
+                     faultKindName(spec.kind), spec.target, spec.unit,
+                     spec.magnitude, spec.duration, spec.at);
+
+    log_.push_back(InjectedFault{spec, false, -1.0});
+    const std::size_t idx = log_.size() - 1;
+    if (clearable) {
+        sim_.events().scheduleIn(spec.duration, EventPriority::Stats,
+                                 [this, idx] { clearFault(idx); });
+    }
+    return idx;
+}
+
+void
+FaultInjector::clearFault(std::size_t logIndex)
+{
+    InjectedFault &f = log_[logIndex];
+    if (f.cleared)
+        return;
+    const FaultSpec &spec = f.spec;
+    auto &array = plant_.array();
+    switch (spec.kind) {
+      case FaultKind::BatteryOpenCircuit:
+        array.cabinet(spec.target).unit(spec.unit).setOpenCircuit(false);
+        break;
+      case FaultKind::BatteryInternalShort:
+        array.cabinet(spec.target)
+            .unit(spec.unit)
+            .setSelfDischargeMultiplier(1.0);
+        break;
+      case FaultKind::RelayStuckOpen:
+        array.cabinet(spec.target)
+            .dischargeRelay()
+            .injectFault(RelayFault::None);
+        break;
+      case FaultKind::RelayWeldedClosed:
+        array.cabinet(spec.target)
+            .chargeRelay()
+            .injectFault(RelayFault::None);
+        break;
+      case FaultKind::SensorBias:
+        plant_.monitor().injectSensorBias(spec.target, 0.0);
+        break;
+      case FaultKind::SensorNoise:
+        plant_.monitor().injectSensorNoise(spec.target, 0.0);
+        break;
+      case FaultKind::SensorDropout:
+        plant_.monitor().injectSensorDropout(spec.target, false);
+        break;
+      default:
+        return; // one-shot kinds never schedule a clear
+    }
+    f.cleared = true;
+    f.clearedAt = sim_.now();
+    ++cleared_;
+}
+
+void
+FaultInjector::onRunComplete(const core::InSituSystem &plant,
+                             core::ExperimentResult &result)
+{
+    core::ResilienceMetrics m;
+    m.faultsInjected = log_.size();
+    m.faultsCleared = cleared_;
+
+    const auto *mgr =
+        dynamic_cast<const core::InsureManager *>(&plant.manager());
+    const Seconds end = sim_.now();
+
+    if (mgr)
+        m.quarantines = mgr->quarantineEvents().size();
+
+    // Join the ground-truth log against the manager's quarantine log:
+    // a quarantine-expected fault counts as detected when its cabinet
+    // was quarantined at or after the injection (a cabinet already
+    // quarantined at injection time is detected trivially). Until the
+    // quarantine lands — or the fault clears — the plant is running on
+    // a faulty component the controller has not isolated: unsafe
+    // operation.
+    double ttd_sum = 0.0;
+    std::uint64_t ttd_n = 0;
+    for (const InjectedFault &f : log_) {
+        if (!quarantineExpected(f.spec.kind))
+            continue;
+        Seconds detect = -1.0;
+        bool pre_quarantined = false;
+        if (mgr) {
+            for (const auto &q : mgr->quarantineEvents()) {
+                if (q.cabinet != f.spec.target)
+                    continue;
+                if (q.at <= f.spec.at)
+                    pre_quarantined = true;
+                else
+                    detect = q.at;
+                break; // quarantine is sticky: one event per cabinet
+            }
+        }
+        if (pre_quarantined) {
+            ++m.detectedFaults;
+            continue;
+        }
+        if (detect >= 0.0) {
+            ++m.detectedFaults;
+            const Seconds ttd = detect - f.spec.at;
+            ttd_sum += ttd;
+            ++ttd_n;
+            m.maxTimeToDetect = std::max(m.maxTimeToDetect, ttd);
+            m.unsafeOperationSeconds += ttd;
+        } else {
+            const Seconds until = f.cleared ? f.clearedAt : end;
+            m.unsafeOperationSeconds +=
+                std::max(0.0, until - f.spec.at);
+        }
+    }
+    if (ttd_n > 0)
+        m.meanTimeToDetect = ttd_sum / static_cast<double>(ttd_n);
+
+    const auto &recoveries = tracker_.recoverySamples();
+    if (!recoveries.empty()) {
+        double sum = 0.0;
+        for (Seconds r : recoveries) {
+            sum += r;
+            m.maxTimeToRecover = std::max(m.maxTimeToRecover, r);
+        }
+        m.meanTimeToRecover =
+            sum / static_cast<double>(recoveries.size());
+    }
+
+    m.outageSeconds = tracker_.outageSeconds();
+    m.pendingDownSeconds = tracker_.pendingDownSeconds();
+    m.energyLostKwh = tracker_.energyLostWh() / 1000.0;
+    m.lostVmHours = plant.cluster().lostVmHours();
+
+    result.resilience = m;
+}
+
+void
+installFaultPlan(core::ExperimentConfig &cfg, FaultPlan plan)
+{
+    if (!plan.enabled())
+        return; // clean path: bit-identical to a fault-free build
+    cfg.extensionFactory =
+        [plan = std::move(plan)](core::InSituSystem &plant,
+                                 sim::Simulation &sim) {
+            return std::make_unique<FaultInjector>(plant, sim, plan);
+        };
+}
+
+} // namespace insure::fault

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Deterministic fault-injection engine.
+ *
+ * The FaultInjector is a core::PlantExtension: installFaultPlan wires a
+ * factory into an ExperimentConfig, runExperiment constructs the
+ * injector against the live plant before the clock starts, and the
+ * injector schedules every fault as a simulation event at Stats
+ * priority (between physics ticks, after the dust of the current tick
+ * settles). Ground truth about what was injected and when stays here —
+ * the power manager only ever sees the faults through telemetry, which
+ * is exactly what the degraded-mode quarantine logic is tested against.
+ *
+ * A ResilienceTracker rides the run as a SystemObserver (wrapped in an
+ * ObserverList with whatever observer was already attached, so the
+ * InvariantChecker keeps working) and accumulates outage and
+ * energy-loss statistics; at the end of the run the injector joins its
+ * ground-truth log against the manager's quarantine log into the
+ * ResilienceMetrics published on the ExperimentResult.
+ *
+ * Every stochastic draw (Poisson arrival times, target choices) comes
+ * from Rng::derive-tagged streams rooted at the run seed, never from
+ * the simulation's ordinal split sequence — enabling faults cannot
+ * re-correlate the workload or solar streams, and FaultPlan{} leaves
+ * the run bit-identical to a build that never linked this library.
+ */
+
+#ifndef INSURE_FAULT_FAULT_INJECTOR_HH
+#define INSURE_FAULT_FAULT_INJECTOR_HH
+
+#include <vector>
+
+#include "core/experiment.hh"
+#include "fault/fault_plan.hh"
+#include "sim/rng.hh"
+
+namespace insure::fault {
+
+/** Ground truth about one injected fault occurrence. */
+struct InjectedFault {
+    FaultSpec spec;
+    /** True once the fault cleared (duration elapsed). */
+    bool cleared = false;
+    /** Clear time; < 0 while active. */
+    Seconds clearedAt = -1.0;
+};
+
+/**
+ * Passive observer accumulating resilience statistics over the tick
+ * loop: outage and pending-while-down time, fault energy losses, and
+ * time-to-recover samples (quarantine decision until the first tick
+ * with the rack powered and productive again).
+ */
+class ResilienceTracker : public core::SystemObserver
+{
+  public:
+    /** @param mgr the run's manager when it is an InsureManager. */
+    explicit ResilienceTracker(const core::InsureManager *mgr)
+        : mgr_(mgr)
+    {
+    }
+
+    void onTick(const core::TickSample &s) override;
+
+    Seconds outageSeconds() const { return outageSeconds_; }
+    Seconds pendingDownSeconds() const { return pendingDownSeconds_; }
+    double energyLostWh() const { return energyLostWh_; }
+    const std::vector<Seconds> &recoverySamples() const
+    {
+        return recoveries_;
+    }
+
+  private:
+    const core::InsureManager *mgr_;
+    Seconds outageSeconds_ = 0.0;
+    Seconds pendingDownSeconds_ = 0.0;
+    double energyLostWh_ = 0.0;
+    /** Quarantine decisions seen so far (mirror of the manager log). */
+    std::size_t seenQuarantines_ = 0;
+    /** Detection times still waiting for a recovered tick. */
+    std::vector<Seconds> pendingRecovery_;
+    /** Completed detection -> recovery intervals. */
+    std::vector<Seconds> recoveries_;
+};
+
+/** Executes a FaultPlan against a live plant (see file comment). */
+class FaultInjector : public core::PlantExtension
+{
+  public:
+    FaultInjector(core::InSituSystem &plant, sim::Simulation &sim,
+                  FaultPlan plan);
+
+    /** Publish ResilienceMetrics into the run result. */
+    void onRunComplete(const core::InSituSystem &plant,
+                       core::ExperimentResult &result) override;
+
+    /** Ground-truth injection log (tests, campaign reporting). */
+    const std::vector<InjectedFault> &injected() const
+    {
+        return log_;
+    }
+
+  private:
+    void scheduleSpec(const FaultSpec &spec);
+    void scheduleNextArrival(unsigned process);
+    void fireProcess(unsigned process);
+    /** Apply @p spec now; returns the log index. */
+    std::size_t apply(FaultSpec spec);
+    void clearFault(std::size_t logIndex);
+
+    core::InSituSystem &plant_;
+    sim::Simulation &sim_;
+    FaultPlan plan_;
+    /** Root of every fault stream: Rng(seed).derive(streams::kFault). */
+    Rng faultRng_;
+    /** One arrival/target stream per Poisson process. */
+    std::vector<Rng> processRng_;
+    std::vector<InjectedFault> log_;
+    std::uint64_t cleared_ = 0;
+    ResilienceTracker tracker_;
+    core::ObserverList observers_;
+};
+
+/**
+ * Install @p plan on @p cfg. A disabled plan (FaultPlan::enabled() ==
+ * false) leaves the config untouched — the run takes the exact clean
+ * code path, keeping golden digests bit-identical.
+ */
+void installFaultPlan(core::ExperimentConfig &cfg, FaultPlan plan);
+
+} // namespace insure::fault
+
+#endif // INSURE_FAULT_FAULT_INJECTOR_HH

@@ -1,0 +1,156 @@
+#include "fault/fault_plan.hh"
+
+namespace insure::fault {
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::BatteryCapacityFade:
+        return "battery-capacity-fade";
+      case FaultKind::BatteryOpenCircuit:
+        return "battery-open-circuit";
+      case FaultKind::BatteryInternalShort:
+        return "battery-internal-short";
+      case FaultKind::RelayStuckOpen:
+        return "relay-stuck-open";
+      case FaultKind::RelayWeldedClosed:
+        return "relay-welded-closed";
+      case FaultKind::RelayDelayedActuation:
+        return "relay-delayed-actuation";
+      case FaultKind::SensorBias:
+        return "sensor-bias";
+      case FaultKind::SensorNoise:
+        return "sensor-noise";
+      case FaultKind::SensorDropout:
+        return "sensor-dropout";
+      case FaultKind::LinkDrop:
+        return "link-drop";
+      case FaultKind::LinkCorrupt:
+        return "link-corrupt";
+      case FaultKind::ServerCrash:
+        return "server-crash";
+      case FaultKind::ServerHang:
+        return "server-hang";
+    }
+    return "unknown";
+}
+
+FaultClass
+faultClassOf(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::BatteryCapacityFade:
+      case FaultKind::BatteryOpenCircuit:
+      case FaultKind::BatteryInternalShort:
+        return FaultClass::Battery;
+      case FaultKind::RelayStuckOpen:
+      case FaultKind::RelayWeldedClosed:
+      case FaultKind::RelayDelayedActuation:
+        return FaultClass::Relay;
+      case FaultKind::SensorBias:
+      case FaultKind::SensorNoise:
+      case FaultKind::SensorDropout:
+        return FaultClass::Sensor;
+      case FaultKind::LinkDrop:
+      case FaultKind::LinkCorrupt:
+        return FaultClass::Link;
+      case FaultKind::ServerCrash:
+      case FaultKind::ServerHang:
+        return FaultClass::Server;
+    }
+    return FaultClass::Battery;
+}
+
+const char *
+faultClassName(FaultClass c)
+{
+    switch (c) {
+      case FaultClass::Battery:
+        return "battery";
+      case FaultClass::Relay:
+        return "relay";
+      case FaultClass::Sensor:
+        return "sensor";
+      case FaultClass::Link:
+        return "link";
+      case FaultClass::Server:
+        return "server";
+    }
+    return "unknown";
+}
+
+bool
+quarantineExpected(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::BatteryOpenCircuit:
+      case FaultKind::RelayStuckOpen:
+      case FaultKind::RelayWeldedClosed:
+      case FaultKind::SensorDropout:
+        return true;
+      default:
+        return false;
+    }
+}
+
+FaultPlan
+makeRatePlan(double ratePerHour, const std::vector<FaultClass> &classes)
+{
+    // One representative process per class, with defaults chosen to be
+    // disruptive but survivable; the per-class rate splits the total so
+    // `ratePerHour` means the same thing whatever the class filter.
+    struct Proto {
+        FaultClass cls;
+        FaultKind kind;
+        double magnitude;
+        Seconds duration;
+    };
+    static const Proto protos[] = {
+        {FaultClass::Battery, FaultKind::BatteryOpenCircuit, 0.0, 1800.0},
+        {FaultClass::Battery, FaultKind::BatteryInternalShort, 50.0,
+         3600.0},
+        {FaultClass::Relay, FaultKind::RelayStuckOpen, 0.0, 1800.0},
+        {FaultClass::Relay, FaultKind::RelayDelayedActuation, 3.0, 0.0},
+        {FaultClass::Sensor, FaultKind::SensorBias, 0.8, 1800.0},
+        {FaultClass::Sensor, FaultKind::SensorDropout, 0.0, 900.0},
+        {FaultClass::Link, FaultKind::LinkDrop, 6.0, 0.0},
+        {FaultClass::Link, FaultKind::LinkCorrupt, 4.0, 0.0},
+        {FaultClass::Server, FaultKind::ServerCrash, 0.0, 0.0},
+        {FaultClass::Server, FaultKind::ServerHang, 0.0, 600.0},
+    };
+
+    auto wanted = [&](FaultClass c) {
+        if (classes.empty())
+            return true;
+        for (FaultClass w : classes) {
+            if (w == c)
+                return true;
+        }
+        return false;
+    };
+
+    FaultPlan plan;
+    if (ratePerHour <= 0.0)
+        return plan;
+    unsigned selected = 0;
+    for (const Proto &p : protos) {
+        if (wanted(p.cls))
+            ++selected;
+    }
+    if (selected == 0)
+        return plan;
+    for (const Proto &p : protos) {
+        if (!wanted(p.cls))
+            continue;
+        PoissonFaultProcess proc;
+        proc.kind = p.kind;
+        proc.ratePerHour = ratePerHour / selected;
+        proc.magnitude = p.magnitude;
+        proc.duration = p.duration;
+        plan.processes.push_back(proc);
+    }
+    return plan;
+}
+
+} // namespace insure::fault

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Declarative fault-injection plans.
+ *
+ * A FaultPlan describes everything that will go wrong during a run:
+ * scheduled one-shot faults (a specific component breaks at a specific
+ * time) and Poisson-rate fault processes (component failures arriving as
+ * memoryless events over the run). The plan is plain data — the engine
+ * that executes it lives in fault_injector.hh — so campaigns can build,
+ * copy and ship plans across worker threads freely.
+ *
+ * Determinism: the injector draws every stochastic choice (arrival
+ * times, targets) from tag-derived RNG streams (sim::Rng::derive with
+ * sim::streams tags), never from the simulation's ordinal split
+ * sequence, so enabling faults cannot perturb the workload or solar
+ * streams of the run, and a disabled plan leaves the run bit-identical
+ * to one that never linked this subsystem.
+ */
+
+#ifndef INSURE_FAULT_FAULT_PLAN_HH
+#define INSURE_FAULT_FAULT_PLAN_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/units.hh"
+
+namespace insure::fault {
+
+/** Everything that can be broken, by subsystem. */
+enum class FaultKind {
+    // Battery unit (src/battery).
+    /** Sudden capacity fade: capacity scales by `magnitude` (0..1]. */
+    BatteryCapacityFade,
+    /** Open circuit: the unit breaks its series string (0 V sensed). */
+    BatteryOpenCircuit,
+    /** Internal short: resting self-discharge multiplied by `magnitude`. */
+    BatteryInternalShort,
+    // Relay / switch network (src/battery).
+    /** Discharge relay stuck open: the string cannot reach the load bus. */
+    RelayStuckOpen,
+    /** Charge relay welded closed: the string cannot leave the charge bus. */
+    RelayWeldedClosed,
+    /** The next `magnitude` relay commands are silently dropped. */
+    RelayDelayedActuation,
+    // Sensor / transducer (src/telemetry).
+    /** Additive per-unit voltage bias of `magnitude` volts. */
+    SensorBias,
+    /** Gaussian per-unit voltage noise, stddev `magnitude` volts. */
+    SensorNoise,
+    /** Sensor head dead: registers freeze at their last values. */
+    SensorDropout,
+    // Modbus coordination link (src/telemetry).
+    /** The next `magnitude` exchanges time out (stale readings). */
+    LinkDrop,
+    /** The next `magnitude` responses arrive truncated (CRC failure). */
+    LinkCorrupt,
+    // Server nodes (src/server).
+    /** Hard crash: emergency shutdown, in-flight work lost. */
+    ServerCrash,
+    /** Hang for `duration` seconds: draws power, does no work. */
+    ServerHang,
+};
+
+/** Printable name of a fault kind (stable, used in campaign JSON). */
+const char *faultKindName(FaultKind k);
+
+/** Broad subsystem class of a fault kind (campaign filtering). */
+enum class FaultClass { Battery, Relay, Sensor, Link, Server };
+
+/** The subsystem class a kind belongs to. */
+FaultClass faultClassOf(FaultKind k);
+
+/** Printable name of a fault class. */
+const char *faultClassName(FaultClass c);
+
+/**
+ * True for kinds whose presence an InSURE controller is expected to
+ * detect via telemetry plausibility and answer with a quarantine (the
+ * time-to-detect / unsafe-operation metrics are computed over these).
+ */
+bool quarantineExpected(FaultKind k);
+
+/** One scheduled fault occurrence. */
+struct FaultSpec {
+    FaultKind kind = FaultKind::BatteryOpenCircuit;
+    /** Injection time, simulated seconds. */
+    Seconds at = 0.0;
+    /** Cabinet index (battery/relay/sensor) or node index (server). */
+    unsigned target = 0;
+    /** Unit within the cabinet (battery faults only). */
+    unsigned unit = 0;
+    /** Kind-specific magnitude (factor, volts, multiplier or count). */
+    double magnitude = 0.0;
+    /**
+     * Active time before the fault clears, seconds; <= 0 means
+     * permanent. Kinds that are one-shot bursts (LinkDrop, ServerCrash)
+     * ignore it, except ServerHang which hangs for this long.
+     */
+    Seconds duration = 0.0;
+};
+
+/**
+ * A memoryless fault process: occurrences of `kind` arrive at
+ * `ratePerHour`, each hitting a uniformly chosen valid target.
+ */
+struct PoissonFaultProcess {
+    FaultKind kind = FaultKind::BatteryOpenCircuit;
+    /** Mean occurrences per simulated hour (0 disables the process). */
+    double ratePerHour = 0.0;
+    /** Magnitude applied to every occurrence (kind-specific). */
+    double magnitude = 0.0;
+    /** Duration applied to every occurrence (see FaultSpec::duration). */
+    Seconds duration = 0.0;
+};
+
+/** The full fault schedule of one run. */
+struct FaultPlan {
+    std::vector<FaultSpec> scheduled;
+    std::vector<PoissonFaultProcess> processes;
+
+    /**
+     * True when the plan can inject anything. A disabled plan installs
+     * no extension at all: the run takes the exact clean code path.
+     */
+    bool enabled() const
+    {
+        if (!scheduled.empty())
+            return true;
+        for (const auto &p : processes) {
+            if (p.ratePerHour > 0.0)
+                return true;
+        }
+        return false;
+    }
+};
+
+/**
+ * Build a Poisson plan spreading `ratePerHour` evenly across the fault
+ * classes named in `classes` (empty = all five), with per-kind default
+ * magnitudes/durations chosen to be disruptive but survivable.
+ */
+FaultPlan makeRatePlan(double ratePerHour,
+                       const std::vector<FaultClass> &classes = {});
+
+} // namespace insure::fault
+
+#endif // INSURE_FAULT_FAULT_PLAN_HH

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <exception>
 #include <mutex>
 #include <thread>
 
@@ -71,7 +72,18 @@ BatchRunner::run(const std::vector<core::RunSpec> &specs,
         out.seed = spec.config.seed;
         out.simulatedSeconds = spec.config.duration;
         const auto t0 = std::chrono::steady_clock::now();
-        out.result = core::runExperiment(spec.config);
+        // A run that throws (crash-testing campaigns produce these on
+        // purpose, e.g. validate::Policy::Throw) is recorded as a failed
+        // outcome; the sweep and its sibling runs carry on.
+        try {
+            out.result = core::runExperiment(spec.config);
+        } catch (const std::exception &e) {
+            out.failed = true;
+            out.error = e.what();
+        } catch (...) {
+            out.failed = true;
+            out.error = "unknown exception";
+        }
         out.wallSeconds = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - t0)
                               .count();

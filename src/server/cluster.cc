@@ -136,6 +136,20 @@ Cluster::emergencyShutdownAll()
     targetVms_ = 0;
 }
 
+void
+Cluster::crashNode(unsigned i)
+{
+    if (i < nodes_.size())
+        nodes_[i]->emergencyShutdown();
+}
+
+void
+Cluster::hangNode(unsigned i, Seconds duration)
+{
+    if (i < nodes_.size())
+        nodes_[i]->injectHang(duration);
+}
+
 bool
 Cluster::anyProductive() const
 {

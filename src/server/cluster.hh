@@ -88,6 +88,17 @@ class Cluster
     /** Emergency power loss on every node (battery bus collapse). */
     void emergencyShutdownAll();
 
+    /**
+     * Fault injection: crash node @p i — uncheckpointed power loss on
+     * that node only (kernel panic, PSU failure). Recent work is lost
+     * (ServerNode::lostVmHours); the manager's next control decision
+     * re-places VMs and reboots the node if it is still wanted.
+     */
+    void crashNode(unsigned i);
+
+    /** Fault injection: hang node @p i for @p duration seconds. */
+    void hangNode(unsigned i, Seconds duration);
+
     /** True when at least one node is productive. */
     bool anyProductive() const;
 

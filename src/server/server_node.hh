@@ -132,6 +132,18 @@ class ServerNode
     /** Advance the node state by @p dt seconds. */
     NodeStepResult step(Seconds dt);
 
+    /**
+     * Fault injection: wedge the node for @p duration seconds — it keeps
+     * drawing power but produces no useful work (a hung hypervisor looks
+     * exactly like an over-long management busy period). No-op unless On.
+     */
+    void
+    injectHang(Seconds duration)
+    {
+        if (state_ == NodeState::On && duration > 0.0)
+            mgmtRemaining_ += duration;
+    }
+
     /** Completed On->Off power cycles. */
     std::uint64_t onOffCycles() const { return onOffCycles_; }
 

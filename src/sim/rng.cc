@@ -134,4 +134,25 @@ Rng::splitSeed()
     return next() ^ 0xA3EC4F0E62C3D956ULL;
 }
 
+Rng
+Rng::derive(std::uint64_t tag) const
+{
+    return Rng(deriveSeed(tag));
+}
+
+std::uint64_t
+Rng::deriveSeed(std::uint64_t tag) const
+{
+    // Pure function of (state, tag): the full 256-bit state is folded
+    // with the tag through SplitMix64 finalisers. Unlike splitSeed()
+    // this never calls next(), so the parent stream is untouched.
+    std::uint64_t x = tag ^ 0xD96EB1A810CAAF5FULL;
+    std::uint64_t h = splitmix64(x);
+    for (const std::uint64_t s : s_) {
+        x ^= s;
+        h = rotl(h, 23) ^ splitmix64(x);
+    }
+    return h;
+}
+
 } // namespace insure

@@ -71,11 +71,59 @@ class Rng
      */
     std::uint64_t splitSeed();
 
+    /**
+     * Derive an independent child stream named by @p tag without
+     * advancing this generator. Unlike split(), whose result depends on
+     * how many draws preceded it (ordinal derivation), derive() is a pure
+     * function of the current state and the tag: inserting new derive()
+     * calls between existing ones cannot re-correlate or shift any other
+     * stream. Use streamTag("name") (or a streams:: constant) for tags so
+     * each subsystem draws from its own namespace.
+     */
+    Rng derive(std::uint64_t tag) const;
+
+    /** The seed derive(tag) would construct its child stream from. */
+    std::uint64_t deriveSeed(std::uint64_t tag) const;
+
   private:
     std::uint64_t s_[4];
     bool haveCached_ = false;
     double cached_ = 0.0;
 };
+
+/**
+ * Compile-time FNV-1a hash of a stream name, for namespacing Rng::derive
+ * tags. Distinct subsystem names yield distinct tags (collisions across
+ * the registry below are ruled out by a unit test).
+ */
+constexpr std::uint64_t
+streamTag(const char *name)
+{
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (; *name != '\0'; ++name) {
+        h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(*name));
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+/**
+ * Registry of the per-subsystem stream tags in use. Every subsystem that
+ * derives a child stream by tag declares its name here, so the collision
+ * test in tests/sim/test_rng.cc covers the full set.
+ */
+namespace streams {
+inline constexpr std::uint64_t kWorkloadBatch = streamTag("workload.batch");
+inline constexpr std::uint64_t kWorkloadStream = streamTag("workload.stream");
+inline constexpr std::uint64_t kSolar = streamTag("solar");
+inline constexpr std::uint64_t kFault = streamTag("fault");
+inline constexpr std::uint64_t kFaultSchedule = streamTag("fault.schedule");
+inline constexpr std::uint64_t kFaultBattery = streamTag("fault.battery");
+inline constexpr std::uint64_t kFaultRelay = streamTag("fault.relay");
+inline constexpr std::uint64_t kFaultSensor = streamTag("fault.sensor");
+inline constexpr std::uint64_t kFaultLink = streamTag("fault.link");
+inline constexpr std::uint64_t kFaultServer = streamTag("fault.server");
+} // namespace streams
 
 } // namespace insure
 

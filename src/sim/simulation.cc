@@ -10,7 +10,7 @@ Component::Component(Simulation &sim, std::string name)
     sim_.registerComponent(this);
 }
 
-Simulation::Simulation(std::uint64_t seed) : root_(seed)
+Simulation::Simulation(std::uint64_t seed) : root_(seed), seed_(seed)
 {
 }
 

@@ -77,6 +77,13 @@ class Simulation
     /** Derive an independent RNG stream (deterministic order-dependent). */
     Rng makeRng() { return root_.split(); }
 
+    /**
+     * The root seed this simulation was constructed with. Subsystems
+     * that must not perturb the ordinal makeRng() sequence derive their
+     * streams from it with Rng::derive and a streams:: tag instead.
+     */
+    std::uint64_t seed() const { return seed_; }
+
     /** Called by Component's constructor. */
     void registerComponent(Component *c);
 
@@ -99,6 +106,7 @@ class Simulation
   private:
     EventQueue events_;
     Rng root_;
+    std::uint64_t seed_ = kDefaultSeed;
     std::vector<Component *> components_;
     bool started_ = false;
     bool finished_ = false;

@@ -15,6 +15,17 @@ CoordinationLink::readCabinet(unsigned cabinet)
     if (last_.size() <= cabinet)
         last_.resize(cabinet + 1);
 
+    // Timeout faults: the exchange never completes, no bytes to decode.
+    if (dropRemaining_ > 0 ||
+        (dropProbability_ > 0.0 && dropRng_.bernoulli(dropProbability_))) {
+        if (dropRemaining_ > 0)
+            --dropRemaining_;
+        ++failures_;
+        CabinetReading stale = last_[cabinet];
+        stale.fresh = false;
+        return stale;
+    }
+
     auto frame = modbus::encodeReadRequest(
         unit_, RL::cabinetReg(cabinet, 0), RL::perCabinet);
     if (corruptRemaining_ > 0) {
@@ -23,7 +34,12 @@ CoordinationLink::readCabinet(unsigned cabinet)
             0, static_cast<int>(frame.size()) - 1)] ^= 0x5A;
     }
 
-    const auto resp_frame = slave_.service(frame);
+    auto resp_frame = slave_.service(frame);
+    if (truncateRemaining_ > 0 && resp_frame.size() > 2) {
+        // Partial frame: the tail (including the CRC) never arrives.
+        --truncateRemaining_;
+        resp_frame.resize(resp_frame.size() / 2);
+    }
     const auto resp = modbus::decodeResponse(resp_frame);
     if (!resp || resp->isException() ||
         resp->values.size() != RL::perCabinet) {
@@ -63,6 +79,13 @@ CoordinationLink::corruptNextRequests(unsigned n, Rng rng)
 {
     corruptRemaining_ = n;
     corruptRng_ = rng;
+}
+
+void
+CoordinationLink::setRandomDrop(double probability, Rng rng)
+{
+    dropProbability_ = probability;
+    dropRng_ = rng;
 }
 
 } // namespace insure::telemetry

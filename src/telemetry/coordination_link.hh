@@ -60,6 +60,28 @@ class CoordinationLink
      */
     void corruptNextRequests(unsigned n, Rng rng);
 
+    /**
+     * Fault injection: the next @p n exchanges time out — no response at
+     * all, the reading degrades to the stale snapshot (field cable
+     * disconnect, RS-485 transceiver dropout).
+     */
+    void dropNextExchanges(unsigned n) { dropRemaining_ += n; }
+
+    /**
+     * Fault injection: truncate the next @p n response frames mid-body
+     * (partial frame on the wire); the CRC check rejects them and the
+     * reading degrades to the stale snapshot.
+     */
+    void truncateNextResponses(unsigned n) { truncateRemaining_ += n; }
+
+    /**
+     * Fault injection: sustained link degradation — every exchange is
+     * independently dropped with probability @p probability, drawn from
+     * @p rng (a dedicated tagged fault stream). Probability 0 restores a
+     * healthy link.
+     */
+    void setRandomDrop(double probability, Rng rng);
+
     /** Exchanges attempted. */
     std::uint64_t requests() const { return requests_; }
 
@@ -74,6 +96,10 @@ class CoordinationLink
     std::uint64_t failures_ = 0;
     unsigned corruptRemaining_ = 0;
     Rng corruptRng_{0};
+    unsigned dropRemaining_ = 0;
+    unsigned truncateRemaining_ = 0;
+    double dropProbability_ = 0.0;
+    Rng dropRng_{0};
 };
 
 } // namespace insure::telemetry

@@ -10,7 +10,10 @@ SystemMonitor::SystemMonitor(const battery::BatteryArray &array,
       voltageTd_(Transducer::voltageChannel()),
       currentTd_(Transducer::currentChannel()),
       voltageSamples_(nullptr, "monitor.voltage", "sampled unit voltages"),
-      voltageFaults_(array.cabinetCount()), socFaults_(array.cabinetCount())
+      voltageFaults_(array.cabinetCount()), socFaults_(array.cabinetCount()),
+      biasFaults_(array.cabinetCount(), 0.0),
+      noiseFaults_(array.cabinetCount(), 0.0),
+      dropoutFaults_(array.cabinetCount(), 0)
 {
     map_.write(RegisterLayout::cabinetCount,
                static_cast<std::uint16_t>(array_.cabinetCount()));
@@ -25,17 +28,26 @@ SystemMonitor::sample(Seconds now,
     double mean_v = 0.0;
     for (unsigned i = 0; i < array_.cabinetCount(); ++i) {
         const auto &cab = array_.cabinet(i);
+        if (dropoutFaults_[i]) {
+            // Dead sensor head: no register writes this sweep; the
+            // managers keep reading the stale last-written values.
+            continue;
+        }
         const Amperes current =
             i < cabinet_currents.size() ? cabinet_currents[i] : 0.0;
 
         // Per-unit voltages go through the 0-50 V channel; the cabinet
         // register stores the sensed string sum. An injected fault pins
-        // the channel (stuck transducer).
+        // the channel (stuck transducer); bias/noise faults distort it.
         Volts string_v = 0.0;
         for (unsigned u = 0; u < cab.seriesCount(); ++u) {
-            const Volts v_true =
+            Volts v_true =
                 voltageFaults_[i] ? *voltageFaults_[i]
                                   : cab.unit(u).terminalVoltage(current);
+            if (biasFaults_[i] != 0.0)
+                v_true += biasFaults_[i];
+            if (noiseFaults_[i] > 0.0)
+                v_true += noiseRng_.normal(0.0, noiseFaults_[i]);
             const Volts v_sensed = voltageTd_.measure(v_true);
             string_v += v_sensed;
             voltageSamples_.sample(v_sensed);
@@ -93,10 +105,34 @@ SystemMonitor::injectSocFault(unsigned cabinet, double soc)
 }
 
 void
+SystemMonitor::injectSensorBias(unsigned cabinet, Volts volts)
+{
+    if (cabinet < biasFaults_.size())
+        biasFaults_[cabinet] = volts;
+}
+
+void
+SystemMonitor::injectSensorNoise(unsigned cabinet, Volts stddev)
+{
+    if (cabinet < noiseFaults_.size())
+        noiseFaults_[cabinet] = stddev;
+}
+
+void
+SystemMonitor::injectSensorDropout(unsigned cabinet, bool dropped)
+{
+    if (cabinet < dropoutFaults_.size())
+        dropoutFaults_[cabinet] = dropped ? 1 : 0;
+}
+
+void
 SystemMonitor::clearFaults()
 {
     std::fill(voltageFaults_.begin(), voltageFaults_.end(), std::nullopt);
     std::fill(socFaults_.begin(), socFaults_.end(), std::nullopt);
+    std::fill(biasFaults_.begin(), biasFaults_.end(), 0.0);
+    std::fill(noiseFaults_.begin(), noiseFaults_.end(), 0.0);
+    std::fill(dropoutFaults_.begin(), dropoutFaults_.end(), 0);
 }
 
 double

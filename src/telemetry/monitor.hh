@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "battery/battery_array.hh"
+#include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "telemetry/register_map.hh"
 #include "telemetry/transducer.hh"
@@ -69,6 +70,31 @@ class SystemMonitor
     /** Fault injection: force the SoC channel of @p cabinet. */
     void injectSocFault(unsigned cabinet, double soc);
 
+    /**
+     * Fault injection: add @p volts of bias to every per-unit voltage
+     * reading of @p cabinet (mis-calibrated transducer).
+     */
+    void injectSensorBias(unsigned cabinet, Volts volts);
+
+    /**
+     * Fault injection: add zero-mean Gaussian noise with the given
+     * per-unit standard deviation to @p cabinet's voltage readings.
+     * Draws come from the stream installed with seedSensorNoise (a
+     * dedicated tagged fault stream, so noise never perturbs any other
+     * stochastic process).
+     */
+    void injectSensorNoise(unsigned cabinet, Volts stddev);
+
+    /** Seed the sensor-noise stream (used by injectSensorNoise). */
+    void seedSensorNoise(std::uint64_t seed) { noiseRng_ = Rng(seed); }
+
+    /**
+     * Fault injection: while set, @p cabinet's sampling sweep skips its
+     * register writes entirely — the managers keep reading the stale
+     * last-written values (dead sensor head).
+     */
+    void injectSensorDropout(unsigned cabinet, bool dropped);
+
     /** Remove all injected sensor faults. */
     void clearFaults();
 
@@ -83,6 +109,10 @@ class SystemMonitor
     std::uint64_t sweeps_ = 0;
     std::vector<std::optional<Volts>> voltageFaults_;
     std::vector<std::optional<double>> socFaults_;
+    std::vector<Volts> biasFaults_;
+    std::vector<Volts> noiseFaults_;
+    std::vector<char> dropoutFaults_;
+    Rng noiseRng_{0};
 };
 
 } // namespace insure::telemetry

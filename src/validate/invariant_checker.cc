@@ -5,6 +5,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <memory>
+#include <stdexcept>
 
 #include "core/experiment.hh"
 #include "sim/logging.hh"
@@ -73,6 +74,8 @@ InvariantChecker::report(Seconds now, const char *check, std::string detail)
         strf("t=%.1f [%s] ", now, check) + detail;
     if (opts_.policy == Policy::Abort)
         panic("invariant violated: %s", msg.c_str());
+    if (opts_.policy == Policy::Throw)
+        throw std::runtime_error("invariant violated: " + msg);
     if (messages_.size() < opts_.maxMessages) {
         Logger::log(LogLevel::Warn, "invariant violated: %s",
                     msg.c_str());
@@ -197,8 +200,12 @@ InvariantChecker::onTick(const core::TickSample &s)
         }
         const AmpHours self_dis = selfDisAhPerSec_ * s.dt;
         const AmpHours delta = s.unitAhAfter - s.unitAhBefore;
+        // Fault mechanisms (internal-short extra drain) remove charge
+        // the strings never delivered; the plant reports the exact
+        // amount, so the balance stays tight on fault runs too.
         const AmpHours expected =
-            (s.chargeStoredAh - s.dischargeAh) * series_;
+            (s.chargeStoredAh - s.dischargeAh) * series_ -
+            s.exogenousInTickAh;
         const AmpHours residual = delta - expected;
         if (residual > opts_.ahTolerance ||
             residual < -(self_dis + opts_.ahTolerance)) {
@@ -209,10 +216,13 @@ InvariantChecker::onTick(const core::TickSample &s)
         }
         // Cross-tick continuity: nothing may move the inventory between
         // two physics ticks (control/telemetry events switch relays but
-        // never touch charge). This is what catches out-of-band charge
-        // injection the per-tick balance above cannot see.
+        // never touch charge) except declared fault injections (capacity
+        // fade fires between ticks and drops bounded ampere-hours). This
+        // is what catches out-of-band charge injection the per-tick
+        // balance above cannot see.
         if (haveLastAh_ &&
-            std::fabs(s.unitAhBefore - lastUnitAhAfter_) >
+            std::fabs(s.unitAhBefore -
+                      (lastUnitAhAfter_ - s.exogenousPreTickAh)) >
                 opts_.ahTolerance) {
             report(s.now, "ah-conservation",
                    strf("inventory jumped between ticks: %.9f Ah -> "

@@ -22,10 +22,11 @@
  *  - relay/switch-network topology consistency (mode <-> relay states,
  *    never a shorted bus, never an invalid P1/P2/P3 combination).
  *
- * Policy Off/Log/Abort selects the response: Off makes every hook an
- * immediate return (benches at zero overhead attach nothing at all),
+ * Policy Off/Log/Abort/Throw selects the response: Off makes every hook
+ * an immediate return (benches at zero overhead attach nothing at all),
  * Log records bounded messages and counts, Abort panics on the first
- * violation (debugging).
+ * violation (debugging), Throw raises a catchable error so batch sweeps
+ * record the run as failed (fault campaigns).
  */
 
 #ifndef INSURE_VALIDATE_INVARIANT_CHECKER_HH
@@ -52,6 +53,12 @@ enum class Policy {
     Log,
     /** panic() on the first violation (stops in a debugger/core dump). */
     Abort,
+    /**
+     * Throw std::runtime_error on the first violation. Catchable, so a
+     * batch sweep records the run as failed instead of tearing down the
+     * whole process (fault campaigns, death-free tests).
+     */
+    Throw,
 };
 
 /** Configuration of the checker. */

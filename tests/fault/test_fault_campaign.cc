@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for fault campaigns on the batch runner: a seeded sweep
+ * completes and aggregates per-run resilience consistently, campaigns
+ * are reproducible from the master seed, the Throw invariant policy
+ * records violating runs as failed without killing the sweep (the
+ * harness-level crash-capture contract), and the JSON serialisation
+ * carries the fields downstream tooling keys on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "fault/campaign.hh"
+
+namespace insure::fault {
+namespace {
+
+CampaignConfig
+smallCampaign(double ratePerHour,
+              const std::vector<FaultClass> &classes = {})
+{
+    CampaignConfig cfg;
+    cfg.base = core::seismicExperiment();
+    cfg.plan = makeRatePlan(ratePerHour, classes);
+    cfg.runs = 4;
+    cfg.jobs = 2;
+    return cfg;
+}
+
+TEST(FaultCampaign, SweepCompletesAndAggregatesPerRunOutcomes)
+{
+    const CampaignSummary s = runFaultCampaign(smallCampaign(6.0));
+
+    EXPECT_EQ(s.sweep.runs, 4u);
+    EXPECT_EQ(s.sweep.failedRuns, 0u);
+    ASSERT_EQ(s.perRun.size(), 4u);
+
+    std::uint64_t faults = 0, detected = 0, quarantines = 0;
+    for (const CampaignRun &r : s.perRun) {
+        EXPECT_FALSE(r.failed) << r.error;
+        EXPECT_FALSE(r.label.empty());
+        EXPECT_NE(r.seed, 0u);
+        EXPECT_GT(r.uptime, 0.0);
+        faults += r.resilience.faultsInjected;
+        detected += r.resilience.detectedFaults;
+        quarantines += r.resilience.quarantines;
+    }
+    EXPECT_GT(faults, 0u);
+    EXPECT_EQ(s.faultsInjected, faults);
+    EXPECT_EQ(s.detectedFaults, detected);
+    EXPECT_EQ(s.quarantines, quarantines);
+    EXPECT_GE(s.faultsInjected, s.faultsCleared);
+}
+
+TEST(FaultCampaign, ReproducibleFromMasterSeed)
+{
+    const CampaignSummary a = runFaultCampaign(smallCampaign(4.0));
+    const CampaignSummary b = runFaultCampaign(smallCampaign(4.0));
+
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected);
+    EXPECT_EQ(a.detectedFaults, b.detectedFaults);
+    EXPECT_EQ(a.quarantines, b.quarantines);
+    EXPECT_EQ(a.invariantViolations, b.invariantViolations);
+    EXPECT_DOUBLE_EQ(a.outageSeconds, b.outageSeconds);
+    EXPECT_DOUBLE_EQ(a.sweep.meanUptime, b.sweep.meanUptime);
+    ASSERT_EQ(a.perRun.size(), b.perRun.size());
+    for (std::size_t i = 0; i < a.perRun.size(); ++i) {
+        EXPECT_EQ(a.perRun[i].seed, b.perRun[i].seed);
+        EXPECT_DOUBLE_EQ(a.perRun[i].uptime, b.perRun[i].uptime);
+    }
+}
+
+TEST(FaultCampaign, ThrowPolicyRecordsFailedRunsSweepSurvives)
+{
+    // Relay faults force relay/mode contradictions the checker flags, so
+    // under Throw most runs end in a recorded failure — and the sweep
+    // must still return all four outcomes.
+    CampaignConfig cfg = smallCampaign(8.0, {FaultClass::Relay});
+    cfg.policy = validate::Policy::Throw;
+    const CampaignSummary s = runFaultCampaign(cfg);
+
+    EXPECT_EQ(s.sweep.runs, 4u);
+    ASSERT_EQ(s.perRun.size(), 4u);
+    EXPECT_GE(s.sweep.failedRuns, 1u);
+    EXPECT_EQ(s.sweep.failures.size(), s.sweep.failedRuns);
+    std::size_t failed = 0;
+    for (const CampaignRun &r : s.perRun) {
+        if (!r.failed)
+            continue;
+        ++failed;
+        EXPECT_NE(r.error.find("invariant violated"), std::string::npos)
+            << r.error;
+    }
+    EXPECT_EQ(failed, s.sweep.failedRuns);
+}
+
+TEST(FaultCampaign, JsonCarriesPlanResilienceAndPerRunSections)
+{
+    CampaignConfig cfg = smallCampaign(5.0);
+    cfg.runs = 2;
+    const CampaignSummary s = runFaultCampaign(cfg);
+
+    std::ostringstream os;
+    writeCampaignJson(s, os);
+    const std::string json = os.str();
+    for (const char *needle :
+         {"\"runs\": 2", "\"plan\"", "\"processes\"", "\"resilience\"",
+          "\"faults_injected\"", "\"mean_time_to_detect_s\"",
+          "\"per_run\"", "\"outcome\": \"completed\"",
+          "battery-open-circuit"}) {
+        EXPECT_NE(json.find(needle), std::string::npos) << needle;
+    }
+
+    const std::string text = formatCampaignSummary(s);
+    EXPECT_NE(text.find("fault campaign: 2 runs"), std::string::npos)
+        << text;
+}
+
+} // namespace
+} // namespace insure::fault

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for the fault-injection engine and the degraded-mode response:
+ * scheduled faults apply and clear on time, Poisson occurrences are
+ * seed-deterministic, the Fig. 8 state machine rejects illegal
+ * transitions (including the states stuck relays force) under the Abort
+ * policy, the quarantine path emits only legal transitions, and the
+ * acceptance scenario — a battery string opening mid-day — ends with the
+ * unit quarantined and the day finished without tripping a conservation
+ * or SoC invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "core/experiment.hh"
+#include "core/in_situ_system.hh"
+#include "fault/fault_injector.hh"
+#include "validate/invariant_checker.hh"
+
+namespace insure::fault {
+namespace {
+
+using battery::UnitMode;
+using validate::InvariantChecker;
+using validate::Policy;
+
+/** A directly-driven plant (mirrors tests/validate). */
+struct Rig {
+    sim::Simulation simulation;
+    core::ExperimentConfig config;
+    core::InSituSystem *plant = nullptr;
+    core::InsureManager *manager = nullptr;
+
+    explicit Rig(std::uint64_t seed = 2015) : simulation(seed)
+    {
+        core::ExperimentConfig cfg = core::seismicExperiment();
+        cfg.seed = seed;
+        config = cfg;
+
+        core::SystemConfig system = cfg.system;
+        system.fastSwitching = true;
+
+        auto allocator = std::make_shared<core::NodeAllocator>(
+            system.node, system.nodeCount, system.profile);
+        auto manager_owned = std::make_unique<core::InsureManager>(
+            cfg.insure, allocator);
+        manager = manager_owned.get();
+        auto solar_src = std::make_unique<solar::SolarSource>(
+            core::buildSolarTrace(cfg));
+        plant_ = std::make_unique<core::InSituSystem>(
+            simulation, "plant", system, std::move(solar_src),
+            std::move(manager_owned));
+        plant = plant_.get();
+    }
+
+  private:
+    std::unique_ptr<core::InSituSystem> plant_;
+};
+
+/** StuckOpen on every discharge relay at @p at (permanent). */
+FaultPlan
+stuckDischargeRelaysPlan(unsigned cabinets, Seconds at)
+{
+    FaultPlan plan;
+    for (unsigned i = 0; i < cabinets; ++i) {
+        plan.scheduled.push_back(
+            {FaultKind::RelayStuckOpen, at, i, 0, 0.0, 0.0});
+    }
+    return plan;
+}
+
+TEST(FaultInjector, ScheduledOpenCircuitAppliesAndClears)
+{
+    Rig rig;
+    FaultPlan plan;
+    plan.scheduled.push_back(
+        {FaultKind::BatteryOpenCircuit, 600.0, 0, 0, 0.0, 1200.0});
+    FaultInjector injector(*rig.plant, rig.simulation, plan);
+
+    rig.simulation.runUntil(900.0);
+    EXPECT_TRUE(rig.plant->array().cabinet(0).anyUnitOpenCircuit());
+    ASSERT_EQ(injector.injected().size(), 1u);
+    EXPECT_FALSE(injector.injected()[0].cleared);
+
+    rig.simulation.runUntil(3000.0);
+    EXPECT_FALSE(rig.plant->array().cabinet(0).anyUnitOpenCircuit());
+    ASSERT_EQ(injector.injected().size(), 1u);
+    EXPECT_TRUE(injector.injected()[0].cleared);
+    EXPECT_NEAR(injector.injected()[0].clearedAt, 1800.0, 2.0);
+}
+
+TEST(FaultInjector, PoissonOccurrencesAreSeedDeterministic)
+{
+    auto runLog = [](std::uint64_t seed) {
+        Rig rig(seed);
+        FaultInjector injector(*rig.plant, rig.simulation,
+                               makeRatePlan(30.0));
+        rig.simulation.runUntil(units::hours(4.0));
+        std::string log;
+        for (const InjectedFault &f : injector.injected()) {
+            log += faultKindName(f.spec.kind);
+            log += " t=" + std::to_string(f.spec.at);
+            log += " target=" + std::to_string(f.spec.target);
+            log += " unit=" + std::to_string(f.spec.unit) + "\n";
+        }
+        return log;
+    };
+    const std::string a = runLog(2015);
+    const std::string b = runLog(2015);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, runLog(7));
+}
+
+// Satellite: illegal Fig. 8 transitions are rejected under Abort (and
+// surface as a catchable error under Throw) — the depleted-offline ->
+// discharging taboo arrow driven straight into the checker.
+TEST(Fig8NegativeDeathTest, IllegalTransitionAbortsUnderAbortPolicy)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    validate::CheckerOptions opts;
+    opts.policy = Policy::Abort;
+    opts.minDischargeSoc = 0.2;
+    InvariantChecker checker(opts);
+    EXPECT_DEATH(checker.onModeChange(0, UnitMode::Offline,
+                                      UnitMode::Discharging, 100.0, 0.05),
+                 "fig8-transition");
+}
+
+TEST(Fig8Negative, IllegalTransitionThrowsUnderThrowPolicy)
+{
+    validate::CheckerOptions opts;
+    opts.policy = Policy::Throw;
+    opts.minDischargeSoc = 0.2;
+    InvariantChecker checker(opts);
+    EXPECT_THROW(checker.onModeChange(0, UnitMode::Offline,
+                                      UnitMode::Discharging, 100.0, 0.05),
+                 std::runtime_error);
+    EXPECT_EQ(checker.violationCount(), 1u);
+}
+
+// Satellite: the illegal relay/mode states a stuck contact forces are
+// flagged under Abort. Every discharge relay sticks open mid-morning;
+// the first cabinet commanded onto the load bus afterwards contradicts
+// its relay and the checker must stop the run.
+TEST(Fig8NegativeDeathTest, StuckRelayForcedStateAbortsUnderAbortPolicy)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            Rig rig;
+            validate::CheckerOptions opts =
+                validate::optionsForExperiment(rig.config);
+            opts.policy = Policy::Abort;
+            InvariantChecker checker(opts);
+            rig.plant->attachObserver(&checker);
+            FaultInjector injector(
+                *rig.plant, rig.simulation,
+                stuckDischargeRelaysPlan(
+                    rig.plant->array().cabinetCount(),
+                    units::hours(10.0)));
+            rig.simulation.runUntil(units::hours(16.0));
+        },
+        "invariant violated");
+}
+
+// Satellite: the quarantine path emits only legal Fig. 8 transitions.
+// Same stuck-relay scenario, but with the relay-consistency check (the
+// fault's direct signature) disabled: every remaining invariant —
+// transition legality, conservation, SoC bounds, screening — must hold
+// for the whole day under Abort while the manager quarantines cabinet
+// after cabinet on relay mismatch.
+TEST(FaultInjector, QuarantinePathEmitsOnlyLegalTransitions)
+{
+    Rig rig;
+    validate::CheckerOptions opts =
+        validate::optionsForExperiment(rig.config);
+    opts.policy = Policy::Abort;
+    opts.checkRelays = false;
+    InvariantChecker checker(opts);
+    rig.plant->attachObserver(&checker);
+    FaultInjector injector(
+        *rig.plant, rig.simulation,
+        stuckDischargeRelaysPlan(rig.plant->array().cabinetCount(),
+                                 units::hours(10.0)));
+    rig.simulation.runUntil(units::secPerDay);
+
+    ASSERT_GE(rig.manager->quarantineEvents().size(), 1u);
+    for (const core::QuarantineEvent &e : rig.manager->quarantineEvents()) {
+        EXPECT_EQ(e.reason, core::QuarantineReason::RelayMismatch);
+        EXPECT_GT(e.at, units::hours(10.0));
+    }
+    EXPECT_EQ(checker.violationCount(), 0u);
+    EXPECT_GT(checker.transitionsChecked(), 0u);
+}
+
+// Acceptance scenario: one battery unit opens mid-day. The controller
+// must notice through telemetry alone (dead string), quarantine the
+// cabinet, re-select over the survivors and finish the day — with the
+// full checker (conservation, SoC/voltage, relays, transitions) on
+// Abort the run completing is the assertion.
+TEST(FaultInjector, OpenCircuitMidDayIsQuarantinedAndDayCompletes)
+{
+    core::ExperimentConfig cfg = core::seismicExperiment();
+    FaultPlan plan;
+    plan.scheduled.push_back({FaultKind::BatteryOpenCircuit,
+                              units::hours(12.0), 0, 0, 0.0, 0.0});
+    installFaultPlan(cfg, plan);
+    validate::attachInvariantChecker(cfg, Policy::Abort);
+
+    const core::ExperimentResult res = core::runExperiment(cfg);
+
+    EXPECT_EQ(res.invariantViolations, 0u);
+    ASSERT_TRUE(res.resilience.has_value());
+    const core::ResilienceMetrics &m = *res.resilience;
+    EXPECT_EQ(m.faultsInjected, 1u);
+    EXPECT_EQ(m.detectedFaults, 1u);
+    EXPECT_EQ(m.quarantines, 1u);
+    // Detection needs quarantinePeriods consecutive suspect control
+    // periods; anything under half an hour means the plausibility check
+    // did the work, not luck.
+    EXPECT_GT(m.meanTimeToDetect, 0.0);
+    EXPECT_LT(m.meanTimeToDetect, 1800.0);
+    // The day still produced work on the surviving cabinets.
+    EXPECT_GT(res.metrics.processedGb, 0.0);
+    EXPECT_GT(res.metrics.uptime, 0.0);
+}
+
+// The quarantine decision must come from telemetry plausibility, not
+// from peeking at ground truth: with quarantine disabled the same fault
+// goes undetected (no quarantine events, unsafe time accrues).
+TEST(FaultInjector, QuarantineDisabledMeansNoDetection)
+{
+    core::ExperimentConfig cfg = core::seismicExperiment();
+    cfg.insure.quarantineEnabled = false;
+    FaultPlan plan;
+    plan.scheduled.push_back({FaultKind::BatteryOpenCircuit,
+                              units::hours(12.0), 0, 0, 0.0, 0.0});
+    installFaultPlan(cfg, plan);
+
+    const core::ExperimentResult res = core::runExperiment(cfg);
+    ASSERT_TRUE(res.resilience.has_value());
+    EXPECT_EQ(res.resilience->quarantines, 0u);
+    EXPECT_EQ(res.resilience->detectedFaults, 0u);
+    EXPECT_GT(res.resilience->unsafeOperationSeconds, 0.0);
+}
+
+} // namespace
+} // namespace insure::fault

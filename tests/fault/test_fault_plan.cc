@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the FaultPlan data model: kind/class naming, the
+ * quarantine-expected set the resilience metrics are computed over,
+ * enablement semantics (a disabled plan must install nothing), and the
+ * rate-plan builder's class filtering and rate split.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "fault/fault_plan.hh"
+
+namespace insure::fault {
+namespace {
+
+const FaultKind kAllKinds[] = {
+    FaultKind::BatteryCapacityFade, FaultKind::BatteryOpenCircuit,
+    FaultKind::BatteryInternalShort, FaultKind::RelayStuckOpen,
+    FaultKind::RelayWeldedClosed,   FaultKind::RelayDelayedActuation,
+    FaultKind::SensorBias,          FaultKind::SensorNoise,
+    FaultKind::SensorDropout,       FaultKind::LinkDrop,
+    FaultKind::LinkCorrupt,         FaultKind::ServerCrash,
+    FaultKind::ServerHang,
+};
+
+TEST(FaultPlan, KindNamesAreUniqueAndStable)
+{
+    std::set<std::string> names;
+    for (FaultKind k : kAllKinds) {
+        const char *name = faultKindName(k);
+        ASSERT_NE(name, nullptr);
+        EXPECT_TRUE(names.insert(name).second) << name;
+    }
+    // Campaign JSON relies on these exact spellings.
+    EXPECT_STREQ(faultKindName(FaultKind::BatteryOpenCircuit),
+                 "battery-open-circuit");
+    EXPECT_STREQ(faultKindName(FaultKind::RelayStuckOpen),
+                 "relay-stuck-open");
+}
+
+TEST(FaultPlan, KindsMapToTheirSubsystemClass)
+{
+    EXPECT_EQ(faultClassOf(FaultKind::BatteryInternalShort),
+              FaultClass::Battery);
+    EXPECT_EQ(faultClassOf(FaultKind::RelayWeldedClosed),
+              FaultClass::Relay);
+    EXPECT_EQ(faultClassOf(FaultKind::SensorDropout), FaultClass::Sensor);
+    EXPECT_EQ(faultClassOf(FaultKind::LinkCorrupt), FaultClass::Link);
+    EXPECT_EQ(faultClassOf(FaultKind::ServerHang), FaultClass::Server);
+    for (FaultKind k : kAllKinds)
+        EXPECT_NE(faultClassName(faultClassOf(k)), nullptr);
+}
+
+TEST(FaultPlan, QuarantineExpectedCoversTelemetryVisibleKinds)
+{
+    // Exactly the kinds the InSURE plausibility checks can see: a dead
+    // string, a relay contradicting its command, and frozen registers.
+    std::set<FaultKind> expected;
+    for (FaultKind k : kAllKinds) {
+        if (quarantineExpected(k))
+            expected.insert(k);
+    }
+    EXPECT_EQ(expected, (std::set<FaultKind>{
+                            FaultKind::BatteryOpenCircuit,
+                            FaultKind::RelayStuckOpen,
+                            FaultKind::RelayWeldedClosed,
+                            FaultKind::SensorDropout,
+                        }));
+}
+
+TEST(FaultPlan, EnabledSemantics)
+{
+    FaultPlan plan;
+    EXPECT_FALSE(plan.enabled());
+
+    FaultPlan rate_zero;
+    rate_zero.processes.push_back({FaultKind::LinkDrop, 0.0, 0.0, 0.0});
+    EXPECT_FALSE(rate_zero.enabled());
+
+    FaultPlan scheduled;
+    scheduled.scheduled.push_back(
+        {FaultKind::BatteryOpenCircuit, 100.0, 0, 0, 0.0, 0.0});
+    EXPECT_TRUE(scheduled.enabled());
+
+    FaultPlan process;
+    process.processes.push_back({FaultKind::LinkDrop, 1.0, 2.0, 0.0});
+    EXPECT_TRUE(process.enabled());
+}
+
+TEST(FaultPlan, MakeRatePlanSplitsTheRateAcrossProcesses)
+{
+    const FaultPlan plan = makeRatePlan(5.0);
+    EXPECT_TRUE(plan.enabled());
+    EXPECT_TRUE(plan.scheduled.empty());
+    double total = 0.0;
+    for (const auto &p : plan.processes)
+        total += p.ratePerHour;
+    EXPECT_NEAR(total, 5.0, 1e-9);
+}
+
+TEST(FaultPlan, MakeRatePlanFiltersByClass)
+{
+    const FaultPlan plan = makeRatePlan(4.0, {FaultClass::Battery});
+    EXPECT_FALSE(plan.processes.empty());
+    double total = 0.0;
+    for (const auto &p : plan.processes) {
+        EXPECT_EQ(faultClassOf(p.kind), FaultClass::Battery);
+        total += p.ratePerHour;
+    }
+    EXPECT_NEAR(total, 4.0, 1e-9);
+
+    EXPECT_FALSE(makeRatePlan(0.0).enabled());
+}
+
+} // namespace
+} // namespace insure::fault

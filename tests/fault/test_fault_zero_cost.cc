@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Zero-cost guard for the fault subsystem: an empty FaultPlan must leave
+ * the canonical Fig. 14/16 golden digests hash-identical. Installing a
+ * disabled plan wires nothing into the experiment config, so a clean run
+ * takes exactly the code path it took before src/fault existed; this
+ * suite pins that promise against the checked-in goldens. (The runtime
+ * half of the guard — bench_simspeed against BENCH_simspeed.json — is
+ * scripts/check.sh --perf.)
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/fault_injector.hh"
+#include "validate/golden_trace.hh"
+
+#ifndef INSURE_GOLDEN_DIR
+#error "INSURE_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace insure::fault {
+namespace {
+
+TEST(FaultZeroCost, DisabledPlanInstallsNoExtension)
+{
+    core::ExperimentConfig cfg = core::seismicExperiment();
+    installFaultPlan(cfg, FaultPlan{});
+    EXPECT_FALSE(static_cast<bool>(cfg.extensionFactory));
+
+    installFaultPlan(cfg, makeRatePlan(0.0));
+    EXPECT_FALSE(static_cast<bool>(cfg.extensionFactory));
+
+    installFaultPlan(cfg, makeRatePlan(1.0));
+    EXPECT_TRUE(static_cast<bool>(cfg.extensionFactory));
+}
+
+TEST(FaultZeroCost, EmptyPlanLeavesGoldenDigestsHashIdentical)
+{
+    for (const std::string &name : validate::goldenScenarioNames()) {
+        const auto golden = validate::GoldenRecorder::load(
+            std::string(INSURE_GOLDEN_DIR) + "/" + name + ".jsonl");
+        ASSERT_FALSE(golden.empty()) << name;
+
+        core::ExperimentConfig cfg = validate::goldenScenario(name);
+        installFaultPlan(cfg, FaultPlan{});
+        const auto actual = validate::recordGoldenRun(cfg);
+
+        const validate::GoldenMismatch m =
+            validate::compareGolden(golden, actual);
+        EXPECT_TRUE(m.matched)
+            << name << ": record " << m.record << ": " << m.detail;
+        EXPECT_TRUE(m.hashIdentical) << name;
+    }
+}
+
+} // namespace
+} // namespace insure::fault
