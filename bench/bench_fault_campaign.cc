@@ -10,6 +10,10 @@
  *                        [--workload seismic|video] [--days D]
  *                        [--policy log|throw|off] [--json FILE]
  *                        [--repro SEED]
+ *                        [--state-dir DIR] [--resume DIR]
+ *                        [--checkpoint-interval SIM_SECONDS]
+ *                        [--watchdog WALL_SECONDS] [--retries N]
+ *                        [--backoff SECONDS]
  *
  * --rate 0 disables the plan entirely: every run takes the exact clean
  * code path (golden digests stay bit-identical — see
@@ -19,18 +23,28 @@
  * --json writes the campaign summary as JSON ("-" = stdout).
  * --repro re-runs one seed solo and prints its ground-truth injection
  * log with the resilience metrics.
+ *
+ * --state-dir makes the campaign kill-9-safe: a journal, per-run
+ * checkpoints (at --checkpoint-interval simulated seconds) and result
+ * files land in DIR. --resume DIR re-invokes an interrupted campaign:
+ * completed runs are served from their result files and interrupted
+ * runs restart from their last checkpoint, so the final JSON is
+ * byte-identical to an uninterrupted sweep. --watchdog bounds each
+ * run's wall clock; timed-out runs retry up to --retries times with
+ * exponential --backoff under freshly derived seeds.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "fault/campaign.hh"
 #include "fault/fault_injector.hh"
+#include "snapshot/archive.hh"
 
 using namespace insure;
 
@@ -162,13 +176,29 @@ main(int argc, char **argv)
             repro = true;
             reproSeed = static_cast<std::uint64_t>(
                 std::strtoull(value(), nullptr, 10));
+        } else if (std::strcmp(arg, "--state-dir") == 0) {
+            cfg.resilient.stateDir = value();
+        } else if (std::strcmp(arg, "--resume") == 0) {
+            cfg.resilient.stateDir = value();
+            cfg.resilient.resume = true;
+        } else if (std::strcmp(arg, "--checkpoint-interval") == 0) {
+            cfg.resilient.checkpointInterval = std::atof(value());
+        } else if (std::strcmp(arg, "--watchdog") == 0) {
+            cfg.resilient.watchdogSeconds = std::atof(value());
+        } else if (std::strcmp(arg, "--retries") == 0) {
+            cfg.resilient.maxRetries =
+                static_cast<unsigned>(std::atoi(value()));
+        } else if (std::strcmp(arg, "--backoff") == 0) {
+            cfg.resilient.backoffSeconds = std::atof(value());
         } else {
             std::fprintf(
                 stderr,
                 "usage: %s [--runs N] [--seed S] [--jobs J] [--rate "
                 "PER_HOUR] [--types a,b,...] [--workload "
                 "seismic|video] [--days D] [--policy log|throw|off] "
-                "[--json FILE] [--repro SEED]\n",
+                "[--json FILE] [--repro SEED] [--state-dir DIR] "
+                "[--resume DIR] [--checkpoint-interval S] [--watchdog S] "
+                "[--retries N] [--backoff S]\n",
                 argv[0]);
             return 2;
         }
@@ -205,12 +235,17 @@ main(int argc, char **argv)
         if (std::strcmp(jsonPath, "-") == 0) {
             fault::writeCampaignJson(summary, std::cout);
         } else {
-            std::ofstream out(jsonPath);
-            if (!out) {
-                std::fprintf(stderr, "cannot write %s\n", jsonPath);
+            // Atomic write: a crash mid-report can never leave a
+            // truncated campaign JSON behind.
+            std::ostringstream out;
+            fault::writeCampaignJson(summary, out);
+            try {
+                snapshot::atomicWriteFile(jsonPath, out.str());
+            } catch (const snapshot::SnapshotError &e) {
+                std::fprintf(stderr, "cannot write %s: %s\n", jsonPath,
+                             e.what());
                 return 1;
             }
-            fault::writeCampaignJson(summary, out);
             std::printf("wrote %s\n", jsonPath);
         }
     }

@@ -14,6 +14,10 @@
 # recorded as failed, the sweep must survive), plus a rate-0 campaign
 # that must stay on the clean code path.
 #
+# --resume adds a crash-recovery drill: a checkpointing campaign is
+# kill -9'd mid-sweep, re-invoked with --resume, and its JSON output must
+# be byte-identical to an uninterrupted sweep of the same master seed.
+#
 # Run from anywhere; builds land in <repo>/build, <repo>/build-asan and
 # <repo>/build-release.
 set -euo pipefail
@@ -24,6 +28,7 @@ cd "$repo"
 run_asan=1
 run_perf=0
 run_faults=0
+run_resume=0
 fuzz_runs=200
 tolerance=0.20
 while [ $# -gt 0 ]; do
@@ -31,6 +36,7 @@ while [ $# -gt 0 ]; do
     --no-asan) run_asan=0 ;;
     --perf) run_perf=1 ;;
     --faults) run_faults=1 ;;
+    --resume) run_resume=1 ;;
     --tolerance)
         shift
         tolerance="$1"
@@ -40,7 +46,7 @@ while [ $# -gt 0 ]; do
         fuzz_runs="$1"
         ;;
     *)
-        echo "usage: $0 [--no-asan] [--fuzz-runs N] [--faults] | --perf [--tolerance X]" >&2
+        echo "usage: $0 [--no-asan] [--fuzz-runs N] [--faults] [--resume] | --perf [--tolerance X]" >&2
         exit 2
         ;;
     esac
@@ -84,6 +90,36 @@ if [ "$run_faults" = 1 ]; then
 
     step "fault rate-0 campaign (clean code path)"
     ./build/bench/bench_fault_campaign --runs 4 --rate 0
+fi
+
+if [ "$run_resume" = 1 ]; then
+    step "crash-recovery drill (kill -9 mid-sweep, resume, byte-compare)"
+    drill="$(mktemp -d)"
+    trap 'rm -rf "$drill"' EXIT
+    campaign=(./build/bench/bench_fault_campaign
+        --runs 6 --rate 6 --seed 2718 --jobs 2)
+
+    # Reference: an uninterrupted sweep (the plain batch-runner path).
+    "${campaign[@]}" --json "$drill/reference.json" >/dev/null
+
+    # Victim: the same sweep with checkpoints + state dir, kill -9'd
+    # mid-flight. If the box is fast enough that it finishes first, the
+    # resume below just serves every run from cache — still a valid
+    # byte-identity check, so the drill is timing-tolerant.
+    "${campaign[@]}" --state-dir "$drill/state" \
+        --checkpoint-interval 3600 --json "$drill/victim.json" \
+        >/dev/null 2>&1 &
+    victim=$!
+    sleep 0.3
+    kill -9 "$victim" 2>/dev/null || true
+    wait "$victim" 2>/dev/null || true
+
+    # Recovery: resume must complete the sweep and reproduce the
+    # reference JSON byte for byte.
+    "${campaign[@]}" --resume "$drill/state" \
+        --checkpoint-interval 3600 --json "$drill/resumed.json" >/dev/null
+    cmp "$drill/reference.json" "$drill/resumed.json"
+    echo "resumed campaign JSON byte-identical to uninterrupted sweep"
 fi
 
 if [ "$run_asan" = 1 ]; then

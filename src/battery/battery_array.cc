@@ -1,5 +1,7 @@
 #include "battery/battery_array.hh"
 
+#include "snapshot/archive.hh"
+
 #include <algorithm>
 #include <cmath>
 
@@ -287,6 +289,35 @@ BatteryArray::projectedLifeYears(Seconds observed) const
     for (const auto &c : cabinets_)
         years = std::min(years, c->projectedLifeYears(observed));
     return years;
+}
+
+
+void
+BatteryArray::save(snapshot::Archive &ar) const
+{
+    ar.section("battery_array");
+    ar.putSize(cabinets_.size());
+    for (const auto &c : cabinets_)
+        c->save(ar);
+    network_.save(ar);
+    ar.putSize(touched_.size());
+    for (const bool t : touched_)
+        ar.putBool(t);
+}
+
+void
+BatteryArray::load(snapshot::Archive &ar)
+{
+    ar.section("battery_array");
+    if (ar.getSize() != cabinets_.size())
+        throw snapshot::SnapshotError(
+            "BatteryArray: cabinet count differs from snapshot");
+    for (auto &c : cabinets_)
+        c->load(ar);
+    network_.load(ar);
+    touched_.assign(ar.getSize(), false);
+    for (std::size_t i = 0; i < touched_.size(); ++i)
+        touched_[i] = ar.getBool();
 }
 
 } // namespace insure::battery

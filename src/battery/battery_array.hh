@@ -19,6 +19,10 @@
 #include "battery/cabinet.hh"
 #include "battery/switch_network.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::battery {
 
 /** Result of an array-level discharge step. */
@@ -149,6 +153,16 @@ class BatteryArray
 
     /** Minimum projected cabinet service life, years. */
     double projectedLifeYears(Seconds observed) const;
+
+    /**
+     * Serialize cabinets, the switch network and the per-tick touched
+     * set (snapshots are taken between ticks, where the set is
+     * quiescent; the discharge scratch buffers are pure reusables).
+     */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore cabinets, network and touched set. */
+    void load(snapshot::Archive &ar);
 
   private:
     std::vector<std::unique_ptr<Cabinet>> cabinets_;

@@ -1,5 +1,7 @@
 #include "battery/battery_unit.hh"
 
+#include "snapshot/archive.hh"
+
 #include <algorithm>
 
 #include "sim/logging.hh"
@@ -141,6 +143,33 @@ BatteryUnit::charge(Amperes bus_current, Seconds dt)
         units::energyWh(charge_.busPower(bus_current), dt);
     wear_.recordCharge(res.storedAh);
     return res;
+}
+
+
+void
+BatteryUnit::save(snapshot::Archive &ar) const
+{
+    ar.section("battery_unit");
+    kibam_.save(ar);
+    wear_.save(ar);
+    ar.putEnum(mode_);
+    ar.putBool(openCircuit_);
+    ar.putF64(shortMultiplier_);
+    ar.putF64(exogenousAh_);
+}
+
+void
+BatteryUnit::load(snapshot::Archive &ar)
+{
+    ar.section("battery_unit");
+    kibam_.load(ar);
+    wear_.load(ar);
+    mode_ = ar.getEnum<UnitMode>(
+        static_cast<std::uint32_t>(UnitMode::Discharging));
+    openCircuit_ = ar.getBool();
+    shortMultiplier_ = ar.getF64();
+    exogenousAh_ = ar.getF64();
+    invalidateSafeCache();
 }
 
 } // namespace insure::battery

@@ -18,6 +18,10 @@
 #include "battery/wear_model.hh"
 #include "sim/units.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::battery {
 
 /** Operating mode of a battery unit (paper Fig. 7). */
@@ -259,6 +263,16 @@ class BatteryUnit
      * conservation invariant consumes per-tick deltas.
      */
     AmpHours exogenousAh() const { return exogenousAh_; }
+
+    /**
+     * Serialize the full electrochemical + mode + fault state. The mode
+     * is restored directly (no observer callback: the observer mirrors
+     * live transitions, not state reconstruction).
+     */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore; the safe-discharge memo is invalidated. */
+    void load(snapshot::Archive &ar);
 
   private:
     std::string name_;

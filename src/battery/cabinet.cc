@@ -1,5 +1,7 @@
 #include "battery/cabinet.hh"
 
+#include "snapshot/archive.hh"
+
 #include <algorithm>
 
 #include "sim/logging.hh"
@@ -151,6 +153,34 @@ Cabinet::setSoc(double soc)
 {
     for (auto &u : units_)
         u->setSoc(soc);
+}
+
+
+void
+Cabinet::save(snapshot::Archive &ar) const
+{
+    ar.section("cabinet");
+    ar.putSize(units_.size());
+    for (const auto &u : units_)
+        u->save(ar);
+    chargeRelay_.save(ar);
+    dischargeRelay_.save(ar);
+    ar.putEnum(mode_);
+}
+
+void
+Cabinet::load(snapshot::Archive &ar)
+{
+    ar.section("cabinet");
+    if (ar.getSize() != units_.size())
+        throw snapshot::SnapshotError(
+            "Cabinet: series count differs from snapshot");
+    for (auto &u : units_)
+        u->load(ar);
+    chargeRelay_.load(ar);
+    dischargeRelay_.load(ar);
+    mode_ = ar.getEnum<UnitMode>(
+        static_cast<std::uint32_t>(UnitMode::Discharging));
 }
 
 } // namespace insure::battery

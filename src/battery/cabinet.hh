@@ -17,6 +17,10 @@
 #include "battery/battery_unit.hh"
 #include "battery/relay.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::battery {
 
 /** A switchable series string of battery units. */
@@ -216,6 +220,12 @@ class Cabinet
 
     /** Force SoC on all units (scenario setup). */
     void setSoc(double soc);
+
+    /** Serialize units, both relays and the cabinet mode. */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore units, relays and mode (relays are not actuated). */
+    void load(snapshot::Archive &ar);
 
   private:
     std::string name_;

@@ -1,5 +1,7 @@
 #include "battery/kibam.hh"
 
+#include "snapshot/archive.hh"
+
 #include <algorithm>
 #include <cmath>
 
@@ -92,6 +94,25 @@ Kibam::maxDischargeCurrent(Seconds dt) const
         return 0.0;
     const double imax = (y1_ * e * k + q0 * k * c_ * (1.0 - e)) / denom;
     return std::max(0.0, imax);
+}
+
+
+void
+Kibam::save(snapshot::Archive &ar) const
+{
+    ar.section("kibam");
+    ar.putF64(cap_);
+    ar.putF64(y1_);
+    ar.putF64(y2_);
+}
+
+void
+Kibam::load(snapshot::Archive &ar)
+{
+    ar.section("kibam");
+    cap_ = ar.getF64();
+    y1_ = ar.getF64();
+    y2_ = ar.getF64();
 }
 
 } // namespace insure::battery

@@ -24,6 +24,10 @@
 
 #include "sim/units.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::battery {
 
 /** Two-well kinetic charge model for one battery unit. */
@@ -105,6 +109,16 @@ class Kibam
         y2_ -= drop2;
         return drop1 + drop2;
     }
+
+    /**
+     * Serialize the two well levels and the (fault-scalable) capacity;
+     * c/k' come from construction parameters and the exp memo is a pure
+     * cache.
+     */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore the well levels and capacity. */
+    void load(snapshot::Archive &ar);
 
   private:
     AmpHours cap_;

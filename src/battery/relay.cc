@@ -1,5 +1,7 @@
 #include "battery/relay.hh"
 
+#include "snapshot/archive.hh"
+
 namespace insure::battery {
 
 Relay::Relay(std::string name, RelayParams params)
@@ -45,6 +47,28 @@ Relay::wearFraction()
  const
 {
     return operations_ / params_.mechanicalLife;
+}
+
+
+void
+Relay::save(snapshot::Archive &ar) const
+{
+    ar.section("relay");
+    ar.putBool(closed_);
+    ar.putU64(operations_);
+    ar.putEnum(fault_);
+    ar.putU32(delayedOps_);
+}
+
+void
+Relay::load(snapshot::Archive &ar)
+{
+    ar.section("relay");
+    closed_ = ar.getBool();
+    operations_ = ar.getU64();
+    fault_ = ar.getEnum<RelayFault>(
+        static_cast<std::uint32_t>(RelayFault::WeldedClosed));
+    delayedOps_ = ar.getU32();
 }
 
 } // namespace insure::battery

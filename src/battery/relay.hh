@@ -17,6 +17,10 @@
 
 #include "battery/battery_params.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::battery {
 
 /**
@@ -84,6 +88,12 @@ class Relay
      * each dropped command delays the transition by one period).
      */
     void delayActuation(unsigned commands) { delayedOps_ += commands; }
+
+    /** Serialize contact state, wear count and fault state. */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore contact state, wear count and fault state. */
+    void load(snapshot::Archive &ar);
 
   private:
     std::string name_;

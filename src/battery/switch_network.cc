@@ -1,5 +1,7 @@
 #include "battery/switch_network.hh"
 
+#include "snapshot/archive.hh"
+
 namespace insure::battery {
 
 const char *
@@ -75,6 +77,25 @@ std::uint64_t
 SwitchNetwork::operations() const
 {
     return p1_.operations() + p2_.operations() + p3_.operations();
+}
+
+
+void
+SwitchNetwork::save(snapshot::Archive &ar) const
+{
+    ar.section("switch_network");
+    p1_.save(ar);
+    p2_.save(ar);
+    p3_.save(ar);
+}
+
+void
+SwitchNetwork::load(snapshot::Archive &ar)
+{
+    ar.section("switch_network");
+    p1_.load(ar);
+    p2_.load(ar);
+    p3_.load(ar);
 }
 
 } // namespace insure::battery

@@ -16,6 +16,10 @@
 #include "battery/relay.hh"
 #include "sim/units.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::battery {
 
 /** Aggregation of cabinets onto the DC bus. */
@@ -68,6 +72,9 @@ class SwitchNetwork
 
     /** Total switch operations (maintenance statistic). */
     std::uint64_t operations() const;
+
+    void save(snapshot::Archive &ar) const;
+    void load(snapshot::Archive &ar);
 
   private:
     Relay p1_;

@@ -1,5 +1,7 @@
 #include "battery/wear_model.hh"
 
+#include "snapshot/archive.hh"
+
 #include <algorithm>
 
 #include "sim/logging.hh"
@@ -34,6 +36,23 @@ WearModel::projectedLifeYears(Seconds observed) const
     const double throughput_years =
         params_.lifetimeThroughputAh / ah_per_year;
     return std::min(throughput_years, params_.calendarLifeYears);
+}
+
+
+void
+WearModel::save(snapshot::Archive &ar) const
+{
+    ar.section("wear");
+    ar.putF64(discharged_);
+    ar.putF64(charged_);
+}
+
+void
+WearModel::load(snapshot::Archive &ar)
+{
+    ar.section("wear");
+    discharged_ = ar.getF64();
+    charged_ = ar.getF64();
 }
 
 } // namespace insure::battery

@@ -16,6 +16,10 @@
 #include "battery/battery_params.hh"
 #include "sim/units.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::battery {
 
 /** Tracks ageing of one battery unit. */
@@ -61,6 +65,9 @@ class WearModel
      * With no observed discharge the calendar life is returned.
      */
     double projectedLifeYears(Seconds observed) const;
+
+    void save(snapshot::Archive &ar) const;
+    void load(snapshot::Archive &ar);
 
   private:
     const BatteryParams params_;

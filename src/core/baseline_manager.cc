@@ -1,5 +1,7 @@
 #include "core/baseline_manager.hh"
 
+#include "snapshot/archive.hh"
+
 #include <algorithm>
 
 #include "sim/logging.hh"
@@ -101,6 +103,25 @@ BaselineManager::control(const SystemView &view)
         countActions();
     act.targetVms = target;
     return act;
+}
+
+
+void
+BaselineManager::save(snapshot::Archive &ar) const
+{
+    PowerManager::save(ar);
+    ar.section("baseline_manager");
+    ar.putBool(lockout_);
+    ar.putU64(lockoutCount_);
+}
+
+void
+BaselineManager::load(snapshot::Archive &ar)
+{
+    PowerManager::load(ar);
+    ar.section("baseline_manager");
+    lockout_ = ar.getBool();
+    lockoutCount_ = ar.getU64();
 }
 
 } // namespace insure::core

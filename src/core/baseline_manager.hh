@@ -63,6 +63,9 @@ class BaselineManager : public PowerManager
     /** Lockout episodes entered so far. */
     std::uint64_t lockouts() const { return lockoutCount_; }
 
+    void save(snapshot::Archive &ar) const override;
+    void load(snapshot::Archive &ar) override;
+
   private:
     BaselineParams params_;
     std::shared_ptr<NodeAllocator> allocator_;

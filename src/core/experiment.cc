@@ -7,6 +7,7 @@
 #include "server/node_params.hh"
 #include "sim/config.hh"
 #include "sim/logging.hh"
+#include "snapshot/archive.hh"
 
 namespace insure::core {
 
@@ -86,58 +87,111 @@ buildSolarTrace(const ExperimentConfig &cfg)
     return trace;
 }
 
-ExperimentResult
-runExperiment(const ExperimentConfig &cfg)
+ExperimentRig::ExperimentRig(const ExperimentConfig &cfg) : cfg_(cfg)
 {
-    sim::Simulation simulation(cfg.seed);
+    simulation_ = std::make_unique<sim::Simulation>(cfg_.seed);
 
-    SystemConfig system = cfg.system;
-    system.unifiedBuffer = (cfg.manager == ManagerKind::Baseline);
-    system.fastSwitching = (cfg.manager == ManagerKind::Insure);
+    SystemConfig system = cfg_.system;
+    system.unifiedBuffer = (cfg_.manager == ManagerKind::Baseline);
+    system.fastSwitching = (cfg_.manager == ManagerKind::Insure);
 
     auto allocator = std::make_shared<NodeAllocator>(
         system.node, system.nodeCount, system.profile);
 
-    auto solar = std::make_unique<solar::SolarSource>(buildSolarTrace(cfg));
+    auto solar =
+        std::make_unique<solar::SolarSource>(buildSolarTrace(cfg_));
 
-    InSituSystem plant(simulation, managerKindName(cfg.manager), system,
-                       std::move(solar), makeManager(cfg, allocator));
-    if (cfg.recordTrace)
-        plant.enableTrace(cfg.tracePeriod);
+    plant_ = std::make_unique<InSituSystem>(
+        *simulation_, managerKindName(cfg_.manager), system,
+        std::move(solar), makeManager(cfg_, allocator));
+    if (cfg_.recordTrace)
+        plant_->enableTrace(cfg_.tracePeriod);
 
     // A factory-made observer is owned by this run (one instance per run,
     // so sweeps stay thread-confined); a raw pointer is the caller's.
-    std::unique_ptr<SystemObserver> owned;
-    SystemObserver *observer = cfg.observer;
-    if (cfg.observerFactory) {
-        owned = cfg.observerFactory();
-        observer = owned.get();
+    observer_ = cfg_.observer;
+    if (cfg_.observerFactory) {
+        ownedObserver_ = cfg_.observerFactory();
+        observer_ = ownedObserver_.get();
     }
-    if (observer)
-        plant.attachObserver(observer);
+    if (observer_)
+        plant_->attachObserver(observer_);
 
     // An extension (e.g. the src/fault injector) attaches to the live
     // plant before the clock starts; clean runs skip this entirely.
-    std::unique_ptr<PlantExtension> extension;
-    if (cfg.extensionFactory)
-        extension = cfg.extensionFactory(plant, simulation);
+    if (cfg_.extensionFactory)
+        extension_ = cfg_.extensionFactory(*plant_, *simulation_);
+}
 
-    simulation.runUntil(cfg.duration);
-    simulation.finish();
+// The destructor must see the complete InSituSystem/extension types, so
+// it lives here rather than defaulting in the header.
+ExperimentRig::~ExperimentRig() = default;
+
+void
+ExperimentRig::runUntil(Seconds t)
+{
+    simulation_->runUntil(t);
+}
+
+ExperimentResult
+ExperimentRig::finish()
+{
+    simulation_->finish();
 
     ExperimentResult res;
-    res.managerName = managerKindName(cfg.manager);
-    res.metrics = plant.metrics();
-    res.log = plant.dailySummary();
-    if (plant.trace())
-        res.trace = *plant.trace();
-    if (observer) {
-        res.invariantViolations = observer->violationCount();
-        res.invariantNotes = observer->violationMessages();
+    res.managerName = managerKindName(cfg_.manager);
+    res.metrics = plant_->metrics();
+    res.log = plant_->dailySummary();
+    if (plant_->trace())
+        res.trace = *plant_->trace();
+    if (observer_) {
+        res.invariantViolations = observer_->violationCount();
+        res.invariantNotes = observer_->violationMessages();
     }
-    if (extension)
-        extension->onRunComplete(plant, res);
+    if (extension_)
+        extension_->onRunComplete(*plant_, res);
     return res;
+}
+
+void
+ExperimentRig::save(snapshot::Archive &ar) const
+{
+    ar.section("experiment_rig");
+    simulation_->save(ar);
+    plant_->save(ar);
+    ar.putBool(observer_ != nullptr);
+    if (observer_)
+        observer_->saveState(ar);
+    ar.putBool(extension_ != nullptr);
+    if (extension_)
+        extension_->save(ar);
+}
+
+void
+ExperimentRig::load(snapshot::Archive &ar)
+{
+    ar.section("experiment_rig");
+    // Clock first: component loads validate restored events against it.
+    simulation_->load(ar);
+    plant_->load(ar);
+    if (ar.getBool() != (observer_ != nullptr))
+        throw snapshot::SnapshotError(
+            "ExperimentRig: observer presence differs from snapshot");
+    if (observer_)
+        observer_->loadState(ar);
+    if (ar.getBool() != (extension_ != nullptr))
+        throw snapshot::SnapshotError(
+            "ExperimentRig: extension presence differs from snapshot");
+    if (extension_)
+        extension_->load(ar);
+}
+
+ExperimentResult
+runExperiment(const ExperimentConfig &cfg)
+{
+    ExperimentRig rig(cfg);
+    rig.runUntil(cfg.duration);
+    return rig.finish();
 }
 
 SweepSummary

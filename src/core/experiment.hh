@@ -21,6 +21,10 @@
 #include "sim/config.hh"
 #include "sim/rng.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::core {
 
 /** Which power manager an experiment uses. */
@@ -50,6 +54,16 @@ class PlantExtension
     /** Harvest per-run outputs (e.g. ExperimentResult::resilience). */
     virtual void onRunComplete(const InSituSystem &plant,
                                ExperimentResult &result) = 0;
+
+    /**
+     * Serialize extension state for a checkpoint. Default: stateless.
+     * Extensions with pending events or counters (the fault injector)
+     * override both hooks.
+     */
+    virtual void save(snapshot::Archive &) const {}
+
+    /** Restore extension state (mirror of save). */
+    virtual void load(snapshot::Archive &) {}
 };
 
 /** Complete description of one experiment run. */
@@ -206,6 +220,61 @@ SweepSummary mergeResults(const std::vector<RunResult> &runs);
  * benches can inspect or persist it).
  */
 sim::Trace buildSolarTrace(const ExperimentConfig &cfg);
+
+/**
+ * The assembled experiment held open: simulation + plant + observer +
+ * extension, built exactly as runExperiment builds them, but with the
+ * clock under caller control. This is the unit the snapshotter drives —
+ * advance in chunks with runUntil(), serialize the complete state
+ * between chunks with save(), and restore into a freshly built rig of
+ * the IDENTICAL config with load() (the construction sequence is fully
+ * deterministic in the config, so writer and reader rigs agree on every
+ * RNG stream and event key). runExperiment() itself is rig + run-to-end
+ * + finish().
+ */
+class ExperimentRig
+{
+  public:
+    explicit ExperimentRig(const ExperimentConfig &cfg);
+    ~ExperimentRig();
+
+    ExperimentRig(const ExperimentRig &) = delete;
+    ExperimentRig &operator=(const ExperimentRig &) = delete;
+
+    sim::Simulation &simulation() { return *simulation_; }
+    InSituSystem &plant() { return *plant_; }
+    const InSituSystem &plant() const { return *plant_; }
+    const ExperimentConfig &config() const { return cfg_; }
+
+    /** Advance the clock to absolute simulated time @p t. */
+    void runUntil(Seconds t);
+
+    /** Stop the clock, finalize components and harvest the outputs. */
+    ExperimentResult finish();
+
+    /**
+     * Serialize the full run state: clock, root RNG, plant, observer
+     * and extension. Call only between runUntil() chunks (never from
+     * inside a dispatching event).
+     */
+    void save(snapshot::Archive &ar) const;
+
+    /**
+     * Restore a snapshot into this freshly constructed rig. The rig
+     * must have been built from the same config the snapshot was taken
+     * with; startup() is skipped (the restored events replace the
+     * initial schedule) and the next runUntil() continues bit-exactly.
+     */
+    void load(snapshot::Archive &ar);
+
+  private:
+    ExperimentConfig cfg_;
+    std::unique_ptr<sim::Simulation> simulation_;
+    std::unique_ptr<InSituSystem> plant_;
+    std::unique_ptr<SystemObserver> ownedObserver_;
+    SystemObserver *observer_ = nullptr;
+    std::unique_ptr<PlantExtension> extension_;
+};
 
 /** Execute one experiment. */
 ExperimentResult runExperiment(const ExperimentConfig &cfg);

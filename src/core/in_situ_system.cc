@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "snapshot/archive.hh"
 
 namespace insure::core {
 
@@ -521,4 +522,144 @@ InSituSystem::dailySummary() const
     return log.summary();
 }
 
+
+void
+InSituSystem::save(snapshot::Archive &ar) const
+{
+    ar.section("in_situ_system");
+
+    // Plant sub-components, construction order.
+    solar_->save(ar);
+    array_.save(ar);
+    registers_.save(ar);
+    monitor_.save(ar);
+    plc_.save(ar);
+    link_->save(ar);
+    history_.save(ar);
+    cluster_.save(ar);
+    queue_.save(ar);
+    ar.putBool(batchSrc_.has_value());
+    if (batchSrc_)
+        batchSrc_->save(ar);
+    ar.putBool(streamSrc_.has_value());
+    if (streamSrc_)
+        streamSrc_->save(ar);
+    manager_->save(ar);
+
+    // Controller and accumulator state.
+    ar.putSize(chargePlan_.cabinets.size());
+    for (unsigned i : chargePlan_.cabinets)
+        ar.putU32(i);
+    ar.putBool(chargePlan_.splitEvenly);
+    ar.putF64Vec(lastCurrents_);
+    ar.putF64(lastControl_);
+    ar.putF64(solarAvgAccumWs_);
+    ar.putF64(solarAvgWindow_);
+    ar.putU64(lastMgrActions_);
+    storedGauge_.save(ar);
+    pendingGauge_.save(ar);
+    upPendingGauge_.save(ar);
+    ar.putF64(offeredWh_);
+    ar.putF64(greenUsedWh_);
+    ar.putF64(loadWh_);
+    ar.putF64(effectiveWh_);
+    ar.putF64(throughputAh_);
+    ar.putF64(secondaryWh_);
+    ar.putF64(secondaryRunningSince_);
+    ar.putF64(secondaryLastNeeded_);
+    ar.putU64(bufferTrips_);
+    ar.putU64(powerFailures_);
+    ar.putF64(lastPowerFailure_);
+    ar.putBool(powerFailedLastTick_);
+    ar.putF64(exoAhSeen_);
+    ar.putF64(lostVmHoursSeen_);
+    log_.save(ar);
+    ar.putBool(trace_.has_value());
+    if (trace_)
+        trace_->save(ar);
+
+    // Periodic drivers: clock phase of each pending fire.
+    physicsTask_->save(ar);
+    telemetryTask_->save(ar);
+    controlTask_->save(ar);
+    ar.putBool(traceTask_ != nullptr);
+    if (traceTask_)
+        traceTask_->save(ar);
+}
+
+void
+InSituSystem::load(snapshot::Archive &ar)
+{
+    ar.section("in_situ_system");
+
+    solar_->load(ar);
+    array_.load(ar);
+    registers_.load(ar);
+    monitor_.load(ar);
+    plc_.load(ar);
+    link_->load(ar);
+    history_.load(ar);
+    cluster_.load(ar);
+    queue_.load(ar);
+    if (ar.getBool() != batchSrc_.has_value())
+        throw snapshot::SnapshotError(
+            "InSituSystem: batch-source presence differs from snapshot");
+    if (batchSrc_)
+        batchSrc_->load(ar);
+    if (ar.getBool() != streamSrc_.has_value())
+        throw snapshot::SnapshotError(
+            "InSituSystem: stream-source presence differs from snapshot");
+    if (streamSrc_)
+        streamSrc_->load(ar);
+    manager_->load(ar);
+
+    chargePlan_.cabinets.assign(ar.getSize(), 0);
+    for (unsigned &i : chargePlan_.cabinets)
+        i = ar.getU32();
+    chargePlan_.splitEvenly = ar.getBool();
+    lastCurrents_ = ar.getF64Vec();
+    lastControl_ = ar.getF64();
+    solarAvgAccumWs_ = ar.getF64();
+    solarAvgWindow_ = ar.getF64();
+    lastMgrActions_ = ar.getU64();
+    storedGauge_.load(ar);
+    pendingGauge_.load(ar);
+    upPendingGauge_.load(ar);
+    offeredWh_ = ar.getF64();
+    greenUsedWh_ = ar.getF64();
+    loadWh_ = ar.getF64();
+    effectiveWh_ = ar.getF64();
+    throughputAh_ = ar.getF64();
+    secondaryWh_ = ar.getF64();
+    secondaryRunningSince_ = ar.getF64();
+    secondaryLastNeeded_ = ar.getF64();
+    bufferTrips_ = ar.getU64();
+    powerFailures_ = ar.getU64();
+    lastPowerFailure_ = ar.getF64();
+    powerFailedLastTick_ = ar.getBool();
+    exoAhSeen_ = ar.getF64();
+    lostVmHoursSeen_ = ar.getF64();
+    log_.load(ar);
+    if (ar.getBool()) {
+        if (!trace_)
+            throw snapshot::SnapshotError(
+                "InSituSystem: snapshot has a trace but tracing is not "
+                "enabled (call enableTrace before load)");
+        trace_->load(ar);
+    } else if (trace_) {
+        throw snapshot::SnapshotError(
+            "InSituSystem: tracing enabled but snapshot has no trace");
+    }
+
+    physicsTask_->load(ar);
+    telemetryTask_->load(ar);
+    controlTask_->load(ar);
+    if (ar.getBool()) {
+        if (!traceTask_)
+            throw snapshot::SnapshotError(
+                "InSituSystem: snapshot has a trace task but tracing is "
+                "not enabled");
+        traceTask_->load(ar);
+    }
+}
 } // namespace insure::core

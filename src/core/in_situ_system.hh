@@ -39,6 +39,10 @@
 #include "workload/profiles.hh"
 #include "workload/sources.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::core {
 
 /**
@@ -181,6 +185,24 @@ class InSituSystem : public sim::Component
 
     /** Energy drawn from the secondary feed so far, watt-hours. */
     WattHours secondaryEnergyWh() const { return secondaryWh_; }
+
+    /**
+     * Serialize the complete plant state: every sub-component, the
+     * energy/uptime accumulators, the charge plan in force and the four
+     * periodic tasks' pending events. The attached observer is NOT
+     * serialized here (the snapshotter drives it separately, so observer
+     * wiring can differ between writer and reader processes). Snapshots
+     * are taken between event dispatches only.
+     */
+    void save(snapshot::Archive &ar) const;
+
+    /**
+     * Restore the plant state into a freshly constructed, identically
+     * configured system whose startup() has NOT run (the restored tasks
+     * replace the initial schedule). The simulation clock must already
+     * be restored (sim::Simulation::load runs first).
+     */
+    void load(snapshot::Archive &ar);
 
   private:
     SystemConfig cfg_;

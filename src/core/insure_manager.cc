@@ -1,5 +1,7 @@
 #include "core/insure_manager.hh"
 
+#include "snapshot/archive.hh"
+
 #include <algorithm>
 
 #include "sim/logging.hh"
@@ -473,6 +475,76 @@ InsureManager::updateQuarantine(const SystemView &view)
             quarantineLog_.push_back({view.now, i, reason});
         }
     }
+}
+
+
+void
+InsureManager::save(snapshot::Archive &ar) const
+{
+    PowerManager::save(ar);
+    ar.section("insure_manager");
+    spatial_.save(ar);
+    temporal_.save(ar);
+    ar.putF64(lastSpatial_);
+    ar.putSize(eligible_.size());
+    for (unsigned i : eligible_)
+        ar.putU32(i);
+    ar.putSize(health_.size());
+    for (const CabinetHealth &h : health_) {
+        ar.putU32(h.deadStreak);
+        ar.putU32(h.relayStreak);
+        ar.putU32(h.frozenStreak);
+        ar.putU32(h.staleStreak);
+        ar.putF64(h.lastVoltage);
+        ar.putF64(h.lastCurrent);
+        ar.putF64(h.lastSoc);
+        ar.putBool(h.quarantined);
+    }
+    ar.putSize(quarantineLog_.size());
+    for (const QuarantineEvent &e : quarantineLog_) {
+        ar.putF64(e.at);
+        ar.putU32(e.cabinet);
+        ar.putEnum(e.reason);
+    }
+    ar.putU32(quarantinedCount_);
+    ar.putU32(batchVms_);
+    ar.putF64(plannedBacklog_);
+    ar.putBool(batchActive_);
+}
+
+void
+InsureManager::load(snapshot::Archive &ar)
+{
+    PowerManager::load(ar);
+    ar.section("insure_manager");
+    spatial_.load(ar);
+    temporal_.load(ar);
+    lastSpatial_ = ar.getF64();
+    eligible_.assign(ar.getSize(), 0);
+    for (unsigned &i : eligible_)
+        i = ar.getU32();
+    health_.assign(ar.getSize(), CabinetHealth{});
+    for (CabinetHealth &h : health_) {
+        h.deadStreak = ar.getU32();
+        h.relayStreak = ar.getU32();
+        h.frozenStreak = ar.getU32();
+        h.staleStreak = ar.getU32();
+        h.lastVoltage = ar.getF64();
+        h.lastCurrent = ar.getF64();
+        h.lastSoc = ar.getF64();
+        h.quarantined = ar.getBool();
+    }
+    quarantineLog_.assign(ar.getSize(), QuarantineEvent{});
+    for (QuarantineEvent &e : quarantineLog_) {
+        e.at = ar.getF64();
+        e.cabinet = ar.getU32();
+        e.reason = ar.getEnum<QuarantineReason>(
+            static_cast<std::uint32_t>(QuarantineReason::StaleTelemetry));
+    }
+    quarantinedCount_ = ar.getU32();
+    batchVms_ = ar.getU32();
+    plannedBacklog_ = ar.getF64();
+    batchActive_ = ar.getBool();
 }
 
 } // namespace insure::core

@@ -150,6 +150,12 @@ class InsureManager : public PowerManager
     /** Cabinets currently quarantined. */
     unsigned quarantinedCount() const { return quarantinedCount_; }
 
+    /** Serialize sub-policies, quarantine state and batch planning. */
+    void save(snapshot::Archive &ar) const override;
+
+    /** Restore sub-policies, quarantine state and batch planning. */
+    void load(snapshot::Archive &ar) override;
+
   private:
     /** Per-cabinet plausibility-tracking state. */
     struct CabinetHealth {

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "core/system_view.hh"
+#include "snapshot/archive.hh"
 
 namespace insure::core {
 
@@ -38,6 +39,25 @@ class PowerManager
      * switches; the Table 6 "Power Ctrl. Times" column).
      */
     std::uint64_t powerCtrlActions() const { return powerCtrlActions_; }
+
+    /**
+     * Serialize policy state. Subclasses with decision state extend this
+     * and call the base first; the default covers the action counter.
+     */
+    virtual void
+    save(snapshot::Archive &ar) const
+    {
+        ar.section("power_manager");
+        ar.putU64(powerCtrlActions_);
+    }
+
+    /** Restore policy state (mirror of save). */
+    virtual void
+    load(snapshot::Archive &ar)
+    {
+        ar.section("power_manager");
+        powerCtrlActions_ = ar.getU64();
+    }
 
   protected:
     /** Count @p n power-control actions. */

@@ -1,5 +1,7 @@
 #include "core/spatial_manager.hh"
 
+#include "snapshot/archive.hh"
+
 #include <algorithm>
 #include <cmath>
 
@@ -79,6 +81,23 @@ SpatialManager::selectForCharging(const std::vector<unsigned> &candidates,
     if (sorted.size() > n)
         sorted.resize(n);
     return sorted;
+}
+
+
+void
+SpatialManager::save(snapshot::Archive &ar) const
+{
+    ar.section("spatial_manager");
+    ar.putF64(relaxedBudget_);
+    ar.putU64(relaxations_);
+}
+
+void
+SpatialManager::load(snapshot::Archive &ar)
+{
+    ar.section("spatial_manager");
+    relaxedBudget_ = ar.getF64();
+    relaxations_ = ar.getU64();
 }
 
 } // namespace insure::core

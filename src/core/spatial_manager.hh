@@ -28,6 +28,10 @@
 
 #include "core/system_view.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::core {
 
 /** Tuning of the spatial manager. */
@@ -86,6 +90,12 @@ class SpatialManager
 
     /** Relaxations granted so far (ablation statistic). */
     std::uint64_t relaxations() const { return relaxations_; }
+
+    /** Serialize the relaxation state. */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore the relaxation state. */
+    void load(snapshot::Archive &ar);
 
   private:
     SpatialParams params_;

@@ -26,6 +26,10 @@
 #include "core/system_view.hh"
 #include "sim/units.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::core {
 
 struct SystemConfig;
@@ -120,6 +124,17 @@ class SystemObserver
         (void)soc;
     }
 
+    /**
+     * Serialize observer-internal state (counters, digests, mirrors of
+     * plant state). Named saveState/loadState — not save/load — because
+     * concrete observers may already expose path-based save() helpers.
+     * Default: stateless observer, nothing to write.
+     */
+    virtual void saveState(snapshot::Archive &) const {}
+
+    /** Restore observer-internal state (mirror of saveState). */
+    virtual void loadState(snapshot::Archive &) {}
+
     /** Invariant violations recorded so far (0 for passive observers). */
     virtual std::uint64_t violationCount() const { return 0; }
 
@@ -180,6 +195,20 @@ class ObserverList : public SystemObserver
             out.insert(out.end(), m.begin(), m.end());
         }
         return out;
+    }
+
+    void
+    saveState(snapshot::Archive &ar) const override
+    {
+        for (const auto *o : observers_)
+            o->saveState(ar);
+    }
+
+    void
+    loadState(snapshot::Archive &ar) override
+    {
+        for (auto *o : observers_)
+            o->loadState(ar);
     }
 
   private:

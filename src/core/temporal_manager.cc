@@ -1,5 +1,7 @@
 #include "core/temporal_manager.hh"
 
+#include "snapshot/archive.hh"
+
 #include <algorithm>
 
 namespace insure::core {
@@ -87,6 +89,27 @@ TemporalManager::evaluate(const SystemView &view, unsigned online_cabinets,
         }
     }
     return d;
+}
+
+
+void
+TemporalManager::save(snapshot::Archive &ar) const
+{
+    ar.section("temporal_manager");
+    ar.putU64(cappings_);
+    ar.putU64(grows_);
+    ar.putU64(shutdowns_);
+    ar.putBool(haltedByFloor_);
+}
+
+void
+TemporalManager::load(snapshot::Archive &ar)
+{
+    ar.section("temporal_manager");
+    cappings_ = ar.getU64();
+    grows_ = ar.getU64();
+    shutdowns_ = ar.getU64();
+    haltedByFloor_ = ar.getBool();
 }
 
 } // namespace insure::core

@@ -25,6 +25,10 @@
 
 #include "core/system_view.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::core {
 
 /** Tuning of the temporal manager. */
@@ -91,6 +95,12 @@ class TemporalManager
     std::uint64_t floorShutdowns() const { return shutdowns_; }
 
     const TemporalParams &params() const { return params_; }
+
+    /** Serialize counters and the floor-halt latch. */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore counters and the floor-halt latch. */
+    void load(snapshot::Archive &ar);
 
   private:
     TemporalParams params_;

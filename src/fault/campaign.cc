@@ -70,7 +70,6 @@ runFaultCampaign(const CampaignConfig &cfg)
         specs.push_back(std::move(spec));
     }
 
-    harness::BatchRunner runner(cfg.jobs);
     harness::BatchRunner::Progress progress;
     if (cfg.progress) {
         progress = [&cfg](const core::RunResult &, std::size_t done,
@@ -78,8 +77,24 @@ runFaultCampaign(const CampaignConfig &cfg)
             cfg.progress(done, total);
         };
     }
-    const std::vector<core::RunResult> results =
-        runner.runSeeded(std::move(specs), cfg.masterSeed, progress);
+    // The resilient engine engages only when asked for: otherwise the
+    // campaign takes the identical plain-BatchRunner path it always has.
+    const bool resilient = !cfg.resilient.stateDir.empty() ||
+                           cfg.resilient.watchdogSeconds > 0.0 ||
+                           cfg.resilient.checkpointInterval > 0.0;
+    std::vector<core::RunResult> results;
+    if (resilient) {
+        harness::ResilientOptions opts = cfg.resilient;
+        if (opts.jobs == 0)
+            opts.jobs = cfg.jobs;
+        harness::ResilientRunner runner(std::move(opts));
+        results = runner.runSeeded(std::move(specs), cfg.masterSeed,
+                                   progress);
+    } else {
+        harness::BatchRunner runner(cfg.jobs);
+        results =
+            runner.runSeeded(std::move(specs), cfg.masterSeed, progress);
+    }
 
     CampaignSummary s;
     s.config = cfg;

@@ -22,6 +22,7 @@
 
 #include "core/experiment.hh"
 #include "fault/fault_plan.hh"
+#include "harness/resilient_runner.hh"
 #include "validate/invariant_checker.hh"
 
 namespace insure::fault {
@@ -45,6 +46,12 @@ struct CampaignConfig {
     validate::Policy policy = validate::Policy::Log;
     /** Optional progress hook (forwarded to the batch runner). */
     std::function<void(std::size_t done, std::size_t total)> progress;
+    /**
+     * Self-healing execution policy (checkpoints, watchdog, retry,
+     * resume). With every field at its default the campaign runs on the
+     * plain BatchRunner — the exact pre-existing code path.
+     */
+    harness::ResilientOptions resilient;
 };
 
 /** Per-run campaign outcome. */

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "snapshot/archive.hh"
 
 namespace insure::fault {
 
@@ -59,6 +60,7 @@ FaultInjector::FaultInjector(core::InSituSystem &plant,
     }
     plant_.monitor().seedSensorNoise(
         faultRng_.deriveSeed(streams::kFaultSensor));
+    arrivalIds_.assign(plan_.processes.size(), 0);
 
     // Observe the run alongside whatever was already attached (the
     // InvariantChecker keeps seeing every hook).
@@ -80,8 +82,9 @@ FaultInjector::scheduleSpec(const FaultSpec &spec)
     s.at = when;
     // Stats priority: injections land after the physics tick at the
     // same instant has fully settled, never mid-tick.
-    sim_.events().schedule(when, EventPriority::Stats,
-                           [this, s] { apply(s); });
+    const sim::EventId id = sim_.events().schedule(
+        when, EventPriority::Stats, [this, s] { apply(s); });
+    specEvents_.emplace_back(id, s);
 }
 
 void
@@ -92,11 +95,11 @@ FaultInjector::scheduleNextArrival(unsigned process)
         return;
     const Seconds gap =
         processRng_[process].exponential(proc.ratePerHour / 3600.0);
-    sim_.events().scheduleIn(gap, EventPriority::Stats,
-                             [this, process] {
-                                 fireProcess(process);
-                                 scheduleNextArrival(process);
-                             });
+    arrivalIds_[process] = sim_.events().scheduleIn(
+        gap, EventPriority::Stats, [this, process] {
+            fireProcess(process);
+            scheduleNextArrival(process);
+        });
 }
 
 void
@@ -252,8 +255,10 @@ FaultInjector::apply(FaultSpec spec)
     log_.push_back(InjectedFault{spec, false, -1.0});
     const std::size_t idx = log_.size() - 1;
     if (clearable) {
-        sim_.events().scheduleIn(spec.duration, EventPriority::Stats,
-                                 [this, idx] { clearFault(idx); });
+        const sim::EventId id = sim_.events().scheduleIn(
+            spec.duration, EventPriority::Stats,
+            [this, idx] { clearFault(idx); });
+        clearEvents_.emplace_back(id, idx);
     }
     return idx;
 }
@@ -379,6 +384,202 @@ FaultInjector::onRunComplete(const core::InSituSystem &plant,
     m.lostVmHours = plant.cluster().lostVmHours();
 
     result.resilience = m;
+}
+
+namespace {
+
+void
+saveSpec(snapshot::Archive &ar, const FaultSpec &s)
+{
+    ar.putEnum(s.kind);
+    ar.putF64(s.at);
+    ar.putU32(s.target);
+    ar.putU32(s.unit);
+    ar.putF64(s.magnitude);
+    ar.putF64(s.duration);
+}
+
+FaultSpec
+loadSpec(snapshot::Archive &ar)
+{
+    FaultSpec s;
+    s.kind = ar.getEnum<FaultKind>(
+        static_cast<std::uint32_t>(FaultKind::ServerHang));
+    s.at = ar.getF64();
+    s.target = ar.getU32();
+    s.unit = ar.getU32();
+    s.magnitude = ar.getF64();
+    s.duration = ar.getF64();
+    return s;
+}
+
+} // namespace
+
+void
+ResilienceTracker::saveState(snapshot::Archive &ar) const
+{
+    ar.section("resilience_tracker");
+    ar.putF64(outageSeconds_);
+    ar.putF64(pendingDownSeconds_);
+    ar.putF64(energyLostWh_);
+    ar.putU64(seenQuarantines_);
+    ar.putF64Vec(pendingRecovery_);
+    ar.putF64Vec(recoveries_);
+}
+
+void
+ResilienceTracker::loadState(snapshot::Archive &ar)
+{
+    ar.section("resilience_tracker");
+    outageSeconds_ = ar.getF64();
+    pendingDownSeconds_ = ar.getF64();
+    energyLostWh_ = ar.getF64();
+    seenQuarantines_ = ar.getU64();
+    pendingRecovery_ = ar.getF64Vec();
+    recoveries_ = ar.getF64Vec();
+}
+
+void
+FaultInjector::save(snapshot::Archive &ar) const
+{
+    ar.section("fault_injector");
+
+    ar.putSize(processRng_.size());
+    for (const Rng &r : processRng_)
+        r.save(ar);
+
+    ar.putSize(log_.size());
+    for (const InjectedFault &f : log_) {
+        saveSpec(ar, f.spec);
+        ar.putBool(f.cleared);
+        ar.putF64(f.clearedAt);
+    }
+    ar.putU64(cleared_);
+    tracker_.saveState(ar);
+
+    // Pending scheduled-spec events: ids whose event already fired read
+    // as not-pending and are skipped (the log carries their effect).
+    auto &eq = sim_.events();
+    std::size_t live = 0;
+    for (const auto &[id, spec] : specEvents_) {
+        if (eq.pendingInfo(id))
+            ++live;
+    }
+    ar.putSize(live);
+    for (const auto &[id, spec] : specEvents_) {
+        const auto p = eq.pendingInfo(id);
+        if (!p)
+            continue;
+        ar.putF64(p->when);
+        ar.putU64(p->key);
+        saveSpec(ar, spec);
+    }
+
+    // Poisson arrivals: at most one pending event per process.
+    ar.putSize(arrivalIds_.size());
+    for (sim::EventId id : arrivalIds_) {
+        const auto p = eq.pendingInfo(id);
+        ar.putBool(p.has_value());
+        if (p) {
+            ar.putF64(p->when);
+            ar.putU64(p->key);
+        }
+    }
+
+    // Pending fault-clear events.
+    live = 0;
+    for (const auto &[id, logIdx] : clearEvents_) {
+        if (eq.pendingInfo(id))
+            ++live;
+    }
+    ar.putSize(live);
+    for (const auto &[id, logIdx] : clearEvents_) {
+        const auto p = eq.pendingInfo(id);
+        if (!p)
+            continue;
+        ar.putF64(p->when);
+        ar.putU64(p->key);
+        ar.putU64(logIdx);
+    }
+}
+
+void
+FaultInjector::load(snapshot::Archive &ar)
+{
+    ar.section("fault_injector");
+
+    // Drop everything the constructor scheduled: the snapshot's pending
+    // set replaces it wholesale. cancel() on a fired id is a no-op.
+    auto &eq = sim_.events();
+    for (const auto &[id, spec] : specEvents_)
+        eq.cancel(id);
+    for (sim::EventId id : arrivalIds_)
+        eq.cancel(id);
+    for (const auto &[id, logIdx] : clearEvents_)
+        eq.cancel(id);
+    specEvents_.clear();
+    clearEvents_.clear();
+
+    if (ar.getSize() != processRng_.size())
+        throw snapshot::SnapshotError(
+            "FaultInjector: process count differs from snapshot");
+    for (Rng &r : processRng_)
+        r.load(ar);
+
+    log_.assign(ar.getSize(), InjectedFault{});
+    for (InjectedFault &f : log_) {
+        f.spec = loadSpec(ar);
+        f.cleared = ar.getBool();
+        f.clearedAt = ar.getF64();
+    }
+    cleared_ = ar.getU64();
+    tracker_.loadState(ar);
+
+    // Re-create the pending events at their exact saved (when, key):
+    // the callbacks are rebuilt with identical shapes, so dispatch is
+    // indistinguishable from the uninterrupted run.
+    std::size_t n = ar.getSize();
+    specEvents_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Seconds when = ar.getF64();
+        const std::uint64_t key = ar.getU64();
+        const FaultSpec s = loadSpec(ar);
+        specEvents_.emplace_back(
+            eq.restoreEvent(when, key, [this, s] { apply(s); }), s);
+    }
+
+    if (ar.getSize() != arrivalIds_.size())
+        throw snapshot::SnapshotError(
+            "FaultInjector: arrival-process count differs from snapshot");
+    for (std::size_t process = 0; process < arrivalIds_.size();
+         ++process) {
+        arrivalIds_[process] = 0;
+        if (!ar.getBool())
+            continue;
+        const Seconds when = ar.getF64();
+        const std::uint64_t key = ar.getU64();
+        arrivalIds_[process] = eq.restoreEvent(
+            when, key, [this, process] {
+                fireProcess(process);
+                scheduleNextArrival(process);
+            });
+    }
+
+    n = ar.getSize();
+    clearEvents_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Seconds when = ar.getF64();
+        const std::uint64_t key = ar.getU64();
+        const std::size_t logIdx = ar.getU64();
+        if (logIdx >= log_.size())
+            throw snapshot::SnapshotError(
+                "FaultInjector: clear event references a log entry "
+                "beyond the snapshot");
+        clearEvents_.emplace_back(
+            eq.restoreEvent(when, key,
+                            [this, logIdx] { clearFault(logIdx); }),
+            logIdx);
+    }
 }
 
 void

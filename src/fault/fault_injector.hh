@@ -30,8 +30,11 @@
 
 #include <vector>
 
+#include <utility>
+
 #include "core/experiment.hh"
 #include "fault/fault_plan.hh"
+#include "sim/event_queue.hh"
 #include "sim/rng.hh"
 
 namespace insure::fault {
@@ -61,6 +64,12 @@ class ResilienceTracker : public core::SystemObserver
     }
 
     void onTick(const core::TickSample &s) override;
+
+    /** Serialize the accumulated resilience statistics. */
+    void saveState(snapshot::Archive &ar) const override;
+
+    /** Restore the accumulated resilience statistics. */
+    void loadState(snapshot::Archive &ar) override;
 
     Seconds outageSeconds() const { return outageSeconds_; }
     Seconds pendingDownSeconds() const { return pendingDownSeconds_; }
@@ -100,6 +109,22 @@ class FaultInjector : public core::PlantExtension
         return log_;
     }
 
+    /**
+     * Serialize injector state for a checkpoint: the per-process RNG
+     * streams, the ground-truth log, the tracker statistics and every
+     * STILL-PENDING scheduled event (exact fire time + dispatch key, so
+     * the restored queue pops in the identical order). Events that
+     * already fired are represented by the log, not re-saved.
+     */
+    void save(snapshot::Archive &ar) const override;
+
+    /**
+     * Restore into a freshly constructed injector for the same plan:
+     * cancels the events the constructor scheduled and re-creates the
+     * snapshot's pending set at the saved keys.
+     */
+    void load(snapshot::Archive &ar) override;
+
   private:
     void scheduleSpec(const FaultSpec &spec);
     void scheduleNextArrival(unsigned process);
@@ -119,6 +144,14 @@ class FaultInjector : public core::PlantExtension
     std::uint64_t cleared_ = 0;
     ResilienceTracker tracker_;
     core::ObserverList observers_;
+
+    // Pending-event registries for checkpointing. Every schedule records
+    // its EventId; save() asks the queue via pendingInfo(), so ids whose
+    // events already fired (or were cancelled) drop out with no extra
+    // bookkeeping. An id of 0 was never issued and reads as not-pending.
+    std::vector<std::pair<sim::EventId, FaultSpec>> specEvents_;
+    std::vector<sim::EventId> arrivalIds_;
+    std::vector<std::pair<sim::EventId, std::size_t>> clearEvents_;
 };
 
 /**

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Self-healing batch campaigns on top of the PR-1 BatchRunner model:
+ * the same deterministic seeded fan-out, plus crash and hang survival.
+ *
+ * Each run executes in interval-sized chunks through the snapshotter,
+ * committing an atomic checkpoint file between chunks. A journaled
+ * manifest (JSONL, flushed + fsynced per record) and per-run result
+ * files in the campaign state directory make the whole sweep
+ * re-entrant: a re-invocation with resume=true skips completed runs
+ * (their cached results are returned verbatim, so the campaign output
+ * is byte-identical to an uninterrupted sweep) and restarts
+ * interrupted runs from their last checkpoint — kill -9 at any instant
+ * costs at most one checkpoint interval of one run.
+ *
+ * A cooperative wall-clock watchdog bounds each run: chunk boundaries
+ * check a deadline, and a run that exceeds it is abandoned and retried
+ * with exponential backoff under a freshly derived seed (bounded
+ * attempts). Only watchdog timeouts retry — a run that *throws* fails
+ * deterministically (validate::Policy::Throw surfaces invariant
+ * breaches this way on purpose) and is recorded as a failed result,
+ * exactly as the plain BatchRunner records it.
+ */
+
+#ifndef INSURE_HARNESS_RESILIENT_RUNNER_HH
+#define INSURE_HARNESS_RESILIENT_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/batch_runner.hh"
+
+namespace insure::harness {
+
+/** Execution policy of a self-healing campaign. */
+struct ResilientOptions {
+    /** Worker threads; 0 selects defaultJobs(). */
+    unsigned jobs = 0;
+    /**
+     * Campaign state directory: journal, per-run checkpoints and result
+     * files live here (created if missing). Empty disables all
+     * persistence — watchdog and retry still apply.
+     */
+    std::string stateDir;
+    /**
+     * Reuse state found in stateDir: completed runs are served from
+     * their result files (only when their recorded spec label and seed
+     * match this campaign's), interrupted runs restart from their last
+     * checkpoint. Without this flag existing campaign state in the
+     * directory is cleared before the sweep starts.
+     */
+    bool resume = false;
+    /**
+     * Simulated seconds between mid-run checkpoints (0 disables
+     * checkpoint files; runs still chunk for the watchdog).
+     */
+    Seconds checkpointInterval = 0.0;
+    /** Wall-clock budget per run attempt, seconds (0 = no watchdog). */
+    double watchdogSeconds = 0.0;
+    /** Retry attempts after a watchdog timeout. */
+    unsigned maxRetries = 2;
+    /** Base of the exponential retry backoff, wall seconds. */
+    double backoffSeconds = 1.0;
+};
+
+/** Executes seeded sweeps that survive crashes, kills and hangs. */
+class ResilientRunner
+{
+  public:
+    using Progress = BatchRunner::Progress;
+
+    explicit ResilientRunner(ResilientOptions opts);
+
+    /** The worker-thread count this runner executes with. */
+    unsigned jobs() const { return jobs_; }
+
+    const ResilientOptions &options() const { return opts_; }
+
+    /**
+     * Derive a child seed for every spec from @p masterSeed (identical
+     * derivation to BatchRunner::runSeeded, so the two runners produce
+     * the same runs), then execute under the resilience policy.
+     * Results are returned in spec order.
+     */
+    std::vector<core::RunResult> runSeeded(std::vector<core::RunSpec> specs,
+                                           std::uint64_t masterSeed,
+                                           const Progress &progress = {});
+
+  private:
+    ResilientOptions opts_;
+    unsigned jobs_;
+};
+
+} // namespace insure::harness
+
+#endif // INSURE_HARNESS_RESILIENT_RUNNER_HH

@@ -1,5 +1,7 @@
 #include "server/cluster.hh"
 
+#include "snapshot/archive.hh"
+
 #include <algorithm>
 #include <cmath>
 
@@ -194,6 +196,29 @@ Cluster::lostVmHours() const
     for (const auto &n : nodes_)
         h += n->lostVmHours();
     return h;
+}
+
+
+void
+Cluster::save(snapshot::Archive &ar) const
+{
+    ar.section("cluster");
+    ar.putSize(nodes_.size());
+    for (const auto &n : nodes_)
+        n->save(ar);
+    ar.putU32(targetVms_);
+}
+
+void
+Cluster::load(snapshot::Archive &ar)
+{
+    ar.section("cluster");
+    if (ar.getSize() != nodes_.size())
+        throw snapshot::SnapshotError(
+            "Cluster: node count differs from snapshot");
+    for (auto &n : nodes_)
+        n->load(ar);
+    targetVms_ = ar.getU32();
 }
 
 } // namespace insure::server

@@ -19,6 +19,10 @@
 
 #include "server/server_node.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::server {
 
 /** Aggregated result of advancing the whole cluster. */
@@ -113,6 +117,12 @@ class Cluster
 
     /** Total useful compute lost to emergencies, VM-hours. */
     double lostVmHours() const;
+
+    /** Serialize every node and the VM target. */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore every node and the VM target. */
+    void load(snapshot::Archive &ar);
 
   private:
     std::vector<std::unique_ptr<ServerNode>> nodes_;

@@ -1,5 +1,7 @@
 #include "server/server_node.hh"
 
+#include "snapshot/archive.hh"
+
 #include <algorithm>
 #include <cmath>
 
@@ -140,6 +142,42 @@ ServerNode::step(Seconds dt)
         remaining -= slice;
     }
     return res;
+}
+
+
+void
+ServerNode::save(snapshot::Archive &ar) const
+{
+    ar.section("server_node");
+    ar.putEnum(state_);
+    ar.putF64(stateRemaining_);
+    ar.putF64(mgmtRemaining_);
+    ar.putU32(activeVms_);
+    ar.putF64(frequency_);
+    ar.putF64(dutyCycle_);
+    ar.putF64(workloadUtil_);
+    ar.putU64(onOffCycles_);
+    ar.putU64(vmControlOps_);
+    ar.putU64(emergencyShutdowns_);
+    ar.putF64(lostVmHours_);
+}
+
+void
+ServerNode::load(snapshot::Archive &ar)
+{
+    ar.section("server_node");
+    state_ = ar.getEnum<NodeState>(
+        static_cast<std::uint32_t>(NodeState::ShuttingDown));
+    stateRemaining_ = ar.getF64();
+    mgmtRemaining_ = ar.getF64();
+    activeVms_ = ar.getU32();
+    frequency_ = ar.getF64();
+    dutyCycle_ = ar.getF64();
+    workloadUtil_ = ar.getF64();
+    onOffCycles_ = ar.getU64();
+    vmControlOps_ = ar.getU64();
+    emergencyShutdowns_ = ar.getU64();
+    lostVmHours_ = ar.getF64();
 }
 
 } // namespace insure::server

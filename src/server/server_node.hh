@@ -21,6 +21,10 @@
 #include "server/node_params.hh"
 #include "sim/units.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::server {
 
 /** Power state of a physical node. */
@@ -155,6 +159,12 @@ class ServerNode
 
     /** Total useful compute lost to emergencies, VM-hours. */
     double lostVmHours() const { return lostVmHours_; }
+
+    /** Serialize the power/VM state machine and its counters. */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore the state machine and counters. */
+    void load(snapshot::Archive &ar);
 
   private:
     std::string name_;

@@ -1,6 +1,7 @@
 #include "sim/event_queue.hh"
 
 #include "sim/logging.hh"
+#include "snapshot/archive.hh"
 
 namespace insure::sim {
 
@@ -14,6 +15,60 @@ void
 EventQueue::rearmOutsideDispatch() const
 {
     panic("EventQueue: rearmCurrentIn outside event dispatch");
+}
+
+std::optional<EventQueue::PendingEvent>
+EventQueue::pendingInfo(EventId id) const
+{
+    const std::uint32_t slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+    const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+    if (slot >= slots_.size())
+        return std::nullopt;
+    const Slot &s = slots_[slot];
+    if (!s.live || s.gen != gen)
+        return std::nullopt;
+    const Entry *e = queue_.find(slot, gen);
+    if (e == nullptr)
+        return std::nullopt;
+    return PendingEvent{e->when, e->key};
+}
+
+EventId
+EventQueue::restoreEvent(Seconds when, std::uint64_t key, Callback fn)
+{
+    if (when < now_)
+        throw snapshot::SnapshotError(
+            "EventQueue::restoreEvent: event before restored clock");
+    // The key embeds the original sequence number; it must predate the
+    // restored nextSeq_ or a later schedule() could mint a duplicate.
+    const std::uint64_t seq = key & ((std::uint64_t{1} << 56) - 1);
+    if (seq >= nextSeq_)
+        throw snapshot::SnapshotError(
+            "EventQueue::restoreEvent: key not issued by restored clock");
+    const std::uint32_t slot = acquireSlot();
+    Slot &s = slots_[slot];
+    s.fn = std::move(fn);
+    ++s.gen;
+    s.live = true;
+    ++liveCount_;
+    queue_.push(Entry{when, key, slot, s.gen});
+    return makeId(s.gen, slot);
+}
+
+void
+EventQueue::saveClock(snapshot::Archive &ar) const
+{
+    ar.section("event_queue.clock");
+    ar.putF64(now_);
+    ar.putU64(nextSeq_);
+}
+
+void
+EventQueue::loadClock(snapshot::Archive &ar)
+{
+    ar.section("event_queue.clock");
+    now_ = ar.getF64();
+    nextSeq_ = ar.getU64();
 }
 
 PeriodicTask::PeriodicTask(EventQueue &eq, Seconds period,
@@ -59,6 +114,34 @@ PeriodicTask::fire()
     // allocation and constructs no closure.
     pendingId_ = eq_.rearmCurrentIn(period_, prio_);
     fn_(eq_.now());
+}
+
+void
+PeriodicTask::save(snapshot::Archive &ar) const
+{
+    ar.section("periodic_task");
+    ar.putBool(running_);
+    if (running_) {
+        const auto info = eq_.pendingInfo(pendingId_);
+        if (!info)
+            throw snapshot::SnapshotError(
+                "PeriodicTask: running but no pending event to save");
+        ar.putF64(info->when);
+        ar.putU64(info->key);
+    }
+}
+
+void
+PeriodicTask::load(snapshot::Archive &ar)
+{
+    ar.section("periodic_task");
+    stop();
+    if (ar.getBool()) {
+        const Seconds when = ar.getF64();
+        const std::uint64_t key = ar.getU64();
+        running_ = true;
+        pendingId_ = eq_.restoreEvent(when, key, [this] { fire(); });
+    }
 }
 
 } // namespace insure::sim

@@ -21,10 +21,15 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "sim/inline_function.hh"
 #include "sim/units.hh"
+
+namespace insure::snapshot {
+class Archive;
+}
 
 namespace insure::sim {
 
@@ -164,6 +169,43 @@ class EventQueue
         return makeId(s.gen, executingSlot_);
     }
 
+    // --- snapshot support -----------------------------------------
+    //
+    // Closures are never serialized. Instead, each owning component
+    // records the exact (when, key) of its live events via
+    // pendingInfo() at save time and re-creates the callback itself at
+    // load time via restoreEvent(), which schedules at the *explicit*
+    // saved key instead of drawing a fresh sequence number. Because the
+    // dispatch order is the strict total order on (when, key), the
+    // restored queue pops in exactly the original order even though
+    // entries may land on the heap side instead of the sorted run.
+
+    /** Exact position of a pending event in the dispatch order. */
+    struct PendingEvent {
+        Seconds when = 0.0;
+        std::uint64_t key = 0;
+    };
+
+    /**
+     * The (when, key) of a live pending event, or nullopt if @p id
+     * already fired or was cancelled. O(pending); snapshot-time only.
+     */
+    std::optional<PendingEvent> pendingInfo(EventId id) const;
+
+    /**
+     * Re-create a saved event at its exact original dispatch position.
+     * Only valid after loadClock() (the key's sequence number must be
+     * below the restored clock's nextSeq); throws SnapshotError
+     * otherwise.
+     */
+    EventId restoreEvent(Seconds when, std::uint64_t key, Callback fn);
+
+    /** Serialize the clock (now, next sequence number). */
+    void saveClock(snapshot::Archive &ar) const;
+
+    /** Restore the clock; call before any restoreEvent(). */
+    void loadClock(snapshot::Archive &ar);
+
   private:
     static constexpr std::uint32_t kNoSlot = ~0u;
 
@@ -273,6 +315,24 @@ class EventQueue
                 if (!heap_.empty())
                     siftDown(last);
             }
+        }
+
+        /**
+         * Locate the live entry for (slot, gen); null when absent.
+         * Linear scan — used only by snapshot-time pendingInfo().
+         */
+        const Entry *
+        find(std::uint32_t slot, std::uint32_t gen) const
+        {
+            for (std::size_t i = runHead_; i < run_.size(); ++i) {
+                if (run_[i].slot == slot && run_[i].gen == gen)
+                    return &run_[i];
+            }
+            for (const Entry &e : heap_) {
+                if (e.slot == slot && e.gen == gen)
+                    return &e;
+            }
+            return nullptr;
         }
 
       private:
@@ -433,6 +493,19 @@ class PeriodicTask
 
     /** The configured tick interval. */
     Seconds period() const { return period_; }
+
+    /**
+     * Serialize the running flag and, when running, the exact pending
+     * (when, key) so the next firing lands in the original order.
+     */
+    void save(snapshot::Archive &ar) const;
+
+    /**
+     * Restore: re-creates the pending firing via
+     * EventQueue::restoreEvent (the owning queue's clock must already
+     * be restored). On the restore path start() is never called.
+     */
+    void load(snapshot::Archive &ar);
 
   private:
     EventQueue &eq_;

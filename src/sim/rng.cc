@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "snapshot/archive.hh"
 
 namespace insure {
 
@@ -153,6 +154,46 @@ Rng::deriveSeed(std::uint64_t tag) const
         h = rotl(h, 23) ^ splitmix64(x);
     }
     return h;
+}
+
+RngState
+Rng::state() const
+{
+    RngState st;
+    for (int i = 0; i < 4; ++i)
+        st.s[i] = s_[i];
+    st.haveCached = haveCached_;
+    st.cached = cached_;
+    return st;
+}
+
+void
+Rng::setState(const RngState &st)
+{
+    for (int i = 0; i < 4; ++i)
+        s_[i] = st.s[i];
+    haveCached_ = st.haveCached;
+    cached_ = st.cached;
+}
+
+void
+Rng::save(snapshot::Archive &ar) const
+{
+    ar.section("rng");
+    for (const std::uint64_t s : s_)
+        ar.putU64(s);
+    ar.putBool(haveCached_);
+    ar.putF64(cached_);
+}
+
+void
+Rng::load(snapshot::Archive &ar)
+{
+    ar.section("rng");
+    for (auto &s : s_)
+        s = ar.getU64();
+    haveCached_ = ar.getBool();
+    cached_ = ar.getF64();
 }
 
 } // namespace insure

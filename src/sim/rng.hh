@@ -12,6 +12,10 @@
 
 #include <cstdint>
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure {
 
 /**
@@ -22,6 +26,17 @@ namespace insure {
  * "the default run" means the same stream of random numbers everywhere.
  */
 inline constexpr std::uint64_t kDefaultSeed = 2015;
+
+/**
+ * Complete in-flight state of an Rng: the xoshiro256** words plus the
+ * Box-Muller spare. Capturing only the seed would silently reset a
+ * stream mid-run; state()/setState() round-trip exactly.
+ */
+struct RngState {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool haveCached = false;
+    double cached = 0.0;
+};
 
 /**
  * A small, fast, deterministic PRNG (xoshiro256**) with convenience
@@ -84,6 +99,18 @@ class Rng
 
     /** The seed derive(tag) would construct its child stream from. */
     std::uint64_t deriveSeed(std::uint64_t tag) const;
+
+    /** Capture the full in-flight state (snapshot support). */
+    RngState state() const;
+
+    /** Restore a previously captured state; the stream continues exactly. */
+    void setState(const RngState &st);
+
+    /** Serialize the state into a snapshot archive. */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore the state from a snapshot archive. */
+    void load(snapshot::Archive &ar);
 
   private:
     std::uint64_t s_[4];

@@ -1,6 +1,7 @@
 #include "sim/simulation.hh"
 
 #include "sim/logging.hh"
+#include "snapshot/archive.hh"
 
 namespace insure::sim {
 
@@ -52,6 +53,33 @@ Simulation::finish()
     finished_ = true;
     for (auto *c : components_)
         c->finalize();
+}
+
+void
+Simulation::save(snapshot::Archive &ar) const
+{
+    ar.section("simulation");
+    ar.putU64(seed_);
+    events_.saveClock(ar);
+    root_.save(ar);
+    ar.putBool(started_);
+    ar.putBool(finished_);
+    ar.putU64(executed_);
+}
+
+void
+Simulation::load(snapshot::Archive &ar)
+{
+    ar.section("simulation");
+    const std::uint64_t seed = ar.getU64();
+    if (seed != seed_)
+        throw snapshot::SnapshotError(
+            "snapshot was taken with a different root seed");
+    events_.loadClock(ar);
+    root_.load(ar);
+    started_ = ar.getBool();
+    finished_ = ar.getBool();
+    executed_ = ar.getU64();
 }
 
 } // namespace insure::sim

@@ -17,6 +17,10 @@
 #include "sim/rng.hh"
 #include "sim/units.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::sim {
 
 class Simulation;
@@ -102,6 +106,23 @@ class Simulation
 
     /** Total events executed so far. */
     std::uint64_t eventsExecuted() const { return executed_; }
+
+    /**
+     * Serialize the clock, root RNG stream and run flags. Component
+     * state is serialized by the components' owners (the Snapshotter
+     * routes the whole plant), not by the registry.
+     */
+    void save(snapshot::Archive &ar) const;
+
+    /**
+     * Restore onto a freshly constructed simulation whose components
+     * have been rebuilt from the identical configuration. Marks the
+     * run as started *without* re-issuing startup(): every pending
+     * event is re-created by its owning component's load() at the
+     * exact saved (when, key), so a resumed run dispatches in the
+     * original order.
+     */
+    void load(snapshot::Archive &ar);
 
   private:
     EventQueue events_;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "sim/logging.hh"
+#include "snapshot/archive.hh"
 
 namespace insure::sim {
 
@@ -224,6 +225,92 @@ StatGroup::resetAll()
 {
     for (auto *s : stats_)
         s->reset();
+}
+
+void
+Counter::save(snapshot::Archive &ar) const
+{
+    ar.section("counter");
+    ar.putU64(value_);
+}
+
+void
+Counter::load(snapshot::Archive &ar)
+{
+    ar.section("counter");
+    value_ = ar.getU64();
+}
+
+void
+Accumulator::save(snapshot::Archive &ar) const
+{
+    ar.section("accumulator");
+    ar.putU64(count_);
+    ar.putF64(sum_);
+    ar.putF64(sumSq_);
+    ar.putF64(min_);
+    ar.putF64(max_);
+}
+
+void
+Accumulator::load(snapshot::Archive &ar)
+{
+    ar.section("accumulator");
+    count_ = ar.getU64();
+    sum_ = ar.getF64();
+    sumSq_ = ar.getF64();
+    min_ = ar.getF64();
+    max_ = ar.getF64();
+}
+
+void
+TimeWeightedGauge::save(snapshot::Archive &ar) const
+{
+    ar.section("gauge");
+    ar.putF64(level_);
+    ar.putF64(integral_);
+    ar.putF64(start_);
+    ar.putF64(last_);
+    ar.putBool(started_);
+}
+
+void
+TimeWeightedGauge::load(snapshot::Archive &ar)
+{
+    ar.section("gauge");
+    level_ = ar.getF64();
+    integral_ = ar.getF64();
+    start_ = ar.getF64();
+    last_ = ar.getF64();
+    started_ = ar.getBool();
+}
+
+void
+Histogram::save(snapshot::Archive &ar) const
+{
+    ar.section("histogram");
+    ar.putSize(bins_.size());
+    for (const std::uint64_t b : bins_)
+        ar.putU64(b);
+    ar.putU64(underflow_);
+    ar.putU64(overflow_);
+    ar.putU64(count_);
+    ar.putF64(sum_);
+}
+
+void
+Histogram::load(snapshot::Archive &ar)
+{
+    ar.section("histogram");
+    if (ar.getSize() != bins_.size())
+        throw snapshot::SnapshotError(
+            "Histogram: bin count differs from snapshot");
+    for (auto &b : bins_)
+        b = ar.getU64();
+    underflow_ = ar.getU64();
+    overflow_ = ar.getU64();
+    count_ = ar.getU64();
+    sum_ = ar.getF64();
 }
 
 } // namespace insure::sim

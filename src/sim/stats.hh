@@ -19,6 +19,10 @@
 
 #include "sim/units.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::sim {
 
 class StatGroup;
@@ -66,6 +70,9 @@ class Counter : public StatBase
     std::string render() const override;
     void reset() override { value_ = 0; }
 
+    void save(snapshot::Archive &ar) const;
+    void load(snapshot::Archive &ar);
+
   private:
     std::uint64_t value_ = 0;
 };
@@ -97,6 +104,9 @@ class Accumulator : public StatBase
 
     std::string render() const override;
     void reset() override;
+
+    void save(snapshot::Archive &ar) const;
+    void load(snapshot::Archive &ar);
 
   private:
     std::uint64_t count_ = 0;
@@ -157,6 +167,9 @@ class TimeWeightedGauge : public StatBase
     std::string render() const override;
     void reset() override;
 
+    void save(snapshot::Archive &ar) const;
+    void load(snapshot::Archive &ar);
+
   private:
     double level_ = 0.0;
     double integral_ = 0.0;
@@ -196,6 +209,9 @@ class Histogram : public StatBase
 
     std::string render() const override;
     void reset() override;
+
+    void save(snapshot::Archive &ar) const;
+    void load(snapshot::Archive &ar);
 
   private:
     double lo_;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "sim/logging.hh"
+#include "snapshot/archive.hh"
 
 namespace insure::sim {
 
@@ -160,10 +161,14 @@ Trace::writeCsv(std::ostream &os) const
 void
 Trace::saveCsv(const std::string &path) const
 {
-    std::ofstream os(path);
-    if (!os)
-        fatal("Trace: cannot open '%s' for writing", path.c_str());
+    // Atomic: a crash mid-write can never leave a truncated CSV behind.
+    std::ostringstream os;
     writeCsv(os);
+    try {
+        snapshot::atomicWriteFile(path, os.str());
+    } catch (const snapshot::SnapshotError &e) {
+        fatal("Trace: cannot write '%s': %s", path.c_str(), e.what());
+    }
 }
 
 Trace
@@ -209,6 +214,36 @@ Trace::loadCsv(const std::string &path)
     if (!is)
         fatal("Trace: cannot open '%s' for reading", path.c_str());
     return readCsv(is);
+}
+
+void
+Trace::save(snapshot::Archive &ar) const
+{
+    ar.section("trace");
+    ar.putSize(columns_.size());
+    ar.putSize(rows_.size());
+    for (const auto &row : rows_) {
+        for (double v : row)
+            ar.putF64(v);
+    }
+}
+
+void
+Trace::load(snapshot::Archive &ar)
+{
+    ar.section("trace");
+    if (ar.getSize() != columns_.size())
+        throw snapshot::SnapshotError(
+            "Trace: column count differs from snapshot");
+    const std::size_t n = ar.getSize();
+    rows_.clear();
+    rows_.reserve(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        std::vector<double> row(columns_.size());
+        for (double &v : row)
+            v = ar.getF64();
+        rows_.push_back(std::move(row));
+    }
 }
 
 } // namespace insure::sim

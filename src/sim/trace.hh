@@ -14,6 +14,10 @@
 #include <string>
 #include <vector>
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::sim {
 
 /** In-memory columnar trace with CSV serialisation. */
@@ -100,6 +104,15 @@ class Trace
 
     /** Parse CSV from a file path. Fatal on I/O error. */
     static Trace loadCsv(const std::string &path);
+
+    /**
+     * Serialize the recorded rows (bit-exact doubles; columns are fixed
+     * by construction and only checked for count on load).
+     */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore the recorded rows, replacing any current contents. */
+    void load(snapshot::Archive &ar);
 
   private:
     std::vector<std::string> columns_;

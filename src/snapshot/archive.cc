@@ -1,0 +1,139 @@
+#include "snapshot/archive.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace insure::snapshot {
+
+std::uint64_t
+fnv1a(const void *data, std::size_t size, std::uint64_t h)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
+void
+atomicWriteFile(const std::string &path, std::string_view data)
+{
+    // Temp file beside the target so the rename stays within one
+    // filesystem (rename across devices is a copy, not atomic). The
+    // name is unique per writer (mkstemp) so two threads targeting the
+    // same path cannot clobber each other's half-written temp file.
+    std::string tmp = path + ".tmp.XXXXXX";
+    const int fd = ::mkstemp(tmp.data());
+    if (fd < 0)
+        throw SnapshotError("cannot create temp file for " + path + ": " +
+                            std::strerror(errno));
+    ::fchmod(fd, 0644);
+    std::size_t written = 0;
+    while (written < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + written, data.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const std::string err = std::strerror(errno);
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            throw SnapshotError("write failed on " + tmp + ": " + err);
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    // Data must be durable before the rename publishes the name, or a
+    // crash between the two could expose an empty file under the final
+    // path.
+    if (::fsync(fd) != 0) {
+        const std::string err = std::strerror(errno);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw SnapshotError("fsync failed on " + tmp + ": " + err);
+    }
+    if (::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        throw SnapshotError("close failed on " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const std::string err = std::strerror(errno);
+        ::unlink(tmp.c_str());
+        throw SnapshotError("rename " + tmp + " -> " + path + " failed: " +
+                            err);
+    }
+    // The rename itself is only durable once the directory entry is on
+    // disk; without this a crash can resurrect the old file (or none).
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int dirFd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dirFd >= 0) {
+        ::fsync(dirFd);
+        ::close(dirFd);
+    }
+}
+
+void
+writeSnapshotFile(const std::string &path, const Archive &ar)
+{
+    const std::string &payload = ar.payload();
+    std::string framed;
+    framed.reserve(payload.size() + 24);
+    auto append = [&framed](const void *p, std::size_t n) {
+        framed.append(static_cast<const char *>(p), n);
+    };
+    const std::uint32_t magic = kSnapshotMagic;
+    const std::uint32_t version = kSnapshotVersion;
+    const std::uint64_t size = payload.size();
+    const std::uint64_t sum = fnv1a(payload.data(), payload.size());
+    append(&magic, sizeof magic);
+    append(&version, sizeof version);
+    append(&size, sizeof size);
+    append(&sum, sizeof sum);
+    framed += payload;
+    atomicWriteFile(path, framed);
+}
+
+Archive
+readSnapshotFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw SnapshotError("cannot open snapshot " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string framed = ss.str();
+
+    if (framed.size() < 24)
+        throw SnapshotError("snapshot " + path +
+                            " truncated: no complete header");
+    std::uint32_t magic, version;
+    std::uint64_t size, sum;
+    std::memcpy(&magic, framed.data(), sizeof magic);
+    std::memcpy(&version, framed.data() + 4, sizeof version);
+    std::memcpy(&size, framed.data() + 8, sizeof size);
+    std::memcpy(&sum, framed.data() + 16, sizeof sum);
+    if (magic != kSnapshotMagic)
+        throw SnapshotError("snapshot " + path + ": bad magic");
+    if (version != kSnapshotVersion)
+        throw SnapshotError(
+            "snapshot " + path + ": schema version " +
+            std::to_string(version) + " (this build reads " +
+            std::to_string(kSnapshotVersion) + ")");
+    if (framed.size() - 24 != size)
+        throw SnapshotError("snapshot " + path + ": payload truncated");
+    const std::string payload = framed.substr(24);
+    if (fnv1a(payload.data(), payload.size()) != sum)
+        throw SnapshotError("snapshot " + path + ": checksum mismatch");
+    return Archive::forLoad(payload);
+}
+
+} // namespace insure::snapshot

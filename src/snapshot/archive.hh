@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Binary serialization visitor for crash-safe simulation snapshots.
+ *
+ * An Archive is a flat byte stream in one of two modes: Save appends
+ * primitive values, Load consumes them in the same order. Every stateful
+ * component implements a small save(Archive&)/load(Archive&) pair whose
+ * put/get sequences mirror each other exactly; the Snapshotter
+ * (snapshot/snapshotter.hh) routes the whole plant through one archive.
+ *
+ * Doubles are serialized as their raw 64-bit representation (bit_cast),
+ * never through text formatting, so a restored run is bit-identical to
+ * the uninterrupted one. The on-disk frame adds a magic number, a schema
+ * version and an FNV-1a checksum over the payload; readSnapshotFile
+ * rejects corrupted, truncated or wrong-version files with a
+ * SnapshotError, never undefined behaviour (every read is
+ * bounds-checked). Files are written via atomicWriteFile: temp file in
+ * the same directory, fsync, then rename, so a crash mid-write can
+ * never leave a half-written snapshot (or campaign JSON) behind.
+ *
+ * The format is host-endian and host-layout: snapshots are a
+ * crash-recovery mechanism for the machine that wrote them, not an
+ * interchange format.
+ */
+
+#ifndef INSURE_SNAPSHOT_ARCHIVE_HH
+#define INSURE_SNAPSHOT_ARCHIVE_HH
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace insure::snapshot {
+
+/** Raised on any malformed, mismatched or unreadable snapshot. */
+class SnapshotError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Snapshot file magic ("INSS" little-endian) and schema version. */
+inline constexpr std::uint32_t kSnapshotMagic = 0x53534E49u;
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/** FNV-1a over a byte range (the payload checksum). */
+std::uint64_t fnv1a(const void *data, std::size_t size,
+                    std::uint64_t h = 0xCBF29CE484222325ull);
+
+/** The serialization visitor. */
+class Archive
+{
+  public:
+    /** An empty archive ready for put*() calls. */
+    static Archive forSave() { return Archive(std::string(), true); }
+
+    /** An archive over @p payload ready for get*() calls. */
+    static Archive forLoad(std::string payload)
+    {
+        return Archive(std::move(payload), false);
+    }
+
+    /** True in save mode (putters allowed), false in load mode. */
+    bool saving() const { return saving_; }
+
+    /** The serialized payload (save mode). */
+    const std::string &payload() const { return buf_; }
+
+    /** Bytes not yet consumed (load mode). */
+    std::size_t remaining() const { return buf_.size() - pos_; }
+
+    // --- putters (save mode only) ---------------------------------
+
+    void
+    putU64(std::uint64_t v)
+    {
+        requireSaving();
+        appendRaw(&v, sizeof v);
+    }
+
+    void putU32(std::uint32_t v)
+    {
+        requireSaving();
+        appendRaw(&v, sizeof v);
+    }
+
+    void putI64(std::int64_t v) { putU64(static_cast<std::uint64_t>(v)); }
+
+    void putBool(bool v) { putU32(v ? 1u : 0u); }
+
+    /** Raw 64-bit image of the double: restores are bit-exact. */
+    void putF64(double v) { putU64(std::bit_cast<std::uint64_t>(v)); }
+
+    void
+    putStr(std::string_view s)
+    {
+        putU64(s.size());
+        requireSaving();
+        appendRaw(s.data(), s.size());
+    }
+
+    /** A container size (u64), symmetric with getSize(). */
+    void putSize(std::size_t n) { putU64(n); }
+
+    template <class E>
+    void
+    putEnum(E e)
+    {
+        putU32(static_cast<std::uint32_t>(e));
+    }
+
+    void
+    putF64Vec(const std::vector<double> &v)
+    {
+        putSize(v.size());
+        for (double x : v)
+            putF64(x);
+    }
+
+    // --- getters (load mode only) ---------------------------------
+
+    std::uint64_t
+    getU64()
+    {
+        std::uint64_t v;
+        readRaw(&v, sizeof v);
+        return v;
+    }
+
+    std::uint32_t
+    getU32()
+    {
+        std::uint32_t v;
+        readRaw(&v, sizeof v);
+        return v;
+    }
+
+    std::int64_t getI64() { return static_cast<std::int64_t>(getU64()); }
+
+    bool
+    getBool()
+    {
+        const std::uint32_t v = getU32();
+        if (v > 1)
+            throw SnapshotError("snapshot: bool field out of range");
+        return v != 0;
+    }
+
+    double getF64() { return std::bit_cast<double>(getU64()); }
+
+    std::string
+    getStr()
+    {
+        const std::uint64_t n = getU64();
+        if (n > remaining())
+            throw SnapshotError("snapshot: string length past end");
+        std::string s(buf_.data() + pos_, static_cast<std::size_t>(n));
+        pos_ += static_cast<std::size_t>(n);
+        return s;
+    }
+
+    /**
+     * A container size with a sanity cap: a corrupted length field must
+     * fail loudly instead of driving a multi-gigabyte allocation.
+     */
+    std::size_t
+    getSize(std::size_t maxReasonable = kMaxElements)
+    {
+        const std::uint64_t n = getU64();
+        if (n > maxReasonable)
+            throw SnapshotError("snapshot: container size implausible");
+        return static_cast<std::size_t>(n);
+    }
+
+    template <class E>
+    E
+    getEnum(std::uint32_t maxValue)
+    {
+        const std::uint32_t v = getU32();
+        if (v > maxValue)
+            throw SnapshotError("snapshot: enum value out of range");
+        return static_cast<E>(v);
+    }
+
+    std::vector<double>
+    getF64Vec()
+    {
+        const std::size_t n = getSize();
+        std::vector<double> v(n);
+        for (std::size_t i = 0; i < n; ++i)
+            v[i] = getF64();
+        return v;
+    }
+
+    /**
+     * Section framing: save writes a tag, load verifies it. Catches
+     * save/load pairs drifting out of sync at the component boundary
+     * where it happened, not thousands of bytes later.
+     */
+    void
+    section(const char *name)
+    {
+        const std::uint32_t tag =
+            static_cast<std::uint32_t>(fnv1a(name, traits_length(name)));
+        if (saving_) {
+            putU32(tag);
+        } else if (getU32() != tag) {
+            throw SnapshotError(std::string("snapshot: section '") + name +
+                                "' out of sync");
+        }
+    }
+
+  private:
+    static constexpr std::size_t kMaxElements = 1u << 28;
+
+    Archive(std::string buf, bool saving)
+        : buf_(std::move(buf)), saving_(saving)
+    {
+    }
+
+    static std::size_t
+    traits_length(const char *s)
+    {
+        std::size_t n = 0;
+        while (s[n] != '\0')
+            ++n;
+        return n;
+    }
+
+    void
+    requireSaving() const
+    {
+        if (!saving_)
+            throw SnapshotError("snapshot: put on a load-mode archive");
+    }
+
+    void
+    appendRaw(const void *data, std::size_t size)
+    {
+        buf_.append(static_cast<const char *>(data), size);
+    }
+
+    void
+    readRaw(void *out, std::size_t size)
+    {
+        if (saving_)
+            throw SnapshotError("snapshot: get on a save-mode archive");
+        if (size > buf_.size() - pos_)
+            throw SnapshotError("snapshot: truncated payload");
+        __builtin_memcpy(out, buf_.data() + pos_, size);
+        pos_ += size;
+    }
+
+    std::string buf_;
+    std::size_t pos_ = 0;
+    bool saving_;
+};
+
+/**
+ * Write @p data to @p path atomically: unique temp file in the same
+ * directory, flush + fsync, rename over the target, then fsync the
+ * directory so the rename itself is durable. Throws SnapshotError on
+ * any I/O failure. Also used for campaign JSON and manifest results so
+ * a crash can never leave truncated output files.
+ */
+void atomicWriteFile(const std::string &path, std::string_view data);
+
+/** Frame @p ar's payload (magic, version, checksum) and write atomically. */
+void writeSnapshotFile(const std::string &path, const Archive &ar);
+
+/**
+ * Read and validate a snapshot file; returns a load-mode archive over
+ * the payload. Throws SnapshotError on missing file, bad magic, version
+ * mismatch, short payload or checksum failure.
+ */
+Archive readSnapshotFile(const std::string &path);
+
+} // namespace insure::snapshot
+
+#endif // INSURE_SNAPSHOT_ARCHIVE_HH

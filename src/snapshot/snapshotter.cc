@@ -1,0 +1,123 @@
+#include "snapshot/snapshotter.hh"
+
+#include <algorithm>
+#include <string>
+
+namespace insure::snapshot {
+
+namespace {
+
+/**
+ * The fingerprint pins the config degrees of freedom that change the
+ * serialized layout or the deterministic construction sequence. It is a
+ * usability layer on top of the per-component checks: a mismatched
+ * resume fails here with a named field instead of deep inside a
+ * section tag.
+ */
+void
+putFingerprint(Archive &ar, const core::ExperimentConfig &cfg)
+{
+    ar.section("config_fingerprint");
+    ar.putU64(cfg.seed);
+    ar.putF64(cfg.duration);
+    ar.putEnum(cfg.manager);
+    ar.putEnum(cfg.day);
+    ar.putU32(cfg.system.cabinetCount);
+    ar.putU32(cfg.system.seriesCount);
+    ar.putU32(cfg.system.nodeCount);
+    ar.putBool(cfg.recordTrace);
+    ar.putF64(cfg.system.physicsTick);
+}
+
+void
+requireMatch(bool ok, const char *field)
+{
+    if (!ok)
+        throw SnapshotError(
+            std::string("snapshot: config fingerprint mismatch (") + field +
+            " differs from the run that wrote the snapshot)");
+}
+
+void
+checkFingerprint(Archive &ar, const core::ExperimentConfig &cfg)
+{
+    ar.section("config_fingerprint");
+    requireMatch(ar.getU64() == cfg.seed, "seed");
+    requireMatch(ar.getF64() == cfg.duration, "duration");
+    requireMatch(ar.getU32() == static_cast<std::uint32_t>(cfg.manager),
+                 "manager");
+    requireMatch(ar.getU32() == static_cast<std::uint32_t>(cfg.day), "day");
+    requireMatch(ar.getU32() == cfg.system.cabinetCount, "cabinetCount");
+    requireMatch(ar.getU32() == cfg.system.seriesCount, "seriesCount");
+    requireMatch(ar.getU32() == cfg.system.nodeCount, "nodeCount");
+    requireMatch(ar.getBool() == cfg.recordTrace, "recordTrace");
+    requireMatch(ar.getF64() == cfg.system.physicsTick, "physicsTick");
+}
+
+/**
+ * Advance the rig to the end of its configured duration in
+ * interval-sized chunks, committing a checkpoint after each chunk. The
+ * final chunk skips the checkpoint: the caller is about to harvest the
+ * finished result, so a stale checkpoint would only invite a re-run.
+ */
+core::ExperimentResult
+driveCheckpointed(core::ExperimentRig &rig, const CheckpointOptions &opts)
+{
+    const Seconds duration = rig.config().duration;
+    const Seconds step = opts.interval > 0.0 ? opts.interval : duration;
+    Seconds now = rig.simulation().now();
+    while (now < duration) {
+        const Seconds next = std::min(duration, now + step);
+        rig.runUntil(next);
+        now = next;
+        if (opts.onProgress)
+            opts.onProgress(now);
+        if (!opts.path.empty() && now < duration) {
+            saveRigSnapshot(rig, opts.path);
+            if (opts.onCheckpoint)
+                opts.onCheckpoint(now);
+        }
+    }
+    return rig.finish();
+}
+
+} // namespace
+
+void
+saveRigSnapshot(const core::ExperimentRig &rig, const std::string &path)
+{
+    Archive ar = Archive::forSave();
+    putFingerprint(ar, rig.config());
+    rig.save(ar);
+    writeSnapshotFile(path, ar);
+}
+
+void
+loadRigSnapshot(core::ExperimentRig &rig, const std::string &path)
+{
+    Archive ar = readSnapshotFile(path);
+    checkFingerprint(ar, rig.config());
+    rig.load(ar);
+    if (ar.remaining() != 0)
+        throw SnapshotError("snapshot: trailing bytes after restore "
+                            "(snapshot and code disagree on the layout)");
+}
+
+core::ExperimentResult
+runCheckpointed(const core::ExperimentConfig &cfg,
+                const CheckpointOptions &opts)
+{
+    core::ExperimentRig rig(cfg);
+    return driveCheckpointed(rig, opts);
+}
+
+core::ExperimentResult
+resumeCheckpointed(const core::ExperimentConfig &cfg,
+                   const CheckpointOptions &opts)
+{
+    core::ExperimentRig rig(cfg);
+    loadRigSnapshot(rig, opts.path);
+    return driveCheckpointed(rig, opts);
+}
+
+} // namespace insure::snapshot

@@ -1,5 +1,7 @@
 #include "solar/irradiance.hh"
 
+#include "snapshot/archive.hh"
+
 #include <algorithm>
 #include <cmath>
 
@@ -91,4 +93,28 @@ IrradianceModel::step(Seconds now, Seconds dt)
     value_ = clearSky(now) * smoothed_ * params_.baseTransmittance;
 }
 
+
+void
+IrradianceModel::save(snapshot::Archive &ar) const
+{
+    ar.section("irradiance");
+    rng_.save(ar);
+    ar.putBool(inCloud_);
+    ar.putF64(nextTransition_);
+    ar.putF64(target_);
+    ar.putF64(smoothed_);
+    ar.putF64(value_);
+}
+
+void
+IrradianceModel::load(snapshot::Archive &ar)
+{
+    ar.section("irradiance");
+    rng_.load(ar);
+    inCloud_ = ar.getBool();
+    nextTransition_ = ar.getF64();
+    target_ = ar.getF64();
+    smoothed_ = ar.getF64();
+    value_ = ar.getF64();
+}
 } // namespace insure::solar

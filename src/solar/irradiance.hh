@@ -17,6 +17,10 @@
 #include "sim/rng.hh"
 #include "sim/units.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::solar {
 
 /** Weather classes used throughout the evaluation (paper Table 6). */
@@ -79,6 +83,12 @@ class IrradianceModel
 
     /** Current cloud transmittance target (before smoothing). */
     double transmittanceTarget() const { return target_; }
+
+    /** Serialize the cloud process state and RNG stream. */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore the cloud process state and RNG stream. */
+    void load(snapshot::Archive &ar);
 
   private:
     IrradianceParams params_;

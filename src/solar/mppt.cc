@@ -1,5 +1,7 @@
 #include "solar/mppt.hh"
 
+#include "snapshot/archive.hh"
+
 #include <algorithm>
 
 namespace insure::solar {
@@ -56,4 +58,22 @@ MpptTracker::trackingEfficiency(double g) const
     return std::clamp(lastPower_ / ideal, 0.0, 1.0);
 }
 
+
+void
+MpptTracker::save(snapshot::Archive &ar) const
+{
+    ar.section("mppt");
+    ar.putF64(voltage_);
+    ar.putF64(lastPower_);
+    ar.putF64(direction_);
+}
+
+void
+MpptTracker::load(snapshot::Archive &ar)
+{
+    ar.section("mppt");
+    voltage_ = ar.getF64();
+    lastPower_ = ar.getF64();
+    direction_ = ar.getF64();
+}
 } // namespace insure::solar

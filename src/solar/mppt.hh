@@ -15,6 +15,10 @@
 
 #include "solar/pv_panel.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::solar {
 
 /** Tracker tuning. */
@@ -57,6 +61,12 @@ class MpptTracker
 
     /** Reset to the initial operating point. */
     void reset();
+
+    /** Serialize the operating point and perturb direction. */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore the operating point and perturb direction. */
+    void load(snapshot::Archive &ar);
 
   private:
     const PvPanel &panel_;

@@ -1,5 +1,7 @@
 #include "solar/solar_source.hh"
 
+#include "snapshot/archive.hh"
+
 #include <algorithm>
 #include <cmath>
 
@@ -116,4 +118,32 @@ SolarSource::scaleTraceToEnergy(const sim::Trace &trace, WattHours target_wh)
     return out;
 }
 
+
+void
+SolarSource::save(snapshot::Archive &ar) const
+{
+    ar.section("solar_source");
+    ar.putBool(model_ != nullptr);
+    if (model_) {
+        model_->irradiance.save(ar);
+        model_->mppt.save(ar);
+    }
+    ar.putF64(power_);
+    ar.putF64(offeredWh_);
+}
+
+void
+SolarSource::load(snapshot::Archive &ar)
+{
+    ar.section("solar_source");
+    if (ar.getBool() != (model_ != nullptr))
+        throw snapshot::SnapshotError(
+            "SolarSource: model/trace mode differs from snapshot");
+    if (model_) {
+        model_->irradiance.load(ar);
+        model_->mppt.load(ar);
+    }
+    power_ = ar.getF64();
+    offeredWh_ = ar.getF64();
+}
 } // namespace insure::solar

@@ -24,6 +24,10 @@
 #include "solar/mppt.hh"
 #include "solar/pv_panel.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::solar {
 
 /** Unified power-supply front-end for the in-situ system. */
@@ -94,6 +98,17 @@ class SolarSource
 
     /** Total energy of a (time_s, power_w) trace, watt-hours. */
     static WattHours traceEnergyWh(const sim::Trace &trace);
+
+    /**
+     * Serialize supply state: power, offered-energy counter, and (model
+     * mode) the weather process + MPPT operating point. The trace itself
+     * is rebuilt from the experiment config on restore; cursors are pure
+     * accelerators and re-anchor lazily.
+     */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore supply state; the mode must match the snapshot. */
+    void load(snapshot::Archive &ar);
 
   private:
     struct Model {

@@ -1,5 +1,7 @@
 #include "telemetry/coordination_link.hh"
 
+#include "snapshot/archive.hh"
+
 namespace insure::telemetry {
 
 CoordinationLink::CoordinationLink(ModbusSlave &slave, std::uint8_t unit)
@@ -86,6 +88,57 @@ CoordinationLink::setRandomDrop(double probability, Rng rng)
 {
     dropProbability_ = probability;
     dropRng_ = rng;
+}
+
+
+void
+CoordinationLink::save(snapshot::Archive &ar) const
+{
+    ar.section("coordination_link");
+    ar.putSize(last_.size());
+    for (const CabinetReading &r : last_) {
+        ar.putF64(r.voltage);
+        ar.putF64(r.current);
+        ar.putF64(r.soc);
+        ar.putU32(r.mode);
+        ar.putBool(r.chargeRelayClosed);
+        ar.putBool(r.dischargeRelayClosed);
+        ar.putF64(r.throughputAh);
+        ar.putBool(r.fresh);
+    }
+    ar.putU64(requests_);
+    ar.putU64(failures_);
+    ar.putU32(corruptRemaining_);
+    corruptRng_.save(ar);
+    ar.putU32(dropRemaining_);
+    ar.putU32(truncateRemaining_);
+    ar.putF64(dropProbability_);
+    dropRng_.save(ar);
+}
+
+void
+CoordinationLink::load(snapshot::Archive &ar)
+{
+    ar.section("coordination_link");
+    last_.assign(ar.getSize(), CabinetReading{});
+    for (CabinetReading &r : last_) {
+        r.voltage = ar.getF64();
+        r.current = ar.getF64();
+        r.soc = ar.getF64();
+        r.mode = static_cast<std::uint16_t>(ar.getU32());
+        r.chargeRelayClosed = ar.getBool();
+        r.dischargeRelayClosed = ar.getBool();
+        r.throughputAh = ar.getF64();
+        r.fresh = ar.getBool();
+    }
+    requests_ = ar.getU64();
+    failures_ = ar.getU64();
+    corruptRemaining_ = ar.getU32();
+    corruptRng_.load(ar);
+    dropRemaining_ = ar.getU32();
+    truncateRemaining_ = ar.getU32();
+    dropProbability_ = ar.getF64();
+    dropRng_.load(ar);
 }
 
 } // namespace insure::telemetry

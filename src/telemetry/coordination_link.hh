@@ -20,6 +20,10 @@
 #include "sim/units.hh"
 #include "telemetry/modbus.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::telemetry {
 
 /** A cabinet snapshot as decoded from the PLC registers. */
@@ -87,6 +91,12 @@ class CoordinationLink
 
     /** Exchanges that failed (no/garbled response). */
     std::uint64_t failures() const { return failures_; }
+
+    /** Serialize cached readings, counters and fault/RNG state. */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore cached readings, counters and fault/RNG state. */
+    void load(snapshot::Archive &ar);
 
   private:
     ModbusSlave &slave_;

@@ -1,5 +1,7 @@
 #include "telemetry/daily_log.hh"
 
+#include "snapshot/archive.hh"
+
 namespace insure::telemetry {
 
 DailyLog::DailyLog(std::string label)
@@ -22,6 +24,49 @@ DailyLog::finalize(std::uint64_t on_off_cycles, std::uint64_t vm_ctrl,
     summary_.endOfDayVoltage = end_voltage;
     summary_.batteryVoltageSigma = sigma;
     summary_.processedGb = processed_gb;
+}
+
+
+void
+DailyLog::save(snapshot::Archive &ar) const
+{
+    ar.section("daily_log");
+    ar.putF64(solarWh_);
+    ar.putF64(loadWh_);
+    ar.putF64(effectiveWh_);
+    ar.putU64(powerCtrl_);
+    ar.putStr(summary_.label);
+    ar.putF64(summary_.solarBudgetKwh);
+    ar.putF64(summary_.loadKwh);
+    ar.putF64(summary_.effectiveKwh);
+    ar.putU64(summary_.powerCtrlTimes);
+    ar.putU64(summary_.onOffCycles);
+    ar.putU64(summary_.vmCtrlTimes);
+    ar.putF64(summary_.minBatteryVoltage);
+    ar.putF64(summary_.endOfDayVoltage);
+    ar.putF64(summary_.batteryVoltageSigma);
+    ar.putF64(summary_.processedGb);
+}
+
+void
+DailyLog::load(snapshot::Archive &ar)
+{
+    ar.section("daily_log");
+    solarWh_ = ar.getF64();
+    loadWh_ = ar.getF64();
+    effectiveWh_ = ar.getF64();
+    powerCtrl_ = ar.getU64();
+    summary_.label = ar.getStr();
+    summary_.solarBudgetKwh = ar.getF64();
+    summary_.loadKwh = ar.getF64();
+    summary_.effectiveKwh = ar.getF64();
+    summary_.powerCtrlTimes = ar.getU64();
+    summary_.onOffCycles = ar.getU64();
+    summary_.vmCtrlTimes = ar.getU64();
+    summary_.minBatteryVoltage = ar.getF64();
+    summary_.endOfDayVoltage = ar.getF64();
+    summary_.batteryVoltageSigma = ar.getF64();
+    summary_.processedGb = ar.getF64();
 }
 
 } // namespace insure::telemetry

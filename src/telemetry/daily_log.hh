@@ -16,6 +16,10 @@
 
 #include "sim/units.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::telemetry {
 
 /** The Table 6 row produced by one day of operation. */
@@ -68,6 +72,12 @@ class DailyLog
 
     /** The completed summary. */
     const DailyLogSummary &summary() const { return summary_; }
+
+    /** Serialize accumulators and the summary under construction. */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore accumulators and the in-progress summary. */
+    void load(snapshot::Archive &ar);
 
   private:
     WattHours solarWh_ = 0.0;

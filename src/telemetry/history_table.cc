@@ -1,5 +1,7 @@
 #include "telemetry/history_table.hh"
 
+#include "snapshot/archive.hh"
+
 #include <algorithm>
 
 #include "sim/logging.hh"
@@ -58,6 +60,27 @@ DischargeHistoryTable::periodTotal(unsigned i) const
     if (i >= periodAh_.size())
         panic("DischargeHistoryTable: cabinet %u out of range", i);
     return periodAh_[i];
+}
+
+
+void
+DischargeHistoryTable::save(snapshot::Archive &ar) const
+{
+    ar.section("history_table");
+    ar.putF64Vec(totalAh_);
+    ar.putF64Vec(periodAh_);
+}
+
+void
+DischargeHistoryTable::load(snapshot::Archive &ar)
+{
+    ar.section("history_table");
+    const std::size_t n = totalAh_.size();
+    totalAh_ = ar.getF64Vec();
+    periodAh_ = ar.getF64Vec();
+    if (totalAh_.size() != n || periodAh_.size() != n)
+        throw snapshot::SnapshotError(
+            "DischargeHistoryTable: cabinet count differs from snapshot");
 }
 
 } // namespace insure::telemetry

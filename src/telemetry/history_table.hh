@@ -15,6 +15,10 @@
 
 #include "sim/units.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::telemetry {
 
 /** Per-cabinet cumulative discharge record. */
@@ -60,6 +64,12 @@ class DischargeHistoryTable
 
     /** Discharge of cabinet @p i during the current period. */
     AmpHours periodTotal(unsigned i) const;
+
+    /** Serialize the per-cabinet throughput columns. */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore the throughput columns (size-checked). */
+    void load(snapshot::Archive &ar);
 
   private:
     std::vector<AmpHours> totalAh_;

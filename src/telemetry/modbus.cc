@@ -1,5 +1,7 @@
 #include "telemetry/modbus.hh"
 
+#include "snapshot/archive.hh"
+
 namespace insure::telemetry {
 
 std::uint16_t
@@ -263,4 +265,20 @@ ModbusSlave::service(const std::vector<std::uint8_t> &frame)
     }
 }
 
+
+void
+ModbusSlave::save(snapshot::Archive &ar) const
+{
+    ar.section("modbus_slave");
+    ar.putU64(served_);
+    ar.putU64(exceptions_);
+}
+
+void
+ModbusSlave::load(snapshot::Archive &ar)
+{
+    ar.section("modbus_slave");
+    served_ = ar.getU64();
+    exceptions_ = ar.getU64();
+}
 } // namespace insure::telemetry

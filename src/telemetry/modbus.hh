@@ -18,6 +18,10 @@
 
 #include "telemetry/register_map.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::telemetry {
 
 /** Modbus function codes supported by the slave. */
@@ -113,6 +117,12 @@ class ModbusSlave
 
     /** Exception responses produced. */
     std::uint64_t exceptions() const { return exceptions_; }
+
+    /** Serialize the service counters. */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore the service counters. */
+    void load(snapshot::Archive &ar);
 
   private:
     std::uint8_t unit_;

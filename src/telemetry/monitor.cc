@@ -1,5 +1,7 @@
 #include "telemetry/monitor.hh"
 
+#include "snapshot/archive.hh"
+
 #include <algorithm>
 
 namespace insure::telemetry {
@@ -140,6 +142,63 @@ SystemMonitor::sensedSoc(unsigned cabinet) const
 {
     using RL = RegisterLayout;
     return map_.readSoc(RL::cabinetReg(cabinet, RL::soc));
+}
+
+
+void
+SystemMonitor::save(snapshot::Archive &ar) const
+{
+    ar.section("monitor");
+    voltageSamples_.save(ar);
+    ar.putF64(minUnitVoltage_);
+    ar.putF64(lastMeanVoltage_);
+    ar.putU64(sweeps_);
+    ar.putSize(voltageFaults_.size());
+    for (const auto &f : voltageFaults_) {
+        ar.putBool(f.has_value());
+        ar.putF64(f.value_or(0.0));
+    }
+    ar.putSize(socFaults_.size());
+    for (const auto &f : socFaults_) {
+        ar.putBool(f.has_value());
+        ar.putF64(f.value_or(0.0));
+    }
+    ar.putF64Vec(biasFaults_);
+    ar.putF64Vec(noiseFaults_);
+    ar.putSize(dropoutFaults_.size());
+    for (char c : dropoutFaults_)
+        ar.putBool(c != 0);
+    noiseRng_.save(ar);
+}
+
+void
+SystemMonitor::load(snapshot::Archive &ar)
+{
+    ar.section("monitor");
+    voltageSamples_.load(ar);
+    minUnitVoltage_ = ar.getF64();
+    lastMeanVoltage_ = ar.getF64();
+    sweeps_ = ar.getU64();
+    voltageFaults_.assign(ar.getSize(), std::nullopt);
+    for (auto &f : voltageFaults_) {
+        const bool has = ar.getBool();
+        const double v = ar.getF64();
+        if (has)
+            f = v;
+    }
+    socFaults_.assign(ar.getSize(), std::nullopt);
+    for (auto &f : socFaults_) {
+        const bool has = ar.getBool();
+        const double v = ar.getF64();
+        if (has)
+            f = v;
+    }
+    biasFaults_ = ar.getF64Vec();
+    noiseFaults_ = ar.getF64Vec();
+    dropoutFaults_.assign(ar.getSize(), 0);
+    for (char &c : dropoutFaults_)
+        c = ar.getBool() ? 1 : 0;
+    noiseRng_.load(ar);
 }
 
 } // namespace insure::telemetry

@@ -22,6 +22,10 @@
 #include "telemetry/register_map.hh"
 #include "telemetry/transducer.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::telemetry {
 
 /** Samples the battery array into the register map. */
@@ -97,6 +101,12 @@ class SystemMonitor
 
     /** Remove all injected sensor faults. */
     void clearFaults();
+
+    /** Serialize sweep statistics, fault overlays and the noise stream. */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore sweep statistics, fault overlays and the noise stream. */
+    void load(snapshot::Archive &ar);
 
   private:
     const battery::BatteryArray &array_;

@@ -1,5 +1,7 @@
 #include "telemetry/register_map.hh"
 
+#include "snapshot/archive.hh"
+
 #include <algorithm>
 #include <cmath>
 
@@ -42,6 +44,27 @@ bool
 RegisterMap::validRange(std::uint16_t addr, std::uint16_t count) const
 {
     return static_cast<std::size_t>(addr) + count <= regs_.size();
+}
+
+
+void
+RegisterMap::save(snapshot::Archive &ar) const
+{
+    ar.section("register_map");
+    ar.putSize(regs_.size());
+    for (std::uint16_t r : regs_)
+        ar.putU32(r);
+}
+
+void
+RegisterMap::load(snapshot::Archive &ar)
+{
+    ar.section("register_map");
+    if (ar.getSize() != regs_.size())
+        throw snapshot::SnapshotError(
+            "RegisterMap: register count differs from snapshot");
+    for (std::uint16_t &r : regs_)
+        r = static_cast<std::uint16_t>(ar.getU32());
 }
 
 } // namespace insure::telemetry

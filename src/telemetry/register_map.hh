@@ -17,6 +17,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::telemetry {
 
 /** Fixed-point scale factors for the register encodings. */
@@ -154,6 +158,12 @@ class RegisterMap
     {
         return read(addr) / regscale::soc;
     }
+
+    /** Serialize the whole register file. */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore the register file (size-checked). */
+    void load(snapshot::Archive &ar);
 
   private:
     std::vector<std::uint16_t> regs_;

@@ -1,5 +1,7 @@
 #include "validate/golden_trace.hh"
 
+#include "snapshot/archive.hh"
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -120,13 +122,16 @@ GoldenRecorder::finalHash() const
 void
 GoldenRecorder::save(const std::string &path) const
 {
-    std::ofstream os(path);
-    if (!os)
-        fatal("golden: cannot open '%s' for writing", path.c_str());
+    // Atomic: golden regeneration interrupted mid-write must never
+    // leave a half-written reference file for later runs to diff.
+    std::string out;
     for (const auto &r : records_)
-        os << '{' << payload(r) << ",\"hash\":\"" << r.hash << "\"}\n";
-    if (!os)
-        fatal("golden: write to '%s' failed", path.c_str());
+        out += '{' + payload(r) + ",\"hash\":\"" + r.hash + "\"}\n";
+    try {
+        snapshot::atomicWriteFile(path, out);
+    } catch (const snapshot::SnapshotError &e) {
+        fatal("golden: cannot write '%s': %s", path.c_str(), e.what());
+    }
 }
 
 std::vector<GoldenRecord>
@@ -246,4 +251,48 @@ recordGoldenRun(core::ExperimentConfig cfg, Seconds period)
     return recorder.records();
 }
 
+
+void
+GoldenRecorder::saveState(snapshot::Archive &ar) const
+{
+    ar.section("golden_recorder");
+    ar.putF64(next_);
+    ar.putU64(hash_);
+    ar.putSize(records_.size());
+    for (const GoldenRecord &r : records_) {
+        ar.putU64(r.index);
+        ar.putF64(r.t);
+        ar.putF64(r.solar);
+        ar.putF64(r.load);
+        ar.putF64(r.supplied);
+        ar.putF64(r.meanSoc);
+        ar.putF64(r.storedWh);
+        ar.putU32(r.vms);
+        ar.putF64(r.backlogGb);
+        ar.putStr(r.modes);
+        ar.putStr(r.hash);
+    }
+}
+
+void
+GoldenRecorder::loadState(snapshot::Archive &ar)
+{
+    ar.section("golden_recorder");
+    next_ = ar.getF64();
+    hash_ = ar.getU64();
+    records_.assign(ar.getSize(), GoldenRecord{});
+    for (GoldenRecord &r : records_) {
+        r.index = ar.getU64();
+        r.t = ar.getF64();
+        r.solar = ar.getF64();
+        r.load = ar.getF64();
+        r.supplied = ar.getF64();
+        r.meanSoc = ar.getF64();
+        r.storedWh = ar.getF64();
+        r.vms = ar.getU32();
+        r.backlogGb = ar.getF64();
+        r.modes = ar.getStr();
+        r.hash = ar.getStr();
+    }
+}
 } // namespace insure::validate

@@ -75,6 +75,15 @@ class GoldenRecorder : public core::SystemObserver
     /** Final rolling hash (hex), empty before any sample. */
     std::string finalHash() const;
 
+    /**
+     * Serialize the sampling cursor, rolling hash and every record, so
+     * a restored run's final hash equals the straight-through run's.
+     */
+    void saveState(snapshot::Archive &ar) const override;
+
+    /** Restore recorder state (mirror of saveState). */
+    void loadState(snapshot::Archive &ar) override;
+
     /** Write the records as JSONL. Fatal on I/O error. */
     void save(const std::string &path) const;
 

@@ -1,5 +1,7 @@
 #include "validate/invariant_checker.hh"
 
+#include "snapshot/archive.hh"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdarg>
@@ -434,4 +436,46 @@ InvariantChecker::onControl(const core::ControlSample &s)
     }
 }
 
+
+void
+InvariantChecker::saveState(snapshot::Archive &ar) const
+{
+    ar.section("invariant_checker");
+    ar.putU64(violations_);
+    ar.putU64(ticks_);
+    ar.putU64(controls_);
+    ar.putU64(transitions_);
+    ar.putSize(messages_.size());
+    for (const std::string &m : messages_)
+        ar.putStr(m);
+    ar.putF64(relaxedBudgetAh_);
+    ar.putF64(lastScreen_);
+    ar.putF64(lastUnitAhAfter_);
+    ar.putBool(haveLastAh_);
+    ar.putBool(haveDerived_);
+    ar.putU32(series_);
+    ar.putU32(totalUnits_);
+    ar.putF64(selfDisAhPerSec_);
+}
+
+void
+InvariantChecker::loadState(snapshot::Archive &ar)
+{
+    ar.section("invariant_checker");
+    violations_ = ar.getU64();
+    ticks_ = ar.getU64();
+    controls_ = ar.getU64();
+    transitions_ = ar.getU64();
+    messages_.assign(ar.getSize(), std::string());
+    for (std::string &m : messages_)
+        m = ar.getStr();
+    relaxedBudgetAh_ = ar.getF64();
+    lastScreen_ = ar.getF64();
+    lastUnitAhAfter_ = ar.getF64();
+    haveLastAh_ = ar.getBool();
+    haveDerived_ = ar.getBool();
+    series_ = ar.getU32();
+    totalUnits_ = ar.getU32();
+    selfDisAhPerSec_ = ar.getF64();
+}
 } // namespace insure::validate

@@ -132,6 +132,17 @@ class InvariantChecker : public core::SystemObserver
     std::uint64_t transitionsChecked() const { return transitions_; }
 
     /**
+     * Serialize every counter, bounded message and cross-tick mirror
+     * (relaxation budget, inventory continuity, derived constants) so a
+     * restored run reports identical violations to a straight-through
+     * one.
+     */
+    void saveState(snapshot::Archive &ar) const override;
+
+    /** Restore checker state (mirror of saveState). */
+    void loadState(snapshot::Archive &ar) override;
+
+    /**
      * True when the Fig. 8 state machine allows @p from -> @p to at state
      * of charge @p soc, under @p minDischargeSoc (exposed for tests).
      */

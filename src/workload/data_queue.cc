@@ -1,5 +1,7 @@
 #include "workload/data_queue.hh"
 
+#include "snapshot/archive.hh"
+
 #include <algorithm>
 
 #include "sim/logging.hh"
@@ -86,6 +88,50 @@ DataQueue::oldestAge(Seconds now) const
     if (jobs_.empty())
         return 0.0;
     return std::max(0.0, now - jobs_.front().arrival);
+}
+
+
+void
+DataQueue::save(snapshot::Archive &ar) const
+{
+    ar.section("data_queue");
+    ar.putSize(jobs_.size());
+    for (const Job &j : jobs_) {
+        ar.putF64(j.arrival);
+        ar.putF64(j.size);
+        ar.putF64(j.remaining);
+    }
+    ar.putF64(backlog_);
+    ar.putF64(completedGb_);
+    ar.putF64(processedGb_);
+    ar.putF64(lostGb_);
+    ar.putF64(arrivedGb_);
+    ar.putU64(jobsCompleted_);
+    ar.putF64(delaySum_);
+    ar.putF64(maxDelay_);
+}
+
+void
+DataQueue::load(snapshot::Archive &ar)
+{
+    ar.section("data_queue");
+    const std::size_t n = ar.getSize();
+    jobs_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        Job j;
+        j.arrival = ar.getF64();
+        j.size = ar.getF64();
+        j.remaining = ar.getF64();
+        jobs_.push_back(j);
+    }
+    backlog_ = ar.getF64();
+    completedGb_ = ar.getF64();
+    processedGb_ = ar.getF64();
+    lostGb_ = ar.getF64();
+    arrivedGb_ = ar.getF64();
+    jobsCompleted_ = ar.getU64();
+    delaySum_ = ar.getF64();
+    maxDelay_ = ar.getF64();
 }
 
 } // namespace insure::workload

@@ -16,6 +16,10 @@
 
 #include "sim/units.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::workload {
 
 /** FIFO data queue. */
@@ -83,6 +87,12 @@ class DataQueue
 
     /** Oldest pending job's age at @p now (0 when empty), seconds. */
     Seconds oldestAge(Seconds now) const;
+
+    /** Serialize pending jobs and all accounting totals. */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore pending jobs and accounting totals. */
+    void load(snapshot::Archive &ar);
 
   private:
     std::deque<Job> jobs_;

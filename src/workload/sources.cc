@@ -1,5 +1,7 @@
 #include "workload/sources.hh"
 
+#include "snapshot/archive.hh"
+
 #include <algorithm>
 #include <cmath>
 
@@ -88,4 +90,34 @@ StreamSource::dailyVolume() const
     return params_.gbPerMinute * window / 60.0;
 }
 
+
+void
+BatchSource::save(snapshot::Archive &ar) const
+{
+    ar.section("batch_source");
+    rng_.save(ar);
+}
+
+void
+BatchSource::load(snapshot::Archive &ar)
+{
+    ar.section("batch_source");
+    rng_.load(ar);
+}
+
+void
+StreamSource::save(snapshot::Archive &ar) const
+{
+    ar.section("stream_source");
+    rng_.save(ar);
+    ar.putF64(nextChunk_);
+}
+
+void
+StreamSource::load(snapshot::Archive &ar)
+{
+    ar.section("stream_source");
+    rng_.load(ar);
+    nextChunk_ = ar.getF64();
+}
 } // namespace insure::workload

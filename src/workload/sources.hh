@@ -17,6 +17,10 @@
 #include "sim/rng.hh"
 #include "workload/data_queue.hh"
 
+namespace insure::snapshot {
+class Archive;
+}
+
 namespace insure::workload {
 
 /** Intermittent batch-job generator. */
@@ -43,6 +47,12 @@ class BatchSource
 
     /** Total data generated per day with the configured schedule. */
     GigaBytes dailyVolume() const;
+
+    /** Serialize the jitter RNG stream. */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore the jitter RNG stream. */
+    void load(snapshot::Archive &ar);
 
   private:
     Params params_;
@@ -74,6 +84,12 @@ class StreamSource
 
     /** Total data generated per day with the configured window. */
     GigaBytes dailyVolume() const;
+
+    /** Serialize the jitter RNG stream and chunk cursor. */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore the jitter RNG stream and chunk cursor. */
+    void load(snapshot::Archive &ar);
 
   private:
     Params params_;

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Archive and snapshot-file tests: primitive round-trips, section
+ * framing, and the hard requirement that corrupted, truncated or
+ * wrong-version snapshot files fail loudly with a SnapshotError —
+ * never undefined behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "snapshot/archive.hh"
+
+namespace insure::snapshot {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(is.good()) << path;
+    return std::string(std::istreambuf_iterator<char>(is),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+spit(const std::string &path, const std::string &data)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(data.data(), static_cast<std::streamsize>(data.size()));
+    ASSERT_TRUE(os.good()) << path;
+}
+
+enum class Color { Red, Green, Blue };
+
+TEST(Archive, PrimitivesRoundTrip)
+{
+    Archive save = Archive::forSave();
+    save.putU64(0xDEADBEEFCAFEF00Dull);
+    save.putU32(42);
+    save.putI64(-7);
+    save.putBool(true);
+    save.putBool(false);
+    save.putF64(0.1); // not exactly representable: must round-trip bits
+    save.putF64(-0.0);
+    save.putStr("hello snapshot");
+    save.putStr("");
+    save.putSize(123456);
+    save.putEnum(Color::Blue);
+    save.putF64Vec({1.5, -2.5, 3.25});
+
+    Archive load = Archive::forLoad(save.payload());
+    EXPECT_EQ(load.getU64(), 0xDEADBEEFCAFEF00Dull);
+    EXPECT_EQ(load.getU32(), 42u);
+    EXPECT_EQ(load.getI64(), -7);
+    EXPECT_TRUE(load.getBool());
+    EXPECT_FALSE(load.getBool());
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(load.getF64()),
+              std::bit_cast<std::uint64_t>(0.1));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(load.getF64()),
+              std::bit_cast<std::uint64_t>(-0.0));
+    EXPECT_EQ(load.getStr(), "hello snapshot");
+    EXPECT_EQ(load.getStr(), "");
+    EXPECT_EQ(load.getSize(), 123456u);
+    EXPECT_EQ(load.getEnum<Color>(2), Color::Blue);
+    EXPECT_EQ(load.getF64Vec(), (std::vector<double>{1.5, -2.5, 3.25}));
+    EXPECT_EQ(load.remaining(), 0u);
+}
+
+TEST(Archive, SectionMismatchThrows)
+{
+    Archive save = Archive::forSave();
+    save.section("battery");
+    save.putU64(1);
+    Archive load = Archive::forLoad(save.payload());
+    EXPECT_THROW(load.section("relay"), SnapshotError);
+}
+
+TEST(Archive, TruncatedPayloadThrows)
+{
+    Archive save = Archive::forSave();
+    save.putU64(7);
+    const std::string cut = save.payload().substr(0, 3);
+    Archive load = Archive::forLoad(cut);
+    EXPECT_THROW(load.getU64(), SnapshotError);
+}
+
+TEST(Archive, StringLengthPastEndThrows)
+{
+    Archive save = Archive::forSave();
+    save.putU64(1000); // claims a 1000-byte string with no bytes behind it
+    Archive load = Archive::forLoad(save.payload());
+    EXPECT_THROW(load.getStr(), SnapshotError);
+}
+
+TEST(Archive, BoolOutOfRangeThrows)
+{
+    Archive save = Archive::forSave();
+    save.putU32(2);
+    Archive load = Archive::forLoad(save.payload());
+    EXPECT_THROW(load.getBool(), SnapshotError);
+}
+
+TEST(Archive, EnumOutOfRangeThrows)
+{
+    Archive save = Archive::forSave();
+    save.putU32(7);
+    Archive load = Archive::forLoad(save.payload());
+    EXPECT_THROW(load.getEnum<Color>(2), SnapshotError);
+}
+
+TEST(Archive, ImplausibleContainerSizeThrows)
+{
+    Archive save = Archive::forSave();
+    save.putU64(~0ull); // a corrupted length must not drive an allocation
+    Archive load = Archive::forLoad(save.payload());
+    EXPECT_THROW(load.getSize(), SnapshotError);
+}
+
+TEST(Archive, PutOnLoadModeThrows)
+{
+    Archive load = Archive::forLoad("");
+    EXPECT_THROW(load.putU64(1), SnapshotError);
+}
+
+TEST(Archive, GetOnSaveModeThrows)
+{
+    Archive save = Archive::forSave();
+    EXPECT_THROW(save.getU64(), SnapshotError);
+}
+
+TEST(SnapshotFile, RoundTrips)
+{
+    const std::string path = tempPath("archive_roundtrip.snap");
+    Archive save = Archive::forSave();
+    save.section("test");
+    save.putF64(3.14159);
+    save.putStr("payload");
+    writeSnapshotFile(path, save);
+
+    Archive load = readSnapshotFile(path);
+    load.section("test");
+    EXPECT_EQ(load.getF64(), 3.14159);
+    EXPECT_EQ(load.getStr(), "payload");
+    EXPECT_EQ(load.remaining(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotFile, MissingFileThrows)
+{
+    EXPECT_THROW(readSnapshotFile(tempPath("does_not_exist.snap")),
+                 SnapshotError);
+}
+
+TEST(SnapshotFile, CorruptPayloadFailsChecksum)
+{
+    const std::string path = tempPath("archive_corrupt.snap");
+    Archive save = Archive::forSave();
+    save.putU64(0x1122334455667788ull);
+    writeSnapshotFile(path, save);
+
+    std::string bytes = slurp(path);
+    ASSERT_GT(bytes.size(), 24u); // 24-byte header + payload
+    bytes[24] ^= 0x01;            // flip one payload bit
+    spit(path, bytes);
+    EXPECT_THROW(readSnapshotFile(path), SnapshotError);
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotFile, TruncatedFileThrows)
+{
+    const std::string path = tempPath("archive_trunc.snap");
+    Archive save = Archive::forSave();
+    save.putStr("some payload worth truncating");
+    writeSnapshotFile(path, save);
+
+    const std::string bytes = slurp(path);
+    // Cut inside the payload and inside the header.
+    spit(path, bytes.substr(0, bytes.size() - 5));
+    EXPECT_THROW(readSnapshotFile(path), SnapshotError);
+    spit(path, bytes.substr(0, 10));
+    EXPECT_THROW(readSnapshotFile(path), SnapshotError);
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotFile, WrongMagicThrows)
+{
+    const std::string path = tempPath("archive_magic.snap");
+    Archive save = Archive::forSave();
+    save.putU64(1);
+    writeSnapshotFile(path, save);
+
+    std::string bytes = slurp(path);
+    bytes[0] ^= 0xFF;
+    spit(path, bytes);
+    EXPECT_THROW(readSnapshotFile(path), SnapshotError);
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotFile, WrongVersionThrows)
+{
+    const std::string path = tempPath("archive_version.snap");
+    Archive save = Archive::forSave();
+    save.putU64(1);
+    writeSnapshotFile(path, save);
+
+    std::string bytes = slurp(path);
+    bytes[4] = static_cast<char>(kSnapshotVersion + 1); // version field
+    spit(path, bytes);
+    EXPECT_THROW(readSnapshotFile(path), SnapshotError);
+    std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, ReplacesExistingFileCompletely)
+{
+    const std::string path = tempPath("atomic_replace.txt");
+    atomicWriteFile(path, "first version, rather long content here");
+    atomicWriteFile(path, "second");
+    EXPECT_EQ(slurp(path), "second");
+    // No temp file may linger beside the target.
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace insure::snapshot

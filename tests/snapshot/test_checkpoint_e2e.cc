@@ -1,0 +1,271 @@
+/**
+ * @file
+ * End-to-end checkpoint/restore: a run snapshotted at an arbitrary
+ * tick and resumed in a fresh rig must be bit-identical to the
+ * uninterrupted run — enforced three ways: byte-identical re-save of
+ * the restored state, bit-equal ExperimentResult fields, and the
+ * canonical Fig. 14/16 golden digests hash-identical after a mid-day
+ * (noon) snapshot/restore. Mismatched or corrupted snapshots must fail
+ * loudly. These rig-level tests are also the round-trip coverage for
+ * the InSURE manager and the fault injector, whose state only exists
+ * inside a live plant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "fault/fault_injector.hh"
+#include "fault/fault_plan.hh"
+#include "snapshot/snapshotter.hh"
+#include "validate/golden_trace.hh"
+#include "validate/invariant_checker.hh"
+
+#ifndef INSURE_GOLDEN_DIR
+#error "INSURE_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace insure {
+namespace {
+
+using snapshot::Archive;
+using snapshot::SnapshotError;
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+/** A 4-hour fault-injected, invariant-checked seismic configuration. */
+core::ExperimentConfig
+faultedConfig()
+{
+    core::ExperimentConfig cfg =
+        validate::goldenScenario("fig14_seismic_sunny");
+    cfg.duration = units::hours(4.0);
+    fault::installFaultPlan(cfg, fault::makeRatePlan(4.0, {}));
+    validate::attachInvariantChecker(cfg, validate::Policy::Log);
+    return cfg;
+}
+
+/** Require bit-identical outputs (everything the campaign JSON uses). */
+void
+expectIdenticalResults(const core::ExperimentResult &a,
+                       const core::ExperimentResult &b)
+{
+    EXPECT_EQ(a.managerName, b.managerName);
+    EXPECT_EQ(a.metrics.uptime, b.metrics.uptime);
+    EXPECT_EQ(a.metrics.throughputGbPerHour, b.metrics.throughputGbPerHour);
+    EXPECT_EQ(a.metrics.meanLatency, b.metrics.meanLatency);
+    EXPECT_EQ(a.metrics.eBufferAvailability, b.metrics.eBufferAvailability);
+    EXPECT_EQ(a.metrics.serviceLifeYears, b.metrics.serviceLifeYears);
+    EXPECT_EQ(a.metrics.perfPerAh, b.metrics.perfPerAh);
+    EXPECT_EQ(a.metrics.processedGb, b.metrics.processedGb);
+    EXPECT_EQ(a.metrics.solarOfferedKwh, b.metrics.solarOfferedKwh);
+    EXPECT_EQ(a.metrics.greenUsedKwh, b.metrics.greenUsedKwh);
+    EXPECT_EQ(a.metrics.loadKwh, b.metrics.loadKwh);
+    EXPECT_EQ(a.metrics.secondaryKwh, b.metrics.secondaryKwh);
+    EXPECT_EQ(a.metrics.bufferThroughputAh, b.metrics.bufferThroughputAh);
+    EXPECT_EQ(a.metrics.bufferTrips, b.metrics.bufferTrips);
+    EXPECT_EQ(a.metrics.emergencyShutdowns, b.metrics.emergencyShutdowns);
+    EXPECT_EQ(a.metrics.onOffCycles, b.metrics.onOffCycles);
+    EXPECT_EQ(a.metrics.vmCtrlOps, b.metrics.vmCtrlOps);
+    EXPECT_EQ(a.metrics.powerCtrlOps, b.metrics.powerCtrlOps);
+    EXPECT_EQ(a.log.minBatteryVoltage, b.log.minBatteryVoltage);
+    EXPECT_EQ(a.log.endOfDayVoltage, b.log.endOfDayVoltage);
+    EXPECT_EQ(a.log.batteryVoltageSigma, b.log.batteryVoltageSigma);
+    EXPECT_EQ(a.invariantViolations, b.invariantViolations);
+    EXPECT_EQ(a.invariantNotes, b.invariantNotes);
+    ASSERT_EQ(a.resilience.has_value(), b.resilience.has_value());
+    if (a.resilience) {
+        EXPECT_EQ(a.resilience->faultsInjected,
+                  b.resilience->faultsInjected);
+        EXPECT_EQ(a.resilience->detectedFaults,
+                  b.resilience->detectedFaults);
+        EXPECT_EQ(a.resilience->quarantines, b.resilience->quarantines);
+        EXPECT_EQ(a.resilience->outageSeconds,
+                  b.resilience->outageSeconds);
+        EXPECT_EQ(a.resilience->energyLostKwh,
+                  b.resilience->energyLostKwh);
+        EXPECT_EQ(a.resilience->meanTimeToDetect,
+                  b.resilience->meanTimeToDetect);
+    }
+    ASSERT_EQ(a.trace.has_value(), b.trace.has_value());
+    if (a.trace) {
+        ASSERT_EQ(a.trace->rows(), b.trace->rows());
+        for (std::size_t r = 0; r < a.trace->rows(); ++r)
+            ASSERT_EQ(a.trace->row(r), b.trace->row(r)) << "row " << r;
+    }
+}
+
+TEST(CheckpointE2E, RestoredRigResavesByteIdentical)
+{
+    const core::ExperimentConfig cfg = faultedConfig();
+
+    core::ExperimentRig a(cfg);
+    a.runUntil(units::hours(2.0));
+    Archive s1 = Archive::forSave();
+    a.save(s1);
+
+    core::ExperimentRig b(cfg);
+    Archive load = Archive::forLoad(s1.payload());
+    b.load(load);
+    EXPECT_EQ(load.remaining(), 0u);
+
+    // Every byte of dynamic state — clock, RNG streams, plant, manager,
+    // fault injector, observer — must survive the round trip.
+    Archive s2 = Archive::forSave();
+    b.save(s2);
+    EXPECT_EQ(s1.payload(), s2.payload());
+}
+
+TEST(CheckpointE2E, ResumedRunMatchesStraightRun)
+{
+    const core::ExperimentConfig cfg = faultedConfig();
+
+    core::ExperimentRig straight(cfg);
+    straight.runUntil(cfg.duration);
+    const core::ExperimentResult wantRes = straight.finish();
+
+    const std::string path = tempPath("rig_midpoint.snap");
+    {
+        core::ExperimentRig a(cfg);
+        a.runUntil(units::hours(1.5));
+        snapshot::saveRigSnapshot(a, path);
+        // rig a abandoned here: the "crashed" process
+    }
+    core::ExperimentRig b(cfg);
+    snapshot::loadRigSnapshot(b, path);
+    EXPECT_EQ(b.simulation().now(), units::hours(1.5));
+    b.runUntil(cfg.duration);
+    const core::ExperimentResult gotRes = b.finish();
+    std::remove(path.c_str());
+
+    expectIdenticalResults(wantRes, gotRes);
+}
+
+TEST(CheckpointE2E, CheckpointedDriverSurvivesAbortMidRun)
+{
+    const core::ExperimentConfig cfg = faultedConfig();
+    const std::string path = tempPath("driver.ckpt");
+
+    snapshot::CheckpointOptions plain;
+    const core::ExperimentResult want =
+        snapshot::runCheckpointed(cfg, plain);
+
+    // First process: checkpoints every simulated hour, "crashes" (an
+    // exception out of the progress hook) shortly after the 2 h mark.
+    snapshot::CheckpointOptions ck;
+    ck.path = path;
+    ck.interval = units::hours(1.0);
+    ck.onProgress = [](Seconds now) {
+        if (now >= units::hours(2.0))
+            throw std::runtime_error("simulated crash");
+    };
+    EXPECT_THROW(snapshot::runCheckpointed(cfg, ck), std::runtime_error);
+
+    // Second process: resumes from the surviving checkpoint and must
+    // finish with the uninterrupted run's exact outputs.
+    snapshot::CheckpointOptions resume;
+    resume.path = path;
+    resume.interval = units::hours(1.0);
+    const core::ExperimentResult got =
+        snapshot::resumeCheckpointed(cfg, resume);
+    std::remove(path.c_str());
+
+    expectIdenticalResults(want, got);
+}
+
+TEST(CheckpointE2E, GoldenDigestsHashIdenticalAfterNoonRestore)
+{
+    // The paper's Fig. 14/16 full-day scenarios: snapshot at noon,
+    // restore in a fresh rig, finish the day — the rolling golden hash
+    // must equal the checked-in digests bit for bit.
+    for (const std::string &name : validate::goldenScenarioNames()) {
+        const auto golden = validate::GoldenRecorder::load(
+            std::string(INSURE_GOLDEN_DIR) + "/" + name + ".jsonl");
+        ASSERT_FALSE(golden.empty()) << name;
+
+        core::ExperimentConfig cfg = validate::goldenScenario(name);
+        const std::string path = tempPath("golden_noon_" + name + ".snap");
+
+        validate::GoldenRecorder recA(validate::kGoldenPeriod);
+        core::ExperimentConfig cfgA = cfg;
+        cfgA.observer = &recA;
+        {
+            core::ExperimentRig a(cfgA);
+            a.runUntil(cfg.duration / 2.0); // noon
+            snapshot::saveRigSnapshot(a, path);
+        }
+
+        validate::GoldenRecorder recB(validate::kGoldenPeriod);
+        core::ExperimentConfig cfgB = cfg;
+        cfgB.observer = &recB;
+        core::ExperimentRig b(cfgB);
+        snapshot::loadRigSnapshot(b, path);
+        b.runUntil(cfg.duration);
+        b.finish();
+        std::remove(path.c_str());
+
+        const validate::GoldenMismatch m =
+            validate::compareGolden(golden, recB.records());
+        EXPECT_TRUE(m.matched)
+            << name << ": record " << m.record << ": " << m.detail;
+        EXPECT_TRUE(m.hashIdentical) << name;
+        ASSERT_FALSE(recB.records().empty());
+        EXPECT_EQ(golden.back().hash, recB.finalHash()) << name;
+    }
+}
+
+TEST(CheckpointE2E, MismatchedConfigFailsLoudly)
+{
+    core::ExperimentConfig cfg = faultedConfig();
+    const std::string path = tempPath("mismatch.snap");
+    {
+        core::ExperimentRig a(cfg);
+        a.runUntil(units::hours(1.0));
+        snapshot::saveRigSnapshot(a, path);
+    }
+    core::ExperimentConfig other = cfg;
+    other.seed = cfg.seed + 1;
+    core::ExperimentRig b(other);
+    try {
+        snapshot::loadRigSnapshot(b, path);
+        FAIL() << "mismatched seed must not load";
+    } catch (const SnapshotError &e) {
+        EXPECT_NE(std::string(e.what()).find("fingerprint"),
+                  std::string::npos)
+            << e.what();
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointE2E, CorruptedSnapshotFailsLoudly)
+{
+    const core::ExperimentConfig cfg = faultedConfig();
+    const std::string path = tempPath("corrupt_rig.snap");
+    {
+        core::ExperimentRig a(cfg);
+        a.runUntil(units::hours(1.0));
+        snapshot::saveRigSnapshot(a, path);
+    }
+    // Flip one payload byte: the checksum must reject the file.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 100, SEEK_SET);
+        const int c = std::fgetc(f);
+        std::fseek(f, 100, SEEK_SET);
+        std::fputc(c ^ 0x40, f);
+        std::fclose(f);
+    }
+    snapshot::CheckpointOptions resume;
+    resume.path = path;
+    EXPECT_THROW(snapshot::resumeCheckpointed(cfg, resume), SnapshotError);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace insure

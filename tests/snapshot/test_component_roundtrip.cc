@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Per-component snapshot round-trips: save a component mid-flight, load
+ * into a freshly constructed twin, and require (a) a byte-identical
+ * re-save and (b) bit-identical behaviour from that point on. Covers
+ * the event queue (pending events at exact dispatch keys), periodic
+ * tasks, RNG streams, KiBaM, battery unit, relay and data queue; the
+ * InSURE manager and fault injector round-trip through the full-rig
+ * tests in test_checkpoint_e2e.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "battery/battery_unit.hh"
+#include "battery/kibam.hh"
+#include "battery/relay.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "snapshot/archive.hh"
+#include "workload/data_queue.hh"
+
+namespace insure {
+namespace {
+
+using snapshot::Archive;
+using snapshot::SnapshotError;
+
+/** Serialize @p c into a fresh save-mode archive and return the bytes. */
+template <class C>
+std::string
+bytesOf(const C &c)
+{
+    Archive ar = Archive::forSave();
+    c.save(ar);
+    return ar.payload();
+}
+
+TEST(RngSnapshot, StateRoundTripsExactly)
+{
+    Rng a(12345);
+    a.uniform();
+    a.normal(); // leaves a cached Box-Muller deviate in flight
+    a.exponential(0.5);
+
+    Rng b(999); // different seed: state transplant must overwrite fully
+    b.setState(a.state());
+    for (int i = 0; i < 64; ++i)
+        ASSERT_EQ(a.next(), b.next()) << "draw " << i;
+    // Including the distribution caches.
+    ASSERT_EQ(a.normal(), b.normal());
+    ASSERT_EQ(a.normal(), b.normal());
+}
+
+TEST(RngSnapshot, ArchiveRoundTripsExactly)
+{
+    Rng a(777);
+    for (int i = 0; i < 17; ++i)
+        a.uniform();
+    a.normal();
+
+    const std::string payload = bytesOf(a);
+    Rng b(1);
+    Archive load = Archive::forLoad(payload);
+    b.load(load);
+    EXPECT_EQ(bytesOf(b), payload);
+    for (int i = 0; i < 64; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(KibamSnapshot, RoundTripsMidDischarge)
+{
+    battery::Kibam a(80.0, 0.32, 2.0, 0.85);
+    a.step(12.0, 600.0);  // discharge
+    a.step(-6.0, 300.0);  // charge
+    a.step(0.05, 1200.0); // rest-style drain
+
+    battery::Kibam b(80.0, 0.32, 2.0, 1.0);
+    Archive load = Archive::forLoad(bytesOf(a));
+    b.load(load);
+    EXPECT_EQ(bytesOf(b), bytesOf(a));
+    EXPECT_EQ(a.soc(), b.soc());
+    EXPECT_EQ(a.availableFraction(), b.availableFraction());
+
+    // Identical trajectories from the restored state.
+    for (int i = 0; i < 20; ++i) {
+        ASSERT_EQ(a.step(5.0, 60.0), b.step(5.0, 60.0));
+        ASSERT_EQ(a.soc(), b.soc());
+    }
+}
+
+TEST(RelaySnapshot, RoundTripsWearAndFault)
+{
+    battery::Relay a("chg");
+    a.close();
+    a.open();
+    a.close();
+    a.delayActuation(2);
+    a.injectFault(battery::RelayFault::WeldedClosed);
+
+    battery::Relay b("chg");
+    Archive load = Archive::forLoad(bytesOf(a));
+    b.load(load);
+    EXPECT_EQ(bytesOf(b), bytesOf(a));
+    EXPECT_EQ(a.closed(), b.closed());
+    EXPECT_EQ(a.operations(), b.operations());
+    EXPECT_EQ(a.fault(), b.fault());
+    // Welded shut: the open command must fail identically on both.
+    EXPECT_EQ(a.open(), b.open());
+    EXPECT_EQ(a.closed(), b.closed());
+}
+
+TEST(BatteryUnitSnapshot, RoundTripsElectrochemicalAndFaultState)
+{
+    const battery::BatteryParams params{};
+    battery::BatteryUnit a("u0", params, 0.9);
+    a.discharge(6.0, 900.0);
+    a.charge(4.0, 600.0);
+    a.rest(300.0);
+    a.setMode(battery::UnitMode::Discharging);
+    a.setSelfDischargeMultiplier(8.0);
+    a.rest(600.0); // accrues exogenous loss through the injected short
+
+    battery::BatteryUnit b("u0", params, 0.5);
+    Archive load = Archive::forLoad(bytesOf(a));
+    b.load(load);
+    EXPECT_EQ(bytesOf(b), bytesOf(a));
+    EXPECT_EQ(a.soc(), b.soc());
+    EXPECT_EQ(a.mode(), b.mode());
+    EXPECT_EQ(a.exogenousAh(), b.exogenousAh());
+    EXPECT_EQ(a.terminalVoltage(3.0), b.terminalVoltage(3.0));
+    EXPECT_EQ(a.safeDischargeCurrent(60.0), b.safeDischargeCurrent(60.0));
+
+    const auto ra = a.discharge(5.0, 120.0);
+    const auto rb = b.discharge(5.0, 120.0);
+    EXPECT_EQ(ra.deliveredAh, rb.deliveredAh);
+    EXPECT_EQ(ra.energyWh, rb.energyWh);
+}
+
+TEST(DataQueueSnapshot, RoundTripsJobsAndCounters)
+{
+    workload::DataQueue a;
+    a.arrive(10.0, 4.0);
+    a.arrive(20.0, 2.5);
+    a.process(30.0, 3.0);
+    a.requeue(40.0, 0.5); // lost work returns to the head
+    a.arrive(50.0, 1.25);
+
+    workload::DataQueue b;
+    Archive load = Archive::forLoad(bytesOf(a));
+    b.load(load);
+    EXPECT_EQ(bytesOf(b), bytesOf(a));
+
+    // Continue both queues identically: consumption must match exactly,
+    // including per-job boundaries and latency accounting.
+    for (int i = 0; i < 6; ++i)
+        ASSERT_EQ(a.process(60.0 + i, 0.7), b.process(60.0 + i, 0.7));
+    EXPECT_EQ(bytesOf(b), bytesOf(a));
+}
+
+TEST(EventQueueSnapshot, RestoredEventsDispatchInOriginalOrder)
+{
+    sim::EventQueue a;
+    std::vector<int> logA;
+    std::vector<sim::EventId> ids;
+    // Mixed priorities and a same-instant tie: dispatch order depends on
+    // the exact keys, which the snapshot must preserve.
+    ids.push_back(a.schedule(5.0, sim::EventPriority::Stats,
+                             [&logA] { logA.push_back(1); }));
+    ids.push_back(a.schedule(10.0, sim::EventPriority::Control,
+                             [&logA] { logA.push_back(2); }));
+    ids.push_back(a.schedule(10.0, sim::EventPriority::Physics,
+                             [&logA] { logA.push_back(3); }));
+    ids.push_back(a.schedule(10.0, sim::EventPriority::Physics,
+                             [&logA] { logA.push_back(4); }));
+    ids.push_back(a.schedule(15.0, sim::EventPriority::Telemetry,
+                             [&logA] { logA.push_back(5); }));
+    const sim::EventId cancelled = a.schedule(
+        12.0, sim::EventPriority::Physics, [&logA] { logA.push_back(99); });
+    a.cancel(cancelled);
+
+    a.runUntil(6.0); // event 1 fires; the rest stay pending
+
+    // Snapshot: clock plus the (when, key) of each live event.
+    Archive save = Archive::forSave();
+    a.saveClock(save);
+    std::vector<sim::EventQueue::PendingEvent> pending;
+    std::vector<int> payloads;
+    const int payloadOf[] = {1, 2, 3, 4, 5};
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (const auto p = a.pendingInfo(ids[i])) {
+            pending.push_back(*p);
+            payloads.push_back(payloadOf[i]);
+        }
+    }
+    EXPECT_EQ(pending.size(), 4u);
+    EXPECT_FALSE(a.pendingInfo(cancelled).has_value());
+    EXPECT_FALSE(a.pendingInfo(0).has_value());
+
+    // Restore into a fresh queue — deliberately in reverse order, which
+    // must not matter because the saved keys fix the dispatch order.
+    sim::EventQueue b;
+    Archive load = Archive::forLoad(save.payload());
+    b.loadClock(load);
+    EXPECT_EQ(b.now(), a.now());
+    std::vector<int> logB{1}; // event 1 already fired pre-snapshot
+    for (std::size_t i = pending.size(); i-- > 0;) {
+        const int v = payloads[i];
+        b.restoreEvent(pending[i].when, pending[i].key,
+                       [&logB, v] { logB.push_back(v); });
+    }
+
+    a.runUntil(100.0);
+    b.runUntil(100.0);
+    EXPECT_EQ(logA, logB);
+    EXPECT_EQ(logA, (std::vector<int>{1, 3, 4, 2, 5}));
+}
+
+TEST(EventQueueSnapshot, RestoreRejectsImpossibleEvents)
+{
+    sim::EventQueue a;
+    a.schedule(5.0, sim::EventPriority::Physics, [] {});
+    a.runUntil(10.0);
+
+    Archive save = Archive::forSave();
+    a.saveClock(save);
+    sim::EventQueue b;
+    Archive load = Archive::forLoad(save.payload());
+    b.loadClock(load);
+    // An event in the past cannot be restored...
+    EXPECT_THROW(b.restoreEvent(1.0, 1, [] {}), SnapshotError);
+    // ...nor one whose sequence number the saved clock never issued.
+    EXPECT_THROW(b.restoreEvent(20.0, (1ull << 56) | 1000000, [] {}),
+                 SnapshotError);
+}
+
+TEST(PeriodicTaskSnapshot, ResumedTaskKeepsPhase)
+{
+    sim::EventQueue qa;
+    std::vector<Seconds> firesA;
+    sim::PeriodicTask a(qa, 7.0, sim::EventPriority::Control,
+                        [&firesA](Seconds t) { firesA.push_back(t); });
+    a.start(3.0);
+    qa.runUntil(18.0); // fires at 3, 10, 17; next pending at 24
+
+    Archive save = Archive::forSave();
+    qa.saveClock(save);
+    a.save(save);
+
+    sim::EventQueue qb;
+    std::vector<Seconds> firesB = firesA;
+    sim::PeriodicTask b(qb, 7.0, sim::EventPriority::Control,
+                        [&firesB](Seconds t) { firesB.push_back(t); });
+    Archive load = Archive::forLoad(save.payload());
+    qb.loadClock(load);
+    b.load(load);
+    EXPECT_TRUE(b.running());
+
+    qa.runUntil(40.0);
+    qb.runUntil(40.0);
+    EXPECT_EQ(firesA, firesB);
+    EXPECT_EQ(firesA,
+              (std::vector<Seconds>{3.0, 10.0, 17.0, 24.0, 31.0, 38.0}));
+}
+
+} // namespace
+} // namespace insure
