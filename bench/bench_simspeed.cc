@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "battery/battery_array.hh"
 #include "battery/battery_unit.hh"
 #include "bench_util.hh"
 #include "core/experiment.hh"
@@ -129,6 +130,86 @@ BM_BatteryStep(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BatteryStep);
+
+/**
+ * Simulated seconds per benchmark iteration of the battery-array scale
+ * benches. Overridable so the ctest perf smoke stays fast; the recorded
+ * baseline uses the default — one full simulated day, per the scale
+ * acceptance target.
+ */
+unsigned
+batteryArrayTicks()
+{
+    if (const char *env = std::getenv("INSURE_BATTERY_ARRAY_TICKS"))
+        if (const long v = std::strtol(env, nullptr, 10); v > 0)
+            return static_cast<unsigned>(v);
+    return 86400;
+}
+
+/**
+ * One simulated day of the array tick protocol at scale: a few cabinets
+ * active on the buses, everything else idling through the rest kernels,
+ * with the telemetry-style stored-energy reduction read every tick —
+ * the exact per-tick work profile of a large in-situ plant. @p batched
+ * selects the structure-of-arrays kernels (the default) or the legacy
+ * per-object oracle, so the committed baseline carries both numbers and
+ * the speedup is auditable from BENCH_simspeed.json alone.
+ */
+void
+runBatteryArrayDay(benchmark::State &state, unsigned unitsTotal,
+                   bool batched)
+{
+    const unsigned series = 2;
+    const unsigned cabinets = unitsTotal / series;
+    const unsigned ticks = batteryArrayTicks();
+    for (auto _ : state) {
+        battery::BatteryArray a(battery::BatteryParams{}, cabinets, series,
+                                0.85);
+        a.setBatchedStepping(batched);
+        a.setAllModes(battery::UnitMode::Offline);
+        for (unsigned i = 0; i < cabinets && i < 4; ++i) {
+            if (i < 2)
+                a.cabinet(i).setMode(battery::UnitMode::Discharging);
+            else if (i == 2)
+                a.cabinet(i).setMode(battery::UnitMode::Charging);
+            else
+                a.cabinet(i).setMode(battery::UnitMode::Standby);
+        }
+        double acc = 0.0;
+        battery::ArrayDischargeResult dr;
+        for (unsigned t = 0; t < ticks; ++t) {
+            a.beginTick();
+            a.discharge(40.0, 1.0, dr);
+            a.chargeCabinet(2 % cabinets, 400.0, 1.0);
+            a.endTick(1.0);
+            acc += a.storedEnergyWh();
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            ticks * unitsTotal);
+}
+
+void
+BM_BatteryArray(benchmark::State &state, unsigned units)
+{
+    runBatteryArrayDay(state, units, true);
+}
+
+void
+BM_BatteryArrayLegacy(benchmark::State &state, unsigned units)
+{
+    runBatteryArrayDay(state, units, false);
+}
+
+BENCHMARK_CAPTURE(BM_BatteryArray, 1k, 1000u)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BatteryArray, 10k, 10000u)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BatteryArrayLegacy, 1k, 1000u)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BatteryArrayLegacy, 10k, 10000u)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_ModbusRoundTrip(benchmark::State &state)

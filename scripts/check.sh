@@ -2,7 +2,7 @@
 # One-command verification gate: tier-1 tests, golden-trace check, a fuzz
 # smoke sweep, and the validation suites under ASan/UBSan.
 #
-# Usage: scripts/check.sh [--no-asan] [--fuzz-runs N] [--faults]
+# Usage: scripts/check.sh [--no-asan] [--fuzz-runs N] [--faults] [--scale]
 #        scripts/check.sh --perf [--tolerance X]
 #
 # --perf builds Release and runs the simulation-speed gate against the
@@ -13,6 +13,11 @@
 # a high fault rate under the Throw invariant policy (a violating run is
 # recorded as failed, the sweep must survive), plus a rate-0 campaign
 # that must stay on the clean code path.
+#
+# --scale re-runs the structure-of-arrays scale suite on its own
+# (pooled-vs-per-object bit identity at 6/1k/10k units, worker-thread
+# determinism) — it is part of tier 1 too, but the dedicated stage gives
+# a fast signal when touching the battery/server hot path.
 #
 # --resume adds a crash-recovery drill: a checkpointing campaign is
 # kill -9'd mid-sweep, re-invoked with --resume, and its JSON output must
@@ -28,6 +33,7 @@ cd "$repo"
 run_asan=1
 run_perf=0
 run_faults=0
+run_scale=0
 run_resume=0
 fuzz_runs=200
 tolerance=0.20
@@ -36,6 +42,7 @@ while [ $# -gt 0 ]; do
     --no-asan) run_asan=0 ;;
     --perf) run_perf=1 ;;
     --faults) run_faults=1 ;;
+    --scale) run_scale=1 ;;
     --resume) run_resume=1 ;;
     --tolerance)
         shift
@@ -46,7 +53,7 @@ while [ $# -gt 0 ]; do
         fuzz_runs="$1"
         ;;
     *)
-        echo "usage: $0 [--no-asan] [--fuzz-runs N] [--faults] [--resume] | --perf [--tolerance X]" >&2
+        echo "usage: $0 [--no-asan] [--fuzz-runs N] [--faults] [--scale] [--resume] | --perf [--tolerance X]" >&2
         exit 2
         ;;
     esac
@@ -90,6 +97,11 @@ if [ "$run_faults" = 1 ]; then
 
     step "fault rate-0 campaign (clean code path)"
     ./build/bench/bench_fault_campaign --runs 4 --rate 0
+fi
+
+if [ "$run_scale" = 1 ]; then
+    step "structure-of-arrays scale suite (ctest -L scale)"
+    ctest --test-dir build -L scale --output-on-failure
 fi
 
 if [ "$run_resume" = 1 ]; then

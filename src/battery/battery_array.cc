@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "sim/logging.hh"
 
@@ -12,22 +13,41 @@ namespace insure::battery {
 BatteryArray::BatteryArray(const BatteryParams &params,
                            unsigned cabinet_count, unsigned series_count,
                            double initialSoc)
+    : units_(std::make_unique<UnitPool>()),
+      relays_(std::make_unique<RelayPool>()), seriesCount_(series_count)
 {
-    if (cabinet_count == 0)
-        fatal("BatteryArray: need at least one cabinet");
+    units_->reserve(static_cast<std::size_t>(cabinet_count) * series_count);
+    relays_->reserve(static_cast<std::size_t>(cabinet_count) * 2);
+    cabinets_.reserve(cabinet_count);
+    // Sized once up front: attachModeMirror hands out interior pointers,
+    // which stay valid because the vector never regrows (and a move of
+    // the array moves the buffer, not the elements).
+    modeMirror_.assign(cabinet_count, UnitMode::Standby);
     for (unsigned i = 0; i < cabinet_count; ++i) {
         cabinets_.push_back(std::make_unique<Cabinet>(
-            "cab" + std::to_string(i), params, series_count, initialSoc));
+            "cab" + std::to_string(i), params, series_count, initialSoc,
+            *units_, *relays_));
     }
-    touched_.assign(cabinet_count, false);
+    for (unsigned i = 0; i < cabinet_count; ++i)
+        cabinets_[i]->attachModeMirror(&modeMirror_[i]);
+    touched_.assign(cabinet_count, 0);
+}
+
+void
+BatteryArray::setWorkerThreads(unsigned threads)
+{
+    if (threads <= 1)
+        workers_.reset();
+    else
+        workers_ = std::make_unique<core::WorkerPool>(threads);
 }
 
 std::vector<unsigned>
 BatteryArray::cabinetsInMode(UnitMode mode) const
 {
     std::vector<unsigned> out;
-    for (unsigned i = 0; i < cabinets_.size(); ++i) {
-        if (cabinets_[i]->mode() == mode)
+    for (unsigned i = 0; i < modeMirror_.size(); ++i) {
+        if (modeMirror_[i] == mode)
             out.push_back(i);
     }
     return out;
@@ -43,9 +63,29 @@ BatteryArray::setAllModes(UnitMode mode)
 WattHours
 BatteryArray::storedEnergyWh() const
 {
+    if (!batched_) {
+        WattHours e = 0.0;
+        for (const auto &c : cabinets_)
+            e += c->storedEnergyWh();
+        return e;
+    }
+    if (parallelEngaged()) {
+        partials_.assign(cabinets_.size(), 0.0);
+        const std::function<void(std::size_t)> fn = [&](std::size_t i) {
+            partials_[i] = units_->storedEnergyWhRange(
+                cabinets_[i]->unitBegin(), cabinets_[i]->unitEnd());
+        };
+        workers_->run(cabinets_.size(), fn);
+        // One sequential combine in cabinet order: the same association
+        // as the serial loop, whatever the worker count.
+        WattHours e = 0.0;
+        for (const double p : partials_)
+            e += p;
+        return e;
+    }
     WattHours e = 0.0;
     for (const auto &c : cabinets_)
-        e += c->storedEnergyWh();
+        e += units_->storedEnergyWhRange(c->unitBegin(), c->unitEnd());
     return e;
 }
 
@@ -61,33 +101,68 @@ BatteryArray::capacityWh() const
 double
 BatteryArray::meanSoc() const
 {
+    if (cabinets_.empty())
+        return 0.0;
+    if (!batched_) {
+        double s = 0.0;
+        for (const auto &c : cabinets_)
+            s += c->soc();
+        return s / cabinets_.size();
+    }
     double s = 0.0;
     for (const auto &c : cabinets_)
-        s += c->soc();
+        s += units_->socSumRange(c->unitBegin(), c->unitEnd()) /
+             c->seriesCount();
     return s / cabinets_.size();
 }
 
 AmpHours
 BatteryArray::totalUnitAh() const
 {
+    if (!batched_) {
+        AmpHours ah = 0.0;
+        for (const auto &c : cabinets_)
+            ah += c->unitAh();
+        return ah;
+    }
+    if (parallelEngaged()) {
+        partials_.assign(cabinets_.size(), 0.0);
+        const std::function<void(std::size_t)> fn = [&](std::size_t i) {
+            partials_[i] = units_->unitAhRange(cabinets_[i]->unitBegin(),
+                                               cabinets_[i]->unitEnd());
+        };
+        workers_->run(cabinets_.size(), fn);
+        AmpHours ah = 0.0;
+        for (const double p : partials_)
+            ah += p;
+        return ah;
+    }
     AmpHours ah = 0.0;
     for (const auto &c : cabinets_)
-        ah += c->unitAh();
+        ah += units_->unitAhRange(c->unitBegin(), c->unitEnd());
     return ah;
 }
 
 AmpHours
 BatteryArray::totalExogenousAh() const
 {
+    if (!batched_) {
+        AmpHours ah = 0.0;
+        for (const auto &c : cabinets_)
+            ah += c->exogenousAh();
+        return ah;
+    }
     AmpHours ah = 0.0;
     for (const auto &c : cabinets_)
-        ah += c->exogenousAh();
+        ah += units_->exogenousAhRange(c->unitBegin(), c->unitEnd());
     return ah;
 }
 
 double
 BatteryArray::voltageStddev() const
 {
+    if (cabinets_.empty())
+        return 0.0;
     double sum = 0.0;
     double sumSq = 0.0;
     for (const auto &c : cabinets_) {
@@ -104,6 +179,8 @@ BatteryArray::voltageStddev() const
 Volts
 BatteryArray::busVoltage() const
 {
+    if (cabinets_.empty())
+        return 0.0;
     return network_.busVoltage(cabinets_.front()->nominalVoltage(),
                                cabinetCount());
 }
@@ -112,12 +189,13 @@ Watts
 BatteryArray::maxDischargePower(Seconds dt) const
 {
     Watts total = 0.0;
-    for (const auto &c : cabinets_) {
-        if (c->mode() != UnitMode::Discharging &&
-            c->mode() != UnitMode::Standby)
+    for (unsigned idx = 0; idx < cabinets_.size(); ++idx) {
+        const UnitMode m = modeMirror_[idx];
+        if (m != UnitMode::Discharging && m != UnitMode::Standby)
             continue;
-        const Amperes i = c->safeDischargeCurrent(dt);
-        total += i * c->terminalVoltage(i);
+        const Cabinet &c = *cabinets_[idx];
+        const Amperes i = c.safeDischargeCurrent(dt);
+        total += i * c.terminalVoltage(i);
     }
     return total;
 }
@@ -125,7 +203,7 @@ BatteryArray::maxDischargePower(Seconds dt) const
 void
 BatteryArray::beginTick()
 {
-    std::fill(touched_.begin(), touched_.end(), false);
+    std::fill(touched_.begin(), touched_.end(), 0);
 }
 
 ArrayDischargeResult
@@ -150,11 +228,12 @@ BatteryArray::discharge(Watts demand, Seconds dt, ArrayDischargeResult &res)
 
     // Online cabinets (Discharging and Standby), ascending index — the
     // same order the old collect-per-mode-then-sort produced, without
-    // the temporary vectors.
+    // the temporary vectors. The mode mirror keeps this a single linear
+    // scan of a dense array.
     auto &active = scratchActive_;
     active.clear();
-    for (unsigned i = 0; i < cabinets_.size(); ++i) {
-        const UnitMode m = cabinets_[i]->mode();
+    for (unsigned i = 0; i < modeMirror_.size(); ++i) {
+        const UnitMode m = modeMirror_[i];
         if (m == UnitMode::Discharging || m == UnitMode::Standby)
             active.push_back(i);
     }
@@ -202,9 +281,9 @@ BatteryArray::discharge(Watts demand, Seconds dt, ArrayDischargeResult &res)
 
     for (std::size_t j = 0; j < active.size(); ++j) {
         const unsigned idx = active[j];
-        touched_[idx] = true;
+        touched_[idx] = 1;
         if (alloc[j] <= 0.0) {
-            cabinets_[idx]->rest(dt);
+            restCabinet(idx, dt);
             continue;
         }
         const DischargeResult r = cabinets_[idx]->discharge(alloc[j], dt);
@@ -234,7 +313,7 @@ BatteryArray::chargeCabinet(unsigned idx, Watts budget, Seconds dt,
         (allow_standby && c.mode() == UnitMode::Standby);
     if (!chargeable)
         return res; // cabinet left the charge bus since the plan was made
-    touched_[idx] = true;
+    touched_[idx] = 1;
 
     // Charger output current at the cabinet's absorption voltage, bounded
     // by the budget and by what the string accepts (plus parasitics).
@@ -245,7 +324,7 @@ BatteryArray::chargeCabinet(unsigned idx, Watts budget, Seconds dt,
         c.acceptanceCurrent() + c.unit(0).params().parasiticBusCurrent;
     const Amperes bus_current = std::min(budget_current, acceptance);
     if (bus_current <= 0.0) {
-        c.rest(dt);
+        restCabinet(idx, dt);
         return res;
     }
 
@@ -258,10 +337,53 @@ BatteryArray::chargeCabinet(unsigned idx, Watts budget, Seconds dt,
 void
 BatteryArray::endTick(Seconds dt)
 {
-    for (unsigned i = 0; i < cabinets_.size(); ++i) {
-        if (!touched_[i])
-            cabinets_[i]->rest(dt);
+    if (!batched_) {
+        for (unsigned i = 0; i < cabinets_.size(); ++i) {
+            if (!touched_[i])
+                cabinets_[i]->rest(dt);
+        }
+        return;
     }
+
+    // Coalesce runs of untouched cabinets into contiguous unit ranges:
+    // on an idle array this turns cabinetCount rest calls into a handful
+    // of long streaming kernels.
+    auto &ranges = scratchRanges_;
+    ranges.clear();
+    for (unsigned i = 0; i < cabinets_.size(); ++i) {
+        if (touched_[i])
+            continue;
+        const std::uint32_t b = cabinets_[i]->unitBegin();
+        const std::uint32_t e = cabinets_[i]->unitEnd();
+        if (!ranges.empty() && ranges.back().second == b)
+            ranges.back().second = e;
+        else
+            ranges.emplace_back(b, e);
+    }
+    if (ranges.empty())
+        return;
+
+    if (!parallelEngaged()) {
+        for (const auto &r : ranges)
+            units_->restRange(r.first, r.second, dt);
+        return;
+    }
+
+    // Split into fixed-size chunks. The rest kernel is element-wise over
+    // slots, so the partition cannot change any value; fixing the chunk
+    // size (rather than deriving it from the worker count) keeps even
+    // the work decomposition identical across thread counts.
+    auto &chunks = scratchChunks_;
+    chunks.clear();
+    for (const auto &r : ranges) {
+        for (std::uint32_t b = r.first; b < r.second; b += kWorkerChunkUnits)
+            chunks.emplace_back(b,
+                                std::min(r.second, b + kWorkerChunkUnits));
+    }
+    const std::function<void(std::size_t)> fn = [&](std::size_t j) {
+        units_->restRange(chunks[j].first, chunks[j].second, dt);
+    };
+    workers_->run(chunks.size(), fn);
 }
 
 std::uint64_t
@@ -285,7 +407,10 @@ BatteryArray::totalDischargeThroughputAh() const
 double
 BatteryArray::projectedLifeYears(Seconds observed) const
 {
-    double years = cabinets_.front()->projectedLifeYears(observed);
+    // Min over cabinets; an empty array projects an unbounded life (the
+    // seed dereferenced cabinets_.front() here, which degenerate
+    // zero-cabinet configs turned into undefined behaviour).
+    double years = std::numeric_limits<double>::infinity();
     for (const auto &c : cabinets_)
         years = std::min(years, c->projectedLifeYears(observed));
     return years;
@@ -301,8 +426,8 @@ BatteryArray::save(snapshot::Archive &ar) const
         c->save(ar);
     network_.save(ar);
     ar.putSize(touched_.size());
-    for (const bool t : touched_)
-        ar.putBool(t);
+    for (const std::uint8_t t : touched_)
+        ar.putBool(t != 0);
 }
 
 void
@@ -315,9 +440,17 @@ BatteryArray::load(snapshot::Archive &ar)
     for (auto &c : cabinets_)
         c->load(ar);
     network_.load(ar);
-    touched_.assign(ar.getSize(), false);
+    // The touched set is per-cabinet bookkeeping: a size mismatch means
+    // the archive does not describe this topology, and blindly adopting
+    // the archived size would desynchronise endTick's idle-rest pass
+    // from the cabinets (stale/missing rest steps after restore).
+    const std::size_t touchedCount = ar.getSize();
+    if (touchedCount != cabinets_.size())
+        throw snapshot::SnapshotError(
+            "BatteryArray: touched set size differs from snapshot");
+    touched_.assign(touchedCount, 0);
     for (std::size_t i = 0; i < touched_.size(); ++i)
-        touched_[i] = ar.getBool();
+        touched_[i] = ar.getBool() ? 1 : 0;
 }
 
 } // namespace insure::battery

@@ -7,6 +7,21 @@
  * Within one physics tick the caller brackets operations with beginTick()
  * and endTick(): cabinets that were neither charged nor discharged during
  * the tick receive a rest step (self-discharge + kinetic recovery).
+ *
+ * All per-unit electrochemical state lives in one UnitPool (and relay
+ * contact state in one RelayPool) shared across cabinets, so the per-tick
+ * hot path — rest every idle unit, reduce the gauge sums — runs as tight
+ * batched loops over dense arrays instead of per-object dispatch. The
+ * cabinets/units remain the API as thin views over pool slots; both
+ * stepping paths are bit-identical (the scalar path can be re-enabled
+ * with setBatchedStepping(false) — it is the oracle the scale tests
+ * compare against).
+ *
+ * setWorkerThreads(n) adds within-tick parallelism: the batched rest and
+ * reduction kernels partition the unit range into fixed-size chunks
+ * (independent of the thread count) and reductions combine per-cabinet
+ * partial sums in cabinet order on the calling thread, so results are
+ * bit-identical regardless of how many workers run.
  */
 
 #ifndef INSURE_BATTERY_BATTERY_ARRAY_HH
@@ -14,10 +29,12 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "battery/cabinet.hh"
 #include "battery/switch_network.hh"
+#include "core/worker_pool.hh"
 
 namespace insure::snapshot {
 class Archive;
@@ -55,7 +72,10 @@ class BatteryArray
   public:
     /**
      * @param params per-unit battery parameters
-     * @param cabinet_count number of switchable cabinets
+     * @param cabinet_count number of switchable cabinets (0 yields an
+     *        empty, inert array: every gauge reads zero/infinity and the
+     *        power operations are no-ops — degenerate configs must not
+     *        crash the batch driver)
      * @param series_count 12 V units per cabinet
      * @param initialSoc starting state of charge
      */
@@ -67,12 +87,43 @@ class BatteryArray
         return static_cast<unsigned>(cabinets_.size());
     }
 
+    /** Total battery units across all cabinets. */
+    std::size_t unitCount() const { return units_->size(); }
+
+    /** 12 V units per cabinet. */
+    unsigned seriesCount() const { return seriesCount_; }
+
     Cabinet &cabinet(unsigned i) { return *cabinets_[i]; }
     const Cabinet &cabinet(unsigned i) const { return *cabinets_[i]; }
+
+    /** The shared per-unit state pool (scale tests, diagnostics). */
+    const UnitPool &unitPool() const { return *units_; }
 
     /** The P1/P2/P3 reconfiguration network. */
     SwitchNetwork &network() { return network_; }
     const SwitchNetwork &network() const { return network_; }
+
+    /**
+     * Select between the batched pool kernels (default) and the legacy
+     * per-object stepping for rest/reductions. Both produce bit-identical
+     * results; the scalar path exists as the oracle for the scale tests.
+     */
+    void setBatchedStepping(bool batched) { batched_ = batched; }
+    bool batchedStepping() const { return batched_; }
+
+    /**
+     * Use @p threads worker threads (including the calling thread) for
+     * the batched kernels on large arrays; 0 or 1 restores serial
+     * operation. Results are bit-identical for every thread count.
+     */
+    void setWorkerThreads(unsigned threads);
+
+    /** Configured worker thread count (1 = serial). */
+    unsigned
+    workerThreads() const
+    {
+        return workers_ ? workers_->threadCount() : 1;
+    }
 
     /** Indices of cabinets currently in @p mode. */
     std::vector<unsigned> cabinetsInMode(UnitMode mode) const;
@@ -86,7 +137,7 @@ class BatteryArray
     /** Sum of full-charge capacity, watt-hours. */
     WattHours capacityWh() const;
 
-    /** Mean state of charge across cabinets. */
+    /** Mean state of charge across cabinets (0 for an empty array). */
     double meanSoc() const;
 
     /** Exact stored charge summed over every unit, ampere-hours. */
@@ -103,7 +154,7 @@ class BatteryArray
     /** Population std-dev of cabinet open-circuit voltages (Table 6). */
     double voltageStddev() const;
 
-    /** DC bus voltage implied by the switch network. */
+    /** DC bus voltage implied by the switch network (0 when empty). */
     Volts busVoltage() const;
 
     /**
@@ -151,7 +202,7 @@ class BatteryArray
     /** Sum of discharge throughput across cabinets, ampere-hours. */
     AmpHours totalDischargeThroughputAh() const;
 
-    /** Minimum projected cabinet service life, years. */
+    /** Minimum projected cabinet service life, years (+inf when empty). */
     double projectedLifeYears(Seconds observed) const;
 
     /**
@@ -165,17 +216,60 @@ class BatteryArray
     void load(snapshot::Archive &ar);
 
   private:
-    std::vector<std::unique_ptr<Cabinet>> cabinets_;
-    SwitchNetwork network_;
-    std::vector<bool> touched_;
+    /** Rest one cabinet through the selected stepping path. */
+    void
+    restCabinet(unsigned idx, Seconds dt)
+    {
+        if (batched_)
+            cabinets_[idx]->restBatched(dt);
+        else
+            cabinets_[idx]->rest(dt);
+    }
 
-    // Scratch buffers for discharge(); the simulator is single-threaded,
-    // so reusing them across ticks is safe and keeps the hot path off
-    // the allocator.
+    /** True when the batched kernels should fan out to the workers. */
+    bool
+    parallelEngaged() const
+    {
+        return workers_ != nullptr &&
+               units_->size() >= kParallelUnitThreshold;
+    }
+
+    /**
+     * Below this many units the fork/join handshake costs more than the
+     * kernels themselves; stay serial.
+     */
+    static constexpr std::size_t kParallelUnitThreshold = 512;
+
+    /** Chunk size (units) for worker partitioning; fixed so the work
+     *  decomposition never depends on the thread count. */
+    static constexpr std::uint32_t kWorkerChunkUnits = 4096;
+
+    // Pools are heap-owned so views keep valid pointers when the array
+    // itself is moved; declared before the cabinets so they outlive the
+    // views during destruction.
+    std::unique_ptr<UnitPool> units_;
+    std::unique_ptr<RelayPool> relays_;
+    std::vector<std::unique_ptr<Cabinet>> cabinets_;
+    // Dense mirror of each cabinet's mode (written by Cabinet::setMode),
+    // so the per-tick mode scans stream one array.
+    std::vector<UnitMode> modeMirror_;
+    SwitchNetwork network_;
+    std::vector<std::uint8_t> touched_;
+    unsigned seriesCount_ = 0;
+    bool batched_ = true;
+    std::unique_ptr<core::WorkerPool> workers_;
+
+    // Scratch buffers for discharge() and the batched kernels; the
+    // simulator drives the array from one thread (workers only run
+    // inside the batched kernels), so reusing them across ticks is safe
+    // and keeps the hot path off the allocator.
     std::vector<unsigned> scratchActive_;
     std::vector<Amperes> scratchAlloc_;
     std::vector<Amperes> scratchLimit_;
     std::vector<std::size_t> scratchOpen_;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> scratchRanges_;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> scratchChunks_;
+    mutable std::vector<double> partials_;
 };
 
 } // namespace insure::battery

@@ -23,9 +23,17 @@ unitModeName(UnitMode mode)
 BatteryUnit::BatteryUnit(std::string name, const BatteryParams &params,
                          double initialSoc)
     : name_(std::move(name)), params_(params),
-      kibam_(params.capacityAh, params.kibamC, params.kibamKPrime,
-             initialSoc),
-      voltage_(params), charge_(params), wear_(params)
+      ownPool_(std::make_unique<UnitPool>()), pool_(ownPool_.get()),
+      slot_(pool_->addUnit(params, initialSoc)), voltage_(params),
+      charge_(params), wear_(params)
+{
+}
+
+BatteryUnit::BatteryUnit(std::string name, const BatteryParams &params,
+                         UnitPool &pool, double initialSoc)
+    : name_(std::move(name)), params_(params), pool_(&pool),
+      slot_(pool.addUnit(params, initialSoc)), voltage_(params),
+      charge_(params), wear_(params)
 {
 }
 
@@ -34,19 +42,20 @@ BatteryUnit::injectCapacityFade(double factor)
 {
     factor = std::clamp(factor, 0.05, 1.0);
     params_.capacityAh *= factor;
-    const AmpHours dropped = kibam_.scaleCapacity(factor);
-    exogenousAh_ += dropped;
-    invalidateSafeCache();
+    const AmpHours dropped = pool_->scaleWellCapacity(slot_, factor);
+    pool_->setRatedCapacity(slot_, params_.capacityAh);
+    pool_->addExogenousAh(slot_, dropped);
+    pool_->invalidateSafeCache(slot_);
     return dropped;
 }
 
 Amperes
 BatteryUnit::computeSafeDischargeCurrent(Seconds dt) const
 {
-    if (openCircuit_ || depleted())
+    if (pool_->openCircuit(slot_) || depleted())
         return 0.0;
     Amperes hi = params_.maxDischargeCurrent;
-    hi = std::min(hi, kibam_.maxDischargeCurrent(dt));
+    hi = std::min(hi, pool_->maxDischargeCurrent(slot_, dt));
     // Do not cross the SoC floor within the step.
     const AmpHours budget =
         std::max(0.0, (soc() - params_.minSoc) * params_.capacityAh);
@@ -58,16 +67,19 @@ BatteryUnit::computeSafeDischargeCurrent(Seconds dt) const
 
     // The binding constraint is usually the low-voltage cutoff at the END
     // of the step (the available well drains as we discharge). Bisect on
-    // a copy of the kinetic model for the largest current that keeps the
+    // a copy of the kinetic state for the largest current that keeps the
     // loaded terminal voltage legal throughout.
+    const kibam_math::State base = pool_->state(slot_);
     auto safe = [&](Amperes i) {
-        Kibam probe = kibam_;
-        if (voltage_.belowCutoff(probe.availableFraction(), i))
+        kibam_math::State probe = base;
+        if (voltage_.belowCutoff(kibam_math::availableFraction(probe), i))
             return false;
-        const AmpHours rejected = probe.step(i, dt);
+        const AmpHours rejected =
+            kibam_math::step(probe, i, dt, kibam_math::ExpDirect{});
         if (rejected > 1e-9)
             return false;
-        return !voltage_.belowCutoff(probe.availableFraction(), i);
+        return !voltage_.belowCutoff(kibam_math::availableFraction(probe),
+                                     i);
     };
     if (safe(hi))
         return hi;
@@ -86,7 +98,7 @@ DischargeResult
 BatteryUnit::discharge(Amperes current, Seconds dt)
 {
     DischargeResult res;
-    if (openCircuit_ || current <= 0.0 || dt <= 0.0) {
+    if (pool_->openCircuit(slot_) || current <= 0.0 || dt <= 0.0) {
         // An open-circuit unit conducts nothing — and deliberately does
         // NOT flag protection: there is no hardware trip to save it, the
         // controller has to notice the dead string through telemetry.
@@ -107,8 +119,8 @@ BatteryUnit::discharge(Amperes current, Seconds dt)
     }
 
     const AmpHours requested = units::chargeAh(applied, dt);
-    const AmpHours rejected = kibam_.step(applied, dt);
-    invalidateSafeCache();
+    const AmpHours rejected = pool_->stepKibam(slot_, applied, dt);
+    pool_->invalidateSafeCache(slot_);
     res.deliveredAh = std::max(0.0, requested - rejected);
     if (rejected > 1e-12)
         res.hitProtection = true;
@@ -126,7 +138,7 @@ ChargeResult
 BatteryUnit::charge(Amperes bus_current, Seconds dt)
 {
     ChargeResult res;
-    if (openCircuit_ || bus_current <= 0.0 || dt <= 0.0) {
+    if (pool_->openCircuit(slot_) || bus_current <= 0.0 || dt <= 0.0) {
         rest(dt);
         return res;
     }
@@ -134,8 +146,8 @@ BatteryUnit::charge(Amperes bus_current, Seconds dt)
     const Amperes effective =
         charge_.effectiveChargeCurrent(bus_current, soc());
     const AmpHours requested = units::chargeAh(effective, dt);
-    const AmpHours rejected = kibam_.step(-effective, dt);
-    invalidateSafeCache();
+    const AmpHours rejected = pool_->stepKibam(slot_, -effective, dt);
+    pool_->invalidateSafeCache(slot_);
     res.storedAh = std::max(0.0, requested - rejected);
     // The bus pays for the full supplied current regardless of how much the
     // cell stored (losses go to gassing/heat/parasitics).
@@ -150,26 +162,37 @@ void
 BatteryUnit::save(snapshot::Archive &ar) const
 {
     ar.section("battery_unit");
-    kibam_.save(ar);
+    // Kinetic-model sub-record: byte-identical to the layout the
+    // standalone Kibam class writes (section + capacity + two wells).
+    ar.section("kibam");
+    ar.putF64(pool_->wellCapacity(slot_));
+    ar.putF64(pool_->availableCharge(slot_));
+    ar.putF64(pool_->boundCharge(slot_));
     wear_.save(ar);
     ar.putEnum(mode_);
-    ar.putBool(openCircuit_);
-    ar.putF64(shortMultiplier_);
-    ar.putF64(exogenousAh_);
+    ar.putBool(pool_->openCircuit(slot_));
+    ar.putF64(pool_->shortMultiplier(slot_));
+    ar.putF64(pool_->exogenousAh(slot_));
 }
 
 void
 BatteryUnit::load(snapshot::Archive &ar)
 {
     ar.section("battery_unit");
-    kibam_.load(ar);
+    ar.section("kibam");
+    const AmpHours cap = ar.getF64();
+    const AmpHours y1 = ar.getF64();
+    const AmpHours y2 = ar.getF64();
+    pool_->setWells(slot_, cap, y1, y2);
     wear_.load(ar);
     mode_ = ar.getEnum<UnitMode>(
         static_cast<std::uint32_t>(UnitMode::Discharging));
-    openCircuit_ = ar.getBool();
-    shortMultiplier_ = ar.getF64();
-    exogenousAh_ = ar.getF64();
-    invalidateSafeCache();
+    pool_->setOpenCircuit(slot_, ar.getBool());
+    // Route through the setter so the pool's short-fault census stays
+    // consistent with the restored multiplier.
+    pool_->setShortMultiplier(slot_, ar.getF64());
+    pool_->setExogenousAh(slot_, ar.getF64());
+    pool_->invalidateSafeCache(slot_);
 }
 
 } // namespace insure::battery

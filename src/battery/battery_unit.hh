@@ -3,17 +3,25 @@
  * One 12 V lead-acid battery unit: kinetic charge model + voltage model +
  * charging electrochemistry + ageing, with the per-unit operating mode of
  * the InSURE e-Buffer (paper Fig. 7/8).
+ *
+ * The electrochemical and fault state lives in a UnitPool slot (see
+ * unit_pool.hh): the cabinet/array layer pools all units densely so the
+ * hot loops stream over arrays, while this class stays the API — a thin
+ * view holding the name, parameters, voltage/charge/wear models and the
+ * operating mode. A standalone-constructed unit owns a private
+ * single-slot pool, so both construction styles behave identically.
  */
 
 #ifndef INSURE_BATTERY_BATTERY_UNIT_HH
 #define INSURE_BATTERY_BATTERY_UNIT_HH
 
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "battery/battery_params.hh"
 #include "battery/charge_model.hh"
-#include "battery/kibam.hh"
+#include "battery/unit_pool.hh"
 #include "battery/voltage_model.hh"
 #include "battery/wear_model.hh"
 #include "sim/units.hh"
@@ -73,14 +81,25 @@ class BatteryUnit
     BatteryUnit(std::string name, const BatteryParams &params,
                 double initialSoc = 0.9);
 
+    /** Pooled variant: electrochemical state lives in a @p pool slot. */
+    BatteryUnit(std::string name, const BatteryParams &params,
+                UnitPool &pool, double initialSoc = 0.9);
+
     const std::string &name() const { return name_; }
     const BatteryParams &params() const { return params_; }
 
+    /** The pool slot holding this unit's state. */
+    std::uint32_t slot() const { return slot_; }
+
     /** Total state of charge in [0, 1]. */
-    double soc() const { return kibam_.soc(); }
+    double soc() const { return pool_->soc(slot_); }
 
     /** Available-well fill level (drives terminal voltage). */
-    double availableFraction() const { return kibam_.availableFraction(); }
+    double
+    availableFraction() const
+    {
+        return pool_->availableFraction(slot_);
+    }
 
     /** Terminal voltage at the given current (+ = discharge). An
      *  open-circuit-failed unit reads 0 V at the terminals (broken
@@ -89,16 +108,16 @@ class BatteryUnit
     Volts
     terminalVoltage(Amperes current) const
     {
-        if (openCircuit_)
+        if (pool_->openCircuit(slot_))
             return 0.0;
-        return voltage_.terminal(kibam_.availableFraction(), current);
+        return voltage_.terminal(pool_->availableFraction(slot_), current);
     }
 
     /** Open-circuit voltage at the present state. */
     Volts
     openCircuitVoltage() const
     {
-        return voltage_.openCircuit(kibam_.availableFraction());
+        return voltage_.openCircuit(pool_->availableFraction(slot_));
     }
 
     /** Stored energy estimate at nominal voltage, watt-hours. */
@@ -128,11 +147,10 @@ class BatteryUnit
     Amperes
     safeDischargeCurrent(Seconds dt) const
     {
-        if (dt != safeCacheDt_) {
-            safeCacheDt_ = dt;
-            safeCacheI_ = computeSafeDischargeCurrent(dt);
-        }
-        return safeCacheI_;
+        if (!pool_->safeCacheValid(slot_, dt))
+            pool_->storeSafeCache(slot_, dt,
+                                  computeSafeDischargeCurrent(dt));
+        return pool_->safeCacheCurrent(slot_);
     }
 
     /**
@@ -161,17 +179,19 @@ class BatteryUnit
         // two wells re-equilibrate (recovery effect).
         const Amperes drain = params_.selfDischargePerDay *
                               params_.capacityAh / units::hoursPerDay;
-        kibam_.step(drain, dt);
-        if (shortMultiplier_ > 1.0) {
+        pool_->stepKibam(slot_, drain, dt);
+        if (pool_->shortMultiplier(slot_) > 1.0) {
             // Internal-short fault: extra drain beyond the nominal
             // self-discharge, logged as exogenous inventory loss (the
             // conservation invariant only allows for the nominal rate).
-            const Amperes extra = drain * (shortMultiplier_ - 1.0);
+            const Amperes extra =
+                drain * (pool_->shortMultiplier(slot_) - 1.0);
             const AmpHours requested = units::chargeAh(extra, dt);
-            const AmpHours rejected = kibam_.step(extra, dt);
-            exogenousAh_ += std::max(0.0, requested - rejected);
+            const AmpHours rejected = pool_->stepKibam(slot_, extra, dt);
+            pool_->addExogenousAh(slot_,
+                                  std::max(0.0, requested - rejected));
         }
-        invalidateSafeCache();
+        pool_->invalidateSafeCache(slot_);
     }
 
     /** True when charged to the configured "charged" threshold. */
@@ -181,7 +201,7 @@ class BatteryUnit
     bool
     depleted() const
     {
-        return soc() <= params_.minSoc || kibam_.exhausted();
+        return soc() <= params_.minSoc || pool_->exhausted(slot_);
     }
 
     /** Ageing state. */
@@ -218,8 +238,8 @@ class BatteryUnit
     void
     setSoc(double soc)
     {
-        kibam_.setSoc(soc);
-        invalidateSafeCache();
+        pool_->setSoc(slot_, soc);
+        pool_->invalidateSafeCache(slot_);
     }
 
     // ---- Fault-injection hooks (src/fault) -------------------------------
@@ -227,14 +247,14 @@ class BatteryUnit
     // managers only ever see the faults through telemetry.
 
     /** True when failed open-circuit (conducts no current, reads 0 V). */
-    bool openCircuit() const { return openCircuit_; }
+    bool openCircuit() const { return pool_->openCircuit(slot_); }
 
     /** Fail the unit open-circuit, or clear the fault. */
     void
     setOpenCircuit(bool open)
     {
-        openCircuit_ = open;
-        invalidateSafeCache();
+        pool_->setOpenCircuit(slot_, open);
+        pool_->invalidateSafeCache(slot_);
     }
 
     /**
@@ -253,7 +273,7 @@ class BatteryUnit
     void
     setSelfDischargeMultiplier(double multiplier)
     {
-        shortMultiplier_ = std::max(1.0, multiplier);
+        pool_->setShortMultiplier(slot_, std::max(1.0, multiplier));
     }
 
     /**
@@ -262,7 +282,7 @@ class BatteryUnit
      * regular discharge/charge/self-discharge paths. Monotonic; the
      * conservation invariant consumes per-tick deltas.
      */
-    AmpHours exogenousAh() const { return exogenousAh_; }
+    AmpHours exogenousAh() const { return pool_->exogenousAh(slot_); }
 
     /**
      * Serialize the full electrochemical + mode + fault state. The mode
@@ -277,24 +297,14 @@ class BatteryUnit
   private:
     std::string name_;
     BatteryParams params_;
-    Kibam kibam_;
+    std::unique_ptr<UnitPool> ownPool_; // standalone construction only
+    UnitPool *pool_;
+    std::uint32_t slot_;
     VoltageModel voltage_;
     ChargeModel charge_;
     WearModel wear_;
     UnitMode mode_ = UnitMode::Standby;
     ModeObserver modeObserver_;
-
-    // Fault state (all default to healthy).
-    bool openCircuit_ = false;
-    double shortMultiplier_ = 1.0;
-    AmpHours exogenousAh_ = 0.0;
-
-    // safeDischargeCurrent memo; valid until the electrochemical state
-    // changes (discharge/charge/rest/setSoc all invalidate).
-    mutable Seconds safeCacheDt_ = -1.0;
-    mutable Amperes safeCacheI_ = 0.0;
-
-    void invalidateSafeCache() const { safeCacheDt_ = -1.0; }
 
     Amperes computeSafeDischargeCurrent(Seconds dt) const;
 };

@@ -10,15 +10,36 @@ namespace insure::battery {
 
 Cabinet::Cabinet(std::string name, const BatteryParams &params,
                  unsigned series_count, double initialSoc)
-    : name_(std::move(name)),
+    : name_(std::move(name)), ownUnits_(std::make_unique<UnitPool>()),
+      pool_(ownUnits_.get()),
       chargeRelay_(name_ + ".cr"),
       dischargeRelay_(name_ + ".dr")
 {
+    pool_->reserve(series_count);
+    init(params, series_count, initialSoc);
+}
+
+Cabinet::Cabinet(std::string name, const BatteryParams &params,
+                 unsigned series_count, double initialSoc, UnitPool &units,
+                 RelayPool &relays)
+    : name_(std::move(name)), pool_(&units),
+      chargeRelay_(name_ + ".cr", relays),
+      dischargeRelay_(name_ + ".dr", relays)
+{
+    init(params, series_count, initialSoc);
+}
+
+void
+Cabinet::init(const BatteryParams &params, unsigned series_count,
+              double initialSoc)
+{
     if (series_count == 0)
         fatal("Cabinet %s: series_count must be >= 1", name_.c_str());
+    unitBegin_ = static_cast<std::uint32_t>(pool_->size());
+    units_.reserve(series_count);
     for (unsigned i = 0; i < series_count; ++i) {
         units_.push_back(std::make_unique<BatteryUnit>(
-            name_ + ".u" + std::to_string(i), params, initialSoc));
+            name_ + ".u" + std::to_string(i), params, *pool_, initialSoc));
     }
     setMode(UnitMode::Standby);
 }
@@ -123,6 +144,8 @@ void
 Cabinet::setMode(UnitMode mode)
 {
     mode_ = mode;
+    if (mirror_)
+        *mirror_ = mode;
     switch (mode) {
       case UnitMode::Offline:
       case UnitMode::Standby:
@@ -181,6 +204,8 @@ Cabinet::load(snapshot::Archive &ar)
     dischargeRelay_.load(ar);
     mode_ = ar.getEnum<UnitMode>(
         static_cast<std::uint32_t>(UnitMode::Discharging));
+    if (mirror_)
+        *mirror_ = mode_;
 }
 
 } // namespace insure::battery

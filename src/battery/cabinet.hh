@@ -4,6 +4,12 @@
  * relays (charge-side, discharge-side), the unit of reconfiguration in the
  * InSURE e-Buffer. The prototype pairs two 12 V units per cabinet on a
  * 24 V bus (three cabinets from six batteries).
+ *
+ * A cabinet's units occupy a contiguous slot range [unitBegin,
+ * unitBegin + seriesCount) of a UnitPool. When constructed by a
+ * BatteryArray the pool is shared across cabinets so array-wide kernels
+ * (batched rest, gauge reductions) stream one dense range; a standalone
+ * cabinet owns a private pool. Either way the per-unit API is unchanged.
  */
 
 #ifndef INSURE_BATTERY_CABINET_HH
@@ -36,10 +42,25 @@ class Cabinet
     Cabinet(std::string name, const BatteryParams &params,
             unsigned series_count = 2, double initialSoc = 0.9);
 
+    /** Pooled variant: units/relays live in slots of the shared pools. */
+    Cabinet(std::string name, const BatteryParams &params,
+            unsigned series_count, double initialSoc, UnitPool &units,
+            RelayPool &relays);
+
     const std::string &name() const { return name_; }
 
     /** Number of series units. */
     unsigned seriesCount() const { return static_cast<unsigned>(units_.size()); }
+
+    /** First UnitPool slot of this cabinet's contiguous unit range. */
+    std::uint32_t unitBegin() const { return unitBegin_; }
+
+    /** One past the last UnitPool slot of this cabinet's unit range. */
+    std::uint32_t
+    unitEnd() const
+    {
+        return unitBegin_ + static_cast<std::uint32_t>(units_.size());
+    }
 
     /** Access a unit. */
     BatteryUnit &unit(unsigned i) { return *units_[i]; }
@@ -149,6 +170,16 @@ class Cabinet
             u->rest(dt);
     }
 
+    /**
+     * Rest all units for @p dt through the pool's batched kernel.
+     * Bit-identical to rest(); skips the per-unit dispatch.
+     */
+    void
+    restBatched(Seconds dt)
+    {
+        pool_->restRange(unitBegin_, unitEnd(), dt);
+    }
+
     /** True when every unit reached the charged threshold. */
     bool
     charged() const
@@ -182,6 +213,20 @@ class Cabinet
 
     /** Set the mode, actuating the charge/discharge relays. */
     void setMode(UnitMode mode);
+
+    /**
+     * Mirror every subsequent mode change (setMode and snapshot load)
+     * into @p slot, and write the current mode now. The array keeps a
+     * dense mode vector this way, so its per-tick mode scans skip the
+     * per-cabinet dispatch.
+     */
+    void
+    attachModeMirror(UnitMode *slot)
+    {
+        mirror_ = slot;
+        if (mirror_)
+            *mirror_ = mode_;
+    }
 
     /** Charge-side relay (for telemetry). */
     const Relay &chargeRelay() const { return chargeRelay_; }
@@ -228,11 +273,19 @@ class Cabinet
     void load(snapshot::Archive &ar);
 
   private:
+    /** Shared body of both constructors: populate the unit range. */
+    void init(const BatteryParams &params, unsigned series_count,
+              double initialSoc);
+
     std::string name_;
+    std::unique_ptr<UnitPool> ownUnits_; // standalone construction only
+    UnitPool *pool_;
+    std::uint32_t unitBegin_ = 0;
     std::vector<std::unique_ptr<BatteryUnit>> units_;
     Relay chargeRelay_;
     Relay dischargeRelay_;
     UnitMode mode_ = UnitMode::Standby;
+    UnitMode *mirror_ = nullptr; // owned by the array, optional
 };
 
 } // namespace insure::battery

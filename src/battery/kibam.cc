@@ -26,74 +26,20 @@ Kibam::setSoc(double soc)
     y2_ = (1.0 - c_) * cap_ * soc;
 }
 
-namespace {
-
-/** Longest interval handled by a single closed-form step, seconds. */
-constexpr Seconds kMaxStep = 60.0;
-
-} // namespace
-
 AmpHours
 Kibam::step(Amperes current, Seconds dt)
 {
-    if (dt <= 0.0)
-        return 0.0;
-    AmpHours rejected = 0.0;
-    while (dt > kMaxStep) {
-        rejected += stepExact(current, kMaxStep);
-        dt -= kMaxStep;
-    }
-    return rejected + stepExact(current, dt);
-}
-
-AmpHours
-Kibam::stepExact(Amperes current, Seconds dt)
-{
-    const double t = units::toHours(dt);
-    const double k = kPrime_;
-    const double e = expK(t);
-    const double q0 = y1_ + y2_;
-    const double requested = current * t;
-
-    // Closed-form constant-current KiBaM step (Manwell & McGowan).
-    const double y1 = y1_ * e + (q0 * k * c_ - current) * (1.0 - e) / k -
-                      current * c_ * (k * t - 1.0 + e) / k;
-    const double y2 = y2_ * e + q0 * (1.0 - c_) * (1.0 - e) -
-                      current * (1.0 - c_) * (k * t - 1.0 + e) / k;
-
-    // Clamp both wells to their physical bounds and account the rejected
-    // charge exactly from conservation: whatever the clamped state did
-    // not absorb (charge) or could not supply (discharge) goes back to
-    // the caller. Clamping both wells independently would otherwise
-    // create or destroy charge at the boundaries.
-    y1_ = std::clamp(y1, 0.0, c_ * cap_);
-    y2_ = std::clamp(y2, 0.0, (1.0 - c_) * cap_);
-    const double q_after = y1_ + y2_;
-
-    AmpHours rejected = 0.0;
-    if (current > 0.0)
-        rejected = requested - (q0 - q_after);
-    else if (current < 0.0)
-        rejected = -requested - (q_after - q0);
-    if (std::fabs(rejected) < 1e-9)
-        rejected = 0.0; // numerical noise from the closed form
-    return std::clamp(rejected, 0.0, std::fabs(requested));
+    kibam_math::State s = state();
+    const AmpHours rejected = kibam_math::step(s, current, dt, expMemo_);
+    y1_ = s.y1;
+    y2_ = s.y2;
+    return rejected;
 }
 
 Amperes
 Kibam::maxDischargeCurrent(Seconds dt) const
 {
-    if (dt <= 0.0)
-        return 0.0;
-    const double t = units::toHours(dt);
-    const double k = kPrime_;
-    const double e = expK(t);
-    const double q0 = y1_ + y2_;
-    const double denom = (1.0 - e) + c_ * (k * t - 1.0 + e);
-    if (denom <= 0.0)
-        return 0.0;
-    const double imax = (y1_ * e * k + q0 * k * c_ * (1.0 - e)) / denom;
-    return std::max(0.0, imax);
+    return kibam_math::maxDischargeCurrent(state(), dt, expMemo_);
 }
 
 

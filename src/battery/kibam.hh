@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "battery/kibam_math.hh"
 #include "sim/units.hh"
 
 namespace insure::snapshot {
@@ -53,7 +54,10 @@ class Kibam
      * subdivided internally: the closed form composes exactly while the
      * wells stay inside their bounds, but a single long step that crosses
      * a bound mid-interval would mis-account the clipped charge, so the
-     * subdivision bounds that error to one sub-step.
+     * subdivision bounds that error to one sub-step. Sub-nanosecond
+     * residues of the subdivision (or degenerate caller-supplied steps)
+     * are dropped: the closed form at ~1e-12 s is pure floating-point
+     * noise that would inject spurious ampere-hours.
      *
      * @return ampere-hours of requested transfer that could NOT be honoured
      *         (0 when the step executed fully).
@@ -102,13 +106,16 @@ class Kibam
     AmpHours
     scaleCapacity(double factor)
     {
-        cap_ *= factor;
-        const AmpHours drop1 = std::max(0.0, y1_ - c_ * cap_);
-        const AmpHours drop2 = std::max(0.0, y2_ - (1.0 - c_) * cap_);
-        y1_ -= drop1;
-        y2_ -= drop2;
-        return drop1 + drop2;
+        kibam_math::State s = state();
+        const AmpHours dropped = kibam_math::scaleCapacity(s, factor);
+        cap_ = s.cap;
+        y1_ = s.y1;
+        y2_ = s.y2;
+        return dropped;
     }
+
+    /** The model as a plain value (for probes and pooled stepping). */
+    kibam_math::State state() const { return {cap_, c_, kPrime_, y1_, y2_}; }
 
     /**
      * Serialize the two well levels and the (fault-scalable) capacity;
@@ -127,26 +134,10 @@ class Kibam
     AmpHours y1_;
     AmpHours y2_;
 
-    // exp(-k' t) memo. The simulator steps every unit with the same fixed
-    // dt (the physics tick, or the rest step), so the transcendental in
-    // the closed form is recomputed only when the step size changes —
-    // bit-identical to calling exp every time, since exp is pure.
-    mutable double expTHours_ = -1.0;
-    mutable double expValue_ = 0.0;
-
-    /** exp(-kPrime_ * t_hours), memoised on t_hours. */
-    double
-    expK(double t_hours) const
-    {
-        if (t_hours != expTHours_) {
-            expTHours_ = t_hours;
-            expValue_ = std::exp(-kPrime_ * t_hours);
-        }
-        return expValue_;
-    }
-
-    /** One closed-form constant-current step with boundary clipping. */
-    AmpHours stepExact(Amperes current, Seconds dt);
+    // exp(-k' t) memo (see kibam_math::ExpMemo): the simulator steps
+    // every unit with the same fixed dt, so the transcendental in the
+    // closed form is recomputed only when the step size changes.
+    mutable kibam_math::ExpMemo expMemo_;
 };
 
 } // namespace insure::battery

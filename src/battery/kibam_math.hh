@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The KiBaM closed-form step as free functions over a plain value state.
+ *
+ * The same Manwell & McGowan constant-current step is needed in three
+ * places — the standalone Kibam class, the structure-of-arrays UnitPool
+ * batch kernels, and the safe-discharge bisection (which probes copies of
+ * the state) — and they must agree bit for bit: the golden traces and the
+ * pooled-vs-per-object identity tests both hash the resulting well levels.
+ * Keeping one implementation here is what makes that identity hold by
+ * construction instead of by careful duplication.
+ *
+ * The exp(-k't) factor is the only transcendental; it is pure, so callers
+ * may supply either a memoising functor (ExpMemo) or a direct evaluation
+ * (ExpDirect, required where a shared memo would race across worker
+ * threads) and obtain identical results.
+ */
+
+#ifndef INSURE_BATTERY_KIBAM_MATH_HH
+#define INSURE_BATTERY_KIBAM_MATH_HH
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/units.hh"
+
+namespace insure::battery::kibam_math {
+
+/** Longest interval handled by a single closed-form step, seconds. */
+constexpr Seconds kMaxStep = 60.0;
+
+/**
+ * Sub-step residue below which the remainder of a subdivided step is
+ * dropped, seconds. Repeated `dt -= kMaxStep` leaves a ~1e-12 s floating
+ * point residue for which the closed form would still run a full exp and
+ * well update, injecting spurious ampere-hours; anything shorter than a
+ * nanosecond is far below the physics and is snapped to zero.
+ */
+constexpr Seconds kResidualEps = 1e-9;
+
+/** Plain value state of one two-well kinetic model. */
+struct State {
+    /** Total capacity of both wells, ampere-hours. */
+    AmpHours cap = 0.0;
+    /** Fraction of capacity in the available well (0 < c < 1). */
+    double c = 0.0;
+    /** Modified rate constant, 1/hour. */
+    double kPrime = 0.0;
+    /** Available-well charge, ampere-hours. */
+    AmpHours y1 = 0.0;
+    /** Bound-well charge, ampere-hours. */
+    AmpHours y2 = 0.0;
+};
+
+/** exp(-k' t) evaluated directly — safe under concurrent callers. */
+struct ExpDirect {
+    double operator()(double kPrime, double tHours) const
+    {
+        return std::exp(-kPrime * tHours);
+    }
+};
+
+/**
+ * exp(-k' t) memoised on (k', t). The simulator steps every unit with the
+ * same fixed dt (physics tick or rest step), so the transcendental is
+ * recomputed only when the step size changes — bit-identical to calling
+ * exp every time, since exp is pure. Not thread-safe; single-owner use.
+ */
+struct ExpMemo {
+    double tHours = -1.0;
+    double kPrime = 0.0;
+    double value = 0.0;
+
+    double operator()(double k, double t)
+    {
+        if (t != tHours || k != kPrime) {
+            tHours = t;
+            kPrime = k;
+            value = std::exp(-k * t);
+        }
+        return value;
+    }
+};
+
+/** Total state of charge (both wells) in [0, 1]. */
+inline double
+soc(const State &s)
+{
+    return std::clamp((s.y1 + s.y2) / s.cap, 0.0, 1.0);
+}
+
+/** Fill level of the available well in [0, 1]. */
+inline double
+availableFraction(const State &s)
+{
+    return std::clamp(s.y1 / (s.c * s.cap), 0.0, 1.0);
+}
+
+/** Force the state of charge (wells set to equilibrium split). */
+inline void
+setSoc(State &s, double soc)
+{
+    soc = std::clamp(soc, 0.0, 1.0);
+    s.y1 = s.c * s.cap * soc;
+    s.y2 = (1.0 - s.c) * s.cap * soc;
+}
+
+/**
+ * One closed-form constant-current step (dt <= kMaxStep) with boundary
+ * clipping. @p e must be exp(-k' * toHours(dt)) for this state's k'.
+ * Returns the ampere-hours of requested transfer that could not be
+ * honoured. Clamping both wells independently would otherwise create or
+ * destroy charge at the boundaries, so the rejected charge is accounted
+ * exactly from conservation.
+ */
+inline AmpHours
+stepExact(State &s, Amperes current, Seconds dt, double e)
+{
+    const double t = units::toHours(dt);
+    const double k = s.kPrime;
+    const double q0 = s.y1 + s.y2;
+    const double requested = current * t;
+
+    const double y1 = s.y1 * e + (q0 * k * s.c - current) * (1.0 - e) / k -
+                      current * s.c * (k * t - 1.0 + e) / k;
+    const double y2 = s.y2 * e + q0 * (1.0 - s.c) * (1.0 - e) -
+                      current * (1.0 - s.c) * (k * t - 1.0 + e) / k;
+
+    s.y1 = std::clamp(y1, 0.0, s.c * s.cap);
+    s.y2 = std::clamp(y2, 0.0, (1.0 - s.c) * s.cap);
+    const double q_after = s.y1 + s.y2;
+
+    AmpHours rejected = 0.0;
+    if (current > 0.0)
+        rejected = requested - (q0 - q_after);
+    else if (current < 0.0)
+        rejected = -requested - (q_after - q0);
+    if (std::fabs(rejected) < 1e-9)
+        rejected = 0.0; // numerical noise from the closed form
+    return std::clamp(rejected, 0.0, std::fabs(requested));
+}
+
+/**
+ * Advance by @p dt seconds at constant @p current (positive = discharge),
+ * subdividing steps longer than kMaxStep: the closed form composes
+ * exactly while the wells stay inside their bounds, but a single long
+ * step that crosses a bound mid-interval would mis-account the clipped
+ * charge, so the subdivision bounds that error to one sub-step. Residues
+ * below kResidualEps (floating-point leftovers of the subtraction loop,
+ * or degenerate caller-supplied steps) are dropped rather than stepped.
+ *
+ * @p expK is a callable (kPrime, tHours) -> exp(-kPrime * tHours).
+ * @return ampere-hours of requested transfer that could NOT be honoured.
+ */
+template <typename ExpFn>
+inline AmpHours
+step(State &s, Amperes current, Seconds dt, ExpFn &&expK)
+{
+    if (dt <= 0.0)
+        return 0.0;
+    AmpHours rejected = 0.0;
+    while (dt > kMaxStep) {
+        rejected += stepExact(s, current, kMaxStep,
+                              expK(s.kPrime, units::toHours(kMaxStep)));
+        dt -= kMaxStep;
+    }
+    if (dt < kResidualEps)
+        return rejected;
+    return rejected +
+           stepExact(s, current, dt, expK(s.kPrime, units::toHours(dt)));
+}
+
+/**
+ * Maximum constant discharge current sustainable for @p dt seconds
+ * before the available well empties.
+ */
+template <typename ExpFn>
+inline Amperes
+maxDischargeCurrent(const State &s, Seconds dt, ExpFn &&expK)
+{
+    if (dt <= 0.0)
+        return 0.0;
+    const double t = units::toHours(dt);
+    const double k = s.kPrime;
+    const double e = expK(k, t);
+    const double q0 = s.y1 + s.y2;
+    const double denom = (1.0 - e) + s.c * (k * t - 1.0 + e);
+    if (denom <= 0.0)
+        return 0.0;
+    const double imax = (s.y1 * e * k + q0 * k * s.c * (1.0 - e)) / denom;
+    return std::max(0.0, imax);
+}
+
+/**
+ * Shrink total capacity by @p factor in (0, 1] (sudden capacity-fade
+ * fault). Well fill levels are clipped to the new well sizes; returns
+ * the ampere-hours that no longer fit.
+ */
+inline AmpHours
+scaleCapacity(State &s, double factor)
+{
+    s.cap *= factor;
+    const AmpHours drop1 = std::max(0.0, s.y1 - s.c * s.cap);
+    const AmpHours drop2 = std::max(0.0, s.y2 - (1.0 - s.c) * s.cap);
+    s.y1 -= drop1;
+    s.y2 -= drop2;
+    return drop1 + drop2;
+}
+
+} // namespace insure::battery::kibam_math
+
+#endif // INSURE_BATTERY_KIBAM_MATH_HH

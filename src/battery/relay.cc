@@ -5,70 +5,80 @@
 namespace insure::battery {
 
 Relay::Relay(std::string name, RelayParams params)
-    : name_(std::move(name)), params_(params)
+    : name_(std::move(name)), params_(params),
+      ownPool_(std::make_unique<RelayPool>()), pool_(ownPool_.get()),
+      slot_(pool_->addRelay())
+{
+}
+
+Relay::Relay(std::string name, RelayPool &pool, RelayParams params)
+    : name_(std::move(name)), params_(params), pool_(&pool),
+      slot_(pool.addRelay())
 {
 }
 
 bool
 Relay::set(bool closed)
 {
-    if (closed == closed_)
+    if (closed == pool_->closed(slot_))
         return false;
-    if (delayedOps_ > 0) {
+    const unsigned delayed = pool_->delayedOps(slot_);
+    if (delayed > 0) {
         // Sluggish actuation: the command is lost; the PLC's periodic
         // re-assertion will retry next control period.
-        --delayedOps_;
+        pool_->setDelayedOps(slot_, delayed - 1);
         return false;
     }
     // A mechanically faulted contact ignores commands that would move it
     // out of the faulted position.
-    if (fault_ == RelayFault::StuckOpen && closed)
+    const RelayFault f = fault();
+    if (f == RelayFault::StuckOpen && closed)
         return false;
-    if (fault_ == RelayFault::WeldedClosed && !closed)
+    if (f == RelayFault::WeldedClosed && !closed)
         return false;
-    closed_ = closed;
-    ++operations_;
+    pool_->setClosed(slot_, closed);
+    pool_->countOperation(slot_);
     return true;
 }
 
 void
 Relay::injectFault(RelayFault fault)
 {
-    fault_ = fault;
+    pool_->setFaultRaw(slot_, static_cast<std::uint8_t>(fault));
     // The failure itself moves the contact (no commanded operation).
     if (fault == RelayFault::StuckOpen)
-        closed_ = false;
+        pool_->setClosed(slot_, false);
     else if (fault == RelayFault::WeldedClosed)
-        closed_ = true;
+        pool_->setClosed(slot_, true);
 }
 
 double
-Relay::wearFraction()
- const
+Relay::wearFraction() const
 {
-    return operations_ / params_.mechanicalLife;
+    return operations() / params_.mechanicalLife;
 }
-
 
 void
 Relay::save(snapshot::Archive &ar) const
 {
     ar.section("relay");
-    ar.putBool(closed_);
-    ar.putU64(operations_);
-    ar.putEnum(fault_);
-    ar.putU32(delayedOps_);
+    ar.putBool(pool_->closed(slot_));
+    ar.putU64(pool_->operations(slot_));
+    ar.putEnum(fault());
+    ar.putU32(pool_->delayedOps(slot_));
 }
 
 void
 Relay::load(snapshot::Archive &ar)
 {
     ar.section("relay");
-    closed_ = ar.getBool();
-    operations_ = ar.getU64();
-    fault_ = ar.getEnum<RelayFault>(
-        static_cast<std::uint32_t>(RelayFault::WeldedClosed));
-    delayedOps_ = ar.getU32();
+    pool_->setClosed(slot_, ar.getBool());
+    pool_->setOperations(slot_, ar.getU64());
+    pool_->setFaultRaw(slot_,
+                       static_cast<std::uint8_t>(ar.getEnum<RelayFault>(
+                           static_cast<std::uint32_t>(
+                               RelayFault::WeldedClosed))));
+    pool_->setDelayedOps(slot_, ar.getU32());
 }
 
 } // namespace insure::battery

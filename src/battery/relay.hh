@@ -13,9 +13,11 @@
 #define INSURE_BATTERY_RELAY_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "battery/battery_params.hh"
+#include "battery/relay_pool.hh"
 
 namespace insure::snapshot {
 class Archive;
@@ -36,7 +38,12 @@ enum class RelayFault {
     WeldedClosed,
 };
 
-/** A single SPST relay contact. */
+/**
+ * A single SPST relay contact. A thin view over a RelayPool slot: the
+ * cabinet/array layer pools all relay state densely; a standalone relay
+ * owns a private single-slot pool, so both construction styles behave
+ * identically.
+ */
 class Relay
 {
   public:
@@ -46,8 +53,11 @@ class Relay
      */
     explicit Relay(std::string name, RelayParams params = {});
 
+    /** Pooled variant: state lives in a slot of @p pool. */
+    Relay(std::string name, RelayPool &pool, RelayParams params = {});
+
     /** True when the contact is closed (conducting). */
-    bool closed() const { return closed_; }
+    bool closed() const { return pool_->closed(slot_); }
 
     /**
      * Command the contact. Returns true if the state changed (each change
@@ -62,7 +72,7 @@ class Relay
     bool open() { return set(false); }
 
     /** Number of state changes so far. */
-    std::uint64_t operations() const { return operations_; }
+    std::uint64_t operations() const { return pool_->operations(slot_); }
 
     /** Fraction of rated mechanical life consumed. */
     double wearFraction() const;
@@ -80,14 +90,22 @@ class Relay
     void injectFault(RelayFault fault);
 
     /** Active mechanical fault. */
-    RelayFault fault() const { return fault_; }
+    RelayFault
+    fault() const
+    {
+        return static_cast<RelayFault>(pool_->faultRaw(slot_));
+    }
 
     /**
      * Sluggish actuation: silently drop the next @p commands state-change
      * commands (the PLC re-asserts relay states every control period, so
      * each dropped command delays the transition by one period).
      */
-    void delayActuation(unsigned commands) { delayedOps_ += commands; }
+    void
+    delayActuation(unsigned commands)
+    {
+        pool_->setDelayedOps(slot_, pool_->delayedOps(slot_) + commands);
+    }
 
     /** Serialize contact state, wear count and fault state. */
     void save(snapshot::Archive &ar) const;
@@ -98,10 +116,9 @@ class Relay
   private:
     std::string name_;
     RelayParams params_;
-    bool closed_ = false;
-    std::uint64_t operations_ = 0;
-    RelayFault fault_ = RelayFault::None;
-    unsigned delayedOps_ = 0;
+    std::unique_ptr<RelayPool> ownPool_; // standalone construction only
+    RelayPool *pool_;
+    std::uint32_t slot_;
 };
 
 } // namespace insure::battery

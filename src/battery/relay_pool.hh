@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Structure-of-arrays storage for relay contact state.
+ *
+ * Relays are not on the per-tick physics path (contacts move at control
+ * decisions), but at 5k cabinets the per-object relay heap objects were
+ * the last scattered allocation in the battery layer; pooling them keeps
+ * the whole e-Buffer state in a handful of dense arrays. Relay remains
+ * the API as a thin view (pool pointer + slot); a standalone-constructed
+ * relay owns a private single-slot pool.
+ */
+
+#ifndef INSURE_BATTERY_RELAY_POOL_HH
+#define INSURE_BATTERY_RELAY_POOL_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace insure::battery {
+
+/** Dense contact/wear/fault state for a set of relays. */
+class RelayPool
+{
+  public:
+    RelayPool() = default;
+    RelayPool(const RelayPool &) = delete;
+    RelayPool &operator=(const RelayPool &) = delete;
+
+    void
+    reserve(std::size_t relays)
+    {
+        closed_.reserve(relays);
+        operations_.reserve(relays);
+        fault_.reserve(relays);
+        delayedOps_.reserve(relays);
+    }
+
+    std::uint32_t
+    addRelay()
+    {
+        const std::uint32_t i = static_cast<std::uint32_t>(size());
+        closed_.push_back(0);
+        operations_.push_back(0);
+        fault_.push_back(0);
+        delayedOps_.push_back(0);
+        return i;
+    }
+
+    std::size_t size() const { return closed_.size(); }
+
+    bool closed(std::uint32_t i) const { return closed_[i] != 0; }
+    void setClosed(std::uint32_t i, bool c) { closed_[i] = c ? 1 : 0; }
+
+    std::uint64_t operations(std::uint32_t i) const { return operations_[i]; }
+    void setOperations(std::uint32_t i, std::uint64_t n) { operations_[i] = n; }
+    void countOperation(std::uint32_t i) { ++operations_[i]; }
+
+    std::uint8_t faultRaw(std::uint32_t i) const { return fault_[i]; }
+    void setFaultRaw(std::uint32_t i, std::uint8_t f) { fault_[i] = f; }
+
+    unsigned delayedOps(std::uint32_t i) const { return delayedOps_[i]; }
+    void setDelayedOps(std::uint32_t i, unsigned n) { delayedOps_[i] = n; }
+
+  private:
+    std::vector<std::uint8_t> closed_;
+    std::vector<std::uint64_t> operations_;
+    std::vector<std::uint8_t> fault_;
+    std::vector<std::uint32_t> delayedOps_;
+};
+
+} // namespace insure::battery
+
+#endif // INSURE_BATTERY_RELAY_POOL_HH

@@ -1,0 +1,221 @@
+#include "battery/unit_pool.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace insure::battery {
+
+void
+UnitPool::reserve(std::size_t units)
+{
+    y1_.reserve(units);
+    y2_.reserve(units);
+    wellCap_.reserve(units);
+    c_.reserve(units);
+    kPrime_.reserve(units);
+    ratedCapAh_.reserve(units);
+    nominalV_.reserve(units);
+    selfPerDay_.reserve(units);
+    restDrain_.reserve(units);
+    shortMult_.reserve(units);
+    exoAh_.reserve(units);
+    openCircuit_.reserve(units);
+    safeDt_.reserve(units);
+    safeI_.reserve(units);
+}
+
+std::uint32_t
+UnitPool::addUnit(const BatteryParams &params, double initialSoc)
+{
+    if (params.capacityAh <= 0.0 || params.kibamC <= 0.0 ||
+        params.kibamC >= 1.0 || params.kibamKPrime <= 0.0) {
+        fatal("Kibam: invalid parameters (cap=%f c=%f k'=%f)",
+              params.capacityAh, params.kibamC, params.kibamKPrime);
+    }
+    const std::uint32_t i = static_cast<std::uint32_t>(size());
+    if (i > 0 && uniformKinetics_) {
+        uniformKinetics_ =
+            params.kibamC == c_[0] && params.kibamKPrime == kPrime_[0];
+    }
+    wellCap_.push_back(params.capacityAh);
+    c_.push_back(params.kibamC);
+    kPrime_.push_back(params.kibamKPrime);
+    kibam_math::State s{params.capacityAh, params.kibamC,
+                        params.kibamKPrime, 0.0, 0.0};
+    kibam_math::setSoc(s, initialSoc);
+    y1_.push_back(s.y1);
+    y2_.push_back(s.y2);
+    ratedCapAh_.push_back(params.capacityAh);
+    nominalV_.push_back(params.nominalVoltage);
+    selfPerDay_.push_back(params.selfDischargePerDay);
+    restDrain_.push_back(params.selfDischargePerDay * params.capacityAh /
+                         units::hoursPerDay);
+    shortMult_.push_back(1.0);
+    exoAh_.push_back(0.0);
+    openCircuit_.push_back(0);
+    safeDt_.push_back(-1.0);
+    safeI_.push_back(0.0);
+    return i;
+}
+
+AmpHours
+UnitPool::stepKibam(std::uint32_t i, Amperes current, Seconds dt)
+{
+    kibam_math::State s = state(i);
+    const AmpHours rejected = kibam_math::step(s, current, dt, expMemo_);
+    y1_[i] = s.y1;
+    y2_[i] = s.y2;
+    return rejected;
+}
+
+void
+UnitPool::setShortMultiplier(std::uint32_t i, double multiplier)
+{
+    const bool was = shortMult_[i] > 1.0;
+    shortMult_[i] = multiplier;
+    const bool now = shortMult_[i] > 1.0;
+    if (was != now)
+        shortCount_ += now ? 1 : -1;
+}
+
+void
+UnitPool::restRange(std::uint32_t begin, std::uint32_t end, Seconds dt)
+{
+    if (dt <= 0.0 || begin >= end)
+        return;
+    if (shortCount_ > 0) {
+        // Internal-short faults interleave a second kinetic step per
+        // slot; rather than special-casing them inside the vector
+        // kernel, fall back to exact per-slot stepping when the range
+        // holds any. Faults are rare, ranges with faults are few.
+        bool anyShort = false;
+        for (std::uint32_t i = begin; i < end && !anyShort; ++i)
+            anyShort = shortMult_[i] > 1.0;
+        if (anyShort) {
+            for (std::uint32_t i = begin; i < end; ++i)
+                restOneSlot(i, dt);
+            return;
+        }
+    }
+    // Mirror kibam_math::step's subdivision exactly, including the
+    // sub-epsilon residual snap, with the range loop innermost.
+    Seconds remaining = dt;
+    while (remaining > kibam_math::kMaxStep) {
+        restRangeExact(begin, end, kibam_math::kMaxStep);
+        remaining -= kibam_math::kMaxStep;
+    }
+    if (remaining >= kibam_math::kResidualEps)
+        restRangeExact(begin, end, remaining);
+    for (std::uint32_t i = begin; i < end; ++i)
+        safeDt_[i] = -1.0;
+}
+
+void
+UnitPool::restRangeExact(std::uint32_t begin, std::uint32_t end,
+                         Seconds dt)
+{
+    if (!uniformKinetics_) {
+        // Mixed (c, k') populations cannot hoist the per-step scalars;
+        // step each slot through the shared closed form instead. A
+        // direct exp (not the memo) keeps disjoint ranges thread-safe.
+        for (std::uint32_t i = begin; i < end; ++i) {
+            kibam_math::State s = state(i);
+            kibam_math::stepExact(
+                s, restDrain_[i], dt,
+                kibam_math::ExpDirect{}(kPrime_[i], units::toHours(dt)));
+            y1_[i] = s.y1;
+            y2_[i] = s.y2;
+        }
+        return;
+    }
+
+    // Uniform kinetics: every scalar subexpression of the closed form
+    // that does not involve per-slot state is hoisted (pure value
+    // hoisting — the per-slot arithmetic keeps the exact expression
+    // tree of kibam_math::stepExact). The rejected-charge accounting is
+    // skipped: rest() discards it and it does not feed the state. The
+    // remaining loop body is branch-free and vectorises.
+    const double t = units::toHours(dt);
+    const double k = kPrime_[begin];
+    const double c = c_[begin];
+    const double e = std::exp(-k * t);
+    const double ome = 1.0 - e;
+    const double omc = 1.0 - c;
+    const double ktme = k * t - 1.0 + e;
+    double *__restrict y1p = y1_.data();
+    double *__restrict y2p = y2_.data();
+    const double *__restrict capp = wellCap_.data();
+    const double *__restrict drainp = restDrain_.data();
+    for (std::uint32_t i = begin; i < end; ++i) {
+        const double q0 = y1p[i] + y2p[i];
+        const double current = drainp[i];
+        const double ny1 = y1p[i] * e + (q0 * k * c - current) * ome / k -
+                           current * c * ktme / k;
+        const double ny2 =
+            y2p[i] * e + q0 * omc * ome - current * omc * ktme / k;
+        y1p[i] = std::clamp(ny1, 0.0, c * capp[i]);
+        y2p[i] = std::clamp(ny2, 0.0, omc * capp[i]);
+    }
+}
+
+void
+UnitPool::restOneSlot(std::uint32_t i, Seconds dt)
+{
+    // Replicates BatteryUnit::rest step for step (nominal drain, then
+    // the internal-short extra drain with its exogenous-loss account).
+    // ExpDirect instead of the shared memo keeps this callable from
+    // worker threads on disjoint ranges; exp is pure, so the values
+    // are identical either way.
+    const Amperes drain = restDrain_[i];
+    kibam_math::State s = state(i);
+    kibam_math::step(s, drain, dt, kibam_math::ExpDirect{});
+    if (shortMult_[i] > 1.0) {
+        const Amperes extra = drain * (shortMult_[i] - 1.0);
+        const AmpHours requested = units::chargeAh(extra, dt);
+        const AmpHours rejected =
+            kibam_math::step(s, extra, dt, kibam_math::ExpDirect{});
+        exoAh_[i] += std::max(0.0, requested - rejected);
+    }
+    y1_[i] = s.y1;
+    y2_[i] = s.y2;
+    safeDt_[i] = -1.0;
+}
+
+double
+UnitPool::socSumRange(std::uint32_t begin, std::uint32_t end) const
+{
+    double sum = 0.0;
+    for (std::uint32_t i = begin; i < end; ++i)
+        sum += soc(i);
+    return sum;
+}
+
+WattHours
+UnitPool::storedEnergyWhRange(std::uint32_t begin, std::uint32_t end) const
+{
+    WattHours e = 0.0;
+    for (std::uint32_t i = begin; i < end; ++i)
+        e += soc(i) * ratedCapAh_[i] * nominalV_[i];
+    return e;
+}
+
+AmpHours
+UnitPool::unitAhRange(std::uint32_t begin, std::uint32_t end) const
+{
+    AmpHours ah = 0.0;
+    for (std::uint32_t i = begin; i < end; ++i)
+        ah += soc(i) * ratedCapAh_[i];
+    return ah;
+}
+
+AmpHours
+UnitPool::exogenousAhRange(std::uint32_t begin, std::uint32_t end) const
+{
+    AmpHours ah = 0.0;
+    for (std::uint32_t i = begin; i < end; ++i)
+        ah += exoAh_[i];
+    return ah;
+}
+
+} // namespace insure::battery

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Structure-of-arrays storage for battery-unit electrochemical and fault
+ * state.
+ *
+ * At the paper's scale (6 units) per-object stepping is fine; at the
+ * roadmap's datacenter scale (10k units) the per-unit dispatch — heap
+ * object per unit, parameter loads, virtual-free but pointer-chasing
+ * loops — dominates the physics. The pool keeps every per-unit scalar in
+ * a dense array so the hot kernels (rest every idle unit, sum the gauge
+ * reductions) stream contiguously with no per-unit calls.
+ *
+ * BatteryUnit remains the API: it is a thin view (pool pointer + slot)
+ * over this storage, and a standalone-constructed unit simply owns a
+ * private single-slot pool. Snapshot archives, the validation layer and
+ * the fault hooks all keep operating on units/cabinets unchanged.
+ *
+ * Every kernel replicates the exact expression trees of the per-object
+ * code path (see kibam_math.hh); only pure, value-preserving work is
+ * hoisted (the shared exp factor, the precomputed self-discharge drain).
+ * The pooled and per-object paths are therefore bit-identical — tested
+ * at 6/1k/10k units — and the checked-in golden digests stay valid.
+ */
+
+#ifndef INSURE_BATTERY_UNIT_POOL_HH
+#define INSURE_BATTERY_UNIT_POOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "battery/battery_params.hh"
+#include "battery/kibam_math.hh"
+#include "sim/units.hh"
+
+namespace insure::battery {
+
+/** Dense per-unit state shared by all units of one owner. */
+class UnitPool
+{
+  public:
+    UnitPool() = default;
+    UnitPool(const UnitPool &) = delete;
+    UnitPool &operator=(const UnitPool &) = delete;
+
+    /** Pre-size the arrays (cabinet construction knows the unit count). */
+    void reserve(std::size_t units);
+
+    /**
+     * Append one unit initialised from @p params at @p initialSoc.
+     * Fatal on non-physical kinetic parameters (same validation the
+     * standalone Kibam constructor applies).
+     * @return the new unit's slot index.
+     */
+    std::uint32_t addUnit(const BatteryParams &params, double initialSoc);
+
+    std::size_t size() const { return y1_.size(); }
+
+    // ---- per-slot electrochemical state ------------------------------
+
+    double
+    soc(std::uint32_t i) const
+    {
+        return std::clamp((y1_[i] + y2_[i]) / wellCap_[i], 0.0, 1.0);
+    }
+
+    double
+    availableFraction(std::uint32_t i) const
+    {
+        return std::clamp(y1_[i] / (c_[i] * wellCap_[i]), 0.0, 1.0);
+    }
+
+    AmpHours availableCharge(std::uint32_t i) const { return y1_[i]; }
+    AmpHours boundCharge(std::uint32_t i) const { return y2_[i]; }
+
+    /** Total (fault-scalable) capacity of the two wells, ampere-hours. */
+    AmpHours wellCapacity(std::uint32_t i) const { return wellCap_[i]; }
+
+    bool exhausted(std::uint32_t i) const { return y1_[i] <= 1e-9; }
+
+    /** The slot's kinetic model as a plain value (probes, snapshots). */
+    kibam_math::State
+    state(std::uint32_t i) const
+    {
+        return {wellCap_[i], c_[i], kPrime_[i], y1_[i], y2_[i]};
+    }
+
+    /** Advance slot @p i by @p dt at constant @p current (see Kibam). */
+    AmpHours stepKibam(std::uint32_t i, Amperes current, Seconds dt);
+
+    /** Maximum sustainable discharge current for @p dt seconds. */
+    Amperes
+    maxDischargeCurrent(std::uint32_t i, Seconds dt) const
+    {
+        return kibam_math::maxDischargeCurrent(state(i), dt, expMemo_);
+    }
+
+    /** Force the state of charge (wells set to equilibrium split). */
+    void
+    setSoc(std::uint32_t i, double soc)
+    {
+        kibam_math::State s = state(i);
+        kibam_math::setSoc(s, soc);
+        y1_[i] = s.y1;
+        y2_[i] = s.y2;
+    }
+
+    /** Restore raw well state from a snapshot (no clipping). */
+    void
+    setWells(std::uint32_t i, AmpHours cap, AmpHours y1, AmpHours y2)
+    {
+        wellCap_[i] = cap;
+        y1_[i] = y1;
+        y2_[i] = y2;
+    }
+
+    /** Capacity-fade fault on the wells; returns the dropped Ah. */
+    AmpHours
+    scaleWellCapacity(std::uint32_t i, double factor)
+    {
+        kibam_math::State s = state(i);
+        const AmpHours dropped = kibam_math::scaleCapacity(s, factor);
+        wellCap_[i] = s.cap;
+        y1_[i] = s.y1;
+        y2_[i] = s.y2;
+        return dropped;
+    }
+
+    /**
+     * Keep the rated-capacity mirror (and the derived self-discharge
+     * drain) in sync after a capacity fade. The drain is recomputed
+     * from scratch with the same expression the per-object rest path
+     * uses, so both paths see identical bits.
+     */
+    void
+    setRatedCapacity(std::uint32_t i, AmpHours capacityAh)
+    {
+        ratedCapAh_[i] = capacityAh;
+        restDrain_[i] =
+            selfPerDay_[i] * capacityAh / units::hoursPerDay;
+    }
+
+    AmpHours ratedCapacityAh(std::uint32_t i) const { return ratedCapAh_[i]; }
+
+    // ---- per-slot fault state ----------------------------------------
+
+    bool openCircuit(std::uint32_t i) const { return openCircuit_[i] != 0; }
+    void
+    setOpenCircuit(std::uint32_t i, bool open)
+    {
+        openCircuit_[i] = open ? 1 : 0;
+    }
+
+    double shortMultiplier(std::uint32_t i) const { return shortMult_[i]; }
+    void setShortMultiplier(std::uint32_t i, double multiplier);
+
+    AmpHours exogenousAh(std::uint32_t i) const { return exoAh_[i]; }
+    void addExogenousAh(std::uint32_t i, AmpHours ah) { exoAh_[i] += ah; }
+    void setExogenousAh(std::uint32_t i, AmpHours ah) { exoAh_[i] = ah; }
+
+    // ---- safe-discharge memo (owned here so rest kernels invalidate) --
+
+    bool
+    safeCacheValid(std::uint32_t i, Seconds dt) const
+    {
+        return safeDt_[i] == dt;
+    }
+
+    Amperes safeCacheCurrent(std::uint32_t i) const { return safeI_[i]; }
+
+    void
+    storeSafeCache(std::uint32_t i, Seconds dt, Amperes current) const
+    {
+        safeDt_[i] = dt;
+        safeI_[i] = current;
+    }
+
+    void invalidateSafeCache(std::uint32_t i) const { safeDt_[i] = -1.0; }
+
+    // ---- batched kernels ---------------------------------------------
+
+    /**
+     * Rest every unit in [begin, end): self-discharge drain plus the
+     * internal-short extra drain for faulted slots, exactly as
+     * BatteryUnit::rest applies them per unit. Element-wise over slots,
+     * so disjoint ranges may run on different worker threads.
+     */
+    void restRange(std::uint32_t begin, std::uint32_t end, Seconds dt);
+
+    /** Sum of soc(i) over [begin, end), accumulated in slot order. */
+    double socSumRange(std::uint32_t begin, std::uint32_t end) const;
+
+    /** Sum of soc * ratedCapacity * nominalVoltage over [begin, end). */
+    WattHours storedEnergyWhRange(std::uint32_t begin,
+                                  std::uint32_t end) const;
+
+    /** Sum of soc * ratedCapacity over [begin, end), ampere-hours. */
+    AmpHours unitAhRange(std::uint32_t begin, std::uint32_t end) const;
+
+    /** Sum of exogenous (fault-caused) losses over [begin, end). */
+    AmpHours exogenousAhRange(std::uint32_t begin,
+                              std::uint32_t end) const;
+
+  private:
+    /**
+     * One sub-step (dt <= kMaxStep) of the nominal self-discharge over
+     * a slot range: the branch-light vectorisable core.
+     */
+    void restRangeExact(std::uint32_t begin, std::uint32_t end,
+                        Seconds dt);
+
+    /** Scalar per-slot rest replicating BatteryUnit::rest exactly. */
+    void restOneSlot(std::uint32_t i, Seconds dt);
+
+    // Kinetic state.
+    std::vector<double> y1_;
+    std::vector<double> y2_;
+    std::vector<double> wellCap_;
+    std::vector<double> c_;
+    std::vector<double> kPrime_;
+
+    // Parameter mirrors used by the hot kernels (kept in sync with the
+    // owning view's params by setRatedCapacity on fades).
+    std::vector<double> ratedCapAh_;
+    std::vector<double> nominalV_;
+    std::vector<double> selfPerDay_;
+    std::vector<double> restDrain_;
+
+    // Fault state.
+    std::vector<double> shortMult_;
+    std::vector<double> exoAh_;
+    std::vector<std::uint8_t> openCircuit_;
+
+    // safeDischargeCurrent memo (see BatteryUnit::safeDischargeCurrent).
+    mutable std::vector<double> safeDt_;
+    mutable std::vector<double> safeI_;
+
+    // Shared exp memo for single-threaded per-slot stepping. The batch
+    // kernels deliberately do NOT use it (they hoist one direct exp per
+    // range call instead) so disjoint ranges can run concurrently.
+    mutable kibam_math::ExpMemo expMemo_;
+
+    // Fast-path bookkeeping: count of slots with an active internal
+    // short, and whether all slots share one (c, k') pair — when they
+    // do (the common case: one BatteryParams per array), the rest
+    // kernel hoists the per-step scalars out of the loop.
+    std::size_t shortCount_ = 0;
+    bool uniformKinetics_ = true;
+};
+
+} // namespace insure::battery
+
+#endif // INSURE_BATTERY_UNIT_POOL_HH

@@ -358,6 +358,10 @@ experimentFromConfig(const sim::Config &cfg)
         out.system.node = server::lowPowerNode();
     out.system.cabinetCount = static_cast<unsigned>(
         cfg.getInt("system.cabinets", 3));
+    out.system.seriesCount = static_cast<unsigned>(cfg.getInt(
+        "system.series", static_cast<long>(out.system.seriesCount)));
+    out.system.workerThreads = static_cast<unsigned>(
+        cfg.getInt("system.workers", 0));
     out.system.initialSoc =
         cfg.getDouble("system.initial_soc", out.system.initialSoc);
     if (cfg.has("system.secondary_watts")) {

@@ -10,15 +10,34 @@ namespace insure::core {
 
 using battery::UnitMode;
 
+namespace {
+
+/**
+ * Clamp degenerate topology values to runnable ones. Randomised batch
+ * and fuzz configs can produce zero cabinets or series strings; a plant
+ * cannot operate without a buffer string, so build the smallest one
+ * instead of crashing the whole campaign.
+ */
+SystemConfig
+sanitizedConfig(SystemConfig cfg)
+{
+    cfg.cabinetCount = std::max(1u, cfg.cabinetCount);
+    cfg.seriesCount = std::max(1u, cfg.seriesCount);
+    return cfg;
+}
+
+} // namespace
+
 InSituSystem::InSituSystem(sim::Simulation &sim, const std::string &name,
                            SystemConfig cfg,
                            std::unique_ptr<solar::SolarSource> solar,
                            std::unique_ptr<PowerManager> manager)
-    : sim::Component(sim, name), cfg_(std::move(cfg)),
+    : sim::Component(sim, name), cfg_(sanitizedConfig(std::move(cfg))),
       solar_(std::move(solar)),
       array_(cfg_.battery, cfg_.cabinetCount, cfg_.seriesCount,
              cfg_.initialSoc),
-      registers_(512), monitor_(array_, registers_),
+      registers_(telemetry::RegisterLayout::mapSize(cfg_.cabinetCount)),
+      monitor_(array_, registers_),
       plc_(1, registers_),
       link_(std::make_unique<telemetry::CoordinationLink>(plc_, 1)),
       history_(cfg_.cabinetCount),
@@ -35,6 +54,7 @@ InSituSystem::InSituSystem(sim::Simulation &sim, const std::string &name,
     if (!manager_)
         fatal("InSituSystem: power manager is required");
 
+    array_.setWorkerThreads(cfg_.workerThreads);
     cluster_.setWorkloadUtil(cfg_.profile.powerUtil(cfg_.node.type));
 
     // Workload streams use ordinal split() in this fixed order — the

@@ -112,6 +112,12 @@ struct SystemConfig {
      * (supply well below demand) drops the rack.
      */
     double supplyTolerance = 0.93;
+    /**
+     * Worker threads for the battery array's batched kernels (0/1 =
+     * serial). Results are bit-identical for every setting; only worth
+     * turning on for 1k-unit-class arrays.
+     */
+    unsigned workerThreads = 0;
 };
 
 /** The assembled plant plus controller. */

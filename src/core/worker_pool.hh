@@ -1,0 +1,148 @@
+/**
+ * @file
+ * A persistent pool of worker threads for deterministic within-run
+ * parallelism over the structure-of-arrays pools.
+ *
+ * The contract that keeps results bit-identical regardless of thread
+ * count is on the callers, and it is strict: a job is a set of `parts`
+ * and every part must touch only its own slice of state (element-wise
+ * kernels over disjoint index ranges, or per-part cells of a dense
+ * partial-result array that the caller combines in index order
+ * afterwards). Under that contract the schedule — which thread runs
+ * which part, and in what order — cannot influence any value, so
+ * running with 1, 2 or N threads (or none: the caller executes parts
+ * inline when the pool is empty) produces the same bits.
+ *
+ * Parts are claimed under the pool mutex; callers hand over chunky
+ * parts (thousands of units each), so the lock is not contended in any
+ * way that matters. The calling thread participates in the job, which
+ * both bounds the pool to threads-1 spawned workers and keeps the
+ * single-thread configuration allocation- and handoff-free.
+ */
+
+#ifndef INSURE_CORE_WORKER_POOL_HH
+#define INSURE_CORE_WORKER_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace insure::core {
+
+/** Fixed-size pool of persistent worker threads. */
+class WorkerPool
+{
+  public:
+    /**
+     * @param threads total concurrency including the calling thread;
+     *        values <= 1 spawn no workers (run() executes inline).
+     */
+    explicit WorkerPool(unsigned threads)
+    {
+        const unsigned spawn = threads > 1 ? threads - 1 : 0;
+        workers_.reserve(spawn);
+        for (unsigned i = 0; i < spawn; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~WorkerPool()
+    {
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (auto &w : workers_)
+            w.join();
+    }
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Total concurrency (workers + the calling thread). */
+    unsigned
+    threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size()) + 1;
+    }
+
+    /**
+     * Run @p fn(part) for every part in [0, parts). Blocks until all
+     * parts completed; the calling thread participates. Not reentrant.
+     */
+    void
+    run(std::size_t parts, const std::function<void(std::size_t)> &fn)
+    {
+        if (parts == 0)
+            return;
+        if (workers_.empty() || parts == 1) {
+            for (std::size_t i = 0; i < parts; ++i)
+                fn(i);
+            return;
+        }
+        std::unique_lock<std::mutex> lk(m_);
+        fn_ = &fn;
+        parts_ = parts;
+        next_ = 0;
+        inFlight_ = 0;
+        ++generation_;
+        cv_.notify_all();
+        while (next_ < parts_) {
+            const std::size_t i = next_++;
+            ++inFlight_;
+            lk.unlock();
+            fn(i);
+            lk.lock();
+            --inFlight_;
+        }
+        doneCv_.wait(lk, [this] { return inFlight_ == 0; });
+        fn_ = nullptr;
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        std::uint64_t seen = 0;
+        for (;;) {
+            cv_.wait(lk, [&] {
+                return stop_ || (fn_ && generation_ != seen &&
+                                 next_ < parts_);
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            while (fn_ && next_ < parts_) {
+                const std::size_t i = next_++;
+                ++inFlight_;
+                const auto *f = fn_;
+                lk.unlock();
+                (*f)(i);
+                lk.lock();
+                --inFlight_;
+            }
+            if (inFlight_ == 0)
+                doneCv_.notify_all();
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::mutex m_;
+    std::condition_variable cv_;
+    std::condition_variable doneCv_;
+    const std::function<void(std::size_t)> *fn_ = nullptr; // guarded by m_
+    std::size_t parts_ = 0;
+    std::size_t next_ = 0;
+    std::size_t inFlight_ = 0;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace insure::core
+
+#endif // INSURE_CORE_WORKER_POOL_HH

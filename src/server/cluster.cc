@@ -10,12 +10,15 @@
 namespace insure::server {
 
 Cluster::Cluster(unsigned node_count, NodeParams params)
+    : pool_(std::make_unique<NodePool>())
 {
     if (node_count == 0)
         fatal("Cluster: need at least one node");
+    pool_->reserve(node_count);
+    nodes_.reserve(node_count);
     for (unsigned i = 0; i < node_count; ++i) {
         nodes_.push_back(std::make_unique<ServerNode>(
-            "node" + std::to_string(i), params));
+            "node" + std::to_string(i), params, *pool_));
     }
 }
 
@@ -90,10 +93,10 @@ Cluster::setWorkloadUtil(double u)
 Watts
 Cluster::power() const
 {
-    Watts p = 0.0;
-    for (const auto &n : nodes_)
-        p += n->power();
-    return p;
+    // All rack nodes share this cluster's pool, so the sum is one dense
+    // loop in slot (= node) order — identical association to the old
+    // per-object loop.
+    return pool_->powerSum();
 }
 
 Watts
@@ -120,13 +123,11 @@ Cluster::plannedPower(unsigned vms, double duty) const
 ClusterStepResult
 Cluster::step(Seconds dt)
 {
+    const NodeStepResult r = pool_->stepAll(dt);
     ClusterStepResult res;
-    for (auto &n : nodes_) {
-        const NodeStepResult r = n->step(dt);
-        res.energyWh += r.energyWh;
-        res.productiveEnergyWh += r.productiveEnergyWh;
-        res.usefulVmHours += r.usefulVmHours;
-    }
+    res.energyWh = r.energyWh;
+    res.productiveEnergyWh = r.productiveEnergyWh;
+    res.usefulVmHours = r.usefulVmHours;
     return res;
 }
 

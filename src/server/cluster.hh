@@ -8,6 +8,10 @@
  * prototype node). Power capping applies a uniform duty cycle across the
  * powered nodes (paper §3.4: the OS derives a DVFS schedule from the duty
  * cycle it receives).
+ *
+ * Node state lives in one NodePool shared across the rack, so the
+ * per-tick hot loops (step every node, sum rack power) run over dense
+ * arrays; the ServerNode views remain the per-node API.
  */
 
 #ifndef INSURE_SERVER_CLUSTER_HH
@@ -125,6 +129,9 @@ class Cluster
     void load(snapshot::Archive &ar);
 
   private:
+    // The pool is heap-owned so node views keep valid pointers when the
+    // cluster is moved; declared before the views so it outlives them.
+    std::unique_ptr<NodePool> pool_;
     std::vector<std::unique_ptr<ServerNode>> nodes_;
     unsigned targetVms_ = 0;
 };

@@ -1,0 +1,137 @@
+#include "server/node_pool.hh"
+
+#include <algorithm>
+
+namespace insure::server {
+
+void
+NodePool::reserve(std::size_t nodes)
+{
+    state_.reserve(nodes);
+    stateRem_.reserve(nodes);
+    mgmtRem_.reserve(nodes);
+    activeVms_.reserve(nodes);
+    frequency_.reserve(nodes);
+    dutyCycle_.reserve(nodes);
+    workloadUtil_.reserve(nodes);
+    powCache_.reserve(nodes);
+    onOff_.reserve(nodes);
+    vmOps_.reserve(nodes);
+    emergencies_.reserve(nodes);
+    lostVmHours_.reserve(nodes);
+    idlePower_.reserve(nodes);
+    peakPower_.reserve(nodes);
+    vmSlots_.reserve(nodes);
+    dvfsAlpha_.reserve(nodes);
+    bootTime_.reserve(nodes);
+    shutdownTime_.reserve(nodes);
+    vmMgmtTime_.reserve(nodes);
+    emergencyLossTime_.reserve(nodes);
+}
+
+std::uint32_t
+NodePool::addNode(const NodeParams &params)
+{
+    const std::uint32_t i = static_cast<std::uint32_t>(size());
+    state_.push_back(static_cast<std::uint8_t>(NodeState::Off));
+    stateRem_.push_back(0.0);
+    mgmtRem_.push_back(0.0);
+    activeVms_.push_back(0);
+    frequency_.push_back(1.0);
+    dutyCycle_.push_back(1.0);
+    workloadUtil_.push_back(1.0);
+    powCache_.push_back(std::pow(1.0, params.dvfsAlpha));
+    onOff_.push_back(0);
+    vmOps_.push_back(0);
+    emergencies_.push_back(0);
+    lostVmHours_.push_back(0.0);
+    idlePower_.push_back(params.idlePower);
+    peakPower_.push_back(params.peakPower);
+    vmSlots_.push_back(params.vmSlots);
+    dvfsAlpha_.push_back(params.dvfsAlpha);
+    bootTime_.push_back(params.bootTime);
+    shutdownTime_.push_back(params.shutdownTime);
+    vmMgmtTime_.push_back(params.vmMgmtTime);
+    emergencyLossTime_.push_back(params.emergencyLossTime);
+    return i;
+}
+
+void
+NodePool::stepOne(std::uint32_t i, Seconds dt, NodeStepResult &res)
+{
+    if (dt <= 0.0)
+        return;
+
+    Seconds remaining = dt;
+    while (remaining > 1e-9) {
+        Seconds slice = remaining;
+        switch (state(i)) {
+          case NodeState::Off:
+            // No power, no work; consume the rest of the step.
+            remaining = 0.0;
+            continue;
+          case NodeState::Booting:
+            slice = std::min(slice, stateRem_[i]);
+            res.energyWh += units::energyWh(idlePower_[i], slice);
+            stateRem_[i] -= slice;
+            if (stateRem_[i] <= 1e-9)
+                state_[i] = static_cast<std::uint8_t>(NodeState::On);
+            break;
+          case NodeState::ShuttingDown:
+            slice = std::min(slice, stateRem_[i]);
+            res.energyWh += units::energyWh(idlePower_[i], slice);
+            stateRem_[i] -= slice;
+            if (stateRem_[i] <= 1e-9) {
+                state_[i] = static_cast<std::uint8_t>(NodeState::Off);
+                ++onOff_[i];
+            }
+            break;
+          case NodeState::On: {
+            if (mgmtRem_[i] > 0.0) {
+                slice = std::min(slice, mgmtRem_[i]);
+                res.energyWh += units::energyWh(power(i), slice);
+                mgmtRem_[i] -= slice;
+            } else {
+                const WattHours e = units::energyWh(power(i), slice);
+                res.energyWh += e;
+                if (activeVms_[i] > 0) {
+                    res.productiveEnergyWh += e;
+                    res.usefulVmHours += activeVms_[i] * frequency_[i] *
+                                         dutyCycle_[i] *
+                                         units::toHours(slice);
+                }
+            }
+            break;
+          }
+        }
+        remaining -= slice;
+    }
+}
+
+Watts
+NodePool::powerSum() const
+{
+    Watts p = 0.0;
+    for (std::uint32_t i = 0; i < size(); ++i)
+        p += power(i);
+    return p;
+}
+
+NodeStepResult
+NodePool::stepAll(Seconds dt)
+{
+    // Each node steps into a fresh record which is then added field by
+    // field — the exact association Cluster::step used per object (a
+    // node's sub-step slices sum locally before joining the rack total).
+    NodeStepResult res;
+    for (std::uint32_t i = 0; i < size(); ++i) {
+        NodeStepResult r;
+        stepOne(i, dt, r);
+        res.energyWh += r.energyWh;
+        res.productiveEnergyWh += r.productiveEnergyWh;
+        res.usefulVmHours += r.usefulVmHours;
+    }
+    return res;
+}
+
+} // namespace insure::server

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Structure-of-arrays storage for server-node power/VM state.
+ *
+ * The cluster steps every node each physics tick and the managers sample
+ * rack power several times per tick; at 10k nodes the per-object
+ * dispatch (heap node objects, scattered parameter loads, a pow() per
+ * power sample) dominates. The pool keeps the state machine and the
+ * parameter mirrors in dense arrays and caches pow(frequency, alpha) —
+ * a pure function of two slot scalars — so the hot loops stream.
+ *
+ * ServerNode remains the API as a thin view (pool pointer + slot); a
+ * standalone-constructed node owns a private single-slot pool. All
+ * arithmetic replicates the per-object expression trees exactly, so the
+ * pooled and per-object paths are bit-identical.
+ */
+
+#ifndef INSURE_SERVER_NODE_POOL_HH
+#define INSURE_SERVER_NODE_POOL_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "server/node_params.hh"
+#include "sim/units.hh"
+
+namespace insure::server {
+
+/** Power state of a physical node. */
+enum class NodeState {
+    Off,
+    Booting,
+    On,
+    ShuttingDown,
+};
+
+/** Printable name of a node state. */
+const char *nodeStateName(NodeState s);
+
+/** Outcome of advancing a node by one step. */
+struct NodeStepResult {
+    /** Energy consumed during the step, watt-hours. */
+    WattHours energyWh = 0.0;
+    /** Energy consumed while doing useful work, watt-hours. */
+    WattHours productiveEnergyWh = 0.0;
+    /** Useful compute delivered, in VM-hours at nominal frequency. */
+    double usefulVmHours = 0.0;
+};
+
+/** Dense per-node state shared by all nodes of one owner. */
+class NodePool
+{
+  public:
+    NodePool() = default;
+    NodePool(const NodePool &) = delete;
+    NodePool &operator=(const NodePool &) = delete;
+
+    /** Pre-size the arrays (cluster construction knows the count). */
+    void reserve(std::size_t nodes);
+
+    /** Append one node initialised Off from @p params; returns its slot. */
+    std::uint32_t addNode(const NodeParams &params);
+
+    std::size_t size() const { return state_.size(); }
+
+    // ---- per-slot state machine --------------------------------------
+
+    NodeState
+    state(std::uint32_t i) const
+    {
+        return static_cast<NodeState>(state_[i]);
+    }
+
+    Seconds stateRemaining(std::uint32_t i) const { return stateRem_[i]; }
+    Seconds mgmtRemaining(std::uint32_t i) const { return mgmtRem_[i]; }
+    unsigned activeVms(std::uint32_t i) const { return activeVms_[i]; }
+    double frequency(std::uint32_t i) const { return frequency_[i]; }
+    double dutyCycle(std::uint32_t i) const { return dutyCycle_[i]; }
+    double workloadUtil(std::uint32_t i) const { return workloadUtil_[i]; }
+    std::uint64_t onOffCycles(std::uint32_t i) const { return onOff_[i]; }
+    std::uint64_t vmControlOps(std::uint32_t i) const { return vmOps_[i]; }
+    std::uint64_t
+    emergencyShutdowns(std::uint32_t i) const
+    {
+        return emergencies_[i];
+    }
+    double lostVmHours(std::uint32_t i) const { return lostVmHours_[i]; }
+
+    bool
+    productive(std::uint32_t i) const
+    {
+        return state(i) == NodeState::On && mgmtRem_[i] <= 0.0 &&
+               activeVms_[i] > 0;
+    }
+
+    /** Begin booting (no-op unless Off). */
+    void
+    powerOn(std::uint32_t i)
+    {
+        if (state(i) != NodeState::Off)
+            return;
+        state_[i] = static_cast<std::uint8_t>(NodeState::Booting);
+        stateRem_[i] = bootTime_[i];
+    }
+
+    /** Begin a clean checkpointing shutdown (no-op unless On/Booting). */
+    void
+    powerOff(std::uint32_t i)
+    {
+        if (state(i) == NodeState::Off ||
+            state(i) == NodeState::ShuttingDown)
+            return;
+        state_[i] = static_cast<std::uint8_t>(NodeState::ShuttingDown);
+        stateRem_[i] = shutdownTime_[i];
+    }
+
+    /** Immediate power loss without checkpoint (see ServerNode). */
+    void
+    emergencyShutdown(std::uint32_t i)
+    {
+        if (state(i) == NodeState::Off)
+            return;
+        if (state(i) == NodeState::On && activeVms_[i] > 0) {
+            lostVmHours_[i] +=
+                activeVms_[i] * units::toHours(emergencyLossTime_[i]);
+        }
+        state_[i] = static_cast<std::uint8_t>(NodeState::Off);
+        stateRem_[i] = 0.0;
+        mgmtRem_[i] = 0.0;
+        ++emergencies_[i];
+        ++onOff_[i];
+    }
+
+    /** Assign VMs (caller clips to the slot count, see ServerNode). */
+    void
+    setActiveVms(std::uint32_t i, unsigned n)
+    {
+        if (n == activeVms_[i])
+            return;
+        activeVms_[i] = n;
+        ++vmOps_[i];
+        if (state(i) == NodeState::On)
+            mgmtRem_[i] = vmMgmtTime_[i];
+    }
+
+    /** Store the (caller-clamped) frequency; refreshes the pow cache. */
+    void
+    setFrequency(std::uint32_t i, double f)
+    {
+        frequency_[i] = f;
+        powCache_[i] = std::pow(f, dvfsAlpha_[i]);
+    }
+
+    void setDutyCycle(std::uint32_t i, double d) { dutyCycle_[i] = d; }
+    void setWorkloadUtil(std::uint32_t i, double u) { workloadUtil_[i] = u; }
+
+    /** Wedge the node (hung hypervisor). No-op unless On. */
+    void
+    injectHang(std::uint32_t i, Seconds duration)
+    {
+        if (state(i) == NodeState::On && duration > 0.0)
+            mgmtRem_[i] += duration;
+    }
+
+    /**
+     * Instantaneous power draw, watts. Identical expression tree to the
+     * per-object ServerNode::power(); pow(frequency, alpha) comes from
+     * the cache, which is a pure function of the two slot scalars.
+     */
+    Watts
+    power(std::uint32_t i) const
+    {
+        switch (state(i)) {
+          case NodeState::Off:
+            return 0.0;
+          case NodeState::Booting:
+          case NodeState::ShuttingDown:
+            // Boot and checkpoint phases run near idle draw.
+            return idlePower_[i];
+          case NodeState::On:
+            break;
+        }
+        const double util =
+            static_cast<double>(activeVms_[i]) / vmSlots_[i];
+        const double dyn = (peakPower_[i] - idlePower_[i]) * util *
+                           workloadUtil_[i] * powCache_[i] * dutyCycle_[i];
+        return idlePower_[i] + dyn;
+    }
+
+    /** Advance slot @p i by @p dt seconds, accumulating into @p res. */
+    void stepOne(std::uint32_t i, Seconds dt, NodeStepResult &res);
+
+    /** Rack power: power(i) summed in slot order. */
+    Watts powerSum() const;
+
+    /** Advance every node in slot order, summing the step results. */
+    NodeStepResult stepAll(Seconds dt);
+
+    // ---- snapshot restore (raw stores; counters, remainders) ---------
+
+    void
+    restore(std::uint32_t i, NodeState st, Seconds stateRem,
+            Seconds mgmtRem, unsigned vms, double freq, double duty,
+            double util, std::uint64_t onOff, std::uint64_t vmOps,
+            std::uint64_t emergencies, double lostVmHrs)
+    {
+        state_[i] = static_cast<std::uint8_t>(st);
+        stateRem_[i] = stateRem;
+        mgmtRem_[i] = mgmtRem;
+        activeVms_[i] = vms;
+        setFrequency(i, freq); // refreshes the pow cache
+        dutyCycle_[i] = duty;
+        workloadUtil_[i] = util;
+        onOff_[i] = onOff;
+        vmOps_[i] = vmOps;
+        emergencies_[i] = emergencies;
+        lostVmHours_[i] = lostVmHrs;
+    }
+
+  private:
+    // State machine.
+    std::vector<std::uint8_t> state_;
+    std::vector<double> stateRem_;
+    std::vector<double> mgmtRem_;
+    std::vector<std::uint32_t> activeVms_;
+    std::vector<double> frequency_;
+    std::vector<double> dutyCycle_;
+    std::vector<double> workloadUtil_;
+    std::vector<double> powCache_; // pow(frequency, dvfsAlpha)
+    std::vector<std::uint64_t> onOff_;
+    std::vector<std::uint64_t> vmOps_;
+    std::vector<std::uint64_t> emergencies_;
+    std::vector<double> lostVmHours_;
+
+    // Parameter mirrors used by the hot loops.
+    std::vector<double> idlePower_;
+    std::vector<double> peakPower_;
+    std::vector<std::uint32_t> vmSlots_;
+    std::vector<double> dvfsAlpha_;
+    std::vector<double> bootTime_;
+    std::vector<double> shutdownTime_;
+    std::vector<double> vmMgmtTime_;
+    std::vector<double> emergencyLossTime_;
+};
+
+} // namespace insure::server
+
+#endif // INSURE_SERVER_NODE_POOL_HH

@@ -22,126 +22,16 @@ nodeStateName(NodeState s)
 }
 
 ServerNode::ServerNode(std::string name, NodeParams params)
-    : name_(std::move(name)), params_(std::move(params))
+    : name_(std::move(name)), params_(std::move(params)),
+      ownPool_(std::make_unique<NodePool>()), pool_(ownPool_.get()),
+      slot_(pool_->addNode(params_))
 {
 }
 
-void
-ServerNode::powerOn()
+ServerNode::ServerNode(std::string name, NodeParams params, NodePool &pool)
+    : name_(std::move(name)), params_(std::move(params)), pool_(&pool),
+      slot_(pool.addNode(params_))
 {
-    if (state_ != NodeState::Off)
-        return;
-    state_ = NodeState::Booting;
-    stateRemaining_ = params_.bootTime;
-}
-
-void
-ServerNode::powerOff()
-{
-    if (state_ == NodeState::Off || state_ == NodeState::ShuttingDown)
-        return;
-    state_ = NodeState::ShuttingDown;
-    stateRemaining_ = params_.shutdownTime;
-}
-
-void
-ServerNode::emergencyShutdown()
-{
-    if (state_ == NodeState::Off)
-        return;
-    if (state_ == NodeState::On && activeVms_ > 0) {
-        lostVmHours_ +=
-            activeVms_ * units::toHours(params_.emergencyLossTime);
-    }
-    state_ = NodeState::Off;
-    stateRemaining_ = 0.0;
-    mgmtRemaining_ = 0.0;
-    ++emergencyShutdowns_;
-    ++onOffCycles_;
-}
-
-void
-ServerNode::setActiveVms(unsigned n)
-{
-    n = std::min(n, params_.vmSlots);
-    if (n == activeVms_)
-        return;
-    activeVms_ = n;
-    ++vmControlOps_;
-    if (state_ == NodeState::On)
-        mgmtRemaining_ = params_.vmMgmtTime;
-}
-
-void
-ServerNode::setFrequency(double f)
-{
-    frequency_ = std::clamp(f, params_.minFrequency, 1.0);
-}
-
-void
-ServerNode::setDutyCycle(double d)
-{
-    dutyCycle_ = std::clamp(d, 0.0, 1.0);
-}
-
-void
-ServerNode::setWorkloadUtil(double u)
-{
-    workloadUtil_ = std::clamp(u, 0.0, 1.0);
-}
-
-NodeStepResult
-ServerNode::step(Seconds dt)
-{
-    NodeStepResult res;
-    if (dt <= 0.0)
-        return res;
-
-    Seconds remaining = dt;
-    while (remaining > 1e-9) {
-        Seconds slice = remaining;
-        switch (state_) {
-          case NodeState::Off:
-            // No power, no work; consume the rest of the step.
-            remaining = 0.0;
-            continue;
-          case NodeState::Booting:
-            slice = std::min(slice, stateRemaining_);
-            res.energyWh += units::energyWh(params_.idlePower, slice);
-            stateRemaining_ -= slice;
-            if (stateRemaining_ <= 1e-9)
-                state_ = NodeState::On;
-            break;
-          case NodeState::ShuttingDown:
-            slice = std::min(slice, stateRemaining_);
-            res.energyWh += units::energyWh(params_.idlePower, slice);
-            stateRemaining_ -= slice;
-            if (stateRemaining_ <= 1e-9) {
-                state_ = NodeState::Off;
-                ++onOffCycles_;
-            }
-            break;
-          case NodeState::On: {
-            if (mgmtRemaining_ > 0.0) {
-                slice = std::min(slice, mgmtRemaining_);
-                res.energyWh += units::energyWh(power(), slice);
-                mgmtRemaining_ -= slice;
-            } else {
-                const WattHours e = units::energyWh(power(), slice);
-                res.energyWh += e;
-                if (activeVms_ > 0) {
-                    res.productiveEnergyWh += e;
-                    res.usefulVmHours += activeVms_ * frequency_ *
-                                         dutyCycle_ *
-                                         units::toHours(slice);
-                }
-            }
-            break;
-          }
-        }
-        remaining -= slice;
-    }
-    return res;
 }
 
 
@@ -149,35 +39,37 @@ void
 ServerNode::save(snapshot::Archive &ar) const
 {
     ar.section("server_node");
-    ar.putEnum(state_);
-    ar.putF64(stateRemaining_);
-    ar.putF64(mgmtRemaining_);
-    ar.putU32(activeVms_);
-    ar.putF64(frequency_);
-    ar.putF64(dutyCycle_);
-    ar.putF64(workloadUtil_);
-    ar.putU64(onOffCycles_);
-    ar.putU64(vmControlOps_);
-    ar.putU64(emergencyShutdowns_);
-    ar.putF64(lostVmHours_);
+    ar.putEnum(pool_->state(slot_));
+    ar.putF64(pool_->stateRemaining(slot_));
+    ar.putF64(pool_->mgmtRemaining(slot_));
+    ar.putU32(pool_->activeVms(slot_));
+    ar.putF64(pool_->frequency(slot_));
+    ar.putF64(pool_->dutyCycle(slot_));
+    ar.putF64(pool_->workloadUtil(slot_));
+    ar.putU64(pool_->onOffCycles(slot_));
+    ar.putU64(pool_->vmControlOps(slot_));
+    ar.putU64(pool_->emergencyShutdowns(slot_));
+    ar.putF64(pool_->lostVmHours(slot_));
 }
 
 void
 ServerNode::load(snapshot::Archive &ar)
 {
     ar.section("server_node");
-    state_ = ar.getEnum<NodeState>(
+    const NodeState st = ar.getEnum<NodeState>(
         static_cast<std::uint32_t>(NodeState::ShuttingDown));
-    stateRemaining_ = ar.getF64();
-    mgmtRemaining_ = ar.getF64();
-    activeVms_ = ar.getU32();
-    frequency_ = ar.getF64();
-    dutyCycle_ = ar.getF64();
-    workloadUtil_ = ar.getF64();
-    onOffCycles_ = ar.getU64();
-    vmControlOps_ = ar.getU64();
-    emergencyShutdowns_ = ar.getU64();
-    lostVmHours_ = ar.getF64();
+    const Seconds stateRem = ar.getF64();
+    const Seconds mgmtRem = ar.getF64();
+    const unsigned vms = ar.getU32();
+    const double freq = ar.getF64();
+    const double duty = ar.getF64();
+    const double util = ar.getF64();
+    const std::uint64_t onOff = ar.getU64();
+    const std::uint64_t vmOps = ar.getU64();
+    const std::uint64_t emergencies = ar.getU64();
+    const double lostVmHrs = ar.getF64();
+    pool_->restore(slot_, st, stateRem, mgmtRem, vms, freq, duty, util,
+                   onOff, vmOps, emergencies, lostVmHrs);
 }
 
 } // namespace insure::server

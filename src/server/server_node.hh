@@ -9,16 +9,23 @@
  * down or performing VM management the node draws power but produces no
  * useful compute — this overhead is what makes aggressive VM scale-up
  * counter-productive under tight energy budgets (paper Table 2).
+ *
+ * The state machine lives in a NodePool slot (see node_pool.hh) so the
+ * cluster can step all nodes as dense-array loops; this class is the
+ * per-node API view. A standalone-constructed node owns a private
+ * single-slot pool, so both construction styles behave identically.
  */
 
 #ifndef INSURE_SERVER_SERVER_NODE_HH
 #define INSURE_SERVER_SERVER_NODE_HH
 
-#include <cmath>
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "server/node_params.hh"
+#include "server/node_pool.hh"
 #include "sim/units.hh"
 
 namespace insure::snapshot {
@@ -27,54 +34,31 @@ class Archive;
 
 namespace insure::server {
 
-/** Power state of a physical node. */
-enum class NodeState {
-    Off,
-    Booting,
-    On,
-    ShuttingDown,
-};
-
-/** Printable name of a node state. */
-const char *nodeStateName(NodeState s);
-
-/** Outcome of advancing a node by one step. */
-struct NodeStepResult {
-    /** Energy consumed during the step, watt-hours. */
-    WattHours energyWh = 0.0;
-    /** Energy consumed while doing useful work, watt-hours. */
-    WattHours productiveEnergyWh = 0.0;
-    /** Useful compute delivered, in VM-hours at nominal frequency. */
-    double usefulVmHours = 0.0;
-};
-
 /** A single physical machine. */
 class ServerNode
 {
   public:
     ServerNode(std::string name, NodeParams params);
 
+    /** Pooled variant: the state machine lives in a @p pool slot. */
+    ServerNode(std::string name, NodeParams params, NodePool &pool);
+
     const std::string &name() const { return name_; }
     const NodeParams &params() const { return params_; }
 
-    NodeState state() const { return state_; }
+    NodeState state() const { return pool_->state(slot_); }
 
     /** True when the node can host work right now (On, not busy). */
-    bool
-    productive() const
-    {
-        return state_ == NodeState::On && mgmtRemaining_ <= 0.0 &&
-               activeVms_ > 0;
-    }
+    bool productive() const { return pool_->productive(slot_); }
 
     /** VMs currently assigned. */
-    unsigned activeVms() const { return activeVms_; }
+    unsigned activeVms() const { return pool_->activeVms(slot_); }
 
     /** Begin booting (no-op unless Off). */
-    void powerOn();
+    void powerOn() { pool_->powerOn(slot_); }
 
     /** Begin a clean checkpointing shutdown (no-op unless On/Booting). */
-    void powerOff();
+    void powerOff() { pool_->powerOff(slot_); }
 
     /**
      * Immediate power loss without checkpoint: drops to Off, loses
@@ -82,19 +66,32 @@ class ServerNode
      * next step as negative useful compute is avoided by clamping — the
      * loss is tracked in lostVmHours()).
      */
-    void emergencyShutdown();
+    void emergencyShutdown() { pool_->emergencyShutdown(slot_); }
 
     /**
      * Assign @p n VMs (clipped to the slot count). Changing the count on a
      * running node triggers a VM-management busy period.
      */
-    void setActiveVms(unsigned n);
+    void
+    setActiveVms(unsigned n)
+    {
+        pool_->setActiveVms(slot_, std::min(n, params_.vmSlots));
+    }
 
     /** Set the DVFS frequency fraction (clamped to [minFrequency, 1]). */
-    void setFrequency(double f);
+    void
+    setFrequency(double f)
+    {
+        pool_->setFrequency(slot_,
+                            std::clamp(f, params_.minFrequency, 1.0));
+    }
 
     /** Set the duty cycle for power capping (clamped to [0, 1]). */
-    void setDutyCycle(double d);
+    void
+    setDutyCycle(double d)
+    {
+        pool_->setDutyCycle(slot_, std::clamp(d, 0.0, 1.0));
+    }
 
     /**
      * Set the workload's power utilisation: the fraction of the dynamic
@@ -102,63 +99,54 @@ class ServerNode
      * seismic analysis on the Xeon rack runs at ~0.41 of the idle-to-peak
      * range, paper Table 2).
      */
-    void setWorkloadUtil(double u);
+    void
+    setWorkloadUtil(double u)
+    {
+        pool_->setWorkloadUtil(slot_, std::clamp(u, 0.0, 1.0));
+    }
 
-    double frequency() const { return frequency_; }
-    double dutyCycle() const { return dutyCycle_; }
-    double workloadUtil() const { return workloadUtil_; }
+    double frequency() const { return pool_->frequency(slot_); }
+    double dutyCycle() const { return pool_->dutyCycle(slot_); }
+    double workloadUtil() const { return pool_->workloadUtil(slot_); }
 
     /**
      * Instantaneous power draw, watts. Sampled several times per physics
-     * tick (step, telemetry, manager), so the whole computation is inline.
+     * tick (step, telemetry, manager), so the whole computation is inline
+     * in the pool.
      */
-    Watts
-    power() const
-    {
-        switch (state_) {
-          case NodeState::Off:
-            return 0.0;
-          case NodeState::Booting:
-          case NodeState::ShuttingDown:
-            // Boot and checkpoint phases run near idle draw.
-            return params_.idlePower;
-          case NodeState::On:
-            break;
-        }
-        const double util =
-            static_cast<double>(activeVms_) / params_.vmSlots;
-        const double dyn =
-            (params_.peakPower - params_.idlePower) * util * workloadUtil_ *
-            std::pow(frequency_, params_.dvfsAlpha) * dutyCycle_;
-        return params_.idlePower + dyn;
-    }
+    Watts power() const { return pool_->power(slot_); }
 
     /** Advance the node state by @p dt seconds. */
-    NodeStepResult step(Seconds dt);
+    NodeStepResult
+    step(Seconds dt)
+    {
+        NodeStepResult res;
+        pool_->stepOne(slot_, dt, res);
+        return res;
+    }
 
     /**
      * Fault injection: wedge the node for @p duration seconds — it keeps
      * drawing power but produces no useful work (a hung hypervisor looks
      * exactly like an over-long management busy period). No-op unless On.
      */
-    void
-    injectHang(Seconds duration)
-    {
-        if (state_ == NodeState::On && duration > 0.0)
-            mgmtRemaining_ += duration;
-    }
+    void injectHang(Seconds duration) { pool_->injectHang(slot_, duration); }
 
     /** Completed On->Off power cycles. */
-    std::uint64_t onOffCycles() const { return onOffCycles_; }
+    std::uint64_t onOffCycles() const { return pool_->onOffCycles(slot_); }
 
     /** VM management operations performed. */
-    std::uint64_t vmControlOps() const { return vmControlOps_; }
+    std::uint64_t vmControlOps() const { return pool_->vmControlOps(slot_); }
 
     /** Emergency (uncheckpointed) shutdowns. */
-    std::uint64_t emergencyShutdowns() const { return emergencyShutdowns_; }
+    std::uint64_t
+    emergencyShutdowns() const
+    {
+        return pool_->emergencyShutdowns(slot_);
+    }
 
     /** Total useful compute lost to emergencies, VM-hours. */
-    double lostVmHours() const { return lostVmHours_; }
+    double lostVmHours() const { return pool_->lostVmHours(slot_); }
 
     /** Serialize the power/VM state machine and its counters. */
     void save(snapshot::Archive &ar) const;
@@ -169,17 +157,9 @@ class ServerNode
   private:
     std::string name_;
     NodeParams params_;
-    NodeState state_ = NodeState::Off;
-    Seconds stateRemaining_ = 0.0;
-    Seconds mgmtRemaining_ = 0.0;
-    unsigned activeVms_ = 0;
-    double frequency_ = 1.0;
-    double dutyCycle_ = 1.0;
-    double workloadUtil_ = 1.0;
-    std::uint64_t onOffCycles_ = 0;
-    std::uint64_t vmControlOps_ = 0;
-    std::uint64_t emergencyShutdowns_ = 0;
-    double lostVmHours_ = 0.0;
+    std::unique_ptr<NodePool> ownPool_; // standalone construction only
+    NodePool *pool_;
+    std::uint32_t slot_;
 };
 
 } // namespace insure::server

@@ -66,6 +66,24 @@ struct RegisterLayout {
         return static_cast<std::uint16_t>(cabinetBase +
                                           cabinet * perCabinet + offset);
     }
+
+    /**
+     * Register-map size fitting @p cabinets cabinet blocks, at least
+     * the historical 512 (so small plants keep their layout and
+     * snapshot framing). Capped at the 16-bit Modbus address space —
+     * the protocol's hard limit of ~8k cabinet blocks; container-scale
+     * plants stay within it by using taller series strings.
+     */
+    static constexpr std::uint16_t
+    mapSize(unsigned cabinets)
+    {
+        const std::uint32_t need =
+            cabinetBase + static_cast<std::uint32_t>(cabinets) * perCabinet;
+        if (need <= 512u)
+            return 512;
+        return static_cast<std::uint16_t>(
+            need < 65535u ? need : 65535u);
+    }
 };
 
 /** A bank of 16-bit holding registers. */

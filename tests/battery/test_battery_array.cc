@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "battery/battery_array.hh"
 
 namespace insure::battery {
@@ -167,9 +169,29 @@ TEST(BatteryArrayDeath, InvalidCabinetIndexPanics)
     EXPECT_DEATH(a.chargeCabinet(99, 100.0, 1.0), "out of range");
 }
 
-TEST(BatteryArrayDeath, ZeroCabinetsIsFatal)
+// Regression for a fuzz-config crash: a zero-cabinet array used to
+// dereference cabinets_.front() in projectedLifeYears()/busVoltage()
+// (undefined behaviour) and divide by zero in meanSoc(). Degenerate
+// batch configs must yield an inert array, not UB.
+TEST(BatteryArray, ZeroCabinetsIsInert)
 {
-    EXPECT_DEATH(BatteryArray(BatteryParams{}, 0), "at least one");
+    BatteryArray a(BatteryParams{}, 0);
+    EXPECT_EQ(a.cabinetCount(), 0u);
+    EXPECT_EQ(a.unitCount(), 0u);
+    EXPECT_TRUE(std::isinf(a.projectedLifeYears(units::days(1.0))));
+    EXPECT_DOUBLE_EQ(a.meanSoc(), 0.0);
+    EXPECT_DOUBLE_EQ(a.busVoltage(), 0.0);
+    EXPECT_DOUBLE_EQ(a.voltageStddev(), 0.0);
+    EXPECT_DOUBLE_EQ(a.storedEnergyWh(), 0.0);
+    EXPECT_DOUBLE_EQ(a.capacityWh(), 0.0);
+    EXPECT_DOUBLE_EQ(a.totalUnitAh(), 0.0);
+    EXPECT_DOUBLE_EQ(a.maxDischargePower(1.0), 0.0);
+
+    // The tick protocol must be a no-op, not a crash.
+    a.beginTick();
+    const auto r = a.discharge(100.0, 1.0);
+    EXPECT_DOUBLE_EQ(r.deliveredPower, 0.0);
+    a.endTick(1.0);
 }
 
 } // namespace

@@ -145,6 +145,50 @@ TEST(Kibam, NonPositiveStepIsIgnored)
     EXPECT_DOUBLE_EQ(k.boundCharge(), bound);
 }
 
+// Regression: repeated `dt -= 60` in the subdivision loop leaves a
+// floating-point residue (~1e-12 s) for which the closed form used to
+// run a full exp and well update, injecting spurious ampere-hours.
+// Residues below kResidualEps are snapped to zero, so a dirty step is
+// bit-identical to the clean multiple-of-60 s step.
+TEST(Kibam, SubStepResidueIsSnappedToZero)
+{
+    const Seconds dirty = 120.0 + 2.5e-13;
+    ASSERT_GT(dirty, 120.0); // distinct double, survives the subtraction
+    Kibam clean(kCap, kC, kK, 0.6);
+    Kibam noisy(kCap, kC, kK, 0.6);
+    const AmpHours rc = clean.step(4.0, 120.0);
+    const AmpHours rn = noisy.step(4.0, dirty);
+    EXPECT_EQ(clean.availableCharge(), noisy.availableCharge());
+    EXPECT_EQ(clean.boundCharge(), noisy.boundCharge());
+    EXPECT_EQ(rc, rn);
+}
+
+// A degenerate caller-supplied step far below the physics timescale is
+// dropped outright rather than integrated.
+TEST(Kibam, DegenerateTinyStepIsIgnored)
+{
+    Kibam k(kCap, kC, kK, 0.7);
+    const double avail = k.availableCharge();
+    const double bound = k.boundCharge();
+    EXPECT_DOUBLE_EQ(k.step(25.0, 1e-12), 0.0);
+    EXPECT_DOUBLE_EQ(k.availableCharge(), avail);
+    EXPECT_DOUBLE_EQ(k.boundCharge(), bound);
+}
+
+// Ampere-hour conservation must hold through the whole subdivision loop
+// for dt >> 60 s, including when the loop ends on a sub-epsilon residue:
+// charge drawn from the wells plus the rejected remainder equals the
+// requested current * dt transfer.
+TEST(Kibam, LongStepConservesAmpHours)
+{
+    Kibam k(kCap, kC, kK, 0.95);
+    const double before = k.availableCharge() + k.boundCharge();
+    const Seconds dt = 4.0 * 3600.0 + 5e-12; // dirty after 240 sub-steps
+    const AmpHours rejected = k.step(3.0, dt);
+    const double drawn = before - (k.availableCharge() + k.boundCharge());
+    EXPECT_NEAR(drawn + rejected, 3.0 * dt / 3600.0, 1e-9);
+}
+
 // One huge step must agree with many small ones: step() subdivides
 // internally, so the well trajectory (and any clipping) cannot depend on
 // the caller's time resolution.
