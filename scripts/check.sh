@@ -3,6 +3,7 @@
 # smoke sweep, and the validation suites under ASan/UBSan.
 #
 # Usage: scripts/check.sh [--no-asan] [--fuzz-runs N] [--faults] [--scale]
+#        scripts/check.sh [--service] [--resume]
 #        scripts/check.sh --perf [--tolerance X]
 #
 # --perf builds Release and runs the simulation-speed gate against the
@@ -19,6 +20,11 @@
 # determinism) — it is part of tier 1 too, but the dedicated stage gives
 # a fast signal when touching the battery/server hot path.
 #
+# --service re-runs the digital-twin service battery on its own (frame
+# codec + fuzz, transport, query engine, concurrency oracle replay,
+# golden-over-transport) plus the concurrent service bench smoke, whose
+# exit code enforces byte-identity with the single-threaded oracle.
+#
 # --resume adds a crash-recovery drill: a checkpointing campaign is
 # kill -9'd mid-sweep, re-invoked with --resume, and its JSON output must
 # be byte-identical to an uninterrupted sweep of the same master seed.
@@ -34,6 +40,7 @@ run_asan=1
 run_perf=0
 run_faults=0
 run_scale=0
+run_service=0
 run_resume=0
 fuzz_runs=200
 tolerance=0.20
@@ -43,6 +50,7 @@ while [ $# -gt 0 ]; do
     --perf) run_perf=1 ;;
     --faults) run_faults=1 ;;
     --scale) run_scale=1 ;;
+    --service) run_service=1 ;;
     --resume) run_resume=1 ;;
     --tolerance)
         shift
@@ -53,7 +61,7 @@ while [ $# -gt 0 ]; do
         fuzz_runs="$1"
         ;;
     *)
-        echo "usage: $0 [--no-asan] [--fuzz-runs N] [--faults] [--scale] [--resume] | --perf [--tolerance X]" >&2
+        echo "usage: $0 [--no-asan] [--fuzz-runs N] [--faults] [--scale] [--service] [--resume] | --perf [--tolerance X]" >&2
         exit 2
         ;;
     esac
@@ -102,6 +110,14 @@ fi
 if [ "$run_scale" = 1 ]; then
     step "structure-of-arrays scale suite (ctest -L scale)"
     ctest --test-dir build -L scale --output-on-failure
+fi
+
+if [ "$run_service" = 1 ]; then
+    step "digital-twin service suite (ctest -L service)"
+    ctest --test-dir build -L service --output-on-failure
+
+    step "twin service bench smoke (concurrent replay vs serial oracle)"
+    ./build/bench/bench_twin_service --cabinets 24 --clients 4 --ops 128
 fi
 
 if [ "$run_resume" = 1 ]; then

@@ -172,6 +172,13 @@ class InSituSystem : public sim::Component
     const workload::DataQueue &queue() const { return queue_; }
     const telemetry::SystemMonitor &monitor() const { return monitor_; }
     telemetry::SystemMonitor &monitor() { return monitor_; }
+    /**
+     * The PLC holding-register file (the digital-twin service binds its
+     * own ModbusSlave to it, so service traffic never perturbs the
+     * snapshotted counters of the plant's internal PLC endpoint).
+     */
+    telemetry::RegisterMap &registers() { return registers_; }
+    const telemetry::RegisterMap &registers() const { return registers_; }
     /** The coordination node's Modbus master (fault injection, stats). */
     telemetry::CoordinationLink &link() { return *link_; }
     const telemetry::DischargeHistoryTable &history() const

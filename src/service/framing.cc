@@ -1,0 +1,109 @@
+#include "service/framing.hh"
+
+#include <stdexcept>
+
+#include "telemetry/modbus.hh"
+
+namespace insure::service {
+
+std::vector<std::uint8_t>
+encodeFrame(FrameType type, const std::uint8_t *payload, std::size_t len)
+{
+    if (len > kMaxFramePayload)
+        throw std::length_error("service: frame payload over limit");
+    std::vector<std::uint8_t> f;
+    f.reserve(kFrameHeaderSize + len + kFrameCrcSize);
+    f.push_back(kFrameSync);
+    f.push_back(static_cast<std::uint8_t>(type));
+    f.push_back(static_cast<std::uint8_t>(len & 0xFF));
+    f.push_back(static_cast<std::uint8_t>(len >> 8));
+    f.insert(f.end(), payload, payload + len);
+    // CRC over everything after the sync byte, low byte first (the
+    // Modbus RTU convention; same 0xA001 reflected polynomial).
+    const std::uint16_t crc =
+        telemetry::modbusCrc16(f.data() + 1, f.size() - 1);
+    f.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+    f.push_back(static_cast<std::uint8_t>(crc >> 8));
+    return f;
+}
+
+void
+FrameDecoder::feed(const std::uint8_t *data, std::size_t len)
+{
+    buf_.insert(buf_.end(), data, data + len);
+    parse();
+}
+
+std::optional<Frame>
+FrameDecoder::next()
+{
+    if (ready_.empty())
+        return std::nullopt;
+    Frame f = std::move(ready_.front());
+    ready_.pop_front();
+    return f;
+}
+
+/**
+ * Scan the buffer for complete frames. The cursor only ever advances —
+ * past a decoded frame, past a rejected sync candidate (one byte, so a
+ * later intact frame inside the rejected extent is still found), or
+ * past inter-frame garbage — and consumed bytes are discarded, so the
+ * buffer is bounded by one maximum frame plus one feed fragment.
+ */
+void
+FrameDecoder::parse()
+{
+    std::size_t pos = 0;
+    const std::size_t size = buf_.size();
+    while (pos < size) {
+        if (buf_[pos] != kFrameSync) {
+            ++pos;
+            ++skipped_;
+            continue;
+        }
+        if (size - pos < kFrameHeaderSize)
+            break; // incomplete header; wait for more bytes
+        const std::size_t len = static_cast<std::size_t>(buf_[pos + 2]) |
+                                (static_cast<std::size_t>(buf_[pos + 3])
+                                 << 8);
+        if (len > kMaxFramePayload) {
+            // Corrupted length field: this sync byte cannot start a
+            // frame we would ever accept. Resync from the next byte.
+            ++oversized_;
+            ++resyncs_;
+            ++pos;
+            continue;
+        }
+        const std::size_t total = kFrameHeaderSize + len + kFrameCrcSize;
+        if (size - pos < total)
+            break; // body not fully arrived yet
+        const std::uint8_t *body = buf_.data() + pos + 1;
+        const std::size_t bodyLen = total - 1 - kFrameCrcSize;
+        const std::uint16_t expect =
+            telemetry::modbusCrc16(body, bodyLen);
+        const std::uint16_t got = static_cast<std::uint16_t>(
+            buf_[pos + total - 2] |
+            (static_cast<std::uint16_t>(buf_[pos + total - 1]) << 8));
+        if (expect != got) {
+            ++crcErrors_;
+            ++resyncs_;
+            ++pos;
+            continue;
+        }
+        Frame f;
+        f.type = static_cast<FrameType>(buf_[pos + 1]);
+        f.payload.assign(buf_.begin() +
+                             static_cast<std::ptrdiff_t>(pos +
+                                                         kFrameHeaderSize),
+                         buf_.begin() +
+                             static_cast<std::ptrdiff_t>(pos + total -
+                                                         kFrameCrcSize));
+        ready_.push_back(std::move(f));
+        ++framesDecoded_;
+        pos += total;
+    }
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+} // namespace insure::service

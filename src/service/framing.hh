@@ -1,0 +1,151 @@
+/**
+ * @file
+ * CRC16-framed byte-stream protocol for the digital-twin service.
+ *
+ * Modbus RTU delimits frames with silent line time, which does not
+ * survive a stream transport (TCP, in-memory pipes). The service layer
+ * therefore wraps every message in an explicit frame:
+ *
+ *   +------+------+--------+--------+----------------+--------+--------+
+ *   | 0xA5 | type | len lo | len hi | payload (len)  | crc lo | crc hi |
+ *   +------+------+--------+--------+----------------+--------+--------+
+ *
+ *  - sync byte 0xA5 marks a frame-start candidate;
+ *  - type identifies the payload grammar (FrameType);
+ *  - len is the payload length, little-endian, at most kMaxFramePayload;
+ *  - crc is CRC-16/Modbus (reflected 0xA001 polynomial, init 0xFFFF —
+ *    the same telemetry::modbusCrc16 the PLC link uses) over type, len
+ *    and payload, transmitted low byte first like Modbus RTU.
+ *
+ * The FrameDecoder is incremental and resynchronising: bytes arrive in
+ * arbitrary fragments, garbage between frames is skipped, and a frame
+ * candidate failing its CRC (or declaring an oversized length) causes a
+ * rescan from the byte after the sync candidate. A corrupted frame can
+ * therefore never desynchronise the stream permanently: every intact
+ * frame later in the stream is still recovered. All failures are
+ * fail-loud through counters — the decoder itself never throws and
+ * never crashes on malformed input.
+ */
+
+#ifndef INSURE_SERVICE_FRAMING_HH
+#define INSURE_SERVICE_FRAMING_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace insure::service {
+
+/** Frame-start sync byte. */
+inline constexpr std::uint8_t kFrameSync = 0xA5;
+
+/** Header bytes before the payload: sync, type, len lo, len hi. */
+inline constexpr std::size_t kFrameHeaderSize = 4;
+
+/** Trailing CRC bytes. */
+inline constexpr std::size_t kFrameCrcSize = 2;
+
+/**
+ * Maximum payload length. A full 125-register Modbus read response is
+ * 255 bytes; what-if replies are smaller. The cap bounds decoder memory
+ * and makes a corrupted length field fail fast instead of waiting for
+ * megabytes that never arrive.
+ */
+inline constexpr std::size_t kMaxFramePayload = 4096;
+
+/** Payload grammar carried by a frame. */
+enum class FrameType : std::uint8_t {
+    /** A raw Modbus RTU ADU (request or response, with its own CRC). */
+    ModbusAdu = 0x01,
+    /** A what-if query (service/query.hh encoding). */
+    WhatIfQuery = 0x02,
+    /** A what-if reply (service/query.hh encoding). */
+    WhatIfReply = 0x03,
+    /** A service-level error report (service/query.hh encoding). */
+    Error = 0x7F,
+};
+
+/** One decoded frame. */
+struct Frame {
+    FrameType type = FrameType::Error;
+    std::vector<std::uint8_t> payload;
+
+    bool
+    operator==(const Frame &o) const
+    {
+        return type == o.type && payload == o.payload;
+    }
+};
+
+/** Encode @p payload as a framed message of @p type. */
+std::vector<std::uint8_t> encodeFrame(FrameType type,
+                                      const std::uint8_t *payload,
+                                      std::size_t len);
+
+/** Convenience overload. */
+inline std::vector<std::uint8_t>
+encodeFrame(FrameType type, const std::vector<std::uint8_t> &payload)
+{
+    return encodeFrame(type, payload.data(), payload.size());
+}
+
+/**
+ * Incremental frame decoder. Feed byte fragments as they arrive, drain
+ * completed frames with next(). Malformed input is counted, skipped and
+ * resynchronised — never thrown and never fatal.
+ */
+class FrameDecoder
+{
+  public:
+    /** Append @p len raw bytes from the stream and parse. */
+    void feed(const std::uint8_t *data, std::size_t len);
+
+    /** Convenience overload. */
+    void feed(const std::vector<std::uint8_t> &bytes)
+    {
+        feed(bytes.data(), bytes.size());
+    }
+
+    /** Pop the next completed frame, if any. */
+    std::optional<Frame> next();
+
+    /** Completed frames waiting in the queue. */
+    std::size_t pending() const { return ready_.size(); }
+
+    /** Frames decoded successfully so far. */
+    std::uint64_t framesDecoded() const { return framesDecoded_; }
+
+    /** Sync candidates rejected by the CRC check. */
+    std::uint64_t crcErrors() const { return crcErrors_; }
+
+    /** Sync candidates rejected for an oversized declared length. */
+    std::uint64_t oversizedFrames() const { return oversized_; }
+
+    /**
+     * Byte-level resynchronisations: one per rejected sync candidate
+     * (crcErrors() + oversizedFrames()).
+     */
+    std::uint64_t resyncs() const { return resyncs_; }
+
+    /** Non-sync garbage bytes skipped between frames. */
+    std::uint64_t skippedBytes() const { return skipped_; }
+
+    /** Bytes buffered awaiting a complete frame (bounded). */
+    std::size_t buffered() const { return buf_.size(); }
+
+  private:
+    void parse();
+
+    std::vector<std::uint8_t> buf_;
+    std::deque<Frame> ready_;
+    std::uint64_t framesDecoded_ = 0;
+    std::uint64_t crcErrors_ = 0;
+    std::uint64_t oversized_ = 0;
+    std::uint64_t resyncs_ = 0;
+    std::uint64_t skipped_ = 0;
+};
+
+} // namespace insure::service
+
+#endif // INSURE_SERVICE_FRAMING_HH

@@ -1,0 +1,182 @@
+#include "service/query.hh"
+
+#include <cmath>
+
+#include "snapshot/archive.hh"
+
+namespace insure::service {
+
+namespace {
+
+/** Wire version of the query/reply encodings. */
+constexpr std::uint32_t kQueryVersion = 1;
+
+std::vector<std::uint8_t>
+toBytes(const snapshot::Archive &ar)
+{
+    const std::string &p = ar.payload();
+    return {p.begin(), p.end()};
+}
+
+snapshot::Archive
+fromBytes(const std::vector<std::uint8_t> &payload)
+{
+    return snapshot::Archive::forLoad(
+        std::string(payload.begin(), payload.end()));
+}
+
+void
+requireFinite(double v, const char *field)
+{
+    if (!std::isfinite(v))
+        throw snapshot::SnapshotError(
+            std::string("what-if: non-finite field ") + field);
+}
+
+void
+putOptF64(snapshot::Archive &ar, const std::optional<double> &v)
+{
+    ar.putBool(v.has_value());
+    if (v)
+        ar.putF64(*v);
+}
+
+std::optional<double>
+getOptF64(snapshot::Archive &ar, const char *field)
+{
+    if (!ar.getBool())
+        return std::nullopt;
+    const double v = ar.getF64();
+    requireFinite(v, field);
+    return v;
+}
+
+void
+requireDrained(snapshot::Archive &ar, const char *what)
+{
+    if (ar.remaining() != 0)
+        throw snapshot::SnapshotError(
+            std::string("what-if: trailing bytes after ") + what);
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+WhatIfQuery::encode() const
+{
+    auto ar = snapshot::Archive::forSave();
+    ar.section("whatif_query");
+    ar.putU32(kQueryVersion);
+    ar.putF64(horizonHours);
+    putOptF64(ar, dischargeBudgetAh);
+    putOptF64(ar, socFloor);
+    putOptF64(ar, chargedSoc);
+    ar.putBool(minEligible.has_value());
+    if (minEligible)
+        ar.putU32(*minEligible);
+    return toBytes(ar);
+}
+
+WhatIfQuery
+WhatIfQuery::decode(const std::vector<std::uint8_t> &payload)
+{
+    auto ar = fromBytes(payload);
+    ar.section("whatif_query");
+    if (ar.getU32() != kQueryVersion)
+        throw snapshot::SnapshotError("what-if: unknown query version");
+    WhatIfQuery q;
+    q.horizonHours = ar.getF64();
+    requireFinite(q.horizonHours, "horizonHours");
+    if (q.horizonHours <= 0.0)
+        throw snapshot::SnapshotError("what-if: horizon must be positive");
+    q.dischargeBudgetAh = getOptF64(ar, "dischargeBudgetAh");
+    q.socFloor = getOptF64(ar, "socFloor");
+    q.chargedSoc = getOptF64(ar, "chargedSoc");
+    if (ar.getBool())
+        q.minEligible = ar.getU32();
+    requireDrained(ar, "query");
+    return q;
+}
+
+void
+WhatIfQuery::applyTo(core::ExperimentConfig &cfg) const
+{
+    if (dischargeBudgetAh)
+        cfg.insure.spatial.lifetimeDischargeAh = *dischargeBudgetAh;
+    if (socFloor)
+        cfg.insure.temporal.socFloor = *socFloor;
+    if (chargedSoc)
+        cfg.insure.chargedSoc = *chargedSoc;
+    if (minEligible)
+        cfg.insure.spatial.minEligible = *minEligible;
+}
+
+std::vector<std::uint8_t>
+WhatIfReply::encode() const
+{
+    auto ar = snapshot::Archive::forSave();
+    ar.section("whatif_reply");
+    ar.putU32(kQueryVersion);
+    ar.putF64(fromSeconds);
+    ar.putF64(simulatedHours);
+    ar.putF64(uptime);
+    ar.putF64(throughputGbPerHour);
+    ar.putF64(processedGb);
+    ar.putF64(greenUsedKwh);
+    ar.putF64(loadKwh);
+    ar.putF64(secondaryKwh);
+    ar.putF64(bufferThroughputAh);
+    ar.putF64(endMeanSoc);
+    ar.putU64(bufferTrips);
+    ar.putU64(powerFailures);
+    return toBytes(ar);
+}
+
+WhatIfReply
+WhatIfReply::decode(const std::vector<std::uint8_t> &payload)
+{
+    auto ar = fromBytes(payload);
+    ar.section("whatif_reply");
+    if (ar.getU32() != kQueryVersion)
+        throw snapshot::SnapshotError("what-if: unknown reply version");
+    WhatIfReply r;
+    r.fromSeconds = ar.getF64();
+    r.simulatedHours = ar.getF64();
+    r.uptime = ar.getF64();
+    r.throughputGbPerHour = ar.getF64();
+    r.processedGb = ar.getF64();
+    r.greenUsedKwh = ar.getF64();
+    r.loadKwh = ar.getF64();
+    r.secondaryKwh = ar.getF64();
+    r.bufferThroughputAh = ar.getF64();
+    r.endMeanSoc = ar.getF64();
+    r.bufferTrips = ar.getU64();
+    r.powerFailures = ar.getU64();
+    requireDrained(ar, "reply");
+    return r;
+}
+
+std::vector<std::uint8_t>
+ServiceError::encode() const
+{
+    auto ar = snapshot::Archive::forSave();
+    ar.section("service_error");
+    ar.putEnum(code);
+    ar.putStr(message);
+    return toBytes(ar);
+}
+
+ServiceError
+ServiceError::decode(const std::vector<std::uint8_t> &payload)
+{
+    auto ar = fromBytes(payload);
+    ar.section("service_error");
+    ServiceError e;
+    e.code = ar.getEnum<ServiceErrorCode>(
+        static_cast<std::uint32_t>(ServiceErrorCode::QueryExecutionFailed));
+    e.message = ar.getStr();
+    requireDrained(ar, "error");
+    return e;
+}
+
+} // namespace insure::service

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * What-if query grammar for the digital-twin service.
+ *
+ * A what-if query asks the twin: "from the plant's current state, what
+ * happens over the next H hours if the policy knobs were set to X?"
+ * The server answers by forking a snapshot of the live simulation,
+ * applying the overrides to a copy of the run config (policy values
+ * only — nothing that changes the construction sequence or snapshot
+ * layout), stepping the fork forward and summarising the outcome.
+ *
+ * Payload encoding reuses the snapshot::Archive byte grammar (section
+ * tags, bounds-checked reads): a malformed query fails loudly with a
+ * SnapshotError, which the server maps to an Error frame. The encoding
+ * is canonical — a query encodes to exactly one byte string — so the
+ * encoded bytes double as the result-cache key.
+ */
+
+#ifndef INSURE_SERVICE_QUERY_HH
+#define INSURE_SERVICE_QUERY_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace insure::service {
+
+/** Policy overrides + horizon for one what-if simulation. */
+struct WhatIfQuery {
+    /** Simulate this many hours forward from the snapshot. */
+    double horizonHours = 1.0;
+    /**
+     * Override of the SPM lifetime discharge budget DL, ampere-hours
+     * (scales the paper's daily discharge threshold δD).
+     */
+    std::optional<double> dischargeBudgetAh;
+    /** Override of the TPM shutdown SoC floor. */
+    std::optional<double> socFloor;
+    /** Override of the SoC at which charging cabinets reach standby. */
+    std::optional<double> chargedSoc;
+    /**
+     * Override of the minimum number of cabinets kept discharge-
+     * eligible when the SPM relaxes δD (the fast-reaction pool floor).
+     */
+    std::optional<unsigned> minEligible;
+
+    /** Canonical byte encoding (also the cache-key component). */
+    std::vector<std::uint8_t> encode() const;
+
+    /**
+     * Decode @p payload; throws snapshot::SnapshotError on malformed
+     * bytes, a non-finite/out-of-range field or trailing garbage.
+     */
+    static WhatIfQuery decode(const std::vector<std::uint8_t> &payload);
+
+    /**
+     * Apply the overrides to a copy of the live run config. Only
+     * policy *values* change: every field the snapshot fingerprint
+     * pins (seed, duration, manager, plant shape, tick) is untouched,
+     * so a live snapshot restores cleanly into the forked rig.
+     */
+    void applyTo(core::ExperimentConfig &cfg) const;
+
+    bool operator==(const WhatIfQuery &o) const = default;
+};
+
+/** Outcome summary of one what-if fork. */
+struct WhatIfReply {
+    /** Simulated time the fork started from, seconds. */
+    double fromSeconds = 0.0;
+    /** Hours actually simulated (clamped to the configured run end). */
+    double simulatedHours = 0.0;
+    /** Fraction of work-pending time the cluster was productive. */
+    double uptime = 0.0;
+    /** Data processed per hour, GB/h. */
+    double throughputGbPerHour = 0.0;
+    /** Total data completed, GB. */
+    double processedGb = 0.0;
+    /** Solar energy used (direct + stored), kWh. */
+    double greenUsedKwh = 0.0;
+    /** Server load energy, kWh. */
+    double loadKwh = 0.0;
+    /** Energy drawn from the secondary feed, kWh. */
+    double secondaryKwh = 0.0;
+    /** Ah pushed through the e-Buffer. */
+    double bufferThroughputAh = 0.0;
+    /** Mean buffer state of charge at the horizon. */
+    double endMeanSoc = 0.0;
+    /** Buffer protection trips during the fork. */
+    std::uint64_t bufferTrips = 0;
+    /** Rack power-loss events during the fork. */
+    std::uint64_t powerFailures = 0;
+
+    /** Canonical byte encoding. */
+    std::vector<std::uint8_t> encode() const;
+
+    /** Decode @p payload; throws snapshot::SnapshotError when malformed. */
+    static WhatIfReply decode(const std::vector<std::uint8_t> &payload);
+
+    bool operator==(const WhatIfReply &o) const = default;
+};
+
+/** Service-level error codes carried in Error frames. */
+enum class ServiceErrorCode : std::uint32_t {
+    /** Frame type byte not in the FrameType grammar. */
+    UnknownFrameType = 1,
+    /** What-if payload failed to decode. */
+    MalformedQuery = 2,
+    /**
+     * The Modbus ADU produced no response (bad inner CRC or a unit id
+     * the twin's PLC does not answer for). On a multi-drop serial line
+     * this is silence; a request/reply stream reports it explicitly.
+     */
+    NoModbusResponse = 3,
+    /** The what-if fork itself failed (snapshot/config mismatch). */
+    QueryExecutionFailed = 4,
+};
+
+/** Error payload: code + human-readable detail. */
+struct ServiceError {
+    ServiceErrorCode code = ServiceErrorCode::UnknownFrameType;
+    std::string message;
+
+    std::vector<std::uint8_t> encode() const;
+    static ServiceError decode(const std::vector<std::uint8_t> &payload);
+};
+
+} // namespace insure::service
+
+#endif // INSURE_SERVICE_QUERY_HH

@@ -1,0 +1,219 @@
+#include "service/transport.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace insure::service {
+
+namespace {
+
+/**
+ * One direction of the loopback pipe: a byte queue plus its lock. The
+ * writer appends, the reader drains; closed is sticky and wakes any
+ * blocked reader.
+ */
+struct PipeHalf {
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<std::uint8_t> q;
+    bool closed = false;
+};
+
+class LoopbackStream : public ByteStream
+{
+  public:
+    LoopbackStream(std::shared_ptr<PipeHalf> tx,
+                   std::shared_ptr<PipeHalf> rx, std::size_t maxChunk)
+        : tx_(std::move(tx)), rx_(std::move(rx)), maxChunk_(maxChunk)
+    {
+    }
+
+    ~LoopbackStream() override { close(); }
+
+    bool
+    send(const std::uint8_t *data, std::size_t len) override
+    {
+        std::lock_guard<std::mutex> lock(tx_->m);
+        if (tx_->closed)
+            return false;
+        tx_->q.insert(tx_->q.end(), data, data + len);
+        tx_->cv.notify_all();
+        return true;
+    }
+
+    std::size_t
+    receive(std::uint8_t *buf, std::size_t cap) override
+    {
+        std::unique_lock<std::mutex> lock(rx_->m);
+        rx_->cv.wait(lock, [&] { return !rx_->q.empty() || rx_->closed; });
+        if (rx_->q.empty())
+            return 0; // closed and drained
+        std::size_t n = std::min(cap, rx_->q.size());
+        if (maxChunk_ > 0)
+            n = std::min(n, maxChunk_);
+        std::copy_n(rx_->q.begin(), n, buf);
+        rx_->q.erase(rx_->q.begin(),
+                     rx_->q.begin() + static_cast<std::ptrdiff_t>(n));
+        return n;
+    }
+
+    void
+    close() override
+    {
+        for (const auto &half : {tx_, rx_}) {
+            std::lock_guard<std::mutex> lock(half->m);
+            half->closed = true;
+            half->cv.notify_all();
+        }
+    }
+
+  private:
+    std::shared_ptr<PipeHalf> tx_;
+    std::shared_ptr<PipeHalf> rx_;
+    std::size_t maxChunk_;
+};
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    throw std::runtime_error("service: " + what + ": " +
+                             std::strerror(errno));
+}
+
+/** A connected TCP socket owned by the stream. */
+class TcpStream : public ByteStream
+{
+  public:
+    explicit TcpStream(int fd) : fd_(fd) {}
+
+    ~TcpStream() override { close(); }
+
+    bool
+    send(const std::uint8_t *data, std::size_t len) override
+    {
+        std::size_t sent = 0;
+        while (sent < len) {
+            const ssize_t n = ::send(fd_, data + sent, len - sent,
+                                     MSG_NOSIGNAL);
+            if (n <= 0)
+                return false;
+            sent += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    std::size_t
+    receive(std::uint8_t *buf, std::size_t cap) override
+    {
+        const ssize_t n = ::recv(fd_, buf, cap, 0);
+        return n > 0 ? static_cast<std::size_t>(n) : 0;
+    }
+
+    void
+    close() override
+    {
+        if (fd_ >= 0) {
+            ::shutdown(fd_, SHUT_RDWR);
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+  private:
+    int fd_;
+};
+
+} // namespace
+
+std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>>
+makeLoopbackPair(std::size_t maxChunk)
+{
+    auto ab = std::make_shared<PipeHalf>();
+    auto ba = std::make_shared<PipeHalf>();
+    return {std::make_unique<LoopbackStream>(ab, ba, maxChunk),
+            std::make_unique<LoopbackStream>(ba, ab, maxChunk)};
+}
+
+std::unique_ptr<ByteStream>
+tcpConnect(const std::string &host, std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw std::runtime_error("service: bad address " + host);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
+        0) {
+        const int err = errno;
+        ::close(fd);
+        errno = err;
+        throwErrno("connect");
+    }
+    return std::make_unique<TcpStream>(fd);
+}
+
+TcpListener::TcpListener(std::uint16_t port)
+{
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        throwErrno("socket");
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd_, reinterpret_cast<sockaddr *>(&addr), sizeof addr) < 0 ||
+        ::listen(fd_, 16) < 0) {
+        const int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        errno = err;
+        throwErrno("bind/listen");
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd_, reinterpret_cast<sockaddr *>(&addr), &len) < 0)
+        throwErrno("getsockname");
+    port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+std::unique_ptr<ByteStream>
+TcpListener::accept()
+{
+    if (fd_ < 0)
+        return nullptr;
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0)
+        return nullptr; // listener closed mid-accept
+    return std::make_unique<TcpStream>(client);
+}
+
+void
+TcpListener::close()
+{
+    if (fd_ >= 0) {
+        ::shutdown(fd_, SHUT_RDWR);
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace insure::service

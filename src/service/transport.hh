@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Byte-stream transports for the digital-twin service.
+ *
+ * The service is framed over an abstract full-duplex byte stream so the
+ * same server/client code runs over an in-memory loopback pipe (tests
+ * and deterministic benches: no sockets, no kernel timing) and a plain
+ * TCP connection (a real long-running service). Streams deliver bytes
+ * in order but with arbitrary fragmentation — the frame decoder, not
+ * the transport, reassembles messages.
+ */
+
+#ifndef INSURE_SERVICE_TRANSPORT_HH
+#define INSURE_SERVICE_TRANSPORT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace insure::service {
+
+/** A full-duplex, ordered, fragmenting byte stream. */
+class ByteStream
+{
+  public:
+    virtual ~ByteStream() = default;
+
+    /**
+     * Write all @p len bytes to the peer.
+     * @return false when the peer has closed (bytes discarded).
+     */
+    virtual bool send(const std::uint8_t *data, std::size_t len) = 0;
+
+    /** Convenience overload. */
+    bool send(const std::vector<std::uint8_t> &bytes)
+    {
+        return send(bytes.data(), bytes.size());
+    }
+
+    /**
+     * Block until at least one byte is available, then read up to
+     * @p cap bytes. @return the number of bytes read; 0 once the peer
+     * has closed and every buffered byte has been drained.
+     */
+    virtual std::size_t receive(std::uint8_t *buf, std::size_t cap) = 0;
+
+    /** Close both directions (idempotent; unblocks pending receives). */
+    virtual void close() = 0;
+};
+
+/**
+ * Create a connected in-memory stream pair: bytes sent on one endpoint
+ * are received on the other. Thread-safe; both endpoints may be driven
+ * from different threads. @p maxChunk, when non-zero, caps the bytes a
+ * single receive() returns — it deliberately fragments delivery so
+ * tests exercise frame reassembly across arbitrary split points.
+ */
+std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>>
+makeLoopbackPair(std::size_t maxChunk = 0);
+
+/** A connected TCP stream (client side or accepted server side). */
+std::unique_ptr<ByteStream> tcpConnect(const std::string &host,
+                                       std::uint16_t port);
+
+/**
+ * A listening TCP socket on 127.0.0.1. Construct with port 0 for an
+ * ephemeral port (see port()). Throws std::runtime_error when the
+ * socket cannot be created or bound (e.g. a sandboxed environment).
+ */
+class TcpListener
+{
+  public:
+    explicit TcpListener(std::uint16_t port = 0);
+    ~TcpListener();
+
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    /** The bound port. */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Block until a client connects; null once the listener is closed.
+     */
+    std::unique_ptr<ByteStream> accept();
+
+    /** Stop listening (unblocks a pending accept with null). */
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+} // namespace insure::service
+
+#endif // INSURE_SERVICE_TRANSPORT_HH

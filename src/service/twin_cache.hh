@@ -1,0 +1,101 @@
+/**
+ * @file
+ * LRU result cache for what-if queries.
+ *
+ * Keyed by (snapshot fingerprint, canonical query bytes): the
+ * fingerprint is an FNV-1a hash of the complete serialized rig state,
+ * so ANY change to the live simulation — a tick advance, a register
+ * write through the service — changes the key and a stale result can
+ * never be served. Values are the canonical reply payload bytes, which
+ * are deterministic in the key, so concurrent fills of the same key
+ * write identical bytes. External synchronisation is the caller's job
+ * (the TwinServer holds its own mutex across cache calls).
+ */
+
+#ifndef INSURE_SERVICE_TWIN_CACHE_HH
+#define INSURE_SERVICE_TWIN_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace insure::service {
+
+/** Build the cache key for @p fingerprint + canonical query bytes. */
+inline std::string
+whatIfCacheKey(std::uint64_t fingerprint,
+               const std::vector<std::uint8_t> &queryBytes)
+{
+    std::string key(reinterpret_cast<const char *>(&fingerprint),
+                    sizeof fingerprint);
+    key.append(queryBytes.begin(), queryBytes.end());
+    return key;
+}
+
+/** A fixed-capacity least-recently-used map of reply payloads. */
+class WhatIfCache
+{
+  public:
+    /** @param capacity entries kept; 0 disables caching entirely. */
+    explicit WhatIfCache(std::size_t capacity) : capacity_(capacity) {}
+
+    /** Look up @p key, refreshing its recency on a hit. */
+    std::optional<std::vector<std::uint8_t>>
+    get(const std::string &key)
+    {
+        const auto it = index_.find(key);
+        if (it == index_.end()) {
+            ++misses_;
+            return std::nullopt;
+        }
+        ++hits_;
+        mru_.splice(mru_.begin(), mru_, it->second);
+        return it->second->second;
+    }
+
+    /** Insert @p value under @p key, evicting the LRU entry if full. */
+    void
+    put(const std::string &key, std::vector<std::uint8_t> value)
+    {
+        if (capacity_ == 0)
+            return;
+        const auto it = index_.find(key);
+        if (it != index_.end()) {
+            // Deterministic refill of an existing key (two concurrent
+            // misses): the bytes are identical, just refresh recency.
+            mru_.splice(mru_.begin(), mru_, it->second);
+            return;
+        }
+        mru_.emplace_front(key, std::move(value));
+        index_[key] = mru_.begin();
+        if (mru_.size() > capacity_) {
+            index_.erase(mru_.back().first);
+            mru_.pop_back();
+            ++evictions_;
+        }
+    }
+
+    std::size_t size() const { return mru_.size(); }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+
+  private:
+    std::size_t capacity_;
+    std::list<std::pair<std::string, std::vector<std::uint8_t>>> mru_;
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<std::string,
+                            std::vector<std::uint8_t>>>::iterator>
+        index_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace insure::service
+
+#endif // INSURE_SERVICE_TWIN_CACHE_HH

@@ -1,0 +1,88 @@
+#include "service/twin_client.hh"
+
+#include "snapshot/archive.hh"
+
+namespace insure::service {
+
+namespace mb = telemetry::modbus;
+
+TwinClient::TwinClient(ByteStream &stream, std::uint8_t unitId)
+    : stream_(stream), unitId_(unitId)
+{
+}
+
+Frame
+TwinClient::exchange(FrameType type, const std::vector<std::uint8_t> &payload)
+{
+    if (!stream_.send(encodeFrame(type, payload)))
+        throw TwinClientError("twin client: connection closed on send");
+    std::uint8_t buf[4096];
+    for (;;) {
+        if (auto frame = decoder_.next()) {
+            if (frame->type == FrameType::Error) {
+                ServiceError err = ServiceError::decode(frame->payload);
+                throw TwinClientError("twin service error " +
+                                      std::to_string(static_cast<unsigned>(
+                                          err.code)) +
+                                      ": " + err.message);
+            }
+            return *frame;
+        }
+        const std::size_t n = stream_.receive(buf, sizeof buf);
+        if (n == 0)
+            throw TwinClientError("twin client: connection closed "
+                                  "awaiting reply");
+        decoder_.feed(buf, n);
+    }
+}
+
+telemetry::ModbusResponse
+TwinClient::modbus(const std::vector<std::uint8_t> &adu)
+{
+    const Frame reply = exchange(FrameType::ModbusAdu, adu);
+    if (reply.type != FrameType::ModbusAdu)
+        throw TwinClientError("twin client: unexpected reply frame type");
+    auto resp = mb::decodeResponse(reply.payload);
+    if (!resp)
+        throw TwinClientError("twin client: undecodable modbus response");
+    return *resp;
+}
+
+std::vector<std::uint16_t>
+TwinClient::readRegisters(std::uint16_t addr, std::uint16_t count)
+{
+    const telemetry::ModbusResponse resp =
+        modbus(mb::encodeReadRequest(unitId_, addr, count));
+    if (resp.isException())
+        throw TwinClientError(
+            "twin client: modbus exception " +
+            std::to_string(static_cast<unsigned>(*resp.exception)));
+    return resp.values;
+}
+
+void
+TwinClient::writeRegister(std::uint16_t addr, std::uint16_t value)
+{
+    const telemetry::ModbusResponse resp =
+        modbus(mb::encodeWriteSingleRequest(unitId_, addr, value));
+    if (resp.isException())
+        throw TwinClientError(
+            "twin client: modbus exception " +
+            std::to_string(static_cast<unsigned>(*resp.exception)));
+}
+
+WhatIfReply
+TwinClient::whatIf(const WhatIfQuery &query)
+{
+    const Frame reply = exchange(FrameType::WhatIfQuery, query.encode());
+    if (reply.type != FrameType::WhatIfReply)
+        throw TwinClientError("twin client: unexpected reply frame type");
+    try {
+        return WhatIfReply::decode(reply.payload);
+    } catch (const snapshot::SnapshotError &e) {
+        throw TwinClientError(std::string("twin client: bad reply: ") +
+                              e.what());
+    }
+}
+
+} // namespace insure::service

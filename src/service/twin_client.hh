@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Blocking request/reply client for the digital-twin service.
+ *
+ * Wraps a ByteStream with frame encoding/decoding and the two service
+ * verbs: Modbus register access against the live twin and what-if
+ * queries. One client per stream; calls are blocking and must not be
+ * issued concurrently on the same client (use one connection per
+ * client thread — the server side is fully concurrent).
+ */
+
+#ifndef INSURE_SERVICE_TWIN_CLIENT_HH
+#define INSURE_SERVICE_TWIN_CLIENT_HH
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "service/framing.hh"
+#include "service/query.hh"
+#include "service/transport.hh"
+#include "telemetry/modbus.hh"
+
+namespace insure::service {
+
+/** Thrown on transport EOF, an Error frame, or a protocol violation. */
+class TwinClientError : public std::runtime_error
+{
+  public:
+    explicit TwinClientError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** A blocking client on one service connection. */
+class TwinClient
+{
+  public:
+    /**
+     * @param stream connected transport (not owned; must outlive the
+     *        client)
+     * @param unitId Modbus unit id of the twin's PLC endpoint
+     */
+    explicit TwinClient(ByteStream &stream, std::uint8_t unitId = 1);
+
+    /**
+     * Send one frame and block for the next reply frame. Error frames
+     * and transport failures raise TwinClientError.
+     */
+    Frame exchange(FrameType type, const std::vector<std::uint8_t> &payload);
+
+    /** Read @p count holding registers at @p addr from the live twin. */
+    std::vector<std::uint16_t> readRegisters(std::uint16_t addr,
+                                             std::uint16_t count);
+
+    /** Write one holding register on the live twin. */
+    void writeRegister(std::uint16_t addr, std::uint16_t value);
+
+    /** Run @p query against the twin and return the summary. */
+    WhatIfReply whatIf(const WhatIfQuery &query);
+
+    /**
+     * Exchange a raw Modbus ADU and return the decoded response —
+     * exception responses are returned, not thrown (the error-path
+     * tests inspect them). Throws only on transport/frame failures.
+     */
+    telemetry::ModbusResponse
+    modbus(const std::vector<std::uint8_t> &adu);
+
+  private:
+    ByteStream &stream_;
+    std::uint8_t unitId_;
+    FrameDecoder decoder_;
+};
+
+} // namespace insure::service
+
+#endif // INSURE_SERVICE_TWIN_CLIENT_HH

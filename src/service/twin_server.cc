@@ -1,0 +1,255 @@
+#include "service/twin_server.hh"
+
+#include <algorithm>
+
+#include "battery/battery_array.hh"
+#include "snapshot/archive.hh"
+#include "snapshot/snapshotter.hh"
+#include "sim/units.hh"
+
+namespace insure::service {
+
+namespace {
+
+/**
+ * Execute one what-if fork: rebuild a rig from the serving config with
+ * the query's overrides applied, restore the live snapshot into it,
+ * step to the horizon and summarise. Runs with no server lock held —
+ * everything it touches is private to the fork.
+ */
+WhatIfReply
+runFork(const core::ExperimentConfig &serveCfg, const std::string &snapshot,
+        const WhatIfQuery &query)
+{
+    core::ExperimentConfig cfg = serveCfg;
+    query.applyTo(cfg);
+    core::ExperimentRig fork(cfg);
+    snapshot::restoreRigState(fork, snapshot);
+
+    const Seconds from = fork.simulation().now();
+    const Seconds target =
+        std::min(cfg.duration, from + query.horizonHours * 3600.0);
+
+    // Additive outputs are reported as deltas over the fork window, so
+    // a reply describes what the next H hours would do, not the live
+    // run's history. Ratio metrics (uptime, throughput) are cumulative
+    // as of the horizon — the quantity an operator compares policies by.
+    const core::Metrics before = fork.plant().metrics();
+    const std::uint64_t failuresBefore = fork.plant().powerFailures();
+
+    fork.runUntil(target);
+    const double endSoc = fork.plant().array().meanSoc();
+    const std::uint64_t failuresAfter = fork.plant().powerFailures();
+    core::ExperimentResult res = fork.finish();
+
+    WhatIfReply reply;
+    reply.fromSeconds = from;
+    reply.simulatedHours = (target - from) / 3600.0;
+    reply.uptime = res.metrics.uptime;
+    reply.throughputGbPerHour = res.metrics.throughputGbPerHour;
+    reply.processedGb = res.metrics.processedGb - before.processedGb;
+    reply.greenUsedKwh = res.metrics.greenUsedKwh - before.greenUsedKwh;
+    reply.loadKwh = res.metrics.loadKwh - before.loadKwh;
+    reply.secondaryKwh = res.metrics.secondaryKwh - before.secondaryKwh;
+    reply.bufferThroughputAh =
+        res.metrics.bufferThroughputAh - before.bufferThroughputAh;
+    reply.endMeanSoc = endSoc;
+    reply.bufferTrips = res.metrics.bufferTrips - before.bufferTrips;
+    reply.powerFailures = failuresAfter - failuresBefore;
+    return reply;
+}
+
+} // namespace
+
+TwinServer::TwinServer(const core::ExperimentConfig &cfg,
+                       TwinServerOptions opts)
+    : cfg_(cfg), opts_(opts), rig_(cfg_),
+      slave_(opts.unitId, rig_.plant().registers()),
+      cache_(opts.cacheCapacity)
+{
+    // What-if forks rebuild a rig from cfg_ and restore the live
+    // snapshot into it. A raw (non-owning) observer pointer would make
+    // the fork attach — and loadState() onto — the LIVE run's observer
+    // object from a worker thread. Require the per-rig factory form.
+    if (cfg_.observer != nullptr)
+        throw snapshot::SnapshotError(
+            "TwinServer: use observerFactory, not a raw observer "
+            "pointer (what-if forks need a per-rig instance)");
+}
+
+Seconds
+TwinServer::now()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return rig_.simulation().now();
+}
+
+void
+TwinServer::advance(Seconds until)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const Seconds target = std::min(cfg_.duration, until);
+    if (target <= rig_.simulation().now())
+        return;
+    rig_.runUntil(target);
+    snapshot_.reset(); // live state moved: lazy snapshot is stale
+}
+
+void
+TwinServer::refreshSnapshotLocked()
+{
+    if (snapshot_)
+        return;
+    snapshot_ = std::make_shared<const std::string>(
+        snapshot::serializeRigState(rig_));
+    fingerprint_ = snapshot::rigStateFingerprint(*snapshot_);
+    ++stats_.snapshotsTaken;
+}
+
+std::uint64_t
+TwinServer::snapshotFingerprint()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    refreshSnapshotLocked();
+    return fingerprint_;
+}
+
+std::vector<std::uint8_t>
+TwinServer::errorFrame(ServiceErrorCode code, const std::string &message)
+{
+    ServiceError err;
+    err.code = code;
+    err.message = message;
+    return encodeFrame(FrameType::Error, err.encode());
+}
+
+std::vector<std::uint8_t>
+TwinServer::handleModbus(const Frame &frame)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.modbusFrames;
+    const std::vector<std::uint8_t> resp = slave_.service(frame.payload);
+    if (resp.empty()) {
+        // A serial slave answers bad-CRC or wrong-unit ADUs with
+        // silence; silence over a request/reply stream would hang the
+        // client, so report it as an explicit error frame instead.
+        ++stats_.errorFrames;
+        return errorFrame(ServiceErrorCode::NoModbusResponse,
+                          "modbus ADU produced no response "
+                          "(bad CRC or foreign unit id)");
+    }
+    // A successful write mutates the live register file, which is part
+    // of the serialized plant state: the lazy snapshot is now stale.
+    if (resp.size() >= 2) {
+        const std::uint8_t fn = resp[1];
+        if (fn == 0x06 || fn == 0x10)
+            snapshot_.reset();
+    }
+    return encodeFrame(FrameType::ModbusAdu, resp);
+}
+
+std::vector<std::uint8_t>
+TwinServer::handleWhatIf(const Frame &frame)
+{
+    WhatIfQuery query;
+    try {
+        query = WhatIfQuery::decode(frame.payload);
+    } catch (const snapshot::SnapshotError &e) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.errorFrames;
+        return errorFrame(ServiceErrorCode::MalformedQuery, e.what());
+    }
+    // Re-encode canonically: the cache key must not depend on how the
+    // client chose to phrase byte-identical semantics.
+    const std::vector<std::uint8_t> canonical = query.encode();
+
+    std::shared_ptr<const std::string> snap;
+    std::string key;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.whatIfQueries;
+        refreshSnapshotLocked();
+        snap = snapshot_;
+        key = whatIfCacheKey(fingerprint_, canonical);
+        if (auto cached = cache_.get(key)) {
+            ++stats_.cacheHits;
+            return encodeFrame(FrameType::WhatIfReply, *cached);
+        }
+        ++stats_.cacheMisses;
+    }
+
+    // The fork executes outside the lock: concurrent what-ifs overlap,
+    // and the live tick loop is never blocked behind a simulation.
+    std::vector<std::uint8_t> replyBytes;
+    try {
+        replyBytes = runFork(cfg_, *snap, query).encode();
+    } catch (const std::exception &e) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.errorFrames;
+        return errorFrame(ServiceErrorCode::QueryExecutionFailed, e.what());
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        cache_.put(key, replyBytes);
+    }
+    return encodeFrame(FrameType::WhatIfReply, replyBytes);
+}
+
+std::vector<std::uint8_t>
+TwinServer::handleFrame(const Frame &frame)
+{
+    switch (frame.type) {
+    case FrameType::ModbusAdu:
+        return handleModbus(frame);
+    case FrameType::WhatIfQuery:
+        return handleWhatIf(frame);
+    default: {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.errorFrames;
+        return errorFrame(ServiceErrorCode::UnknownFrameType,
+                          "frame type not servable by the twin");
+    }
+    }
+}
+
+void
+TwinServer::serveStream(ByteStream &stream)
+{
+    FrameDecoder decoder;
+    std::uint8_t buf[4096];
+    bool open = true;
+    while (open) {
+        const std::size_t n = stream.receive(buf, sizeof buf);
+        if (n == 0)
+            break;
+        decoder.feed(buf, n);
+        while (auto frame = decoder.next()) {
+            if (!stream.send(handleFrame(*frame))) {
+                open = false;
+                break;
+            }
+        }
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.streamCrcErrors += decoder.crcErrors();
+    stats_.streamResyncs += decoder.resyncs();
+    stats_.streamSkippedBytes += decoder.skippedBytes();
+}
+
+core::ExperimentResult
+TwinServer::finishLive()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    snapshot_.reset();
+    return rig_.finish();
+}
+
+TwinServerStats
+TwinServer::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+} // namespace insure::service

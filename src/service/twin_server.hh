@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The digital-twin query engine: a live simulation served over the
+ * framed transport.
+ *
+ * A TwinServer holds one ExperimentRig as the "live" plant. The owner
+ * advances it in tick chunks with advance() (the tick loop of a
+ * long-running service); any number of client handler threads
+ * concurrently call handleFrame() / serveStream() to answer:
+ *
+ *  - ModbusAdu frames: serviced against the live PLC register file by
+ *    a service-side ModbusSlave (separate from the plant's internal
+ *    PLC endpoint, so read traffic never mutates snapshotted state);
+ *  - WhatIfQuery frames: the server lazily serializes the live rig
+ *    between ticks (snapshot::serializeRigState), forks the payload
+ *    into a fresh rig with the query's policy overrides applied, steps
+ *    it to the horizon and replies with a WhatIfReply summary. Results
+ *    are cached under (snapshot fingerprint, query bytes): repeated
+ *    queries against an unchanged twin hit the cache; any tick advance
+ *    or register write changes the fingerprint, so a stale result can
+ *    never be served.
+ *
+ * Determinism: with the live clock standing still, every reply is a
+ * pure function of (rig state, request bytes) — a concurrent client
+ * mix produces byte-identical responses to a single-threaded replay of
+ * the same request log, which is exactly what the concurrency suite
+ * asserts. Fork execution runs outside the server lock, so what-if
+ * queries from different clients overlap; only snapshotting, register
+ * access and cache bookkeeping serialize.
+ */
+
+#ifndef INSURE_SERVICE_TWIN_SERVER_HH
+#define INSURE_SERVICE_TWIN_SERVER_HH
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/experiment.hh"
+#include "service/framing.hh"
+#include "service/query.hh"
+#include "service/transport.hh"
+#include "service/twin_cache.hh"
+#include "telemetry/modbus.hh"
+
+namespace insure::service {
+
+/** Tuning of a TwinServer. */
+struct TwinServerOptions {
+    /** Modbus unit id the service-side slave answers for. */
+    std::uint8_t unitId = 1;
+    /** What-if result cache capacity (entries; 0 disables). */
+    std::size_t cacheCapacity = 64;
+};
+
+/** Monotonic service counters (one consistent sample via stats()). */
+struct TwinServerStats {
+    /** Modbus ADU frames serviced (including exception responses). */
+    std::uint64_t modbusFrames = 0;
+    /** What-if queries answered (hits + misses). */
+    std::uint64_t whatIfQueries = 0;
+    /** What-if queries served from the result cache. */
+    std::uint64_t cacheHits = 0;
+    /** What-if queries that executed a fork. */
+    std::uint64_t cacheMisses = 0;
+    /** Error frames produced (malformed/unknown/unanswerable input). */
+    std::uint64_t errorFrames = 0;
+    /** Live-rig snapshots taken (lazy, at most one per quiescent state). */
+    std::uint64_t snapshotsTaken = 0;
+    /** Frame CRC failures across finished connections (serveStream). */
+    std::uint64_t streamCrcErrors = 0;
+    /** Decoder resyncs across finished connections. */
+    std::uint64_t streamResyncs = 0;
+    /** Inter-frame garbage bytes skipped across finished connections. */
+    std::uint64_t streamSkippedBytes = 0;
+};
+
+/** A live simulation served as a digital twin. */
+class TwinServer
+{
+  public:
+    /**
+     * Build the live rig from @p cfg. The config's duration is the
+     * serving horizon: advance() and what-if forks are clamped to it,
+     * so size it generously for a long-running twin.
+     */
+    explicit TwinServer(const core::ExperimentConfig &cfg,
+                        TwinServerOptions opts = {});
+
+    /** Current live simulated time, seconds. */
+    Seconds now();
+
+    /**
+     * Advance the live simulation to absolute time @p until (clamped
+     * to the configured duration). Single logical writer: call from
+     * one tick-loop thread. Takes the server lock for the whole chunk,
+     * so requests see tick-boundary states only.
+     */
+    void advance(Seconds until);
+
+    /**
+     * Service one decoded frame and return the encoded reply frame.
+     * Thread-safe; every request produces exactly one reply (malformed
+     * or unanswerable input yields an Error frame — fail-loud, never
+     * silence that would hang a blocking client).
+     */
+    std::vector<std::uint8_t> handleFrame(const Frame &frame);
+
+    /**
+     * Request/reply loop over @p stream until the peer closes. Run one
+     * call per connection, each on its own thread. Stream-level frame
+     * decoding is per-connection; decode counters merge into stats()
+     * when the connection ends.
+     */
+    void serveStream(ByteStream &stream);
+
+    /**
+     * Stop the clock and harvest the live run's outputs (golden
+     * checks). The server must not be advanced afterwards.
+     */
+    core::ExperimentResult finishLive();
+
+    /**
+     * Fingerprint of the current live state (takes the lazy snapshot
+     * if needed). Changes on every advance() and every register write.
+     */
+    std::uint64_t snapshotFingerprint();
+
+    /** One consistent sample of the service counters. */
+    TwinServerStats stats() const;
+
+    /** The live rig (test and bench inspection). */
+    core::ExperimentRig &rig() { return rig_; }
+    const core::ExperimentRig &rig() const { return rig_; }
+
+    /** The serving config (what-if forks derive from it). */
+    const core::ExperimentConfig &config() const { return cfg_; }
+
+  private:
+    /** Ensure snapshot_/fingerprint_ reflect the live state (locked). */
+    void refreshSnapshotLocked();
+
+    std::vector<std::uint8_t> handleModbus(const Frame &frame);
+    std::vector<std::uint8_t> handleWhatIf(const Frame &frame);
+    std::vector<std::uint8_t> errorFrame(ServiceErrorCode code,
+                                         const std::string &message);
+
+    core::ExperimentConfig cfg_;
+    TwinServerOptions opts_;
+
+    mutable std::mutex mu_;
+    core::ExperimentRig rig_;
+    telemetry::ModbusSlave slave_;
+    std::shared_ptr<const std::string> snapshot_; // null when stale
+    std::uint64_t fingerprint_ = 0;
+    WhatIfCache cache_;
+    TwinServerStats stats_;
+};
+
+} // namespace insure::service
+
+#endif // INSURE_SERVICE_TWIN_SERVER_HH

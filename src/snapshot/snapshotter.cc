@@ -103,6 +103,32 @@ loadRigSnapshot(core::ExperimentRig &rig, const std::string &path)
                             "(snapshot and code disagree on the layout)");
 }
 
+std::string
+serializeRigState(const core::ExperimentRig &rig)
+{
+    Archive ar = Archive::forSave();
+    putFingerprint(ar, rig.config());
+    rig.save(ar);
+    return ar.payload();
+}
+
+void
+restoreRigState(core::ExperimentRig &rig, const std::string &payload)
+{
+    Archive ar = Archive::forLoad(payload);
+    checkFingerprint(ar, rig.config());
+    rig.load(ar);
+    if (ar.remaining() != 0)
+        throw SnapshotError("snapshot: trailing bytes after restore "
+                            "(snapshot and code disagree on the layout)");
+}
+
+std::uint64_t
+rigStateFingerprint(const std::string &payload)
+{
+    return fnv1a(payload.data(), payload.size());
+}
+
 core::ExperimentResult
 runCheckpointed(const core::ExperimentConfig &cfg,
                 const CheckpointOptions &opts)

@@ -43,6 +43,28 @@ void saveRigSnapshot(const core::ExperimentRig &rig, const std::string &path);
  */
 void loadRigSnapshot(core::ExperimentRig &rig, const std::string &path);
 
+/**
+ * Serialize @p rig's complete run state (fingerprint-prefixed, exactly
+ * the file payload) into an in-memory byte string — the fork primitive
+ * of the digital-twin service: the live server snapshots between tick
+ * chunks and what-if workers restore the payload into fresh rigs
+ * without touching the filesystem. Call only between runUntil() chunks.
+ */
+std::string serializeRigState(const core::ExperimentRig &rig);
+
+/**
+ * Restore an in-memory payload produced by serializeRigState into
+ * @p rig, freshly constructed from a config whose fingerprinted fields
+ * (seed, duration, manager, day, plant shape, recordTrace, tick) match
+ * the writer's — policy tuning values may differ, which is how what-if
+ * forks explore overrides. Throws SnapshotError on mismatch or
+ * corruption.
+ */
+void restoreRigState(core::ExperimentRig &rig, const std::string &payload);
+
+/** FNV-1a fingerprint of a serialized rig state (the cache key). */
+std::uint64_t rigStateFingerprint(const std::string &payload);
+
 /** Checkpoint cadence and hooks for a checkpointed run. */
 struct CheckpointOptions {
     /** Checkpoint file. Empty disables checkpointing (plain chunked run). */

@@ -22,6 +22,26 @@ modbusCrc16(const std::uint8_t *data, std::size_t len)
 
 namespace modbus {
 
+void
+appendCrc(std::vector<std::uint8_t> &frame)
+{
+    const std::uint16_t crc = modbusCrc16(frame.data(), frame.size());
+    // CRC is transmitted low byte first.
+    frame.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+    frame.push_back(static_cast<std::uint8_t>(crc >> 8));
+}
+
+bool
+checkCrc(const std::uint8_t *frame, std::size_t len)
+{
+    if (len < 4)
+        return false;
+    const std::uint16_t expect = modbusCrc16(frame, len - 2);
+    const std::uint16_t got = static_cast<std::uint16_t>(
+        frame[len - 2] | (frame[len - 1] << 8));
+    return expect == got;
+}
+
 namespace {
 
 void
@@ -35,27 +55,6 @@ std::uint16_t
 readU16(const std::vector<std::uint8_t> &in, std::size_t pos)
 {
     return static_cast<std::uint16_t>((in[pos] << 8) | in[pos + 1]);
-}
-
-void
-appendCrc(std::vector<std::uint8_t> &frame)
-{
-    const std::uint16_t crc = modbusCrc16(frame.data(), frame.size());
-    // CRC is transmitted low byte first.
-    frame.push_back(static_cast<std::uint8_t>(crc & 0xFF));
-    frame.push_back(static_cast<std::uint8_t>(crc >> 8));
-}
-
-bool
-checkCrc(const std::vector<std::uint8_t> &frame)
-{
-    if (frame.size() < 4)
-        return false;
-    const std::uint16_t expect =
-        modbusCrc16(frame.data(), frame.size() - 2);
-    const std::uint16_t got = static_cast<std::uint16_t>(
-        frame[frame.size() - 2] | (frame[frame.size() - 1] << 8));
-    return expect == got;
 }
 
 } // namespace
@@ -212,9 +211,7 @@ ModbusSlave::service(const std::vector<std::uint8_t> &frame)
             unit_, static_cast<std::uint8_t>(
                        static_cast<std::uint8_t>(req->function) | 0x80),
             static_cast<std::uint8_t>(code)};
-        const std::uint16_t crc = modbusCrc16(f.data(), f.size());
-        f.push_back(static_cast<std::uint8_t>(crc & 0xFF));
-        f.push_back(static_cast<std::uint8_t>(crc >> 8));
+        mb::appendCrc(f);
         return f;
     };
 
@@ -231,9 +228,7 @@ ModbusSlave::service(const std::vector<std::uint8_t> &frame)
             f.push_back(static_cast<std::uint8_t>(v >> 8));
             f.push_back(static_cast<std::uint8_t>(v & 0xFF));
         }
-        const std::uint16_t crc = modbusCrc16(f.data(), f.size());
-        f.push_back(static_cast<std::uint8_t>(crc & 0xFF));
-        f.push_back(static_cast<std::uint8_t>(crc >> 8));
+        mb::appendCrc(f);
         return f;
       }
       case ModbusFunction::WriteSingleRegister: {
@@ -255,9 +250,7 @@ ModbusSlave::service(const std::vector<std::uint8_t> &frame)
         f.push_back(static_cast<std::uint8_t>(req->address & 0xFF));
         f.push_back(static_cast<std::uint8_t>(req->count >> 8));
         f.push_back(static_cast<std::uint8_t>(req->count & 0xFF));
-        const std::uint16_t crc = modbusCrc16(f.data(), f.size());
-        f.push_back(static_cast<std::uint8_t>(crc & 0xFF));
-        f.push_back(static_cast<std::uint8_t>(crc >> 8));
+        mb::appendCrc(f);
         return f;
       }
       default:

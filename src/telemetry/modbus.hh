@@ -66,6 +66,19 @@ std::uint16_t modbusCrc16(const std::uint8_t *data, std::size_t len);
 /** Frame encoding/decoding. */
 namespace modbus {
 
+/** Append the RTU CRC (transmitted low byte first) to a frame body. */
+void appendCrc(std::vector<std::uint8_t> &frame);
+
+/** True when the trailing two bytes are the CRC of the preceding body. */
+bool checkCrc(const std::uint8_t *frame, std::size_t len);
+
+/** Convenience overload. */
+inline bool
+checkCrc(const std::vector<std::uint8_t> &frame)
+{
+    return checkCrc(frame.data(), frame.size());
+}
+
 /** Encode a read-holding-registers request. */
 std::vector<std::uint8_t> encodeReadRequest(std::uint8_t unit,
                                             std::uint16_t addr,

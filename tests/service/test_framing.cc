@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit tests for the CRC16 frame codec and the resynchronising
+ * incremental decoder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "service/framing.hh"
+#include "telemetry/modbus.hh"
+
+namespace insure::service {
+namespace {
+
+std::vector<std::uint8_t>
+bytes(std::initializer_list<int> v)
+{
+    return {v.begin(), v.end()};
+}
+
+TEST(Framing, EncodeLayout)
+{
+    const auto payload = bytes({0x01, 0x02, 0x03});
+    const auto f = encodeFrame(FrameType::ModbusAdu, payload);
+    ASSERT_EQ(f.size(), kFrameHeaderSize + 3 + kFrameCrcSize);
+    EXPECT_EQ(f[0], kFrameSync);
+    EXPECT_EQ(f[1], static_cast<std::uint8_t>(FrameType::ModbusAdu));
+    EXPECT_EQ(f[2], 3); // len lo
+    EXPECT_EQ(f[3], 0); // len hi
+    EXPECT_EQ(f[4], 0x01);
+    // CRC covers type + len + payload, transmitted low byte first.
+    const std::uint16_t crc = telemetry::modbusCrc16(f.data() + 1, 6);
+    EXPECT_EQ(f[7], crc & 0xFF);
+    EXPECT_EQ(f[8], crc >> 8);
+}
+
+TEST(Framing, RoundTripAllTypes)
+{
+    for (const FrameType t :
+         {FrameType::ModbusAdu, FrameType::WhatIfQuery, FrameType::WhatIfReply,
+          FrameType::Error}) {
+        const auto payload = bytes({0xDE, 0xAD, 0xBE, 0xEF});
+        FrameDecoder dec;
+        dec.feed(encodeFrame(t, payload));
+        const auto f = dec.next();
+        ASSERT_TRUE(f.has_value());
+        EXPECT_EQ(f->type, t);
+        EXPECT_EQ(f->payload, payload);
+        EXPECT_FALSE(dec.next().has_value());
+    }
+}
+
+TEST(Framing, EmptyPayload)
+{
+    FrameDecoder dec;
+    dec.feed(encodeFrame(FrameType::Error, {}));
+    const auto f = dec.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_TRUE(f->payload.empty());
+}
+
+TEST(Framing, MaxPayloadAccepted)
+{
+    const std::vector<std::uint8_t> payload(kMaxFramePayload, 0x5A);
+    FrameDecoder dec;
+    dec.feed(encodeFrame(FrameType::WhatIfReply, payload));
+    const auto f = dec.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->payload.size(), kMaxFramePayload);
+}
+
+TEST(Framing, OverlongPayloadRejectedAtEncode)
+{
+    const std::vector<std::uint8_t> payload(kMaxFramePayload + 1, 0);
+    EXPECT_THROW(encodeFrame(FrameType::ModbusAdu, payload),
+                 std::length_error);
+}
+
+TEST(Framing, ByteAtATimeReassembly)
+{
+    const auto payload = bytes({1, 2, 3, 4, 5, 6, 7, 8});
+    const auto wire = encodeFrame(FrameType::WhatIfQuery, payload);
+    FrameDecoder dec;
+    for (std::size_t i = 0; i < wire.size(); ++i) {
+        EXPECT_EQ(dec.pending(), 0u);
+        dec.feed(&wire[i], 1);
+    }
+    const auto f = dec.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->payload, payload);
+    EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(Framing, BackToBackFramesInOneFeed)
+{
+    std::vector<std::uint8_t> wire;
+    for (int i = 0; i < 5; ++i) {
+        const auto f = encodeFrame(
+            FrameType::ModbusAdu, bytes({i, i + 1}));
+        wire.insert(wire.end(), f.begin(), f.end());
+    }
+    FrameDecoder dec;
+    dec.feed(wire);
+    EXPECT_EQ(dec.pending(), 5u);
+    for (int i = 0; i < 5; ++i) {
+        const auto f = dec.next();
+        ASSERT_TRUE(f.has_value());
+        EXPECT_EQ(f->payload, bytes({i, i + 1}));
+    }
+    EXPECT_EQ(dec.framesDecoded(), 5u);
+}
+
+TEST(Framing, GarbageBetweenFramesSkipped)
+{
+    const auto a = encodeFrame(FrameType::ModbusAdu, bytes({1}));
+    const auto b = encodeFrame(FrameType::ModbusAdu, bytes({2}));
+    std::vector<std::uint8_t> wire;
+    const auto garbage = bytes({0x00, 0x13, 0x37, 0xFF}); // no 0xA5
+    wire.insert(wire.end(), garbage.begin(), garbage.end());
+    wire.insert(wire.end(), a.begin(), a.end());
+    wire.insert(wire.end(), garbage.begin(), garbage.end());
+    wire.insert(wire.end(), b.begin(), b.end());
+    FrameDecoder dec;
+    dec.feed(wire);
+    ASSERT_EQ(dec.pending(), 2u);
+    EXPECT_EQ(dec.next()->payload, bytes({1}));
+    EXPECT_EQ(dec.next()->payload, bytes({2}));
+    EXPECT_EQ(dec.skippedBytes(), 8u);
+}
+
+TEST(Framing, CorruptedCrcResyncsAndRecovers)
+{
+    auto bad = encodeFrame(FrameType::ModbusAdu, bytes({1, 2, 3}));
+    bad.back() ^= 0x01; // flip one CRC bit
+    const auto good = encodeFrame(FrameType::ModbusAdu, bytes({4, 5, 6}));
+    FrameDecoder dec;
+    dec.feed(bad);
+    dec.feed(good);
+    // The corrupted frame is dropped; the following intact frame decodes.
+    ASSERT_EQ(dec.pending(), 1u);
+    EXPECT_EQ(dec.next()->payload, bytes({4, 5, 6}));
+    EXPECT_GE(dec.crcErrors(), 1u);
+    EXPECT_GE(dec.resyncs(), 1u);
+}
+
+TEST(Framing, CorruptedPayloadBitResyncs)
+{
+    auto bad = encodeFrame(FrameType::WhatIfQuery, bytes({9, 9, 9, 9}));
+    bad[5] ^= 0x80; // payload bit flip -> CRC mismatch
+    const auto good = encodeFrame(FrameType::Error, bytes({7}));
+    FrameDecoder dec;
+    dec.feed(bad);
+    dec.feed(good);
+    ASSERT_EQ(dec.pending(), 1u);
+    EXPECT_EQ(dec.next()->payload, bytes({7}));
+    EXPECT_GE(dec.crcErrors(), 1u);
+}
+
+TEST(Framing, OversizedLengthFieldResyncs)
+{
+    // A sync byte followed by a length far over the cap: the decoder
+    // must not wait for megabytes that never arrive.
+    std::vector<std::uint8_t> wire = {kFrameSync, 0x01, 0xFF, 0xFF};
+    const auto good = encodeFrame(FrameType::ModbusAdu, bytes({1}));
+    wire.insert(wire.end(), good.begin(), good.end());
+    FrameDecoder dec;
+    dec.feed(wire);
+    ASSERT_EQ(dec.pending(), 1u);
+    EXPECT_EQ(dec.next()->payload, bytes({1}));
+    EXPECT_GE(dec.oversizedFrames(), 1u);
+    EXPECT_LE(dec.buffered(), kFrameHeaderSize + kMaxFramePayload +
+                                  kFrameCrcSize);
+}
+
+TEST(Framing, TruncatedFrameWaitsThenCompletes)
+{
+    const auto wire = encodeFrame(FrameType::ModbusAdu, bytes({1, 2, 3, 4}));
+    FrameDecoder dec;
+    dec.feed(wire.data(), wire.size() - 3);
+    EXPECT_EQ(dec.pending(), 0u);
+    EXPECT_EQ(dec.buffered(), wire.size() - 3);
+    dec.feed(wire.data() + wire.size() - 3, 3);
+    ASSERT_EQ(dec.pending(), 1u);
+    EXPECT_EQ(dec.next()->payload, bytes({1, 2, 3, 4}));
+}
+
+TEST(Framing, SyncByteInsidePayloadIsNotAFrameStart)
+{
+    // Payload full of 0xA5: the decoder must consume the frame as a
+    // unit, not re-scan its interior.
+    const std::vector<std::uint8_t> payload(64, kFrameSync);
+    const auto wire = encodeFrame(FrameType::ModbusAdu, payload);
+    FrameDecoder dec;
+    dec.feed(wire);
+    ASSERT_EQ(dec.pending(), 1u);
+    EXPECT_EQ(dec.next()->payload, payload);
+    EXPECT_EQ(dec.crcErrors(), 0u);
+    EXPECT_EQ(dec.skippedBytes(), 0u);
+}
+
+TEST(Framing, FrameEmbeddedInCorruptedExtentIsRecovered)
+{
+    // A corrupted candidate whose declared extent OVERLAPS an intact
+    // frame: byte-by-byte resync must still find the intact frame.
+    const auto good = encodeFrame(FrameType::ModbusAdu, bytes({0x42}));
+    std::vector<std::uint8_t> wire = {kFrameSync, 0x01, 0x30, 0x00};
+    // Declared 0x30-byte payload swallows the good frame that follows;
+    // the candidate's CRC check fails, then the rescan finds `good`.
+    wire.insert(wire.end(), good.begin(), good.end());
+    wire.resize(wire.size() + 0x30, 0x11); // filler so candidate completes
+    FrameDecoder dec;
+    dec.feed(wire);
+    ASSERT_GE(dec.pending(), 1u);
+    EXPECT_EQ(dec.next()->payload, bytes({0x42}));
+}
+
+} // namespace
+} // namespace insure::service

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the byte-stream transports: loopback pipe semantics,
+ * deliberate fragmentation, close/EOF behaviour and a TCP round-trip
+ * (skipped where the sandbox forbids sockets).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "service/framing.hh"
+#include "service/transport.hh"
+
+namespace insure::service {
+namespace {
+
+std::vector<std::uint8_t>
+bytes(std::initializer_list<int> v)
+{
+    return {v.begin(), v.end()};
+}
+
+std::vector<std::uint8_t>
+drain(ByteStream &s, std::size_t want)
+{
+    std::vector<std::uint8_t> got;
+    std::uint8_t buf[256];
+    while (got.size() < want) {
+        const std::size_t n = s.receive(buf, sizeof buf);
+        if (n == 0)
+            break;
+        got.insert(got.end(), buf, buf + n);
+    }
+    return got;
+}
+
+TEST(Loopback, RoundTripBothDirections)
+{
+    auto [a, b] = makeLoopbackPair();
+    ASSERT_TRUE(a->send(bytes({1, 2, 3})));
+    EXPECT_EQ(drain(*b, 3), bytes({1, 2, 3}));
+    ASSERT_TRUE(b->send(bytes({9, 8})));
+    EXPECT_EQ(drain(*a, 2), bytes({9, 8}));
+}
+
+TEST(Loopback, MaxChunkFragmentsDelivery)
+{
+    auto [a, b] = makeLoopbackPair(3);
+    ASSERT_TRUE(a->send(bytes({1, 2, 3, 4, 5, 6, 7})));
+    std::uint8_t buf[64];
+    // Each receive returns at most maxChunk bytes.
+    std::size_t n = b->receive(buf, sizeof buf);
+    EXPECT_LE(n, 3u);
+    std::vector<std::uint8_t> got(buf, buf + n);
+    while (got.size() < 7) {
+        n = b->receive(buf, sizeof buf);
+        ASSERT_GT(n, 0u);
+        EXPECT_LE(n, 3u);
+        got.insert(got.end(), buf, buf + n);
+    }
+    EXPECT_EQ(got, bytes({1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Loopback, CloseDrainsBufferedBytesThenEof)
+{
+    auto [a, b] = makeLoopbackPair();
+    ASSERT_TRUE(a->send(bytes({42})));
+    a->close();
+    // Buffered bytes still deliverable after close...
+    EXPECT_EQ(drain(*b, 1), bytes({42}));
+    // ...then EOF.
+    std::uint8_t buf[8];
+    EXPECT_EQ(b->receive(buf, sizeof buf), 0u);
+    // And sends into a closed pipe fail.
+    EXPECT_FALSE(b->send(bytes({1})));
+}
+
+TEST(Loopback, CloseUnblocksPendingReceive)
+{
+    auto [a, b] = makeLoopbackPair();
+    std::thread closer([&a] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        a->close();
+    });
+    std::uint8_t buf[8];
+    EXPECT_EQ(b->receive(buf, sizeof buf), 0u);
+    closer.join();
+}
+
+TEST(Loopback, CrossThreadTransfer)
+{
+    auto [a, b] = makeLoopbackPair(5); // fragment on purpose
+    std::vector<std::uint8_t> big(10000);
+    for (std::size_t i = 0; i < big.size(); ++i)
+        big[i] = static_cast<std::uint8_t>(i * 31);
+    std::thread sender([&] {
+        ASSERT_TRUE(a->send(big.data(), big.size()));
+        a->close();
+    });
+    const auto got = drain(*b, big.size());
+    sender.join();
+    EXPECT_EQ(got, big);
+}
+
+TEST(Loopback, FramesSurviveFragmentation)
+{
+    auto [a, b] = makeLoopbackPair(2);
+    const auto payload = bytes({10, 20, 30, 40, 50});
+    ASSERT_TRUE(a->send(encodeFrame(FrameType::ModbusAdu, payload)));
+    FrameDecoder dec;
+    std::uint8_t buf[64];
+    while (!dec.pending()) {
+        const std::size_t n = b->receive(buf, sizeof buf);
+        ASSERT_GT(n, 0u);
+        dec.feed(buf, n);
+    }
+    EXPECT_EQ(dec.next()->payload, payload);
+}
+
+TEST(Tcp, RoundTripOverLocalhost)
+{
+    std::unique_ptr<TcpListener> listener;
+    try {
+        listener = std::make_unique<TcpListener>(0);
+    } catch (const std::runtime_error &e) {
+        GTEST_SKIP() << "sockets unavailable: " << e.what();
+    }
+    ASSERT_NE(listener->port(), 0);
+
+    std::unique_ptr<ByteStream> serverSide;
+    std::thread acceptor([&] { serverSide = listener->accept(); });
+    std::unique_ptr<ByteStream> client;
+    try {
+        client = tcpConnect("127.0.0.1", listener->port());
+    } catch (const std::runtime_error &e) {
+        listener->close();
+        acceptor.join();
+        GTEST_SKIP() << "tcp connect unavailable: " << e.what();
+    }
+    acceptor.join();
+    ASSERT_NE(serverSide, nullptr);
+
+    ASSERT_TRUE(client->send(bytes({1, 2, 3, 4})));
+    EXPECT_EQ(drain(*serverSide, 4), bytes({1, 2, 3, 4}));
+    ASSERT_TRUE(serverSide->send(bytes({5, 6})));
+    EXPECT_EQ(drain(*client, 2), bytes({5, 6}));
+
+    client->close();
+    std::uint8_t buf[8];
+    EXPECT_EQ(serverSide->receive(buf, sizeof buf), 0u);
+}
+
+TEST(Tcp, ClosedListenerAcceptReturnsNull)
+{
+    std::unique_ptr<TcpListener> listener;
+    try {
+        listener = std::make_unique<TcpListener>(0);
+    } catch (const std::runtime_error &e) {
+        GTEST_SKIP() << "sockets unavailable: " << e.what();
+    }
+    std::thread closer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        listener->close();
+    });
+    EXPECT_EQ(listener->accept(), nullptr);
+    closer.join();
+}
+
+} // namespace
+} // namespace insure::service

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * End-to-end golden check of the digital-twin service: the canonical
+ * Fig. 14 full-day scenario runs as a LIVE served twin — advanced in
+ * tick chunks while a framed loopback client reads registers — and
+ * must stay hash-identical to the checked-in golden digest. The
+ * register stream seen over the transport must hash-equal direct
+ * RegisterMap reads of an identically driven rig.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "core/experiment.hh"
+#include "service/twin_client.hh"
+#include "service/twin_server.hh"
+#include "sim/units.hh"
+#include "snapshot/archive.hh"
+#include "telemetry/register_map.hh"
+#include "validate/golden_trace.hh"
+
+namespace insure::service {
+namespace {
+
+using validate::GoldenRecorder;
+
+std::string
+goldenPath(const std::string &scenario)
+{
+    return std::string(INSURE_GOLDEN_DIR) + "/" + scenario + ".jsonl";
+}
+
+/** FNV-1a over a register block (the transport-vs-direct comparator). */
+std::uint64_t
+hashRegisters(std::uint64_t h, const std::vector<std::uint16_t> &regs)
+{
+    for (const std::uint16_t r : regs) {
+        h = (h ^ (r & 0xFF)) * 1099511628211ull;
+        h = (h ^ (r >> 8)) * 1099511628211ull;
+    }
+    return h;
+}
+
+TEST(TwinGolden, Fig14FullDayServedTwinMatchesGoldenDigest)
+{
+    core::ExperimentConfig cfg =
+        validate::goldenScenario("fig14_seismic_sunny");
+    cfg.observerFactory = [] {
+        return std::make_unique<GoldenRecorder>(validate::kGoldenPeriod);
+    };
+
+    TwinServer server(cfg);
+
+    // The "tick loop" of the live service plus a framed client reading
+    // the register file at every boundary; a mid-day what-if exercises
+    // the fork path during the golden run.
+    auto [clientEnd, serverEnd] = makeLoopbackPair();
+    std::thread serving(
+        [&server, &serverEnd] { server.serveStream(*serverEnd); });
+    TwinClient client(*clientEnd);
+
+    const telemetry::RegisterLayout layout;
+    const unsigned cabinets = cfg.system.cabinetCount;
+    const std::uint16_t blockLen =
+        static_cast<std::uint16_t>(layout.perCabinet * cabinets);
+    std::uint64_t transportHash = 14695981039346656037ull;
+    std::uint64_t directHash = 14695981039346656037ull;
+
+    // A second rig driven through the identical chunk schedule is the
+    // direct-access oracle for the register stream.
+    core::ExperimentRig direct(cfg);
+
+    for (int hour = 1; hour <= 24; ++hour) {
+        server.advance(units::hours(hour));
+        direct.runUntil(std::min(cfg.duration, units::hours(hour)));
+
+        transportHash = hashRegisters(transportHash,
+                                      client.readRegisters(0, 4));
+        transportHash = hashRegisters(
+            transportHash,
+            client.readRegisters(layout.cabinetBase, blockLen));
+
+        const telemetry::RegisterMap &map = direct.plant().registers();
+        directHash = hashRegisters(directHash, map.readBlock(0, 4));
+        directHash = hashRegisters(
+            directHash, map.readBlock(layout.cabinetBase, blockLen));
+
+        if (hour == 12) {
+            WhatIfQuery q;
+            q.horizonHours = 1.0;
+            q.socFloor = 0.40;
+            const WhatIfReply r = client.whatIf(q);
+            EXPECT_EQ(r.fromSeconds, units::hours(12.0));
+        }
+    }
+    EXPECT_EQ(transportHash, directHash)
+        << "framed register stream diverged from direct RegisterMap reads";
+
+    clientEnd->close();
+    serving.join();
+    direct.finish();
+
+    // The served day must be hash-identical to the golden digest: the
+    // service layer is a pure observer of the simulation.
+    const core::ExperimentResult res = server.finishLive();
+    (void)res;
+    const auto *recorder = dynamic_cast<const GoldenRecorder *>(
+        server.rig().plant().observer());
+    ASSERT_NE(recorder, nullptr);
+    const auto golden = GoldenRecorder::load(
+        goldenPath("fig14_seismic_sunny"));
+    const validate::GoldenMismatch cmp =
+        validate::compareGolden(golden, recorder->records());
+    EXPECT_TRUE(cmp.matched) << cmp.detail;
+    EXPECT_TRUE(cmp.hashIdentical)
+        << "served run hash differs from the golden digest";
+}
+
+TEST(TwinGolden, Fig16VideoDayChunkServedMatchesGoldenDigest)
+{
+    // The second canonical scenario, driven without transport traffic:
+    // chunked advancing alone must not perturb the run.
+    core::ExperimentConfig cfg =
+        validate::goldenScenario("fig16_video_cloudy");
+    cfg.observerFactory = [] {
+        return std::make_unique<GoldenRecorder>(validate::kGoldenPeriod);
+    };
+    TwinServer server(cfg);
+    for (int chunk = 1; chunk <= 8; ++chunk)
+        server.advance(cfg.duration * chunk / 8.0);
+    server.finishLive();
+
+    const auto *recorder = dynamic_cast<const GoldenRecorder *>(
+        server.rig().plant().observer());
+    ASSERT_NE(recorder, nullptr);
+    const auto golden =
+        GoldenRecorder::load(goldenPath("fig16_video_cloudy"));
+    const validate::GoldenMismatch cmp =
+        validate::compareGolden(golden, recorder->records());
+    EXPECT_TRUE(cmp.matched) << cmp.detail;
+    EXPECT_TRUE(cmp.hashIdentical);
+}
+
+TEST(TwinGolden, WhatIfForkFromGoldenRunRestoresObserverState)
+{
+    // A what-if against a rig that carries an observer exercises the
+    // snapshot path with observer state present (the fork rebuilds a
+    // recorder and restores its rolling hash). It must simply work.
+    core::ExperimentConfig cfg =
+        validate::goldenScenario("fig14_seismic_sunny");
+    cfg.observerFactory = [] {
+        return std::make_unique<GoldenRecorder>(validate::kGoldenPeriod);
+    };
+    TwinServer server(cfg);
+    server.advance(units::hours(9.0));
+
+    WhatIfQuery q;
+    q.horizonHours = 0.5;
+    FrameDecoder dec;
+    dec.feed(server.handleFrame({FrameType::WhatIfQuery, q.encode()}));
+    const auto frame = dec.next();
+    ASSERT_TRUE(frame.has_value());
+    ASSERT_EQ(frame->type, FrameType::WhatIfReply)
+        << (frame->type == FrameType::Error
+                ? ServiceError::decode(frame->payload).message
+                : "");
+    const WhatIfReply r = WhatIfReply::decode(frame->payload);
+    EXPECT_EQ(r.fromSeconds, units::hours(9.0));
+    EXPECT_NEAR(r.simulatedHours, 0.5, 1e-9);
+}
+
+} // namespace
+} // namespace insure::service
