@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Distributed campaign driver and scaling bench (tooling, not a paper
+ * artefact). Shards a seeded fault sweep across dispatch workers and
+ * verifies the czar's aggregate is byte-identical to the
+ * single-process oracle.
+ *
+ *   bench_dist_campaign [--runs N] [--seed S] [--rate PER_HOUR]
+ *                       [--workload seismic|video] [--days D]
+ *                       [--workers N] [--mode thread|process]
+ *                       [--chunk N] [--oracle] [--json FILE]
+ *                       [--kill-one-after SECONDS]
+ *                       [--max-runs-first N]
+ *                       [--state-dir DIR] [--resume DIR]
+ *                       [--bench [--workers-list 1,2,4,8]]
+ *
+ * --workers 0 runs the single-process campaign only (the oracle path).
+ * --oracle additionally runs the oracle and byte-compares the two
+ * campaign JSON documents, exiting non-zero on any difference.
+ * --kill-one-after SIGKILLs one worker process mid-campaign (process
+ * mode); --max-runs-first retires the first worker after N runs
+ * (thread mode). Either way the sweep must still complete and still
+ * match the oracle byte for byte.
+ * --bench measures runs/sec at each worker count in --workers-list
+ * against the single-process baseline and emits a dist_campaign JSON
+ * section (the committed copy lives in BENCH_simspeed.json).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dispatch/fleet.hh"
+#include "snapshot/archive.hh"
+
+using namespace insure;
+
+namespace {
+
+std::string
+campaignJson(const fault::CampaignSummary &summary)
+{
+    std::ostringstream os;
+    fault::writeCampaignJson(summary, os);
+    return os.str();
+}
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::vector<unsigned>
+parseWorkersList(const char *arg)
+{
+    std::vector<unsigned> out;
+    std::string s(arg);
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        out.push_back(static_cast<unsigned>(
+            std::atoi(s.substr(pos, comma - pos).c_str())));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    dispatch::SweepSpec spec;
+    spec.runs = 32;
+    spec.faultRatePerHour = 2.0;
+    spec.days = 0.25;
+
+    dispatch::FleetOptions fleet;
+    fleet.workers = 4;
+    bool distributed = true;
+    bool oracle = false;
+    bool bench = false;
+    std::vector<unsigned> workersList = {1, 2, 4, 8};
+    std::size_t maxRunsFirst = 0;
+    const char *jsonPath = nullptr;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--runs") == 0) {
+            spec.runs = static_cast<std::size_t>(std::atoll(value()));
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            spec.masterSeed = static_cast<std::uint64_t>(
+                std::strtoull(value(), nullptr, 10));
+        } else if (std::strcmp(arg, "--rate") == 0) {
+            spec.faultRatePerHour = std::atof(value());
+        } else if (std::strcmp(arg, "--workload") == 0) {
+            spec.workload = value();
+        } else if (std::strcmp(arg, "--days") == 0) {
+            spec.days = std::atof(value());
+        } else if (std::strcmp(arg, "--workers") == 0) {
+            fleet.workers = static_cast<unsigned>(std::atoi(value()));
+            distributed = fleet.workers > 0;
+        } else if (std::strcmp(arg, "--mode") == 0) {
+            const char *m = value();
+            if (std::strcmp(m, "thread") == 0)
+                fleet.mode = dispatch::FleetMode::Thread;
+            else if (std::strcmp(m, "process") == 0)
+                fleet.mode = dispatch::FleetMode::Process;
+            else {
+                std::fprintf(stderr, "--mode must be thread or process\n");
+                return 2;
+            }
+        } else if (std::strcmp(arg, "--chunk") == 0) {
+            fleet.czar.chunkRuns =
+                static_cast<std::size_t>(std::atoll(value()));
+        } else if (std::strcmp(arg, "--oracle") == 0) {
+            oracle = true;
+        } else if (std::strcmp(arg, "--json") == 0) {
+            jsonPath = value();
+        } else if (std::strcmp(arg, "--kill-one-after") == 0) {
+            fleet.killOneAfterSeconds = std::atof(value());
+        } else if (std::strcmp(arg, "--max-runs-first") == 0) {
+            maxRunsFirst = static_cast<std::size_t>(std::atoll(value()));
+        } else if (std::strcmp(arg, "--state-dir") == 0) {
+            fleet.czar.stateDir = value();
+        } else if (std::strcmp(arg, "--resume") == 0) {
+            fleet.czar.stateDir = value();
+            fleet.czar.resume = true;
+        } else if (std::strcmp(arg, "--bench") == 0) {
+            bench = true;
+        } else if (std::strcmp(arg, "--workers-list") == 0) {
+            workersList = parseWorkersList(value());
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: %s [--runs N] [--seed S] [--rate R] [--workload "
+                "seismic|video] [--days D] [--workers N] [--mode "
+                "thread|process] [--chunk N] [--oracle] [--json FILE] "
+                "[--kill-one-after S] [--max-runs-first N] [--state-dir "
+                "DIR] [--resume DIR] [--bench] [--workers-list a,b,...]\n",
+                argv[0]);
+            return 2;
+        }
+    }
+    if (maxRunsFirst > 0)
+        fleet.threadWorkerMaxRuns = {maxRunsFirst};
+
+    if (bench) {
+        // Scaling measurement: single-process baseline, then thread
+        // fleets at each worker count. Every configuration must agree
+        // with the oracle byte for byte — a fast wrong answer is not a
+        // speedup.
+        const fault::CampaignConfig cfg = dispatch::toCampaignConfig(spec);
+        double t0 = nowSeconds();
+        fault::CampaignConfig singleCfg = cfg;
+        singleCfg.jobs = 1;
+        const std::string oracleJson =
+            campaignJson(fault::runFaultCampaign(singleCfg));
+        const double singleSeconds = nowSeconds() - t0;
+        const double singleRate =
+            static_cast<double>(spec.runs) / singleSeconds;
+
+        std::ostringstream js;
+        js << "{\n  \"dist_campaign\": {\n";
+        js << "    \"runs\": " << spec.runs << ",\n";
+        js << "    \"simulated_days_per_run\": " << spec.days << ",\n";
+        char buf[128];
+        std::snprintf(buf, sizeof buf,
+                      "    \"single_process_runs_per_sec\": %.3f,\n",
+                      singleRate);
+        js << buf;
+        js << "    \"workers\": [\n";
+        for (std::size_t k = 0; k < workersList.size(); ++k) {
+            dispatch::FleetOptions f = fleet;
+            f.mode = dispatch::FleetMode::Thread;
+            f.workers = workersList[k];
+            t0 = nowSeconds();
+            const fault::CampaignSummary summary =
+                dispatch::runDistributedSweep(spec, f);
+            const double seconds = nowSeconds() - t0;
+            const double rate = static_cast<double>(spec.runs) / seconds;
+            if (campaignJson(summary) != oracleJson) {
+                std::fprintf(stderr,
+                             "FAIL: %u-worker sweep diverged from the "
+                             "single-process oracle\n",
+                             f.workers);
+                return 1;
+            }
+            std::snprintf(buf, sizeof buf,
+                          "      {\"workers\": %u, \"runs_per_sec\": "
+                          "%.3f, \"speedup\": %.2f}%s\n",
+                          f.workers, rate, rate / singleRate,
+                          k + 1 < workersList.size() ? "," : "");
+            js << buf;
+            std::fprintf(stderr,
+                         "workers %u: %.2f runs/s (%.2fx single)\n",
+                         f.workers, rate, rate / singleRate);
+        }
+        js << "    ]\n  }\n}\n";
+        if (jsonPath && std::strcmp(jsonPath, "-") != 0)
+            snapshot::atomicWriteFile(jsonPath, js.str());
+        else
+            std::cout << js.str();
+        return 0;
+    }
+
+    fault::CampaignSummary summary;
+    if (distributed) {
+        summary = dispatch::runDistributedSweep(spec, fleet);
+    } else {
+        summary = fault::runFaultCampaign(dispatch::toCampaignConfig(spec));
+    }
+    std::printf("%s", fault::formatCampaignSummary(summary).c_str());
+
+    if (oracle && distributed) {
+        const std::string distJson = campaignJson(summary);
+        const std::string oracleJson = campaignJson(
+            fault::runFaultCampaign(dispatch::toCampaignConfig(spec)));
+        if (distJson != oracleJson) {
+            std::fprintf(stderr,
+                         "FAIL: distributed campaign JSON differs from "
+                         "the single-process oracle\n");
+            return 1;
+        }
+        std::printf("oracle check: %zu-byte campaign JSON identical\n",
+                    distJson.size());
+    }
+
+    if (jsonPath) {
+        const std::string json = campaignJson(summary);
+        if (std::strcmp(jsonPath, "-") == 0) {
+            std::cout << json;
+        } else {
+            try {
+                snapshot::atomicWriteFile(jsonPath, json);
+            } catch (const snapshot::SnapshotError &e) {
+                std::fprintf(stderr, "cannot write %s: %s\n", jsonPath,
+                             e.what());
+                return 1;
+            }
+            std::printf("wrote %s\n", jsonPath);
+        }
+    }
+    return 0;
+}

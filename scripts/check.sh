@@ -3,7 +3,7 @@
 # smoke sweep, and the validation suites under ASan/UBSan.
 #
 # Usage: scripts/check.sh [--no-asan] [--fuzz-runs N] [--faults] [--scale]
-#        scripts/check.sh [--service] [--resume]
+#        scripts/check.sh [--service] [--resume] [--dist]
 #        scripts/check.sh --perf [--tolerance X]
 #
 # --perf builds Release and runs the simulation-speed gate against the
@@ -29,6 +29,12 @@
 # kill -9'd mid-sweep, re-invoked with --resume, and its JSON output must
 # be byte-identical to an uninterrupted sweep of the same master seed.
 #
+# --dist runs the distributed-campaign battery: the dispatch suites
+# (ctest -L dist), a 4-worker thread fleet byte-compared against the
+# single-process oracle, a process-mode fleet with one worker SIGKILLed
+# mid-sweep, and a czar crash drill (kill -9 the czar, resume from its
+# journal, byte-compare against an uninterrupted sweep).
+#
 # Run from anywhere; builds land in <repo>/build, <repo>/build-asan and
 # <repo>/build-release.
 set -euo pipefail
@@ -42,6 +48,7 @@ run_faults=0
 run_scale=0
 run_service=0
 run_resume=0
+run_dist=0
 fuzz_runs=200
 tolerance=0.20
 while [ $# -gt 0 ]; do
@@ -52,6 +59,7 @@ while [ $# -gt 0 ]; do
     --scale) run_scale=1 ;;
     --service) run_service=1 ;;
     --resume) run_resume=1 ;;
+    --dist) run_dist=1 ;;
     --tolerance)
         shift
         tolerance="$1"
@@ -61,7 +69,7 @@ while [ $# -gt 0 ]; do
         fuzz_runs="$1"
         ;;
     *)
-        echo "usage: $0 [--no-asan] [--fuzz-runs N] [--faults] [--scale] [--service] [--resume] | --perf [--tolerance X]" >&2
+        echo "usage: $0 [--no-asan] [--fuzz-runs N] [--faults] [--scale] [--service] [--resume] [--dist] | --perf [--tolerance X]" >&2
         exit 2
         ;;
     esac
@@ -148,6 +156,47 @@ if [ "$run_resume" = 1 ]; then
         --checkpoint-interval 3600 --json "$drill/resumed.json" >/dev/null
     cmp "$drill/reference.json" "$drill/resumed.json"
     echo "resumed campaign JSON byte-identical to uninterrupted sweep"
+fi
+
+if [ "$run_dist" = 1 ]; then
+    step "distributed dispatch suites (ctest -L dist)"
+    ctest --test-dir build -L dist --output-on-failure
+
+    dist_drill="$(mktemp -d)"
+    # Unquoted on purpose: an unset var must expand to no argument.
+    # shellcheck disable=SC2064
+    trap 'rm -rf ${drill:-} ${dist_drill:-}' EXIT
+    sweep=(./build/bench/bench_dist_campaign
+        --runs 12 --days 0.1 --rate 4 --seed 3141)
+
+    step "dist: 4-worker thread fleet vs single-process oracle"
+    "${sweep[@]}" --workers 4 --mode thread --chunk 3 --oracle
+
+    step "dist: process fleet, kill -9 one worker mid-sweep"
+    "${sweep[@]}" --workers 3 --mode process --chunk 3 \
+        --kill-one-after 0.3 --oracle
+
+    step "dist czar crash drill (kill -9 the czar, resume, byte-compare)"
+    # Reference: an uninterrupted distributed sweep.
+    "${sweep[@]}" --workers 2 --json "$dist_drill/reference.json" \
+        >/dev/null
+
+    # Victim: same sweep journaling into a state dir, kill -9'd
+    # mid-flight. If the box finishes first the resume serves everything
+    # from cache — still a valid byte-identity check.
+    "${sweep[@]}" --workers 2 --state-dir "$dist_drill/state" \
+        --json "$dist_drill/victim.json" >/dev/null 2>&1 &
+    czar=$!
+    sleep 0.4
+    kill -9 "$czar" 2>/dev/null || true
+    wait "$czar" 2>/dev/null || true
+
+    # Recovery: a resumed czar must complete the sweep and reproduce
+    # the reference JSON byte for byte.
+    "${sweep[@]}" --workers 2 --resume "$dist_drill/state" \
+        --json "$dist_drill/resumed.json" >/dev/null
+    cmp "$dist_drill/reference.json" "$dist_drill/resumed.json"
+    echo "resumed distributed campaign JSON byte-identical"
 fi
 
 if [ "$run_asan" = 1 ]; then

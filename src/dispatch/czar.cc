@@ -1,0 +1,442 @@
+#include "dispatch/czar.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <filesystem>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "dispatch/protocol.hh"
+#include "harness/batch_runner.hh"
+#include "harness/campaign_journal.hh"
+#include "harness/run_result_io.hh"
+#include "service/framing.hh"
+#include "sim/logging.hh"
+#include "snapshot/archive.hh"
+
+namespace insure::dispatch {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** What a reader thread hands the run() loop. */
+struct Event {
+    enum class Kind { Hello, Result, Heartbeat, Disconnect };
+    Kind kind = Kind::Disconnect;
+    std::size_t slot = 0;
+    HelloMsg hello;
+    ResultMsg result;
+    HeartbeatMsg heartbeat;
+    std::string detail;
+};
+
+/** One adopted worker connection. */
+struct WorkerSlot {
+    std::unique_ptr<service::ByteStream> stream;
+    std::thread reader;
+    std::string id;
+    /** HELLO received and version-checked. */
+    bool ready = false;
+    /** Disconnect processed; slot is inert. */
+    bool lost = false;
+    /** Run indices leased out and not yet resulted. */
+    std::vector<std::uint64_t> outstanding;
+    Clock::time_point lastSeen;
+};
+
+} // namespace
+
+struct Czar::Impl {
+    SweepSpec spec;
+    CzarOptions opts;
+    fault::CampaignConfig cfg;
+    std::vector<std::uint64_t> childSeeds;
+    std::vector<core::RunResult> results;
+    std::vector<char> have;
+    std::size_t done = 0;
+    /** Runs awaiting dispatch (front = next to lease). */
+    std::deque<std::uint64_t> pending;
+    /** Max runs per lease after the frame-size clamp. */
+    std::size_t leaseCap = 1;
+    std::unique_ptr<harness::CampaignJournal> journal;
+    std::size_t lost = 0;
+    bool ran = false;
+
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Event> events;
+    std::vector<std::unique_ptr<WorkerSlot>> workers;
+
+    explicit Impl(SweepSpec s, CzarOptions o)
+        : spec(std::move(s)), opts(std::move(o)),
+          cfg(toCampaignConfig(spec)),
+          childSeeds(harness::deriveChildSeeds(spec.masterSeed, spec.runs)),
+          results(spec.runs), have(spec.runs, 0)
+    {
+        // A lease must fit one frame: spec overhead measured once, the
+        // remainder divided among 16-byte run entries.
+        const std::size_t specBytes =
+            encodeLease(LeaseMsg{spec, {}}).size() -
+            (service::kFrameHeaderSize + service::kFrameCrcSize);
+        if (specBytes + kLeasedRunWireBytes > service::kMaxFramePayload)
+            throw std::runtime_error(
+                "dispatch: sweep spec too large for a lease frame");
+        leaseCap = std::max<std::size_t>(
+            1, std::min(opts.chunkRuns,
+                        (service::kMaxFramePayload - specBytes) /
+                            kLeasedRunWireBytes));
+
+        if (!opts.stateDir.empty()) {
+            std::filesystem::create_directories(opts.stateDir);
+            if (!opts.resume)
+                harness::clearCampaignState(opts.stateDir);
+        }
+        journal = std::make_unique<harness::CampaignJournal>(opts.stateDir);
+
+        if (opts.resume && !opts.stateDir.empty())
+            scanCachedResults();
+        for (std::uint64_t i = 0; i < spec.runs; ++i)
+            if (!have[i])
+                pending.push_back(i);
+    }
+
+    /** Serve identity-verified result files left by a killed czar. */
+    void
+    scanCachedResults()
+    {
+        for (std::size_t i = 0; i < spec.runs; ++i) {
+            const std::string path =
+                harness::runResultPath(opts.stateDir, i);
+            if (!std::filesystem::exists(path))
+                continue;
+            const std::string label = fault::campaignRunLabel(i);
+            try {
+                snapshot::Archive ar = snapshot::readSnapshotFile(path);
+                harness::loadRunResult(ar, results[i], label,
+                                       childSeeds[i]);
+                have[i] = 1;
+                ++done;
+                journal->record(i, label, "cached", 0);
+            } catch (const harness::RunIdentityMismatch &e) {
+                journal->record(i, label, "cache-mismatch", 0, e.what());
+            } catch (const snapshot::SnapshotError &e) {
+                journal->record(i, label, "cache-corrupt", 0, e.what());
+            }
+        }
+    }
+
+    void
+    post(Event ev)
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        events.push_back(std::move(ev));
+        cv.notify_all();
+    }
+
+    /**
+     * Reader thread: frames off the stream become events. Any protocol
+     * violation (bad decode, unexpected type) retires the worker — the
+     * czar trusts re-dispatch, not a possibly-confused peer.
+     */
+    void
+    readerLoop(std::size_t slot, service::ByteStream *stream)
+    {
+        service::FrameDecoder decoder;
+        std::uint8_t buf[4096];
+        for (;;) {
+            const std::size_t n = stream->receive(buf, sizeof buf);
+            if (n == 0) {
+                Event ev;
+                ev.kind = Event::Kind::Disconnect;
+                ev.slot = slot;
+                ev.detail = "stream closed";
+                post(std::move(ev));
+                return;
+            }
+            decoder.feed(buf, n);
+            while (auto frame = decoder.next()) {
+                Event ev;
+                ev.slot = slot;
+                try {
+                    switch (frame->type) {
+                      case service::FrameType::Hello:
+                        ev.kind = Event::Kind::Hello;
+                        ev.hello = decodeHello(*frame);
+                        break;
+                      case service::FrameType::Result:
+                        ev.kind = Event::Kind::Result;
+                        ev.result = decodeResult(*frame);
+                        break;
+                      case service::FrameType::Heartbeat:
+                        ev.kind = Event::Kind::Heartbeat;
+                        ev.heartbeat = decodeHeartbeat(*frame);
+                        break;
+                      default:
+                        throw snapshot::SnapshotError(
+                            "dispatch: unexpected frame type from "
+                            "worker");
+                    }
+                } catch (const std::exception &e) {
+                    ev.kind = Event::Kind::Disconnect;
+                    ev.detail = e.what();
+                    post(std::move(ev));
+                    stream->close();
+                    return;
+                }
+                post(std::move(ev));
+            }
+        }
+    }
+
+    /** Lease the next batch to an idle, ready worker. Lock held. */
+    void
+    grant(WorkerSlot &w, std::size_t slot)
+    {
+        if (!w.ready || w.lost || !w.outstanding.empty() || pending.empty())
+            return;
+        LeaseMsg lease;
+        lease.spec = spec;
+        const std::size_t n = std::min(leaseCap, pending.size());
+        lease.runs.reserve(n);
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::uint64_t idx = pending.front();
+            pending.pop_front();
+            lease.runs.push_back(
+                {idx, childSeeds[static_cast<std::size_t>(idx)]});
+            w.outstanding.push_back(idx);
+        }
+        journal->record(static_cast<std::size_t>(lease.runs.front().index),
+                        w.id, "dispatch", 0,
+                        std::to_string(n) + " runs to slot " +
+                            std::to_string(slot));
+        // A failed send is not handled here: the reader observes the
+        // same dead stream and posts the Disconnect that requeues the
+        // runs just recorded as outstanding.
+        w.stream->send(encodeLease(lease));
+    }
+
+    void
+    grantAll()
+    {
+        for (std::size_t s = 0; s < workers.size(); ++s)
+            grant(*workers[s], s);
+    }
+
+    /** Persist + account one finished run. Lock held. */
+    void
+    acceptResult(WorkerSlot &w, ResultMsg &&msg)
+    {
+        const auto idx = static_cast<std::size_t>(msg.index);
+        const std::string label = fault::campaignRunLabel(idx);
+        if (idx >= spec.runs || msg.leaseSeed != childSeeds[idx]) {
+            // Not a run of this campaign: a stale worker answering for
+            // an older sweep. Drop it; the run it *should* have done is
+            // still tracked elsewhere.
+            journal->record(idx < spec.runs ? idx : 0, label, "stale", 0,
+                            "result identity does not match campaign");
+            return;
+        }
+        w.outstanding.erase(std::remove(w.outstanding.begin(),
+                                        w.outstanding.end(), msg.index),
+                            w.outstanding.end());
+        if (have[idx]) {
+            // Re-dispatch race: the original owner finished after being
+            // declared dead. Runs are deterministic, so both copies are
+            // identical — keep the first.
+            journal->record(idx, label, "duplicate", 0);
+            return;
+        }
+        results[idx] = std::move(msg.result);
+        have[idx] = 1;
+        ++done;
+        if (!opts.stateDir.empty()) {
+            snapshot::Archive ar = snapshot::Archive::forSave();
+            harness::saveRunResult(ar, results[idx], childSeeds[idx]);
+            snapshot::writeSnapshotFile(
+                harness::runResultPath(opts.stateDir, idx), ar);
+        }
+        journal->record(idx, label,
+                        results[idx].failed ? "failed" : "done", 0,
+                        results[idx].error);
+        if (opts.progress)
+            opts.progress(done, spec.runs);
+    }
+
+    /** Retire a worker and requeue its leases. Lock held. */
+    void
+    retire(WorkerSlot &w, std::size_t slot, const std::string &why)
+    {
+        if (w.lost)
+            return;
+        w.lost = true;
+        ++lost;
+        journal->record(slot, w.id, "worker-lost", 0, why);
+        if (!w.outstanding.empty()) {
+            // Front of the queue: the failed runs are the oldest work,
+            // survivors pick them up before untouched ones.
+            for (auto it = w.outstanding.rbegin();
+                 it != w.outstanding.rend(); ++it)
+                pending.push_front(*it);
+            journal->record(static_cast<std::size_t>(w.outstanding.front()),
+                            w.id, "requeued", 0,
+                            std::to_string(w.outstanding.size()) +
+                                " runs from slot " + std::to_string(slot));
+            w.outstanding.clear();
+        }
+        w.stream->close();
+    }
+
+    /** Declare silent lease-holders dead. Lock held. */
+    void
+    checkLiveness()
+    {
+        if (opts.workerTimeoutSeconds <= 0.0)
+            return;
+        const auto now = Clock::now();
+        for (std::size_t s = 0; s < workers.size(); ++s) {
+            WorkerSlot &w = *workers[s];
+            if (w.lost || w.outstanding.empty())
+                continue;
+            const double silent =
+                std::chrono::duration<double>(now - w.lastSeen).count();
+            if (silent > opts.workerTimeoutSeconds) {
+                // close() forces the reader to EOF; the Disconnect it
+                // posts performs the actual retire + requeue.
+                journal->record(s, w.id, "worker-timeout", 0,
+                                std::to_string(silent) + " s silent");
+                w.stream->close();
+            }
+        }
+    }
+
+    fault::CampaignSummary
+    run()
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        if (ran)
+            throw std::runtime_error("dispatch: Czar::run called twice");
+        ran = true;
+        grantAll();
+        while (done < spec.runs) {
+            if (events.empty()) {
+                if (opts.workerTimeoutSeconds > 0.0) {
+                    cv.wait_for(lock,
+                                std::chrono::duration<double>(
+                                    opts.workerTimeoutSeconds / 4.0));
+                } else {
+                    cv.wait(lock);
+                }
+            }
+            while (!events.empty()) {
+                Event ev = std::move(events.front());
+                events.pop_front();
+                if (ev.slot >= workers.size())
+                    continue;
+                WorkerSlot &w = *workers[ev.slot];
+                if (w.lost)
+                    continue;
+                w.lastSeen = Clock::now();
+                switch (ev.kind) {
+                  case Event::Kind::Hello:
+                    if (ev.hello.protocolVersion !=
+                        kDispatchProtocolVersion) {
+                        retire(w, ev.slot,
+                               "protocol version " +
+                                   std::to_string(
+                                       ev.hello.protocolVersion));
+                        break;
+                    }
+                    w.id = ev.hello.workerId;
+                    w.ready = true;
+                    journal->record(ev.slot, w.id, "worker-hello", 0);
+                    grant(w, ev.slot);
+                    break;
+                  case Event::Kind::Result:
+                    acceptResult(w, std::move(ev.result));
+                    if (w.outstanding.empty())
+                        grant(w, ev.slot);
+                    break;
+                  case Event::Kind::Heartbeat:
+                    break;
+                  case Event::Kind::Disconnect:
+                    retire(w, ev.slot, ev.detail);
+                    grantAll();
+                    break;
+                }
+            }
+            checkLiveness();
+            if (done < spec.runs && !workers.empty() &&
+                std::all_of(workers.begin(), workers.end(),
+                            [](const auto &w) { return w->lost; }))
+                throw std::runtime_error(
+                    "dispatch: every worker died with " +
+                    std::to_string(spec.runs - done) +
+                    " runs outstanding");
+        }
+        // Campaign complete: EOF tells the workers to exit.
+        for (auto &w : workers)
+            w->stream->close();
+        lock.unlock();
+        return fault::summarizeCampaign(cfg, results);
+    }
+
+    ~Impl()
+    {
+        {
+            const std::lock_guard<std::mutex> lock(mu);
+            for (auto &w : workers)
+                w->stream->close();
+        }
+        for (auto &w : workers)
+            if (w->reader.joinable())
+                w->reader.join();
+    }
+};
+
+Czar::Czar(SweepSpec spec, CzarOptions opts)
+    : impl_(std::make_unique<Impl>(std::move(spec), std::move(opts)))
+{
+}
+
+Czar::~Czar() = default;
+
+void
+Czar::addWorker(std::unique_ptr<service::ByteStream> stream)
+{
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    auto slot = std::make_unique<WorkerSlot>();
+    slot->stream = std::move(stream);
+    slot->lastSeen = Clock::now();
+    const std::size_t index = impl_->workers.size();
+    service::ByteStream *raw = slot->stream.get();
+    impl_->workers.push_back(std::move(slot));
+    impl_->workers.back()->reader =
+        std::thread([this, index, raw] { impl_->readerLoop(index, raw); });
+}
+
+fault::CampaignSummary
+Czar::run()
+{
+    return impl_->run();
+}
+
+std::size_t
+Czar::completedRuns() const
+{
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->done;
+}
+
+std::size_t
+Czar::workersLost() const
+{
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->lost;
+}
+
+} // namespace insure::dispatch

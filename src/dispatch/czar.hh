@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The campaign czar: shards a SweepSpec across a fleet of disposable
+ * workers and aggregates their results into the exact campaign summary
+ * the single-process sweep produces.
+ *
+ * Design (after qserv's czar/worker split): the czar owns ALL durable
+ * state — the lease ledger, the fsynced journal and the per-run result
+ * files (the same PR-5 formats the ResilientRunner writes, in the same
+ * state directory layout, so `--resume` tooling needs no new code
+ * path). Workers own NOTHING: a lease is self-contained (recipe +
+ * pre-derived seeds), so any worker can die at any instant — kill -9
+ * mid-run included — and the czar simply re-dispatches that worker's
+ * outstanding runs to the survivors. Killing the czar itself is covered
+ * by the journal + result files: re-running with resume=true serves
+ * completed runs from disk and re-dispatches only the remainder, and
+ * the final campaign JSON is byte-identical to an uninterrupted sweep.
+ *
+ * Determinism: per-run child seeds come from the shared
+ * harness::deriveChildSeeds, run specs are materialised through
+ * fault::buildCampaignRunSpec on the worker, and results are aggregated
+ * in run-index order — so the summary is a pure function of the spec,
+ * independent of worker count, lease schedule, kills or resumes.
+ *
+ * Threading: one reader thread per worker decodes frames and feeds a
+ * single event queue; the run() loop owns every other piece of state.
+ */
+
+#ifndef INSURE_DISPATCH_CZAR_HH
+#define INSURE_DISPATCH_CZAR_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "dispatch/sweep_spec.hh"
+#include "service/transport.hh"
+
+namespace insure::dispatch {
+
+/** Czar policy knobs. */
+struct CzarOptions {
+    /**
+     * Durable campaign state: journal + per-run result files (the PR-5
+     * ResilientRunner layout). Empty disables persistence — worker
+     * deaths are still survived, czar deaths are not.
+     */
+    std::string stateDir;
+    /**
+     * Serve completed runs found in stateDir (identity-verified) and
+     * dispatch only the remainder. Without this flag existing state in
+     * the directory is cleared first.
+     */
+    bool resume = false;
+    /**
+     * Runs per lease. Bigger batches amortise protocol round-trips;
+     * smaller ones re-dispatch less on a worker death. Clamped so the
+     * lease payload fits a frame.
+     */
+    std::size_t chunkRuns = 16;
+    /**
+     * Seconds of silence (no result, no heartbeat) after which a worker
+     * holding leases is declared dead and its runs re-dispatched
+     * (0 = rely on transport EOF alone, which loopback pipes and local
+     * TCP deliver promptly on process death).
+     */
+    double workerTimeoutSeconds = 0.0;
+    /** Optional progress hook: (completed runs, total runs). */
+    std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+/** Orchestrates one distributed campaign (see file comment). */
+class Czar
+{
+  public:
+    Czar(SweepSpec spec, CzarOptions opts);
+    ~Czar();
+
+    Czar(const Czar &) = delete;
+    Czar &operator=(const Czar &) = delete;
+
+    /**
+     * Adopt a connected worker stream. Thread-safe; callable before or
+     * during run() (a fleet may grow while the campaign executes). The
+     * czar takes ownership and spawns the reader.
+     */
+    void addWorker(std::unique_ptr<service::ByteStream> stream);
+
+    /**
+     * Drive the campaign to completion and aggregate. Blocks. Throws
+     * std::runtime_error when the fleet empties with runs outstanding
+     * (every worker dead/disconnected) and snapshot::SnapshotError on
+     * unrecoverable state corruption. Call at most once.
+     */
+    fault::CampaignSummary run();
+
+    /** Completed runs so far (test/diagnostic visibility). */
+    std::size_t completedRuns() const;
+
+    /** Workers that died or disconnected during the campaign. */
+    std::size_t workersLost() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace insure::dispatch
+
+#endif // INSURE_DISPATCH_CZAR_HH

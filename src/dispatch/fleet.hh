@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fleet driver: assembles a czar plus N workers and runs a distributed
+ * campaign end to end.
+ *
+ * Two fleet modes behind one call:
+ *
+ *  - Thread: workers are std::threads talking to the czar over
+ *    in-memory loopback pairs. No sockets, no processes — fully
+ *    deterministic plumbing for tests and benches, including
+ *    disposable-worker churn via per-worker run budgets.
+ *
+ *  - Process: workers are fork/exec'd insure_worker processes
+ *    connecting back over TCP. This is the real deployment shape; the
+ *    kill-one drill (SIGKILL a worker mid-campaign) exercises czar
+ *    re-dispatch against an actual dead process.
+ *
+ * Workers are not respawned: the fleet the campaign starts with is all
+ * it ever has (minus deaths). That matches the disposable-entity
+ * design — recovering czar state, not worker state, is what matters.
+ */
+
+#ifndef INSURE_DISPATCH_FLEET_HH
+#define INSURE_DISPATCH_FLEET_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dispatch/czar.hh"
+#include "dispatch/worker.hh"
+
+namespace insure::dispatch {
+
+/** How fleet workers are hosted. */
+enum class FleetMode {
+    Thread,
+    Process,
+};
+
+/** Fleet assembly knobs. */
+struct FleetOptions {
+    FleetMode mode = FleetMode::Thread;
+    /** Workers to start. */
+    unsigned workers = 4;
+    /** Czar policy (state dir, resume, chunking, liveness). */
+    CzarOptions czar;
+    /** Execution policy handed to every worker. */
+    WorkerOptions worker;
+    /**
+     * Thread mode: per-worker run budgets (worker i exits after
+     * budget[i] runs; missing or 0 entries = unlimited). Simulates
+     * disposable-worker churn deterministically.
+     */
+    std::vector<std::size_t> threadWorkerMaxRuns;
+    /**
+     * Process mode: SIGKILL the first worker this many seconds after
+     * launch (< 0 = no kill). The worker-death drill.
+     */
+    double killOneAfterSeconds = -1.0;
+    /**
+     * Process mode: the insure_worker executable. Empty selects the
+     * build-time default (INSURE_WORKER_EXE).
+     */
+    std::string workerExe;
+};
+
+/**
+ * Run @p spec on a fresh fleet. Throws std::runtime_error when the
+ * fleet cannot be assembled (e.g. sockets unavailable in a sandbox —
+ * process mode only) or the campaign loses every worker.
+ */
+fault::CampaignSummary runDistributedSweep(const SweepSpec &spec,
+                                           const FleetOptions &opts);
+
+} // namespace insure::dispatch
+
+#endif // INSURE_DISPATCH_FLEET_HH

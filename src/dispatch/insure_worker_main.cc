@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Disposable campaign worker process.
+ *
+ *   insure_worker --connect HOST --port PORT [--id NAME]
+ *                 [--max-runs N] [--heartbeat SECONDS]
+ *                 [--watchdog WALL_SECONDS] [--retries N]
+ *
+ * Connects to a campaign czar, executes leased runs, streams results
+ * back, and exits when the czar closes the connection. Holds no
+ * campaign state: kill -9 at any instant costs only in-flight work,
+ * which the czar re-dispatches to surviving workers.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "dispatch/worker.hh"
+#include "service/transport.hh"
+
+using namespace insure;
+
+int
+main(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    int port = 0;
+    dispatch::WorkerOptions opts;
+    opts.workerId = "insure-worker";
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--connect") == 0) {
+            host = value();
+        } else if (std::strcmp(arg, "--port") == 0) {
+            port = std::atoi(value());
+        } else if (std::strcmp(arg, "--id") == 0) {
+            opts.workerId = value();
+        } else if (std::strcmp(arg, "--max-runs") == 0) {
+            opts.maxRuns = static_cast<std::size_t>(std::atoll(value()));
+        } else if (std::strcmp(arg, "--heartbeat") == 0) {
+            opts.heartbeatSeconds = std::atof(value());
+        } else if (std::strcmp(arg, "--watchdog") == 0) {
+            opts.runOpts.watchdogSeconds = std::atof(value());
+        } else if (std::strcmp(arg, "--retries") == 0) {
+            opts.runOpts.maxRetries =
+                static_cast<unsigned>(std::atoi(value()));
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s --connect HOST --port PORT [--id "
+                         "NAME] [--max-runs N] [--heartbeat S] "
+                         "[--watchdog S] [--retries N]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (port <= 0 || port > 65535) {
+        std::fprintf(stderr, "--port must be 1..65535\n");
+        return 2;
+    }
+
+    std::unique_ptr<service::ByteStream> stream;
+    try {
+        stream = service::tcpConnect(host,
+                                     static_cast<std::uint16_t>(port));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "cannot connect to %s:%d: %s\n",
+                     host.c_str(), port, e.what());
+        return 1;
+    }
+    return dispatch::runWorker(*stream, opts);
+}

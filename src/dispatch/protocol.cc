@@ -1,0 +1,183 @@
+#include "dispatch/protocol.hh"
+
+#include "harness/run_result_io.hh"
+#include "snapshot/archive.hh"
+
+namespace insure::dispatch {
+
+namespace {
+
+using snapshot::Archive;
+using snapshot::SnapshotError;
+
+/** Frame an archive payload, enforcing the transport's size cap. */
+std::vector<std::uint8_t>
+toFrame(service::FrameType type, const Archive &ar)
+{
+    const std::string &payload = ar.payload();
+    if (payload.size() > service::kMaxFramePayload)
+        throw SnapshotError(
+            "dispatch: payload of " + std::to_string(payload.size()) +
+            " bytes exceeds the " +
+            std::to_string(service::kMaxFramePayload) + "-byte frame cap");
+    return service::encodeFrame(
+        type, reinterpret_cast<const std::uint8_t *>(payload.data()),
+        payload.size());
+}
+
+/** Open a load archive over a frame, checking its type first. */
+Archive
+fromFrame(const service::Frame &frame, service::FrameType want,
+          const char *name)
+{
+    if (frame.type != want)
+        throw SnapshotError(std::string("dispatch: frame type 0x") +
+                            std::to_string(static_cast<unsigned>(
+                                frame.type)) +
+                            " is not a " + name + " frame");
+    return Archive::forLoad(std::string(
+        reinterpret_cast<const char *>(frame.payload.data()),
+        frame.payload.size()));
+}
+
+void
+putVersion(Archive &ar)
+{
+    ar.putU32(kDispatchProtocolVersion);
+}
+
+void
+checkVersion(Archive &ar, const char *name)
+{
+    const std::uint32_t v = ar.getU32();
+    if (v != kDispatchProtocolVersion)
+        throw SnapshotError(
+            std::string("dispatch: ") + name + " protocol version " +
+            std::to_string(v) + " != expected " +
+            std::to_string(kDispatchProtocolVersion));
+}
+
+/** Trailing bytes mean the grammars disagree: refuse the message. */
+void
+requireDrained(const Archive &ar, const char *name)
+{
+    if (ar.remaining() != 0)
+        throw SnapshotError(std::string("dispatch: ") + name + " has " +
+                            std::to_string(ar.remaining()) +
+                            " trailing bytes");
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeHello(const HelloMsg &msg)
+{
+    Archive ar = Archive::forSave();
+    ar.section("dispatch_hello");
+    ar.putU32(msg.protocolVersion);
+    ar.putStr(msg.workerId);
+    return toFrame(service::FrameType::Hello, ar);
+}
+
+HelloMsg
+decodeHello(const service::Frame &frame)
+{
+    Archive ar = fromFrame(frame, service::FrameType::Hello, "HELLO");
+    ar.section("dispatch_hello");
+    HelloMsg msg;
+    // The version is data here, not a gate: the czar reads it and
+    // decides whether to keep the worker (a mismatch is *its* call).
+    msg.protocolVersion = ar.getU32();
+    msg.workerId = ar.getStr();
+    requireDrained(ar, "HELLO");
+    return msg;
+}
+
+std::vector<std::uint8_t>
+encodeLease(const LeaseMsg &msg)
+{
+    Archive ar = Archive::forSave();
+    ar.section("dispatch_lease");
+    putVersion(ar);
+    saveSweepSpec(ar, msg.spec);
+    ar.putSize(msg.runs.size());
+    for (const LeasedRun &r : msg.runs) {
+        ar.putU64(r.index);
+        ar.putU64(r.seed);
+    }
+    return toFrame(service::FrameType::Lease, ar);
+}
+
+LeaseMsg
+decodeLease(const service::Frame &frame)
+{
+    Archive ar = fromFrame(frame, service::FrameType::Lease, "LEASE");
+    ar.section("dispatch_lease");
+    checkVersion(ar, "LEASE");
+    LeaseMsg msg;
+    msg.spec = loadSweepSpec(ar);
+    msg.runs.resize(ar.getSize());
+    for (LeasedRun &r : msg.runs) {
+        r.index = ar.getU64();
+        r.seed = ar.getU64();
+    }
+    requireDrained(ar, "LEASE");
+    return msg;
+}
+
+std::vector<std::uint8_t>
+encodeResult(const ResultMsg &msg)
+{
+    Archive ar = Archive::forSave();
+    ar.section("dispatch_result");
+    putVersion(ar);
+    ar.putU64(msg.index);
+    ar.putU64(msg.leaseSeed);
+    harness::saveRunResult(ar, msg.result, msg.leaseSeed);
+    return toFrame(service::FrameType::Result, ar);
+}
+
+ResultMsg
+decodeResult(const service::Frame &frame)
+{
+    Archive ar = fromFrame(frame, service::FrameType::Result, "RESULT");
+    ar.section("dispatch_result");
+    checkVersion(ar, "RESULT");
+    ResultMsg msg;
+    msg.index = ar.getU64();
+    msg.leaseSeed = ar.getU64();
+    // The embedded run identity must agree with the claimed index and
+    // seed: the label must be the campaign label of that index, and the
+    // recorded spec seed must match the one declared above. A worker
+    // answering for the wrong run fails here, loudly.
+    const std::string wantLabel =
+        fault::campaignRunLabel(static_cast<std::size_t>(msg.index));
+    harness::loadRunResult(ar, msg.result, wantLabel, msg.leaseSeed);
+    requireDrained(ar, "RESULT");
+    return msg;
+}
+
+std::vector<std::uint8_t>
+encodeHeartbeat(const HeartbeatMsg &msg)
+{
+    Archive ar = Archive::forSave();
+    ar.section("dispatch_heartbeat");
+    putVersion(ar);
+    ar.putU64(msg.runsCompleted);
+    return toFrame(service::FrameType::Heartbeat, ar);
+}
+
+HeartbeatMsg
+decodeHeartbeat(const service::Frame &frame)
+{
+    Archive ar =
+        fromFrame(frame, service::FrameType::Heartbeat, "HEARTBEAT");
+    ar.section("dispatch_heartbeat");
+    checkVersion(ar, "HEARTBEAT");
+    HeartbeatMsg msg;
+    msg.runsCompleted = ar.getU64();
+    requireDrained(ar, "HEARTBEAT");
+    return msg;
+}
+
+} // namespace insure::dispatch

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Czar/worker dispatch protocol over the CRC16-framed byte stream.
+ *
+ * Four frame types (service::FrameType 0x10-0x13) carry
+ * Archive-encoded payloads:
+ *
+ *   HELLO      worker -> czar   protocol version + worker id
+ *   LEASE      czar -> worker   the sweep recipe plus a batch of
+ *                               (run index, child seed) pairs
+ *   RESULT     worker -> czar   one run's full RunResult (the same
+ *                               harness::saveRunResult codec the
+ *                               resilient runner's result files use)
+ *   HEARTBEAT  worker -> czar   liveness beacon + completed-run count
+ *
+ * Every lease is self-contained: it names the runs AND carries their
+ * pre-derived child seeds (the czar derives them once through
+ * harness::deriveChildSeeds), so workers are completely stateless —
+ * any worker can execute any lease at any time, and a worker that
+ * connects mid-campaign needs no catch-up. Decoding is versioned and
+ * fail-loud: version mismatch, unknown frame type, truncation or
+ * trailing bytes throw snapshot::SnapshotError. Encoding throws when a
+ * payload would exceed service::kMaxFramePayload (the czar caps lease
+ * batch sizes below this bound; see Czar).
+ */
+
+#ifndef INSURE_DISPATCH_PROTOCOL_HH
+#define INSURE_DISPATCH_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dispatch/sweep_spec.hh"
+#include "service/framing.hh"
+
+namespace insure::dispatch {
+
+/** Bump on any incompatible change to the dispatch payload grammar. */
+inline constexpr std::uint32_t kDispatchProtocolVersion = 1;
+
+/** Worker introduction, sent once immediately after connecting. */
+struct HelloMsg {
+    std::uint32_t protocolVersion = kDispatchProtocolVersion;
+    std::string workerId;
+
+    bool operator==(const HelloMsg &) const = default;
+};
+
+/** One leased run: campaign index plus its pre-derived child seed. */
+struct LeasedRun {
+    std::uint64_t index = 0;
+    std::uint64_t seed = 0;
+
+    bool operator==(const LeasedRun &) const = default;
+};
+
+/** A batch of runs for one worker (self-contained; see file comment). */
+struct LeaseMsg {
+    SweepSpec spec;
+    std::vector<LeasedRun> runs;
+
+    bool operator==(const LeaseMsg &) const = default;
+};
+
+/** One completed run travelling back to the czar. */
+struct ResultMsg {
+    std::uint64_t index = 0;
+    /** The seed the lease assigned (identity check on receipt). */
+    std::uint64_t leaseSeed = 0;
+    core::RunResult result;
+};
+
+/** Liveness beacon. */
+struct HeartbeatMsg {
+    std::uint64_t runsCompleted = 0;
+
+    bool operator==(const HeartbeatMsg &) const = default;
+};
+
+/**
+ * Bytes of lease payload one LeasedRun entry costs; used by the czar
+ * to size batches under service::kMaxFramePayload.
+ */
+inline constexpr std::size_t kLeasedRunWireBytes = 16;
+
+// Encoders return a complete framed message ready for
+// ByteStream::send. They throw snapshot::SnapshotError when the
+// payload would not fit a frame.
+std::vector<std::uint8_t> encodeHello(const HelloMsg &msg);
+std::vector<std::uint8_t> encodeLease(const LeaseMsg &msg);
+std::vector<std::uint8_t> encodeResult(const ResultMsg &msg);
+std::vector<std::uint8_t> encodeHeartbeat(const HeartbeatMsg &msg);
+
+// Decoders take a frame of the matching type and throw
+// snapshot::SnapshotError on wrong type, version mismatch, truncation
+// or trailing bytes.
+HelloMsg decodeHello(const service::Frame &frame);
+LeaseMsg decodeLease(const service::Frame &frame);
+ResultMsg decodeResult(const service::Frame &frame);
+HeartbeatMsg decodeHeartbeat(const service::Frame &frame);
+
+} // namespace insure::dispatch
+
+#endif // INSURE_DISPATCH_PROTOCOL_HH

@@ -1,0 +1,134 @@
+#include "dispatch/sweep_spec.hh"
+
+#include <stdexcept>
+
+#include "fault/fault_plan.hh"
+#include "sim/units.hh"
+#include "snapshot/archive.hh"
+
+namespace insure::dispatch {
+
+namespace {
+
+/** Bump when the SweepSpec wire grammar changes. */
+constexpr std::uint32_t kSweepSpecVersion = 1;
+
+void
+putOptF64(snapshot::Archive &ar, const std::optional<double> &v)
+{
+    ar.putBool(v.has_value());
+    if (v)
+        ar.putF64(*v);
+}
+
+std::optional<double>
+getOptF64(snapshot::Archive &ar)
+{
+    if (ar.getBool())
+        return ar.getF64();
+    return std::nullopt;
+}
+
+} // namespace
+
+void
+saveSweepSpec(snapshot::Archive &ar, const SweepSpec &spec)
+{
+    ar.section("sweep_spec");
+    ar.putU32(kSweepSpecVersion);
+    ar.putStr(spec.workload);
+    ar.putEnum(spec.manager);
+    ar.putEnum(spec.day);
+    ar.putF64(spec.days);
+    ar.putF64(spec.faultRatePerHour);
+    ar.putSize(spec.faultClasses.size());
+    for (const fault::FaultClass c : spec.faultClasses)
+        ar.putEnum(c);
+    ar.putEnum(spec.policy);
+    ar.putSize(spec.policyGrid.size());
+    for (const PolicyPoint &p : spec.policyGrid) {
+        putOptF64(ar, p.dischargeBudgetAh);
+        putOptF64(ar, p.socFloor);
+        putOptF64(ar, p.chargedSoc);
+        ar.putBool(p.minEligible.has_value());
+        if (p.minEligible)
+            ar.putU32(*p.minEligible);
+    }
+    ar.putU64(spec.runs);
+    ar.putU64(spec.masterSeed);
+}
+
+SweepSpec
+loadSweepSpec(snapshot::Archive &ar)
+{
+    ar.section("sweep_spec");
+    const std::uint32_t version = ar.getU32();
+    if (version != kSweepSpecVersion)
+        throw snapshot::SnapshotError(
+            "sweep spec: version " + std::to_string(version) +
+            " != expected " + std::to_string(kSweepSpecVersion));
+    SweepSpec spec;
+    spec.workload = ar.getStr();
+    spec.manager = ar.getEnum<core::ManagerKind>(
+        static_cast<std::uint32_t>(core::ManagerKind::Baseline));
+    spec.day = ar.getEnum<solar::DayClass>(
+        static_cast<std::uint32_t>(solar::DayClass::Rainy));
+    spec.days = ar.getF64();
+    spec.faultRatePerHour = ar.getF64();
+    spec.faultClasses.resize(ar.getSize());
+    for (fault::FaultClass &c : spec.faultClasses)
+        c = ar.getEnum<fault::FaultClass>(
+            static_cast<std::uint32_t>(fault::FaultClass::Server));
+    spec.policy = ar.getEnum<validate::Policy>(
+        static_cast<std::uint32_t>(validate::Policy::Throw));
+    spec.policyGrid.resize(ar.getSize());
+    for (PolicyPoint &p : spec.policyGrid) {
+        p.dischargeBudgetAh = getOptF64(ar);
+        p.socFloor = getOptF64(ar);
+        p.chargedSoc = getOptF64(ar);
+        if (ar.getBool())
+            p.minEligible = ar.getU32();
+    }
+    spec.runs = static_cast<std::size_t>(ar.getU64());
+    spec.masterSeed = ar.getU64();
+    return spec;
+}
+
+fault::CampaignConfig
+toCampaignConfig(const SweepSpec &spec)
+{
+    fault::CampaignConfig cfg;
+    if (spec.workload == "seismic")
+        cfg.base = core::seismicExperiment();
+    else if (spec.workload == "video")
+        cfg.base = core::videoExperiment();
+    else
+        throw std::runtime_error("sweep spec: unknown workload '" +
+                                 spec.workload + "'");
+    cfg.base.manager = spec.manager;
+    cfg.base.day = spec.day;
+    cfg.base.duration = spec.days * units::secPerDay;
+    cfg.plan = fault::makeRatePlan(spec.faultRatePerHour, spec.faultClasses);
+    cfg.policy = spec.policy;
+    cfg.runs = spec.runs;
+    cfg.masterSeed = spec.masterSeed;
+    if (!spec.policyGrid.empty()) {
+        // Copy the grid into the closure: the config must stay valid
+        // after the spec it came from is gone.
+        cfg.perRunTweak = [grid = spec.policyGrid](
+                              std::size_t i, core::ExperimentConfig &c) {
+            const PolicyPoint &p = grid[i % grid.size()];
+            if (p.dischargeBudgetAh)
+                c.insure.spatial.lifetimeDischargeAh = *p.dischargeBudgetAh;
+            if (p.socFloor)
+                c.insure.temporal.socFloor = *p.socFloor;
+            if (p.chargedSoc)
+                c.insure.chargedSoc = *p.chargedSoc;
+            if (p.minEligible)
+                c.insure.spatial.minEligible = *p.minEligible;
+        };
+    }
+    return cfg;
+}
+
+} // namespace insure::dispatch

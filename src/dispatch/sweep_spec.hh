@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Serializable description of a distributed fault campaign.
+ *
+ * A fault::CampaignConfig cannot cross a process boundary: it carries
+ * std::function factories (observer, plant extension) bound to live
+ * code. The dispatch layer therefore ships a compact SweepSpec — the
+ * *recipe* for a campaign — and every process re-materialises the
+ * actual CampaignConfig locally through toCampaignConfig(), which
+ * builds run specs through the same fault::buildCampaignRunSpec() the
+ * single-process sweep uses. Because materialisation is a pure function
+ * of the spec, a run executed on a remote worker is bit-identical to
+ * the same run executed by the in-process oracle.
+ *
+ * The wire encoding rides the snapshot::Archive byte grammar and is
+ * versioned + fail-loud: a mismatched version or trailing bytes throw
+ * SnapshotError, never mis-decode.
+ */
+
+#ifndef INSURE_DISPATCH_SWEEP_SPEC_HH
+#define INSURE_DISPATCH_SWEEP_SPEC_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hh"
+#include "solar/irradiance.hh"
+
+namespace insure::snapshot {
+class Archive;
+}
+
+namespace insure::dispatch {
+
+/**
+ * One point of a policy grid: optional overrides of the InSURE policy
+ * knobs (the same four the what-if service exposes). Unset fields keep
+ * the workload preset's value.
+ */
+struct PolicyPoint {
+    /** Battery lifetime discharge budget, Ah. */
+    std::optional<double> dischargeBudgetAh;
+    /** Temporal-manager SoC floor. */
+    std::optional<double> socFloor;
+    /** SoC at which a charging cabinet is promoted to standby. */
+    std::optional<double> chargedSoc;
+    /** Minimum eligible cabinets before spatial screening engages. */
+    std::optional<std::uint32_t> minEligible;
+
+    bool operator==(const PolicyPoint &) const = default;
+};
+
+/** The recipe for a whole campaign (see file comment). */
+struct SweepSpec {
+    /** Workload preset: "seismic" or "video". */
+    std::string workload = "seismic";
+    /** Policy under test. */
+    core::ManagerKind manager = core::ManagerKind::Insure;
+    /** Weather class of the generated solar day. */
+    solar::DayClass day = solar::DayClass::Sunny;
+    /** Run length in days. */
+    double days = 1.0;
+    /** Poisson fault rate per hour (0 = clean runs). */
+    double faultRatePerHour = 0.0;
+    /** Fault classes injected (empty = all classes). */
+    std::vector<fault::FaultClass> faultClasses;
+    /** Invariant policy attached to every run. */
+    validate::Policy policy = validate::Policy::Log;
+    /**
+     * Policy grid, applied cyclically: run i gets grid[i % size].
+     * Empty leaves every run on the workload preset.
+     */
+    std::vector<PolicyPoint> policyGrid;
+    /** Seeded runs to execute. */
+    std::size_t runs = 50;
+    /** Master seed; per-run child seeds derive from it in run order. */
+    std::uint64_t masterSeed = kDefaultSeed;
+
+    bool operator==(const SweepSpec &) const = default;
+};
+
+/** Serialize @p spec (versioned; see loadSweepSpec). */
+void saveSweepSpec(snapshot::Archive &ar, const SweepSpec &spec);
+
+/**
+ * Decode a SweepSpec. Throws snapshot::SnapshotError on version
+ * mismatch, unknown enum value or truncation.
+ */
+SweepSpec loadSweepSpec(snapshot::Archive &ar);
+
+/**
+ * Materialise the campaign this spec describes. Pure: two processes
+ * calling this on equal specs build campaigns whose run i is
+ * bit-identical. Throws std::runtime_error on an unknown workload name.
+ * The returned config has no progress hook and default (non-resilient)
+ * execution options; callers layer those on locally.
+ */
+fault::CampaignConfig toCampaignConfig(const SweepSpec &spec);
+
+} // namespace insure::dispatch
+
+#endif // INSURE_DISPATCH_SWEEP_SPEC_HH

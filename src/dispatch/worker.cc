@@ -1,0 +1,147 @@
+#include "dispatch/worker.hh"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "dispatch/protocol.hh"
+#include "fault/campaign.hh"
+#include "service/framing.hh"
+#include "sim/logging.hh"
+#include "snapshot/archive.hh"
+
+namespace insure::dispatch {
+
+namespace {
+
+/** Periodic HEARTBEAT sender (the run loop is busy simulating). */
+class HeartbeatThread
+{
+  public:
+    HeartbeatThread(service::ByteStream &stream, std::mutex &sendMutex,
+                    const std::atomic<std::uint64_t> &runsCompleted,
+                    double periodSeconds)
+        : stream_(stream), sendMutex_(sendMutex),
+          runsCompleted_(runsCompleted)
+    {
+        if (periodSeconds <= 0.0)
+            return;
+        thread_ = std::thread([this, periodSeconds] {
+            std::unique_lock<std::mutex> lock(mu_);
+            while (!stop_) {
+                cv_.wait_for(lock, std::chrono::duration<double>(
+                                       periodSeconds));
+                if (stop_)
+                    return;
+                HeartbeatMsg msg;
+                msg.runsCompleted = runsCompleted_.load();
+                const std::lock_guard<std::mutex> send(sendMutex_);
+                stream_.send(encodeHeartbeat(msg));
+            }
+        });
+    }
+
+    ~HeartbeatThread()
+    {
+        {
+            const std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+            cv_.notify_all();
+        }
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+  private:
+    service::ByteStream &stream_;
+    std::mutex &sendMutex_;
+    const std::atomic<std::uint64_t> &runsCompleted_;
+    std::thread thread_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace
+
+int
+runWorker(service::ByteStream &stream, const WorkerOptions &opts)
+{
+    std::mutex sendMutex;
+    std::atomic<std::uint64_t> runsCompleted{0};
+    HeartbeatThread heartbeat(stream, sendMutex, runsCompleted,
+                              opts.heartbeatSeconds);
+
+    {
+        HelloMsg hello;
+        hello.workerId = opts.workerId;
+        const std::lock_guard<std::mutex> lock(sendMutex);
+        if (!stream.send(encodeHello(hello)))
+            return 1;
+    }
+
+    harness::ResilientRunner runner(opts.runOpts);
+
+    // The campaign config is a pure function of the sweep spec, so one
+    // materialisation serves every lease of the same campaign.
+    std::optional<SweepSpec> cachedSpec;
+    std::optional<fault::CampaignConfig> cachedCfg;
+
+    service::FrameDecoder decoder;
+    std::uint8_t buf[4096];
+    for (;;) {
+        const std::size_t n = stream.receive(buf, sizeof buf);
+        if (n == 0)
+            return 0; // czar is done with us
+        decoder.feed(buf, n);
+        while (auto frame = decoder.next()) {
+            LeaseMsg lease;
+            try {
+                lease = decodeLease(*frame);
+            } catch (const std::exception &e) {
+                warn("worker %s: bad frame from czar: %s",
+                     opts.workerId.c_str(), e.what());
+                stream.close();
+                return 1;
+            }
+            if (!cachedCfg || !(*cachedSpec == lease.spec)) {
+                try {
+                    cachedCfg = toCampaignConfig(lease.spec);
+                } catch (const std::exception &e) {
+                    warn("worker %s: unusable sweep spec: %s",
+                         opts.workerId.c_str(), e.what());
+                    stream.close();
+                    return 1;
+                }
+                cachedSpec = lease.spec;
+            }
+            for (const LeasedRun &r : lease.runs) {
+                const auto idx = static_cast<std::size_t>(r.index);
+                core::RunSpec spec =
+                    fault::buildCampaignRunSpec(*cachedCfg, idx);
+                spec.config.seed = r.seed;
+                ResultMsg msg;
+                msg.index = r.index;
+                msg.leaseSeed = r.seed;
+                msg.result = runner.runOne(spec, idx);
+                {
+                    const std::lock_guard<std::mutex> lock(sendMutex);
+                    if (!stream.send(encodeResult(msg)))
+                        return 0; // czar gone; nothing left to serve
+                }
+                const std::uint64_t total = ++runsCompleted;
+                if (opts.maxRuns > 0 && total >= opts.maxRuns) {
+                    // Disposable-worker drill: drop the connection,
+                    // abandoning the rest of the lease mid-flight.
+                    stream.close();
+                    return 0;
+                }
+            }
+        }
+    }
+}
+
+} // namespace insure::dispatch

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The dispatch worker: a disposable, stateless campaign executant.
+ *
+ * A worker connects, introduces itself (HELLO), then executes whatever
+ * leases arrive: each lease carries the sweep recipe and pre-derived
+ * child seeds, the worker materialises each run through the same
+ * fault::buildCampaignRunSpec + harness::ResilientRunner::runOne path
+ * the single-process campaign uses, and streams one RESULT frame per
+ * finished run. It holds no campaign state whatsoever — killing a
+ * worker at any instant loses nothing but in-flight work, which the
+ * czar re-dispatches.
+ */
+
+#ifndef INSURE_DISPATCH_WORKER_HH
+#define INSURE_DISPATCH_WORKER_HH
+
+#include <cstddef>
+#include <string>
+
+#include "harness/resilient_runner.hh"
+#include "service/transport.hh"
+
+namespace insure::dispatch {
+
+/** Worker policy knobs. */
+struct WorkerOptions {
+    /** Identity reported in HELLO (diagnostics only). */
+    std::string workerId = "worker";
+    /**
+     * Execution policy for leased runs (watchdog, retries, optional
+     * worker-local checkpoint dir). Default: plain execution, no
+     * persistence — the czar owns durability.
+     */
+    harness::ResilientOptions runOpts;
+    /**
+     * Exit after completing this many runs (0 = serve until the czar
+     * closes the stream). Simulates disposable-worker churn in tests:
+     * the worker drops its connection mid-campaign, possibly holding an
+     * unfinished lease.
+     */
+    std::size_t maxRuns = 0;
+    /**
+     * Send a HEARTBEAT every this many seconds from a side thread
+     * (0 = none). Lets a czar with workerTimeoutSeconds distinguish a
+     * long run from a dead worker.
+     */
+    double heartbeatSeconds = 0.0;
+};
+
+/**
+ * Serve leases on @p stream until it closes (returns 0), the maxRuns
+ * budget is spent (returns 0), or a protocol error occurs (returns 1).
+ * Runs that fail deterministically are reported as failed results, not
+ * worker errors — exactly like the in-process sweep records them.
+ */
+int runWorker(service::ByteStream &stream, const WorkerOptions &opts);
+
+} // namespace insure::dispatch
+
+#endif // INSURE_DISPATCH_WORKER_HH

@@ -55,20 +55,33 @@ jsonEscape(const std::string &s)
 
 } // namespace
 
+std::string
+campaignRunLabel(std::size_t i)
+{
+    return strf("run%04zu", i);
+}
+
+core::RunSpec
+buildCampaignRunSpec(const CampaignConfig &cfg, std::size_t i)
+{
+    core::RunSpec spec;
+    spec.label = campaignRunLabel(i);
+    spec.config = cfg.base;
+    if (cfg.perRunTweak)
+        cfg.perRunTweak(i, spec.config);
+    installFaultPlan(spec.config, cfg.plan);
+    if (cfg.policy != validate::Policy::Off)
+        validate::attachInvariantChecker(spec.config, cfg.policy);
+    return spec;
+}
+
 CampaignSummary
 runFaultCampaign(const CampaignConfig &cfg)
 {
     std::vector<core::RunSpec> specs;
     specs.reserve(cfg.runs);
-    for (std::size_t i = 0; i < cfg.runs; ++i) {
-        core::RunSpec spec;
-        spec.label = strf("run%04zu", i);
-        spec.config = cfg.base;
-        installFaultPlan(spec.config, cfg.plan);
-        if (cfg.policy != validate::Policy::Off)
-            validate::attachInvariantChecker(spec.config, cfg.policy);
-        specs.push_back(std::move(spec));
-    }
+    for (std::size_t i = 0; i < cfg.runs; ++i)
+        specs.push_back(buildCampaignRunSpec(cfg, i));
 
     harness::BatchRunner::Progress progress;
     if (cfg.progress) {
@@ -95,7 +108,13 @@ runFaultCampaign(const CampaignConfig &cfg)
         results =
             runner.runSeeded(std::move(specs), cfg.masterSeed, progress);
     }
+    return summarizeCampaign(cfg, results);
+}
 
+CampaignSummary
+summarizeCampaign(const CampaignConfig &cfg,
+                  const std::vector<core::RunResult> &results)
+{
     CampaignSummary s;
     s.config = cfg;
     s.sweep = core::mergeResults(results);

@@ -52,6 +52,15 @@ struct CampaignConfig {
      * plain BatchRunner — the exact pre-existing code path.
      */
     harness::ResilientOptions resilient;
+    /**
+     * Optional per-run config mutation, applied to run @p i's config
+     * after the base copy but before the fault plan and invariant
+     * checker are installed. Lets a sweep vary policy parameters across
+     * runs (e.g. the distributed SweepSpec's policy grid) while keeping
+     * materialisation inside buildCampaignRunSpec, the single place a
+     * run spec is ever constructed.
+     */
+    std::function<void(std::size_t i, core::ExperimentConfig &)> perRunTweak;
 };
 
 /** Per-run campaign outcome. */
@@ -88,6 +97,29 @@ struct CampaignSummary {
     double lostVmHours = 0.0;
     std::uint64_t invariantViolations = 0;
 };
+
+/** Canonical label of campaign run @p i ("run0042"). */
+std::string campaignRunLabel(std::size_t i);
+
+/**
+ * Materialise run @p i of a campaign: base config copy, perRunTweak,
+ * fault plan, invariant checker, canonical label. The seed is NOT set
+ * here — the execution engine derives it from the master seed (see
+ * harness::deriveChildSeeds). Every execution path — runFaultCampaign's
+ * in-process sweep and every dispatch worker of a distributed campaign
+ * (src/dispatch) — builds its specs through this one function, which is
+ * what makes a run's behaviour a pure function of (config, index) and
+ * the distributed output byte-identical to the single-process oracle.
+ */
+core::RunSpec buildCampaignRunSpec(const CampaignConfig &cfg, std::size_t i);
+
+/**
+ * Aggregate per-run results (in run order, one per campaign run) into a
+ * CampaignSummary. Shared by runFaultCampaign and the dispatch czar,
+ * which aggregates results collected from remote workers.
+ */
+CampaignSummary summarizeCampaign(const CampaignConfig &cfg,
+                                  const std::vector<core::RunResult> &results);
 
 /** Execute a campaign (see file comment). */
 CampaignSummary runFaultCampaign(const CampaignConfig &cfg);

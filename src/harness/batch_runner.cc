@@ -51,6 +51,29 @@ defaultJobs()
     return hardwareConcurrency();
 }
 
+std::vector<std::uint64_t>
+deriveChildSeeds(std::uint64_t masterSeed, std::size_t count)
+{
+    // Sequential, in run order, before any worker starts: the schedule
+    // cannot influence any run, and run i's seed is reproducible from
+    // (masterSeed, i) alone.
+    Rng master(masterSeed);
+    std::vector<std::uint64_t> seeds(count);
+    for (std::uint64_t &s : seeds)
+        s = master.splitSeed();
+    return seeds;
+}
+
+void
+assignChildSeeds(std::vector<core::RunSpec> &specs,
+                 std::uint64_t masterSeed)
+{
+    const std::vector<std::uint64_t> seeds =
+        deriveChildSeeds(masterSeed, specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        specs[i].config.seed = seeds[i];
+}
+
 BatchRunner::BatchRunner(unsigned jobs)
     : jobs_(jobs > 0 ? clampJobs(jobs, "--jobs") : defaultJobs())
 {
@@ -121,12 +144,7 @@ BatchRunner::runSeeded(std::vector<core::RunSpec> specs,
                        std::uint64_t masterSeed,
                        const Progress &progress) const
 {
-    // Child-seed derivation is sequential and happens before any worker
-    // starts: the i-th spec always receives the i-th split of the master
-    // stream, so the schedule cannot influence any run.
-    Rng master(masterSeed);
-    for (core::RunSpec &spec : specs)
-        spec.config.seed = master.splitSeed();
+    assignChildSeeds(specs, masterSeed);
     return run(specs, progress);
 }
 

@@ -45,6 +45,22 @@ unsigned clampJobs(unsigned jobs, const char *origin);
  */
 unsigned defaultJobs();
 
+/**
+ * THE campaign seed derivation: the i-th run of a sweep always receives
+ * the i-th split of Rng(masterSeed), derived sequentially in run order
+ * before any run starts. Every execution engine — BatchRunner,
+ * ResilientRunner, and the distributed campaign czar (src/dispatch) —
+ * derives per-run seeds through this one function, so a run's seed is a
+ * pure function of (masterSeed, run index) and can never drift between
+ * the single-process oracle and a remote worker.
+ */
+std::vector<std::uint64_t> deriveChildSeeds(std::uint64_t masterSeed,
+                                            std::size_t count);
+
+/** Assign deriveChildSeeds(masterSeed, specs.size()) into the specs. */
+void assignChildSeeds(std::vector<core::RunSpec> &specs,
+                      std::uint64_t masterSeed);
+
 /** Executes batches of independent experiment runs concurrently. */
 class BatchRunner
 {

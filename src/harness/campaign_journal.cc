@@ -1,0 +1,106 @@
+#include "harness/campaign_journal.hh"
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "sim/logging.hh"
+
+namespace insure::harness {
+
+namespace {
+
+std::string
+runFilePath(const std::string &dir, std::size_t i, const char *suffix)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "/run-%04zu.%s", i, suffix);
+    return dir + buf;
+}
+
+} // namespace
+
+std::string
+runResultPath(const std::string &dir, std::size_t i)
+{
+    return runFilePath(dir, i, "result");
+}
+
+std::string
+runCheckpointPath(const std::string &dir, std::size_t i)
+{
+    return runFilePath(dir, i, "ckpt");
+}
+
+void
+clearCampaignState(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    for (const fs::directory_entry &e : fs::directory_iterator(dir, ec)) {
+        const std::string name = e.path().filename().string();
+        if (name == "journal.jsonl" || name.rfind("run-", 0) == 0)
+            fs::remove(e.path(), ec);
+    }
+}
+
+namespace {
+
+/** Exception messages land in the journal: keep the JSON valid. */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+CampaignJournal::CampaignJournal(const std::string &dir)
+{
+    if (dir.empty())
+        return;
+    const std::string path = dir + "/journal.jsonl";
+    f_ = std::fopen(path.c_str(), "a");
+    if (!f_)
+        warn("cannot open campaign journal %s", path.c_str());
+}
+
+CampaignJournal::~CampaignJournal()
+{
+    if (f_)
+        std::fclose(f_);
+}
+
+void
+CampaignJournal::record(std::size_t run, const std::string &label,
+                        const char *event, unsigned attempt,
+                        const std::string &detail)
+{
+    if (!f_)
+        return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::fprintf(f_,
+                 "{\"run\": %zu, \"label\": \"%s\", \"event\": "
+                 "\"%s\", \"attempt\": %u%s%s%s}\n",
+                 run, escape(label).c_str(), event, attempt,
+                 detail.empty() ? "" : ", \"detail\": \"",
+                 escape(detail).c_str(), detail.empty() ? "" : "\"");
+    std::fflush(f_);
+    ::fsync(::fileno(f_));
+}
+
+} // namespace insure::harness

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The campaign manifest: one JSON object per line, appended and fsynced
+ * per record, so the journal survives whatever killed the process and
+ * `--resume` (and the operator) can reconstruct exactly how far a sweep
+ * got.
+ *
+ * Introduced by the PR-5 ResilientRunner; the distributed campaign czar
+ * (src/dispatch) writes the identical record format into its own state
+ * directory, so a resumed distributed campaign and a resumed
+ * single-process campaign read the same journal grammar. Event strings
+ * are free-form: the runner uses start/retry/resumed/done/failed/
+ * cached/cache-mismatch/cache-corrupt/checkpoint-corrupt/timeout, the
+ * czar adds dispatch/requeued/worker-lost/duplicate.
+ */
+
+#ifndef INSURE_HARNESS_CAMPAIGN_JOURNAL_HH
+#define INSURE_HARNESS_CAMPAIGN_JOURNAL_HH
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace insure::harness {
+
+/** Path of run @p i's cached-result file in state directory @p dir. */
+std::string runResultPath(const std::string &dir, std::size_t i);
+
+/** Path of run @p i's mid-run checkpoint file in @p dir. */
+std::string runCheckpointPath(const std::string &dir, std::size_t i);
+
+/**
+ * Remove campaign state (journal.jsonl and run-* files) from @p dir.
+ * A fresh (non-resume) campaign must not inherit whatever previously
+ * used the directory: the append-mode journal would interleave records
+ * from different campaigns, and leftover result/checkpoint files from
+ * a larger earlier sweep could be served by a later --resume.
+ */
+void clearCampaignState(const std::string &dir);
+
+/** Append-only fsynced JSONL campaign manifest (thread-safe). */
+class CampaignJournal
+{
+  public:
+    /**
+     * Open (append mode) `<dir>/journal.jsonl`. An empty @p dir makes
+     * every record a no-op — campaigns without a state directory pay
+     * nothing. A directory that cannot be opened warns and disables the
+     * journal (the campaign itself still runs).
+     */
+    explicit CampaignJournal(const std::string &dir);
+
+    ~CampaignJournal();
+
+    CampaignJournal(const CampaignJournal &) = delete;
+    CampaignJournal &operator=(const CampaignJournal &) = delete;
+
+    /** True when records actually land in a file. */
+    bool open() const { return f_ != nullptr; }
+
+    /**
+     * Append one record: {"run": N, "label": "...", "event": "...",
+     * "attempt": N[, "detail": "..."]} — flushed and fsynced before
+     * returning, so the record survives a kill -9 at any instant.
+     */
+    void record(std::size_t run, const std::string &label,
+                const char *event, unsigned attempt,
+                const std::string &detail = {});
+
+  private:
+    std::FILE *f_ = nullptr;
+    std::mutex mutex_;
+};
+
+} // namespace insure::harness
+
+#endif // INSURE_HARNESS_CAMPAIGN_JOURNAL_HH

@@ -9,8 +9,8 @@
 #include <mutex>
 #include <thread>
 
-#include <unistd.h>
-
+#include "harness/campaign_journal.hh"
+#include "harness/run_result_io.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "snapshot/snapshotter.hh"
@@ -26,319 +26,6 @@ class WatchdogTimeout : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
-/** Raised when a cached result file belongs to a different spec. */
-class CacheMismatch : public snapshot::SnapshotError
-{
-  public:
-    using snapshot::SnapshotError::SnapshotError;
-};
-
-std::string
-runFilePath(const std::string &dir, std::size_t i, const char *suffix)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "/run-%04zu.%s", i, suffix);
-    return dir + buf;
-}
-
-/**
- * A fresh (resume=false) campaign must not inherit whatever previously
- * used the directory: the append-mode journal would interleave records
- * from different campaigns, and leftover result/checkpoint files from a
- * larger earlier sweep could be served by a later --resume.
- */
-void
-clearCampaignState(const std::string &dir)
-{
-    namespace fs = std::filesystem;
-    std::error_code ec;
-    for (const fs::directory_entry &e : fs::directory_iterator(dir, ec)) {
-        const std::string name = e.path().filename().string();
-        if (name == "journal.jsonl" || name.rfind("run-", 0) == 0)
-            fs::remove(e.path(), ec);
-    }
-}
-
-// ---- Cached run results ----------------------------------------------
-// A completed (or deterministically failed) run is persisted as an
-// Archive in the snapshot file frame, so resumed campaigns return the
-// byte-identical RunResult without re-simulating.
-
-void
-saveMetrics(snapshot::Archive &ar, const core::Metrics &m)
-{
-    ar.putF64(m.uptime);
-    ar.putF64(m.throughputGbPerHour);
-    ar.putF64(m.meanLatency);
-    ar.putF64(m.eBufferAvailability);
-    ar.putF64(m.serviceLifeYears);
-    ar.putF64(m.workNormalizedLifeYears);
-    ar.putF64(m.perfPerAh);
-    ar.putF64(m.processedGb);
-    ar.putF64(m.solarOfferedKwh);
-    ar.putF64(m.greenUsedKwh);
-    ar.putF64(m.loadKwh);
-    ar.putF64(m.effectiveKwh);
-    ar.putF64(m.secondaryKwh);
-    ar.putF64(m.bufferThroughputAh);
-    ar.putF64(m.bufferImbalanceAh);
-    ar.putU64(m.bufferTrips);
-    ar.putU64(m.emergencyShutdowns);
-    ar.putU64(m.onOffCycles);
-    ar.putU64(m.vmCtrlOps);
-    ar.putU64(m.powerCtrlOps);
-}
-
-void
-loadMetrics(snapshot::Archive &ar, core::Metrics &m)
-{
-    m.uptime = ar.getF64();
-    m.throughputGbPerHour = ar.getF64();
-    m.meanLatency = ar.getF64();
-    m.eBufferAvailability = ar.getF64();
-    m.serviceLifeYears = ar.getF64();
-    m.workNormalizedLifeYears = ar.getF64();
-    m.perfPerAh = ar.getF64();
-    m.processedGb = ar.getF64();
-    m.solarOfferedKwh = ar.getF64();
-    m.greenUsedKwh = ar.getF64();
-    m.loadKwh = ar.getF64();
-    m.effectiveKwh = ar.getF64();
-    m.secondaryKwh = ar.getF64();
-    m.bufferThroughputAh = ar.getF64();
-    m.bufferImbalanceAh = ar.getF64();
-    m.bufferTrips = ar.getU64();
-    m.emergencyShutdowns = ar.getU64();
-    m.onOffCycles = ar.getU64();
-    m.vmCtrlOps = ar.getU64();
-    m.powerCtrlOps = ar.getU64();
-}
-
-void
-saveLogSummary(snapshot::Archive &ar, const telemetry::DailyLogSummary &l)
-{
-    ar.putStr(l.label);
-    ar.putF64(l.solarBudgetKwh);
-    ar.putF64(l.loadKwh);
-    ar.putF64(l.effectiveKwh);
-    ar.putU64(l.powerCtrlTimes);
-    ar.putU64(l.onOffCycles);
-    ar.putU64(l.vmCtrlTimes);
-    ar.putF64(l.minBatteryVoltage);
-    ar.putF64(l.endOfDayVoltage);
-    ar.putF64(l.batteryVoltageSigma);
-    ar.putF64(l.processedGb);
-}
-
-void
-loadLogSummary(snapshot::Archive &ar, telemetry::DailyLogSummary &l)
-{
-    l.label = ar.getStr();
-    l.solarBudgetKwh = ar.getF64();
-    l.loadKwh = ar.getF64();
-    l.effectiveKwh = ar.getF64();
-    l.powerCtrlTimes = ar.getU64();
-    l.onOffCycles = ar.getU64();
-    l.vmCtrlTimes = ar.getU64();
-    l.minBatteryVoltage = ar.getF64();
-    l.endOfDayVoltage = ar.getF64();
-    l.batteryVoltageSigma = ar.getF64();
-    l.processedGb = ar.getF64();
-}
-
-void
-saveResilience(snapshot::Archive &ar, const core::ResilienceMetrics &m)
-{
-    ar.putU64(m.faultsInjected);
-    ar.putU64(m.faultsCleared);
-    ar.putU64(m.detectedFaults);
-    ar.putU64(m.quarantines);
-    ar.putF64(m.meanTimeToDetect);
-    ar.putF64(m.maxTimeToDetect);
-    ar.putF64(m.meanTimeToRecover);
-    ar.putF64(m.maxTimeToRecover);
-    ar.putF64(m.outageSeconds);
-    ar.putF64(m.pendingDownSeconds);
-    ar.putF64(m.unsafeOperationSeconds);
-    ar.putF64(m.energyLostKwh);
-    ar.putF64(m.lostVmHours);
-}
-
-void
-loadResilience(snapshot::Archive &ar, core::ResilienceMetrics &m)
-{
-    m.faultsInjected = ar.getU64();
-    m.faultsCleared = ar.getU64();
-    m.detectedFaults = ar.getU64();
-    m.quarantines = ar.getU64();
-    m.meanTimeToDetect = ar.getF64();
-    m.maxTimeToDetect = ar.getF64();
-    m.meanTimeToRecover = ar.getF64();
-    m.maxTimeToRecover = ar.getF64();
-    m.outageSeconds = ar.getF64();
-    m.pendingDownSeconds = ar.getF64();
-    m.unsafeOperationSeconds = ar.getF64();
-    m.energyLostKwh = ar.getF64();
-    m.lostVmHours = ar.getF64();
-}
-
-/**
- * @p specSeed is the campaign-derived child seed of the spec that
- * produced @p r (r.seed may differ after a reseeded retry). It is the
- * cache key loadRunResult verifies, so a state dir reused with a
- * different campaign (other specs, master seed or run count) can never
- * silently serve results from the wrong runs.
- */
-void
-saveRunResult(snapshot::Archive &ar, const core::RunResult &r,
-              std::uint64_t specSeed)
-{
-    ar.section("run_identity");
-    ar.putStr(r.label);
-    ar.putU64(specSeed);
-    ar.section("run_result");
-    ar.putStr(r.label);
-    ar.putU64(r.seed);
-    ar.putF64(r.simulatedSeconds);
-    ar.putF64(r.wallSeconds);
-    ar.putBool(r.failed);
-    ar.putStr(r.error);
-    if (r.failed)
-        return;
-    ar.putStr(r.result.managerName);
-    saveMetrics(ar, r.result.metrics);
-    saveLogSummary(ar, r.result.log);
-    ar.putBool(r.result.trace.has_value());
-    if (r.result.trace) {
-        ar.putSize(r.result.trace->columns().size());
-        for (const std::string &c : r.result.trace->columns())
-            ar.putStr(c);
-        r.result.trace->save(ar);
-    }
-    ar.putU64(r.result.invariantViolations);
-    ar.putSize(r.result.invariantNotes.size());
-    for (const std::string &n : r.result.invariantNotes)
-        ar.putStr(n);
-    ar.putBool(r.result.resilience.has_value());
-    if (r.result.resilience)
-        saveResilience(ar, *r.result.resilience);
-}
-
-void
-loadRunResult(snapshot::Archive &ar, core::RunResult &r,
-              const std::string &wantLabel, std::uint64_t wantSeed)
-{
-    ar.section("run_identity");
-    const std::string label = ar.getStr();
-    const std::uint64_t seed = ar.getU64();
-    if (label != wantLabel || seed != wantSeed)
-        throw CacheMismatch("cached result is for spec '" + label +
-                            "' seed " + std::to_string(seed) + ", not '" +
-                            wantLabel + "' seed " +
-                            std::to_string(wantSeed) +
-                            " (state dir reused across campaigns?)");
-    ar.section("run_result");
-    r.label = ar.getStr();
-    r.seed = ar.getU64();
-    r.simulatedSeconds = ar.getF64();
-    r.wallSeconds = ar.getF64();
-    r.failed = ar.getBool();
-    r.error = ar.getStr();
-    if (r.failed)
-        return;
-    r.result.managerName = ar.getStr();
-    loadMetrics(ar, r.result.metrics);
-    loadLogSummary(ar, r.result.log);
-    if (ar.getBool()) {
-        std::vector<std::string> columns(ar.getSize());
-        for (std::string &c : columns)
-            c = ar.getStr();
-        sim::Trace trace(std::move(columns));
-        trace.load(ar);
-        r.result.trace = std::move(trace);
-    }
-    r.result.invariantViolations = ar.getU64();
-    r.result.invariantNotes.assign(ar.getSize(), std::string());
-    for (std::string &n : r.result.invariantNotes)
-        n = ar.getStr();
-    if (ar.getBool()) {
-        core::ResilienceMetrics m;
-        loadResilience(ar, m);
-        r.result.resilience = m;
-    }
-}
-
-/**
- * The campaign manifest: one JSON object per line, appended and
- * fsynced per record, so the journal survives whatever killed the
- * process and `--resume` (and the operator) can reconstruct exactly
- * how far the sweep got.
- */
-class Journal
-{
-  public:
-    explicit Journal(const std::string &dir)
-    {
-        if (dir.empty())
-            return;
-        const std::string path = dir + "/journal.jsonl";
-        f_ = std::fopen(path.c_str(), "a");
-        if (!f_)
-            warn("cannot open campaign journal %s", path.c_str());
-    }
-
-    ~Journal()
-    {
-        if (f_)
-            std::fclose(f_);
-    }
-
-    Journal(const Journal &) = delete;
-    Journal &operator=(const Journal &) = delete;
-
-    void
-    record(std::size_t run, const std::string &label, const char *event,
-           unsigned attempt, const std::string &detail = {})
-    {
-        if (!f_)
-            return;
-        const std::lock_guard<std::mutex> lock(mutex_);
-        std::fprintf(f_,
-                     "{\"run\": %zu, \"label\": \"%s\", \"event\": "
-                     "\"%s\", \"attempt\": %u%s%s%s}\n",
-                     run, escape(label).c_str(), event, attempt,
-                     detail.empty() ? "" : ", \"detail\": \"",
-                     escape(detail).c_str(), detail.empty() ? "" : "\"");
-        std::fflush(f_);
-        ::fsync(::fileno(f_));
-    }
-
-  private:
-    /** Exception messages land in the journal: keep the JSON valid. */
-    static std::string
-    escape(const std::string &s)
-    {
-        std::string out;
-        out.reserve(s.size());
-        for (const char c : s) {
-            if (c == '"' || c == '\\')
-                out += '\\';
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x",
-                              static_cast<unsigned>(c));
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-        return out;
-    }
-
-    std::FILE *f_ = nullptr;
-    std::mutex mutex_;
-};
-
 } // namespace
 
 ResilientRunner::ResilientRunner(ResilientOptions opts)
@@ -347,206 +34,211 @@ ResilientRunner::ResilientRunner(ResilientOptions opts)
 {
 }
 
+ResilientRunner::~ResilientRunner() = default;
+
+void
+ResilientRunner::ensureCampaignState()
+{
+    std::call_once(stateOnce_, [this] {
+        if (!opts_.stateDir.empty()) {
+            std::filesystem::create_directories(opts_.stateDir);
+            if (!opts_.resume)
+                clearCampaignState(opts_.stateDir);
+        }
+        journal_ = std::make_unique<CampaignJournal>(opts_.stateDir);
+    });
+}
+
+core::RunResult
+ResilientRunner::runOne(const core::RunSpec &spec, std::size_t i)
+{
+    ensureCampaignState();
+    CampaignJournal &journal = *journal_;
+
+    core::RunResult out;
+    out.label = spec.label;
+    out.seed = spec.config.seed;
+    out.simulatedSeconds = spec.config.duration;
+
+    const std::string resultPath =
+        opts_.stateDir.empty() ? std::string()
+                               : runResultPath(opts_.stateDir, i);
+    const std::string ckptPath =
+        opts_.stateDir.empty() ? std::string()
+                               : runCheckpointPath(opts_.stateDir, i);
+
+    // Completed runs are served from their result file verbatim: the
+    // resumed campaign aggregates the identical bytes an uninterrupted
+    // sweep would have.
+    if (opts_.resume && !resultPath.empty() &&
+        std::filesystem::exists(resultPath)) {
+        try {
+            snapshot::Archive ar = snapshot::readSnapshotFile(resultPath);
+            loadRunResult(ar, out, spec.label, spec.config.seed);
+            journal.record(i, spec.label, "cached", 0);
+            return out;
+        } catch (const RunIdentityMismatch &e) {
+            // Result file from a different campaign: re-run the spec.
+            journal.record(i, spec.label, "cache-mismatch", 0, e.what());
+            out = core::RunResult{};
+            out.label = spec.label;
+            out.seed = spec.config.seed;
+            out.simulatedSeconds = spec.config.duration;
+        } catch (const snapshot::SnapshotError &e) {
+            // Unreadable cache: fall through and re-run the spec.
+            journal.record(i, spec.label, "cache-corrupt", 0, e.what());
+            out = core::RunResult{};
+            out.label = spec.label;
+            out.seed = spec.config.seed;
+            out.simulatedSeconds = spec.config.duration;
+        }
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (unsigned attempt = 0;; ++attempt) {
+        core::RunSpec attemptSpec = spec;
+        if (attempt > 0) {
+            // A fresh derived seed sidesteps input-dependent hangs;
+            // the journal records the substitution.
+            attemptSpec.config.seed =
+                Rng(spec.config.seed)
+                    .deriveSeed(streamTag("harness.retry") + attempt);
+            out.seed = attemptSpec.config.seed;
+        }
+
+        snapshot::CheckpointOptions ck;
+        if (!ckptPath.empty() && opts_.checkpointInterval > 0.0)
+            ck.path = ckptPath;
+        // The chunk length serves both duties: checkpoint cadence
+        // and watchdog granularity (a watchdog without checkpoints
+        // still needs chunked execution to observe the deadline).
+        ck.interval = opts_.checkpointInterval > 0.0
+                          ? opts_.checkpointInterval
+                          : (opts_.watchdogSeconds > 0.0
+                                 ? attemptSpec.config.duration / 16.0
+                                 : 0.0);
+        const auto attemptStart = std::chrono::steady_clock::now();
+        if (opts_.watchdogSeconds > 0.0) {
+            const double budget = opts_.watchdogSeconds;
+            ck.onProgress = [attemptStart, budget](Seconds simNow) {
+                const double elapsed =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - attemptStart)
+                        .count();
+                if (elapsed > budget)
+                    throw WatchdogTimeout(
+                        "watchdog: run exceeded " + std::to_string(budget) +
+                        " s wall clock at t=" + std::to_string(simNow) +
+                        " s sim");
+            };
+        }
+
+        journal.record(i, spec.label, attempt == 0 ? "start" : "retry",
+                       attempt);
+        try {
+            const bool fromCkpt = opts_.resume && attempt == 0 &&
+                                  !ck.path.empty() &&
+                                  std::filesystem::exists(ck.path);
+            if (fromCkpt) {
+                try {
+                    out.result =
+                        snapshot::resumeCheckpointed(attemptSpec.config, ck);
+                    journal.record(i, spec.label, "resumed", attempt);
+                } catch (const snapshot::SnapshotError &e) {
+                    // Corrupt/mismatched checkpoint: self-heal by
+                    // discarding it and running from the start.
+                    journal.record(i, spec.label, "checkpoint-corrupt",
+                                   attempt, e.what());
+                    std::filesystem::remove(ck.path);
+                    out.result =
+                        snapshot::runCheckpointed(attemptSpec.config, ck);
+                }
+            } else {
+                out.result =
+                    snapshot::runCheckpointed(attemptSpec.config, ck);
+            }
+            out.failed = false;
+            out.error.clear();
+            break;
+        } catch (const WatchdogTimeout &e) {
+            // The abandoned attempt's checkpoint is unusable by the
+            // reseeded retry (different stream states).
+            if (!ckptPath.empty())
+                std::filesystem::remove(ckptPath);
+            journal.record(i, spec.label, "timeout", attempt, e.what());
+            if (attempt >= opts_.maxRetries) {
+                out.failed = true;
+                out.error = e.what();
+                break;
+            }
+            // ldexp, not a shift: --retries >= 32 must saturate the
+            // backoff, not shift past the width of the operand (UB).
+            const double backoff =
+                opts_.backoffSeconds *
+                std::ldexp(1.0, static_cast<int>(std::min(attempt, 62u)));
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(backoff));
+        } catch (const std::exception &e) {
+            // Deterministic failure (e.g. validate::Policy::Throw):
+            // recorded, never retried — same semantics as the plain
+            // BatchRunner.
+            out.failed = true;
+            out.error = e.what();
+            break;
+        } catch (...) {
+            out.failed = true;
+            out.error = "unknown exception";
+            break;
+        }
+    }
+    out.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+    if (!resultPath.empty()) {
+        snapshot::Archive ar = snapshot::Archive::forSave();
+        saveRunResult(ar, out, spec.config.seed);
+        snapshot::writeSnapshotFile(resultPath, ar);
+        if (!ckptPath.empty())
+            std::filesystem::remove(ckptPath);
+    }
+    journal.record(i, spec.label, out.failed ? "failed" : "done", 0,
+                   out.error);
+    return out;
+}
+
 std::vector<core::RunResult>
 ResilientRunner::runSeeded(std::vector<core::RunSpec> specs,
                            std::uint64_t masterSeed,
                            const Progress &progress)
 {
-    // Identical derivation to BatchRunner::runSeeded: sequential, in
-    // spec order, before any worker starts.
-    Rng master(masterSeed);
-    for (core::RunSpec &spec : specs)
-        spec.config.seed = master.splitSeed();
-
-    if (!opts_.stateDir.empty()) {
-        std::filesystem::create_directories(opts_.stateDir);
-        if (!opts_.resume)
-            clearCampaignState(opts_.stateDir);
-    }
-    Journal journal(opts_.stateDir);
+    // Identical derivation to BatchRunner::runSeeded (shared helper).
+    assignChildSeeds(specs, masterSeed);
+    ensureCampaignState();
 
     std::vector<core::RunResult> results(specs.size());
     std::atomic<std::size_t> nextIndex{0};
     std::size_t done = 0;
     std::mutex progressMutex;
 
-    auto runOne = [&](std::size_t i) {
-        const core::RunSpec &spec = specs[i];
-        core::RunResult &out = results[i];
-        out.label = spec.label;
-        out.seed = spec.config.seed;
-        out.simulatedSeconds = spec.config.duration;
-
-        const std::string resultPath =
-            opts_.stateDir.empty()
-                ? std::string()
-                : runFilePath(opts_.stateDir, i, "result");
-        const std::string ckptPath =
-            opts_.stateDir.empty()
-                ? std::string()
-                : runFilePath(opts_.stateDir, i, "ckpt");
-
-        // Completed runs are served from their result file verbatim:
-        // the resumed campaign aggregates the identical bytes an
-        // uninterrupted sweep would have.
-        if (opts_.resume && !resultPath.empty() &&
-            std::filesystem::exists(resultPath)) {
-            try {
-                snapshot::Archive ar =
-                    snapshot::readSnapshotFile(resultPath);
-                loadRunResult(ar, out, spec.label, spec.config.seed);
-                journal.record(i, spec.label, "cached", 0);
-                if (progress) {
-                    const std::lock_guard<std::mutex> lock(progressMutex);
-                    progress(out, ++done, specs.size());
-                }
-                return;
-            } catch (const CacheMismatch &e) {
-                // Result file from a different campaign: re-run the spec.
-                journal.record(i, spec.label, "cache-mismatch", 0, e.what());
-                out = core::RunResult{};
-                out.label = spec.label;
-                out.seed = spec.config.seed;
-                out.simulatedSeconds = spec.config.duration;
-            } catch (const snapshot::SnapshotError &e) {
-                // Unreadable cache: fall through and re-run the spec.
-                journal.record(i, spec.label, "cache-corrupt", 0, e.what());
-                out = core::RunResult{};
-                out.label = spec.label;
-                out.seed = spec.config.seed;
-                out.simulatedSeconds = spec.config.duration;
-            }
-        }
-
-        const auto t0 = std::chrono::steady_clock::now();
-        for (unsigned attempt = 0;; ++attempt) {
-            core::RunSpec attemptSpec = spec;
-            if (attempt > 0) {
-                // A fresh derived seed sidesteps input-dependent hangs;
-                // the journal records the substitution.
-                attemptSpec.config.seed =
-                    Rng(spec.config.seed)
-                        .deriveSeed(streamTag("harness.retry") + attempt);
-                out.seed = attemptSpec.config.seed;
-            }
-
-            snapshot::CheckpointOptions ck;
-            if (!ckptPath.empty() && opts_.checkpointInterval > 0.0)
-                ck.path = ckptPath;
-            // The chunk length serves both duties: checkpoint cadence
-            // and watchdog granularity (a watchdog without checkpoints
-            // still needs chunked execution to observe the deadline).
-            ck.interval = opts_.checkpointInterval > 0.0
-                              ? opts_.checkpointInterval
-                              : (opts_.watchdogSeconds > 0.0
-                                     ? attemptSpec.config.duration / 16.0
-                                     : 0.0);
-            const auto attemptStart = std::chrono::steady_clock::now();
-            if (opts_.watchdogSeconds > 0.0) {
-                const double budget = opts_.watchdogSeconds;
-                ck.onProgress = [attemptStart, budget](Seconds simNow) {
-                    const double elapsed =
-                        std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - attemptStart)
-                            .count();
-                    if (elapsed > budget)
-                        throw WatchdogTimeout(
-                            "watchdog: run exceeded " +
-                            std::to_string(budget) + " s wall clock at t=" +
-                            std::to_string(simNow) + " s sim");
-                };
-            }
-
-            journal.record(i, spec.label,
-                           attempt == 0 ? "start" : "retry", attempt);
-            try {
-                const bool fromCkpt = opts_.resume && attempt == 0 &&
-                                      !ck.path.empty() &&
-                                      std::filesystem::exists(ck.path);
-                if (fromCkpt) {
-                    try {
-                        out.result =
-                            snapshot::resumeCheckpointed(attemptSpec.config,
-                                                         ck);
-                        journal.record(i, spec.label, "resumed", attempt);
-                    } catch (const snapshot::SnapshotError &e) {
-                        // Corrupt/mismatched checkpoint: self-heal by
-                        // discarding it and running from the start.
-                        journal.record(i, spec.label, "checkpoint-corrupt",
-                                       attempt, e.what());
-                        std::filesystem::remove(ck.path);
-                        out.result =
-                            snapshot::runCheckpointed(attemptSpec.config,
-                                                      ck);
-                    }
-                } else {
-                    out.result =
-                        snapshot::runCheckpointed(attemptSpec.config, ck);
-                }
-                out.failed = false;
-                out.error.clear();
-                break;
-            } catch (const WatchdogTimeout &e) {
-                // The abandoned attempt's checkpoint is unusable by the
-                // reseeded retry (different stream states).
-                if (!ckptPath.empty())
-                    std::filesystem::remove(ckptPath);
-                journal.record(i, spec.label, "timeout", attempt, e.what());
-                if (attempt >= opts_.maxRetries) {
-                    out.failed = true;
-                    out.error = e.what();
-                    break;
-                }
-                // ldexp, not a shift: --retries >= 32 must saturate the
-                // backoff, not shift past the width of the operand (UB).
-                const double backoff =
-                    opts_.backoffSeconds *
-                    std::ldexp(1.0, static_cast<int>(
-                                        std::min(attempt, 62u)));
-                std::this_thread::sleep_for(
-                    std::chrono::duration<double>(backoff));
-            } catch (const std::exception &e) {
-                // Deterministic failure (e.g. validate::Policy::Throw):
-                // recorded, never retried — same semantics as the plain
-                // BatchRunner.
-                out.failed = true;
-                out.error = e.what();
-                break;
-            } catch (...) {
-                out.failed = true;
-                out.error = "unknown exception";
-                break;
-            }
-        }
-        out.wallSeconds = std::chrono::duration<double>(
-                              std::chrono::steady_clock::now() - t0)
-                              .count();
-
-        if (!resultPath.empty()) {
-            snapshot::Archive ar = snapshot::Archive::forSave();
-            saveRunResult(ar, out, spec.config.seed);
-            snapshot::writeSnapshotFile(resultPath, ar);
-            if (!ckptPath.empty())
-                std::filesystem::remove(ckptPath);
-        }
-        journal.record(i, spec.label, out.failed ? "failed" : "done", 0,
-                       out.error);
+    auto execute = [&](std::size_t i) {
+        results[i] = runOne(specs[i], i);
         if (progress) {
             const std::lock_guard<std::mutex> lock(progressMutex);
-            progress(out, ++done, specs.size());
+            progress(results[i], ++done, specs.size());
         }
     };
 
     const std::size_t workers = std::min<std::size_t>(jobs_, specs.size());
     if (workers <= 1) {
         for (std::size_t i = 0; i < specs.size(); ++i)
-            runOne(i);
+            execute(i);
         return results;
     }
     auto worker = [&] {
         for (std::size_t i = nextIndex.fetch_add(1); i < specs.size();
              i = nextIndex.fetch_add(1)) {
-            runOne(i);
+            execute(i);
         }
     };
     std::vector<std::thread> pool;

@@ -26,12 +26,16 @@
 #define INSURE_HARNESS_RESILIENT_RUNNER_HH
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "harness/batch_runner.hh"
 
 namespace insure::harness {
+
+class CampaignJournal;
 
 /** Execution policy of a self-healing campaign. */
 struct ResilientOptions {
@@ -71,6 +75,7 @@ class ResilientRunner
     using Progress = BatchRunner::Progress;
 
     explicit ResilientRunner(ResilientOptions opts);
+    ~ResilientRunner();
 
     /** The worker-thread count this runner executes with. */
     unsigned jobs() const { return jobs_; }
@@ -87,9 +92,27 @@ class ResilientRunner
                                            std::uint64_t masterSeed,
                                            const Progress &progress = {});
 
+    /**
+     * Execute ONE spec under the resilience policy, as run @p index of
+     * the campaign: checkpoint/cache files are named run-<index>.*, and
+     * the spec's seed must already be set (no derivation happens here).
+     *
+     * This is the execution engine runSeeded fans out over, exposed so
+     * a dispatch worker (src/dispatch) leased run @p index of a sharded
+     * campaign executes it through the exact same code path — cache
+     * serve on resume, checkpoint/self-heal, watchdog + reseeded
+     * retries — that the single-process campaign uses. Thread-safe.
+     */
+    core::RunResult runOne(const core::RunSpec &spec, std::size_t index);
+
   private:
+    /** Create/clear the state dir and open the journal, exactly once. */
+    void ensureCampaignState();
+
     ResilientOptions opts_;
     unsigned jobs_;
+    std::once_flag stateOnce_;
+    std::unique_ptr<CampaignJournal> journal_;
 };
 
 } // namespace insure::harness

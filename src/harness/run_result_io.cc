@@ -1,0 +1,207 @@
+#include "harness/run_result_io.hh"
+
+namespace insure::harness {
+
+namespace {
+
+void
+saveMetrics(snapshot::Archive &ar, const core::Metrics &m)
+{
+    ar.putF64(m.uptime);
+    ar.putF64(m.throughputGbPerHour);
+    ar.putF64(m.meanLatency);
+    ar.putF64(m.eBufferAvailability);
+    ar.putF64(m.serviceLifeYears);
+    ar.putF64(m.workNormalizedLifeYears);
+    ar.putF64(m.perfPerAh);
+    ar.putF64(m.processedGb);
+    ar.putF64(m.solarOfferedKwh);
+    ar.putF64(m.greenUsedKwh);
+    ar.putF64(m.loadKwh);
+    ar.putF64(m.effectiveKwh);
+    ar.putF64(m.secondaryKwh);
+    ar.putF64(m.bufferThroughputAh);
+    ar.putF64(m.bufferImbalanceAh);
+    ar.putU64(m.bufferTrips);
+    ar.putU64(m.emergencyShutdowns);
+    ar.putU64(m.onOffCycles);
+    ar.putU64(m.vmCtrlOps);
+    ar.putU64(m.powerCtrlOps);
+}
+
+void
+loadMetrics(snapshot::Archive &ar, core::Metrics &m)
+{
+    m.uptime = ar.getF64();
+    m.throughputGbPerHour = ar.getF64();
+    m.meanLatency = ar.getF64();
+    m.eBufferAvailability = ar.getF64();
+    m.serviceLifeYears = ar.getF64();
+    m.workNormalizedLifeYears = ar.getF64();
+    m.perfPerAh = ar.getF64();
+    m.processedGb = ar.getF64();
+    m.solarOfferedKwh = ar.getF64();
+    m.greenUsedKwh = ar.getF64();
+    m.loadKwh = ar.getF64();
+    m.effectiveKwh = ar.getF64();
+    m.secondaryKwh = ar.getF64();
+    m.bufferThroughputAh = ar.getF64();
+    m.bufferImbalanceAh = ar.getF64();
+    m.bufferTrips = ar.getU64();
+    m.emergencyShutdowns = ar.getU64();
+    m.onOffCycles = ar.getU64();
+    m.vmCtrlOps = ar.getU64();
+    m.powerCtrlOps = ar.getU64();
+}
+
+void
+saveLogSummary(snapshot::Archive &ar, const telemetry::DailyLogSummary &l)
+{
+    ar.putStr(l.label);
+    ar.putF64(l.solarBudgetKwh);
+    ar.putF64(l.loadKwh);
+    ar.putF64(l.effectiveKwh);
+    ar.putU64(l.powerCtrlTimes);
+    ar.putU64(l.onOffCycles);
+    ar.putU64(l.vmCtrlTimes);
+    ar.putF64(l.minBatteryVoltage);
+    ar.putF64(l.endOfDayVoltage);
+    ar.putF64(l.batteryVoltageSigma);
+    ar.putF64(l.processedGb);
+}
+
+void
+loadLogSummary(snapshot::Archive &ar, telemetry::DailyLogSummary &l)
+{
+    l.label = ar.getStr();
+    l.solarBudgetKwh = ar.getF64();
+    l.loadKwh = ar.getF64();
+    l.effectiveKwh = ar.getF64();
+    l.powerCtrlTimes = ar.getU64();
+    l.onOffCycles = ar.getU64();
+    l.vmCtrlTimes = ar.getU64();
+    l.minBatteryVoltage = ar.getF64();
+    l.endOfDayVoltage = ar.getF64();
+    l.batteryVoltageSigma = ar.getF64();
+    l.processedGb = ar.getF64();
+}
+
+void
+saveResilience(snapshot::Archive &ar, const core::ResilienceMetrics &m)
+{
+    ar.putU64(m.faultsInjected);
+    ar.putU64(m.faultsCleared);
+    ar.putU64(m.detectedFaults);
+    ar.putU64(m.quarantines);
+    ar.putF64(m.meanTimeToDetect);
+    ar.putF64(m.maxTimeToDetect);
+    ar.putF64(m.meanTimeToRecover);
+    ar.putF64(m.maxTimeToRecover);
+    ar.putF64(m.outageSeconds);
+    ar.putF64(m.pendingDownSeconds);
+    ar.putF64(m.unsafeOperationSeconds);
+    ar.putF64(m.energyLostKwh);
+    ar.putF64(m.lostVmHours);
+}
+
+void
+loadResilience(snapshot::Archive &ar, core::ResilienceMetrics &m)
+{
+    m.faultsInjected = ar.getU64();
+    m.faultsCleared = ar.getU64();
+    m.detectedFaults = ar.getU64();
+    m.quarantines = ar.getU64();
+    m.meanTimeToDetect = ar.getF64();
+    m.maxTimeToDetect = ar.getF64();
+    m.meanTimeToRecover = ar.getF64();
+    m.maxTimeToRecover = ar.getF64();
+    m.outageSeconds = ar.getF64();
+    m.pendingDownSeconds = ar.getF64();
+    m.unsafeOperationSeconds = ar.getF64();
+    m.energyLostKwh = ar.getF64();
+    m.lostVmHours = ar.getF64();
+}
+
+} // namespace
+
+void
+saveRunResult(snapshot::Archive &ar, const core::RunResult &r,
+              std::uint64_t specSeed)
+{
+    ar.section("run_identity");
+    ar.putStr(r.label);
+    ar.putU64(specSeed);
+    ar.section("run_result");
+    ar.putStr(r.label);
+    ar.putU64(r.seed);
+    ar.putF64(r.simulatedSeconds);
+    ar.putF64(r.wallSeconds);
+    ar.putBool(r.failed);
+    ar.putStr(r.error);
+    if (r.failed)
+        return;
+    ar.putStr(r.result.managerName);
+    saveMetrics(ar, r.result.metrics);
+    saveLogSummary(ar, r.result.log);
+    ar.putBool(r.result.trace.has_value());
+    if (r.result.trace) {
+        ar.putSize(r.result.trace->columns().size());
+        for (const std::string &c : r.result.trace->columns())
+            ar.putStr(c);
+        r.result.trace->save(ar);
+    }
+    ar.putU64(r.result.invariantViolations);
+    ar.putSize(r.result.invariantNotes.size());
+    for (const std::string &n : r.result.invariantNotes)
+        ar.putStr(n);
+    ar.putBool(r.result.resilience.has_value());
+    if (r.result.resilience)
+        saveResilience(ar, *r.result.resilience);
+}
+
+void
+loadRunResult(snapshot::Archive &ar, core::RunResult &r,
+              const std::string &wantLabel, std::uint64_t wantSeed)
+{
+    ar.section("run_identity");
+    const std::string label = ar.getStr();
+    const std::uint64_t seed = ar.getU64();
+    if (label != wantLabel || seed != wantSeed)
+        throw RunIdentityMismatch(
+            "serialized result is for spec '" + label + "' seed " +
+            std::to_string(seed) + ", not '" + wantLabel + "' seed " +
+            std::to_string(wantSeed) +
+            " (state dir reused across campaigns, or a worker answered "
+            "for the wrong run?)");
+    ar.section("run_result");
+    r.label = ar.getStr();
+    r.seed = ar.getU64();
+    r.simulatedSeconds = ar.getF64();
+    r.wallSeconds = ar.getF64();
+    r.failed = ar.getBool();
+    r.error = ar.getStr();
+    if (r.failed)
+        return;
+    r.result.managerName = ar.getStr();
+    loadMetrics(ar, r.result.metrics);
+    loadLogSummary(ar, r.result.log);
+    if (ar.getBool()) {
+        std::vector<std::string> columns(ar.getSize());
+        for (std::string &c : columns)
+            c = ar.getStr();
+        sim::Trace trace(std::move(columns));
+        trace.load(ar);
+        r.result.trace = std::move(trace);
+    }
+    r.result.invariantViolations = ar.getU64();
+    r.result.invariantNotes.assign(ar.getSize(), std::string());
+    for (std::string &n : r.result.invariantNotes)
+        n = ar.getStr();
+    if (ar.getBool()) {
+        core::ResilienceMetrics m;
+        loadResilience(ar, m);
+        r.result.resilience = m;
+    }
+}
+
+} // namespace insure::harness

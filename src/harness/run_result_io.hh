@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Archive codec for core::RunResult — the persistence format of a
+ * completed (or deterministically failed) campaign run.
+ *
+ * One codec serves every path that moves finished runs around: the
+ * ResilientRunner's per-run result-file cache (PR 5), and the dispatch
+ * layer's RESULT frames that ship a worker's finished run back to the
+ * campaign czar (src/dispatch). Because both read and write the same
+ * byte grammar, a resumed campaign can serve results produced by a
+ * remote worker verbatim, and vice versa.
+ *
+ * Every serialized result carries a run identity (spec label + the
+ * campaign-derived child seed) that the reader verifies, so a state
+ * directory reused across campaigns — or a confused worker answering
+ * for the wrong run — fails loudly with RunIdentityMismatch instead of
+ * silently contributing the wrong numbers to a sweep.
+ */
+
+#ifndef INSURE_HARNESS_RUN_RESULT_IO_HH
+#define INSURE_HARNESS_RUN_RESULT_IO_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/experiment.hh"
+#include "snapshot/archive.hh"
+
+namespace insure::harness {
+
+/** Raised when a serialized result belongs to a different run. */
+class RunIdentityMismatch : public snapshot::SnapshotError
+{
+  public:
+    using snapshot::SnapshotError::SnapshotError;
+};
+
+/**
+ * Serialize @p r. @p specSeed is the campaign-derived child seed of the
+ * spec that produced @p r (r.seed may differ after a reseeded retry).
+ * It is the identity key loadRunResult verifies.
+ */
+void saveRunResult(snapshot::Archive &ar, const core::RunResult &r,
+                   std::uint64_t specSeed);
+
+/**
+ * Deserialize into @p r, first verifying the recorded identity against
+ * @p wantLabel / @p wantSeed. Throws RunIdentityMismatch on an identity
+ * mismatch and snapshot::SnapshotError on malformed bytes.
+ */
+void loadRunResult(snapshot::Archive &ar, core::RunResult &r,
+                   const std::string &wantLabel, std::uint64_t wantSeed);
+
+} // namespace insure::harness
+
+#endif // INSURE_HARNESS_RUN_RESULT_IO_HH

@@ -62,6 +62,14 @@ enum class FrameType : std::uint8_t {
     WhatIfQuery = 0x02,
     /** A what-if reply (service/query.hh encoding). */
     WhatIfReply = 0x03,
+    /** Dispatch: worker introduction (dispatch/protocol.hh encoding). */
+    Hello = 0x10,
+    /** Dispatch: czar-to-worker run lease (dispatch/protocol.hh). */
+    Lease = 0x11,
+    /** Dispatch: worker-to-czar per-run result (dispatch/protocol.hh). */
+    Result = 0x12,
+    /** Dispatch: worker liveness beacon (dispatch/protocol.hh). */
+    Heartbeat = 0x13,
     /** A service-level error report (service/query.hh encoding). */
     Error = 0x7F,
 };

@@ -102,10 +102,15 @@ class TcpStream : public ByteStream
     bool
     send(const std::uint8_t *data, std::size_t len) override
     {
+        // Partial-write loop with EINTR retry: a signal landing
+        // mid-transfer (campaign workers install timers and get
+        // SIGKILLed siblings' SIGCHLDs) must not shear a frame.
         std::size_t sent = 0;
         while (sent < len) {
             const ssize_t n = ::send(fd_, data + sent, len - sent,
                                      MSG_NOSIGNAL);
+            if (n < 0 && errno == EINTR)
+                continue;
             if (n <= 0)
                 return false;
             sent += static_cast<std::size_t>(n);
@@ -116,8 +121,12 @@ class TcpStream : public ByteStream
     std::size_t
     receive(std::uint8_t *buf, std::size_t cap) override
     {
-        const ssize_t n = ::recv(fd_, buf, cap, 0);
-        return n > 0 ? static_cast<std::size_t>(n) : 0;
+        for (;;) {
+            const ssize_t n = ::recv(fd_, buf, cap, 0);
+            if (n < 0 && errno == EINTR)
+                continue;
+            return n > 0 ? static_cast<std::size_t>(n) : 0;
+        }
     }
 
     void
@@ -200,10 +209,14 @@ TcpListener::accept()
 {
     if (fd_ < 0)
         return nullptr;
-    const int client = ::accept(fd_, nullptr, nullptr);
-    if (client < 0)
-        return nullptr; // listener closed mid-accept
-    return std::make_unique<TcpStream>(client);
+    for (;;) {
+        const int client = ::accept(fd_, nullptr, nullptr);
+        if (client < 0 && errno == EINTR)
+            continue;
+        if (client < 0)
+            return nullptr; // listener closed mid-accept
+        return std::make_unique<TcpStream>(client);
+    }
 }
 
 void

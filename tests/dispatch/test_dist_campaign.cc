@@ -1,0 +1,216 @@
+/**
+ * @file
+ * End-to-end distributed campaign tests on thread fleets: the czar's
+ * aggregate must be byte-identical to the single-process oracle no
+ * matter how many workers run the sweep, how leases are chunked, which
+ * workers die mid-campaign, or whether the czar resumed from a prior
+ * state directory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dispatch/czar.hh"
+#include "dispatch/fleet.hh"
+#include "fault/campaign.hh"
+#include "service/transport.hh"
+
+namespace insure {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Fresh per-test state directory under the gtest temp root. */
+fs::path
+stateDirFor(const std::string &name)
+{
+    const fs::path dir = fs::path(testing::TempDir()) / name;
+    fs::remove_all(dir);
+    return dir;
+}
+
+/** A short fault-injected sweep, cheap enough for many fleet runs. */
+dispatch::SweepSpec
+smallSweep()
+{
+    dispatch::SweepSpec spec;
+    spec.runs = 8;
+    spec.days = 0.05;
+    spec.faultRatePerHour = 4.0;
+    spec.masterSeed = 31337;
+    return spec;
+}
+
+std::string
+campaignJson(const fault::CampaignSummary &summary)
+{
+    std::ostringstream os;
+    fault::writeCampaignJson(summary, os);
+    return os.str();
+}
+
+/** The single-process ground truth for @p spec. */
+std::string
+oracleJson(const dispatch::SweepSpec &spec)
+{
+    return campaignJson(
+        fault::runFaultCampaign(dispatch::toCampaignConfig(spec)));
+}
+
+} // namespace
+
+TEST(DistCampaign, ThreadFleetMatchesOracleByteForByte)
+{
+    const dispatch::SweepSpec spec = smallSweep();
+    dispatch::FleetOptions fleet;
+    fleet.mode = dispatch::FleetMode::Thread;
+    fleet.workers = 3;
+    fleet.czar.chunkRuns = 3;
+    const fault::CampaignSummary summary =
+        dispatch::runDistributedSweep(spec, fleet);
+    EXPECT_EQ(campaignJson(summary), oracleJson(spec));
+}
+
+TEST(DistCampaign, SingleWorkerMatchesManyWorkers)
+{
+    // Worker count is pure plumbing: it must never leak into results.
+    const dispatch::SweepSpec spec = smallSweep();
+    dispatch::FleetOptions one;
+    one.workers = 1;
+    dispatch::FleetOptions four;
+    four.workers = 4;
+    four.czar.chunkRuns = 2;
+    EXPECT_EQ(
+        campaignJson(dispatch::runDistributedSweep(spec, one)),
+        campaignJson(dispatch::runDistributedSweep(spec, four)));
+}
+
+TEST(DistCampaign, WorkerChurnReDispatchesAndStillMatches)
+{
+    // Worker 0 retires after a single run (disposable churn); its
+    // outstanding leases must land on the survivor, and the aggregate
+    // must not change.
+    const dispatch::SweepSpec spec = smallSweep();
+    dispatch::FleetOptions fleet;
+    fleet.workers = 2;
+    fleet.czar.chunkRuns = 3;
+    fleet.threadWorkerMaxRuns = {1};
+    const fault::CampaignSummary summary =
+        dispatch::runDistributedSweep(spec, fleet);
+    EXPECT_EQ(campaignJson(summary), oracleJson(spec));
+}
+
+TEST(DistCampaign, CzarCountsLostWorkers)
+{
+    // Manual fleet assembly for visibility into the czar's accounting.
+    const dispatch::SweepSpec spec = smallSweep();
+    dispatch::CzarOptions opts;
+    opts.chunkRuns = 2;
+    dispatch::Czar czar(spec, opts);
+
+    std::vector<std::thread> threads;
+    for (unsigned i = 0; i < 2; ++i) {
+        auto [czarEnd, workerEnd] = service::makeLoopbackPair(4096);
+        czar.addWorker(std::move(czarEnd));
+        dispatch::WorkerOptions w;
+        w.workerId = "w" + std::to_string(i);
+        w.maxRuns = (i == 0) ? 1 : 0; // worker 0 is the churn victim
+        threads.emplace_back(
+            [stream = std::move(workerEnd), w]() mutable {
+                dispatch::runWorker(*stream, w);
+            });
+    }
+    const fault::CampaignSummary summary = czar.run();
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(czar.completedRuns(), spec.runs);
+    EXPECT_EQ(czar.workersLost(), 1u);
+    EXPECT_EQ(campaignJson(summary), oracleJson(spec));
+}
+
+TEST(DistCampaign, ResumeServesEverythingFromCacheWithoutWorkers)
+{
+    // First pass: a normal fleet run persisting into a state dir.
+    const dispatch::SweepSpec spec = smallSweep();
+    const fs::path dir = stateDirFor("dist_resume_cache");
+    dispatch::FleetOptions fleet;
+    fleet.workers = 2;
+    fleet.czar.stateDir = dir.string();
+    const std::string first =
+        campaignJson(dispatch::runDistributedSweep(spec, fleet));
+
+    // Second pass: resume with ZERO workers. Every run must be served
+    // from the identity-verified result cache — if even one run were
+    // re-dispatched the czar would deadlock here (nobody to run it).
+    dispatch::CzarOptions resumeOpts;
+    resumeOpts.stateDir = dir.string();
+    resumeOpts.resume = true;
+    dispatch::Czar czar(spec, resumeOpts);
+    EXPECT_EQ(campaignJson(czar.run()), first);
+    EXPECT_EQ(czar.completedRuns(), spec.runs);
+    EXPECT_EQ(czar.workersLost(), 0u);
+}
+
+TEST(DistCampaign, ResumeAfterWrongCampaignReRunsEverything)
+{
+    // State from sweep A must never leak into sweep B: the per-run
+    // identity check (label + child seed) rejects the cached results
+    // and the czar re-dispatches the full campaign.
+    dispatch::SweepSpec a = smallSweep();
+    const fs::path dir = stateDirFor("dist_resume_wrong");
+    dispatch::FleetOptions fleet;
+    fleet.workers = 2;
+    fleet.czar.stateDir = dir.string();
+    dispatch::runDistributedSweep(a, fleet);
+
+    dispatch::SweepSpec b = smallSweep();
+    b.masterSeed = a.masterSeed + 1; // different campaign, same layout
+    dispatch::FleetOptions resumeFleet;
+    resumeFleet.workers = 2;
+    resumeFleet.czar.stateDir = dir.string();
+    resumeFleet.czar.resume = true;
+    EXPECT_EQ(campaignJson(dispatch::runDistributedSweep(b, resumeFleet)),
+              oracleJson(b));
+}
+
+TEST(DistCampaign, PolicyGridSweepMatchesOracle)
+{
+    // Policy-grid materialisation must be identical on both sides of
+    // the wire (the grid rides inside the lease's SweepSpec).
+    dispatch::SweepSpec spec = smallSweep();
+    spec.runs = 6;
+    dispatch::PolicyPoint tight;
+    tight.socFloor = 0.55;
+    dispatch::PolicyPoint loose;
+    loose.socFloor = 0.35;
+    loose.minEligible = 2;
+    spec.policyGrid = {tight, loose};
+    dispatch::FleetOptions fleet;
+    fleet.workers = 3;
+    fleet.czar.chunkRuns = 2;
+    EXPECT_EQ(campaignJson(dispatch::runDistributedSweep(spec, fleet)),
+              oracleJson(spec));
+}
+
+TEST(DistCampaign, SweepSpecTooLargeForALeaseThrows)
+{
+    dispatch::SweepSpec spec = smallSweep();
+    // ~44 wire bytes per fully-populated grid point: 128 points blow
+    // straight through the 4096-byte frame cap.
+    dispatch::PolicyPoint p;
+    p.dischargeBudgetAh = 100.0;
+    p.socFloor = 0.5;
+    p.chargedSoc = 0.9;
+    p.minEligible = 2;
+    spec.policyGrid.assign(128, p);
+    dispatch::CzarOptions opts;
+    EXPECT_THROW(dispatch::Czar(spec, opts), std::runtime_error);
+}
+
+} // namespace insure

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Dispatch wire-protocol suite: SweepSpec and HELLO/LEASE/RESULT/
+ * HEARTBEAT codec roundtrips through a real FrameDecoder, plus every
+ * fail-loud path — version mismatch, wrong frame type, truncation,
+ * trailing bytes, run-identity mismatch and the frame-cap guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dispatch/protocol.hh"
+#include "dispatch/sweep_spec.hh"
+#include "fault/campaign.hh"
+#include "harness/run_result_io.hh"
+#include "service/framing.hh"
+#include "snapshot/archive.hh"
+
+using namespace insure;
+using dispatch::HeartbeatMsg;
+using dispatch::HelloMsg;
+using dispatch::LeasedRun;
+using dispatch::LeaseMsg;
+using dispatch::ResultMsg;
+using dispatch::SweepSpec;
+using snapshot::Archive;
+using snapshot::SnapshotError;
+
+namespace {
+
+/** Push encoder output through a decoder, as the real transport does. */
+service::Frame
+overTheWire(const std::vector<std::uint8_t> &wire)
+{
+    service::FrameDecoder dec;
+    dec.feed(wire.data(), wire.size());
+    auto frame = dec.next();
+    EXPECT_TRUE(frame.has_value());
+    EXPECT_FALSE(dec.next().has_value()) << "one message, one frame";
+    return frame.value_or(service::Frame{});
+}
+
+/** A spec exercising every field, including optional policy knobs. */
+SweepSpec
+fancySpec()
+{
+    SweepSpec spec;
+    spec.workload = "video";
+    spec.manager = core::ManagerKind::Baseline;
+    spec.day = solar::DayClass::Cloudy;
+    spec.days = 0.375;
+    spec.faultRatePerHour = 2.5;
+    spec.faultClasses = {fault::FaultClass::Battery,
+                         fault::FaultClass::Sensor};
+    spec.policy = validate::Policy::Throw;
+    dispatch::PolicyPoint a;
+    a.dischargeBudgetAh = 120.0;
+    a.minEligible = 3;
+    dispatch::PolicyPoint b;
+    b.socFloor = 0.45;
+    b.chargedSoc = 0.9;
+    spec.policyGrid = {a, b};
+    spec.runs = 17;
+    spec.masterSeed = 0xfeedfacecafeULL;
+    return spec;
+}
+
+/** Wrap a hand-built archive payload in a frame of the given type. */
+service::Frame
+frameOf(service::FrameType type, const Archive &ar)
+{
+    const std::string &p = ar.payload();
+    const auto wire = service::encodeFrame(
+        type, reinterpret_cast<const std::uint8_t *>(p.data()), p.size());
+    return overTheWire(wire);
+}
+
+} // namespace
+
+TEST(SweepSpecCodec, RoundtripPreservesEveryField)
+{
+    const SweepSpec spec = fancySpec();
+    Archive save = Archive::forSave();
+    dispatch::saveSweepSpec(save, spec);
+    Archive load = Archive::forLoad(save.payload());
+    EXPECT_EQ(dispatch::loadSweepSpec(load), spec);
+    EXPECT_EQ(load.remaining(), 0u);
+}
+
+TEST(SweepSpecCodec, RejectsVersionFromTheFuture)
+{
+    Archive save = Archive::forSave();
+    save.section("sweep_spec");
+    save.putU32(999); // a version this build has never heard of
+    Archive load = Archive::forLoad(save.payload());
+    EXPECT_THROW(dispatch::loadSweepSpec(load), SnapshotError);
+}
+
+TEST(SweepSpecCodec, RejectsTruncatedPayload)
+{
+    const SweepSpec spec = fancySpec();
+    Archive save = Archive::forSave();
+    dispatch::saveSweepSpec(save, spec);
+    const std::string whole = save.payload();
+    Archive load = Archive::forLoad(whole.substr(0, whole.size() / 2));
+    EXPECT_THROW(dispatch::loadSweepSpec(load), SnapshotError);
+}
+
+TEST(DispatchProtocol, HelloRoundtrip)
+{
+    HelloMsg msg;
+    msg.workerId = "worker-007";
+    const HelloMsg back =
+        dispatch::decodeHello(overTheWire(dispatch::encodeHello(msg)));
+    EXPECT_EQ(back, msg);
+}
+
+TEST(DispatchProtocol, LeaseRoundtripIsSelfContained)
+{
+    LeaseMsg msg;
+    msg.spec = fancySpec();
+    msg.runs = {{0, 111}, {5, 222}, {16, 333}};
+    const LeaseMsg back =
+        dispatch::decodeLease(overTheWire(dispatch::encodeLease(msg)));
+    EXPECT_EQ(back, msg);
+}
+
+TEST(DispatchProtocol, HeartbeatRoundtrip)
+{
+    HeartbeatMsg msg;
+    msg.runsCompleted = 42;
+    const HeartbeatMsg back = dispatch::decodeHeartbeat(
+        overTheWire(dispatch::encodeHeartbeat(msg)));
+    EXPECT_EQ(back, msg);
+}
+
+TEST(DispatchProtocol, ResultRoundtripForFailedRun)
+{
+    ResultMsg msg;
+    msg.index = 7;
+    msg.leaseSeed = 0xabcdef;
+    msg.result.label = fault::campaignRunLabel(7);
+    msg.result.seed = 0xabcdef;
+    msg.result.failed = true;
+    msg.result.error = "relay stuck open";
+    const ResultMsg back =
+        dispatch::decodeResult(overTheWire(dispatch::encodeResult(msg)));
+    EXPECT_EQ(back.index, msg.index);
+    EXPECT_EQ(back.leaseSeed, msg.leaseSeed);
+    EXPECT_EQ(back.result.label, msg.result.label);
+    EXPECT_TRUE(back.result.failed);
+    EXPECT_EQ(back.result.error, msg.result.error);
+}
+
+TEST(DispatchProtocol, ResultRoundtripForCompletedRun)
+{
+    ResultMsg msg;
+    msg.index = 3;
+    msg.leaseSeed = 9001;
+    msg.result.label = fault::campaignRunLabel(3);
+    msg.result.seed = 9001;
+    msg.result.simulatedSeconds = 86400.0;
+    msg.result.wallSeconds = 1.25;
+    msg.result.result.managerName = "insure";
+    msg.result.result.metrics.uptime = 0.997;
+    msg.result.result.metrics.processedGb = 123.5;
+    msg.result.result.metrics.onOffCycles = 11;
+    msg.result.result.invariantViolations = 2;
+    msg.result.result.invariantNotes = {"note-a", "note-b"};
+    core::ResilienceMetrics res;
+    res.faultsInjected = 4;
+    res.outageSeconds = 17.5;
+    msg.result.result.resilience = res;
+
+    const ResultMsg back =
+        dispatch::decodeResult(overTheWire(dispatch::encodeResult(msg)));
+    EXPECT_EQ(back.result.label, msg.result.label);
+    EXPECT_EQ(back.result.seed, msg.result.seed);
+    EXPECT_EQ(back.result.simulatedSeconds, msg.result.simulatedSeconds);
+    EXPECT_FALSE(back.result.failed);
+    EXPECT_EQ(back.result.result.managerName, "insure");
+    EXPECT_EQ(back.result.result.metrics.uptime, 0.997);
+    EXPECT_EQ(back.result.result.metrics.processedGb, 123.5);
+    EXPECT_EQ(back.result.result.metrics.onOffCycles, 11u);
+    EXPECT_EQ(back.result.result.invariantViolations, 2u);
+    EXPECT_EQ(back.result.result.invariantNotes, msg.result.result.invariantNotes);
+    ASSERT_TRUE(back.result.result.resilience.has_value());
+    EXPECT_EQ(back.result.result.resilience->faultsInjected, 4u);
+    EXPECT_EQ(back.result.result.resilience->outageSeconds, 17.5);
+}
+
+TEST(DispatchProtocol, DecodeRejectsWrongFrameType)
+{
+    HelloMsg hello;
+    hello.workerId = "imposter";
+    const service::Frame frame =
+        overTheWire(dispatch::encodeHello(hello));
+    EXPECT_THROW(dispatch::decodeLease(frame), SnapshotError);
+    EXPECT_THROW(dispatch::decodeResult(frame), SnapshotError);
+    EXPECT_THROW(dispatch::decodeHeartbeat(frame), SnapshotError);
+}
+
+TEST(DispatchProtocol, DecodeRejectsVersionMismatch)
+{
+    Archive ar = Archive::forSave();
+    ar.section("dispatch_heartbeat");
+    ar.putU32(dispatch::kDispatchProtocolVersion + 1);
+    ar.putU64(0);
+    EXPECT_THROW(
+        dispatch::decodeHeartbeat(
+            frameOf(service::FrameType::Heartbeat, ar)),
+        SnapshotError);
+}
+
+TEST(DispatchProtocol, DecodeRejectsTruncatedBody)
+{
+    Archive ar = Archive::forSave();
+    ar.section("dispatch_heartbeat");
+    ar.putU32(dispatch::kDispatchProtocolVersion);
+    // runsCompleted missing entirely
+    EXPECT_THROW(
+        dispatch::decodeHeartbeat(
+            frameOf(service::FrameType::Heartbeat, ar)),
+        SnapshotError);
+}
+
+TEST(DispatchProtocol, DecodeRejectsTrailingBytes)
+{
+    Archive ar = Archive::forSave();
+    ar.section("dispatch_heartbeat");
+    ar.putU32(dispatch::kDispatchProtocolVersion);
+    ar.putU64(5);
+    ar.putU32(0xdead); // grammar disagreement: extra bytes
+    EXPECT_THROW(
+        dispatch::decodeHeartbeat(
+            frameOf(service::FrameType::Heartbeat, ar)),
+        SnapshotError);
+}
+
+TEST(DispatchProtocol, ResultForWrongRunFailsIdentityCheck)
+{
+    // A confused worker answering for run 4 under run 3's index: the
+    // embedded identity label disagrees with the claimed index.
+    ResultMsg msg;
+    msg.index = 3;
+    msg.leaseSeed = 77;
+    msg.result.label = fault::campaignRunLabel(4);
+    msg.result.seed = 77;
+    msg.result.failed = true;
+    msg.result.error = "x";
+    EXPECT_THROW(
+        dispatch::decodeResult(overTheWire(dispatch::encodeResult(msg))),
+        harness::RunIdentityMismatch);
+}
+
+TEST(DispatchProtocol, OversizedLeaseRefusesToEncode)
+{
+    LeaseMsg msg;
+    msg.spec = SweepSpec{};
+    // Far more runs than a frame can carry: the encoder must throw, not
+    // emit a frame the decoder would reject (or the transport truncate).
+    msg.runs.resize((service::kMaxFramePayload /
+                     dispatch::kLeasedRunWireBytes) + 8);
+    EXPECT_THROW(dispatch::encodeLease(msg), SnapshotError);
+}
+
+TEST(DispatchProtocol, LeasedRunWireBytesMatchesTheCodec)
+{
+    // The czar sizes lease batches with kLeasedRunWireBytes; if the
+    // codec grows an entry this constant must grow with it.
+    LeaseMsg empty;
+    LeaseMsg four;
+    four.runs = {{1, 1}, {2, 2}, {3, 3}, {4, 4}};
+    const std::size_t delta = dispatch::encodeLease(four).size() -
+                              dispatch::encodeLease(empty).size();
+    EXPECT_EQ(delta, 4 * dispatch::kLeasedRunWireBytes);
+}

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "service/framing.hh"
 #include "telemetry/modbus.hh"
 
@@ -212,6 +214,50 @@ TEST(Framing, FrameEmbeddedInCorruptedExtentIsRecovered)
     dec.feed(wire);
     ASSERT_GE(dec.pending(), 1u);
     EXPECT_EQ(dec.next()->payload, bytes({0x42}));
+}
+
+TEST(Framing, StatCountersAreExact)
+{
+    // The counters are the decoder's only diagnostics channel (it never
+    // throws), so their arithmetic is contract, not advisory. Walk one
+    // deterministic corruption scenario and pin every counter exactly.
+    FrameDecoder dec;
+
+    // 1) Two garbage bytes between frames: skipped, nothing else.
+    dec.feed(bytes({0x00, 0x11}));
+    EXPECT_EQ(dec.skippedBytes(), 2u);
+    EXPECT_EQ(dec.resyncs(), 0u);
+
+    // 2) A CRC-corrupted frame. After the candidate at its sync byte is
+    // rejected (one crcError + one resync), the rescan walks the
+    // remaining frame bytes one by one — each counts as skipped,
+    // provided none of them happens to be another sync byte.
+    auto corrupt = encodeFrame(FrameType::ModbusAdu, bytes({1, 2, 3, 4}));
+    corrupt[5] ^= 0x40; // payload bit flip
+    ASSERT_EQ(std::count(corrupt.begin() + 1, corrupt.end(), kFrameSync),
+              0);
+    dec.feed(corrupt);
+    EXPECT_EQ(dec.crcErrors(), 1u);
+    EXPECT_EQ(dec.resyncs(), 1u);
+    EXPECT_EQ(dec.skippedBytes(), 2u + (corrupt.size() - 1));
+    EXPECT_EQ(dec.framesDecoded(), 0u);
+
+    // 3) An oversized length field: rejected at the header, then the
+    // three non-sync header bytes are rescanned as garbage.
+    dec.feed(bytes({0xA5, 0x01, 0xFF, 0xFF}));
+    EXPECT_EQ(dec.oversizedFrames(), 1u);
+    EXPECT_EQ(dec.resyncs(), 2u);
+    EXPECT_EQ(dec.skippedBytes(), 2u + (corrupt.size() - 1) + 3);
+
+    // 4) An intact frame decodes; no counter moves but framesDecoded.
+    dec.feed(encodeFrame(FrameType::Error, bytes({7})));
+    EXPECT_EQ(dec.framesDecoded(), 1u);
+    EXPECT_EQ(dec.next()->payload, bytes({7}));
+    EXPECT_EQ(dec.crcErrors(), 1u);
+    EXPECT_EQ(dec.oversizedFrames(), 1u);
+    EXPECT_EQ(dec.resyncs(), 2u);
+    EXPECT_EQ(dec.skippedBytes(), 2u + (corrupt.size() - 1) + 3);
+    EXPECT_EQ(dec.buffered(), 0u);
 }
 
 } // namespace

@@ -7,8 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstring>
+#include <memory>
 #include <thread>
+
+#include <pthread.h>
 
 #include "service/framing.hh"
 #include "service/transport.hh"
@@ -150,6 +156,156 @@ TEST(Tcp, RoundTripOverLocalhost)
     client->close();
     std::uint8_t buf[8];
     EXPECT_EQ(serverSide->receive(buf, sizeof buf), 0u);
+}
+
+/**
+ * A connected listener/client/server triple, or a skip reason when the
+ * sandbox forbids sockets (GTEST_SKIP must run in the TEST body).
+ */
+struct TcpTriple {
+    std::unique_ptr<TcpListener> listener;
+    std::unique_ptr<ByteStream> client;
+    std::unique_ptr<ByteStream> server;
+    std::string skipReason;
+};
+
+TcpTriple
+connectTriple()
+{
+    TcpTriple t;
+    try {
+        t.listener = std::make_unique<TcpListener>(0);
+    } catch (const std::runtime_error &e) {
+        t.skipReason = std::string("sockets unavailable: ") + e.what();
+        return t;
+    }
+    std::thread acceptor([&] { t.server = t.listener->accept(); });
+    try {
+        t.client = tcpConnect("127.0.0.1", t.listener->port());
+    } catch (const std::runtime_error &e) {
+        t.listener->close();
+        acceptor.join();
+        t.skipReason = std::string("tcp connect unavailable: ") + e.what();
+        return t;
+    }
+    acceptor.join();
+    return t;
+}
+
+/** Deterministic multi-megabyte test pattern. */
+std::vector<std::uint8_t>
+bigPattern(std::size_t n)
+{
+    std::vector<std::uint8_t> data(n);
+    for (std::size_t i = 0; i < n; ++i)
+        data[i] = static_cast<std::uint8_t>(i * 31 + 7);
+    return data;
+}
+
+TEST(Tcp, LargeTransferWithSlowReader)
+{
+    // A payload far beyond the socket buffers with a reader that keeps
+    // falling behind: the sender's partial-write loop must deliver
+    // every byte in order despite sustained backpressure.
+    TcpTriple t = connectTriple();
+    if (!t.skipReason.empty())
+        GTEST_SKIP() << t.skipReason;
+
+    const auto data = bigPattern(4u << 20);
+    std::atomic<bool> sendOk{false};
+    std::thread sender([&] {
+        sendOk = t.client->send(data.data(), data.size());
+        t.client->close();
+    });
+
+    std::vector<std::uint8_t> got;
+    got.reserve(data.size());
+    std::vector<std::uint8_t> buf(64u << 10);
+    while (got.size() < data.size()) {
+        const std::size_t n = t.server->receive(buf.data(), buf.size());
+        if (n == 0)
+            break;
+        got.insert(got.end(), buf.begin(),
+                   buf.begin() + static_cast<std::ptrdiff_t>(n));
+        if (got.size() % (256u << 10) < n) // stall every ~256 KiB
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    sender.join();
+    EXPECT_TRUE(sendOk);
+    EXPECT_EQ(got, data);
+}
+
+TEST(Tcp, TransferSurvivesSignalStorm)
+{
+    // Pepper both endpoints with SIGUSR1 (no SA_RESTART, so blocked
+    // send/recv calls really do return EINTR or short counts) during a
+    // multi-megabyte transfer: the EINTR-retry and partial-write loops
+    // must hide every interruption.
+    TcpTriple t = connectTriple();
+    if (!t.skipReason.empty())
+        GTEST_SKIP() << t.skipReason;
+
+    struct sigaction sa = {};
+    struct sigaction old = {};
+    sa.sa_handler = +[](int) {};
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // deliberately NOT SA_RESTART
+    ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+    const auto data = bigPattern(4u << 20);
+    const pthread_t receiverHandle = pthread_self();
+    std::atomic<bool> stop{false};
+    std::atomic<bool> sendOk{false};
+    std::thread sender([&] {
+        sendOk = t.client->send(data.data(), data.size());
+        t.client->close();
+    });
+    const pthread_t senderHandle = sender.native_handle();
+    std::thread pepper([&] {
+        while (!stop.load()) {
+            ::pthread_kill(senderHandle, SIGUSR1);
+            ::pthread_kill(receiverHandle, SIGUSR1);
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    });
+
+    std::vector<std::uint8_t> got;
+    got.reserve(data.size());
+    std::vector<std::uint8_t> buf(64u << 10);
+    while (got.size() < data.size()) {
+        const std::size_t n = t.server->receive(buf.data(), buf.size());
+        if (n == 0)
+            break;
+        got.insert(got.end(), buf.begin(),
+                   buf.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+    stop = true;
+    pepper.join();
+    sender.join();
+    ::sigaction(SIGUSR1, &old, nullptr);
+
+    EXPECT_TRUE(sendOk);
+    EXPECT_EQ(got.size(), data.size());
+    EXPECT_EQ(got, data);
+}
+
+TEST(Tcp, ListenerPortIsImmediatelyReusable)
+{
+    // Closing the server side first parks the (port, peer) pair in
+    // TIME_WAIT; SO_REUSEADDR must let a restarted czar bind the same
+    // port immediately anyway.
+    TcpTriple t = connectTriple();
+    if (!t.skipReason.empty())
+        GTEST_SKIP() << t.skipReason;
+    const std::uint16_t port = t.listener->port();
+
+    ASSERT_TRUE(t.server->send(bytes({1})));
+    EXPECT_EQ(drain(*t.client, 1), bytes({1}));
+    t.server->close(); // server closes first -> TIME_WAIT on our side
+    t.client->close();
+    t.listener->close();
+
+    EXPECT_NO_THROW({ TcpListener reborn(port); });
 }
 
 TEST(Tcp, ClosedListenerAcceptReturnsNull)
