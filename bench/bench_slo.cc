@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Interactive SLO comparison bench: one simulated day of the request-
+ * level workload under the TPM checkpoint-suspend policy (InSURE)
+ * versus the Information-Battery speculative load-shifting manager,
+ * same seed, same weather. Prints the request accounting, latency
+ * percentiles and SLO verdicts side by side, plus the simulation speed
+ * of the request path (the number that goes into the "interactive"
+ * section of BENCH_simspeed.json).
+ *
+ *   bench_slo [--days D] [--day sunny|cloudy|rainy] [--users MILLIONS]
+ *             [--seed S] [--json FILE]
+ *
+ * Exit code is non-zero if any run fails, violates request conservation
+ * or reports an invariant violation — so the smoke test doubles as an
+ * end-to-end conservation check.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "validate/invariant_checker.hh"
+
+using namespace insure;
+
+namespace {
+
+struct SloOutcome {
+    std::string manager;
+    interactive::SloReport slo;
+    core::Metrics metrics;
+    std::uint64_t invariantViolations = 0;
+    double wallSeconds = 0.0;
+    double simTicksPerSec = 0.0;
+};
+
+SloOutcome
+runManager(core::ManagerKind mgr, double days, solar::DayClass day,
+           double usersMillions, std::uint64_t seed)
+{
+    core::ExperimentConfig cfg = core::interactiveExperiment();
+    cfg.manager = mgr;
+    cfg.day = day;
+    cfg.seed = seed;
+    cfg.duration = days * units::secPerDay;
+    cfg.system.interactive->usersMillions = usersMillions;
+    validate::attachInvariantChecker(cfg, validate::Policy::Log);
+
+    const auto start = std::chrono::steady_clock::now();
+    core::ExperimentRig rig(cfg);
+    rig.runUntil(cfg.duration);
+    core::ExperimentResult res = rig.finish();
+    const auto stop = std::chrono::steady_clock::now();
+
+    if (!res.slo) {
+        std::fprintf(stderr, "%s: run produced no SLO report\n",
+                     res.managerName.c_str());
+        std::exit(1);
+    }
+    const interactive::SloReport &r = *res.slo;
+    if (r.arrived != r.served + r.cachedHits + r.shed + r.droppedTimeout +
+                         r.droppedFault + r.queued) {
+        std::fprintf(stderr, "%s: request conservation violated\n",
+                     res.managerName.c_str());
+        std::exit(1);
+    }
+
+    SloOutcome out;
+    out.manager = res.managerName;
+    out.slo = r;
+    out.metrics = res.metrics;
+    out.invariantViolations = res.invariantViolations;
+    out.wallSeconds =
+        std::chrono::duration<double>(stop - start).count();
+    out.simTicksPerSec =
+        out.wallSeconds > 0.0 ? cfg.duration / out.wallSeconds : 0.0;
+    return out;
+}
+
+void
+printOutcome(const SloOutcome &o)
+{
+    const interactive::SloReport &r = o.slo;
+    std::printf("%s:\n", o.manager.c_str());
+    std::printf("  arrived %llu  served %llu  cached %llu  shed %llu  "
+                "dropped %llu (timeout) + %llu (fault)  queued %llu\n",
+                (unsigned long long)r.arrived, (unsigned long long)r.served,
+                (unsigned long long)r.cachedHits, (unsigned long long)r.shed,
+                (unsigned long long)r.droppedTimeout,
+                (unsigned long long)r.droppedFault,
+                (unsigned long long)r.queued);
+    std::printf("  p50 %.1f ms  p95 %.1f ms  p99 %.1f ms  "
+                "miss rate %.4f  hit rate %.4f\n",
+                r.p50 * 1e3, r.p95 * 1e3, r.p99 * 1e3, r.deadlineMissRate,
+                r.cacheHitRate);
+    std::printf("  uptime %.4f  green %.2f kWh  load %.2f kWh  "
+                "shutdowns %llu  violations %llu\n",
+                o.metrics.uptime, o.metrics.greenUsedKwh,
+                o.metrics.loadKwh,
+                (unsigned long long)o.metrics.emergencyShutdowns,
+                (unsigned long long)o.invariantViolations);
+    std::printf("  wall %.2f s  (%.0f sim-ticks/s, %.0f requests/s)\n\n",
+                o.wallSeconds, o.simTicksPerSec,
+                o.wallSeconds > 0.0 ? double(r.arrived) / o.wallSeconds
+                                    : 0.0);
+}
+
+void
+writeJson(const std::string &path, const std::vector<SloOutcome> &runs)
+{
+    std::ofstream f;
+    std::ostream *os = &std::cout;
+    if (path != "-") {
+        f.open(path);
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            std::exit(1);
+        }
+        os = &f;
+    }
+    // Same shape as the "interactive" section of BENCH_simspeed.json:
+    // the perf gate only parses "benchmarks", so this section is
+    // documentation plus a re-record source, never a gate input.
+    *os << "{\n \"interactive\": {\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const SloOutcome &o = runs[i];
+        char buf[512];
+        std::snprintf(
+            buf, sizeof buf,
+            "  \"%s\": {\n"
+            "   \"requests_per_s\": %.1f,\n"
+            "   \"sim_ticks_per_s\": %.1f,\n"
+            "   \"p99_ms\": %.3f,\n"
+            "   \"deadline_miss_rate\": %.6f,\n"
+            "   \"cache_hit_rate\": %.6f\n"
+            "  }%s\n",
+            o.manager.c_str(),
+            o.wallSeconds > 0.0 ? double(o.slo.arrived) / o.wallSeconds
+                                : 0.0,
+            o.simTicksPerSec, o.slo.p99 * 1e3, o.slo.deadlineMissRate,
+            o.slo.cacheHitRate, i + 1 < runs.size() ? "," : "");
+        *os << buf;
+    }
+    *os << " }\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double days = 1.0;
+    solar::DayClass day = solar::DayClass::Cloudy;
+    double users = 0.3;
+    std::uint64_t seed = 2015;
+    std::string json;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        auto next = [&]() -> const char * {
+            if (++i >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", a);
+                std::exit(2);
+            }
+            return argv[i];
+        };
+        if (!std::strcmp(a, "--days"))
+            days = std::atof(next());
+        else if (!std::strcmp(a, "--day")) {
+            const std::string d = next();
+            if (d == "sunny")
+                day = solar::DayClass::Sunny;
+            else if (d == "cloudy")
+                day = solar::DayClass::Cloudy;
+            else if (d == "rainy")
+                day = solar::DayClass::Rainy;
+            else {
+                std::fprintf(stderr, "unknown day class '%s'\n",
+                             d.c_str());
+                return 2;
+            }
+        } else if (!std::strcmp(a, "--users"))
+            users = std::atof(next());
+        else if (!std::strcmp(a, "--seed"))
+            seed = std::strtoull(next(), nullptr, 10);
+        else if (!std::strcmp(a, "--json"))
+            json = next();
+        else {
+            std::fprintf(stderr,
+                         "usage: bench_slo [--days D] [--day CLASS] "
+                         "[--users M] [--seed S] [--json FILE]\n");
+            return 2;
+        }
+    }
+
+    bench::header("Interactive SLO",
+                  "Request-level workload: TPM checkpoint-suspend vs "
+                  "Information-Battery speculative load shifting "
+                  "(same seed, same weather)");
+
+    std::vector<SloOutcome> runs;
+    runs.push_back(
+        runManager(core::ManagerKind::Insure, days, day, users, seed));
+    runs.push_back(runManager(core::ManagerKind::InfoBattery, days, day,
+                              users, seed));
+    for (const SloOutcome &o : runs)
+        printOutcome(o);
+
+    const interactive::SloReport &tpm = runs[0].slo;
+    const interactive::SloReport &ib = runs[1].slo;
+    bench::barSeries(
+        "deadline miss rate",
+        {{"tpm", tpm.deadlineMissRate}, {"infobattery", ib.deadlineMissRate}},
+        "", 4);
+    std::printf("\n");
+    bench::barSeries("information-battery hit rate",
+                     {{"tpm", tpm.cacheHitRate},
+                      {"infobattery", ib.cacheHitRate}},
+                     "", 4);
+
+    if (!json.empty())
+        writeJson(json, runs);
+    return 0;
+}

@@ -6,8 +6,9 @@
  *
  * Usage:
  *   insure_cli [options]
- *     --workload seismic|video|<micro-benchmark>   (default seismic)
- *     --manager insure|baseline|noopt              (default insure)
+ *     --workload seismic|video|interactive|<micro-benchmark>
+ *                                                  (default seismic)
+ *     --manager insure|baseline|noopt|infobattery  (default insure)
  *     --day sunny|cloudy|rainy                     (default sunny)
  *     --kwh <daily solar energy>                   (optional scaling)
  *     --avg-watts <7:00-20:00 average>             (optional scaling)
@@ -48,8 +49,10 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--config file.ini] [--workload seismic|video|<bench>] "
-        "[--manager insure|baseline|noopt] [--day sunny|cloudy|rainy]\n"
+        "usage: %s [--config file.ini] "
+        "[--workload seismic|video|interactive|<bench>] "
+        "[--manager insure|baseline|noopt|infobattery] "
+        "[--day sunny|cloudy|rainy]\n"
         "          [--kwh N] [--avg-watts N] [--days N] [--seed N] "
         "[--nodes N] [--lowpower] [--secondary W] [--trace F] [--json]\n"
         "          [--runs N] [--jobs N]\n",
@@ -79,6 +82,17 @@ printHuman(const core::ExperimentResult &res)
     t.addRow({"emergency shutdowns",
               std::to_string(m.emergencyShutdowns)});
     t.addRow({"on/off cycles", std::to_string(m.onOffCycles)});
+    if (res.slo) {
+        const interactive::SloReport &s = *res.slo;
+        t.addRow({"requests arrived", std::to_string(s.arrived)});
+        t.addRow({"requests served", std::to_string(s.served)});
+        t.addRow({"cache-served hits", std::to_string(s.cachedHits)});
+        t.addRow({"shed / dropped",
+                  std::to_string(s.shed) + " / " +
+                      std::to_string(s.droppedTimeout + s.droppedFault)});
+        t.addRow({"p99 latency (ms)", TT::num(s.p99 * 1e3, 1)});
+        t.addRow({"deadline miss rate", TT::percent(s.deadlineMissRate)});
+    }
     std::printf("%s", t.render("insure_cli result").c_str());
 }
 
@@ -86,6 +100,22 @@ void
 printJson(const core::ExperimentResult &res)
 {
     const core::Metrics &m = res.metrics;
+    // The SLO block keys match the campaign JSON; absent (and the object
+    // unchanged) on non-interactive workloads.
+    std::string slo;
+    if (res.slo) {
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      ",\"requests_arrived\":%llu,\"requests_served\":%llu,"
+                      "\"cache_hits\":%llu,\"slo_p99_s\":%.6f,"
+                      "\"slo_miss_rate\":%.6f,\"cache_hit_rate\":%.6f",
+                      static_cast<unsigned long long>(res.slo->arrived),
+                      static_cast<unsigned long long>(res.slo->served),
+                      static_cast<unsigned long long>(res.slo->cachedHits),
+                      res.slo->p99, res.slo->deadlineMissRate,
+                      res.slo->cacheHitRate);
+        slo = buf;
+    }
     std::printf(
         "{\"manager\":\"%s\",\"uptime\":%.6f,"
         "\"throughput_gb_per_h\":%.6f,\"processed_gb\":%.3f,"
@@ -94,14 +124,14 @@ printJson(const core::ExperimentResult &res)
         "\"solar_offered_kwh\":%.4f,\"green_used_kwh\":%.4f,"
         "\"secondary_kwh\":%.4f,\"load_kwh\":%.4f,"
         "\"buffer_trips\":%llu,\"emergency_shutdowns\":%llu,"
-        "\"on_off_cycles\":%llu}\n",
+        "\"on_off_cycles\":%llu%s}\n",
         res.managerName.c_str(), m.uptime, m.throughputGbPerHour,
         m.processedGb, m.meanLatency, m.eBufferAvailability,
         m.serviceLifeYears, m.perfPerAh, m.solarOfferedKwh,
         m.greenUsedKwh, m.secondaryKwh, m.loadKwh,
         static_cast<unsigned long long>(m.bufferTrips),
         static_cast<unsigned long long>(m.emergencyShutdowns),
-        static_cast<unsigned long long>(m.onOffCycles));
+        static_cast<unsigned long long>(m.onOffCycles), slo.c_str());
 }
 
 void
@@ -285,6 +315,8 @@ main(int argc, char **argv)
         cfg = core::seismicExperiment();
     else if (workload == "video")
         cfg = core::videoExperiment();
+    else if (workload == "interactive")
+        cfg = core::interactiveExperiment();
     else
         cfg = core::microExperiment(workload); // fatal if unknown
 
@@ -304,6 +336,8 @@ main(int argc, char **argv)
     } else if (manager == "noopt") {
         cfg.manager = core::ManagerKind::Insure;
         cfg.insure = core::InsureParams::noOpt();
+    } else if (manager == "infobattery") {
+        cfg.manager = core::ManagerKind::InfoBattery;
     } else {
         usage(argv[0]);
     }

@@ -3,7 +3,7 @@
 # smoke sweep, and the validation suites under ASan/UBSan.
 #
 # Usage: scripts/check.sh [--no-asan] [--fuzz-runs N] [--faults] [--scale]
-#        scripts/check.sh [--service] [--resume] [--dist]
+#        scripts/check.sh [--service] [--resume] [--dist] [--slo]
 #        scripts/check.sh --perf [--tolerance X]
 #
 # --perf builds Release and runs the simulation-speed gate against the
@@ -29,6 +29,11 @@
 # kill -9'd mid-sweep, re-invoked with --resume, and its JSON output must
 # be byte-identical to an uninterrupted sweep of the same master seed.
 #
+# --slo runs the interactive request-workload battery: the request
+# model, information-battery manager and e2e determinism suites
+# (ctest -L interactive) plus a full-day TPM-vs-InfoBattery bench_slo
+# run, whose exit code enforces request conservation end to end.
+#
 # --dist runs the distributed-campaign battery: the dispatch suites
 # (ctest -L dist), a 4-worker thread fleet byte-compared against the
 # single-process oracle, a process-mode fleet with one worker SIGKILLed
@@ -49,6 +54,7 @@ run_scale=0
 run_service=0
 run_resume=0
 run_dist=0
+run_slo=0
 fuzz_runs=200
 tolerance=0.20
 while [ $# -gt 0 ]; do
@@ -60,6 +66,7 @@ while [ $# -gt 0 ]; do
     --service) run_service=1 ;;
     --resume) run_resume=1 ;;
     --dist) run_dist=1 ;;
+    --slo) run_slo=1 ;;
     --tolerance)
         shift
         tolerance="$1"
@@ -69,7 +76,7 @@ while [ $# -gt 0 ]; do
         fuzz_runs="$1"
         ;;
     *)
-        echo "usage: $0 [--no-asan] [--fuzz-runs N] [--faults] [--scale] [--service] [--resume] [--dist] | --perf [--tolerance X]" >&2
+        echo "usage: $0 [--no-asan] [--fuzz-runs N] [--faults] [--scale] [--service] [--resume] [--dist] [--slo] | --perf [--tolerance X]" >&2
         exit 2
         ;;
     esac
@@ -197,6 +204,14 @@ if [ "$run_dist" = 1 ]; then
         --json "$dist_drill/resumed.json" >/dev/null
     cmp "$dist_drill/reference.json" "$dist_drill/resumed.json"
     echo "resumed distributed campaign JSON byte-identical"
+fi
+
+if [ "$run_slo" = 1 ]; then
+    step "interactive request-workload suites (ctest -L interactive)"
+    ctest --test-dir build -L interactive --output-on-failure
+
+    step "interactive SLO bench (full day, TPM vs InfoBattery)"
+    ./build/bench/bench_slo
 fi
 
 if [ "$run_asan" = 1 ]; then

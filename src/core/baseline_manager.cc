@@ -94,8 +94,14 @@ BaselineManager::control(const SystemView &view)
     budget = std::min(budget, cap);
 
     unsigned target = allocator_->vmsForPower(budget, 1.0);
-    if (view.backlog <= 0.0)
+    if (view.interactive.present) {
+        // Interactive traffic never "runs out of backlog": track the
+        // request demand within the power budget instead.
+        target = std::min(target,
+                          std::max(1u, view.interactive.demandVms));
+    } else if (view.backlog <= 0.0) {
         target = 0;
+    }
     // Restart backoff after a power failure (crash-loop protection).
     if (view.lastPowerFailureAge < params_.restartBackoff)
         target = 0;

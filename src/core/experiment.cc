@@ -17,6 +17,7 @@ managerKindName(ManagerKind k)
     switch (k) {
       case ManagerKind::Insure: return "insure";
       case ManagerKind::Baseline: return "baseline";
+      case ManagerKind::InfoBattery: return "infobattery";
     }
     return "?";
 }
@@ -67,6 +68,9 @@ makeManager(const ExperimentConfig &cfg,
         return std::make_unique<InsureManager>(cfg.insure, allocator);
       case ManagerKind::Baseline:
         return std::make_unique<BaselineManager>(cfg.baseline, allocator);
+      case ManagerKind::InfoBattery:
+        return std::make_unique<interactive::InfoBatteryManager>(
+            cfg.infoBattery, cfg.insure, allocator);
     }
     fatal("experiment: unknown manager kind");
 }
@@ -93,7 +97,7 @@ ExperimentRig::ExperimentRig(const ExperimentConfig &cfg) : cfg_(cfg)
 
     SystemConfig system = cfg_.system;
     system.unifiedBuffer = (cfg_.manager == ManagerKind::Baseline);
-    system.fastSwitching = (cfg_.manager == ManagerKind::Insure);
+    system.fastSwitching = (cfg_.manager != ManagerKind::Baseline);
 
     auto allocator = std::make_shared<NodeAllocator>(
         system.node, system.nodeCount, system.profile);
@@ -148,6 +152,7 @@ ExperimentRig::finish()
         res.invariantViolations = observer_->violationCount();
         res.invariantNotes = observer_->violationMessages();
     }
+    res.slo = plant_->sloReport();
     if (extension_)
         extension_->onRunComplete(*plant_, res);
     return res;
@@ -306,6 +311,24 @@ microExperiment(const std::string &benchmark)
 }
 
 ExperimentConfig
+interactiveExperiment()
+{
+    ExperimentConfig cfg;
+    cfg.system.node = server::xeonNode();
+    cfg.system.nodeCount = 4;
+    cfg.system.profile = workload::interactiveProfile();
+
+    // Size the population so the evening peak needs ~90% of the rack's
+    // VM slots at the target utilisation: 0.3M users x 40 req/day with
+    // the default 0.85 diurnal swing peaks near 260 req/s, i.e. ~7.4 of
+    // the 8 Xeon slots. The overnight trough idles down to one VM.
+    interactive::RequestParams req;
+    req.usersMillions = 0.3;
+    cfg.system.interactive = req;
+    return cfg;
+}
+
+ExperimentConfig
 experimentFromConfig(const sim::Config &cfg)
 {
     const std::string workload =
@@ -315,6 +338,8 @@ experimentFromConfig(const sim::Config &cfg)
         out = seismicExperiment();
     else if (workload == "video")
         out = videoExperiment();
+    else if (workload == "interactive")
+        out = interactiveExperiment();
     else
         out = microExperiment(workload);
 
@@ -327,6 +352,8 @@ experimentFromConfig(const sim::Config &cfg)
     } else if (manager == "noopt") {
         out.manager = ManagerKind::Insure;
         out.insure = InsureParams::noOpt();
+    } else if (manager == "infobattery") {
+        out.manager = ManagerKind::InfoBattery;
     } else {
         fatal("experimentFromConfig: unknown manager '%s'",
               manager.c_str());

@@ -18,6 +18,7 @@
 #include "core/baseline_manager.hh"
 #include "core/in_situ_system.hh"
 #include "core/insure_manager.hh"
+#include "interactive/info_battery.hh"
 #include "sim/config.hh"
 #include "sim/rng.hh"
 
@@ -31,6 +32,8 @@ namespace insure::core {
 enum class ManagerKind {
     Insure,
     Baseline,
+    /** InSURE plus information-battery speculative load shifting. */
+    InfoBattery,
 };
 
 /** Printable name of a manager kind. */
@@ -94,6 +97,11 @@ struct ExperimentConfig {
     /** Baseline policy tuning (used when manager == Baseline). */
     BaselineParams baseline;
     /**
+     * Information-battery tuning (used when manager == InfoBattery; the
+     * wrapped InSURE policy still reads `insure`).
+     */
+    interactive::InfoBatteryParams infoBattery;
+    /**
      * Tick-loop observer for this run (non-owning; must outlive the run).
      * For sweeps executed across worker threads use observerFactory
      * instead, so every run gets its own instance.
@@ -130,6 +138,8 @@ struct ExperimentResult {
     std::vector<std::string> invariantNotes;
     /** Resilience metrics when a fault extension ran (absent otherwise). */
     std::optional<ResilienceMetrics> resilience;
+    /** Interactive SLO report (absent when no interactive workload ran). */
+    std::optional<interactive::SloReport> slo;
 };
 
 /** Paired run of both policies on the same solar trace. */
@@ -293,6 +303,13 @@ ExperimentConfig videoExperiment();
  * (Figs. 17-19): arrivals oversubscribe the rack so work is never scarce.
  */
 ExperimentConfig microExperiment(const std::string &benchmark);
+
+/**
+ * Default configuration for the interactive request-serving case study:
+ * a diurnal request stream sized so the rack's VM slots cover the
+ * evening peak, with SLO accounting in the result.
+ */
+ExperimentConfig interactiveExperiment();
 
 /**
  * Build an experiment from an INI-style configuration (see

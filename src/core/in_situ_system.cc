@@ -63,6 +63,13 @@ InSituSystem::InSituSystem(sim::Simulation &sim, const std::string &name,
     // fault layer, for one) derives its streams advance-free via
     // Rng::derive with a streams:: tag, which cannot perturb these.
     Rng rng = sim.makeRng();
+    // The interactive arrival stream is derive()d first, advance-free:
+    // it reads the pre-split root state, so it neither shifts the batch/
+    // stream splits below nor depends on which of them are configured.
+    if (cfg_.interactive)
+        interactive_.emplace(
+            *cfg_.interactive,
+            rng.derive(streams::kInteractiveArrivals));
     if (cfg_.batch)
         batchSrc_.emplace(*cfg_.batch, rng.split());
     if (cfg_.stream)
@@ -348,6 +355,37 @@ InSituSystem::physicsTick(Seconds now)
         lostVmHoursSeen_ = lost_vmh;
     }
 
+    // 5b. Interactive request stream: runs after the power flow and the
+    // cluster step so it sees this tick's resolved VM pool and power
+    // state. Uncheckpointed shutdowns (faults, rack power loss) drop the
+    // in-flight requests — one per VM slot of each killed node — with
+    // exact ground-truth accounting.
+    if (interactive_) {
+        const std::uint64_t shutdowns = cluster_.emergencyShutdowns();
+        if (shutdowns > emergencyShutdownsSeen_) {
+            interactive_->dropInFlight((shutdowns -
+                                        emergencyShutdownsSeen_) *
+                                       cfg_.node.vmSlots);
+            emergencyShutdownsSeen_ = shutdowns;
+        }
+        interactive::RequestStepInputs ri;
+        ri.now = now;
+        ri.dt = dt;
+        const unsigned active = cluster_.activeVms();
+        const unsigned pre =
+            infoCmd_.mode == interactive::ServeMode::Precompute
+                ? std::min(infoCmd_.precomputeVms, active)
+                : 0;
+        ri.serveVms = active - pre;
+        ri.precomputeVms = pre;
+        ri.duty =
+            cluster_.nodeCount() ? cluster_.node(0).dutyCycle() : 1.0;
+        ri.powered = !failed;
+        ri.mode = infoCmd_.mode;
+        ri.shedMisses = infoCmd_.shedMisses;
+        interactive_->step(ri);
+    }
+
     // 6. Gauges.
     if (capacityWhCache_ < 0.0)
         capacityWhCache_ = array_.capacityWh();
@@ -383,6 +421,7 @@ InSituSystem::physicsTick(Seconds now)
         s.array = &array_;
         s.config = &cfg_;
         s.chargePlan = &chargePlan_;
+        s.interactive = interactive_ ? &*interactive_ : nullptr;
         observer_->onTick(s);
     }
 }
@@ -391,6 +430,35 @@ void
 InSituSystem::telemetryTick(Seconds now)
 {
     monitor_.sample(now, lastCurrents_);
+
+    // Live SLO registers for the digital twin. Deterministic (the
+    // tracker is plant state), so the register file stays bit-identical
+    // across worker-thread counts and snapshot restores.
+    if (interactive_) {
+        const interactive::SloTracker &t = interactive_->tracker();
+        const double p99_ms = t.percentile(0.99) * 1000.0;
+        registers_.write(
+            telemetry::RegisterLayout::sloP99Ms,
+            static_cast<std::uint16_t>(
+                std::lround(std::min(p99_ms, 65535.0))));
+        registers_.write(
+            telemetry::RegisterLayout::sloQueueDepth,
+            static_cast<std::uint16_t>(
+                std::min<std::uint64_t>(interactive_->queued(), 65535)));
+        const double cap = cfg_.interactive->storeCapacity;
+        const double fill =
+            cap > 0.0 ? interactive_->storeFill() / cap : 0.0;
+        registers_.write(
+            telemetry::RegisterLayout::sloStoreFill,
+            static_cast<std::uint16_t>(
+                std::lround(std::clamp(fill, 0.0, 1.0) * 1000.0)));
+        const double miss =
+            interactive_->report().deadlineMissRate;
+        registers_.write(
+            telemetry::RegisterLayout::sloMissRate,
+            static_cast<std::uint16_t>(
+                std::lround(std::clamp(miss, 0.0, 1.0) * 10000.0)));
+    }
 }
 
 SystemView
@@ -435,6 +503,8 @@ InSituSystem::buildView(Seconds now) const
         lastPowerFailure_ >= 0.0 ? now - lastPowerFailure_ : 1e18;
     view.secondaryCapacity =
         cfg_.secondary ? cfg_.secondary->capacity : 0.0;
+    if (interactive_)
+        view.interactive = interactive_->view(now);
     return view;
 }
 
@@ -459,6 +529,7 @@ InSituSystem::controlTick(Seconds now)
         }
     }
     chargePlan_ = act.chargePlan;
+    infoCmd_ = act.infoBattery;
 
     // Apply load controls.
     cluster_.setDutyCycle(act.dutyCycle);
@@ -564,6 +635,9 @@ InSituSystem::save(snapshot::Archive &ar) const
     ar.putBool(streamSrc_.has_value());
     if (streamSrc_)
         streamSrc_->save(ar);
+    ar.putBool(interactive_.has_value());
+    if (interactive_)
+        interactive_->save(ar);
     manager_->save(ar);
 
     // Controller and accumulator state.
@@ -571,6 +645,10 @@ InSituSystem::save(snapshot::Archive &ar) const
     for (unsigned i : chargePlan_.cabinets)
         ar.putU32(i);
     ar.putBool(chargePlan_.splitEvenly);
+    ar.putEnum(infoCmd_.mode);
+    ar.putU32(infoCmd_.precomputeVms);
+    ar.putBool(infoCmd_.shedMisses);
+    ar.putU64(emergencyShutdownsSeen_);
     ar.putF64Vec(lastCurrents_);
     ar.putF64(lastControl_);
     ar.putF64(solarAvgAccumWs_);
@@ -631,12 +709,23 @@ InSituSystem::load(snapshot::Archive &ar)
             "InSituSystem: stream-source presence differs from snapshot");
     if (streamSrc_)
         streamSrc_->load(ar);
+    if (ar.getBool() != interactive_.has_value())
+        throw snapshot::SnapshotError(
+            "InSituSystem: interactive-workload presence differs from "
+            "snapshot");
+    if (interactive_)
+        interactive_->load(ar);
     manager_->load(ar);
 
     chargePlan_.cabinets.assign(ar.getSize(), 0);
     for (unsigned &i : chargePlan_.cabinets)
         i = ar.getU32();
     chargePlan_.splitEvenly = ar.getBool();
+    infoCmd_.mode = ar.getEnum<interactive::ServeMode>(
+        static_cast<std::uint32_t>(interactive::ServeMode::CacheServe));
+    infoCmd_.precomputeVms = ar.getU32();
+    infoCmd_.shedMisses = ar.getBool();
+    emergencyShutdownsSeen_ = ar.getU64();
     lastCurrents_ = ar.getF64Vec();
     lastControl_ = ar.getF64();
     solarAvgAccumWs_ = ar.getF64();

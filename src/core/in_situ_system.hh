@@ -23,6 +23,7 @@
 
 #include "battery/battery_array.hh"
 #include "core/metrics.hh"
+#include "interactive/request_model.hh"
 #include "core/power_manager.hh"
 #include "core/system_observer.hh"
 #include "server/cluster.hh"
@@ -79,6 +80,8 @@ struct SystemConfig {
     std::optional<workload::BatchSource::Params> batch;
     /** Stream arrival process (optional). */
     std::optional<workload::StreamSource::Params> stream;
+    /** Interactive request-level workload (optional). */
+    std::optional<interactive::RequestParams> interactive;
     /** Secondary (backup) power feed (optional; paper Fig. 7 flows). */
     std::optional<SecondaryPowerParams> secondary;
     /** Physics integration step, seconds. */
@@ -199,6 +202,20 @@ class InSituSystem : public sim::Component
     /** Energy drawn from the secondary feed so far, watt-hours. */
     WattHours secondaryEnergyWh() const { return secondaryWh_; }
 
+    /** Interactive workload, or nullptr when the plant runs none. */
+    const interactive::RequestWorkload *interactiveWorkload() const
+    {
+        return interactive_ ? &*interactive_ : nullptr;
+    }
+
+    /** Interactive SLO report, if the plant runs the workload. */
+    std::optional<interactive::SloReport> sloReport() const
+    {
+        if (!interactive_)
+            return std::nullopt;
+        return interactive_->report();
+    }
+
     /**
      * Serialize the complete plant state: every sub-component, the
      * energy/uptime accumulators, the charge plan in force and the four
@@ -230,6 +247,7 @@ class InSituSystem : public sim::Component
     workload::DataQueue queue_;
     std::optional<workload::BatchSource> batchSrc_;
     std::optional<workload::StreamSource> streamSrc_;
+    std::optional<interactive::RequestWorkload> interactive_;
     std::unique_ptr<PowerManager> manager_;
 
     std::unique_ptr<sim::PeriodicTask> physicsTask_;
@@ -239,6 +257,10 @@ class InSituSystem : public sim::Component
 
     SystemObserver *observer_ = nullptr;
     ChargePlan chargePlan_;
+    /** Interactive routing command in force (last control tick). */
+    interactive::InfoBatteryCommand infoCmd_;
+    /** Cluster emergency shutdowns seen by the fault-drop hook. */
+    std::uint64_t emergencyShutdownsSeen_ = 0;
     std::vector<Amperes> lastCurrents_;
     Seconds lastControl_ = 0.0;
     double solarAvgAccumWs_ = 0.0;

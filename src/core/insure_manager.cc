@@ -354,6 +354,26 @@ InsureManager::control(const SystemView &raw_view)
         const unsigned fit =
             allocator_->vmsForPower(budget, act.dutyCycle);
         act.targetVms = std::min(batchVms_, fit);
+    } else if (view.workloadKind == workload::WorkloadKind::Interactive) {
+        // Interactive: follow the request demand (steady-state rate plus
+        // queue drain) within the power budget, honouring the TPM's shed
+        // delta. Unlike batch/stream, an empty queue does NOT power the
+        // rack down — latency dies long before work disappears — so a
+        // powered plant keeps at least one VM serving.
+        const unsigned fit =
+            allocator_->vmsForPower(budget, act.dutyCycle);
+        unsigned demand = view.interactive.demandVms;
+        if (view.interactive.present && demand == 0)
+            demand = 1;
+        int target = static_cast<int>(
+            std::min({demand, fit, view.totalVmSlots}));
+        if (view.interactive.present && target == 0 && fit > 0)
+            target = 1;
+        target += std::min(dec.vmDelta, 0);
+        act.targetVms =
+            static_cast<unsigned>(std::clamp(target, 0,
+                                             static_cast<int>(
+                                                 view.totalVmSlots)));
     } else {
         // Stream: adjust the VM count within the power budget, honouring
         // the TPM's shed/grow delta. No work means no servers.

@@ -30,6 +30,10 @@ namespace insure::snapshot {
 class Archive;
 }
 
+namespace insure::interactive {
+class RequestWorkload;
+}
+
 namespace insure::core {
 
 struct SystemConfig;
@@ -85,6 +89,8 @@ struct TickSample {
     const SystemConfig *config = nullptr;
     /** The charge plan in force during the tick. */
     const ChargePlan *chargePlan = nullptr;
+    /** Interactive workload (post-tick state); null when not running. */
+    const interactive::RequestWorkload *interactive = nullptr;
 };
 
 /** One control period: the sensed view and the manager's response. */

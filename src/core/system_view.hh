@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "battery/battery_unit.hh"
+#include "interactive/request_model.hh"
 #include "sim/units.hh"
 #include "workload/profiles.hh"
 
@@ -80,6 +81,8 @@ struct SystemView {
     Seconds lastPowerFailureAge = 1e18;
     /** Capacity of the secondary (backup) feed, watts; 0 when absent. */
     Watts secondaryCapacity = 0.0;
+    /** Interactive request-stream state (present=false when unused). */
+    interactive::InteractiveView interactive;
 };
 
 /** How to distribute surplus solar power across charging cabinets. */
@@ -107,6 +110,8 @@ struct ControlActions {
     double dutyCycle = 1.0;
     /** Checkpoint and power down the whole rack cleanly. */
     bool checkpointShutdown = false;
+    /** Interactive traffic routing (information battery). */
+    interactive::InfoBatteryCommand infoBattery;
 };
 
 } // namespace insure::core

@@ -10,8 +10,11 @@ namespace insure::dispatch {
 
 namespace {
 
-/** Bump when the SweepSpec wire grammar changes. */
-constexpr std::uint32_t kSweepSpecVersion = 1;
+/**
+ * Bump when the SweepSpec wire grammar changes.
+ * v2: interactive workload kind + information-battery knobs.
+ */
+constexpr std::uint32_t kSweepSpecVersion = 2;
 
 void
 putOptF64(snapshot::Archive &ar, const std::optional<double> &v)
@@ -56,6 +59,13 @@ saveSweepSpec(snapshot::Archive &ar, const SweepSpec &spec)
     }
     ar.putU64(spec.runs);
     ar.putU64(spec.masterSeed);
+    putOptF64(ar, spec.usersMillions);
+    putOptF64(ar, spec.deadlineSeconds);
+    putOptF64(ar, spec.surplusMarginW);
+    putOptF64(ar, spec.minStoreToRide);
+    ar.putBool(spec.maxPrecomputeVms.has_value());
+    if (spec.maxPrecomputeVms)
+        ar.putU32(*spec.maxPrecomputeVms);
 }
 
 SweepSpec
@@ -70,7 +80,7 @@ loadSweepSpec(snapshot::Archive &ar)
     SweepSpec spec;
     spec.workload = ar.getStr();
     spec.manager = ar.getEnum<core::ManagerKind>(
-        static_cast<std::uint32_t>(core::ManagerKind::Baseline));
+        static_cast<std::uint32_t>(core::ManagerKind::InfoBattery));
     spec.day = ar.getEnum<solar::DayClass>(
         static_cast<std::uint32_t>(solar::DayClass::Rainy));
     spec.days = ar.getF64();
@@ -91,6 +101,12 @@ loadSweepSpec(snapshot::Archive &ar)
     }
     spec.runs = static_cast<std::size_t>(ar.getU64());
     spec.masterSeed = ar.getU64();
+    spec.usersMillions = getOptF64(ar);
+    spec.deadlineSeconds = getOptF64(ar);
+    spec.surplusMarginW = getOptF64(ar);
+    spec.minStoreToRide = getOptF64(ar);
+    if (ar.getBool())
+        spec.maxPrecomputeVms = ar.getU32();
     return spec;
 }
 
@@ -102,10 +118,25 @@ toCampaignConfig(const SweepSpec &spec)
         cfg.base = core::seismicExperiment();
     else if (spec.workload == "video")
         cfg.base = core::videoExperiment();
+    else if (spec.workload == "interactive")
+        cfg.base = core::interactiveExperiment();
     else
         throw std::runtime_error("sweep spec: unknown workload '" +
                                  spec.workload + "'");
     cfg.base.manager = spec.manager;
+    if (cfg.base.system.interactive) {
+        if (spec.usersMillions)
+            cfg.base.system.interactive->usersMillions =
+                *spec.usersMillions;
+        if (spec.deadlineSeconds)
+            cfg.base.system.interactive->deadline = *spec.deadlineSeconds;
+    }
+    if (spec.surplusMarginW)
+        cfg.base.infoBattery.surplusMarginW = *spec.surplusMarginW;
+    if (spec.minStoreToRide)
+        cfg.base.infoBattery.minStoreToRide = *spec.minStoreToRide;
+    if (spec.maxPrecomputeVms)
+        cfg.base.infoBattery.maxPrecomputeVms = *spec.maxPrecomputeVms;
     cfg.base.day = spec.day;
     cfg.base.duration = spec.days * units::secPerDay;
     cfg.plan = fault::makeRatePlan(spec.faultRatePerHour, spec.faultClasses);

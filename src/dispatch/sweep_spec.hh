@@ -54,7 +54,7 @@ struct PolicyPoint {
 
 /** The recipe for a whole campaign (see file comment). */
 struct SweepSpec {
-    /** Workload preset: "seismic" or "video". */
+    /** Workload preset: "seismic", "video" or "interactive". */
     std::string workload = "seismic";
     /** Policy under test. */
     core::ManagerKind manager = core::ManagerKind::Insure;
@@ -77,6 +77,20 @@ struct SweepSpec {
     std::size_t runs = 50;
     /** Master seed; per-run child seeds derive from it in run order. */
     std::uint64_t masterSeed = kDefaultSeed;
+
+    // Interactive workload / information-battery knobs (wire version 2;
+    // unset fields keep the preset's defaults). Only meaningful when
+    // workload == "interactive".
+    /** Override of RequestParams::usersMillions. */
+    std::optional<double> usersMillions;
+    /** Override of RequestParams::deadline, seconds. */
+    std::optional<double> deadlineSeconds;
+    /** Override of InfoBatteryParams::surplusMarginW. */
+    std::optional<double> surplusMarginW;
+    /** Override of InfoBatteryParams::minStoreToRide. */
+    std::optional<double> minStoreToRide;
+    /** Override of InfoBatteryParams::maxPrecomputeVms. */
+    std::optional<std::uint32_t> maxPrecomputeVms;
 
     bool operator==(const SweepSpec &) const = default;
 };

@@ -133,6 +133,7 @@ summarizeCampaign(const CampaignConfig &cfg,
             run.processedGb = r.result.metrics.processedGb;
             if (r.result.resilience)
                 run.resilience = *r.result.resilience;
+            run.slo = r.result.slo;
             const core::ResilienceMetrics &m = run.resilience;
             s.faultsInjected += m.faultsInjected;
             s.faultsCleared += m.faultsCleared;
@@ -236,6 +237,12 @@ writeCampaignJson(const CampaignSummary &s, std::ostream &os)
                        static_cast<unsigned long long>(
                            r.invariantViolations),
                        r.uptime, r.processedGb);
+            if (r.slo)
+                os << strf(", \"slo_p99_s\": %.6f, "
+                           "\"slo_miss_rate\": %.6f, "
+                           "\"cache_hit_rate\": %.6f",
+                           r.slo->p99, r.slo->deadlineMissRate,
+                           r.slo->cacheHitRate);
         }
         os << (i + 1 < s.perRun.size() ? "},\n" : "}\n");
     }

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -73,6 +74,8 @@ struct CampaignRun {
     core::ResilienceMetrics resilience;
     double uptime = 0.0;
     double processedGb = 0.0;
+    /** SLO summary; set only for interactive-workload runs. */
+    std::optional<interactive::SloReport> slo;
 };
 
 /** Campaign-level aggregates (completed runs only). */

@@ -122,6 +122,42 @@ loadResilience(snapshot::Archive &ar, core::ResilienceMetrics &m)
     m.lostVmHours = ar.getF64();
 }
 
+void
+saveSlo(snapshot::Archive &ar, const interactive::SloReport &s)
+{
+    ar.putU64(s.arrived);
+    ar.putU64(s.served);
+    ar.putU64(s.cachedHits);
+    ar.putU64(s.shed);
+    ar.putU64(s.droppedTimeout);
+    ar.putU64(s.droppedFault);
+    ar.putU64(s.queued);
+    ar.putU64(s.missedDeadline);
+    ar.putF64(s.p50);
+    ar.putF64(s.p95);
+    ar.putF64(s.p99);
+    ar.putF64(s.deadlineMissRate);
+    ar.putF64(s.cacheHitRate);
+}
+
+void
+loadSlo(snapshot::Archive &ar, interactive::SloReport &s)
+{
+    s.arrived = ar.getU64();
+    s.served = ar.getU64();
+    s.cachedHits = ar.getU64();
+    s.shed = ar.getU64();
+    s.droppedTimeout = ar.getU64();
+    s.droppedFault = ar.getU64();
+    s.queued = ar.getU64();
+    s.missedDeadline = ar.getU64();
+    s.p50 = ar.getF64();
+    s.p95 = ar.getF64();
+    s.p99 = ar.getF64();
+    s.deadlineMissRate = ar.getF64();
+    s.cacheHitRate = ar.getF64();
+}
+
 } // namespace
 
 void
@@ -157,6 +193,9 @@ saveRunResult(snapshot::Archive &ar, const core::RunResult &r,
     ar.putBool(r.result.resilience.has_value());
     if (r.result.resilience)
         saveResilience(ar, *r.result.resilience);
+    ar.putBool(r.result.slo.has_value());
+    if (r.result.slo)
+        saveSlo(ar, *r.result.slo);
 }
 
 void
@@ -201,6 +240,11 @@ loadRunResult(snapshot::Archive &ar, core::RunResult &r,
         core::ResilienceMetrics m;
         loadResilience(ar, m);
         r.result.resilience = m;
+    }
+    if (ar.getBool()) {
+        interactive::SloReport s;
+        loadSlo(ar, s);
+        r.result.slo = s;
     }
 }
 

@@ -1,0 +1,90 @@
+#include "interactive/info_battery.hh"
+
+#include <algorithm>
+
+namespace insure::interactive {
+
+InfoBatteryManager::InfoBatteryManager(
+    const InfoBatteryParams &params, const core::InsureParams &insure,
+    std::shared_ptr<core::NodeAllocator> allocator)
+    : params_(params), inner_(insure, allocator),
+      allocator_(std::move(allocator))
+{
+}
+
+core::ControlActions
+InfoBatteryManager::control(const core::SystemView &view)
+{
+    core::ControlActions act = inner_.control(view);
+    // Actions the inner policy issued count toward this manager's
+    // Table 6 column; forward only the delta since the last period.
+    const std::uint64_t innerNow = inner_.powerCtrlActions();
+    countActions(innerNow - lastInner_);
+    lastInner_ = innerNow;
+
+    act.infoBattery = InfoBatteryCommand{};
+    if (!view.interactive.present)
+        return act;
+
+    if (act.checkpointShutdown &&
+        view.interactive.storeFill >= params_.minStoreToRide) {
+        // Ride the deficit on stored responses instead of suspending:
+        // keep a skeleton pool powered at low duty, answer from the
+        // store, shed the misses. The e-Buffer still rests.
+        act.checkpointShutdown = false;
+        act.targetVms =
+            std::min(params_.cacheServeVms, view.totalVmSlots);
+        act.dutyCycle = params_.cacheServeDuty;
+        act.infoBattery.mode = ServeMode::CacheServe;
+        act.infoBattery.shedMisses = true;
+        countActions();
+        return act;
+    }
+
+    // Surplus: divert spare slots to precompute ("charge" the store).
+    const Watts surplus = view.solarPowerAvg - view.loadPower;
+    double socSum = 0.0;
+    for (const core::CabinetView &cab : view.cabinets)
+        socSum += cab.soc;
+    const double meanSoc =
+        view.cabinets.empty() ? 0.0
+                              : socSum / double(view.cabinets.size());
+    const bool storeFull =
+        view.interactive.storeFill >= view.interactive.storeCapacity;
+    if (!act.checkpointShutdown && surplus > params_.surplusMarginW &&
+        meanSoc >= params_.precomputeSoc && !storeFull) {
+        const unsigned spareSlots =
+            view.totalVmSlots > act.targetVms
+                ? view.totalVmSlots - act.targetVms
+                : 0;
+        const unsigned fit =
+            allocator_->vmsForPower(surplus, act.dutyCycle);
+        const unsigned pre = std::min(
+            {spareSlots, params_.maxPrecomputeVms, fit});
+        if (pre > 0) {
+            act.infoBattery.mode = ServeMode::Precompute;
+            act.infoBattery.precomputeVms = pre;
+            // The precompute pool rides on top of the serving pool.
+            act.targetVms += pre;
+            countActions();
+        }
+    }
+    return act;
+}
+
+void
+InfoBatteryManager::save(snapshot::Archive &ar) const
+{
+    PowerManager::save(ar);
+    inner_.save(ar);
+}
+
+void
+InfoBatteryManager::load(snapshot::Archive &ar)
+{
+    PowerManager::load(ar);
+    inner_.load(ar);
+    lastInner_ = inner_.powerCtrlActions();
+}
+
+} // namespace insure::interactive

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Information-Battery power manager (Switzer & Pannuto, PAPERS.md).
+ *
+ * Wraps the InSURE manager and adds speculative load shifting for the
+ * interactive workload: when solar runs a surplus and the e-Buffer is
+ * healthy, spare VM slots precompute responses into the bounded store
+ * ("charging" the information battery); when the temporal manager would
+ * checkpoint-suspend the rack, a sufficiently full store lets the rack
+ * ride the deficit instead — a skeleton VM pool answers arrivals from
+ * the store at cache latency and sheds the misses. Energy is shifted in
+ * time as *information* rather than electrochemistry, side by side with
+ * the TPM checkpoint path so both are comparable in the same resilience
+ * and cost metrics.
+ */
+
+#ifndef INSURE_INTERACTIVE_INFO_BATTERY_HH
+#define INSURE_INTERACTIVE_INFO_BATTERY_HH
+
+#include <memory>
+
+#include "core/insure_manager.hh"
+#include "core/power_manager.hh"
+#include "interactive/request_model.hh"
+
+namespace insure::interactive {
+
+/** Tuning of the speculative load-shifting policy. */
+struct InfoBatteryParams {
+    /** Solar surplus (after load) required before precomputing, watts. */
+    Watts surplusMarginW = 50.0;
+    /** Mean sensed SoC required before diverting energy to precompute. */
+    double precomputeSoc = 0.50;
+    /** Cap on VMs diverted to precompute in one control period. */
+    unsigned maxPrecomputeVms = 8;
+    /** Skeleton VM pool kept up while riding a deficit on the store. */
+    unsigned cacheServeVms = 1;
+    /** Duty cycle of the skeleton pool during cache-serve. */
+    double cacheServeDuty = 0.30;
+    /** Store fill below which a deficit is NOT ridden (responses). */
+    double minStoreToRide = 1.0e4;
+
+    bool operator==(const InfoBatteryParams &) const = default;
+};
+
+/** InSURE plus information-battery speculative load shifting. */
+class InfoBatteryManager : public core::PowerManager
+{
+  public:
+    /**
+     * @param params load-shifting tuning
+     * @param insure tuning of the wrapped InSURE policy
+     * @param allocator VM sizing helper (shared with the inner manager)
+     */
+    InfoBatteryManager(const InfoBatteryParams &params,
+                       const core::InsureParams &insure,
+                       std::shared_ptr<core::NodeAllocator> allocator);
+
+    const char *name() const override { return "infobattery"; }
+
+    core::ControlActions control(const core::SystemView &view) override;
+
+    /** The wrapped InSURE policy (for tests). */
+    const core::InsureManager &inner() const { return inner_; }
+
+    /** Serialize the wrapped policy plus the forwarding cursor. */
+    void save(snapshot::Archive &ar) const override;
+
+    /** Restore (mirror of save). */
+    void load(snapshot::Archive &ar) override;
+
+  private:
+    InfoBatteryParams params_;
+    core::InsureManager inner_;
+    std::shared_ptr<core::NodeAllocator> allocator_;
+    /** Inner action count already forwarded into our own counter. */
+    std::uint64_t lastInner_ = 0;
+};
+
+} // namespace insure::interactive
+
+#endif // INSURE_INTERACTIVE_INFO_BATTERY_HH

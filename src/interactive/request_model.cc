@@ -1,0 +1,275 @@
+#include "interactive/request_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "snapshot/archive.hh"
+
+namespace insure::interactive {
+
+namespace {
+
+/** Versioned snapshot grammar for the workload block. */
+constexpr std::uint32_t kWorkloadVersion = 1;
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+} // namespace
+
+const char *
+serveModeName(ServeMode m)
+{
+    switch (m) {
+      case ServeMode::Live: return "live";
+      case ServeMode::Precompute: return "precompute";
+      case ServeMode::CacheServe: return "cacheserve";
+    }
+    return "?";
+}
+
+RequestWorkload::RequestWorkload(const RequestParams &params, Rng rng)
+    : params_(params), rng_(rng)
+{
+}
+
+double
+RequestWorkload::ratePerSec(Seconds now) const
+{
+    const double mean = params_.usersMillions * 1e6 *
+                        params_.requestsPerUserPerDay / units::secPerDay;
+    const double hour =
+        std::fmod(now, units::secPerDay) / units::secPerHour;
+    const double shape =
+        1.0 + params_.diurnalAmplitude *
+                  std::cos(kTwoPi * (hour - params_.peakHour) / 24.0);
+    return mean * std::max(params_.minShape, shape);
+}
+
+std::uint64_t
+RequestWorkload::drawPoisson(double lambda)
+{
+    if (lambda <= 0.0)
+        return 0;
+    if (lambda < 30.0) {
+        // Knuth's product method; the draw count varies with the value,
+        // which is fine — the stream state snapshots with the plant.
+        const double limit = std::exp(-lambda);
+        std::uint64_t k = 0;
+        double p = 1.0;
+        do {
+            ++k;
+            p *= rng_.uniform();
+        } while (p > limit);
+        return k - 1;
+    }
+    // Large-lambda normal approximation: one deviate per tick keeps the
+    // per-tick draw pattern flat across the busy hours.
+    const double n = lambda + std::sqrt(lambda) * rng_.normal();
+    if (n <= 0.0)
+        return 0;
+    return static_cast<std::uint64_t>(std::llround(n));
+}
+
+void
+RequestWorkload::enqueue(Seconds now, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    // One bucket per tick at most: merge same-timestamp arrivals.
+    if (!queue_.empty() && queue_.back().arrival == now)
+        queue_.back().count += n;
+    else
+        queue_.push_back({now, n});
+    queuedCount_ += n;
+}
+
+std::uint64_t
+RequestWorkload::takeFromQueue(std::uint64_t n, Seconds now,
+                               Seconds extraLatency, bool record)
+{
+    std::uint64_t taken = 0;
+    while (n > taken && !queue_.empty()) {
+        Bucket &front = queue_.front();
+        const std::uint64_t cnt = std::min(front.count, n - taken);
+        if (record) {
+            const Seconds latency =
+                (now - front.arrival) + extraLatency;
+            tracker_.addServed(latency, cnt,
+                               latency > params_.deadline ? cnt : 0);
+        } else {
+            tracker_.addDroppedFault(cnt);
+        }
+        front.count -= cnt;
+        taken += cnt;
+        if (front.count == 0)
+            queue_.pop_front();
+    }
+    queuedCount_ -= taken;
+    return taken;
+}
+
+void
+RequestWorkload::step(const RequestStepInputs &in)
+{
+    // 1. Arrivals: one Poisson batch from the day-shape curve.
+    const double lambda = ratePerSec(in.now) * in.dt;
+    const std::uint64_t n = drawPoisson(lambda);
+    tracker_.addArrived(n);
+
+    // 2. Store staleness: precomputed responses age out linearly over
+    // the TTL (a response computed at dawn is worthless by next dawn).
+    const Seconds ttl = params_.storeTtlHours * units::secPerHour;
+    if (ttl > 0.0)
+        storeFill_ = std::max(0.0, storeFill_ * (1.0 - in.dt / ttl));
+
+    // 3. Route the arrivals.
+    const bool cacheServing = in.mode == ServeMode::CacheServe &&
+                              in.powered && storeFill_ >= 1.0;
+    if (cacheServing) {
+        const double fill =
+            params_.storeCapacity > 0.0
+                ? std::min(1.0, storeFill_ / params_.storeCapacity)
+                : 0.0;
+        const double hitRate = params_.maxHitRate * fill;
+        // Deterministic expected-value hits: a residual accumulator in
+        // place of per-request Bernoulli draws, so hit counts are exact
+        // integers and the arrival stream advances identically whether
+        // or not the store is in play.
+        hitCredit_ += static_cast<double>(n) * hitRate;
+        std::uint64_t hits = std::min(
+            n, static_cast<std::uint64_t>(hitCredit_));
+        hits = std::min(hits,
+                        static_cast<std::uint64_t>(storeFill_));
+        hitCredit_ -= static_cast<double>(hits);
+        storeFill_ -= static_cast<double>(hits);
+        tracker_.addCachedHit(params_.cacheLatency, hits);
+        const std::uint64_t misses = n - hits;
+        if (in.shedMisses)
+            tracker_.addShed(misses);
+        else
+            enqueue(in.now, misses);
+    } else {
+        enqueue(in.now, n);
+    }
+    if (storeFill_ < 1.0)
+        hitCredit_ = std::min(hitCredit_, 1.0);
+
+    // 4. Live service: aggregate M/D/c fast path. Capacity is the VM
+    // pool's deterministic request rate; the in-service latency adds the
+    // closed-form heavy-traffic wait so reported latencies reflect
+    // congestion even though requests are served in per-tick batches.
+    if (in.powered && in.serveVms > 0 && params_.serviceTime > 0.0) {
+        serveCredit_ +=
+            in.serveVms * in.duty * in.dt / params_.serviceTime;
+        const double mu = in.duty / params_.serviceTime;
+        const double rho = std::clamp(
+            ratePerSec(in.now) / (in.serveVms * mu), 0.0, 0.98);
+        const Seconds qWait = params_.serviceTime * rho /
+                              (2.0 * in.serveVms * (1.0 - rho));
+        const auto capacity =
+            static_cast<std::uint64_t>(serveCredit_);
+        const std::uint64_t done = takeFromQueue(
+            capacity, in.now, params_.serviceTime + qWait, true);
+        serveCredit_ -= static_cast<double>(done);
+        if (queue_.empty())
+            serveCredit_ = std::min(serveCredit_, 1.0);
+    } else {
+        // A dark rack banks no service capacity.
+        serveCredit_ = 0.0;
+    }
+
+    // 5. Client timeouts bound the queue memory.
+    while (!queue_.empty() &&
+           in.now - queue_.front().arrival > params_.dropAge) {
+        tracker_.addDroppedTimeout(queue_.front().count);
+        queuedCount_ -= queue_.front().count;
+        queue_.pop_front();
+    }
+
+    // 6. Speculative precompute fills the store from surplus energy.
+    if (in.mode == ServeMode::Precompute && in.powered &&
+        in.precomputeVms > 0) {
+        storeFill_ = std::min(
+            params_.storeCapacity,
+            storeFill_ + in.precomputeVms * in.duty * in.dt *
+                             params_.precomputePerVmSec);
+    }
+}
+
+void
+RequestWorkload::dropInFlight(std::uint64_t n)
+{
+    takeFromQueue(n, 0.0, 0.0, false);
+}
+
+InteractiveView
+RequestWorkload::view(Seconds now) const
+{
+    InteractiveView v;
+    v.present = true;
+    v.arrivalRatePerSec = ratePerSec(now);
+    v.queuedRequests = queuedCount_;
+    v.oldestAge =
+        queue_.empty() ? 0.0 : now - queue_.front().arrival;
+    v.storeFill = storeFill_;
+    v.storeCapacity = params_.storeCapacity;
+    // Demand: VMs holding utilisation at ~70% of capacity for current
+    // arrivals, plus enough to drain the standing queue within ~10 s.
+    const double steady =
+        v.arrivalRatePerSec * params_.serviceTime / 0.7;
+    const double drain =
+        static_cast<double>(queuedCount_) * params_.serviceTime / 10.0;
+    v.demandVms = static_cast<unsigned>(std::ceil(steady + drain));
+    return v;
+}
+
+void
+RequestWorkload::save(snapshot::Archive &ar) const
+{
+    ar.section("request_workload");
+    ar.putU32(kWorkloadVersion);
+    rng_.save(ar);
+    ar.putSize(queue_.size());
+    for (const Bucket &b : queue_) {
+        ar.putF64(b.arrival);
+        ar.putU64(b.count);
+    }
+    ar.putU64(queuedCount_);
+    ar.putF64(serveCredit_);
+    ar.putF64(hitCredit_);
+    ar.putF64(storeFill_);
+    tracker_.save(ar);
+}
+
+void
+RequestWorkload::load(snapshot::Archive &ar)
+{
+    ar.section("request_workload");
+    const std::uint32_t version = ar.getU32();
+    if (version != kWorkloadVersion)
+        throw snapshot::SnapshotError(
+            "request workload: version " + std::to_string(version) +
+            " != expected " + std::to_string(kWorkloadVersion));
+    rng_.load(ar);
+    queue_.clear();
+    const std::size_t buckets = ar.getSize();
+    for (std::size_t i = 0; i < buckets; ++i) {
+        Bucket b;
+        b.arrival = ar.getF64();
+        b.count = ar.getU64();
+        queue_.push_back(b);
+    }
+    queuedCount_ = ar.getU64();
+    std::uint64_t check = 0;
+    for (const Bucket &b : queue_)
+        check += b.count;
+    if (check != queuedCount_)
+        throw snapshot::SnapshotError(
+            "request workload: queued-count mismatch in snapshot");
+    serveCredit_ = ar.getF64();
+    hitCredit_ = ar.getF64();
+    storeFill_ = ar.getF64();
+    tracker_.load(ar);
+}
+
+} // namespace insure::interactive

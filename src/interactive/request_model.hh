@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Deterministic request-level interactive workload (ROADMAP: internet-
+ * scale workload realism).
+ *
+ * Millions of users generate a diurnal stream of small requests; the
+ * model draws one Poisson batch per physics tick from a day-shape rate
+ * curve and pushes it through an aggregated queueing/service model:
+ *
+ *  - Arrivals ride an Rng::derive tag stream rooted at the simulation
+ *    seed, so adding the workload can never perturb the solar, battery
+ *    or fault draws (and vice versa).
+ *  - Service is an M/D/c-style closed form over the *aggregate* VM
+ *    count: per-tick capacity is served FIFO from arrival-time buckets
+ *    and the in-service wait is the classic heavy-traffic correction.
+ *    Cost per tick is O(queue buckets), independent of the node count,
+ *    which is what lets the model ride the SoA NodePool hot loop at
+ *    10k nodes without a per-node queue in sight.
+ *  - The "information battery" (Switzer & Pannuto, PAPERS.md): during
+ *    energy surplus spare VMs precompute responses into a bounded
+ *    store; during deficit arrivals are answered from the store at
+ *    cache latency while misses are shed or deferred. The hit model is
+ *    a deterministic expected-value accumulator — no RNG draw — so hit
+ *    counts are exact integers and independent of worker threading.
+ *
+ * Every request is accounted exactly (64-bit counters): at any tick
+ * arrived == served + cachedHits + shed + dropped + queued, which the
+ * InvariantChecker asserts each physics tick.
+ */
+
+#ifndef INSURE_INTERACTIVE_REQUEST_MODEL_HH
+#define INSURE_INTERACTIVE_REQUEST_MODEL_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "interactive/slo_tracker.hh"
+#include "sim/rng.hh"
+#include "sim/units.hh"
+
+namespace insure::snapshot {
+class Archive;
+}
+
+namespace insure::interactive {
+
+/** Arrival + service + information-battery model parameters. */
+struct RequestParams {
+    /** User population, millions. */
+    double usersMillions = 2.0;
+    /** Mean requests per user per day. */
+    double requestsPerUserPerDay = 40.0;
+    /**
+     * Diurnal modulation depth: rate = mean * (1 + A cos(...)), clamped
+     * at minShape. 0 = flat traffic.
+     */
+    double diurnalAmplitude = 0.85;
+    /** Local hour of the traffic peak. */
+    double peakHour = 20.0;
+    /** Floor of the day-shape factor (overnight trough). */
+    double minShape = 0.05;
+
+    /** Deterministic per-request service time, seconds (the D of M/D/c). */
+    Seconds serviceTime = 0.02;
+    /** SLO latency deadline, seconds. */
+    Seconds deadline = 0.25;
+    /** Queued requests older than this are dropped (client timeout). */
+    Seconds dropAge = 30.0;
+
+    // Information-battery store.
+    /** Bounded store size, precomputed responses. */
+    double storeCapacity = 2.0e6;
+    /** Store fill rate per precompute VM, responses per second. */
+    double precomputePerVmSec = 150.0;
+    /** Hit-rate ceiling at a full store (popularity skew bound). */
+    double maxHitRate = 0.65;
+    /** Stored-response useful life, hours (staleness decay). */
+    double storeTtlHours = 8.0;
+    /** Latency of a store hit, seconds. */
+    Seconds cacheLatency = 0.002;
+
+    bool operator==(const RequestParams &) const = default;
+};
+
+/** How the manager asks the plant to route interactive traffic. */
+enum class ServeMode : std::uint8_t {
+    /** Serve arrivals live from the cluster. */
+    Live,
+    /** Serve live; spare VMs precompute into the store. */
+    Precompute,
+    /** Deficit: answer from the store, shed/defer misses. */
+    CacheServe,
+};
+
+/** Printable name of a serve mode. */
+const char *serveModeName(ServeMode m);
+
+/** Information-battery actuation attached to ControlActions. */
+struct InfoBatteryCommand {
+    ServeMode mode = ServeMode::Live;
+    /** VMs diverted to precompute (Precompute mode only). */
+    unsigned precomputeVms = 0;
+    /** Shed cache misses instead of queueing them (CacheServe mode). */
+    bool shedMisses = false;
+
+    bool operator==(const InfoBatteryCommand &) const = default;
+};
+
+/** Sensed interactive state attached to SystemView. */
+struct InteractiveView {
+    /** False when the plant runs no interactive workload. */
+    bool present = false;
+    /** Instantaneous arrival rate, requests per second. */
+    double arrivalRatePerSec = 0.0;
+    /** Requests waiting in the queue. */
+    std::uint64_t queuedRequests = 0;
+    /** Age of the oldest queued request, seconds. */
+    Seconds oldestAge = 0.0;
+    /** Information-battery store fill, responses. */
+    double storeFill = 0.0;
+    /** Store capacity, responses. */
+    double storeCapacity = 0.0;
+    /** VMs needed to serve current arrivals and drain the queue. */
+    unsigned demandVms = 0;
+};
+
+/** Per-tick inputs the plant resolves for the workload. */
+struct RequestStepInputs {
+    Seconds now = 0.0;
+    Seconds dt = 1.0;
+    /** VMs serving live traffic this tick. */
+    unsigned serveVms = 0;
+    /** VMs filling the store this tick (Precompute mode). */
+    unsigned precomputeVms = 0;
+    /** Cluster duty cycle. */
+    double duty = 1.0;
+    /** False when the rack is dark (no serving, no precompute). */
+    bool powered = true;
+    ServeMode mode = ServeMode::Live;
+    bool shedMisses = false;
+};
+
+/** The aggregated request queue + service + store model. */
+class RequestWorkload
+{
+  public:
+    /**
+     * @param params model tuning
+     * @param rng arrival stream (derive()d from the simulation root)
+     */
+    RequestWorkload(const RequestParams &params, Rng rng);
+
+    /** Advance one physics tick. */
+    void step(const RequestStepInputs &in);
+
+    /**
+     * Drop up to @p n queued/in-flight requests (server fault or rack
+     * power failure); ground-truth accounted as fault drops.
+     */
+    void dropInFlight(std::uint64_t n);
+
+    /** Day-shaped arrival rate at time @p now, requests per second. */
+    double ratePerSec(Seconds now) const;
+
+    /** Requests currently queued. */
+    std::uint64_t queued() const { return queuedCount_; }
+
+    /** Information-battery store fill, responses. */
+    double storeFill() const { return storeFill_; }
+
+    /** Sensed view for the control tier. */
+    InteractiveView view(Seconds now) const;
+
+    /** The SLO accounting observer. */
+    const SloTracker &tracker() const { return tracker_; }
+
+    /** Full run report (tracker counters + live queue). */
+    SloReport report() const { return tracker_.report(queuedCount_); }
+
+    /** Serialize queue, store, credits and tracker (fail-loud). */
+    void save(snapshot::Archive &ar) const;
+
+    /** Restore (mirror of save). */
+    void load(snapshot::Archive &ar);
+
+  private:
+    /** One tick's arrivals, FIFO by arrival time. */
+    struct Bucket {
+        Seconds arrival = 0.0;
+        std::uint64_t count = 0;
+    };
+
+    std::uint64_t drawPoisson(double lambda);
+    void enqueue(Seconds now, std::uint64_t n);
+    std::uint64_t takeFromQueue(std::uint64_t n,
+                                Seconds now,
+                                Seconds extraLatency,
+                                bool record);
+
+    RequestParams params_;
+    Rng rng_;
+    std::deque<Bucket> queue_;
+    std::uint64_t queuedCount_ = 0;
+    /** Fractional service capacity carried between ticks. */
+    double serveCredit_ = 0.0;
+    /** Fractional expected cache hits carried between ticks. */
+    double hitCredit_ = 0.0;
+    double storeFill_ = 0.0;
+    SloTracker tracker_;
+};
+
+} // namespace insure::interactive
+
+#endif // INSURE_INTERACTIVE_REQUEST_MODEL_HH

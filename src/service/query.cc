@@ -8,8 +8,11 @@ namespace insure::service {
 
 namespace {
 
-/** Wire version of the query/reply encodings. */
-constexpr std::uint32_t kQueryVersion = 1;
+/**
+ * Wire version of the query/reply encodings.
+ * v2: optional SLO summary block on the reply.
+ */
+constexpr std::uint32_t kQueryVersion = 2;
 
 std::vector<std::uint8_t>
 toBytes(const snapshot::Archive &ar)
@@ -129,6 +132,9 @@ WhatIfReply::encode() const
     ar.putF64(endMeanSoc);
     ar.putU64(bufferTrips);
     ar.putU64(powerFailures);
+    putOptF64(ar, sloP99Seconds);
+    putOptF64(ar, sloMissRate);
+    putOptF64(ar, infoBatteryHitRate);
     return toBytes(ar);
 }
 
@@ -152,6 +158,9 @@ WhatIfReply::decode(const std::vector<std::uint8_t> &payload)
     r.endMeanSoc = ar.getF64();
     r.bufferTrips = ar.getU64();
     r.powerFailures = ar.getU64();
+    r.sloP99Seconds = getOptF64(ar, "sloP99Seconds");
+    r.sloMissRate = getOptF64(ar, "sloMissRate");
+    r.infoBatteryHitRate = getOptF64(ar, "infoBatteryHitRate");
     requireDrained(ar, "reply");
     return r;
 }

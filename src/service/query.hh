@@ -93,6 +93,16 @@ struct WhatIfReply {
     /** Rack power-loss events during the fork. */
     std::uint64_t powerFailures = 0;
 
+    // SLO summary (wire version 2). Present only when the forked run
+    // carries an interactive request workload; absent fields decode to
+    // nullopt so batch-only replies stay compact.
+    /** p99 request latency at the horizon, seconds. */
+    std::optional<double> sloP99Seconds;
+    /** Deadline-miss rate over finalised requests, [0, 1]. */
+    std::optional<double> sloMissRate;
+    /** Information-battery cache hit rate, [0, 1]. */
+    std::optional<double> infoBatteryHitRate;
+
     /** Canonical byte encoding. */
     std::vector<std::uint8_t> encode() const;
 

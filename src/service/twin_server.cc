@@ -56,6 +56,11 @@ runFork(const core::ExperimentConfig &serveCfg, const std::string &snapshot,
     reply.endMeanSoc = endSoc;
     reply.bufferTrips = res.metrics.bufferTrips - before.bufferTrips;
     reply.powerFailures = failuresAfter - failuresBefore;
+    if (res.slo) {
+        reply.sloP99Seconds = res.slo->p99;
+        reply.sloMissRate = res.slo->deadlineMissRate;
+        reply.infoBatteryHitRate = res.slo->cacheHitRate;
+    }
     return reply;
 }
 

@@ -150,6 +150,8 @@ inline constexpr std::uint64_t kFaultRelay = streamTag("fault.relay");
 inline constexpr std::uint64_t kFaultSensor = streamTag("fault.sensor");
 inline constexpr std::uint64_t kFaultLink = streamTag("fault.link");
 inline constexpr std::uint64_t kFaultServer = streamTag("fault.server");
+inline constexpr std::uint64_t kInteractiveArrivals =
+    streamTag("interactive.arrivals");
 } // namespace streams
 
 } // namespace insure

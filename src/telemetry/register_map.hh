@@ -59,6 +59,13 @@ struct RegisterLayout {
     static constexpr std::uint16_t solarPower = 2; // watts
     static constexpr std::uint16_t loadPower = 3;  // watts
 
+    // Interactive SLO block (digital-twin live service state); all zero
+    // when the plant runs no interactive workload.
+    static constexpr std::uint16_t sloP99Ms = 4;      // milliseconds
+    static constexpr std::uint16_t sloQueueDepth = 5; // requests, saturating
+    static constexpr std::uint16_t sloStoreFill = 6;  // per-mille of capacity
+    static constexpr std::uint16_t sloMissRate = 7;   // fraction x 10000
+
     /** Address of a cabinet-block register. */
     static constexpr std::uint16_t
     cabinetReg(unsigned cabinet, std::uint16_t offset)

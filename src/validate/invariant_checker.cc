@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "core/experiment.hh"
+#include "interactive/request_model.hh"
 #include "sim/logging.hh"
 
 namespace insure::validate {
@@ -36,7 +37,11 @@ CheckerOptions
 optionsForExperiment(const core::ExperimentConfig &cfg)
 {
     CheckerOptions opts;
-    if (cfg.manager == core::ManagerKind::Insure) {
+    opts.checkRequests = cfg.system.interactive.has_value();
+    if (cfg.manager == core::ManagerKind::Insure ||
+        cfg.manager == core::ManagerKind::InfoBattery) {
+        // The InfoBattery manager wraps the InSURE policy, so the same
+        // concentration/screening invariants apply to it.
         opts.checkConcentration = !cfg.insure.disableConcentration;
         opts.checkScreening = !cfg.insure.disableBalancing;
         opts.spatial = cfg.insure.spatial;
@@ -275,6 +280,32 @@ InvariantChecker::onTick(const core::TickSample &s)
         }
     }
 
+    if (opts_.checkRequests && s.interactive) {
+        // Exact request conservation: the 64-bit counters admit no
+        // tolerance. Every arrival is finalised (served, cached, shed or
+        // dropped) or still queued — faults included, since in-flight
+        // drops are ground-truth accounted.
+        const interactive::SloTracker &t = s.interactive->tracker();
+        const std::uint64_t accounted =
+            t.served() + t.cachedHits() + t.shed() + t.droppedTimeout() +
+            t.droppedFault() + s.interactive->queued();
+        if (accounted != t.arrived()) {
+            report(s.now, "request-conservation",
+                   strf("arrived=%llu != served=%llu + cached=%llu + "
+                        "shed=%llu + timeout=%llu + fault=%llu + "
+                        "queued=%llu",
+                        static_cast<unsigned long long>(t.arrived()),
+                        static_cast<unsigned long long>(t.served()),
+                        static_cast<unsigned long long>(t.cachedHits()),
+                        static_cast<unsigned long long>(t.shed()),
+                        static_cast<unsigned long long>(
+                            t.droppedTimeout()),
+                        static_cast<unsigned long long>(
+                            t.droppedFault()),
+                        static_cast<unsigned long long>(
+                            s.interactive->queued())));
+        }
+    }
 }
 
 void

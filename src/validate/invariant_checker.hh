@@ -75,6 +75,12 @@ struct CheckerOptions {
     bool checkConcentration = false;
     /** Eq-1 δD screening compliance (InSURE w/ wear balancing). */
     bool checkScreening = false;
+    /**
+     * Interactive request conservation: every tick, arrived must equal
+     * served + cached hits + shed + dropped + still-queued, exactly
+     * (the counters are integers — no tolerance).
+     */
+    bool checkRequests = false;
 
     /** Spatial parameters mirrored for the screening/batch math. */
     core::SpatialParams spatial;

@@ -10,6 +10,7 @@ workloadKindName(WorkloadKind k)
     switch (k) {
       case WorkloadKind::Batch: return "batch";
       case WorkloadKind::Stream: return "stream";
+      case WorkloadKind::Interactive: return "interactive";
     }
     return "?";
 }
@@ -53,6 +54,22 @@ videoProfile()
     // Table 3: 1411 W at 8 VMs.
     p.xeonPowerUtil = 0.42;
     p.lowPowerPowerUtil = 0.88;
+    return p;
+}
+
+WorkloadProfile
+interactiveProfile()
+{
+    WorkloadProfile p;
+    p.name = "interactive";
+    p.kind = WorkloadKind::Interactive;
+    // Request serving moves little bulk data; the GB/h rates only feed
+    // the (unused) queue-drain path. Power utilisation is web-serving
+    // class: bursty request handling, well below the batch crunchers.
+    p.xeonGbPerVmHour = 0.5;
+    p.lowPowerGbPerVmHour = 0.4;
+    p.xeonPowerUtil = 0.35;
+    p.lowPowerPowerUtil = 0.80;
     return p;
 }
 

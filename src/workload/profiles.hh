@@ -28,6 +28,8 @@ enum class WorkloadKind {
     Batch,
     /** Continuous stream split into small jobs; VM count adjustable. */
     Stream,
+    /** Request-level interactive traffic with a latency SLO. */
+    Interactive,
 };
 
 /** Printable name of a workload kind. */
@@ -60,6 +62,9 @@ WorkloadProfile seismicProfile();
 
 /** Video surveillance analysis (continuous stream, paper §2.1/Table 3). */
 WorkloadProfile videoProfile();
+
+/** Interactive request serving (latency-SLO class, ROADMAP workload). */
+WorkloadProfile interactiveProfile();
 
 /** Look up a micro-benchmark profile by name; fatal if unknown. */
 WorkloadProfile microBenchmark(const std::string &name);

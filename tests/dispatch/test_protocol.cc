@@ -65,6 +65,11 @@ fancySpec()
     spec.policyGrid = {a, b};
     spec.runs = 17;
     spec.masterSeed = 0xfeedfacecafeULL;
+    spec.usersMillions = 1.5;
+    spec.deadlineSeconds = 0.3;
+    spec.surplusMarginW = 75.0;
+    spec.minStoreToRide = 5000.0;
+    spec.maxPrecomputeVms = 6;
     return spec;
 }
 
@@ -88,6 +93,59 @@ TEST(SweepSpecCodec, RoundtripPreservesEveryField)
     Archive load = Archive::forLoad(save.payload());
     EXPECT_EQ(dispatch::loadSweepSpec(load), spec);
     EXPECT_EQ(load.remaining(), 0u);
+}
+
+TEST(SweepSpecCodec, InteractiveKnobsMaterialiseIntoTheCampaign)
+{
+    SweepSpec spec;
+    spec.workload = "interactive";
+    spec.manager = core::ManagerKind::InfoBattery;
+    spec.usersMillions = 0.8;
+    spec.deadlineSeconds = 0.4;
+    spec.surplusMarginW = 120.0;
+    spec.minStoreToRide = 2500.0;
+    spec.maxPrecomputeVms = 3;
+
+    // Round trip first: materialisation must be identical on both
+    // sides of the wire.
+    Archive save = Archive::forSave();
+    dispatch::saveSweepSpec(save, spec);
+    Archive load = Archive::forLoad(save.payload());
+    const SweepSpec back = dispatch::loadSweepSpec(load);
+    EXPECT_EQ(back, spec);
+
+    const fault::CampaignConfig cfg = dispatch::toCampaignConfig(back);
+    EXPECT_EQ(cfg.base.manager, core::ManagerKind::InfoBattery);
+    ASSERT_TRUE(cfg.base.system.interactive.has_value());
+    EXPECT_EQ(cfg.base.system.interactive->usersMillions, 0.8);
+    EXPECT_EQ(cfg.base.system.interactive->deadline, 0.4);
+    EXPECT_EQ(cfg.base.infoBattery.surplusMarginW, 120.0);
+    EXPECT_EQ(cfg.base.infoBattery.minStoreToRide, 2500.0);
+    EXPECT_EQ(cfg.base.infoBattery.maxPrecomputeVms, 3u);
+}
+
+TEST(SweepSpecCodec, UnsetKnobsKeepThePresetDefaults)
+{
+    SweepSpec spec;
+    spec.workload = "interactive";
+    const fault::CampaignConfig cfg = dispatch::toCampaignConfig(spec);
+    const core::ExperimentConfig preset = core::interactiveExperiment();
+    ASSERT_TRUE(cfg.base.system.interactive.has_value());
+    EXPECT_EQ(cfg.base.system.interactive->usersMillions,
+              preset.system.interactive->usersMillions);
+    EXPECT_EQ(cfg.base.infoBattery, preset.infoBattery);
+}
+
+TEST(SweepSpecCodec, RejectsOldVersionOne)
+{
+    // A v1 spec (no interactive knobs) must be refused outright: the
+    // codec is exact-match versioned, never best-effort.
+    Archive save = Archive::forSave();
+    save.section("sweep_spec");
+    save.putU32(1);
+    save.putStr("seismic");
+    Archive load = Archive::forLoad(save.payload());
+    EXPECT_THROW(dispatch::loadSweepSpec(load), SnapshotError);
 }
 
 TEST(SweepSpecCodec, RejectsVersionFromTheFuture)

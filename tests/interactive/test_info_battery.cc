@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for the Information-Battery power manager: precompute
+ * during surplus, cache-serve ride-through instead of checkpoint
+ * suspend, action accounting forwarded from the wrapped InSURE policy,
+ * and the snapshot round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "interactive/info_battery.hh"
+#include "server/node_params.hh"
+#include "snapshot/archive.hh"
+
+namespace insure::interactive {
+namespace {
+
+using battery::UnitMode;
+using core::ControlActions;
+using core::SystemView;
+using snapshot::Archive;
+
+std::shared_ptr<core::NodeAllocator>
+interactiveAllocator()
+{
+    return std::make_shared<core::NodeAllocator>(
+        server::xeonNode(), 4, workload::interactiveProfile());
+}
+
+InfoBatteryManager
+makeManager(InfoBatteryParams p = {})
+{
+    return InfoBatteryManager(p, core::InsureParams{},
+                              interactiveAllocator());
+}
+
+/** Daytime view: healthy buffer, modest interactive demand. */
+SystemView
+baseView()
+{
+    SystemView v;
+    v.now = units::hours(9.0);
+    v.solarPower = 900.0;
+    v.solarPowerAvg = 900.0;
+    v.loadPower = 200.0;
+    v.totalVmSlots = 8;
+    v.activeVms = 2;
+    v.dutyCycle = 1.0;
+    v.backlog = 0.0;
+    v.workloadKind = workload::WorkloadKind::Interactive;
+    v.peakChargePower = 520.0;
+    v.seriesPerCabinet = 2;
+    v.cabinets.resize(3);
+    for (auto &c : v.cabinets) {
+        c.soc = 0.7;
+        c.voltage = 24.8;
+        c.current = 0.0;
+        c.mode = UnitMode::Standby;
+        c.capacityWh = 840.0;
+    }
+    v.interactive.present = true;
+    v.interactive.arrivalRatePerSec = 100.0;
+    v.interactive.demandVms = 2;
+    v.interactive.storeFill = 0.0;
+    v.interactive.storeCapacity = 2.0e6;
+    return v;
+}
+
+/** Night-time deficit deep enough to trip the TPM checkpoint floor. */
+SystemView
+deficitView()
+{
+    SystemView v = baseView();
+    v.now = units::hours(23.0);
+    v.solarPower = 0.0;
+    v.solarPowerAvg = 0.0;
+    v.loadPower = 600.0;
+    for (auto &c : v.cabinets) {
+        c.mode = UnitMode::Discharging;
+        c.soc = 0.10; // below the TPM SoC floor
+        c.current = 5.0;
+    }
+    return v;
+}
+
+TEST(InfoBattery, SurplusDivertsSpareSlotsToPrecompute)
+{
+    auto mgr = makeManager();
+    const ControlActions act = mgr.control(baseView());
+    EXPECT_FALSE(act.checkpointShutdown);
+    EXPECT_EQ(act.infoBattery.mode, ServeMode::Precompute);
+    EXPECT_GT(act.infoBattery.precomputeVms, 0u);
+    // The precompute pool rides on top of the serving pool and never
+    // overflows the rack.
+    EXPECT_LE(act.targetVms, 8u);
+    EXPECT_GE(act.targetVms, act.infoBattery.precomputeVms);
+}
+
+TEST(InfoBattery, NoPrecomputeWithoutSurplusMargin)
+{
+    auto mgr = makeManager();
+    SystemView v = baseView();
+    v.loadPower = v.solarPowerAvg - 10.0; // inside the margin
+    const ControlActions act = mgr.control(v);
+    EXPECT_EQ(act.infoBattery.mode, ServeMode::Live);
+    EXPECT_EQ(act.infoBattery.precomputeVms, 0u);
+}
+
+TEST(InfoBattery, NoPrecomputeOnWeakBuffer)
+{
+    InfoBatteryParams p;
+    p.precomputeSoc = 0.50;
+    auto mgr = makeManager(p);
+    SystemView v = baseView();
+    for (auto &c : v.cabinets)
+        c.soc = 0.40; // buffer first, speculation second
+    const ControlActions act = mgr.control(v);
+    EXPECT_EQ(act.infoBattery.mode, ServeMode::Live);
+}
+
+TEST(InfoBattery, NoPrecomputeIntoFullStore)
+{
+    auto mgr = makeManager();
+    SystemView v = baseView();
+    v.interactive.storeFill = v.interactive.storeCapacity;
+    const ControlActions act = mgr.control(v);
+    EXPECT_EQ(act.infoBattery.mode, ServeMode::Live);
+    EXPECT_EQ(act.infoBattery.precomputeVms, 0u);
+}
+
+TEST(InfoBattery, FullStoreRidesDeficitInsteadOfCheckpointing)
+{
+    InfoBatteryParams p;
+    auto mgr = makeManager(p);
+    SystemView v = deficitView();
+    v.interactive.storeFill = 2.0 * p.minStoreToRide;
+
+    // The wrapped TPM alone would checkpoint-suspend here.
+    core::InsureManager plain(core::InsureParams{},
+                              interactiveAllocator());
+    ASSERT_TRUE(plain.control(deficitView()).checkpointShutdown);
+
+    const ControlActions act = mgr.control(v);
+    EXPECT_FALSE(act.checkpointShutdown);
+    EXPECT_EQ(act.infoBattery.mode, ServeMode::CacheServe);
+    EXPECT_TRUE(act.infoBattery.shedMisses);
+    EXPECT_EQ(act.targetVms, p.cacheServeVms);
+    EXPECT_EQ(act.dutyCycle, p.cacheServeDuty);
+}
+
+TEST(InfoBattery, EmptyStoreFallsBackToCheckpoint)
+{
+    auto mgr = makeManager();
+    SystemView v = deficitView();
+    v.interactive.storeFill = 0.0; // nothing to ride on
+    const ControlActions act = mgr.control(v);
+    EXPECT_TRUE(act.checkpointShutdown);
+    EXPECT_EQ(act.infoBattery.mode, ServeMode::Live);
+}
+
+TEST(InfoBattery, NonInteractivePlantPassesThrough)
+{
+    auto mgr = makeManager();
+    SystemView v = baseView();
+    v.interactive = InteractiveView{}; // no interactive workload
+    core::InsureManager plain(core::InsureParams{},
+                              interactiveAllocator());
+    SystemView vp = v;
+    const ControlActions got = mgr.control(v);
+    const ControlActions want = plain.control(vp);
+    EXPECT_EQ(got.targetVms, want.targetVms);
+    EXPECT_EQ(got.checkpointShutdown, want.checkpointShutdown);
+    EXPECT_EQ(got.cabinetModes, want.cabinetModes);
+    EXPECT_EQ(got.infoBattery, InfoBatteryCommand{});
+}
+
+TEST(InfoBattery, ActionCounterCoversInnerAndOwnActions)
+{
+    auto mgr = makeManager();
+    const std::uint64_t before = mgr.powerCtrlActions();
+    (void)mgr.control(baseView());
+    // At minimum the precompute diversion itself was counted, plus
+    // whatever the wrapped policy did this period.
+    EXPECT_GT(mgr.powerCtrlActions(), before);
+    EXPECT_GE(mgr.powerCtrlActions(), mgr.inner().powerCtrlActions());
+}
+
+TEST(InfoBattery, SnapshotRoundTripIsByteIdentical)
+{
+    auto a = makeManager();
+    (void)a.control(baseView());
+    (void)a.control(deficitView());
+    Archive s1 = Archive::forSave();
+    a.save(s1);
+
+    auto b = makeManager();
+    Archive load = Archive::forLoad(s1.payload());
+    b.load(load);
+    EXPECT_EQ(load.remaining(), 0u);
+    Archive s2 = Archive::forSave();
+    b.save(s2);
+    EXPECT_EQ(s1.payload(), s2.payload());
+    EXPECT_EQ(a.powerCtrlActions(), b.powerCtrlActions());
+
+    // Restored manager keeps forwarding inner-action deltas correctly
+    // (the cursor must not double-count after a restore).
+    const ControlActions actA = a.control(baseView());
+    const ControlActions actB = b.control(baseView());
+    EXPECT_EQ(actA.infoBattery, actB.infoBattery);
+    EXPECT_EQ(a.powerCtrlActions(), b.powerCtrlActions());
+}
+
+} // namespace
+} // namespace insure::interactive

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * End-to-end interactive-workload runs: a full simulated day must be
+ * bit-identical across battery worker-thread counts and across a
+ * mid-day snapshot/restore; SLO metrics must be worker-independent at
+ * 1k and 10k nodes; and an InfoBattery-vs-TPM SweepSpec campaign must
+ * aggregate byte-identically through the czar/worker fleet, including
+ * when resumed from a prior state directory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "dispatch/fleet.hh"
+#include "fault/campaign.hh"
+#include "fault/fault_injector.hh"
+#include "fault/fault_plan.hh"
+#include "snapshot/snapshotter.hh"
+#include "validate/invariant_checker.hh"
+
+namespace insure {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A one-day interactive run with request conservation enforced. */
+core::ExperimentConfig
+dayConfig(core::ManagerKind mgr, unsigned workers,
+          solar::DayClass day = solar::DayClass::Sunny)
+{
+    core::ExperimentConfig cfg = core::interactiveExperiment();
+    cfg.manager = mgr;
+    cfg.day = day;
+    cfg.system.workerThreads = workers;
+    validate::attachInvariantChecker(cfg, validate::Policy::Throw);
+    return cfg;
+}
+
+/** Everything the SLO accounting and campaign JSON depend on. */
+void
+expectIdenticalInteractive(const core::ExperimentResult &a,
+                           const core::ExperimentResult &b)
+{
+    EXPECT_EQ(a.managerName, b.managerName);
+    EXPECT_EQ(a.metrics.uptime, b.metrics.uptime);
+    EXPECT_EQ(a.metrics.processedGb, b.metrics.processedGb);
+    EXPECT_EQ(a.metrics.greenUsedKwh, b.metrics.greenUsedKwh);
+    EXPECT_EQ(a.metrics.loadKwh, b.metrics.loadKwh);
+    EXPECT_EQ(a.metrics.bufferThroughputAh, b.metrics.bufferThroughputAh);
+    EXPECT_EQ(a.metrics.emergencyShutdowns, b.metrics.emergencyShutdowns);
+    EXPECT_EQ(a.metrics.vmCtrlOps, b.metrics.vmCtrlOps);
+    EXPECT_EQ(a.metrics.powerCtrlOps, b.metrics.powerCtrlOps);
+    EXPECT_EQ(a.invariantViolations, b.invariantViolations);
+    ASSERT_TRUE(a.slo.has_value());
+    ASSERT_TRUE(b.slo.has_value());
+    EXPECT_EQ(*a.slo, *b.slo);
+}
+
+void
+expectConserved(const interactive::SloReport &r)
+{
+    EXPECT_EQ(r.arrived, r.served + r.cachedHits + r.shed +
+                             r.droppedTimeout + r.droppedFault + r.queued);
+}
+
+TEST(InteractiveE2E, FullDayBitIdenticalAcrossWorkerThreads)
+{
+    core::ExperimentRig base(dayConfig(core::ManagerKind::InfoBattery, 0));
+    base.runUntil(base.config().duration);
+    const core::ExperimentResult r0 = base.finish();
+    ASSERT_TRUE(r0.slo.has_value());
+    EXPECT_GT(r0.slo->arrived, 0u);
+    EXPECT_GT(r0.slo->served, 0u);
+    expectConserved(*r0.slo);
+
+    for (const unsigned workers : {2u, 3u}) {
+        core::ExperimentRig rig(
+            dayConfig(core::ManagerKind::InfoBattery, workers));
+        rig.runUntil(rig.config().duration);
+        const core::ExperimentResult r = rig.finish();
+        expectIdenticalInteractive(r0, r);
+    }
+}
+
+TEST(InteractiveE2E, MidDayRestoreMatchesStraightRun)
+{
+    const core::ExperimentConfig cfg =
+        dayConfig(core::ManagerKind::InfoBattery, 2);
+
+    core::ExperimentRig straight(cfg);
+    straight.runUntil(cfg.duration);
+    const core::ExperimentResult want = straight.finish();
+
+    const std::string path = testing::TempDir() + "interactive_noon.snap";
+    {
+        core::ExperimentRig a(cfg);
+        a.runUntil(cfg.duration / 2.0); // noon
+        snapshot::saveRigSnapshot(a, path);
+    }
+    core::ExperimentRig b(cfg);
+    snapshot::loadRigSnapshot(b, path);
+    b.runUntil(cfg.duration);
+    const core::ExperimentResult got = b.finish();
+    std::remove(path.c_str());
+
+    expectIdenticalInteractive(want, got);
+}
+
+TEST(InteractiveE2E, RestoredRigResavesByteIdentical)
+{
+    const core::ExperimentConfig cfg =
+        dayConfig(core::ManagerKind::InfoBattery, 0);
+    core::ExperimentRig a(cfg);
+    a.runUntil(units::hours(14.0)); // past the precompute window
+    snapshot::Archive s1 = snapshot::Archive::forSave();
+    a.save(s1);
+
+    core::ExperimentRig b(cfg);
+    snapshot::Archive load = snapshot::Archive::forLoad(s1.payload());
+    b.load(load);
+    EXPECT_EQ(load.remaining(), 0u);
+    snapshot::Archive s2 = snapshot::Archive::forSave();
+    b.save(s2);
+    EXPECT_EQ(s1.payload(), s2.payload());
+}
+
+TEST(InteractiveE2E, SloMetricsWorkerIndependentAtScale)
+{
+    // The request model is aggregate (O(queue buckets) per tick), so
+    // node count only enters through VM capacity — SLO numbers must be
+    // exactly worker-independent at 1k and 10k nodes alike.
+    for (const unsigned nodes : {1000u, 10000u}) {
+        std::optional<interactive::SloReport> want;
+        for (const unsigned workers : {0u, 3u}) {
+            core::ExperimentConfig cfg =
+                dayConfig(core::ManagerKind::InfoBattery, workers);
+            cfg.system.nodeCount = nodes;
+            cfg.duration = 900.0; // short horizon: scale, not a day
+            core::ExperimentRig rig(cfg);
+            rig.runUntil(cfg.duration);
+            const core::ExperimentResult r = rig.finish();
+            ASSERT_TRUE(r.slo.has_value()) << nodes << "/" << workers;
+            expectConserved(*r.slo);
+            if (!want)
+                want = *r.slo;
+            else
+                EXPECT_EQ(*want, *r.slo) << nodes << " nodes";
+        }
+    }
+}
+
+TEST(InteractiveE2E, FaultsDropInFlightWithExactAccounting)
+{
+    // Injected faults drop in-flight requests; the hardware invariants
+    // they trip are the campaign's business (Policy::Log, as fault
+    // sweeps run), but request conservation must hold exactly through
+    // every drop.
+    core::ExperimentConfig cfg = core::interactiveExperiment();
+    cfg.manager = core::ManagerKind::InfoBattery;
+    cfg.duration = units::hours(6.0);
+    fault::installFaultPlan(cfg, fault::makeRatePlan(8.0, {}));
+    validate::attachInvariantChecker(cfg, validate::Policy::Log);
+    core::ExperimentRig rig(cfg);
+    rig.runUntil(cfg.duration);
+    const core::ExperimentResult r = rig.finish();
+    ASSERT_TRUE(r.slo.has_value());
+    expectConserved(*r.slo);
+    for (const std::string &note : r.invariantNotes)
+        EXPECT_EQ(note.find("request-conservation"), std::string::npos)
+            << note;
+}
+
+std::string
+campaignJson(const fault::CampaignSummary &summary)
+{
+    std::ostringstream os;
+    fault::writeCampaignJson(summary, os);
+    return os.str();
+}
+
+dispatch::SweepSpec
+interactiveSweep(core::ManagerKind mgr)
+{
+    dispatch::SweepSpec spec;
+    spec.workload = "interactive";
+    spec.manager = mgr;
+    spec.runs = 4;
+    spec.days = 0.05;
+    spec.faultRatePerHour = 4.0;
+    spec.masterSeed = 20150613;
+    return spec;
+}
+
+TEST(InteractiveE2E, InfoBatteryCampaignMatchesOracleThroughFleet)
+{
+    const dispatch::SweepSpec spec =
+        interactiveSweep(core::ManagerKind::InfoBattery);
+    const std::string oracle = campaignJson(
+        fault::runFaultCampaign(dispatch::toCampaignConfig(spec)));
+    // Per-run SLO numbers ride into the campaign JSON.
+    EXPECT_NE(oracle.find("slo_p99_s"), std::string::npos);
+
+    dispatch::FleetOptions fleet;
+    fleet.workers = 3;
+    fleet.czar.chunkRuns = 2;
+    EXPECT_EQ(campaignJson(dispatch::runDistributedSweep(spec, fleet)),
+              oracle);
+}
+
+TEST(InteractiveE2E, InfoBatteryVsTpmCampaignComparison)
+{
+    // The paper-style A/B: identical faults and seeds, only the manager
+    // differs. Both must complete through the fleet; the TPM column
+    // checkpoints where the InfoBattery column rides the store.
+    dispatch::FleetOptions fleet;
+    fleet.workers = 2;
+    const fault::CampaignSummary tpm = dispatch::runDistributedSweep(
+        interactiveSweep(core::ManagerKind::Insure), fleet);
+    const fault::CampaignSummary ib = dispatch::runDistributedSweep(
+        interactiveSweep(core::ManagerKind::InfoBattery), fleet);
+    ASSERT_EQ(tpm.perRun.size(), ib.perRun.size());
+    for (std::size_t i = 0; i < tpm.perRun.size(); ++i) {
+        EXPECT_FALSE(tpm.perRun[i].failed) << i;
+        EXPECT_FALSE(ib.perRun[i].failed) << i;
+        ASSERT_TRUE(tpm.perRun[i].slo.has_value()) << i;
+        ASSERT_TRUE(ib.perRun[i].slo.has_value()) << i;
+        EXPECT_GT(tpm.perRun[i].slo->arrived, 0u);
+        EXPECT_GT(ib.perRun[i].slo->arrived, 0u);
+    }
+}
+
+TEST(InteractiveE2E, ResumedCampaignJsonByteIdentical)
+{
+    const dispatch::SweepSpec spec =
+        interactiveSweep(core::ManagerKind::InfoBattery);
+    const fs::path dir =
+        fs::path(testing::TempDir()) / "interactive_resume";
+    fs::remove_all(dir);
+
+    dispatch::FleetOptions fleet;
+    fleet.workers = 2;
+    fleet.czar.stateDir = dir.string();
+    const std::string first =
+        campaignJson(dispatch::runDistributedSweep(spec, fleet));
+
+    // Resume with zero workers: every run must come verbatim out of the
+    // identity-verified result cache, SLO block included.
+    dispatch::CzarOptions resume;
+    resume.stateDir = dir.string();
+    resume.resume = true;
+    dispatch::Czar czar(spec, resume);
+    EXPECT_EQ(campaignJson(czar.run()), first);
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace insure

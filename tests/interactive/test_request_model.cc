@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Unit tests for the deterministic request-level interactive workload:
+ * diurnal rate shape, Poisson arrival determinism (golden digest),
+ * exact request conservation through every serve/shed/drop path, the
+ * information-battery store, and the fail-loud snapshot round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "interactive/request_model.hh"
+#include "snapshot/archive.hh"
+
+namespace insure::interactive {
+namespace {
+
+using snapshot::Archive;
+using snapshot::SnapshotError;
+
+Rng
+arrivalRng(std::uint64_t seed = 2015)
+{
+    return Rng(seed).derive(streams::kInteractiveArrivals);
+}
+
+RequestParams
+smallParams()
+{
+    RequestParams p;
+    p.usersMillions = 0.05; // ~23 req/s mean: cheap, still multi-request
+    return p;
+}
+
+/** Exact conservation identity the InvariantChecker asserts. */
+void
+expectConserved(const RequestWorkload &w)
+{
+    const SloReport r = w.report();
+    EXPECT_EQ(r.arrived, r.served + r.cachedHits + r.shed +
+                             r.droppedTimeout + r.droppedFault + r.queued);
+}
+
+/** FNV-1a over the per-tick arrival deltas: the determinism digest. */
+std::uint64_t
+arrivalDigest(std::uint64_t seed, unsigned ticks)
+{
+    RequestWorkload w(smallParams(), arrivalRng(seed));
+    std::uint64_t h = 1469598103934665603ull;
+    std::uint64_t prev = 0;
+    for (unsigned t = 0; t < ticks; ++t) {
+        RequestStepInputs in;
+        in.now = static_cast<Seconds>(t);
+        in.serveVms = 0; // accumulate: arrivals land in the queue
+        w.step(in);
+        const std::uint64_t arrived = w.tracker().arrived();
+        h = (h ^ (arrived - prev)) * 1099511628211ull;
+        prev = arrived;
+    }
+    return h;
+}
+
+TEST(RequestModel, DiurnalRateShape)
+{
+    RequestWorkload w(smallParams(), arrivalRng());
+    const RequestParams p = smallParams();
+    const double mean = p.usersMillions * 1e6 * p.requestsPerUserPerDay /
+                        units::secPerDay;
+    // Peak at the configured hour, trough at the opposite side.
+    const double peak = w.ratePerSec(p.peakHour * 3600.0);
+    const double trough = w.ratePerSec((p.peakHour + 12.0) * 3600.0);
+    EXPECT_NEAR(peak, mean * (1.0 + p.diurnalAmplitude), 1e-9);
+    EXPECT_NEAR(trough, mean * (1.0 - p.diurnalAmplitude), 1e-9);
+    EXPECT_GT(peak, trough);
+    // 24-hour periodicity.
+    EXPECT_NEAR(w.ratePerSec(3600.0),
+                w.ratePerSec(3600.0 + units::secPerDay), 1e-9);
+
+    // A swing deeper than 100% clamps at the minShape floor instead of
+    // going negative overnight.
+    RequestParams deep = p;
+    deep.diurnalAmplitude = 1.2;
+    RequestWorkload d(deep, arrivalRng());
+    EXPECT_NEAR(d.ratePerSec((deep.peakHour + 12.0) * 3600.0),
+                mean * deep.minShape, 1e-9);
+}
+
+TEST(RequestModel, ArrivalsAreDeterministicForSeed)
+{
+    // Same seed, same stream: identical digests. Different seed:
+    // different draws (with overwhelming probability over 2h of ticks).
+    EXPECT_EQ(arrivalDigest(2015, 7200), arrivalDigest(2015, 7200));
+    EXPECT_NE(arrivalDigest(2015, 7200), arrivalDigest(2016, 7200));
+}
+
+TEST(RequestModel, ServedRequestsAreConservedAndMeetDeadline)
+{
+    RequestWorkload w(smallParams(), arrivalRng());
+    RequestStepInputs in;
+    in.serveVms = 8; // ample capacity: queue never builds
+    for (unsigned t = 0; t < 3600; ++t) {
+        in.now = static_cast<Seconds>(t);
+        w.step(in);
+        expectConserved(w);
+    }
+    const SloReport r = w.report();
+    EXPECT_GT(r.arrived, 0u);
+    EXPECT_GT(r.served, 0u);
+    EXPECT_EQ(r.shed, 0u);
+    EXPECT_EQ(r.droppedFault, 0u);
+    // Ample capacity: waits are sub-deadline and p99 is small.
+    EXPECT_EQ(r.missedDeadline, 0u);
+    EXPECT_LT(r.p99, smallParams().deadline);
+    EXPECT_EQ(r.deadlineMissRate, 0.0);
+}
+
+TEST(RequestModel, StarvedQueueDropsOnClientTimeout)
+{
+    RequestParams p = smallParams();
+    p.dropAge = 20.0;
+    RequestWorkload w(p, arrivalRng());
+    RequestStepInputs in;
+    in.serveVms = 0; // dark cluster, but still powered: queue ages out
+    for (unsigned t = 0; t < 120; ++t) {
+        in.now = static_cast<Seconds>(t);
+        w.step(in);
+        expectConserved(w);
+    }
+    const SloReport r = w.report();
+    EXPECT_GT(r.droppedTimeout, 0u);
+    EXPECT_EQ(r.served, 0u);
+    // Nothing left in the queue had aged past the drop age at the last
+    // step (the timeout scan runs inside step()).
+    EXPECT_LE(w.view(119.0).oldestAge, p.dropAge);
+}
+
+TEST(RequestModel, PrecomputeFillsStoreUpToCapacity)
+{
+    RequestParams p = smallParams();
+    p.storeCapacity = 1000.0;
+    RequestWorkload w(p, arrivalRng());
+    RequestStepInputs in;
+    in.serveVms = 8;
+    in.precomputeVms = 4;
+    in.mode = ServeMode::Precompute;
+    for (unsigned t = 0; t < 600; ++t) {
+        in.now = static_cast<Seconds>(t);
+        w.step(in);
+        expectConserved(w);
+    }
+    EXPECT_EQ(w.storeFill(), p.storeCapacity); // clamped at the bound
+}
+
+TEST(RequestModel, CacheServeAnswersHitsAndShedsMisses)
+{
+    RequestParams p = smallParams();
+    p.storeCapacity = 1.0e5;
+    p.storeTtlHours = 1e6; // isolate the hit path from decay
+    RequestWorkload w(p, arrivalRng());
+
+    // Charge the information battery first.
+    RequestStepInputs fill;
+    fill.serveVms = 8;
+    fill.precomputeVms = 8;
+    fill.mode = ServeMode::Precompute;
+    for (unsigned t = 0; t < 600; ++t) {
+        fill.now = static_cast<Seconds>(t);
+        w.step(fill);
+    }
+    ASSERT_GT(w.storeFill(), 0.0);
+
+    // Deficit: skeleton pool serves from the store, misses are shed.
+    RequestStepInputs ride;
+    ride.serveVms = 0;
+    ride.mode = ServeMode::CacheServe;
+    ride.shedMisses = true;
+    const std::uint64_t queuedBefore = w.queued();
+    for (unsigned t = 600; t < 1800; ++t) {
+        ride.now = static_cast<Seconds>(t);
+        w.step(ride);
+        expectConserved(w);
+    }
+    const SloReport r = w.report();
+    EXPECT_GT(r.cachedHits, 0u);
+    EXPECT_GT(r.shed, 0u);
+    EXPECT_GT(r.cacheHitRate, 0.0);
+    EXPECT_LT(r.cacheHitRate, 1.0);
+    // Shedding applies to new arrivals only; the old queue neither
+    // grows nor is it served by the dark cluster.
+    EXPECT_EQ(w.queued(), queuedBefore);
+}
+
+TEST(RequestModel, StoreDecaysTowardStaleness)
+{
+    RequestParams p = smallParams();
+    p.storeTtlHours = 1.0;
+    RequestWorkload w(p, arrivalRng());
+    RequestStepInputs fill;
+    fill.serveVms = 8;
+    fill.precomputeVms = 2;
+    fill.mode = ServeMode::Precompute;
+    fill.now = 0.0;
+    w.step(fill);
+    const double charged = w.storeFill();
+    ASSERT_GT(charged, 0.0);
+    RequestStepInputs idle;
+    idle.serveVms = 8;
+    for (unsigned t = 1; t < 3000; ++t) {
+        idle.now = static_cast<Seconds>(t);
+        w.step(idle);
+    }
+    EXPECT_LT(w.storeFill(), charged / 2.0); // ~e^-0.83 of the charge
+}
+
+TEST(RequestModel, FaultDropIsGroundTruthAccounted)
+{
+    RequestWorkload w(smallParams(), arrivalRng());
+    RequestStepInputs in;
+    in.serveVms = 0;
+    for (unsigned t = 0; t < 10; ++t) {
+        in.now = static_cast<Seconds>(t);
+        w.step(in);
+    }
+    const std::uint64_t queued = w.queued();
+    ASSERT_GT(queued, 0u);
+    w.dropInFlight(queued / 2 + 1);
+    EXPECT_EQ(w.tracker().droppedFault(), queued / 2 + 1);
+    expectConserved(w);
+    // Dropping more than is queued drains the queue, never underflows.
+    w.dropInFlight(queued * 10);
+    EXPECT_EQ(w.queued(), 0u);
+    expectConserved(w);
+}
+
+TEST(RequestModel, UnpoweredTicksServeNothing)
+{
+    RequestWorkload w(smallParams(), arrivalRng());
+    RequestStepInputs in;
+    in.serveVms = 8;
+    in.powered = false;
+    for (unsigned t = 0; t < 60; ++t) {
+        in.now = static_cast<Seconds>(t);
+        w.step(in);
+        expectConserved(w);
+    }
+    EXPECT_EQ(w.tracker().served(), 0u);
+    EXPECT_GT(w.queued(), 0u);
+}
+
+TEST(RequestModel, SnapshotRoundTripIsByteIdentical)
+{
+    RequestWorkload a(smallParams(), arrivalRng());
+    RequestStepInputs in;
+    in.serveVms = 2;
+    in.precomputeVms = 1;
+    in.mode = ServeMode::Precompute;
+    for (unsigned t = 0; t < 900; ++t) {
+        in.now = static_cast<Seconds>(t);
+        a.step(in);
+    }
+
+    Archive s1 = Archive::forSave();
+    a.save(s1);
+    RequestWorkload b(smallParams(), arrivalRng(99)); // state overwritten
+    Archive load = Archive::forLoad(s1.payload());
+    b.load(load);
+    EXPECT_EQ(load.remaining(), 0u);
+    Archive s2 = Archive::forSave();
+    b.save(s2);
+    EXPECT_EQ(s1.payload(), s2.payload());
+
+    // The restored model continues bit-identically.
+    for (unsigned t = 900; t < 1800; ++t) {
+        in.now = static_cast<Seconds>(t);
+        a.step(in);
+        b.step(in);
+    }
+    EXPECT_EQ(a.report(), b.report());
+    EXPECT_EQ(a.storeFill(), b.storeFill());
+}
+
+TEST(RequestModel, CorruptedSnapshotFailsLoudly)
+{
+    RequestWorkload a(smallParams(), arrivalRng());
+    RequestStepInputs in;
+    in.serveVms = 0;
+    for (unsigned t = 0; t < 30; ++t) {
+        in.now = static_cast<Seconds>(t);
+        a.step(in);
+    }
+    Archive s = Archive::forSave();
+    a.save(s);
+    // Truncation must throw, never mis-decode.
+    const std::string whole = s.payload();
+    RequestWorkload b(smallParams(), arrivalRng());
+    Archive trunc = Archive::forLoad(whole.substr(0, whole.size() - 8));
+    EXPECT_THROW(b.load(trunc), SnapshotError);
+}
+
+TEST(SloTracker, PercentilesAndReportCounters)
+{
+    SloTracker t;
+    // 90 fast requests, 10 slow: p50 near 10ms, p95/p99 near 1s.
+    t.addArrived(100);
+    t.addServed(0.010, 90, 0);
+    t.addServed(1.0, 10, 10);
+    EXPECT_NEAR(t.percentile(0.5), 0.010, 0.005);
+    EXPECT_GT(t.percentile(0.95), 0.5);
+    EXPECT_GT(t.percentile(0.99), 0.5);
+    const SloReport r = t.report(0);
+    EXPECT_EQ(r.arrived, 100u);
+    EXPECT_EQ(r.served, 100u);
+    EXPECT_EQ(r.missedDeadline, 10u);
+    EXPECT_NEAR(r.deadlineMissRate, 0.10, 1e-12);
+}
+
+TEST(SloTracker, ExtremeLatenciesClampIntoBins)
+{
+    SloTracker t;
+    t.addArrived(2);
+    t.addServed(0.0, 1, 0);    // below the floor bin
+    t.addServed(1e9, 1, 1);    // above the ceiling bin
+    EXPECT_GT(t.percentile(0.99), 100.0);
+    EXPECT_LT(t.percentile(0.01), 0.01);
+}
+
+TEST(SloTracker, SnapshotRoundTrip)
+{
+    SloTracker a;
+    a.addArrived(7);
+    a.addServed(0.05, 3, 0);
+    a.addCachedHit(0.002, 2);
+    a.addShed(1);
+    a.addDroppedTimeout(1);
+    Archive s1 = Archive::forSave();
+    a.save(s1);
+    SloTracker b;
+    Archive load = Archive::forLoad(s1.payload());
+    b.load(load);
+    EXPECT_EQ(a, b);
+    Archive s2 = Archive::forSave();
+    b.save(s2);
+    EXPECT_EQ(s1.payload(), s2.payload());
+}
+
+} // namespace
+} // namespace insure::interactive

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * What-if query/reply codec suite for wire version 2: the optional SLO
+ * summary block on replies must round-trip exactly, old/future versions
+ * must be rejected, and truncation must fail loudly — never mis-decode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "service/query.hh"
+#include "snapshot/archive.hh"
+
+namespace insure::service {
+namespace {
+
+using snapshot::Archive;
+using snapshot::SnapshotError;
+
+WhatIfReply
+batchOnlyReply()
+{
+    WhatIfReply r;
+    r.fromSeconds = 43200.0;
+    r.simulatedHours = 2.5;
+    r.uptime = 0.97;
+    r.throughputGbPerHour = 110.0;
+    r.processedGb = 275.0;
+    r.greenUsedKwh = 3.4;
+    r.loadKwh = 3.9;
+    r.secondaryKwh = 0.5;
+    r.bufferThroughputAh = 42.0;
+    r.endMeanSoc = 0.61;
+    r.bufferTrips = 1;
+    r.powerFailures = 2;
+    return r;
+}
+
+WhatIfReply
+sloReply()
+{
+    WhatIfReply r = batchOnlyReply();
+    r.sloP99Seconds = 0.180;
+    r.sloMissRate = 0.012;
+    r.infoBatteryHitRate = 0.55;
+    return r;
+}
+
+TEST(QueryCodecV2, ReplyWithSloBlockRoundTrips)
+{
+    const WhatIfReply want = sloReply();
+    const WhatIfReply got = WhatIfReply::decode(want.encode());
+    EXPECT_EQ(got, want);
+    ASSERT_TRUE(got.sloP99Seconds.has_value());
+    EXPECT_EQ(*got.sloP99Seconds, 0.180);
+    EXPECT_EQ(*got.sloMissRate, 0.012);
+    EXPECT_EQ(*got.infoBatteryHitRate, 0.55);
+}
+
+TEST(QueryCodecV2, BatchOnlyReplyRoundTripsWithoutSlo)
+{
+    const WhatIfReply want = batchOnlyReply();
+    const WhatIfReply got = WhatIfReply::decode(want.encode());
+    EXPECT_EQ(got, want);
+    EXPECT_FALSE(got.sloP99Seconds.has_value());
+    EXPECT_FALSE(got.sloMissRate.has_value());
+    EXPECT_FALSE(got.infoBatteryHitRate.has_value());
+}
+
+TEST(QueryCodecV2, EncodingIsCanonical)
+{
+    // The encoded bytes double as the what-if cache key: equal replies
+    // must encode to equal byte strings.
+    EXPECT_EQ(sloReply().encode(), sloReply().encode());
+    EXPECT_NE(sloReply().encode(), batchOnlyReply().encode());
+}
+
+TEST(QueryCodecV2, TruncatedReplyFailsLoudly)
+{
+    const std::vector<std::uint8_t> whole = sloReply().encode();
+    // Chop off the tail at every point inside the SLO block: each cut
+    // must throw, never decode to a reply missing half its fields.
+    for (std::size_t cut = whole.size() - 20; cut < whole.size(); ++cut) {
+        const std::vector<std::uint8_t> part(whole.begin(),
+                                             whole.begin() + cut);
+        EXPECT_THROW(WhatIfReply::decode(part), SnapshotError) << cut;
+    }
+}
+
+TEST(QueryCodecV2, TrailingBytesRejected)
+{
+    std::vector<std::uint8_t> wire = sloReply().encode();
+    wire.push_back(0x00);
+    EXPECT_THROW(WhatIfReply::decode(wire), SnapshotError);
+}
+
+TEST(QueryCodecV2, OldVersionReplyRejected)
+{
+    // A v1 peer's reply (no SLO block, version tag 1) must be refused,
+    // not decoded with garbage optionals.
+    Archive ar = Archive::forSave();
+    ar.section("whatif_reply");
+    ar.putU32(1);
+    for (int i = 0; i < 10; ++i)
+        ar.putF64(0.0);
+    ar.putU64(0);
+    ar.putU64(0);
+    const std::string &p = ar.payload();
+    EXPECT_THROW(
+        WhatIfReply::decode(std::vector<std::uint8_t>(p.begin(), p.end())),
+        SnapshotError);
+}
+
+TEST(QueryCodecV2, OldVersionQueryRejected)
+{
+    Archive ar = Archive::forSave();
+    ar.section("whatif_query");
+    ar.putU32(1);
+    ar.putF64(1.0);
+    for (int i = 0; i < 4; ++i)
+        ar.putBool(false);
+    const std::string &p = ar.payload();
+    EXPECT_THROW(
+        WhatIfQuery::decode(std::vector<std::uint8_t>(p.begin(), p.end())),
+        SnapshotError);
+}
+
+TEST(QueryCodecV2, NonFiniteSloFieldRejected)
+{
+    WhatIfReply r = sloReply();
+    r.sloMissRate = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(WhatIfReply::decode(r.encode()), SnapshotError);
+}
+
+TEST(QueryCodecV2, QueryRoundTripUnchangedByVersionBump)
+{
+    WhatIfQuery q;
+    q.horizonHours = 3.0;
+    q.socFloor = 0.4;
+    q.minEligible = 2;
+    EXPECT_EQ(WhatIfQuery::decode(q.encode()), q);
+}
+
+} // namespace
+} // namespace insure::service

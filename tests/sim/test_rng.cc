@@ -168,7 +168,7 @@ TEST(Rng, DeriveTagsYieldDistinctStreams)
         streams::kWorkloadBatch, streams::kWorkloadStream, streams::kSolar,
         streams::kFault,         streams::kFaultSchedule,  streams::kFaultBattery,
         streams::kFaultRelay,    streams::kFaultSensor,    streams::kFaultLink,
-        streams::kFaultServer,
+        streams::kFaultServer,   streams::kInteractiveArrivals,
     };
     const std::size_t n = std::size(tags);
 
