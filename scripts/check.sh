@@ -3,7 +3,7 @@
 # smoke sweep, and the validation suites under ASan/UBSan.
 #
 # Usage: scripts/check.sh [--no-asan] [--fuzz-runs N] [--faults] [--scale]
-#        scripts/check.sh [--service] [--resume] [--dist] [--slo]
+#        scripts/check.sh [--service] [--resume] [--dist] [--slo] [--chaos]
 #        scripts/check.sh --perf [--tolerance X]
 #
 # --perf builds Release and runs the simulation-speed gate against the
@@ -34,6 +34,13 @@
 # (ctest -L interactive) plus a full-day TPM-vs-InfoBattery bench_slo
 # run, whose exit code enforces request conservation end to end.
 #
+# --chaos runs the chaos battery: the chaos-labelled suites (ChaosStream
+# determinism, FrameDecoder chaos replay, chaos-hardened campaigns),
+# then the end-to-end drill across many storm seeds — supervised fleets
+# and the twin service must stay byte-identical to their chaos-free
+# oracles — and finally the SIGKILL/respawn drill on a process fleet
+# (skipped automatically where sockets are unavailable).
+#
 # --dist runs the distributed-campaign battery: the dispatch suites
 # (ctest -L dist), a 4-worker thread fleet byte-compared against the
 # single-process oracle, a process-mode fleet with one worker SIGKILLed
@@ -55,6 +62,7 @@ run_service=0
 run_resume=0
 run_dist=0
 run_slo=0
+run_chaos=0
 fuzz_runs=200
 tolerance=0.20
 while [ $# -gt 0 ]; do
@@ -67,6 +75,7 @@ while [ $# -gt 0 ]; do
     --resume) run_resume=1 ;;
     --dist) run_dist=1 ;;
     --slo) run_slo=1 ;;
+    --chaos) run_chaos=1 ;;
     --tolerance)
         shift
         tolerance="$1"
@@ -76,7 +85,7 @@ while [ $# -gt 0 ]; do
         fuzz_runs="$1"
         ;;
     *)
-        echo "usage: $0 [--no-asan] [--fuzz-runs N] [--faults] [--scale] [--service] [--resume] [--dist] [--slo] | --perf [--tolerance X]" >&2
+        echo "usage: $0 [--no-asan] [--fuzz-runs N] [--faults] [--scale] [--service] [--resume] [--dist] [--slo] [--chaos] | --perf [--tolerance X]" >&2
         exit 2
         ;;
     esac
@@ -204,6 +213,17 @@ if [ "$run_dist" = 1 ]; then
         --json "$dist_drill/resumed.json" >/dev/null
     cmp "$dist_drill/reference.json" "$dist_drill/resumed.json"
     echo "resumed distributed campaign JSON byte-identical"
+fi
+
+if [ "$run_chaos" = 1 ]; then
+    step "chaos suites (ctest -L chaos)"
+    ctest --test-dir build -L chaos --output-on-failure
+
+    step "chaos drill: 10 storm seeds, campaign + twin byte-identity"
+    ./build/bench/bench_chaos_drill --seeds 10 --twin-seeds 3
+
+    step "chaos kill drill: SIGKILL a worker, supervisor must respawn"
+    ./build/bench/bench_chaos_drill --kill-drill
 fi
 
 if [ "$run_slo" = 1 ]; then

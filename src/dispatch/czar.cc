@@ -6,6 +6,7 @@
 #include <deque>
 #include <filesystem>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -44,9 +45,15 @@ struct WorkerSlot {
     bool ready = false;
     /** Disconnect processed; slot is inert. */
     bool lost = false;
+    /** Stream closed by a liveness check; Disconnect is in flight. */
+    bool evicting = false;
     /** Run indices leased out and not yet resulted. */
     std::vector<std::uint64_t> outstanding;
     Clock::time_point lastSeen;
+    /** Last RESULT accepted or lease granted (progress clock). */
+    Clock::time_point lastProgress;
+    /** When the connection was adopted (HELLO clock). */
+    Clock::time_point added;
 };
 
 } // namespace
@@ -65,12 +72,22 @@ struct Czar::Impl {
     std::size_t leaseCap = 1;
     std::unique_ptr<harness::CampaignJournal> journal;
     std::size_t lost = 0;
+    CzarStats stats;
     bool ran = false;
+    /**
+     * run() is over (normally or by throw). Workers adopted after this
+     * get an immediate SHUTDOWN instead of a reader slot, so a
+     * reconnecting or freshly respawned worker that arrives late cannot
+     * hang waiting for leases that will never come.
+     */
+    bool finished = false;
 
     mutable std::mutex mu;
     std::condition_variable cv;
     std::deque<Event> events;
     std::vector<std::unique_ptr<WorkerSlot>> workers;
+    /** First instant the fleet went all-dead (grace-window clock). */
+    std::optional<Clock::time_point> allDeadSince;
 
     explicit Impl(SweepSpec s, CzarOptions o)
         : spec(std::move(s)), opts(std::move(o)),
@@ -143,6 +160,18 @@ struct Czar::Impl {
      * violation (bad decode, unexpected type) retires the worker — the
      * czar trusts re-dispatch, not a possibly-confused peer.
      */
+    /** Fold a finished reader's decoder counters into the ledger. */
+    void
+    mergeDecoder(const service::FrameDecoder &decoder)
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        stats.framesDecoded += decoder.framesDecoded();
+        stats.crcErrors += decoder.crcErrors();
+        stats.oversizedFrames += decoder.oversizedFrames();
+        stats.resyncs += decoder.resyncs();
+        stats.skippedBytes += decoder.skippedBytes();
+    }
+
     void
     readerLoop(std::size_t slot, service::ByteStream *stream)
     {
@@ -151,10 +180,11 @@ struct Czar::Impl {
         for (;;) {
             const std::size_t n = stream->receive(buf, sizeof buf);
             if (n == 0) {
+                mergeDecoder(decoder);
                 Event ev;
                 ev.kind = Event::Kind::Disconnect;
                 ev.slot = slot;
-                ev.detail = "stream closed";
+                ev.detail = "stream closed or receive deadline expired";
                 post(std::move(ev));
                 return;
             }
@@ -182,6 +212,7 @@ struct Czar::Impl {
                             "worker");
                     }
                 } catch (const std::exception &e) {
+                    mergeDecoder(decoder);
                     ev.kind = Event::Kind::Disconnect;
                     ev.detail = e.what();
                     post(std::move(ev));
@@ -214,6 +245,9 @@ struct Czar::Impl {
                         w.id, "dispatch", 0,
                         std::to_string(n) + " runs to slot " +
                             std::to_string(slot));
+        // A fresh lease restarts the progress clock: the worker now
+        // owes a RESULT within leaseProgressTimeoutSeconds.
+        w.lastProgress = Clock::now();
         // A failed send is not handled here: the reader observes the
         // same dead stream and posts the Disconnect that requeues the
         // runs just recorded as outstanding.
@@ -239,8 +273,10 @@ struct Czar::Impl {
             // still tracked elsewhere.
             journal->record(idx < spec.runs ? idx : 0, label, "stale", 0,
                             "result identity does not match campaign");
+            ++stats.staleResults;
             return;
         }
+        w.lastProgress = Clock::now();
         w.outstanding.erase(std::remove(w.outstanding.begin(),
                                         w.outstanding.end(), msg.index),
                             w.outstanding.end());
@@ -249,6 +285,7 @@ struct Czar::Impl {
             // declared dead. Runs are deterministic, so both copies are
             // identical — keep the first.
             journal->record(idx, label, "duplicate", 0);
+            ++stats.duplicateResults;
             return;
         }
         results[idx] = std::move(msg.result);
@@ -275,8 +312,10 @@ struct Czar::Impl {
             return;
         w.lost = true;
         ++lost;
+        ++stats.workersLost;
         journal->record(slot, w.id, "worker-lost", 0, why);
         if (!w.outstanding.empty()) {
+            stats.requeuedRuns += w.outstanding.size();
             // Front of the queue: the failed runs are the oldest work,
             // survivors pick them up before untouched ones.
             for (auto it = w.outstanding.rbegin();
@@ -291,27 +330,74 @@ struct Czar::Impl {
         w.stream->close();
     }
 
-    /** Declare silent lease-holders dead. Lock held. */
+    /**
+     * Evict a live worker: close() forces its reader to EOF; the
+     * Disconnect it posts performs the actual retire + requeue.
+     * Lock held.
+     */
+    void
+    evict(WorkerSlot &w, std::size_t slot, const char *what, double age)
+    {
+        w.evicting = true;
+        journal->record(slot, w.id, what, 0,
+                        std::to_string(age) + " s");
+        w.stream->close();
+    }
+
+    /**
+     * Declare unresponsive workers dead. Three independent clocks:
+     * lastSeen (any traffic; heartbeats refresh it), lastProgress
+     * (leases granted / results accepted ONLY — a heartbeating worker
+     * that lost its lease to a corrupted frame must still be evicted or
+     * the campaign stalls forever), and added (a connection that never
+     * said HELLO). Lock held.
+     */
     void
     checkLiveness()
     {
-        if (opts.workerTimeoutSeconds <= 0.0)
-            return;
         const auto now = Clock::now();
+        const auto age = [&](Clock::time_point since) {
+            return std::chrono::duration<double>(now - since).count();
+        };
         for (std::size_t s = 0; s < workers.size(); ++s) {
             WorkerSlot &w = *workers[s];
-            if (w.lost || w.outstanding.empty())
+            if (w.lost || w.evicting)
                 continue;
-            const double silent =
-                std::chrono::duration<double>(now - w.lastSeen).count();
-            if (silent > opts.workerTimeoutSeconds) {
-                // close() forces the reader to EOF; the Disconnect it
-                // posts performs the actual retire + requeue.
-                journal->record(s, w.id, "worker-timeout", 0,
-                                std::to_string(silent) + " s silent");
-                w.stream->close();
+            if (!w.ready) {
+                if (opts.helloTimeoutSeconds > 0.0 &&
+                    age(w.added) > opts.helloTimeoutSeconds) {
+                    ++stats.helloTimeouts;
+                    evict(w, s, "hello-timeout", age(w.added));
+                }
+                continue;
+            }
+            if (w.outstanding.empty())
+                continue;
+            if (opts.workerTimeoutSeconds > 0.0 &&
+                age(w.lastSeen) > opts.workerTimeoutSeconds) {
+                ++stats.timeoutEvictions;
+                evict(w, s, "worker-timeout", age(w.lastSeen));
+                continue;
+            }
+            if (opts.leaseProgressTimeoutSeconds > 0.0 &&
+                age(w.lastProgress) > opts.leaseProgressTimeoutSeconds) {
+                ++stats.leaseTimeouts;
+                evict(w, s, "lease-timeout", age(w.lastProgress));
             }
         }
+    }
+
+    /** Shortest enabled liveness period (0 = none). */
+    double
+    livenessPeriod() const
+    {
+        double period = 0.0;
+        for (const double t :
+             {opts.workerTimeoutSeconds, opts.leaseProgressTimeoutSeconds,
+              opts.helloTimeoutSeconds, opts.allDeadGraceSeconds})
+            if (t > 0.0 && (period == 0.0 || t < period))
+                period = t;
+        return period;
     }
 
     fault::CampaignSummary
@@ -322,12 +408,12 @@ struct Czar::Impl {
             throw std::runtime_error("dispatch: Czar::run called twice");
         ran = true;
         grantAll();
+        const double period = livenessPeriod();
         while (done < spec.runs) {
             if (events.empty()) {
-                if (opts.workerTimeoutSeconds > 0.0) {
-                    cv.wait_for(lock,
-                                std::chrono::duration<double>(
-                                    opts.workerTimeoutSeconds / 4.0));
+                if (period > 0.0) {
+                    cv.wait_for(lock, std::chrono::duration<double>(
+                                          period / 4.0));
                 } else {
                     cv.wait(lock);
                 }
@@ -370,18 +456,59 @@ struct Czar::Impl {
                 }
             }
             checkLiveness();
-            if (done < spec.runs && !workers.empty() &&
+            const bool allDead =
+                !workers.empty() &&
                 std::all_of(workers.begin(), workers.end(),
-                            [](const auto &w) { return w->lost; }))
-                throw std::runtime_error(
-                    "dispatch: every worker died with " +
-                    std::to_string(spec.runs - done) +
-                    " runs outstanding");
+                            [](const auto &w) { return w->lost; });
+            if (done < spec.runs && allDead) {
+                const auto now = Clock::now();
+                if (!allDeadSince)
+                    allDeadSince = now;
+                const double dead =
+                    std::chrono::duration<double>(now - *allDeadSince)
+                        .count();
+                if (opts.allDeadGraceSeconds <= 0.0 ||
+                    dead > opts.allDeadGraceSeconds) {
+                    // Close everything before aborting so supervised
+                    // worker threads blocked on these streams unwind
+                    // instead of deadlocking their supervisor's join.
+                    finished = true;
+                    for (auto &w : workers)
+                        w->stream->close();
+                    throw std::runtime_error(
+                        "dispatch: every worker died with " +
+                        std::to_string(spec.runs - done) +
+                        " runs outstanding");
+                }
+            } else {
+                allDeadSince.reset();
+            }
         }
-        // Campaign complete: EOF tells the workers to exit.
-        for (auto &w : workers)
+        // Campaign complete: an orderly SHUTDOWN first — to a resilient
+        // worker, bare EOF reads as a czar crash and triggers a useless
+        // reconnect storm — then close.
+        finished = true;
+        const std::vector<std::uint8_t> bye =
+            encodeShutdown(ShutdownMsg{"campaign complete"});
+        const std::size_t adopted = workers.size();
+        for (auto &w : workers) {
+            if (!w->lost)
+                w->stream->send(bye);
             w->stream->close();
+        }
         lock.unlock();
+        // Join the readers adopted so far: their decoder counters land
+        // in the ledger before stats() is consulted. Slot objects are
+        // pointer-stable, so only the thread handoff needs the lock.
+        for (std::size_t i = 0; i < adopted; ++i) {
+            std::thread reader;
+            {
+                const std::lock_guard<std::mutex> relock(mu);
+                reader = std::move(workers[i]->reader);
+            }
+            if (reader.joinable())
+                reader.join();
+        }
         return fault::summarizeCampaign(cfg, results);
     }
 
@@ -409,9 +536,22 @@ void
 Czar::addWorker(std::unique_ptr<service::ByteStream> stream)
 {
     const std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->finished) {
+        // The campaign is over: tell the latecomer so instead of
+        // parking it on a reader that will never grant anything.
+        stream->send(encodeShutdown(ShutdownMsg{"campaign finished"}));
+        stream->close();
+        return;
+    }
     auto slot = std::make_unique<WorkerSlot>();
     slot->stream = std::move(stream);
+    if (impl_->opts.receiveDeadlineSeconds > 0.0)
+        slot->stream->setReceiveDeadline(impl_->opts.receiveDeadlineSeconds);
+    if (impl_->opts.sendDeadlineSeconds > 0.0)
+        slot->stream->setSendDeadline(impl_->opts.sendDeadlineSeconds);
     slot->lastSeen = Clock::now();
+    slot->lastProgress = slot->lastSeen;
+    slot->added = slot->lastSeen;
     const std::size_t index = impl_->workers.size();
     service::ByteStream *raw = slot->stream.get();
     impl_->workers.push_back(std::move(slot));
@@ -437,6 +577,15 @@ Czar::workersLost() const
 {
     const std::lock_guard<std::mutex> lock(impl_->mu);
     return impl_->lost;
+}
+
+CzarStats
+Czar::stats() const
+{
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    CzarStats s = impl_->stats;
+    s.completedRuns = impl_->done;
+    return s;
 }
 
 } // namespace insure::dispatch

@@ -66,8 +66,73 @@ struct CzarOptions {
      * TCP deliver promptly on process death).
      */
     double workerTimeoutSeconds = 0.0;
+    /**
+     * Seconds a lease-holder may go without delivering a RESULT before
+     * it is evicted and its runs re-dispatched (0 = off). Heartbeats do
+     * NOT refresh this clock — that is the point: a worker that lost
+     * its lease to a corrupted frame keeps heartbeating forever, and
+     * only a progress deadline unsticks the campaign from it. Must
+     * exceed the longest plausible run time.
+     */
+    double leaseProgressTimeoutSeconds = 0.0;
+    /**
+     * Seconds an adopted connection may dawdle before its HELLO
+     * arrives (0 = off). Evicts half-open or hostile connections that
+     * would otherwise occupy a slot forever without ever being
+     * leasable.
+     */
+    double helloTimeoutSeconds = 0.0;
+    /**
+     * Bound every reader-thread receive (0 = block indefinitely). With
+     * worker heartbeats at a shorter period, a peer that stalls
+     * mid-frame — alive at the TCP level, saying nothing — is evicted
+     * instead of wedging a reader thread for the campaign's lifetime.
+     */
+    double receiveDeadlineSeconds = 0.0;
+    /**
+     * Bound every send to a worker (0 = block indefinitely). A peer
+     * that stopped draining its socket fails the send instead of
+     * wedging the czar's event loop mid-grant.
+     */
+    double sendDeadlineSeconds = 0.0;
+    /**
+     * Seconds the czar tolerates having zero live workers with runs
+     * outstanding before giving up (0 = give up immediately, the
+     * original behaviour). A supervised fleet respawns workers
+     * asynchronously, so a chaos storm that momentarily fells every
+     * worker must not abort a campaign the next respawn would finish.
+     */
+    double allDeadGraceSeconds = 0.0;
     /** Optional progress hook: (completed runs, total runs). */
     std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+/**
+ * Campaign-lifetime accounting: the honest ledger of everything the
+ * robustness machinery had to absorb. All counters are monotonic; the
+ * decoder counters aggregate every reader thread's FrameDecoder.
+ */
+struct CzarStats {
+    std::uint64_t completedRuns = 0;
+    std::uint64_t workersLost = 0;
+    /** Runs requeued from retired workers (re-dispatch volume). */
+    std::uint64_t requeuedRuns = 0;
+    /** Results dropped because the run was already complete. */
+    std::uint64_t duplicateResults = 0;
+    /** Results dropped for a wrong campaign identity. */
+    std::uint64_t staleResults = 0;
+    /** Evictions by workerTimeoutSeconds. */
+    std::uint64_t timeoutEvictions = 0;
+    /** Evictions by leaseProgressTimeoutSeconds. */
+    std::uint64_t leaseTimeouts = 0;
+    /** Evictions by helloTimeoutSeconds. */
+    std::uint64_t helloTimeouts = 0;
+    /** Aggregated reader FrameDecoder counters. */
+    std::uint64_t framesDecoded = 0;
+    std::uint64_t crcErrors = 0;
+    std::uint64_t oversizedFrames = 0;
+    std::uint64_t resyncs = 0;
+    std::uint64_t skippedBytes = 0;
 };
 
 /** Orchestrates one distributed campaign (see file comment). */
@@ -100,6 +165,9 @@ class Czar
 
     /** Workers that died or disconnected during the campaign. */
     std::size_t workersLost() const;
+
+    /** The full robustness ledger (consistent snapshot). */
+    CzarStats stats() const;
 
   private:
     struct Impl;

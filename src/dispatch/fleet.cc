@@ -1,8 +1,6 @@
 #include "dispatch/fleet.hh"
 
 #include <signal.h>
-#include <sys/wait.h>
-#include <unistd.h>
 
 #include <chrono>
 #include <stdexcept>
@@ -10,131 +8,70 @@
 
 #include "sim/logging.hh"
 
-#ifndef INSURE_WORKER_EXE
-#define INSURE_WORKER_EXE ""
-#endif
-
 namespace insure::dispatch {
 
 namespace {
 
-fault::CampaignSummary
-runThreadFleet(const SweepSpec &spec, const FleetOptions &opts)
+SupervisorOptions
+toSupervisorOptions(const FleetOptions &opts)
 {
-    Czar czar(spec, opts.czar);
-    std::vector<std::thread> threads;
-    threads.reserve(opts.workers);
-    // Keep the worker endpoints alive until their threads exit.
-    std::vector<std::unique_ptr<service::ByteStream>> ends(opts.workers);
-    for (unsigned i = 0; i < opts.workers; ++i) {
-        auto [czarEnd, workerEnd] = service::makeLoopbackPair();
-        czar.addWorker(std::move(czarEnd));
-        ends[i] = std::move(workerEnd);
-        WorkerOptions w = opts.worker;
-        w.workerId = opts.worker.workerId + "-" + std::to_string(i);
-        if (i < opts.threadWorkerMaxRuns.size())
-            w.maxRuns = opts.threadWorkerMaxRuns[i];
-        threads.emplace_back(
-            [stream = ends[i].get(), w] { runWorker(*stream, w); });
-    }
-    fault::CampaignSummary summary;
-    try {
-        summary = czar.run();
-    } catch (...) {
-        for (auto &e : ends)
-            e->close();
-        for (auto &t : threads)
-            t.join();
-        throw;
-    }
-    for (auto &t : threads)
-        t.join();
-    return summary;
-}
-
-fault::CampaignSummary
-runProcessFleet(const SweepSpec &spec, const FleetOptions &opts)
-{
-    std::string exe =
-        opts.workerExe.empty() ? std::string(INSURE_WORKER_EXE)
-                               : opts.workerExe;
-    if (exe.empty())
-        throw std::runtime_error(
-            "dispatch: no insure_worker executable configured");
-
-    // Throws std::runtime_error in sandboxes without sockets; the
-    // caller (tests) skips on that.
-    service::TcpListener listener(0);
-    const std::string port = std::to_string(listener.port());
-
-    std::vector<pid_t> pids;
-    pids.reserve(opts.workers);
-    for (unsigned i = 0; i < opts.workers; ++i) {
-        const std::string id =
-            opts.worker.workerId + "-" + std::to_string(i);
-        const pid_t pid = ::fork();
-        if (pid < 0)
-            throw std::runtime_error("dispatch: fork failed");
-        if (pid == 0) {
-            ::execl(exe.c_str(), exe.c_str(), "--connect", "127.0.0.1",
-                    "--port", port.c_str(), "--id", id.c_str(),
-                    static_cast<char *>(nullptr));
-            _exit(127); // exec failed
-        }
-        pids.push_back(pid);
-    }
-
-    Czar czar(spec, opts.czar);
-    // Accept until every launched worker has connected (a worker that
-    // dies before connecting would stall the acceptor; local forks of
-    // our own binary connect promptly or not at all).
-    std::thread acceptor([&] {
-        for (unsigned i = 0; i < opts.workers; ++i) {
-            auto stream = listener.accept();
-            if (!stream)
-                return; // listener closed (campaign ended early)
-            czar.addWorker(std::move(stream));
-        }
-    });
-
-    std::thread killer;
-    if (opts.killOneAfterSeconds >= 0.0 && !pids.empty()) {
-        killer = std::thread([pid = pids.front(),
-                              delay = opts.killOneAfterSeconds] {
-            std::this_thread::sleep_for(
-                std::chrono::duration<double>(delay));
-            ::kill(pid, SIGKILL);
-        });
-    }
-
-    fault::CampaignSummary summary;
-    std::exception_ptr failure;
-    try {
-        summary = czar.run();
-    } catch (...) {
-        failure = std::current_exception();
-    }
-    listener.close();
-    acceptor.join();
-    if (killer.joinable())
-        killer.join();
-    for (const pid_t pid : pids) {
-        int status = 0;
-        ::waitpid(pid, &status, 0);
-    }
-    if (failure)
-        std::rethrow_exception(failure);
-    return summary;
+    SupervisorOptions s;
+    s.mode = opts.mode;
+    s.workers = opts.workers;
+    s.worker = opts.worker;
+    s.threadWorkerMaxRuns = opts.threadWorkerMaxRuns;
+    s.maxRespawns = opts.maxRespawns;
+    s.workerReconnects = opts.workerReconnects;
+    s.chaos = opts.chaos;
+    s.chaosSeed = opts.chaosSeed;
+    s.workerExe = opts.workerExe;
+    return s;
 }
 
 } // namespace
 
+DistributedRunReport
+runDistributedSweepReport(const SweepSpec &spec, const FleetOptions &opts)
+{
+    Czar czar(spec, opts.czar);
+    FleetSupervisor supervisor(czar, toSupervisorOptions(opts));
+    supervisor.start();
+
+    // The worker-death drill: SIGKILL one real process mid-campaign.
+    std::thread killer;
+    if (opts.mode == FleetMode::Process &&
+        opts.killOneAfterSeconds >= 0.0) {
+        killer = std::thread([&supervisor,
+                              delay = opts.killOneAfterSeconds] {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(delay));
+            const std::vector<pid_t> pids = supervisor.pids();
+            if (!pids.empty())
+                ::kill(pids.front(), SIGKILL);
+        });
+    }
+
+    DistributedRunReport report;
+    std::exception_ptr failure;
+    try {
+        report.summary = czar.run();
+    } catch (...) {
+        failure = std::current_exception();
+    }
+    if (killer.joinable())
+        killer.join();
+    supervisor.stop();
+    report.czar = czar.stats();
+    report.supervisor = supervisor.stats();
+    if (failure)
+        std::rethrow_exception(failure);
+    return report;
+}
+
 fault::CampaignSummary
 runDistributedSweep(const SweepSpec &spec, const FleetOptions &opts)
 {
-    if (opts.mode == FleetMode::Thread)
-        return runThreadFleet(spec, opts);
-    return runProcessFleet(spec, opts);
+    return runDistributedSweepReport(spec, opts).summary;
 }
 
 } // namespace insure::dispatch

@@ -1,7 +1,7 @@
 /**
  * @file
- * Fleet driver: assembles a czar plus N workers and runs a distributed
- * campaign end to end.
+ * Fleet driver: assembles a czar plus a supervised worker fleet and
+ * runs a distributed campaign end to end.
  *
  * Two fleet modes behind one call:
  *
@@ -15,9 +15,12 @@
  *    kill-one drill (SIGKILL a worker mid-campaign) exercises czar
  *    re-dispatch against an actual dead process.
  *
- * Workers are not respawned: the fleet the campaign starts with is all
- * it ever has (minus deaths). That matches the disposable-entity
- * design — recovering czar state, not worker state, is what matters.
+ * Both modes run through the FleetSupervisor, which optionally
+ * respawns dead workers (maxRespawns) and injects deterministic
+ * transport chaos (chaos + chaosSeed) on every czar-side endpoint.
+ * With the default options — no respawns, no chaos, no reconnects —
+ * behaviour is exactly the pre-supervisor fleet: the campaign runs on
+ * whatever survives.
  */
 
 #ifndef INSURE_DISPATCH_FLEET_HH
@@ -28,15 +31,10 @@
 #include <vector>
 
 #include "dispatch/czar.hh"
+#include "dispatch/supervisor.hh"
 #include "dispatch/worker.hh"
 
 namespace insure::dispatch {
-
-/** How fleet workers are hosted. */
-enum class FleetMode {
-    Thread,
-    Process,
-};
 
 /** Fleet assembly knobs. */
 struct FleetOptions {
@@ -63,15 +61,35 @@ struct FleetOptions {
      * build-time default (INSURE_WORKER_EXE).
      */
     std::string workerExe;
+    /** Fleet-wide respawn budget (0 = never respawn). */
+    std::size_t maxRespawns = 0;
+    /** Per-worker reconnect budget after unexpected stream loss. */
+    std::size_t workerReconnects = 0;
+    /** Transport chaos injected czar-side (default: none). */
+    service::ChaosPlan chaos;
+    /** Root seed for per-connection chaos streams. */
+    std::uint64_t chaosSeed = kDefaultSeed;
+};
+
+/** Everything a drill wants to know about one distributed run. */
+struct DistributedRunReport {
+    fault::CampaignSummary summary;
+    CzarStats czar;
+    SupervisorStats supervisor;
 };
 
 /**
  * Run @p spec on a fresh fleet. Throws std::runtime_error when the
  * fleet cannot be assembled (e.g. sockets unavailable in a sandbox —
- * process mode only) or the campaign loses every worker.
+ * process mode only) or the campaign loses every worker for longer
+ * than the czar's grace window.
  */
 fault::CampaignSummary runDistributedSweep(const SweepSpec &spec,
                                            const FleetOptions &opts);
+
+/** As runDistributedSweep, but with the full robustness ledger. */
+DistributedRunReport runDistributedSweepReport(const SweepSpec &spec,
+                                               const FleetOptions &opts);
 
 } // namespace insure::dispatch
 

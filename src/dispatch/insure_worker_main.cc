@@ -5,11 +5,21 @@
  *   insure_worker --connect HOST --port PORT [--id NAME]
  *                 [--max-runs N] [--heartbeat SECONDS]
  *                 [--watchdog WALL_SECONDS] [--retries N]
+ *                 [--connect-retries N] [--connect-backoff SECONDS]
+ *                 [--reconnect N] [--read-deadline SECONDS]
+ *                 [--backoff-seed SEED]
  *
- * Connects to a campaign czar, executes leased runs, streams results
- * back, and exits when the czar closes the connection. Holds no
- * campaign state: kill -9 at any instant costs only in-flight work,
- * which the czar re-dispatches to surviving workers.
+ * Connects to a campaign czar (with bounded, exponentially backed-off
+ * connect retries — a worker that boots before its czar must not exit
+ * permanently on the first ECONNREFUSED), executes leased runs, and
+ * streams results back. A SHUTDOWN frame from the czar ends it
+ * cleanly; an unexpected stream loss is answered with up to
+ * --reconnect re-dials and a fresh HELLO. Holds no campaign state:
+ * kill -9 at any instant costs only in-flight work, which the czar
+ * re-dispatches to surviving workers.
+ *
+ * Exit codes: 0 orderly (shutdown / EOF / budget), 1 protocol error,
+ * 2 czar never reachable.
  */
 
 #include <cstdio>
@@ -18,7 +28,6 @@
 #include <string>
 
 #include "dispatch/worker.hh"
-#include "service/transport.hh"
 
 using namespace insure;
 
@@ -27,8 +36,8 @@ main(int argc, char **argv)
 {
     std::string host = "127.0.0.1";
     int port = 0;
-    dispatch::WorkerOptions opts;
-    opts.workerId = "insure-worker";
+    dispatch::ResilientWorkerOptions opts;
+    opts.worker.workerId = "insure-worker";
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -44,22 +53,40 @@ main(int argc, char **argv)
         } else if (std::strcmp(arg, "--port") == 0) {
             port = std::atoi(value());
         } else if (std::strcmp(arg, "--id") == 0) {
-            opts.workerId = value();
+            opts.worker.workerId = value();
         } else if (std::strcmp(arg, "--max-runs") == 0) {
-            opts.maxRuns = static_cast<std::size_t>(std::atoll(value()));
+            opts.worker.maxRuns =
+                static_cast<std::size_t>(std::atoll(value()));
         } else if (std::strcmp(arg, "--heartbeat") == 0) {
-            opts.heartbeatSeconds = std::atof(value());
+            opts.worker.heartbeatSeconds = std::atof(value());
         } else if (std::strcmp(arg, "--watchdog") == 0) {
-            opts.runOpts.watchdogSeconds = std::atof(value());
+            opts.worker.runOpts.watchdogSeconds = std::atof(value());
         } else if (std::strcmp(arg, "--retries") == 0) {
-            opts.runOpts.maxRetries =
+            opts.worker.runOpts.maxRetries =
                 static_cast<unsigned>(std::atoi(value()));
+        } else if (std::strcmp(arg, "--connect-retries") == 0) {
+            opts.connectRetries =
+                static_cast<std::size_t>(std::atoll(value()));
+        } else if (std::strcmp(arg, "--connect-backoff") == 0) {
+            opts.connectBackoffSeconds = std::atof(value());
+        } else if (std::strcmp(arg, "--reconnect") == 0) {
+            opts.maxReconnects =
+                static_cast<std::size_t>(std::atoll(value()));
+        } else if (std::strcmp(arg, "--read-deadline") == 0) {
+            opts.worker.receiveDeadlineSeconds = std::atof(value());
+        } else if (std::strcmp(arg, "--backoff-seed") == 0) {
+            opts.backoffSeed =
+                static_cast<std::uint64_t>(std::strtoull(value(),
+                                                         nullptr, 10));
         } else {
-            std::fprintf(stderr,
-                         "usage: %s --connect HOST --port PORT [--id "
-                         "NAME] [--max-runs N] [--heartbeat S] "
-                         "[--watchdog S] [--retries N]\n",
-                         argv[0]);
+            std::fprintf(
+                stderr,
+                "usage: %s --connect HOST --port PORT [--id NAME] "
+                "[--max-runs N] [--heartbeat S] [--watchdog S] "
+                "[--retries N] [--connect-retries N] "
+                "[--connect-backoff S] [--reconnect N] "
+                "[--read-deadline S] [--backoff-seed SEED]\n",
+                argv[0]);
             return 2;
         }
     }
@@ -68,14 +95,13 @@ main(int argc, char **argv)
         return 2;
     }
 
-    std::unique_ptr<service::ByteStream> stream;
-    try {
-        stream = service::tcpConnect(host,
-                                     static_cast<std::uint16_t>(port));
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "cannot connect to %s:%d: %s\n",
-                     host.c_str(), port, e.what());
-        return 1;
-    }
-    return dispatch::runWorker(*stream, opts);
+    const dispatch::ResilientWorkerReport report =
+        dispatch::runResilientWorker(
+            dispatch::makeTcpDialer(host,
+                                    static_cast<std::uint16_t>(port)),
+            opts);
+    if (report.neverConnected)
+        std::fprintf(stderr, "cannot connect to %s:%d\n", host.c_str(),
+                     port);
+    return report.exitCode();
 }

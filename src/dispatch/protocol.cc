@@ -180,4 +180,27 @@ decodeHeartbeat(const service::Frame &frame)
     return msg;
 }
 
+std::vector<std::uint8_t>
+encodeShutdown(const ShutdownMsg &msg)
+{
+    Archive ar = Archive::forSave();
+    ar.section("dispatch_shutdown");
+    putVersion(ar);
+    ar.putStr(msg.reason);
+    return toFrame(service::FrameType::Shutdown, ar);
+}
+
+ShutdownMsg
+decodeShutdown(const service::Frame &frame)
+{
+    Archive ar =
+        fromFrame(frame, service::FrameType::Shutdown, "SHUTDOWN");
+    ar.section("dispatch_shutdown");
+    checkVersion(ar, "SHUTDOWN");
+    ShutdownMsg msg;
+    msg.reason = ar.getStr();
+    requireDrained(ar, "SHUTDOWN");
+    return msg;
+}
+
 } // namespace insure::dispatch

@@ -12,6 +12,13 @@
  *                               harness::saveRunResult codec the
  *                               resilient runner's result files use)
  *   HEARTBEAT  worker -> czar   liveness beacon + completed-run count
+ *   SHUTDOWN   czar -> worker   orderly end-of-campaign notice
+ *
+ * SHUTDOWN exists because EOF alone is ambiguous to a resilient
+ * worker: a vanished stream may be a crashed czar (reconnect and
+ * retry) or a finished campaign (exit cleanly). The czar broadcasts
+ * SHUTDOWN before closing, and only an EOF *without* a preceding
+ * SHUTDOWN triggers the worker's reconnect path.
  *
  * Every lease is self-contained: it names the runs AND carries their
  * pre-derived child seeds (the czar derives them once through
@@ -78,6 +85,14 @@ struct HeartbeatMsg {
     bool operator==(const HeartbeatMsg &) const = default;
 };
 
+/** Orderly end-of-campaign notice (czar -> worker; see file comment). */
+struct ShutdownMsg {
+    /** Human-readable reason ("campaign complete", "draining", ...). */
+    std::string reason;
+
+    bool operator==(const ShutdownMsg &) const = default;
+};
+
 /**
  * Bytes of lease payload one LeasedRun entry costs; used by the czar
  * to size batches under service::kMaxFramePayload.
@@ -91,6 +106,7 @@ std::vector<std::uint8_t> encodeHello(const HelloMsg &msg);
 std::vector<std::uint8_t> encodeLease(const LeaseMsg &msg);
 std::vector<std::uint8_t> encodeResult(const ResultMsg &msg);
 std::vector<std::uint8_t> encodeHeartbeat(const HeartbeatMsg &msg);
+std::vector<std::uint8_t> encodeShutdown(const ShutdownMsg &msg);
 
 // Decoders take a frame of the matching type and throw
 // snapshot::SnapshotError on wrong type, version mismatch, truncation
@@ -99,6 +115,7 @@ HelloMsg decodeHello(const service::Frame &frame);
 LeaseMsg decodeLease(const service::Frame &frame);
 ResultMsg decodeResult(const service::Frame &frame);
 HeartbeatMsg decodeHeartbeat(const service::Frame &frame);
+ShutdownMsg decodeShutdown(const service::Frame &frame);
 
 } // namespace insure::dispatch
 

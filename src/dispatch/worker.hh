@@ -10,16 +10,32 @@
  * finished run. It holds no campaign state whatsoever — killing a
  * worker at any instant loses nothing but in-flight work, which the
  * czar re-dispatches.
+ *
+ * Two layers:
+ *
+ *  - runWorkerSession serves ONE connection and reports how it ended
+ *    (orderly SHUTDOWN vs. unexpected stream loss vs. spent budget vs.
+ *    protocol error).
+ *  - runResilientWorker owns a Dialer and survives connection failure:
+ *    bounded connect retries with exponential backoff + deterministic
+ *    jitter, and after an established session drops without a SHUTDOWN,
+ *    a re-dial + re-HELLO under a reconnect budget. Because workers are
+ *    stateless, a reconnected worker needs no catch-up — the czar
+ *    simply leases it whatever is still pending.
  */
 
 #ifndef INSURE_DISPATCH_WORKER_HH
 #define INSURE_DISPATCH_WORKER_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "harness/resilient_runner.hh"
 #include "service/transport.hh"
+#include "sim/rng.hh"
 
 namespace insure::dispatch {
 
@@ -46,15 +62,114 @@ struct WorkerOptions {
      * long run from a dead worker.
      */
     double heartbeatSeconds = 0.0;
+    /**
+     * Bound each receive on the czar stream (0 = wait forever). An
+     * expiry is treated as stream loss: a czar that cannot be heard
+     * from is a dead czar, and the resilient layer answers with a
+     * reconnect instead of wedging forever on a half-dead socket.
+     */
+    double receiveDeadlineSeconds = 0.0;
+};
+
+/** How a single worker session over one connection ended. */
+enum class WorkerExit : std::uint8_t {
+    /** The czar sent SHUTDOWN: campaign over, exit cleanly. */
+    Shutdown,
+    /** EOF / deadline expiry / send failure without a SHUTDOWN. */
+    StreamLost,
+    /** The opts.maxRuns churn budget is spent (test drills). */
+    BudgetSpent,
+    /** Undecodable czar traffic; the worker hung up deliberately. */
+    ProtocolError,
+};
+
+/** Printable name of a WorkerExit. */
+const char *workerExitName(WorkerExit e);
+
+/** What one session accomplished and how it ended. */
+struct WorkerSessionResult {
+    WorkerExit exit = WorkerExit::StreamLost;
+    /** Runs completed and reported within this session. */
+    std::uint64_t runsCompleted = 0;
 };
 
 /**
- * Serve leases on @p stream until it closes (returns 0), the maxRuns
- * budget is spent (returns 0), or a protocol error occurs (returns 1).
- * Runs that fail deterministically are reported as failed results, not
+ * Serve leases on @p stream until the czar says SHUTDOWN, the stream
+ * dies, the maxRuns budget is spent, or a protocol error occurs. Runs
+ * that fail deterministically are reported as failed results, not
  * worker errors — exactly like the in-process sweep records them.
  */
+WorkerSessionResult runWorkerSession(service::ByteStream &stream,
+                                     const WorkerOptions &opts);
+
+/**
+ * Single-connection wrapper kept for callers that manage their own
+ * connection lifecycle: 0 on any orderly end (shutdown, EOF, budget),
+ * 1 on protocol error.
+ */
 int runWorker(service::ByteStream &stream, const WorkerOptions &opts);
+
+/**
+ * Produces a fresh connection to the czar, or null when the czar is
+ * unreachable right now. Loopback tests dial by creating a new pipe
+ * pair and handing the far end to the czar; production dials TCP.
+ */
+using Dialer = std::function<std::unique_ptr<service::ByteStream>()>;
+
+/** A Dialer for the TCP transport (null on connect failure). */
+Dialer makeTcpDialer(std::string host, std::uint16_t port);
+
+/** Retry/reconnect policy for runResilientWorker. */
+struct ResilientWorkerOptions {
+    WorkerOptions worker;
+    /**
+     * Connect attempts per dial sequence before giving up (the first
+     * attempt counts; minimum 1). Applies to the initial connect and
+     * to every reconnect.
+     */
+    std::size_t connectRetries = 5;
+    /** Base backoff before attempt n+1: base * 2^n, jittered. */
+    double connectBackoffSeconds = 0.05;
+    /** Backoff ceiling, seconds. */
+    double connectBackoffCapSeconds = 2.0;
+    /**
+     * Established sessions that may be re-dialled after an unexpected
+     * stream loss (0 = behave like the old one-shot worker). The
+     * budget counts losses, not dial attempts.
+     */
+    std::size_t maxReconnects = 0;
+    /**
+     * Seed for backoff jitter (streams::kDispatchBackoff). Jitter
+     * decorrelates a fleet of workers hammering a recovering czar;
+     * determinism keeps drills reproducible.
+     */
+    std::uint64_t backoffSeed = kDefaultSeed;
+};
+
+/** Accounting from a resilient worker's whole lifetime. */
+struct ResilientWorkerReport {
+    /** Dial attempts, successful or not. */
+    std::uint64_t connectAttempts = 0;
+    /** Re-dials after an established session was lost. */
+    std::uint64_t reconnects = 0;
+    /** Runs completed across all sessions. */
+    std::uint64_t runsCompleted = 0;
+    /** How the final session ended. */
+    WorkerExit lastExit = WorkerExit::StreamLost;
+    /** True when the worker never established a single session. */
+    bool neverConnected = false;
+
+    /** Process exit code: 0 orderly, 1 protocol error, 2 unreachable. */
+    int exitCode() const;
+};
+
+/**
+ * Dial, serve, and keep coming back (see file comment). Returns when
+ * the czar says SHUTDOWN, the budgets are exhausted, or a protocol
+ * error occurs.
+ */
+ResilientWorkerReport runResilientWorker(const Dialer &dial,
+                                         const ResilientWorkerOptions &opts);
 
 } // namespace insure::dispatch
 

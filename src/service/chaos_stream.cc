@@ -1,0 +1,355 @@
+#include "service/chaos_stream.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace insure::service {
+
+bool
+ChaosPlan::enabled() const
+{
+    return corruptPerKb > 0.0 || truncateRate > 0.0 || dropRate > 0.0 ||
+           duplicateRate > 0.0 || splitRate > 0.0 || delayRate > 0.0 ||
+           stallRate > 0.0 || disconnectPerKb > 0.0 ||
+           disconnectAtByte > 0 || receiveCap > 0;
+}
+
+ChaosPlan
+ChaosPlan::storm(std::uint64_t budget)
+{
+    ChaosPlan p;
+    p.corruptPerKb = 2.0;
+    p.truncateRate = 0.08;
+    p.dropRate = 0.05;
+    p.duplicateRate = 0.08;
+    p.splitRate = 0.20;
+    p.delayRate = 0.10;
+    p.delayMaxSeconds = 0.002;
+    p.stallRate = 0.02;
+    p.stallSeconds = 0.01;
+    p.disconnectPerKb = 0.02;
+    p.maxEvents = budget;
+    return p;
+}
+
+const char *
+chaosEventKindName(ChaosEvent::Kind k)
+{
+    switch (k) {
+    case ChaosEvent::Kind::CorruptByte:
+        return "corrupt-byte";
+    case ChaosEvent::Kind::TruncateSend:
+        return "truncate-send";
+    case ChaosEvent::Kind::DropSend:
+        return "drop-send";
+    case ChaosEvent::Kind::DuplicateSend:
+        return "duplicate-send";
+    case ChaosEvent::Kind::SplitSend:
+        return "split-send";
+    case ChaosEvent::Kind::Delay:
+        return "delay";
+    case ChaosEvent::Kind::Stall:
+        return "stall";
+    case ChaosEvent::Kind::Disconnect:
+        return "disconnect";
+    }
+    return "unknown";
+}
+
+void
+ChaosLedger::add(const ChaosStats &delta)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    totals_.corruptedBytes += delta.corruptedBytes;
+    totals_.truncatedSends += delta.truncatedSends;
+    totals_.droppedSends += delta.droppedSends;
+    totals_.duplicatedSends += delta.duplicatedSends;
+    totals_.splitSends += delta.splitSends;
+    totals_.delays += delta.delays;
+    totals_.stalls += delta.stalls;
+    totals_.disconnects += delta.disconnects;
+    totals_.bytesSent += delta.bytesSent;
+    totals_.bytesReceived += delta.bytesReceived;
+}
+
+ChaosStats
+ChaosLedger::totals() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return totals_;
+}
+
+ChaosStream::ChaosStream(std::unique_ptr<ByteStream> inner,
+                         const ChaosPlan &plan, std::uint64_t seed,
+                         std::shared_ptr<ChaosLedger> ledger)
+    : inner_(std::move(inner)), plan_(plan), ledger_(std::move(ledger)),
+      sendRng_(Rng(seed).derive(streams::kChaosSend)),
+      corruptRng_(Rng(seed).derive(streams::kChaosCorrupt)),
+      recvRng_(Rng(seed).derive(streams::kChaosReceive)),
+      disconnectRng_(Rng(seed).derive(streams::kChaosDisconnect))
+{
+}
+
+ChaosStream::~ChaosStream()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    flushLedgerLocked();
+}
+
+void
+ChaosStream::flushLedgerLocked()
+{
+    if (!ledger_)
+        return;
+    ChaosStats delta;
+    delta.corruptedBytes = stats_.corruptedBytes - flushed_.corruptedBytes;
+    delta.truncatedSends = stats_.truncatedSends - flushed_.truncatedSends;
+    delta.droppedSends = stats_.droppedSends - flushed_.droppedSends;
+    delta.duplicatedSends =
+        stats_.duplicatedSends - flushed_.duplicatedSends;
+    delta.splitSends = stats_.splitSends - flushed_.splitSends;
+    delta.delays = stats_.delays - flushed_.delays;
+    delta.stalls = stats_.stalls - flushed_.stalls;
+    delta.disconnects = stats_.disconnects - flushed_.disconnects;
+    delta.bytesSent = stats_.bytesSent - flushed_.bytesSent;
+    delta.bytesReceived = stats_.bytesReceived - flushed_.bytesReceived;
+    ledger_->add(delta);
+    flushed_ = stats_;
+}
+
+bool
+ChaosStream::budgetAllows()
+{
+    return plan_.maxEvents == 0 || stats_.events() < plan_.maxEvents;
+}
+
+void
+ChaosStream::disconnect(std::uint64_t atByte)
+{
+    if (disconnected_)
+        return;
+    disconnected_ = true;
+    ++stats_.disconnects;
+    log_.push_back({ChaosEvent::Kind::Disconnect, atByte, 0});
+    // Closing the inner stream outside the lock would be cleaner, but
+    // close() is non-blocking on both transports (shutdown + close /
+    // cv notify), so holding mu_ across it cannot deadlock.
+    inner_->close();
+}
+
+bool
+ChaosStream::send(const std::uint8_t *data, std::size_t len)
+{
+    if (len == 0)
+        return inner_->send(data, len);
+
+    // Decide everything under the lock, perform inner I/O outside it.
+    std::vector<std::uint8_t> out;
+    bool duplicate = false;
+    std::size_t splitAt = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const std::uint64_t offset = stats_.bytesSent;
+        if (disconnected_)
+            return false;
+
+        if (plan_.dropRate > 0.0 && budgetAllows() &&
+            sendRng_.bernoulli(plan_.dropRate)) {
+            ++stats_.droppedSends;
+            log_.push_back({ChaosEvent::Kind::DropSend, offset, len});
+            // The caller believes the bytes left; the frames inside
+            // them simply never arrive — exactly a lossy path.
+            return true;
+        }
+
+        out.assign(data, data + len);
+        if (len >= 2 && plan_.truncateRate > 0.0 && budgetAllows() &&
+            sendRng_.bernoulli(plan_.truncateRate)) {
+            const std::size_t keep = static_cast<std::size_t>(
+                sendRng_.uniformInt(1, static_cast<int>(len) - 1));
+            out.resize(keep);
+            ++stats_.truncatedSends;
+            log_.push_back({ChaosEvent::Kind::TruncateSend, offset, keep});
+        }
+        if (plan_.duplicateRate > 0.0 && budgetAllows() &&
+            sendRng_.bernoulli(plan_.duplicateRate)) {
+            duplicate = true;
+            ++stats_.duplicatedSends;
+            log_.push_back(
+                {ChaosEvent::Kind::DuplicateSend, offset, out.size()});
+        }
+        if (out.size() >= 2 && plan_.splitRate > 0.0 && budgetAllows() &&
+            sendRng_.bernoulli(plan_.splitRate)) {
+            splitAt = static_cast<std::size_t>(sendRng_.uniformInt(
+                1, static_cast<int>(out.size()) - 1));
+            ++stats_.splitSends;
+            log_.push_back({ChaosEvent::Kind::SplitSend, offset, splitAt});
+        }
+        if (plan_.corruptPerKb > 0.0) {
+            const double p = plan_.corruptPerKb / 1024.0;
+            for (std::size_t i = 0; i < out.size(); ++i) {
+                if (!budgetAllows())
+                    break;
+                if (corruptRng_.bernoulli(p)) {
+                    out[i] ^= static_cast<std::uint8_t>(
+                        1u << corruptRng_.uniformInt(0, 7));
+                    ++stats_.corruptedBytes;
+                    log_.push_back({ChaosEvent::Kind::CorruptByte,
+                                    offset + i, out[i]});
+                }
+            }
+        }
+
+        stats_.bytesSent += out.size() * (duplicate ? 2 : 1);
+        const std::uint64_t total =
+            stats_.bytesSent + stats_.bytesReceived;
+        if (plan_.disconnectAtByte > 0 &&
+            total >= plan_.disconnectAtByte && budgetAllows()) {
+            disconnect(total);
+        } else if (plan_.disconnectPerKb > 0.0) {
+            if (disconnectInBytes_ < 0.0)
+                disconnectInBytes_ = 1024.0 *
+                    disconnectRng_.exponential(plan_.disconnectPerKb);
+            disconnectInBytes_ -= static_cast<double>(out.size());
+            if (disconnectInBytes_ <= 0.0 && budgetAllows()) {
+                disconnect(total);
+            }
+        }
+        if (disconnected_)
+            return false;
+    }
+
+    const std::size_t copies = duplicate ? 2u : 1u;
+    for (std::size_t c = 0; c < copies; ++c) {
+        if (splitAt > 0) {
+            if (!inner_->send(out.data(), splitAt) ||
+                !inner_->send(out.data() + splitAt, out.size() - splitAt))
+                return false;
+        } else if (!inner_->send(out.data(), out.size())) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::size_t
+ChaosStream::receive(std::uint8_t *buf, std::size_t cap)
+{
+    const std::size_t effCap =
+        plan_.receiveCap > 0 ? std::min(cap, plan_.receiveCap) : cap;
+    const std::size_t n = inner_->receive(buf, effCap);
+    if (n == 0)
+        return 0;
+
+    double sleepSeconds = 0.0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const std::uint64_t offset = stats_.bytesReceived;
+        stats_.bytesReceived += n;
+        if (plan_.corruptPerKb > 0.0) {
+            const double p = plan_.corruptPerKb / 1024.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!budgetAllows())
+                    break;
+                if (recvRng_.bernoulli(p)) {
+                    buf[i] ^= static_cast<std::uint8_t>(
+                        1u << recvRng_.uniformInt(0, 7));
+                    ++stats_.corruptedBytes;
+                    log_.push_back({ChaosEvent::Kind::CorruptByte,
+                                    offset + i, buf[i]});
+                }
+            }
+        }
+        if (plan_.stallRate > 0.0 && budgetAllows() &&
+            recvRng_.bernoulli(plan_.stallRate)) {
+            sleepSeconds = plan_.stallSeconds;
+            ++stats_.stalls;
+            log_.push_back(
+                {ChaosEvent::Kind::Stall, offset,
+                 static_cast<std::uint64_t>(sleepSeconds * 1e6)});
+        } else if (plan_.delayRate > 0.0 && budgetAllows() &&
+                   recvRng_.bernoulli(plan_.delayRate)) {
+            sleepSeconds = recvRng_.uniform(0.0, plan_.delayMaxSeconds);
+            ++stats_.delays;
+            log_.push_back(
+                {ChaosEvent::Kind::Delay, offset,
+                 static_cast<std::uint64_t>(sleepSeconds * 1e6)});
+        }
+        const std::uint64_t total =
+            stats_.bytesSent + stats_.bytesReceived;
+        if (plan_.disconnectAtByte > 0 &&
+            total >= plan_.disconnectAtByte && budgetAllows()) {
+            disconnect(total);
+        } else if (plan_.disconnectPerKb > 0.0) {
+            if (disconnectInBytes_ < 0.0)
+                disconnectInBytes_ = 1024.0 *
+                    disconnectRng_.exponential(plan_.disconnectPerKb);
+            disconnectInBytes_ -= static_cast<double>(n);
+            if (disconnectInBytes_ <= 0.0 && budgetAllows())
+                disconnect(total);
+        }
+    }
+    if (sleepSeconds > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(sleepSeconds));
+    // Bytes already read are delivered even when the read disconnected
+    // the stream — they were on the wire first; the next receive
+    // observes the close.
+    return n;
+}
+
+bool
+ChaosStream::setReceiveDeadline(double seconds)
+{
+    return inner_->setReceiveDeadline(seconds);
+}
+
+bool
+ChaosStream::setSendDeadline(double seconds)
+{
+    return inner_->setSendDeadline(seconds);
+}
+
+void
+ChaosStream::close()
+{
+    inner_->close();
+    std::lock_guard<std::mutex> lock(mu_);
+    flushLedgerLocked();
+}
+
+ChaosStats
+ChaosStream::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+std::vector<ChaosEvent>
+ChaosStream::eventLog() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return log_;
+}
+
+std::unique_ptr<ByteStream>
+wrapWithChaos(std::unique_ptr<ByteStream> inner, const ChaosPlan &plan,
+              std::uint64_t seed, std::shared_ptr<ChaosLedger> ledger)
+{
+    if (!plan.enabled())
+        return inner;
+    return std::make_unique<ChaosStream>(std::move(inner), plan, seed,
+                                         std::move(ledger));
+}
+
+std::uint64_t
+chaosConnectionSeed(std::uint64_t planSeed, std::uint64_t index)
+{
+    // Tag arithmetic keeps every connection in its own derive
+    // namespace; the offset cannot collide the registry tags for any
+    // realistic connection count.
+    return Rng(planSeed).deriveSeed(streams::kChaosConnection + index);
+}
+
+} // namespace insure::service

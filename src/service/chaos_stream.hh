@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Deterministic transport chaos injection for the framed service layer.
+ *
+ * A ChaosStream decorates any ByteStream and adversarially mangles the
+ * traffic passing through it: byte corruption, truncated / dropped /
+ * duplicated / split writes, bounded delivery delays, mid-stream
+ * stalls, and hard disconnects — the failure weather a renewable-
+ * powered fleet must treat as the steady state, not the exception.
+ * The frame decoder's CRC + resync machinery, the dispatch layer's
+ * re-lease/redispatch logic and the worker's reconnect path are what
+ * turn this weather back into byte-identical campaign results.
+ *
+ * Determinism: every chaos decision draws from advance-free
+ * Rng::derive streams rooted at a per-connection seed (the same
+ * discipline src/fault uses for plant faults), with disjoint streams
+ * for the send path, the receive path and disconnect scheduling so a
+ * concurrent sender and receiver never interleave draws. Feeding the
+ * same byte sequence through the same plan + seed yields the same
+ * mangled sequence, which is what lets the FrameDecoder chaos-replay
+ * suite pin exact recovery counters.
+ *
+ * Ground truth: every injected event is counted (ChaosStats) and
+ * logged (ChaosEvent records with the transfer offset it struck), so a
+ * drill can report honest accounting and a test can compute which
+ * frames were intentionally destroyed.
+ */
+
+#ifndef INSURE_SERVICE_CHAOS_STREAM_HH
+#define INSURE_SERVICE_CHAOS_STREAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "service/transport.hh"
+#include "sim/rng.hh"
+
+namespace insure::service {
+
+/**
+ * What chaos may be injected, and how often. Rates are probabilities
+ * per send / per receive; corruption and Poisson disconnects are
+ * per-kilobyte hazards so they scale with traffic volume, not call
+ * count. A default-constructed plan injects nothing and a ChaosStream
+ * built from it is a pure pass-through.
+ */
+struct ChaosPlan {
+    /** Mean corrupted bytes per KB transferred (each a bit flip). */
+    double corruptPerKb = 0.0;
+    /** Probability a send loses a random-length tail. */
+    double truncateRate = 0.0;
+    /** Probability a send is dropped whole (frames vanish silently). */
+    double dropRate = 0.0;
+    /** Probability a send is transmitted twice (duplicated frames). */
+    double duplicateRate = 0.0;
+    /** Probability a send is sheared into two separate writes. */
+    double splitRate = 0.0;
+    /** Probability a receive is delayed before delivery. */
+    double delayRate = 0.0;
+    /** Upper bound of the uniform delay, seconds. */
+    double delayMaxSeconds = 0.0;
+    /** Probability a receive stalls for the full stallSeconds. */
+    double stallRate = 0.0;
+    /** Mid-stream stall length, seconds. */
+    double stallSeconds = 0.0;
+    /** Hard-disconnect hazard per KB transferred (either direction). */
+    double disconnectPerKb = 0.0;
+    /** Scheduled hard disconnect at this total transfer offset (0=off). */
+    std::uint64_t disconnectAtByte = 0;
+    /**
+     * Chaos budget: total events after which the stream turns clean
+     * (0 = unlimited). A bounded budget guarantees a retrying protocol
+     * eventually converges, which is what lets drills assert
+     * completion instead of racing an infinite storm.
+     */
+    std::uint64_t maxEvents = 0;
+    /** Cap bytes per receive (forced fragmentation; 0 = off). */
+    std::size_t receiveCap = 0;
+
+    /** True when this plan can inject anything at all. */
+    bool enabled() const;
+
+    /**
+     * A moderately hostile preset: corruption, truncation, split and
+     * duplicated writes, small delays and a Poisson disconnect hazard,
+     * bounded by @p budget events. The drills' default weather.
+     */
+    static ChaosPlan storm(std::uint64_t budget = 32);
+};
+
+/** One injected event, at the byte offset of its direction's stream. */
+struct ChaosEvent {
+    enum class Kind : std::uint8_t {
+        CorruptByte,
+        TruncateSend,
+        DropSend,
+        DuplicateSend,
+        SplitSend,
+        Delay,
+        Stall,
+        Disconnect,
+    };
+    Kind kind = Kind::CorruptByte;
+    /** Transfer offset (sent bytes for send events, received for rx). */
+    std::uint64_t atByte = 0;
+    /** Kind-specific detail (bytes kept, chunk size, delay in usec). */
+    std::uint64_t detail = 0;
+};
+
+/** Printable name of a chaos event kind. */
+const char *chaosEventKindName(ChaosEvent::Kind k);
+
+/** Monotonic chaos counters (one consistent sample via stats()). */
+struct ChaosStats {
+    std::uint64_t corruptedBytes = 0;
+    std::uint64_t truncatedSends = 0;
+    std::uint64_t droppedSends = 0;
+    std::uint64_t duplicatedSends = 0;
+    std::uint64_t splitSends = 0;
+    std::uint64_t delays = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t disconnects = 0;
+    std::uint64_t bytesSent = 0;
+    std::uint64_t bytesReceived = 0;
+
+    /** Total injected events (the budget denominator). */
+    std::uint64_t events() const
+    {
+        return corruptedBytes + truncatedSends + droppedSends +
+               duplicatedSends + splitSends + delays + stalls +
+               disconnects;
+    }
+};
+
+/**
+ * Shared accumulator of chaos ground truth across streams whose
+ * lifetimes the observer does not control. The supervisor wraps
+ * connections and immediately hands them to the czar, which destroys
+ * them as workers retire — a ChaosStream given a ledger flushes its
+ * counters into it on close and destruction, so a drill can still
+ * report honest totals after every stream is gone. Thread-safe.
+ */
+class ChaosLedger
+{
+  public:
+    /** Fold @p delta into the totals. */
+    void add(const ChaosStats &delta);
+
+    /** One consistent sample of the accumulated totals. */
+    ChaosStats totals() const;
+
+  private:
+    mutable std::mutex mu_;
+    ChaosStats totals_;
+};
+
+/**
+ * The ByteStream decorator (see file comment). Thread-compatible the
+ * same way the wrapped stream is: one sender thread and one receiver
+ * thread may operate concurrently. Chaos decisions are made under a
+ * shared lock (never held across inner-stream I/O) with per-path RNG
+ * streams, so each direction's chaos sequence is independent of the
+ * other direction's timing.
+ */
+class ChaosStream : public ByteStream
+{
+  public:
+    /**
+     * Wrap @p inner; all chaos draws derive from @p seed. An optional
+     * @p ledger receives this stream's counters when it closes/dies.
+     */
+    ChaosStream(std::unique_ptr<ByteStream> inner, const ChaosPlan &plan,
+                std::uint64_t seed,
+                std::shared_ptr<ChaosLedger> ledger = nullptr);
+
+    ~ChaosStream() override;
+
+    bool send(const std::uint8_t *data, std::size_t len) override;
+    std::size_t receive(std::uint8_t *buf, std::size_t cap) override;
+    bool setReceiveDeadline(double seconds) override;
+    bool setSendDeadline(double seconds) override;
+    void close() override;
+
+    /** One consistent sample of the chaos counters. */
+    ChaosStats stats() const;
+
+    /** The full ground-truth event log so far (copied). */
+    std::vector<ChaosEvent> eventLog() const;
+
+  private:
+    /** True (and consumes budget) when an event may fire. Lock held. */
+    bool budgetAllows();
+    /** Hard-close the inner stream, once. */
+    void disconnect(std::uint64_t atByte);
+    /** Push counters not yet flushed into the ledger. Lock held. */
+    void flushLedgerLocked();
+
+    std::unique_ptr<ByteStream> inner_;
+    ChaosPlan plan_;
+    std::shared_ptr<ChaosLedger> ledger_;
+
+    mutable std::mutex mu_;
+    Rng sendRng_;
+    Rng corruptRng_;
+    Rng recvRng_;
+    Rng disconnectRng_;
+    ChaosStats stats_;
+    std::vector<ChaosEvent> log_;
+    /** Bytes until the next Poisson disconnect (<0 = not armed). */
+    double disconnectInBytes_ = -1.0;
+    bool disconnected_ = false;
+    /** Counters already pushed to the ledger (flush sends the delta). */
+    ChaosStats flushed_;
+};
+
+/**
+ * Wrap @p inner in chaos when @p plan is enabled; otherwise return it
+ * untouched (the clean path stays allocation- and indirection-free).
+ */
+std::unique_ptr<ByteStream>
+wrapWithChaos(std::unique_ptr<ByteStream> inner, const ChaosPlan &plan,
+              std::uint64_t seed,
+              std::shared_ptr<ChaosLedger> ledger = nullptr);
+
+/**
+ * Per-connection chaos seed: connection @p index of the plan rooted at
+ * @p planSeed. Advance-free (Rng::derive), so accepting connections in
+ * a different order cannot re-correlate any connection's chaos.
+ */
+std::uint64_t chaosConnectionSeed(std::uint64_t planSeed,
+                                  std::uint64_t index);
+
+} // namespace insure::service
+
+#endif // INSURE_SERVICE_CHAOS_STREAM_HH

@@ -70,6 +70,12 @@ enum class FrameType : std::uint8_t {
     Result = 0x12,
     /** Dispatch: worker liveness beacon (dispatch/protocol.hh). */
     Heartbeat = 0x13,
+    /**
+     * Dispatch: czar-to-worker orderly shutdown (dispatch/protocol.hh).
+     * Distinguishes "campaign over, exit now" from an unexpected
+     * stream loss, which a resilient worker answers with reconnect.
+     */
+    Shutdown = 0x14,
     /** A service-level error report (service/query.hh encoding). */
     Error = 0x7F,
 };

@@ -11,6 +11,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -56,7 +57,15 @@ class LoopbackStream : public ByteStream
     receive(std::uint8_t *buf, std::size_t cap) override
     {
         std::unique_lock<std::mutex> lock(rx_->m);
-        rx_->cv.wait(lock, [&] { return !rx_->q.empty() || rx_->closed; });
+        const auto ready = [&] { return !rx_->q.empty() || rx_->closed; };
+        if (recvDeadline_ > 0.0) {
+            if (!rx_->cv.wait_for(
+                    lock, std::chrono::duration<double>(recvDeadline_),
+                    ready))
+                return 0; // deadline expired: treat the peer as gone
+        } else {
+            rx_->cv.wait(lock, ready);
+        }
         if (rx_->q.empty())
             return 0; // closed and drained
         std::size_t n = std::min(cap, rx_->q.size());
@@ -67,6 +76,18 @@ class LoopbackStream : public ByteStream
                      rx_->q.begin() + static_cast<std::ptrdiff_t>(n));
         return n;
     }
+
+    bool
+    setReceiveDeadline(double seconds) override
+    {
+        std::lock_guard<std::mutex> lock(rx_->m);
+        recvDeadline_ = seconds;
+        return true;
+    }
+
+    // An in-memory queue never back-pressures, so a send deadline is
+    // trivially honoured (send never blocks).
+    bool setSendDeadline(double) override { return true; }
 
     void
     close() override
@@ -82,6 +103,7 @@ class LoopbackStream : public ByteStream
     std::shared_ptr<PipeHalf> tx_;
     std::shared_ptr<PipeHalf> rx_;
     std::size_t maxChunk_;
+    double recvDeadline_ = 0.0;
 };
 
 [[noreturn]] void
@@ -99,6 +121,36 @@ class TcpStream : public ByteStream
 
     ~TcpStream() override { close(); }
 
+    /**
+     * Wait for @p events on the socket, honouring @p deadline seconds
+     * (poll, not SO_RCVTIMEO: a per-call timeout is immune to the
+     * timeout-resets-on-every-byte trickle a slow-loris peer exploits).
+     * @return true when the fd is ready; false on deadline expiry or a
+     * closed/errored socket.
+     */
+    bool
+    waitReady(short events, double deadline)
+    {
+        pollfd pfd{};
+        pfd.fd = fd_;
+        pfd.events = events;
+        // Millisecond granularity, rounded up so a 0.0005 s deadline
+        // still polls with a non-zero wait.
+        const int ms = deadline >= 2147483.0
+                           ? 2147483000
+                           : static_cast<int>(deadline * 1000.0) + 1;
+        for (;;) {
+            const int r = ::poll(&pfd, 1, ms);
+            if (r < 0 && errno == EINTR)
+                continue;
+            if (r <= 0)
+                return false; // timeout or poll failure
+            // POLLHUP/POLLERR fall through to recv/send, which then
+            // report EOF/error exactly as an undeadlined call would.
+            return true;
+        }
+    }
+
     bool
     send(const std::uint8_t *data, std::size_t len) override
     {
@@ -107,6 +159,9 @@ class TcpStream : public ByteStream
         // SIGKILLed siblings' SIGCHLDs) must not shear a frame.
         std::size_t sent = 0;
         while (sent < len) {
+            if (sendDeadline_ > 0.0 &&
+                !waitReady(POLLOUT, sendDeadline_))
+                return false; // congested past the deadline: slow reader
             const ssize_t n = ::send(fd_, data + sent, len - sent,
                                      MSG_NOSIGNAL);
             if (n < 0 && errno == EINTR)
@@ -122,11 +177,27 @@ class TcpStream : public ByteStream
     receive(std::uint8_t *buf, std::size_t cap) override
     {
         for (;;) {
+            if (recvDeadline_ > 0.0 && !waitReady(POLLIN, recvDeadline_))
+                return 0; // deadline expired: treat the peer as gone
             const ssize_t n = ::recv(fd_, buf, cap, 0);
             if (n < 0 && errno == EINTR)
                 continue;
             return n > 0 ? static_cast<std::size_t>(n) : 0;
         }
+    }
+
+    bool
+    setReceiveDeadline(double seconds) override
+    {
+        recvDeadline_ = seconds;
+        return true;
+    }
+
+    bool
+    setSendDeadline(double seconds) override
+    {
+        sendDeadline_ = seconds;
+        return true;
     }
 
     void
@@ -141,6 +212,8 @@ class TcpStream : public ByteStream
 
   private:
     int fd_;
+    double recvDeadline_ = 0.0;
+    double sendDeadline_ = 0.0;
 };
 
 } // namespace

@@ -42,9 +42,29 @@ class ByteStream
     /**
      * Block until at least one byte is available, then read up to
      * @p cap bytes. @return the number of bytes read; 0 once the peer
-     * has closed and every buffered byte has been drained.
+     * has closed and every buffered byte has been drained — or, with a
+     * receive deadline set, once the deadline expires with nothing to
+     * read. The conflation is deliberate: a peer that cannot be heard
+     * from within the deadline is treated exactly like a dead one
+     * (evict, reconnect or re-dispatch — never wait forever).
      */
     virtual std::size_t receive(std::uint8_t *buf, std::size_t cap) = 0;
+
+    /**
+     * Bound the time a single receive() may block (seconds; <= 0
+     * clears the deadline). @return false when this transport cannot
+     * enforce deadlines (callers must then rely on close() from
+     * another thread).
+     */
+    virtual bool setReceiveDeadline(double) { return false; }
+
+    /**
+     * Bound the time a single send() may block on a congested peer
+     * (seconds; <= 0 clears). A deadline expiry fails the send — the
+     * slow-reader equivalent of a dead peer. @return false when
+     * unsupported.
+     */
+    virtual bool setSendDeadline(double) { return false; }
 
     /** Close both directions (idempotent; unblocks pending receives). */
     virtual void close() = 0;

@@ -224,22 +224,47 @@ TwinServer::serveStream(ByteStream &stream)
     FrameDecoder decoder;
     std::uint8_t buf[4096];
     bool open = true;
+    bool timedOut = false;
+    // Deadlines make receive() return 0 on an idle peer exactly as it
+    // does on EOF — deliberately: a client that cannot be heard from
+    // has forfeited its connection (see ByteStream::receive).
+    const bool deadlined = opts_.idleTimeoutSeconds > 0.0 &&
+                           stream.setReceiveDeadline(
+                               opts_.idleTimeoutSeconds);
+    if (opts_.sendTimeoutSeconds > 0.0)
+        stream.setSendDeadline(opts_.sendTimeoutSeconds);
     while (open) {
+        const auto waitStart = std::chrono::steady_clock::now();
         const std::size_t n = stream.receive(buf, sizeof buf);
-        if (n == 0)
+        if (n == 0) {
+            // EOF and deadline expiry are conflated by contract; a
+            // voluntary close returns promptly while an expiry takes
+            // the whole deadline, which is how they are told apart
+            // for accounting.
+            const double waited =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - waitStart)
+                    .count();
+            timedOut =
+                deadlined && waited >= 0.9 * opts_.idleTimeoutSeconds;
             break;
+        }
         decoder.feed(buf, n);
         while (auto frame = decoder.next()) {
             if (!stream.send(handleFrame(*frame))) {
                 open = false;
+                timedOut = opts_.sendTimeoutSeconds > 0.0;
                 break;
             }
         }
     }
+    stream.close();
     std::lock_guard<std::mutex> lk(mu_);
     stats_.streamCrcErrors += decoder.crcErrors();
     stats_.streamResyncs += decoder.resyncs();
     stats_.streamSkippedBytes += decoder.skippedBytes();
+    if (timedOut)
+        ++stats_.idleDisconnects;
 }
 
 core::ExperimentResult

@@ -51,6 +51,19 @@ struct TwinServerOptions {
     std::uint8_t unitId = 1;
     /** What-if result cache capacity (entries; 0 disables). */
     std::size_t cacheCapacity = 64;
+    /**
+     * Disconnect a client whose stream stays silent this long, seconds
+     * (0 = wait forever). Applied per serveStream connection; evicts
+     * slow-loris peers — connected, trickling or sending nothing — that
+     * would otherwise pin a handler thread for the server's lifetime.
+     */
+    double idleTimeoutSeconds = 0.0;
+    /**
+     * Bound each reply send, seconds (0 = block). A client that stops
+     * draining its socket forfeits the connection instead of wedging
+     * its handler mid-reply.
+     */
+    double sendTimeoutSeconds = 0.0;
 };
 
 /** Monotonic service counters (one consistent sample via stats()). */
@@ -73,6 +86,8 @@ struct TwinServerStats {
     std::uint64_t streamResyncs = 0;
     /** Inter-frame garbage bytes skipped across finished connections. */
     std::uint64_t streamSkippedBytes = 0;
+    /** Connections dropped by the idle/send timeouts. */
+    std::uint64_t idleDisconnects = 0;
 };
 
 /** A live simulation served as a digital twin. */

@@ -152,6 +152,15 @@ inline constexpr std::uint64_t kFaultLink = streamTag("fault.link");
 inline constexpr std::uint64_t kFaultServer = streamTag("fault.server");
 inline constexpr std::uint64_t kInteractiveArrivals =
     streamTag("interactive.arrivals");
+inline constexpr std::uint64_t kChaosSend = streamTag("chaos.send");
+inline constexpr std::uint64_t kChaosCorrupt = streamTag("chaos.corrupt");
+inline constexpr std::uint64_t kChaosReceive = streamTag("chaos.receive");
+inline constexpr std::uint64_t kChaosDisconnect =
+    streamTag("chaos.disconnect");
+inline constexpr std::uint64_t kChaosConnection =
+    streamTag("chaos.connection");
+inline constexpr std::uint64_t kDispatchBackoff =
+    streamTag("dispatch.backoff");
 } // namespace streams
 
 } // namespace insure

@@ -169,6 +169,9 @@ TEST(Rng, DeriveTagsYieldDistinctStreams)
         streams::kFault,         streams::kFaultSchedule,  streams::kFaultBattery,
         streams::kFaultRelay,    streams::kFaultSensor,    streams::kFaultLink,
         streams::kFaultServer,   streams::kInteractiveArrivals,
+        streams::kChaosSend,     streams::kChaosCorrupt,
+        streams::kChaosReceive,  streams::kChaosDisconnect,
+        streams::kChaosConnection, streams::kDispatchBackoff,
     };
     const std::size_t n = std::size(tags);
 
